@@ -1,0 +1,44 @@
+//! Criterion bench for the delay substrate: RC-profile interval queries
+//! and full assignment evaluation (the inner loops of both DP and
+//! REFINE).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rip_delay::{evaluate, Repeater, RepeaterAssignment};
+use rip_net::{NetGenerator, RandomNetConfig};
+use rip_tech::Technology;
+use std::hint::black_box;
+
+fn bench_elmore(c: &mut Criterion) {
+    let tech = Technology::generic_180nm();
+    let net = NetGenerator::suite(RandomNetConfig::default(), 7, 1)
+        .expect("valid config")
+        .remove(0);
+    let len = net.total_length();
+
+    c.bench_function("profile_interval_query", |b| {
+        let profile = net.profile();
+        let mut x = 0.1 * len;
+        b.iter(|| {
+            x = (x + 137.0) % (0.5 * len);
+            black_box(profile.interval(x, x + 0.4 * len))
+        })
+    });
+
+    let mut group = c.benchmark_group("evaluate_assignment");
+    for n_reps in [2usize, 8, 24] {
+        let spacing = len / (n_reps + 1) as f64;
+        let asg = RepeaterAssignment::new(
+            (1..=n_reps)
+                .map(|i| Repeater::new(spacing * i as f64, 120.0))
+                .collect(),
+        )
+        .expect("valid repeaters");
+        group.bench_with_input(BenchmarkId::from_parameter(n_reps), &asg, |b, asg| {
+            b.iter(|| evaluate(&net, tech.device(), black_box(asg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_elmore);
+criterion_main!(benches);

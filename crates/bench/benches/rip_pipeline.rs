@@ -1,0 +1,41 @@
+//! Criterion bench for the full RIP pipeline and its per-stage costs -
+//! the "our scheme" side of Table 2's runtime comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rip_core::{rip, tau_min_paper, RipConfig};
+use rip_net::{NetGenerator, RandomNetConfig};
+use rip_tech::Technology;
+
+fn bench_rip_pipeline(c: &mut Criterion) {
+    let tech = Technology::generic_180nm();
+    let nets = NetGenerator::suite(RandomNetConfig::default(), 2005, 3).expect("valid config");
+    let config = RipConfig::paper();
+
+    let mut group = c.benchmark_group("rip_pipeline");
+    group.sample_size(10);
+    for (i, net) in nets.iter().enumerate() {
+        let target = tau_min_paper(net, tech.device()) * 1.5;
+        group.bench_with_input(BenchmarkId::new("net", i), net, |b, net| {
+            b.iter(|| rip(net, &tech, target, &config).expect("feasible target"))
+        });
+    }
+    group.finish();
+
+    // Tight vs loose targets: tight targets stress the coarse DP + fine
+    // DP enrichment paths.
+    let net = &nets[0];
+    let tmin = tau_min_paper(net, tech.device());
+    let mut group = c.benchmark_group("rip_target_tightness");
+    group.sample_size(10);
+    for mult in [1.05_f64, 1.5, 2.05] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mult:.2}")),
+            &mult,
+            |b, &mult| b.iter(|| rip(net, &tech, tmin * mult, &config).expect("feasible")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rip_pipeline);
+criterion_main!(benches);

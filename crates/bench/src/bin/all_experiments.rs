@@ -1,0 +1,45 @@
+//! Runs every paper-reproduction experiment (Table 1, Figure 7, Table 2)
+//! and writes all renderings + CSVs. This is the command that produces
+//! the data recorded in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p rip-bench --release --bin all_experiments [--quick]`
+
+use rip_bench::{results_dir, scaled_counts};
+use rip_report::experiments::figure7::{figure7_csv, render_figure7, run_figure7, Figure7Config};
+use rip_report::experiments::table1::{render_table1, run_table1, table1_csv, Table1Config};
+use rip_report::experiments::table2::{render_table2, run_table2, table2_csv, Table2Config};
+use rip_report::write_csv;
+use std::time::Instant;
+
+fn main() {
+    let (net_count, target_count) = scaled_counts(20, 20);
+    let dir = results_dir();
+    let t0 = Instant::now();
+
+    eprintln!("[1/3] Table 1 ({net_count} nets x {target_count} targets)...");
+    let t1 = run_table1(&Table1Config { net_count, target_count, ..Default::default() });
+    println!("{}", render_table1(&t1));
+    let (h, r) = table1_csv(&t1);
+    let hr: Vec<&str> = h.iter().map(String::as_str).collect();
+    write_csv(dir.join("table1.csv"), &hr, &r).expect("write table1.csv");
+
+    eprintln!("[2/3] Figure 7 ({net_count} nets x {target_count} targets)...");
+    let f7 = run_figure7(&Figure7Config { net_count, target_count, ..Default::default() });
+    println!("{}", render_figure7(&f7));
+    let (h, r) = figure7_csv(&f7);
+    let hr: Vec<&str> = h.iter().map(String::as_str).collect();
+    write_csv(dir.join("figure7.csv"), &hr, &r).expect("write figure7.csv");
+
+    eprintln!("[3/3] Table 2 ({net_count} nets x {target_count} targets)...");
+    let t2 = run_table2(&Table2Config { net_count, target_count, ..Default::default() });
+    println!("{}", render_table2(&t2));
+    let (h, r) = table2_csv(&t2);
+    let hr: Vec<&str> = h.iter().map(String::as_str).collect();
+    write_csv(dir.join("table2.csv"), &hr, &r).expect("write table2.csv");
+
+    eprintln!(
+        "all experiments done in {:.1} s; CSVs in {}",
+        t0.elapsed().as_secs_f64(),
+        dir.display()
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates the paper's Figure 7 (power savings vs timing constraint,
+//! panels (a) g=10u and (b) g=40u).
+//!
+//! Usage: `cargo run -p rip-bench --release --bin figure7 [--quick]`
+
+use rip_bench::{results_dir, scaled_counts};
+use rip_report::experiments::figure7::{
+    figure7_csv, render_figure7, run_figure7, Figure7Config,
+};
+use rip_report::write_csv;
+
+fn main() {
+    let (net_count, target_count) = scaled_counts(20, 20);
+    let config = Figure7Config { net_count, target_count, ..Default::default() };
+    eprintln!("running Figure 7: {net_count} nets x {target_count} targets x 2 panels...");
+    let outcome = run_figure7(&config);
+    println!("{}", render_figure7(&outcome));
+    let (headers, rows) = figure7_csv(&outcome);
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let path = results_dir().join("figure7.csv");
+    write_csv(&path, &header_refs, &rows).expect("write figure7.csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,23 @@
+//! Regenerates the paper's Table 1 (power reduction for two-pin nets).
+//!
+//! Usage: `cargo run -p rip-bench --release --bin table1 [--quick]`
+
+use rip_bench::{results_dir, scaled_counts};
+use rip_report::experiments::table1::{render_table1, run_table1, table1_csv, Table1Config};
+use rip_report::write_csv;
+
+fn main() {
+    let (net_count, target_count) = scaled_counts(20, 20);
+    let config = Table1Config { net_count, target_count, ..Default::default() };
+    eprintln!(
+        "running Table 1: {net_count} nets x {target_count} targets x {} baselines...",
+        config.granularities.len()
+    );
+    let outcome = run_table1(&config);
+    println!("{}", render_table1(&outcome));
+    let (headers, rows) = table1_csv(&outcome);
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let path = results_dir().join("table1.csv");
+    write_csv(&path, &header_refs, &rows).expect("write table1.csv");
+    eprintln!("wrote {}", path.display());
+}

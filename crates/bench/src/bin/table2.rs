@@ -1,0 +1,25 @@
+//! Regenerates the paper's Table 2 (power savings and speedup tradeoff).
+//!
+//! Runtimes are meaningful in `--release` only.
+//!
+//! Usage: `cargo run -p rip-bench --release --bin table2 [--quick]`
+
+use rip_bench::{results_dir, scaled_counts};
+use rip_report::experiments::table2::{render_table2, run_table2, table2_csv, Table2Config};
+use rip_report::write_csv;
+
+fn main() {
+    let (net_count, target_count) = scaled_counts(20, 20);
+    let config = Table2Config { net_count, target_count, ..Default::default() };
+    eprintln!(
+        "running Table 2: {net_count} nets x {target_count} targets x {} baselines...",
+        config.granularities.len()
+    );
+    let outcome = run_table2(&config);
+    println!("{}", render_table2(&outcome));
+    let (headers, rows) = table2_csv(&outcome);
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let path = results_dir().join("table2.csv");
+    write_csv(&path, &header_refs, &rows).expect("write table2.csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,87 @@
+//! # rip-bench — benchmarks and experiment binaries for the RIP
+//! reproduction
+//!
+//! Binaries (all write their CSV next to `results/` in the workspace
+//! root and print the paper-layout rendering to stdout):
+//!
+//! * `table1` — regenerates the paper's Table 1;
+//! * `table2` — regenerates the paper's Table 2;
+//! * `figure7` — regenerates Figure 7(a)/(b);
+//! * `all_experiments` — runs everything (used to produce
+//!   EXPERIMENTS.md).
+//!
+//! Pass `--quick` to any binary for a reduced run (fewer nets/targets)
+//! when smoke-testing.
+//!
+//! Criterion benches cover the runtime claims: DP cost vs width
+//! granularity (`dp_granularity`, the Table 2 runtime axis), the RIP
+//! pipeline and its stages (`rip_pipeline`, `refine`), the Elmore
+//! substrate (`elmore`), pruning pressure vs candidate density
+//! (`pruning`), and configuration ablations (`ablations`).
+
+use std::path::PathBuf;
+
+/// Returns the workspace-level `results/` directory, creating it if
+/// needed.
+///
+/// # Panics
+///
+/// Panics when the directory cannot be created (no fallback makes sense
+/// for the experiment binaries).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace
+    // root so EXPERIMENTS.md can reference them stably.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("can create results directory");
+    dir
+}
+
+/// `true` when the binary was invoked with `--quick`.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Reads a `--flag value` usize argument from the command line.
+pub fn arg_usize(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Scales (nets, targets): `--quick` shrinks to a smoke run; `--nets N`
+/// and `--targets K` override explicitly.
+pub fn scaled_counts(nets: usize, targets: usize) -> (usize, usize) {
+    let (mut n, mut t) = if quick_mode() {
+        (nets.min(3), targets.min(5))
+    } else {
+        (nets, targets)
+    };
+    if let Some(v) = arg_usize("--nets") {
+        n = v;
+    }
+    if let Some(v) = arg_usize("--targets") {
+        t = v;
+    }
+    (n, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = results_dir();
+        assert!(dir.exists());
+    }
+
+    #[test]
+    fn scaling_respects_quick_mode_flag_absence() {
+        // Test binaries run without --quick.
+        assert_eq!(scaled_counts(20, 20), (20, 20));
+    }
+}

@@ -1,0 +1,271 @@
+//! CLI command implementations, separated from I/O for testability.
+
+use crate::netfile::{format_net, parse_net};
+use rip_core::{
+    baseline_dp, rip, tau_min_paper, BaselineConfig, RipConfig,
+};
+use rip_net::{NetGenerator, RandomNetConfig, TwoPinNet};
+use rip_tech::units::{fs_from_ns, ns_from_fs};
+use rip_tech::Technology;
+use std::fmt::Write as _;
+
+/// Everything that can go wrong while executing a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Net file could not be parsed.
+    Parse(crate::netfile::ParseError),
+    /// The solver failed (e.g. infeasible target).
+    Solve(String),
+    /// Filesystem trouble.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Parse(e) => write!(f, "net file error: {e}"),
+            CliError::Solve(msg) => write!(f, "solver error: {msg}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<crate::netfile::ParseError> for CliError {
+    fn from(e: crate::netfile::ParseError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The timing target of a solve: absolute or relative to `τ_min`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Target {
+    /// Absolute target in nanoseconds.
+    Ns(f64),
+    /// Multiplier over the net's `τ_min`.
+    Multiplier(f64),
+}
+
+impl Target {
+    fn resolve_fs(self, net: &TwoPinNet, tech: &Technology) -> f64 {
+        match self {
+            Target::Ns(ns) => fs_from_ns(ns),
+            Target::Multiplier(m) => m * tau_min_paper(net, tech.device()),
+        }
+    }
+}
+
+/// `rip solve`: run the hybrid pipeline on a net description.
+///
+/// Returns the human-readable report.
+///
+/// # Errors
+///
+/// Returns [`CliError::Parse`] for bad input and [`CliError::Solve`] for
+/// infeasible targets.
+pub fn cmd_solve(net_text: &str, target: Target) -> Result<String, CliError> {
+    let net = parse_net(net_text)?;
+    let tech = Technology::generic_180nm();
+    let target_fs = target.resolve_fs(&net, &tech);
+    let outcome = rip(&net, &tech, target_fs, &RipConfig::paper())
+        .map_err(|e| CliError::Solve(e.to_string()))?;
+    let sol = &outcome.solution;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "net: {:.1} mm, {} segments, {} zone(s)",
+        net.total_length() / 1000.0,
+        net.segments().len(),
+        net.zones().len()
+    );
+    let _ = writeln!(
+        out,
+        "target: {:.4} ns   achieved: {:.4} ns",
+        ns_from_fs(target_fs),
+        ns_from_fs(sol.delay_fs)
+    );
+    let _ = writeln!(out, "repeaters: {}   total width: {:.0} u", sol.assignment.len(), sol.total_width);
+    for r in sol.assignment.repeaters() {
+        let _ = writeln!(out, "  x = {:9.1} um   w = {:5.0} u", r.position, r.width);
+    }
+    let power =
+        rip_delay::assignment_power(&net, tech.device(), tech.power(), &sol.assignment);
+    let _ = writeln!(
+        out,
+        "power: {:.4} mW repeaters + {:.4} mW wire = {:.4} mW",
+        power.repeater * 1e3,
+        power.wire * 1e3,
+        power.total() * 1e3
+    );
+    Ok(out)
+}
+
+/// `rip tmin`: minimum achievable delay of a net description.
+///
+/// # Errors
+///
+/// Returns [`CliError::Parse`] for bad input.
+pub fn cmd_tmin(net_text: &str) -> Result<String, CliError> {
+    let net = parse_net(net_text)?;
+    let tech = Technology::generic_180nm();
+    let tmin = tau_min_paper(&net, tech.device());
+    Ok(format!("tau_min = {:.4} ns\n", ns_from_fs(tmin)))
+}
+
+/// `rip baseline`: run the Lillis-style DP baseline at a given width
+/// granularity.
+///
+/// # Errors
+///
+/// Returns [`CliError::Solve`] when the baseline violates the target
+/// (the paper's `V_DP` event) — the message carries the achievable
+/// delay.
+pub fn cmd_baseline(
+    net_text: &str,
+    target: Target,
+    granularity_u: f64,
+) -> Result<String, CliError> {
+    if !(granularity_u.is_finite() && granularity_u > 0.0) {
+        return Err(CliError::Usage("granularity must be positive".into()));
+    }
+    let net = parse_net(net_text)?;
+    let tech = Technology::generic_180nm();
+    let target_fs = target.resolve_fs(&net, &tech);
+    let config = BaselineConfig::paper_table2(granularity_u);
+    let sol = baseline_dp(&net, tech.device(), &config, target_fs)
+        .map_err(|e| CliError::Solve(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "baseline DP (g = {granularity_u}u): delay {:.4} ns, total width {:.0} u, {} repeaters",
+        ns_from_fs(sol.delay_fs),
+        sol.total_width,
+        sol.assignment.len()
+    );
+    for r in sol.assignment.repeaters() {
+        let _ = writeln!(out, "  x = {:9.1} um   w = {:5.0} u", r.position, r.width);
+    }
+    Ok(out)
+}
+
+/// `rip generate`: emit `count` random paper-distribution nets in the
+/// `.net` format, concatenated with `--- net <i> ---` separators (or
+/// individually via the caller).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for a zero count.
+pub fn cmd_generate(seed: u64, count: usize) -> Result<Vec<String>, CliError> {
+    if count == 0 {
+        return Err(CliError::Usage("count must be at least 1".into()));
+    }
+    let nets = NetGenerator::suite(RandomNetConfig::default(), seed, count)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok(nets.iter().map(format_net).collect())
+}
+
+/// The top-level usage text.
+pub fn usage() -> &'static str {
+    "rip - hybrid repeater insertion for low power (DATE 2005 reproduction)
+
+USAGE:
+    rip solve    <net-file> (--target-ns <x> | --target-mult <m>)
+    rip baseline <net-file> (--target-ns <x> | --target-mult <m>) --granularity <g_u>
+    rip tmin     <net-file>
+    rip generate --seed <n> --count <k> [--out-dir <dir>]
+    rip help
+
+NET FILE FORMAT (text, '#' comments):
+    driver 140                 # driver width, u (optional)
+    receiver 60                # receiver width, u (optional)
+    segment 3000 0.08 0.20     # length_um r_per_um c_per_um
+    zone 5000 8000             # forbidden zone, um from source
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NET: &str = "\
+driver 140
+receiver 60
+segment 6000 0.08 0.2
+segment 6000 0.06 0.18
+zone 4000 7000
+";
+
+    #[test]
+    fn solve_reports_solution_and_meets_target() {
+        let report = cmd_solve(NET, Target::Multiplier(1.4)).unwrap();
+        assert!(report.contains("repeaters:"));
+        assert!(report.contains("total width"));
+        assert!(report.contains("mW"));
+    }
+
+    #[test]
+    fn solve_with_absolute_target() {
+        // Generous absolute target: equivalent to a loose multiplier.
+        let report = cmd_solve(NET, Target::Ns(2.0)).unwrap();
+        assert!(report.contains("target: 2.0000 ns"));
+    }
+
+    #[test]
+    fn solve_rejects_impossible_targets() {
+        let err = cmd_solve(NET, Target::Ns(1e-6)).unwrap_err();
+        assert!(matches!(err, CliError::Solve(_)));
+    }
+
+    #[test]
+    fn tmin_reports_nanoseconds() {
+        let report = cmd_tmin(NET).unwrap();
+        assert!(report.starts_with("tau_min = "));
+        assert!(report.contains("ns"));
+    }
+
+    #[test]
+    fn baseline_runs_and_violations_surface() {
+        let ok = cmd_baseline(NET, Target::Multiplier(1.5), 40.0).unwrap();
+        assert!(ok.contains("baseline DP"));
+        // A 10u-granularity *size-10* library would violate; here the
+        // table2-style full-range library at any granularity is feasible,
+        // so provoke failure with an impossible absolute target instead.
+        let err = cmd_baseline(NET, Target::Ns(1e-6), 40.0).unwrap_err();
+        assert!(matches!(err, CliError::Solve(_)));
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = cmd_generate(7, 3).unwrap();
+        let b = cmd_generate(7, 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        // Emitted nets parse back.
+        for text in &a {
+            crate::netfile::parse_net(text).unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_usage_errors() {
+        assert!(matches!(cmd_generate(1, 0), Err(CliError::Usage(_))));
+        assert!(matches!(
+            cmd_baseline(NET, Target::Ns(1.0), -4.0),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_solve("segment oops\n", Target::Ns(1.0)),
+            Err(CliError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,26 @@
+//! # rip-cli — command-line interface for the RIP reproduction
+//!
+//! Ships the `rip` binary:
+//!
+//! ```text
+//! rip solve    <net-file> --target-ns 2.5        # hybrid RIP pipeline
+//! rip baseline <net-file> --target-mult 1.5 --granularity 20
+//! rip tmin     <net-file>                        # minimum achievable delay
+//! rip generate --seed 7 --count 5 --out-dir nets # paper-distribution nets
+//! ```
+//!
+//! Net descriptions use a minimal line-oriented text format (see
+//! [`parse_net`]). All solving uses the synthetic 0.18 µm technology
+//! preset of the reproduction (DESIGN.md §2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod commands;
+mod netfile;
+
+pub use commands::{
+    cmd_baseline, cmd_generate, cmd_solve, cmd_tmin, usage, CliError, Target,
+};
+pub use netfile::{format_net, parse_net, ParseError};

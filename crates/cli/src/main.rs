@@ -1,0 +1,124 @@
+//! The `rip` binary: thin argument parsing over `rip_cli`'s command
+//! implementations.
+
+use rip_cli::{cmd_baseline, cmd_generate, cmd_solve, cmd_tmin, usage, CliError, Target};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rip: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("solve") => {
+            let (file, flags) = split_flags(it)?;
+            let target = parse_target(&flags)?;
+            let text = std::fs::read_to_string(&file)?;
+            cmd_solve(&text, target)
+        }
+        Some("baseline") => {
+            let (file, flags) = split_flags(it)?;
+            let target = parse_target(&flags)?;
+            let g = flag_value(&flags, "--granularity")?
+                .ok_or_else(|| CliError::Usage("--granularity <g_u> required".into()))?
+                .parse::<f64>()
+                .map_err(|_| CliError::Usage("granularity must be a number".into()))?;
+            let text = std::fs::read_to_string(&file)?;
+            cmd_baseline(&text, target, g)
+        }
+        Some("tmin") => {
+            let (file, _) = split_flags(it)?;
+            let text = std::fs::read_to_string(&file)?;
+            cmd_tmin(&text)
+        }
+        Some("generate") => {
+            let flags: Vec<String> = it.map(String::from).collect();
+            let seed = flag_value(&flags, "--seed")?
+                .unwrap_or_else(|| "2005".into())
+                .parse::<u64>()
+                .map_err(|_| CliError::Usage("seed must be an integer".into()))?;
+            let count = flag_value(&flags, "--count")?
+                .unwrap_or_else(|| "1".into())
+                .parse::<usize>()
+                .map_err(|_| CliError::Usage("count must be an integer".into()))?;
+            let nets = cmd_generate(seed, count)?;
+            match flag_value(&flags, "--out-dir")? {
+                Some(dir) => {
+                    std::fs::create_dir_all(&dir)?;
+                    let mut summary = String::new();
+                    for (i, text) in nets.iter().enumerate() {
+                        let path = format!("{dir}/net_{seed}_{i:02}.net");
+                        std::fs::write(&path, text)?;
+                        summary.push_str(&format!("wrote {path}\n"));
+                    }
+                    Ok(summary)
+                }
+                None => {
+                    let mut out = String::new();
+                    for (i, text) in nets.iter().enumerate() {
+                        out.push_str(&format!("# --- net {i} ---\n{text}"));
+                    }
+                    Ok(out)
+                }
+            }
+        }
+        Some("help") | Some("--help") | Some("-h") | None => Ok(usage().to_string()),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Splits `<file> [flags...]` style arguments.
+fn split_flags<'a>(
+    mut it: impl Iterator<Item = &'a str>,
+) -> Result<(String, Vec<String>), CliError> {
+    let file = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing <net-file> argument".into()))?;
+    Ok((file.to_string(), it.map(String::from).collect()))
+}
+
+/// Looks up `--flag value` in a flag list.
+fn flag_value(flags: &[String], name: &str) -> Result<Option<String>, CliError> {
+    let mut it = flags.iter();
+    while let Some(f) = it.next() {
+        if f == name {
+            return match it.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(CliError::Usage(format!("{name} requires a value"))),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parse_target(flags: &[String]) -> Result<Target, CliError> {
+    let ns = flag_value(flags, "--target-ns")?;
+    let mult = flag_value(flags, "--target-mult")?;
+    match (ns, mult) {
+        (Some(ns), None) => Ok(Target::Ns(ns.parse().map_err(|_| {
+            CliError::Usage("--target-ns must be a number".into())
+        })?)),
+        (None, Some(m)) => Ok(Target::Multiplier(m.parse().map_err(|_| {
+            CliError::Usage("--target-mult must be a number".into())
+        })?)),
+        (None, None) => Err(CliError::Usage(
+            "one of --target-ns or --target-mult is required".into(),
+        )),
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--target-ns and --target-mult are mutually exclusive".into(),
+        )),
+    }
+}

@@ -1,0 +1,216 @@
+//! The `.net` text format: a minimal, diff-friendly description of a
+//! routed two-pin net.
+//!
+//! ```text
+//! # comments start with '#'; blank lines are ignored
+//! driver 140            # driver width, u        (optional, default 120)
+//! receiver 60           # receiver width, u      (optional, default 60)
+//! segment 3000 0.08 0.20   # length_um r_per_um c_per_um (1+ required)
+//! segment 4500 0.06 0.18
+//! zone 5000 8000        # forbidden zone, um     (0+ allowed)
+//! ```
+//!
+//! Segments are listed source → sink; zone coordinates are distances
+//! from the source.
+
+use rip_net::{NetBuilder, NetError, Segment, TwoPinNet};
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<(usize, NetError)> for ParseError {
+    fn from((line, e): (usize, NetError)) -> Self {
+        ParseError { line, reason: e.to_string() }
+    }
+}
+
+/// Parses the `.net` text format into a validated [`TwoPinNet`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line for syntax
+/// problems, and line 0 for whole-net validation failures (e.g. a zone
+/// outside the final span).
+///
+/// # Examples
+///
+/// ```
+/// let net = rip_cli::parse_net(
+///     "driver 140\nsegment 3000 0.08 0.2\nzone 1000 2000\n",
+/// ).unwrap();
+/// assert_eq!(net.total_length(), 3000.0);
+/// assert_eq!(net.driver_width(), 140.0);
+/// ```
+pub fn parse_net(text: &str) -> Result<TwoPinNet, ParseError> {
+    let mut builder = NetBuilder::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = parts.collect();
+        let number = |s: &str, what: &str| -> Result<f64, ParseError> {
+            s.parse::<f64>().map_err(|_| ParseError {
+                line: line_no,
+                reason: format!("invalid {what}: {s:?}"),
+            })
+        };
+        match keyword {
+            "driver" | "receiver" => {
+                let [w] = rest[..] else {
+                    return Err(ParseError {
+                        line: line_no,
+                        reason: format!("'{keyword}' takes exactly one width"),
+                    });
+                };
+                let w = number(w, "width")?;
+                builder = if keyword == "driver" {
+                    builder.driver_width(w)
+                } else {
+                    builder.receiver_width(w)
+                };
+            }
+            "segment" => {
+                let [l, r, c] = rest[..] else {
+                    return Err(ParseError {
+                        line: line_no,
+                        reason: "'segment' takes <length_um> <r_per_um> <c_per_um>".into(),
+                    });
+                };
+                builder = builder.segment(Segment::new(
+                    number(l, "length")?,
+                    number(r, "resistance per um")?,
+                    number(c, "capacitance per um")?,
+                ));
+            }
+            "zone" => {
+                let [s, e] = rest[..] else {
+                    return Err(ParseError {
+                        line: line_no,
+                        reason: "'zone' takes <start_um> <end_um>".into(),
+                    });
+                };
+                builder = builder
+                    .forbidden_zone(number(s, "zone start")?, number(e, "zone end")?)
+                    .map_err(|e| ParseError::from((line_no, e)))?;
+            }
+            other => {
+                return Err(ParseError {
+                    line: line_no,
+                    reason: format!(
+                        "unknown keyword {other:?} (expected driver/receiver/segment/zone)"
+                    ),
+                });
+            }
+        }
+    }
+    builder.build().map_err(|e| ParseError::from((0, e)))
+}
+
+/// Renders a net back into the `.net` format (inverse of [`parse_net`]).
+pub fn format_net(net: &TwoPinNet) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("driver {}\n", net.driver_width()));
+    out.push_str(&format!("receiver {}\n", net.receiver_width()));
+    for seg in net.segments() {
+        out.push_str(&format!(
+            "segment {} {} {}\n",
+            seg.length_um(),
+            seg.r_per_um(),
+            seg.c_per_um()
+        ));
+    }
+    for zone in net.zones() {
+        out.push_str(&format!("zone {} {}\n", zone.start(), zone.end()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a 7.5 mm two-layer net
+driver 140
+receiver 60
+segment 3000 0.08 0.20
+segment 4500 0.06 0.18  # metal5
+zone 5000 7000
+";
+
+    #[test]
+    fn parses_full_sample() {
+        let net = parse_net(SAMPLE).unwrap();
+        assert_eq!(net.segments().len(), 2);
+        assert_eq!(net.total_length(), 7500.0);
+        assert_eq!(net.driver_width(), 140.0);
+        assert_eq!(net.receiver_width(), 60.0);
+        assert_eq!(net.zones().len(), 1);
+        assert!(net.is_forbidden(6000.0));
+    }
+
+    #[test]
+    fn round_trips_through_format() {
+        let net = parse_net(SAMPLE).unwrap();
+        let text = format_net(&net);
+        let again = parse_net(&text).unwrap();
+        assert_eq!(net, again);
+    }
+
+    #[test]
+    fn defaults_apply_when_widths_omitted() {
+        let net = parse_net("segment 1000 0.08 0.2\n").unwrap();
+        assert_eq!(net.driver_width(), rip_net::DEFAULT_DRIVER_WIDTH);
+        assert_eq!(net.receiver_width(), rip_net::DEFAULT_RECEIVER_WIDTH);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_net("segment 1000 0.08\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("segment"));
+
+        let err = parse_net("segment 1000 0.08 0.2\nwat 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("wat"));
+
+        let err = parse_net("driver abc\nsegment 1000 0.08 0.2\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("width"));
+    }
+
+    #[test]
+    fn inverted_zone_is_a_line_error_but_range_is_global() {
+        let err = parse_net("segment 1000 0.08 0.2\nzone 500 100\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        // Out-of-span zones are only detectable after the whole net is
+        // known: reported as line 0.
+        let err = parse_net("segment 1000 0.08 0.2\nzone 500 5000\n").unwrap_err();
+        assert_eq!(err.line, 0);
+    }
+
+    #[test]
+    fn empty_input_fails_cleanly() {
+        let err = parse_net("# nothing here\n").unwrap_err();
+        assert!(err.reason.contains("segment"));
+    }
+}

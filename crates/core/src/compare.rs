@@ -1,0 +1,103 @@
+//! Comparison utilities for the paper's evaluation metrics.
+
+/// Power saving of RIP over a baseline, in percent:
+/// `(P_DP − P_RIP) / P_DP · 100`.
+///
+/// Since repeater power is proportional to total width (Eq. 4), total
+/// widths can be passed directly. Positive = RIP wins; the paper reports
+/// occasional small negatives in zone III of Figure 7(a).
+///
+/// # Examples
+///
+/// ```
+/// use rip_core::power_saving_percent;
+///
+/// assert_eq!(power_saving_percent(200.0, 150.0), 25.0);
+/// assert!(power_saving_percent(100.0, 110.0) < 0.0);
+/// ```
+pub fn power_saving_percent(baseline_width: f64, rip_width: f64) -> f64 {
+    (baseline_width - rip_width) / baseline_width * 100.0
+}
+
+/// Summary statistics of a series of per-target power savings for one
+/// net: the paper's Table 1 columns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SavingsSummary {
+    /// Maximum saving over the targets where both schemes were feasible
+    /// (`∆Max`), percent.
+    pub max_percent: f64,
+    /// Mean saving over those targets (`∆Mean`), percent.
+    pub mean_percent: f64,
+    /// Number of targets where the baseline violated timing (`V_DP`).
+    pub baseline_violations: usize,
+    /// Number of targets compared (both feasible).
+    pub compared: usize,
+}
+
+/// Aggregates per-target comparisons into the paper's Table 1 row
+/// metrics. Each element is `(baseline_width, rip_width)` where the
+/// baseline entry is `None` when it violated timing.
+pub fn summarize_savings(rows: &[(Option<f64>, f64)]) -> SavingsSummary {
+    let mut summary = SavingsSummary::default();
+    let mut sum = 0.0;
+    let mut max = f64::NEG_INFINITY;
+    for &(baseline, rip) in rows {
+        match baseline {
+            None => summary.baseline_violations += 1,
+            Some(b) => {
+                let saving = power_saving_percent(b, rip);
+                sum += saving;
+                max = max.max(saving);
+                summary.compared += 1;
+            }
+        }
+    }
+    if summary.compared > 0 {
+        summary.mean_percent = sum / summary.compared as f64;
+        summary.max_percent = max;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saving_formula_matches_paper_definition() {
+        assert!((power_saving_percent(100.0, 62.86) - 37.14).abs() < 1e-9);
+        assert_eq!(power_saving_percent(50.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_counts_violations_separately() {
+        let rows = vec![
+            (Some(100.0), 80.0), // 20 %
+            (None, 75.0),        // baseline violated
+            (Some(100.0), 90.0), // 10 %
+            (None, 60.0),        // baseline violated
+        ];
+        let s = summarize_savings(&rows);
+        assert_eq!(s.baseline_violations, 2);
+        assert_eq!(s.compared, 2);
+        assert!((s.max_percent - 20.0).abs() < 1e-12);
+        assert!((s.mean_percent - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_violations_leave_zero_stats() {
+        let s = summarize_savings(&[(None, 10.0), (None, 20.0)]);
+        assert_eq!(s.compared, 0);
+        assert_eq!(s.max_percent, 0.0);
+        assert_eq!(s.mean_percent, 0.0);
+        assert_eq!(s.baseline_violations, 2);
+    }
+
+    #[test]
+    fn negative_savings_are_preserved() {
+        // Zone III of Figure 7(a): the baseline occasionally wins.
+        let s = summarize_savings(&[(Some(100.0), 105.0)]);
+        assert!(s.max_percent < 0.0);
+        assert!(s.mean_percent < 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Configuration of the RIP pipeline, with the paper's Section 6 values
+//! as defaults.
+
+use rip_refine::RefineConfig;
+use rip_tech::RepeaterLibrary;
+
+/// Stage-1 (coarse DP) configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseDpConfig {
+    /// The coarse seed library. Paper: 5 widths, minimum 80u,
+    /// granularity 80u → `{80, 160, 240, 320, 400}`.
+    pub library: RepeaterLibrary,
+    /// Uniform candidate grid step, µm. Paper: 200 µm.
+    pub candidate_step_um: f64,
+}
+
+impl Default for CoarseDpConfig {
+    fn default() -> Self {
+        Self { library: RepeaterLibrary::paper_coarse(), candidate_step_um: 200.0 }
+    }
+}
+
+/// Stage-3/4 (library synthesis + fine DP) configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FineDpConfig {
+    /// Width grid the refined continuous widths are rounded to (the
+    /// discrete layout grid). Paper: 10u.
+    pub width_grid_u: f64,
+    /// Location slots kept on each side of every refined position.
+    /// Paper: 10.
+    pub window_half_slots: usize,
+    /// Granularity of the location window, µm. Paper: 50 µm.
+    pub window_step_um: f64,
+    /// Library `B` includes this many grid steps on *each side* of every
+    /// rounded refined width (clamped to stay positive).
+    ///
+    /// The paper's Line 3 rounds each width "to its nearest valid
+    /// discrete width" and says nothing more — but nearest-rounding a
+    /// binding solution *down* makes it infeasible, and a library holding
+    /// only the rounded widths then forces the DP into an extra repeater
+    /// (a large power regression). A couple of neighbouring grid steps
+    /// keep `B` tiny while letting the fine DP trade a +1-step width
+    /// against an extra repeater. Set to 0 for the strict paper reading.
+    pub enrich_steps: usize,
+    /// Also evaluate an (n−1)-repeater branch: REFINE inherits the
+    /// repeater *count* from the coarse DP, whose minimum width can
+    /// over-count repeaters at loose targets; this extension re-refines
+    /// with the narrowest repeater dropped and lets the fine DP pick the
+    /// better branch. Set `false` for the strict paper reading.
+    pub try_fewer_repeaters: bool,
+}
+
+impl Default for FineDpConfig {
+    fn default() -> Self {
+        Self {
+            width_grid_u: 10.0,
+            window_half_slots: 10,
+            window_step_um: 50.0,
+            enrich_steps: 1,
+            try_fewer_repeaters: true,
+        }
+    }
+}
+
+/// Full RIP configuration (Fig. 6 + Section 6 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use rip_core::RipConfig;
+///
+/// let config = RipConfig::paper();
+/// assert_eq!(config.coarse.library.len(), 5);
+/// assert_eq!(config.fine.width_grid_u, 10.0);
+/// assert_eq!(config.fine.window_half_slots, 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RipConfig {
+    /// Stage 1: coarse DP.
+    pub coarse: CoarseDpConfig,
+    /// Stage 2: analytical refinement.
+    pub refine: RefineConfig,
+    /// Stages 3–4: library/location synthesis and fine DP.
+    pub fine: FineDpConfig,
+}
+
+impl RipConfig {
+    /// The exact configuration of the paper's experiments (Section 6).
+    /// Identical to [`RipConfig::default`]; the named constructor exists
+    /// for self-documenting call sites.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_6() {
+        let c = RipConfig::paper();
+        assert_eq!(c.coarse.library.widths(), &[80.0, 160.0, 240.0, 320.0, 400.0]);
+        assert_eq!(c.coarse.candidate_step_um, 200.0);
+        assert_eq!(c.fine.width_grid_u, 10.0);
+        assert_eq!(c.fine.window_half_slots, 10);
+        assert_eq!(c.fine.window_step_um, 50.0);
+        assert_eq!(c.refine.step_um, 50.0);
+    }
+
+    #[test]
+    fn config_is_customizable() {
+        let mut c = RipConfig::paper();
+        c.fine.width_grid_u = 5.0;
+        c.coarse.candidate_step_um = 100.0;
+        assert_ne!(c, RipConfig::paper());
+    }
+}

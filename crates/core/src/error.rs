@@ -1,0 +1,91 @@
+//! Error type for the RIP pipeline.
+
+use rip_dp::DpError;
+use rip_refine::RefineError;
+use rip_tech::TechError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the RIP pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RipError {
+    /// A DP stage failed (invalid candidates/target).
+    Dp(DpError),
+    /// The analytical refinement failed.
+    Refine(RefineError),
+    /// Library construction failed.
+    Tech(TechError),
+    /// No stage could meet the timing target.
+    Infeasible {
+        /// The requested target, fs.
+        target_fs: f64,
+        /// The best delay any stage achieved, fs.
+        achievable_fs: f64,
+    },
+}
+
+impl fmt::Display for RipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RipError::Dp(e) => write!(f, "DP stage failed: {e}"),
+            RipError::Refine(e) => write!(f, "refinement stage failed: {e}"),
+            RipError::Tech(e) => write!(f, "library construction failed: {e}"),
+            RipError::Infeasible { target_fs, achievable_fs } => write!(
+                f,
+                "no RIP stage met the target {target_fs} fs (best achieved: {achievable_fs} fs)"
+            ),
+        }
+    }
+}
+
+impl Error for RipError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RipError::Dp(e) => Some(e),
+            RipError::Refine(e) => Some(e),
+            RipError::Tech(e) => Some(e),
+            RipError::Infeasible { .. } => None,
+        }
+    }
+}
+
+impl From<DpError> for RipError {
+    fn from(e: DpError) -> Self {
+        RipError::Dp(e)
+    }
+}
+
+impl From<RefineError> for RipError {
+    fn from(e: RefineError) -> Self {
+        RipError::Refine(e)
+    }
+}
+
+impl From<TechError> for RipError {
+    fn from(e: TechError) -> Self {
+        RipError::Tech(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: RipError = DpError::InvalidTarget { target_fs: -1.0 }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("DP stage"));
+        let e: RipError = RefineError::InvalidTarget { target_fs: -1.0 }.into();
+        assert!(matches!(e, RipError::Refine(_)));
+        let e: RipError = TechError::Empty { what: "library" }.into();
+        assert!(matches!(e, RipError::Tech(_)));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<RipError>();
+    }
+}

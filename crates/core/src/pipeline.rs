@@ -1,0 +1,441 @@
+//! Algorithm RIP (Fig. 6 of the paper): the hybrid pipeline.
+//!
+//! 1. **Coarse DP** — Lillis-style power DP with a 5-entry coarse library
+//!    on a 200 µm grid: cheap, and good enough to seed the analytics.
+//! 2. **REFINE** — continuous Lagrangian width solving + derivative
+//!    movement from the coarse seed.
+//! 3. **Synthesis** — round the refined widths to the layout grid (10u)
+//!    into a tiny design-specific library `B`; collect candidate
+//!    locations `S` as ±10 slots at 50 µm around each refined position.
+//! 4. **Fine DP** — power DP over `(B, S)`: a few widths × a few dozen
+//!    positions, so it runs fast regardless of how fine the underlying
+//!    width/location grids are.
+
+use crate::config::RipConfig;
+use crate::error::RipError;
+use rip_dp::{solve_min_delay, solve_min_power, CandidateSet, DpError, DpSolution};
+use rip_net::TwoPinNet;
+use rip_refine::{refine, RefineError, RefineOutcome};
+use rip_tech::{RepeaterLibrary, Technology};
+use std::time::{Duration, Instant};
+
+/// Wall-clock runtimes of the RIP stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RipRuntime {
+    /// Stage 1: coarse DP.
+    pub coarse: Duration,
+    /// Stage 2: analytical refinement.
+    pub refine: Duration,
+    /// Stages 3–4: synthesis + fine DP.
+    pub fine: Duration,
+}
+
+impl RipRuntime {
+    /// Total pipeline runtime.
+    pub fn total(&self) -> Duration {
+        self.coarse + self.refine + self.fine
+    }
+}
+
+/// Complete result of a RIP run, with per-stage diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RipOutcome {
+    /// The final solution (stage 4; falls back to the best earlier stage
+    /// in the rare cases discussed in [`rip`]).
+    pub solution: DpSolution,
+    /// Stage 1 solution (coarse DP seed).
+    pub coarse: DpSolution,
+    /// Stage 2 outcome (continuous refinement), when repeaters exist.
+    pub refined: Option<RefineOutcome>,
+    /// The synthesized design-specific library `B` (stage 3).
+    pub library: Option<RepeaterLibrary>,
+    /// Size of the synthesized candidate set `S` (stage 3).
+    pub candidate_count: usize,
+    /// Per-stage wall-clock runtimes.
+    pub runtime: RipRuntime,
+}
+
+/// Runs algorithm RIP (Fig. 6) on a two-pin net.
+///
+/// Robustness beyond the paper's pseudocode (each case is rare but real):
+///
+/// * if the coarse power DP cannot meet the target (coarse libraries lack
+///   small widths, not large ones, so this happens only at extremely
+///   tight targets), the coarse *min-delay* solution seeds REFINE
+///   instead;
+/// * if the refined solution has **zero** repeaters (very loose targets
+///   where the bare wire meets timing), the empty assignment is already
+///   power-optimal and stages 3–4 are skipped;
+/// * if the fine DP cannot meet the target after width rounding, the
+///   library is enriched upward ([`crate::FineDpConfig::enrich_steps`])
+///   and retried; the coarse solution is the final fallback.
+///
+/// # Errors
+///
+/// * [`RipError::Infeasible`] when no stage can meet the target (the
+///   target is below the net's achievable delay);
+/// * [`RipError::Dp`] / [`RipError::Refine`] for invalid inputs
+///   (non-positive target, illegal candidates).
+///
+/// # Examples
+///
+/// ```
+/// use rip_core::{rip, RipConfig};
+/// use rip_net::{NetBuilder, Segment};
+/// use rip_tech::Technology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::generic_180nm();
+/// let net = NetBuilder::new()
+///     .segment(Segment::new(12_000.0, 0.08, 0.2))
+///     .build()?;
+/// let outcome = rip(&net, &tech, 2.5e6, &RipConfig::paper())?;
+/// assert!(outcome.solution.delay_fs <= 2.5e6);
+/// println!("{} repeaters, total width {:.0}u",
+///          outcome.solution.assignment.len(),
+///          outcome.solution.total_width);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rip(
+    net: &TwoPinNet,
+    tech: &Technology,
+    target_fs: f64,
+    config: &RipConfig,
+) -> Result<RipOutcome, RipError> {
+    let device = tech.device();
+    let mut runtime = RipRuntime::default();
+
+    // ---- Stage 1: coarse DP (Fig. 6, Line 1).
+    let t0 = Instant::now();
+    let coarse_cands = CandidateSet::uniform(net, config.coarse.candidate_step_um);
+    let coarse = match solve_min_power(
+        net,
+        device,
+        &config.coarse.library,
+        &coarse_cands,
+        target_fs,
+    ) {
+        Ok(sol) => sol,
+        // Coarse library can't meet the target: seed REFINE from the
+        // fastest coarse placement instead.
+        Err(DpError::InfeasibleTarget { .. }) => {
+            solve_min_delay(net, device, &config.coarse.library, &coarse_cands)
+        }
+        Err(e) => return Err(e.into()),
+    };
+    runtime.coarse = t0.elapsed();
+
+    // ---- Stage 2: REFINE (Fig. 6, Line 2).
+    let t1 = Instant::now();
+    let refined = match refine(
+        net,
+        device,
+        &coarse.assignment.positions(),
+        target_fs,
+        &config.refine,
+    ) {
+        Ok(out) => out,
+        Err(RefineError::InfeasibleTarget { achievable_fs, .. }) => {
+            return Err(RipError::Infeasible { target_fs, achievable_fs });
+        }
+        Err(e) => return Err(e.into()),
+    };
+    runtime.refine = t1.elapsed();
+
+    // Degenerate loose-target case: no repeaters needed at all.
+    if refined.positions.is_empty() {
+        let t2 = Instant::now();
+        let empty_cands = CandidateSet::from_positions(net, vec![])?;
+        let solution =
+            solve_min_power(net, device, &config.coarse.library, &empty_cands, target_fs)?;
+        runtime.fine = t2.elapsed();
+        return Ok(RipOutcome {
+            solution,
+            coarse,
+            refined: Some(refined),
+            library: None,
+            candidate_count: 0,
+            runtime,
+        });
+    }
+
+    // ---- Stages 3-4 on the n-repeater branch.
+    let t2 = Instant::now();
+    let mut best = finish_from_refined(net, device, &refined, target_fs, config);
+
+    // Extension (`FineDpConfig::try_fewer_repeaters`): REFINE cannot
+    // change the repeater *count* it inherited from the coarse DP, and a
+    // coarse library whose minimum width exceeds the loose-target optimum
+    // systematically over-counts. Re-refine with one repeater dropped
+    // (each of the up-to-3 narrowest tried — removal can strand the
+    // survivors behind a forbidden zone, so a single heuristic pick is
+    // not enough) and keep whichever branch the fine DP likes better.
+    // Over-counting only happens in the small-repeater regime: when the
+    // refined widths sit well above the coarse library's minimum, the
+    // count was not forced by the library floor and dropping can only
+    // lose. The gate keeps tight-target runs (big widths, big DP
+    // frontiers) free of pointless extra branches.
+    let mean_refined_width = refined.total_width / refined.widths.len().max(1) as f64;
+    let small_width_regime =
+        mean_refined_width < 1.5 * config.coarse.library.min_width();
+    if config.fine.try_fewer_repeaters
+        && refined.positions.len() >= 2
+        && small_width_regime
+    {
+        let mut by_width: Vec<usize> = (0..refined.widths.len()).collect();
+        by_width.sort_by(|&a, &b| {
+            refined.widths[a]
+                .partial_cmp(&refined.widths[b])
+                .expect("finite widths")
+        });
+        for &drop in by_width.iter().take(3) {
+            let mut fewer_positions = refined.positions.clone();
+            fewer_positions.remove(drop);
+            let Ok(fewer) = refine(net, device, &fewer_positions, target_fs, &config.refine)
+            else {
+                continue;
+            };
+            // The continuous width lower-bounds this branch's discrete
+            // outcome (modulo one grid step); skip branches that cannot
+            // beat the incumbent.
+            if let Ok((incumbent, _, _)) = &best {
+                if fewer.total_width
+                    >= incumbent.total_width + config.fine.width_grid_u
+                {
+                    continue;
+                }
+            }
+            let alt = finish_from_refined(net, device, &fewer, target_fs, config);
+            let better = match (&best, &alt) {
+                (Ok(b), Ok(a)) => a.0.total_width < b.0.total_width,
+                (Err(_), Ok(_)) => true,
+                _ => false,
+            };
+            if better {
+                best = alt;
+            }
+        }
+    }
+    runtime.fine = t2.elapsed();
+
+    let (solution, final_lib, candidate_count) = match best {
+        Ok(parts) => parts,
+        Err(achievable_fs) => {
+            // Final fallback: the coarse solution, if it met the target.
+            if coarse.meets(target_fs) {
+                (coarse.clone(), config.coarse.library.clone(), 0)
+            } else {
+                return Err(RipError::Infeasible {
+                    target_fs,
+                    achievable_fs: achievable_fs.min(coarse.delay_fs),
+                });
+            }
+        }
+    };
+
+    Ok(RipOutcome {
+        solution,
+        coarse,
+        refined: Some(refined),
+        library: Some(final_lib),
+        candidate_count,
+        runtime,
+    })
+}
+
+/// Stages 3-4 for one refined branch: synthesize the design-specific
+/// library `B` (rounded + neighbouring grid steps — see
+/// [`crate::FineDpConfig::enrich_steps`]) and candidate set `S`, then run
+/// the fine DP with an infeasibility retry on a further-enriched library.
+///
+/// Returns the minimum achievable delay on failure so the caller can
+/// report how far off the target was.
+fn finish_from_refined(
+    net: &TwoPinNet,
+    device: &rip_tech::RepeaterDevice,
+    refined: &RefineOutcome,
+    target_fs: f64,
+    config: &RipConfig,
+) -> Result<(DpSolution, RepeaterLibrary, usize), f64> {
+    let grid = config.fine.width_grid_u;
+    let rounded = RepeaterLibrary::from_refined_widths(refined.widths.iter().copied(), grid)
+        .expect("refined widths are positive");
+    let enriched = |steps: usize| -> RepeaterLibrary {
+        let mut widths: Vec<f64> = Vec::new();
+        for &w in rounded.widths() {
+            widths.push(w);
+            for k in 1..=steps {
+                widths.push(w + grid * k as f64);
+                let below = w - grid * k as f64;
+                if below >= grid - 1e-9 {
+                    widths.push(below);
+                }
+            }
+        }
+        RepeaterLibrary::from_widths(widths).expect("enriched widths are positive")
+    };
+    let cands = CandidateSet::windows(
+        net,
+        &refined.positions,
+        config.fine.window_half_slots,
+        config.fine.window_step_um,
+    );
+    let mut final_lib = enriched(config.fine.enrich_steps);
+    let mut solution = solve_min_power(net, device, &final_lib, &cands, target_fs);
+    if matches!(solution, Err(DpError::InfeasibleTarget { .. })) {
+        // Infeasible after rounding: only *wider* fallbacks can help, so
+        // the retry enriches upward only (keeps the library small - the
+        // fine DP's cost is sensitive to |B| at tight targets).
+        let mut widths: Vec<f64> = rounded.widths().to_vec();
+        for &w in rounded.widths() {
+            for k in 1..=(config.fine.enrich_steps.max(1) * 3) {
+                widths.push(w + grid * k as f64);
+            }
+        }
+        final_lib = RepeaterLibrary::from_widths(widths).expect("positive widths");
+        solution = solve_min_power(net, device, &final_lib, &cands, target_fs);
+    }
+    match solution {
+        Ok(sol) => Ok((sol, final_lib, cands.len())),
+        Err(DpError::InfeasibleTarget { achievable_fs, .. }) => Err(achievable_fs),
+        Err(e) => unreachable!("windowed candidates and targets are pre-validated: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tmin::tau_min_paper;
+    use rip_delay::evaluate;
+    use rip_net::{NetBuilder, NetGenerator, RandomNetConfig, Segment};
+
+    fn tech() -> Technology {
+        Technology::generic_180nm()
+    }
+
+    fn long_net() -> TwoPinNet {
+        NetBuilder::new()
+            .segment(Segment::new(4000.0, 0.08, 0.20))
+            .segment(Segment::new(5000.0, 0.06, 0.18))
+            .segment(Segment::new(4000.0, 0.08, 0.20))
+            .driver_width(120.0)
+            .receiver_width(60.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rip_meets_target_and_matches_ground_truth() {
+        let tech = tech();
+        let net = long_net();
+        let tmin = tau_min_paper(&net, tech.device());
+        let target = tmin * 1.3;
+        let out = rip(&net, &tech, target, &RipConfig::paper()).unwrap();
+        assert!(out.solution.meets(target));
+        out.solution.assignment.validate_on(&net).unwrap();
+        let timing = evaluate(&net, tech.device(), &out.solution.assignment);
+        assert!((timing.total_delay - out.solution.delay_fs).abs() < 1e-6);
+        assert!(out.refined.is_some());
+        assert!(out.library.is_some());
+        assert!(out.candidate_count > 0);
+    }
+
+    #[test]
+    fn synthesized_library_is_small_and_on_grid() {
+        // The essence of RIP: the fine DP sees a tiny design-specific
+        // library (a handful of 10u-grid widths), not a full range sweep.
+        let tech = tech();
+        let net = long_net();
+        let tmin = tau_min_paper(&net, tech.device());
+        let out = rip(&net, &tech, tmin * 1.4, &RipConfig::paper()).unwrap();
+        let lib = out.library.unwrap();
+        // A handful of distinct refined widths x (1 + 2*enrich_steps)
+        // neighbours - still far smaller than a full-range sweep library.
+        assert!(lib.len() <= 20, "library of {} widths", lib.len());
+        for &w in lib.widths() {
+            assert!((w / 10.0 - (w / 10.0).round()).abs() < 1e-9, "width {w} off-grid");
+        }
+    }
+
+    #[test]
+    fn rip_beats_or_ties_its_own_coarse_seed() {
+        let tech = tech();
+        let net = long_net();
+        let tmin = tau_min_paper(&net, tech.device());
+        for mult in [1.15, 1.4, 1.8] {
+            let out = rip(&net, &tech, tmin * mult, &RipConfig::paper()).unwrap();
+            if out.coarse.meets(tmin * mult) {
+                assert!(
+                    out.solution.total_width <= out.coarse.total_width + 1e-9,
+                    "mult {mult}: final {} vs coarse {}",
+                    out.solution.total_width,
+                    out.coarse.total_width
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn very_loose_target_returns_unbuffered() {
+        let tech = tech();
+        // A short net whose bare wire easily meets a huge target.
+        let net = NetBuilder::new()
+            .segment(Segment::new(1500.0, 0.08, 0.2))
+            .build()
+            .unwrap();
+        let unbuffered =
+            evaluate(&net, tech.device(), &rip_delay::RepeaterAssignment::empty())
+                .total_delay;
+        let out = rip(&net, &tech, unbuffered * 3.0, &RipConfig::paper()).unwrap();
+        assert!(out.solution.assignment.is_empty());
+        assert_eq!(out.solution.total_width, 0.0);
+    }
+
+    #[test]
+    fn impossible_target_errors_with_achievable() {
+        let tech = tech();
+        let net = long_net();
+        let err = rip(&net, &tech, 1.0, &RipConfig::paper()).unwrap_err();
+        match err {
+            RipError::Infeasible { achievable_fs, .. } => assert!(achievable_fs > 1.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_target_feasible_via_min_delay_seed() {
+        // Target right at tau_min: the coarse power DP may fail, but the
+        // pipeline must still deliver through the min-delay seeding path.
+        let tech = tech();
+        let net = long_net();
+        let tmin = tau_min_paper(&net, tech.device());
+        let out = rip(&net, &tech, tmin * 1.02, &RipConfig::paper()).unwrap();
+        assert!(out.solution.meets(tmin * 1.02));
+    }
+
+    #[test]
+    fn zoned_nets_stay_legal_through_the_pipeline() {
+        let tech = tech();
+        let mut gen = NetGenerator::from_seed(RandomNetConfig::default(), 17).unwrap();
+        for _ in 0..5 {
+            let net = gen.generate();
+            let tmin = tau_min_paper(&net, tech.device());
+            let out = rip(&net, &tech, tmin * 1.3, &RipConfig::paper()).unwrap();
+            out.solution.assignment.validate_on(&net).unwrap();
+            assert!(out.solution.meets(tmin * 1.3));
+        }
+    }
+
+    #[test]
+    fn runtime_totals_add_up() {
+        let tech = tech();
+        let net = long_net();
+        let tmin = tau_min_paper(&net, tech.device());
+        let out = rip(&net, &tech, tmin * 1.5, &RipConfig::paper()).unwrap();
+        assert_eq!(
+            out.runtime.total(),
+            out.runtime.coarse + out.runtime.refine + out.runtime.fine
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! Repeater assignments and their evaluation (Eq. 2 of the paper).
+//!
+//! A [`RepeaterAssignment`] is a complete solution to Problem LPRI: the
+//! number, widths and positions of all inserted repeaters. Evaluation
+//! walks the chain driver → repeaters → receiver, summing Eq. (1) stage
+//! delays, and is the single source of truth every algorithm's output is
+//! checked against (the DP engines and REFINE must agree with it).
+
+use crate::error::DelayError;
+use crate::stage::stage_delay;
+use rip_net::TwoPinNet;
+use rip_tech::RepeaterDevice;
+
+/// One inserted repeater: a position along the net and a width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Repeater {
+    /// Distance from the source, µm.
+    pub position: f64,
+    /// Repeater width, in u.
+    pub width: f64,
+}
+
+impl Repeater {
+    /// Convenience constructor.
+    pub fn new(position: f64, width: f64) -> Self {
+        Self { position, width }
+    }
+}
+
+/// A complete repeater insertion solution: repeaters sorted
+/// source-to-sink.
+///
+/// # Examples
+///
+/// ```
+/// use rip_delay::{Repeater, RepeaterAssignment};
+///
+/// # fn main() -> Result<(), rip_delay::DelayError> {
+/// let asg = RepeaterAssignment::new(vec![
+///     Repeater::new(3000.0, 120.0),
+///     Repeater::new(1500.0, 90.0), // out of order: sorted automatically
+/// ])?;
+/// assert_eq!(asg.len(), 2);
+/// assert_eq!(asg.positions(), vec![1500.0, 3000.0]);
+/// assert_eq!(asg.total_width(), 210.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RepeaterAssignment {
+    repeaters: Vec<Repeater>,
+}
+
+impl RepeaterAssignment {
+    /// Creates an assignment, sorting repeaters by position.
+    ///
+    /// # Errors
+    ///
+    /// * [`DelayError::InvalidWidth`] for non-positive/non-finite widths;
+    /// * [`DelayError::DuplicatePosition`] when two repeaters coincide.
+    ///
+    /// Position legality with respect to a concrete net (span, forbidden
+    /// zones) is checked separately by
+    /// [`RepeaterAssignment::validate_on`], since an assignment may be
+    /// constructed before the net is known.
+    pub fn new(mut repeaters: Vec<Repeater>) -> Result<Self, DelayError> {
+        for (i, r) in repeaters.iter().enumerate() {
+            if !r.width.is_finite() || r.width <= 0.0 {
+                return Err(DelayError::InvalidWidth { index: i, value: r.width });
+            }
+            if !r.position.is_finite() {
+                return Err(DelayError::PositionOutOfSpan {
+                    index: i,
+                    position: r.position,
+                    net_length: f64::NAN,
+                });
+            }
+        }
+        repeaters.sort_by(|a, b| {
+            a.position.partial_cmp(&b.position).expect("finite positions")
+        });
+        for pair in repeaters.windows(2) {
+            if pair[0].position == pair[1].position {
+                return Err(DelayError::DuplicatePosition { position: pair[0].position });
+            }
+        }
+        Ok(Self { repeaters })
+    }
+
+    /// The empty assignment (unbuffered net).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The repeaters, sorted source-to-sink.
+    #[inline]
+    pub fn repeaters(&self) -> &[Repeater] {
+        &self.repeaters
+    }
+
+    /// Number of repeaters `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.repeaters.len()
+    }
+
+    /// Returns `true` for the unbuffered assignment.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.repeaters.is_empty()
+    }
+
+    /// Total repeater width `p = Σ wᵢ`, in u — the paper's power
+    /// objective (Eq. 4).
+    pub fn total_width(&self) -> f64 {
+        self.repeaters.iter().map(|r| r.width).sum()
+    }
+
+    /// The repeater positions, ascending, µm.
+    pub fn positions(&self) -> Vec<f64> {
+        self.repeaters.iter().map(|r| r.position).collect()
+    }
+
+    /// The repeater widths in position order, u.
+    pub fn widths(&self) -> Vec<f64> {
+        self.repeaters.iter().map(|r| r.width).collect()
+    }
+
+    /// Validates the assignment against a concrete net: every repeater
+    /// must lie strictly inside `(0, L)` and outside forbidden-zone
+    /// interiors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation as [`DelayError::PositionOutOfSpan`]
+    /// or [`DelayError::PositionInForbiddenZone`].
+    pub fn validate_on(&self, net: &TwoPinNet) -> Result<(), DelayError> {
+        let total = net.total_length();
+        for (i, r) in self.repeaters.iter().enumerate() {
+            if r.position <= 0.0 || r.position >= total {
+                return Err(DelayError::PositionOutOfSpan {
+                    index: i,
+                    position: r.position,
+                    net_length: total,
+                });
+            }
+            if net.is_forbidden(r.position) {
+                return Err(DelayError::PositionInForbiddenZone {
+                    index: i,
+                    position: r.position,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Repeater> for RepeaterAssignment {
+    /// Collects repeaters into an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the repeaters are invalid (non-positive widths or
+    /// duplicate positions); use [`RepeaterAssignment::new`] for fallible
+    /// construction.
+    fn from_iter<T: IntoIterator<Item = Repeater>>(iter: T) -> Self {
+        RepeaterAssignment::new(iter.into_iter().collect())
+            .expect("collected repeaters must be valid")
+    }
+}
+
+/// Timing of an evaluated assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetTiming {
+    /// Total source-to-sink Elmore delay (Eq. 2), fs.
+    pub total_delay: f64,
+    /// Per-stage delays `τ₀ … τₙ` (driver stage first), fs.
+    pub stage_delays: Vec<f64>,
+}
+
+/// Evaluates an assignment on a net: the sum of Eq. (1) stage delays over
+/// driver → repeaters → receiver (Eq. 2).
+///
+/// This function intentionally does **not** check position legality —
+/// call [`RepeaterAssignment::validate_on`] for that — so that algorithm
+/// internals (e.g. REFINE mid-iteration states) can be evaluated too.
+///
+/// # Examples
+///
+/// ```
+/// use rip_delay::{evaluate, Repeater, RepeaterAssignment};
+/// use rip_net::{NetBuilder, Segment};
+/// use rip_tech::Technology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::generic_180nm();
+/// let net = NetBuilder::new()
+///     .segment(Segment::new(4000.0, 0.08, 0.2))
+///     .build()?;
+/// let unbuffered = evaluate(&net, tech.device(), &RepeaterAssignment::empty());
+/// let buffered = evaluate(
+///     &net,
+///     tech.device(),
+///     &RepeaterAssignment::new(vec![Repeater::new(2000.0, 100.0)])?,
+/// );
+/// // One well-placed repeater speeds up a long wire.
+/// assert!(buffered.total_delay < unbuffered.total_delay);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(
+    net: &TwoPinNet,
+    device: &RepeaterDevice,
+    assignment: &RepeaterAssignment,
+) -> NetTiming {
+    let profile = net.profile();
+    let total_len = net.total_length();
+    let n = assignment.len();
+    let mut stage_delays = Vec::with_capacity(n + 1);
+
+    // Node i has position pos(i) and width w(i); node 0 is the driver,
+    // node n+1 the receiver.
+    let pos = |i: usize| -> f64 {
+        if i == 0 {
+            0.0
+        } else if i <= n {
+            assignment.repeaters()[i - 1].position
+        } else {
+            total_len
+        }
+    };
+    let width = |i: usize| -> f64 {
+        if i == 0 {
+            net.driver_width()
+        } else if i <= n {
+            assignment.repeaters()[i - 1].width
+        } else {
+            net.receiver_width()
+        }
+    };
+
+    let mut total = 0.0;
+    for i in 0..=n {
+        let interval = profile.interval(pos(i), pos(i + 1));
+        let load = device.input_cap(width(i + 1));
+        let tau = stage_delay(device, interval, width(i), load);
+        stage_delays.push(tau);
+        total += tau;
+    }
+    NetTiming { total_delay: total, stage_delays }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_net::{NetBuilder, Segment};
+    use rip_tech::Technology;
+
+    fn net() -> TwoPinNet {
+        NetBuilder::new()
+            .segment(Segment::new(2000.0, 0.08, 0.20))
+            .segment(Segment::new(2500.0, 0.06, 0.18))
+            .forbidden_zone(2800.0, 3600.0)
+            .unwrap()
+            .driver_width(120.0)
+            .receiver_width(60.0)
+            .build()
+            .unwrap()
+    }
+
+    fn device() -> RepeaterDevice {
+        *Technology::generic_180nm().device()
+    }
+
+    #[test]
+    fn empty_assignment_is_single_stage() {
+        let timing = evaluate(&net(), &device(), &RepeaterAssignment::empty());
+        assert_eq!(timing.stage_delays.len(), 1);
+        assert!(timing.total_delay > 0.0);
+    }
+
+    #[test]
+    fn stage_delays_sum_to_total() {
+        let asg = RepeaterAssignment::new(vec![
+            Repeater::new(1200.0, 100.0),
+            Repeater::new(2600.0, 140.0),
+        ])
+        .unwrap();
+        let timing = evaluate(&net(), &device(), &asg);
+        assert_eq!(timing.stage_delays.len(), 3);
+        let sum: f64 = timing.stage_delays.iter().sum();
+        assert!((sum - timing.total_delay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_matches_manual_eq1_composition() {
+        // Independent recomputation of Eq. (2) for a 2-repeater solution.
+        let net = net();
+        let d = device();
+        let asg = RepeaterAssignment::new(vec![
+            Repeater::new(1500.0, 90.0),
+            Repeater::new(4000.0, 110.0),
+        ])
+        .unwrap();
+        let p = net.profile();
+        let mut expected = 0.0;
+        let nodes = [(0.0, 120.0), (1500.0, 90.0), (4000.0, 110.0), (4500.0, 60.0)];
+        for w in nodes.windows(2) {
+            let ((a, wa), (b, wb)) = (w[0], w[1]);
+            expected += stage_delay(&d, p.interval(a, b), wa, d.input_cap(wb));
+        }
+        let timing = evaluate(&net, &d, &asg);
+        assert!((timing.total_delay - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn well_placed_repeater_reduces_delay_on_long_net() {
+        let long = NetBuilder::new()
+            .segment(Segment::new(10_000.0, 0.08, 0.2))
+            .build()
+            .unwrap();
+        let d = device();
+        let unbuffered = evaluate(&long, &d, &RepeaterAssignment::empty()).total_delay;
+        let asg =
+            RepeaterAssignment::new(vec![Repeater::new(5000.0, 100.0)]).unwrap();
+        let buffered = evaluate(&long, &d, &asg).total_delay;
+        assert!(buffered < unbuffered, "{buffered} !< {unbuffered}");
+    }
+
+    #[test]
+    fn validate_on_catches_zone_violation() {
+        let asg = RepeaterAssignment::new(vec![Repeater::new(3000.0, 100.0)]).unwrap();
+        let err = asg.validate_on(&net()).unwrap_err();
+        assert!(matches!(err, DelayError::PositionInForbiddenZone { .. }));
+    }
+
+    #[test]
+    fn validate_on_catches_span_violation() {
+        let asg = RepeaterAssignment::new(vec![Repeater::new(9000.0, 100.0)]).unwrap();
+        assert!(matches!(
+            asg.validate_on(&net()),
+            Err(DelayError::PositionOutOfSpan { .. })
+        ));
+        let asg = RepeaterAssignment::new(vec![Repeater::new(0.0, 100.0)]).unwrap();
+        assert!(asg.validate_on(&net()).is_err());
+    }
+
+    #[test]
+    fn validate_on_accepts_legal_solution() {
+        let asg = RepeaterAssignment::new(vec![
+            Repeater::new(1000.0, 80.0),
+            Repeater::new(2800.0, 80.0), // zone start boundary: legal
+            Repeater::new(4000.0, 80.0),
+        ])
+        .unwrap();
+        assert!(asg.validate_on(&net()).is_ok());
+    }
+
+    #[test]
+    fn constructor_rejects_bad_inputs() {
+        assert!(matches!(
+            RepeaterAssignment::new(vec![Repeater::new(100.0, 0.0)]),
+            Err(DelayError::InvalidWidth { .. })
+        ));
+        assert!(matches!(
+            RepeaterAssignment::new(vec![
+                Repeater::new(100.0, 10.0),
+                Repeater::new(100.0, 20.0)
+            ]),
+            Err(DelayError::DuplicatePosition { .. })
+        ));
+    }
+
+    #[test]
+    fn total_width_and_accessors() {
+        let asg = RepeaterAssignment::new(vec![
+            Repeater::new(200.0, 30.0),
+            Repeater::new(100.0, 20.0),
+        ])
+        .unwrap();
+        assert_eq!(asg.total_width(), 50.0);
+        assert_eq!(asg.positions(), vec![100.0, 200.0]);
+        assert_eq!(asg.widths(), vec![20.0, 30.0]);
+        assert!(!asg.is_empty());
+    }
+}

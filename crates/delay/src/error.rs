@@ -1,0 +1,102 @@
+//! Error types for delay-model computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or evaluating repeater assignments.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DelayError {
+    /// A repeater width was not strictly positive and finite.
+    InvalidWidth {
+        /// Index of the repeater in source-to-sink order.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A repeater position was outside the open net span `(0, L)`.
+    PositionOutOfSpan {
+        /// Index of the repeater in source-to-sink order.
+        index: usize,
+        /// The rejected position, µm.
+        position: f64,
+        /// Net length, µm.
+        net_length: f64,
+    },
+    /// A repeater position fell strictly inside a forbidden zone.
+    PositionInForbiddenZone {
+        /// Index of the repeater in source-to-sink order.
+        index: usize,
+        /// The rejected position, µm.
+        position: f64,
+    },
+    /// Two repeaters were placed at the same position.
+    DuplicatePosition {
+        /// The duplicated position, µm.
+        position: f64,
+    },
+    /// A tree node referenced a parent that does not exist (or would form
+    /// a cycle).
+    InvalidTreeParent {
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// A tree operation addressed a node outside the tree.
+    TreeNodeOutOfRange {
+        /// The rejected node index.
+        node: usize,
+        /// Number of nodes in the tree.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelayError::InvalidWidth { index, value } => {
+                write!(f, "repeater {index} width must be strictly positive, got {value}")
+            }
+            DelayError::PositionOutOfSpan { index, position, net_length } => write!(
+                f,
+                "repeater {index} position {position} lies outside the open span (0, {net_length})"
+            ),
+            DelayError::PositionInForbiddenZone { index, position } => {
+                write!(f, "repeater {index} position {position} lies inside a forbidden zone")
+            }
+            DelayError::DuplicatePosition { position } => {
+                write!(f, "two repeaters share position {position}")
+            }
+            DelayError::InvalidTreeParent { node } => {
+                write!(f, "tree node {node} references an invalid parent")
+            }
+            DelayError::TreeNodeOutOfRange { node, len } => {
+                write!(f, "tree node index {node} out of range for tree of {len} nodes")
+            }
+        }
+    }
+}
+
+impl Error for DelayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let msg = DelayError::PositionOutOfSpan {
+            index: 2,
+            position: 9000.0,
+            net_length: 4500.0,
+        }
+        .to_string();
+        assert!(msg.contains("9000"));
+        assert!(msg.contains("4500"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<DelayError>();
+    }
+}

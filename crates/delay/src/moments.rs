@@ -1,0 +1,322 @@
+//! Higher-order delay metrics: circuit moments and D2M.
+//!
+//! The paper (Section 4.1) notes that "more accurate analytical delay
+//! models can be used by replacing the Elmore delay with the
+//! corresponding delay functions". This module provides the standard
+//! next step up: the first two circuit moments `m₁` (= Elmore) and `m₂`
+//! of each repeater stage, and the **D2M** delay metric
+//!
+//! ```text
+//! D2M = ln 2 · m₁² / √m₂
+//! ```
+//!
+//! which is exact for a single pole and substantially tighter than Elmore
+//! for resistance-shielded far nodes. The optimization engines keep using
+//! Elmore (as the paper does — Elmore's monotonicity properties are what
+//! the DP pruning and the REFINE derivations rely on); D2M serves as an
+//! *analysis* model to quantify how conservative a Elmore-optimized
+//! solution is.
+
+use crate::assignment::RepeaterAssignment;
+use rip_net::{RcProfile, TwoPinNet};
+use rip_tech::RepeaterDevice;
+
+/// First two moments of a stage's response at the receiving device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageMoments {
+    /// First moment (the Elmore delay), fs.
+    pub m1: f64,
+    /// Second moment, fs².
+    pub m2: f64,
+}
+
+impl StageMoments {
+    /// The D2M delay metric `ln 2 · m₁²/√m₂`, fs.
+    ///
+    /// Exact for a single-pole response; a (usually tight) underestimate
+    /// of the 50 % step delay otherwise.
+    pub fn d2m(&self) -> f64 {
+        std::f64::consts::LN_2 * self.m1 * self.m1 / self.m2.sqrt()
+    }
+}
+
+/// Computes `(m₁, m₂)` of one repeater stage: a driver of width
+/// `driver_width` through the wire `(a, b)` into `load_cap_ff`.
+///
+/// The wire is discretized into `sections` π pieces taken from the exact
+/// non-uniform [`RcProfile`] (the π ladder is split-invariant, so `m₁`
+/// equals the closed-form Elmore stage delay for *any* section count;
+/// `m₂` converges with refinement — 64 sections is plenty for global
+/// wires).
+///
+/// # Panics
+///
+/// Panics if `sections == 0` or the interval is reversed.
+pub fn stage_moments(
+    device: &RepeaterDevice,
+    profile: &RcProfile,
+    a: f64,
+    b: f64,
+    driver_width: f64,
+    load_cap_ff: f64,
+    sections: usize,
+) -> StageMoments {
+    assert!(sections > 0, "at least one wire section required");
+    assert!(a <= b, "reversed stage interval");
+    let rs = device.output_resistance(driver_width);
+
+    // Node k (k = 0..=sections) sits at position a + k·(b−a)/sections.
+    // Resistor k (k = 0..sections+1): k = 0 is the driver Rs/w, then the
+    // section resistances. cap[k] collects the π half-caps plus device
+    // caps at the boundary nodes.
+    let n = sections;
+    let mut res = Vec::with_capacity(n + 1);
+    let mut cap = vec![0.0_f64; n + 1];
+    res.push(rs);
+    cap[0] += device.output_cap(driver_width);
+    for k in 0..n {
+        let x0 = a + (b - a) * k as f64 / n as f64;
+        let x1 = a + (b - a) * (k + 1) as f64 / n as f64;
+        let piece = profile.interval(x0, x1);
+        res.push(piece.resistance);
+        // Split the piece capacitance so its own internal Elmore term is
+        // preserved exactly (far-end share q satisfies R·q = D; a uniform
+        // piece gives the classic π split q = C/2). This keeps m1 equal
+        // to the closed-form Elmore for ANY section count, even when
+        // sections straddle segment boundaries of a non-uniform net.
+        let q = if piece.resistance > 1e-300 {
+            (piece.elmore / piece.resistance).min(piece.capacitance)
+        } else {
+            piece.capacitance / 2.0
+        };
+        cap[k] += piece.capacitance - q;
+        cap[k + 1] += q;
+    }
+    cap[n] += load_cap_ff;
+
+    // First pass: m1 at every node. Walking the ladder, m1[k] =
+    // Σ_{j<=k} res[j] · (total cap at or beyond node j).
+    let mut suffix_c = vec![0.0_f64; n + 2];
+    for k in (0..=n).rev() {
+        suffix_c[k] = suffix_c[k + 1] + cap[k];
+    }
+    let mut m1 = vec![0.0_f64; n + 1];
+    let mut acc = 0.0;
+    for k in 0..=n {
+        acc += res[k] * suffix_c[k];
+        m1[k] = acc;
+    }
+
+    // Second pass: identical ladder sweep with weights cap[k]·m1[k].
+    let mut suffix_cm = vec![0.0_f64; n + 2];
+    for k in (0..=n).rev() {
+        suffix_cm[k] = suffix_cm[k + 1] + cap[k] * m1[k];
+    }
+    let mut m2 = 0.0;
+    for k in 0..=n {
+        m2 += res[k] * suffix_cm[k];
+    }
+
+    StageMoments { m1: m1[n], m2 }
+}
+
+/// Per-stage and total delay of an assignment under both Elmore (`m₁`)
+/// and D2M.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModelComparison {
+    /// Per-stage moments (driver stage first).
+    pub stages: Vec<StageMoments>,
+    /// Total Elmore delay (sum of stage `m₁`), fs.
+    pub elmore_fs: f64,
+    /// Total D2M delay (sum of stage D2M), fs.
+    pub d2m_fs: f64,
+}
+
+impl DelayModelComparison {
+    /// How conservative Elmore is relative to D2M on this solution:
+    /// `(elmore − d2m) / elmore`, in `[0, 1)` in practice.
+    pub fn elmore_margin(&self) -> f64 {
+        (self.elmore_fs - self.d2m_fs) / self.elmore_fs
+    }
+}
+
+/// Evaluates an assignment under both delay models (see module docs).
+pub fn compare_delay_models(
+    net: &TwoPinNet,
+    device: &RepeaterDevice,
+    assignment: &RepeaterAssignment,
+    sections: usize,
+) -> DelayModelComparison {
+    let profile = net.profile();
+    let total_len = net.total_length();
+    let n = assignment.len();
+    let pos = |i: usize| -> f64 {
+        if i == 0 {
+            0.0
+        } else if i <= n {
+            assignment.repeaters()[i - 1].position
+        } else {
+            total_len
+        }
+    };
+    let width = |i: usize| -> f64 {
+        if i == 0 {
+            net.driver_width()
+        } else if i <= n {
+            assignment.repeaters()[i - 1].width
+        } else {
+            net.receiver_width()
+        }
+    };
+    let mut stages = Vec::with_capacity(n + 1);
+    let mut elmore = 0.0;
+    let mut d2m = 0.0;
+    for i in 0..=n {
+        let m = stage_moments(
+            device,
+            profile,
+            pos(i),
+            pos(i + 1),
+            width(i),
+            device.input_cap(width(i + 1)),
+            sections,
+        );
+        elmore += m.m1;
+        d2m += m.d2m();
+        stages.push(m);
+    }
+    DelayModelComparison { stages, elmore_fs: elmore, d2m_fs: d2m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{evaluate, Repeater};
+    use crate::stage::stage_delay;
+    use rip_net::{NetBuilder, Segment};
+    use rip_tech::Technology;
+
+    fn device() -> RepeaterDevice {
+        *Technology::generic_180nm().device()
+    }
+
+    fn net() -> TwoPinNet {
+        NetBuilder::new()
+            .segment(Segment::new(3000.0, 0.08, 0.20))
+            .segment(Segment::new(4000.0, 0.06, 0.18))
+            .driver_width(120.0)
+            .receiver_width(60.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn m1_equals_closed_form_elmore_for_any_section_count() {
+        // The pi ladder is split-invariant: m1 must match the exact
+        // interval-based stage delay no matter how coarsely we slice.
+        let dev = device();
+        let net = net();
+        let p = net.profile();
+        let load = dev.input_cap(80.0);
+        let exact = stage_delay(&dev, p.interval(500.0, 5500.0), 100.0, load);
+        for sections in [1, 3, 16, 100] {
+            let m = stage_moments(&dev, p, 500.0, 5500.0, 100.0, load, sections);
+            assert!(
+                (m.m1 - exact).abs() < 1e-6 * exact,
+                "sections {sections}: m1 {} vs exact {exact}",
+                m.m1
+            );
+        }
+    }
+
+    #[test]
+    fn single_pole_d2m_is_exact_ln2_rc() {
+        // Driver resistance into a pure capacitive load: one pole, and
+        // D2M must equal ln2 * RC exactly.
+        let dev = device();
+        let net = NetBuilder::new()
+            // A vanishingly short wire to isolate the single pole.
+            .segment(Segment::new(1e-6, 1e-9, 1e-9))
+            .build()
+            .unwrap();
+        let load = 200.0;
+        let m = stage_moments(&dev, net.profile(), 0.0, 1e-6, 50.0, load, 1);
+        let rc = dev.output_resistance(50.0) * (load + dev.output_cap(50.0));
+        assert!((m.m1 - rc).abs() < 1e-6 * rc);
+        assert!((m.d2m() - std::f64::consts::LN_2 * rc).abs() < 1e-6 * rc);
+    }
+
+    #[test]
+    fn m2_converges_with_refinement() {
+        let dev = device();
+        let net = net();
+        let p = net.profile();
+        let load = dev.input_cap(80.0);
+        let coarse = stage_moments(&dev, p, 0.0, 7000.0, 100.0, load, 32);
+        let fine = stage_moments(&dev, p, 0.0, 7000.0, 100.0, load, 256);
+        assert!(
+            (coarse.m2 - fine.m2).abs() < 0.01 * fine.m2,
+            "m2 not converged: {} vs {}",
+            coarse.m2,
+            fine.m2
+        );
+    }
+
+    #[test]
+    fn d2m_is_below_elmore_but_same_scale() {
+        let dev = device();
+        let net = net();
+        let asg = RepeaterAssignment::new(vec![
+            Repeater::new(2500.0, 100.0),
+            Repeater::new(5000.0, 100.0),
+        ])
+        .unwrap();
+        let cmp = compare_delay_models(&net, &dev, &asg, 64);
+        assert!(cmp.d2m_fs < cmp.elmore_fs);
+        assert!(cmp.d2m_fs > 0.5 * cmp.elmore_fs, "D2M suspiciously small");
+        let margin = cmp.elmore_margin();
+        assert!(margin > 0.0 && margin < 0.5, "margin {margin}");
+    }
+
+    #[test]
+    fn comparison_total_matches_ground_truth_elmore() {
+        let dev = device();
+        let net = net();
+        let asg =
+            RepeaterAssignment::new(vec![Repeater::new(3500.0, 120.0)]).unwrap();
+        let cmp = compare_delay_models(&net, &dev, &asg, 16);
+        let timing = evaluate(&net, &dev, &asg);
+        assert!((cmp.elmore_fs - timing.total_delay).abs() < 1e-6 * timing.total_delay);
+        assert_eq!(cmp.stages.len(), 2);
+    }
+
+    #[test]
+    fn elmore_margin_is_largest_in_the_single_pole_limit() {
+        // For a single pole, D2M = ln2·m1 exactly, so the Elmore margin
+        // approaches its maximum 1 − ln2 ≈ 0.307; distributed wires pull
+        // √m2 below m1 and shrink the margin. Ordering check:
+        // wire-dominated < driver-dominated < single-pole bound.
+        let dev = device();
+        let wire_dominated = NetBuilder::new()
+            .segment(Segment::new(12_000.0, 0.08, 0.2))
+            .build()
+            .unwrap();
+        let wd =
+            compare_delay_models(&wire_dominated, &dev, &RepeaterAssignment::empty(), 128);
+        let driver_dominated = NetBuilder::new()
+            .segment(Segment::new(500.0, 0.08, 0.2))
+            .receiver_width(300.0)
+            .build()
+            .unwrap();
+        let dd =
+            compare_delay_models(&driver_dominated, &dev, &RepeaterAssignment::empty(), 128);
+        let bound = 1.0 - std::f64::consts::LN_2;
+        assert!(
+            wd.elmore_margin() < dd.elmore_margin(),
+            "wire-dominated {:.4} should have a smaller margin than driver-dominated {:.4}",
+            wd.elmore_margin(),
+            dd.elmore_margin()
+        );
+        assert!(dd.elmore_margin() < bound + 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Absolute power of a repeatered net (Eqs. 3–4 of the paper).
+//!
+//! The optimization objective throughout the workspace is the total
+//! repeater width `Σwᵢ` (Eq. 4 reduces power minimization to width
+//! minimization); this module converts solutions back to watts for
+//! reporting.
+
+use crate::assignment::RepeaterAssignment;
+use rip_net::TwoPinNet;
+use rip_tech::{PowerParams, RepeaterDevice};
+
+/// Power breakdown of a repeatered net, in W.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Width-dependent repeater power `γ·Σw` (dynamic gate switching +
+    /// leakage).
+    pub repeater: f64,
+    /// Constant term: wire capacitance switching (+ receiver gate),
+    /// unaffected by the repeater solution.
+    pub wire: f64,
+}
+
+impl PowerBreakdown {
+    /// Total net power, W.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.repeater + self.wire
+    }
+}
+
+/// Computes the absolute power of an assignment on a net.
+///
+/// The wire term includes the receiver's gate capacitance — like the wire
+/// it must be switched regardless of the repeater solution, matching the
+/// paper's observation that only `Σwᵢ` is decision-relevant.
+///
+/// # Examples
+///
+/// ```
+/// use rip_delay::{assignment_power, Repeater, RepeaterAssignment};
+/// use rip_net::{NetBuilder, Segment};
+/// use rip_tech::Technology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::generic_180nm();
+/// let net = NetBuilder::new()
+///     .segment(Segment::new(5000.0, 0.08, 0.2))
+///     .build()?;
+/// let asg = RepeaterAssignment::new(vec![Repeater::new(2500.0, 100.0)])?;
+/// let power = assignment_power(&net, tech.device(), tech.power(), &asg);
+/// assert!(power.repeater > 0.0 && power.wire > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assignment_power(
+    net: &TwoPinNet,
+    device: &RepeaterDevice,
+    params: &PowerParams,
+    assignment: &RepeaterAssignment,
+) -> PowerBreakdown {
+    let repeater = params.repeater_power(device, assignment.total_width());
+    let fixed_cap = net.total_capacitance() + device.input_cap(net.receiver_width());
+    let wire = params.dynamic_power(fixed_cap);
+    PowerBreakdown { repeater, wire }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Repeater;
+    use rip_net::{NetBuilder, Segment};
+    use rip_tech::Technology;
+
+    fn setup() -> (TwoPinNet, Technology) {
+        let net = NetBuilder::new()
+            .segment(Segment::new(5000.0, 0.08, 0.2))
+            .build()
+            .unwrap();
+        (net, Technology::generic_180nm())
+    }
+
+    #[test]
+    fn repeater_power_is_proportional_to_total_width() {
+        let (net, tech) = setup();
+        let one = RepeaterAssignment::new(vec![Repeater::new(2500.0, 100.0)]).unwrap();
+        let two = RepeaterAssignment::new(vec![
+            Repeater::new(1500.0, 100.0),
+            Repeater::new(3500.0, 100.0),
+        ])
+        .unwrap();
+        let p1 = assignment_power(&net, tech.device(), tech.power(), &one);
+        let p2 = assignment_power(&net, tech.device(), tech.power(), &two);
+        assert!((p2.repeater - 2.0 * p1.repeater).abs() < 1e-18);
+        // The wire term is solution-independent.
+        assert_eq!(p1.wire, p2.wire);
+    }
+
+    #[test]
+    fn empty_assignment_has_zero_repeater_power() {
+        let (net, tech) = setup();
+        let p = assignment_power(&net, tech.device(), tech.power(), &RepeaterAssignment::empty());
+        assert_eq!(p.repeater, 0.0);
+        assert!(p.wire > 0.0);
+        assert_eq!(p.total(), p.wire);
+    }
+
+    #[test]
+    fn lower_total_width_means_lower_power() {
+        // The equivalence the whole paper rests on: comparing two
+        // solutions by power is the same as comparing them by total width.
+        let (net, tech) = setup();
+        let small = RepeaterAssignment::new(vec![Repeater::new(2500.0, 80.0)]).unwrap();
+        let large = RepeaterAssignment::new(vec![Repeater::new(2500.0, 90.0)]).unwrap();
+        let ps = assignment_power(&net, tech.device(), tech.power(), &small);
+        let pl = assignment_power(&net, tech.device(), tech.power(), &large);
+        assert!(ps.total() < pl.total());
+    }
+}

@@ -1,0 +1,663 @@
+//! RC trees and buffered-tree Elmore evaluation.
+//!
+//! The paper's closing section announces an extension of the hybrid
+//! scheme to interconnect *trees*; this module provides the substrate for
+//! that extension (used by `rip-dp`'s tree DP): a rooted RC tree whose
+//! edges carry exact lumped wire views ([`IntervalRc`]), with Elmore
+//! evaluation for arbitrary buffer placements.
+//!
+//! The chain model is the special case of a path-shaped tree, and the two
+//! evaluations are cross-validated in the test suite.
+
+use crate::error::DelayError;
+use rip_net::IntervalRc;
+use rip_tech::RepeaterDevice;
+
+/// One node of an RC tree.
+#[derive(Debug, Clone, PartialEq)]
+struct TreeNode {
+    /// Parent node index (`None` only for the root).
+    parent: Option<usize>,
+    /// Lumped wire from the parent to this node (zero for the root).
+    wire: IntervalRc,
+    /// Physical length of the wire from the parent, µm (0 when unknown;
+    /// required for edge subdivision and path-distance queries).
+    length_um: f64,
+    /// Extra load capacitance tapped at this node, fF; a strictly
+    /// positive value marks the node as a sink.
+    sink_cap: f64,
+    /// Child node indices.
+    children: Vec<usize>,
+}
+
+/// A rooted RC tree: node 0 is the root (net driver); edges carry exact
+/// lumped wire views; sinks are nodes with positive tap capacitance.
+///
+/// # Examples
+///
+/// ```
+/// use rip_delay::RcTree;
+///
+/// # fn main() -> Result<(), rip_delay::DelayError> {
+/// let mut tree = RcTree::with_root();
+/// let a = tree.add_uniform_child(0, 160.0, 400.0)?; // R=160 Ω, C=400 fF
+/// let _s1 = tree.add_uniform_child(a, 80.0, 200.0)?;
+/// let s2 = tree.add_uniform_child(a, 120.0, 300.0)?;
+/// tree.set_sink_cap(s2, 50.0)?;
+/// assert_eq!(tree.len(), 4);
+/// assert_eq!(tree.sinks(), vec![s2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl RcTree {
+    /// Creates a tree containing only the root (node 0).
+    pub fn with_root() -> Self {
+        Self {
+            nodes: vec![TreeNode {
+                parent: None,
+                wire: IntervalRc::default(),
+                length_um: 0.0,
+                sink_cap: 0.0,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Adds a child below `parent` connected by the given lumped wire;
+    /// returns the new node's index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DelayError::TreeNodeOutOfRange`] for an invalid parent.
+    pub fn add_child(
+        &mut self,
+        parent: usize,
+        wire: IntervalRc,
+        sink_cap: f64,
+    ) -> Result<usize, DelayError> {
+        if parent >= self.nodes.len() {
+            return Err(DelayError::TreeNodeOutOfRange {
+                node: parent,
+                len: self.nodes.len(),
+            });
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(TreeNode {
+            parent: Some(parent),
+            wire,
+            length_um: 0.0,
+            sink_cap,
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(idx);
+        Ok(idx)
+    }
+
+    /// Adds a child connected by a *uniform* wire with total resistance
+    /// `r` (Ω) and capacitance `c` (fF); the internal Elmore term is the
+    /// uniform-line value `r·c/2`.
+    pub fn add_uniform_child(
+        &mut self,
+        parent: usize,
+        r: f64,
+        c: f64,
+    ) -> Result<usize, DelayError> {
+        self.add_child(
+            parent,
+            IntervalRc { resistance: r, capacitance: c, elmore: r * c / 2.0 },
+            0.0,
+        )
+    }
+
+    /// Adds a child connected by a uniform *physical* wire described by
+    /// per-µm parameters and a length — the natural constructor for
+    /// routed trees, and the one that enables [`RcTree::subdivided`] and
+    /// [`RcTree::path_distance`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DelayError::TreeNodeOutOfRange`] for an invalid parent.
+    pub fn add_line_child(
+        &mut self,
+        parent: usize,
+        r_per_um: f64,
+        c_per_um: f64,
+        length_um: f64,
+    ) -> Result<usize, DelayError> {
+        let r = r_per_um * length_um;
+        let c = c_per_um * length_um;
+        let idx = self.add_child(
+            parent,
+            IntervalRc { resistance: r, capacitance: c, elmore: r * c / 2.0 },
+            0.0,
+        )?;
+        self.nodes[idx].length_um = length_um;
+        Ok(idx)
+    }
+
+    /// Physical length of the wire from `node`'s parent, µm (0 when the
+    /// edge was built from lumped values without a length).
+    pub fn wire_length(&self, node: usize) -> f64 {
+        self.nodes[node].length_um
+    }
+
+    /// Distance from the root along tree edges, µm (edges without a
+    /// physical length contribute 0).
+    pub fn root_distance(&self, node: usize) -> f64 {
+        let mut d = 0.0;
+        let mut v = node;
+        while let Some(p) = self.nodes[v].parent {
+            d += self.nodes[v].length_um;
+            v = p;
+        }
+        d
+    }
+
+    /// Path distance between two nodes along tree edges, µm.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn path_distance(&self, a: usize, b: usize) -> f64 {
+        // Walk both nodes up to their lowest common ancestor.
+        let depth = |mut v: usize| {
+            let mut d = 0usize;
+            while let Some(p) = self.nodes[v].parent {
+                d += 1;
+                v = p;
+            }
+            d
+        };
+        let (mut u, mut v) = (a, b);
+        let (mut du, mut dv) = (depth(u), depth(v));
+        let mut dist = 0.0;
+        while du > dv {
+            dist += self.nodes[u].length_um;
+            u = self.nodes[u].parent.expect("depth > 0 has a parent");
+            du -= 1;
+        }
+        while dv > du {
+            dist += self.nodes[v].length_um;
+            v = self.nodes[v].parent.expect("depth > 0 has a parent");
+            dv -= 1;
+        }
+        while u != v {
+            dist += self.nodes[u].length_um + self.nodes[v].length_um;
+            u = self.nodes[u].parent.expect("common root exists");
+            v = self.nodes[v].parent.expect("common root exists");
+        }
+        dist
+    }
+
+    /// Returns a copy of the tree with every physical edge split into
+    /// uniform pieces no longer than `step_um`, plus the mapping from old
+    /// node indices to their images in the new tree.
+    ///
+    /// The intermediate nodes introduced along edges are the **candidate
+    /// buffer sites** of tree buffering (the tree analogue of the paper's
+    /// uniform candidate grid). Edges without a physical length
+    /// (`wire_length == 0`) are copied unsplit. The lumped electrical
+    /// view is preserved exactly: piece internal-Elmore terms are chosen
+    /// so that the series composition reproduces the original edge's
+    /// `(R, C, D)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_um` is not strictly positive and finite.
+    pub fn subdivided(&self, step_um: f64) -> (RcTree, Vec<usize>) {
+        assert!(
+            step_um.is_finite() && step_um > 0.0,
+            "subdivision step must be positive"
+        );
+        let mut out = RcTree::with_root();
+        out.nodes[0].sink_cap = self.nodes[0].sink_cap;
+        let mut map = vec![0usize; self.nodes.len()];
+        // Creation order puts parents before children, so one forward
+        // pass suffices.
+        for v in 1..self.nodes.len() {
+            let node = &self.nodes[v];
+            let parent_new = map[node.parent.expect("non-root node")];
+            let l = node.length_um;
+            let pieces = if l > 0.0 { (l / step_um).ceil().max(1.0) as usize } else { 1 };
+            if pieces == 1 {
+                let idx = out
+                    .add_child(parent_new, node.wire, node.sink_cap)
+                    .expect("parent exists by construction");
+                out.nodes[idx].length_um = node.length_um;
+                map[v] = idx;
+                continue;
+            }
+            let k = pieces as f64;
+            let (r, c, d) = (node.wire.resistance, node.wire.capacitance, node.wire.elmore);
+            // Series composition of k identical pieces (R/k, C/k, d_p):
+            //   D = k·d_p + R·C·(k−1)/(2k)  ⇒  d_p below. Uniform edges
+            //   (d = R·C/2) give exactly d_p = R·C/(2k²).
+            let d_piece = ((d - r * c * (k - 1.0) / (2.0 * k)) / k).max(0.0);
+            let piece =
+                IntervalRc { resistance: r / k, capacitance: c / k, elmore: d_piece };
+            let mut cursor = parent_new;
+            for i in 0..pieces {
+                let sink = if i + 1 == pieces { node.sink_cap } else { 0.0 };
+                cursor = out
+                    .add_child(cursor, piece, sink)
+                    .expect("parent exists by construction");
+                out.nodes[cursor].length_um = l / k;
+            }
+            map[v] = cursor;
+        }
+        (out, map)
+    }
+
+    /// Sets the tap (sink) capacitance at a node, fF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DelayError::TreeNodeOutOfRange`] for an invalid node.
+    pub fn set_sink_cap(&mut self, node: usize, cap_ff: f64) -> Result<(), DelayError> {
+        if node >= self.nodes.len() {
+            return Err(DelayError::TreeNodeOutOfRange { node, len: self.nodes.len() });
+        }
+        self.nodes[node].sink_cap = cap_ff;
+        Ok(())
+    }
+
+    /// Number of nodes (including the root).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the tree is only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Parent of `node` (`None` for the root).
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        self.nodes.get(node).and_then(|n| n.parent)
+    }
+
+    /// Children of `node`.
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.nodes[node].children
+    }
+
+    /// The lumped wire from `node`'s parent to `node`.
+    pub fn wire(&self, node: usize) -> IntervalRc {
+        self.nodes[node].wire
+    }
+
+    /// Tap capacitance at `node`, fF.
+    pub fn sink_cap(&self, node: usize) -> f64 {
+        self.nodes[node].sink_cap
+    }
+
+    /// Indices of all sinks (nodes with positive tap capacitance),
+    /// ascending.
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].sink_cap > 0.0).collect()
+    }
+
+    /// Post-order traversal (children before parents). Node indices are
+    /// assigned in creation order with parents before children, so a
+    /// simple reverse index scan is a valid post-order.
+    fn post_order(&self) -> impl Iterator<Item = usize> {
+        (0..self.nodes.len()).rev()
+    }
+
+    /// Capacitance seen looking *into* each node within its buffer stage:
+    /// `stage_load[v] = tap(v) + buffer_in(v) + Σ_children (wire_cap + stage_load(child))`,
+    /// where a buffered node contributes only its tap plus the buffer's
+    /// input capacitance (the subtree beyond belongs to the next stage).
+    fn stage_loads(
+        &self,
+        device: &RepeaterDevice,
+        buffer_widths: &[Option<f64>],
+    ) -> Vec<f64> {
+        let mut load = vec![0.0_f64; self.nodes.len()];
+        for v in self.post_order() {
+            let node = &self.nodes[v];
+            load[v] = match buffer_widths[v] {
+                Some(w) => node.sink_cap + device.input_cap(w),
+                None => {
+                    let mut acc = node.sink_cap;
+                    for &u in &node.children {
+                        acc += self.nodes[u].wire.capacitance + load[u];
+                    }
+                    acc
+                }
+            };
+        }
+        load
+    }
+
+    /// Evaluates the Elmore arrival time at every node for a given buffer
+    /// placement.
+    ///
+    /// * `driver_width` — width of the driver at the root, u;
+    /// * `buffer_widths[v]` — `Some(w)` places a buffer of width `w` at
+    ///   node `v` (the buffer drives `v`'s subtree); must be `None` at
+    ///   the root (use `driver_width` instead).
+    ///
+    /// Each driving device contributes its intrinsic `Rs·Cp` delay plus
+    /// `Rs/w` driving the stage capacitance, matching Eq. (1) on chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_widths.len() != self.len()`, or a buffer is
+    /// placed at the root, or a buffer width is not strictly positive.
+    pub fn evaluate_buffered(
+        &self,
+        device: &RepeaterDevice,
+        driver_width: f64,
+        buffer_widths: &[Option<f64>],
+    ) -> TreeTiming {
+        assert_eq!(buffer_widths.len(), self.nodes.len(), "one width slot per node");
+        assert!(buffer_widths[0].is_none(), "place no buffer at the root; size the driver");
+        for w in buffer_widths.iter().flatten() {
+            assert!(w.is_finite() && *w > 0.0, "buffer widths must be positive");
+        }
+        let load = self.stage_loads(device, buffer_widths);
+        let mut arrival = vec![0.0_f64; self.nodes.len()];
+
+        // Stage capacitance under a driving node s: everything in s's
+        // stage below s (children wires + their stage loads) - s's own
+        // tap/input cap belongs to the *upstream* stage.
+        let stage_cap_below = |s: usize| -> f64 {
+            self.nodes[s]
+                .children
+                .iter()
+                .map(|&u| self.nodes[u].wire.capacitance + load[u])
+                .sum::<f64>()
+        };
+
+        // Root driver stage.
+        arrival[0] = device.intrinsic_delay()
+            + device.output_resistance(driver_width) * stage_cap_below(0);
+
+        // Pre-order walk (parents first - creation order guarantees it).
+        for v in 1..self.nodes.len() {
+            let p = self.nodes[v].parent.expect("non-root nodes have parents");
+            let wire = self.nodes[v].wire;
+            // Arrival at v's input: parent's stage-local arrival plus the
+            // edge's wire delay into v's stage load.
+            let at_input = arrival[p] + wire.elmore + wire.resistance * load[v];
+            arrival[v] = match buffer_widths[v] {
+                Some(w) => {
+                    // Buffer at v starts a new stage.
+                    at_input
+                        + device.intrinsic_delay()
+                        + device.output_resistance(w) * stage_cap_below(v)
+                }
+                None => at_input,
+            };
+        }
+
+        let sinks = self.sinks();
+        let max_sink_delay = sinks
+            .iter()
+            .map(|&s| arrival[s])
+            .fold(f64::NEG_INFINITY, f64::max);
+        TreeTiming { arrival, sinks, max_sink_delay }
+    }
+
+    /// Unbuffered Elmore arrival times (driver at the root only).
+    pub fn elmore_delays(&self, device: &RepeaterDevice, driver_width: f64) -> TreeTiming {
+        self.evaluate_buffered(device, driver_width, &vec![None; self.nodes.len()])
+    }
+}
+
+/// Result of a buffered-tree evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeTiming {
+    /// Elmore arrival time at each node (at the node's buffer *output*
+    /// for buffered nodes), fs.
+    pub arrival: Vec<f64>,
+    /// Sink node indices (positive tap capacitance), ascending.
+    pub sinks: Vec<usize>,
+    /// Maximum arrival over all sinks, fs (−∞ when the tree has no
+    /// sinks).
+    pub max_sink_delay: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{evaluate, Repeater, RepeaterAssignment};
+    use rip_net::{NetBuilder, Segment, TwoPinNet};
+    use rip_tech::Technology;
+
+    fn device() -> RepeaterDevice {
+        *Technology::generic_180nm().device()
+    }
+
+    /// Builds the path-tree equivalent of a chain net with repeaters at
+    /// the given positions, widths attached, sink = receiver input cap.
+    fn path_tree(
+        net: &TwoPinNet,
+        dev: &RepeaterDevice,
+        repeaters: &[(f64, f64)],
+    ) -> (RcTree, Vec<Option<f64>>) {
+        let mut tree = RcTree::with_root();
+        let mut widths = vec![None];
+        let mut prev_pos = 0.0;
+        let mut prev_node = 0;
+        for &(x, w) in repeaters {
+            let wire = net.profile().interval(prev_pos, x);
+            let node = tree.add_child(prev_node, wire, 0.0).unwrap();
+            widths.push(Some(w));
+            prev_pos = x;
+            prev_node = node;
+        }
+        let wire = net.profile().interval(prev_pos, net.total_length());
+        let sink = tree.add_child(prev_node, wire, 0.0).unwrap();
+        widths.push(None);
+        tree.set_sink_cap(sink, dev.input_cap(net.receiver_width())).unwrap();
+        (tree, widths)
+    }
+
+    fn chain_net() -> TwoPinNet {
+        NetBuilder::new()
+            .segment(Segment::new(2000.0, 0.08, 0.20))
+            .segment(Segment::new(2500.0, 0.06, 0.18))
+            .segment(Segment::new(1800.0, 0.08, 0.20))
+            .driver_width(120.0)
+            .receiver_width(60.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn path_tree_matches_chain_evaluation_unbuffered() {
+        let net = chain_net();
+        let dev = device();
+        let (tree, widths) = path_tree(&net, &dev, &[]);
+        let tree_delay = tree.evaluate_buffered(&dev, net.driver_width(), &widths);
+        let chain = evaluate(&net, &dev, &RepeaterAssignment::empty());
+        assert!(
+            (tree_delay.max_sink_delay - chain.total_delay).abs() < 1e-6,
+            "tree {} vs chain {}",
+            tree_delay.max_sink_delay,
+            chain.total_delay
+        );
+    }
+
+    #[test]
+    fn path_tree_matches_chain_evaluation_buffered() {
+        let net = chain_net();
+        let dev = device();
+        let reps = [(1500.0, 90.0), (3600.0, 130.0), (5200.0, 70.0)];
+        let (tree, widths) = path_tree(&net, &dev, &reps);
+        let tree_delay = tree.evaluate_buffered(&dev, net.driver_width(), &widths);
+        let asg = RepeaterAssignment::new(
+            reps.iter().map(|&(x, w)| Repeater::new(x, w)).collect(),
+        )
+        .unwrap();
+        let chain = evaluate(&net, &dev, &asg);
+        assert!(
+            (tree_delay.max_sink_delay - chain.total_delay).abs() < 1e-6,
+            "tree {} vs chain {}",
+            tree_delay.max_sink_delay,
+            chain.total_delay
+        );
+    }
+
+    #[test]
+    fn branching_increases_upstream_load() {
+        // Adding a second subtree at the branch point slows the first
+        // sink (shared resistance drives more capacitance).
+        let dev = device();
+        let mut tree = RcTree::with_root();
+        let branch = tree.add_uniform_child(0, 100.0, 300.0).unwrap();
+        let s1 = tree.add_uniform_child(branch, 80.0, 200.0).unwrap();
+        tree.set_sink_cap(s1, 40.0).unwrap();
+        let before = tree.elmore_delays(&dev, 100.0).arrival[s1];
+
+        let s2 = tree.add_uniform_child(branch, 90.0, 250.0).unwrap();
+        tree.set_sink_cap(s2, 40.0).unwrap();
+        let after = tree.elmore_delays(&dev, 100.0).arrival[s1];
+        assert!(after > before, "{after} !> {before}");
+    }
+
+    #[test]
+    fn buffer_isolates_side_branch() {
+        // A buffer at the *head* of a heavy side branch hides the branch
+        // capacitance from the main path: upstream only sees the buffer's
+        // input cap instead of the 5000 fF branch wire.
+        let dev = device();
+        let mut tree = RcTree::with_root();
+        let branch = tree.add_uniform_child(0, 100.0, 300.0).unwrap();
+        let main_sink = tree.add_uniform_child(branch, 80.0, 200.0).unwrap();
+        tree.set_sink_cap(main_sink, 40.0).unwrap();
+        // Short stub to the branch head, then the heavy wire below it.
+        let head = tree.add_uniform_child(branch, 1.0, 2.0).unwrap();
+        let heavy = tree.add_uniform_child(head, 50.0, 5000.0).unwrap();
+        tree.set_sink_cap(heavy, 40.0).unwrap();
+
+        let unbuffered = tree.elmore_delays(&dev, 100.0).arrival[main_sink];
+        let mut widths = vec![None; tree.len()];
+        widths[head] = Some(30.0);
+        let buffered = tree.evaluate_buffered(&dev, 100.0, &widths).arrival[main_sink];
+        assert!(buffered < unbuffered, "{buffered} !< {unbuffered}");
+    }
+
+    #[test]
+    fn sink_list_and_max_delay() {
+        let dev = device();
+        let mut tree = RcTree::with_root();
+        let a = tree.add_uniform_child(0, 100.0, 300.0).unwrap();
+        let near = tree.add_uniform_child(a, 10.0, 30.0).unwrap();
+        let far = tree.add_uniform_child(a, 400.0, 900.0).unwrap();
+        tree.set_sink_cap(near, 20.0).unwrap();
+        tree.set_sink_cap(far, 20.0).unwrap();
+        let timing = tree.elmore_delays(&dev, 100.0);
+        assert_eq!(timing.sinks, vec![near, far]);
+        assert_eq!(timing.max_sink_delay, timing.arrival[far]);
+        assert!(timing.arrival[far] > timing.arrival[near]);
+    }
+
+    #[test]
+    fn invalid_parent_is_rejected() {
+        let mut tree = RcTree::with_root();
+        assert!(matches!(
+            tree.add_uniform_child(5, 1.0, 1.0),
+            Err(DelayError::TreeNodeOutOfRange { node: 5, .. })
+        ));
+        assert!(tree.set_sink_cap(9, 1.0).is_err());
+    }
+
+    #[test]
+    fn line_children_carry_lengths_and_distances() {
+        let mut tree = RcTree::with_root();
+        let a = tree.add_line_child(0, 0.08, 0.2, 2000.0).unwrap();
+        let b = tree.add_line_child(a, 0.06, 0.18, 3000.0).unwrap();
+        let c = tree.add_line_child(a, 0.08, 0.2, 1000.0).unwrap();
+        assert_eq!(tree.wire_length(b), 3000.0);
+        assert_eq!(tree.root_distance(b), 5000.0);
+        assert_eq!(tree.root_distance(c), 3000.0);
+        // Path b..c goes through their common ancestor a.
+        assert_eq!(tree.path_distance(b, c), 4000.0);
+        assert_eq!(tree.path_distance(b, b), 0.0);
+        assert_eq!(tree.path_distance(0, b), 5000.0);
+        // Electrical view matches the per-um parameters.
+        assert!((tree.wire(a).resistance - 160.0).abs() < 1e-9);
+        assert!((tree.wire(a).capacitance - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subdivision_preserves_elmore_exactly() {
+        let dev = device();
+        let mut tree = RcTree::with_root();
+        let a = tree.add_line_child(0, 0.08, 0.2, 2100.0).unwrap();
+        let s1 = tree.add_line_child(a, 0.06, 0.18, 3050.0).unwrap();
+        let s2 = tree.add_line_child(a, 0.08, 0.2, 990.0).unwrap();
+        tree.set_sink_cap(s1, 40.0).unwrap();
+        tree.set_sink_cap(s2, 55.0).unwrap();
+
+        let before = tree.elmore_delays(&dev, 120.0);
+        let (fine, map) = tree.subdivided(250.0);
+        assert!(fine.len() > tree.len());
+        let after = fine.elmore_delays(&dev, 120.0);
+        for (&old, &new) in [s1, s2].iter().zip(&[map[s1], map[s2]]) {
+            assert!(
+                (before.arrival[old] - after.arrival[new]).abs()
+                    < 1e-6 * before.arrival[old],
+                "subdivision changed sink delay: {} vs {}",
+                before.arrival[old],
+                after.arrival[new]
+            );
+        }
+        // Sink caps moved with the mapping.
+        assert_eq!(fine.sink_cap(map[s1]), 40.0);
+        assert_eq!(fine.sink_cap(map[s2]), 55.0);
+        // Piece lengths respect the step.
+        for v in 1..fine.len() {
+            assert!(fine.wire_length(v) <= 250.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn subdivision_preserves_buffered_delay() {
+        let dev = device();
+        let mut tree = RcTree::with_root();
+        let a = tree.add_line_child(0, 0.08, 0.2, 2000.0).unwrap();
+        let s = tree.add_line_child(a, 0.06, 0.18, 3000.0).unwrap();
+        tree.set_sink_cap(s, 60.0).unwrap();
+        let mut widths = vec![None; tree.len()];
+        widths[a] = Some(90.0);
+        let before = tree.evaluate_buffered(&dev, 120.0, &widths);
+
+        let (fine, map) = tree.subdivided(400.0);
+        let mut fine_widths = vec![None; fine.len()];
+        fine_widths[map[a]] = Some(90.0);
+        let after = fine.evaluate_buffered(&dev, 120.0, &fine_widths);
+        assert!(
+            (before.arrival[s] - after.arrival[map[s]]).abs() < 1e-6 * before.arrival[s]
+        );
+    }
+
+    #[test]
+    fn subdivision_of_lumped_edges_is_identity() {
+        let mut tree = RcTree::with_root();
+        let a = tree.add_uniform_child(0, 100.0, 300.0).unwrap();
+        tree.set_sink_cap(a, 20.0).unwrap();
+        let (fine, map) = tree.subdivided(10.0);
+        assert_eq!(fine.len(), tree.len());
+        assert_eq!(map[a], a);
+        assert_eq!(fine.wire(a), tree.wire(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "one width slot per node")]
+    fn wrong_width_slot_count_panics() {
+        let tree = RcTree::with_root();
+        let dev = device();
+        tree.evaluate_buffered(&dev, 100.0, &[None, None]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Elmore delay of a single repeater stage (Eq. 1 of the paper).
+//!
+//! A stage is a driving device (the net driver or a repeater) of width
+//! `w`, the wire interval to the next device, and that device's input
+//! capacitance as the load. With the interval's lumped view
+//! `(R_ab, C_ab, D_ab)` from [`rip_net::RcProfile::interval`], Eq. (1)
+//! becomes
+//!
+//! ```text
+//! τ = Rs·Cp + (Rs/w)·(C_ab + C_load) + R_ab·C_load + D_ab
+//! ```
+//!
+//! where `C_load = Co·w_next`. The two incremental pieces
+//! ([`wire_added_delay`], [`buffer_added_delay`]) are what the DP engine
+//! composes during its sink-to-source sweep.
+
+use rip_net::IntervalRc;
+use rip_tech::RepeaterDevice;
+
+/// Full stage delay of Eq. (1), in fs.
+///
+/// * `device` — unit-repeater parameters (`Rs`, `Co`, `Cp`);
+/// * `interval` — lumped wire view between the two devices;
+/// * `driver_width` — width `w` of the driving device, in u;
+/// * `load_cap_ff` — input capacitance of the receiving device, fF.
+///
+/// # Examples
+///
+/// ```
+/// use rip_delay::stage_delay;
+/// use rip_net::{RcProfile, Segment};
+/// use rip_tech::RepeaterDevice;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let device = RepeaterDevice::new(6000.0, 1.8, 1.4)?;
+/// let profile = RcProfile::new(&[Segment::new(1500.0, 0.08, 0.2)])?;
+/// let interval = profile.interval(0.0, 1500.0);
+/// let tau = stage_delay(&device, interval, 100.0, device.input_cap(100.0));
+/// assert!(tau > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[inline]
+pub fn stage_delay(
+    device: &RepeaterDevice,
+    interval: IntervalRc,
+    driver_width: f64,
+    load_cap_ff: f64,
+) -> f64 {
+    device.intrinsic_delay()
+        + device.output_resistance(driver_width) * (interval.capacitance + load_cap_ff)
+        + interval.resistance * load_cap_ff
+        + interval.elmore
+}
+
+/// Delay added when a DP option crosses a wire interval moving upstream:
+/// the interval's internal Elmore term plus its resistance driving the
+/// already-accumulated downstream load. In fs.
+#[inline]
+pub fn wire_added_delay(interval: IntervalRc, downstream_cap_ff: f64) -> f64 {
+    interval.elmore + interval.resistance * downstream_cap_ff
+}
+
+/// Delay added when a repeater of width `w` is inserted in front of an
+/// accumulated downstream load: the repeater's intrinsic delay plus its
+/// output resistance driving that load. In fs.
+#[inline]
+pub fn buffer_added_delay(device: &RepeaterDevice, width: f64, downstream_cap_ff: f64) -> f64 {
+    device.intrinsic_delay() + device.output_resistance(width) * downstream_cap_ff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_net::{RcProfile, Segment};
+
+    fn device() -> RepeaterDevice {
+        RepeaterDevice::new(6000.0, 1.8, 1.4).unwrap()
+    }
+
+    fn uniform_interval(l: f64) -> IntervalRc {
+        let p = RcProfile::new(&[Segment::new(l, 0.08, 0.2)]).unwrap();
+        p.interval(0.0, l)
+    }
+
+    #[test]
+    fn stage_delay_matches_hand_computation() {
+        // Uniform 1000 um wire, w = 100u driving a 50u repeater.
+        // R = 80, C = 200, D = 80*200/2 = 8000.
+        // tau = Rs*Cp + (Rs/100)*(200 + 1.8*50) + 80*(1.8*50) + 8000
+        //     = 8400 + 60*290 + 7200 + 8000 = 41000.
+        let d = device();
+        let tau = stage_delay(&d, uniform_interval(1000.0), 100.0, d.input_cap(50.0));
+        assert!((tau - 41_000.0).abs() < 1e-6, "tau = {tau}");
+    }
+
+    #[test]
+    fn stage_delay_decomposes_into_dp_increments() {
+        // The DP sweep composes wire_added_delay + buffer_added_delay;
+        // together they must reproduce the full Eq. (1) stage delay.
+        let d = device();
+        let interval = uniform_interval(1800.0);
+        let load = d.input_cap(80.0);
+        let composed = wire_added_delay(interval, load)
+            + buffer_added_delay(&d, 120.0, interval.capacitance + load);
+        assert!((composed - stage_delay(&d, interval, 120.0, load)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_driver_is_faster_same_load() {
+        let d = device();
+        let interval = uniform_interval(1500.0);
+        let load = d.input_cap(60.0);
+        let slow = stage_delay(&d, interval, 40.0, load);
+        let fast = stage_delay(&d, interval, 160.0, load);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn heavier_load_is_slower() {
+        let d = device();
+        let interval = uniform_interval(1500.0);
+        let light = stage_delay(&d, interval, 100.0, d.input_cap(20.0));
+        let heavy = stage_delay(&d, interval, 100.0, d.input_cap(200.0));
+        assert!(heavy > light);
+    }
+
+    #[test]
+    fn empty_interval_reduces_to_driver_terms() {
+        let d = device();
+        let interval = IntervalRc::default();
+        let load = 100.0;
+        let tau = stage_delay(&d, interval, 50.0, load);
+        let expected = d.intrinsic_delay() + d.output_resistance(50.0) * load;
+        assert!((tau - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_delay_is_monotone_in_wire_length() {
+        let d = device();
+        let load = d.input_cap(100.0);
+        let mut prev = 0.0;
+        for l in [500.0, 1000.0, 2000.0, 4000.0] {
+            let tau = stage_delay(&d, uniform_interval(l), 100.0, load);
+            assert!(tau > prev);
+            prev = tau;
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Exhaustive reference solver for tiny instances.
+//!
+//! Enumerates *every* combination of candidate subset × width assignment
+//! and evaluates each with the ground-truth Eq. (2) evaluator. Exponential
+//! — usable only for cross-validating the DP engines on small instances
+//! (the test suites do exactly that), or for users validating custom
+//! setups.
+
+use crate::candidates::CandidateSet;
+use crate::chain::{DpSolution, DpStats};
+use crate::error::DpError;
+use rip_delay::{evaluate, Repeater, RepeaterAssignment};
+use rip_net::TwoPinNet;
+use rip_tech::{RepeaterDevice, RepeaterLibrary};
+
+/// Hard cap on the number of evaluated combinations
+/// (`(library + 1) ^ candidates`).
+const MAX_COMBINATIONS: f64 = 5.0e7;
+
+/// Exhaustive minimum-delay search.
+///
+/// # Panics
+///
+/// Panics when `(library.len() + 1) ^ candidates.len()` exceeds the
+/// internal combination cap — this is a test oracle, not a production
+/// solver.
+pub fn brute_min_delay(
+    net: &TwoPinNet,
+    device: &RepeaterDevice,
+    library: &RepeaterLibrary,
+    candidates: &CandidateSet,
+) -> DpSolution {
+    let mut best: Option<DpSolution> = None;
+    for_each_combination(net, device, library, candidates, |sol| {
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                sol.delay_fs < b.delay_fs - 1e-12
+                    || ((sol.delay_fs - b.delay_fs).abs() <= 1e-12
+                        && sol.total_width < b.total_width)
+            }
+        };
+        if better {
+            best = Some(sol);
+        }
+    });
+    best.expect("the unbuffered combination always exists")
+}
+
+/// Exhaustive minimum-power search under a timing target.
+///
+/// # Errors
+///
+/// Returns [`DpError::InfeasibleTarget`] when no combination meets the
+/// target.
+///
+/// # Panics
+///
+/// Panics when the combination count exceeds the internal cap.
+pub fn brute_min_power(
+    net: &TwoPinNet,
+    device: &RepeaterDevice,
+    library: &RepeaterLibrary,
+    candidates: &CandidateSet,
+    target_fs: f64,
+) -> Result<DpSolution, DpError> {
+    if !target_fs.is_finite() || target_fs <= 0.0 {
+        return Err(DpError::InvalidTarget { target_fs });
+    }
+    let mut best: Option<DpSolution> = None;
+    let mut fastest = f64::INFINITY;
+    for_each_combination(net, device, library, candidates, |sol| {
+        fastest = fastest.min(sol.delay_fs);
+        if sol.delay_fs > target_fs {
+            return;
+        }
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                sol.total_width < b.total_width - 1e-12
+                    || ((sol.total_width - b.total_width).abs() <= 1e-12
+                        && sol.delay_fs < b.delay_fs)
+            }
+        };
+        if better {
+            best = Some(sol);
+        }
+    });
+    best.ok_or(DpError::InfeasibleTarget { target_fs, achievable_fs: fastest })
+}
+
+/// Enumerates all combinations; calls `visit` with each evaluated
+/// solution.
+fn for_each_combination(
+    net: &TwoPinNet,
+    device: &RepeaterDevice,
+    library: &RepeaterLibrary,
+    candidates: &CandidateSet,
+    mut visit: impl FnMut(DpSolution),
+) {
+    let n = candidates.len();
+    let base = library.len() + 1; // widths + "no repeater here"
+    let combos = (base as f64).powi(n as i32);
+    assert!(
+        combos <= MAX_COMBINATIONS,
+        "brute force limited to {MAX_COMBINATIONS} combinations, requested {combos}"
+    );
+    // Mixed-radix counter: digit i selects "none" (0) or library width
+    // index+1 for candidate i.
+    let mut digits = vec![0usize; n];
+    loop {
+        let repeaters: Vec<Repeater> = digits
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(i, &d)| Repeater::new(candidates.positions()[i], library.widths()[d - 1]))
+            .collect();
+        let assignment =
+            RepeaterAssignment::new(repeaters).expect("enumerated repeaters are valid");
+        let total_width = assignment.total_width();
+        let timing = evaluate(net, device, &assignment);
+        visit(DpSolution {
+            assignment,
+            delay_fs: timing.total_delay,
+            total_width,
+            stats: DpStats::default(),
+        });
+        // Increment the counter.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return;
+            }
+            digits[i] += 1;
+            if digits[i] < base {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{solve_min_delay, solve_min_power};
+    use rip_net::{NetBuilder, Segment};
+    use rip_tech::Technology;
+
+    fn tiny_net() -> TwoPinNet {
+        NetBuilder::new()
+            .segment(Segment::new(3000.0, 0.08, 0.20))
+            .segment(Segment::new(3000.0, 0.06, 0.18))
+            .driver_width(120.0)
+            .receiver_width(60.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dp_min_delay_matches_brute_force() {
+        let tech = Technology::generic_180nm();
+        let net = tiny_net();
+        let lib = RepeaterLibrary::from_widths([40.0, 120.0, 280.0]).unwrap();
+        let cands =
+            CandidateSet::from_positions(&net, vec![1000.0, 2500.0, 3500.0, 5000.0])
+                .unwrap();
+        let dp = solve_min_delay(&net, tech.device(), &lib, &cands);
+        let brute = brute_min_delay(&net, tech.device(), &lib, &cands);
+        assert!(
+            (dp.delay_fs - brute.delay_fs).abs() < 1e-6,
+            "dp {} vs brute {}",
+            dp.delay_fs,
+            brute.delay_fs
+        );
+        assert_eq!(dp.assignment, brute.assignment);
+    }
+
+    #[test]
+    fn dp_min_power_matches_brute_force_across_targets() {
+        let tech = Technology::generic_180nm();
+        let net = tiny_net();
+        let lib = RepeaterLibrary::from_widths([40.0, 120.0, 280.0]).unwrap();
+        let cands =
+            CandidateSet::from_positions(&net, vec![1000.0, 2500.0, 3500.0, 5000.0])
+                .unwrap();
+        let fastest = brute_min_delay(&net, tech.device(), &lib, &cands);
+        for mult in [1.01, 1.1, 1.3, 1.7, 2.2] {
+            let target = fastest.delay_fs * mult;
+            let dp = solve_min_power(&net, tech.device(), &lib, &cands, target).unwrap();
+            let brute = brute_min_power(&net, tech.device(), &lib, &cands, target).unwrap();
+            assert!(
+                (dp.total_width - brute.total_width).abs() < 1e-9,
+                "mult {mult}: dp width {} vs brute {}",
+                dp.total_width,
+                brute.total_width
+            );
+            assert!(dp.meets(target));
+        }
+    }
+
+    #[test]
+    fn both_report_infeasible_identically() {
+        let tech = Technology::generic_180nm();
+        let net = tiny_net();
+        let lib = RepeaterLibrary::from_widths([40.0]).unwrap();
+        let cands = CandidateSet::from_positions(&net, vec![2000.0, 4000.0]).unwrap();
+        let fastest = brute_min_delay(&net, tech.device(), &lib, &cands);
+        let target = fastest.delay_fs * 0.9;
+        let dp_err = solve_min_power(&net, tech.device(), &lib, &cands, target).unwrap_err();
+        let brute_err = brute_min_power(&net, tech.device(), &lib, &cands, target).unwrap_err();
+        match (dp_err, brute_err) {
+            (
+                DpError::InfeasibleTarget { achievable_fs: a, .. },
+                DpError::InfeasibleTarget { achievable_fs: b, .. },
+            ) => assert!((a - b).abs() < 1e-6),
+            other => panic!("unexpected errors {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn combination_cap_trips() {
+        let tech = Technology::generic_180nm();
+        let net = tiny_net();
+        let lib = RepeaterLibrary::range_step(10.0, 400.0, 10.0).unwrap();
+        let cands = CandidateSet::uniform(&net, 200.0);
+        brute_min_delay(&net, tech.device(), &lib, &cands);
+    }
+}

@@ -1,0 +1,138 @@
+//! Validated candidate-position sets for the DP engines.
+
+use crate::error::DpError;
+use rip_net::{sort_dedup_positions, uniform_candidates, window_candidates, TwoPinNet};
+
+/// A validated, strictly ascending set of legal candidate repeater
+/// positions on a specific net.
+///
+/// # Examples
+///
+/// ```
+/// use rip_dp::CandidateSet;
+/// use rip_net::{NetBuilder, Segment};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = NetBuilder::new()
+///     .segment(Segment::new(4000.0, 0.08, 0.2))
+///     .forbidden_zone(1500.0, 2500.0)?
+///     .build()?;
+/// // The paper's uniform 200 µm grid, zone-aware:
+/// let cands = CandidateSet::uniform(&net, 200.0);
+/// assert!(cands.positions().iter().all(|&x| net.is_legal_position(x)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateSet {
+    positions: Vec<f64>,
+}
+
+impl CandidateSet {
+    /// Builds the uniform grid of the paper's DP runs (Section 6):
+    /// multiples of `step_um` strictly inside the net, excluding
+    /// forbidden-zone interiors.
+    pub fn uniform(net: &TwoPinNet, step_um: f64) -> Self {
+        Self { positions: uniform_candidates(net, step_um) }
+    }
+
+    /// Builds RIP's windowed candidate set (Fig. 6, Line 3): positions
+    /// around each center at the given granularity (paper:
+    /// `half_slots = 10`, `step_um = 50`).
+    pub fn windows(net: &TwoPinNet, centers: &[f64], half_slots: usize, step_um: f64) -> Self {
+        Self { positions: window_candidates(net, centers, half_slots, step_um) }
+    }
+
+    /// Builds a candidate set from explicit positions, validating
+    /// legality against the net. Positions are sorted and deduplicated
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::IllegalCandidate`] for positions outside the
+    /// open span or strictly inside a forbidden zone.
+    pub fn from_positions(net: &TwoPinNet, positions: Vec<f64>) -> Result<Self, DpError> {
+        let mut positions = positions;
+        sort_dedup_positions(&mut positions);
+        for &x in &positions {
+            if !net.is_legal_position(x) {
+                return Err(DpError::IllegalCandidate { position: x });
+            }
+        }
+        Ok(Self { positions })
+    }
+
+    /// The candidate positions, strictly ascending, µm.
+    #[inline]
+    pub fn positions(&self) -> &[f64] {
+        &self.positions
+    }
+
+    /// Number of candidates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` when no candidate positions exist (the DP then only
+    /// considers the unbuffered solution).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_net::{NetBuilder, Segment};
+
+    fn net() -> TwoPinNet {
+        NetBuilder::new()
+            .segment(Segment::new(4000.0, 0.08, 0.2))
+            .forbidden_zone(1500.0, 2500.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn uniform_respects_zones() {
+        let net = net();
+        let c = CandidateSet::uniform(&net, 200.0);
+        assert!(!c.is_empty());
+        assert!(c.positions().iter().all(|&x| net.is_legal_position(x)));
+        // 1600..2400 are inside the zone.
+        assert!(!c.positions().contains(&1600.0));
+        assert!(!c.positions().contains(&2400.0));
+    }
+
+    #[test]
+    fn from_positions_validates() {
+        let net = net();
+        assert!(CandidateSet::from_positions(&net, vec![100.0, 3900.0]).is_ok());
+        assert!(matches!(
+            CandidateSet::from_positions(&net, vec![2000.0]),
+            Err(DpError::IllegalCandidate { .. })
+        ));
+        assert!(matches!(
+            CandidateSet::from_positions(&net, vec![4000.0]),
+            Err(DpError::IllegalCandidate { .. })
+        ));
+    }
+
+    #[test]
+    fn from_positions_sorts_and_dedups() {
+        let net = net();
+        let c = CandidateSet::from_positions(&net, vec![900.0, 300.0, 900.0]).unwrap();
+        assert_eq!(c.positions(), &[300.0, 900.0]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn windows_delegate_to_net_layer() {
+        let net = net();
+        let c = CandidateSet::windows(&net, &[1000.0], 2, 50.0);
+        assert_eq!(c.positions(), &[900.0, 950.0, 1000.0, 1050.0, 1100.0]);
+    }
+}

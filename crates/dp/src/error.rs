@@ -1,0 +1,87 @@
+//! Error types for the DP engines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the dynamic-programming repeater insertion engines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DpError {
+    /// A candidate position was outside the open net span or inside a
+    /// forbidden zone.
+    IllegalCandidate {
+        /// The rejected position, µm.
+        position: f64,
+    },
+    /// Candidate positions were not strictly ascending.
+    UnsortedCandidates {
+        /// Position at which the order broke.
+        position: f64,
+    },
+    /// The timing target was not strictly positive and finite.
+    InvalidTarget {
+        /// The rejected target, fs.
+        target_fs: f64,
+    },
+    /// No solution over the given library and candidate set meets the
+    /// timing target.
+    InfeasibleTarget {
+        /// The requested target, fs.
+        target_fs: f64,
+        /// The minimum delay achievable with this library and candidate
+        /// set, fs — useful for diagnosing how far off the target is.
+        achievable_fs: f64,
+    },
+    /// A tree-DP buffer-legality mask had the wrong length.
+    BadAllowedMask {
+        /// Mask length supplied.
+        got: usize,
+        /// Tree size expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::IllegalCandidate { position } => {
+                write!(f, "candidate position {position} is not a legal repeater location")
+            }
+            DpError::UnsortedCandidates { position } => {
+                write!(f, "candidate positions must be strictly ascending (broke at {position})")
+            }
+            DpError::InvalidTarget { target_fs } => {
+                write!(f, "timing target must be strictly positive and finite, got {target_fs} fs")
+            }
+            DpError::InfeasibleTarget { target_fs, achievable_fs } => write!(
+                f,
+                "no solution meets the timing target {target_fs} fs \
+                 (minimum achievable with this library/candidates: {achievable_fs} fs)"
+            ),
+            DpError::BadAllowedMask { got, expected } => {
+                write!(f, "buffer-legality mask has {got} entries, tree has {expected} nodes")
+            }
+        }
+    }
+}
+
+impl Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_display_reports_gap() {
+        let msg =
+            DpError::InfeasibleTarget { target_fs: 1.0e6, achievable_fs: 1.4e6 }.to_string();
+        assert!(msg.contains("1000000"));
+        assert!(msg.contains("1400000"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<DpError>();
+    }
+}

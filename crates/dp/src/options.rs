@@ -1,0 +1,250 @@
+//! DP option records and Pareto-dominance pruning.
+//!
+//! The DP engines carry sets of *options* through their sweeps. For
+//! delay-mode DP (van Ginneken \[11\]) an option is `(cap, delay)`; for
+//! power-mode DP (Lillis \[14\]) it is `(cap, delay, width)` — the
+//! three-key dominance that makes the power problem pseudo-polynomial
+//! (Section 2 of the paper). Pruning keeps exactly the non-dominated
+//! frontier.
+//!
+//! The pruning functions are generic over the stored record type via key
+//! extractors so the chain DP, tree DP, and tests share one
+//! implementation.
+
+/// Prunes `items` to the 2D Pareto frontier: an item is removed when
+/// another item has both keys `≤` (and is not an exact duplicate kept
+/// earlier). Smaller is better for both keys.
+///
+/// O(n log n); the survivors are left sorted by the first key ascending.
+pub(crate) fn prune_2d<T>(items: &mut Vec<T>, key: impl Fn(&T) -> (f64, f64)) {
+    items.sort_by(|a, b| {
+        let (a1, a2) = key(a);
+        let (b1, b2) = key(b);
+        a1.partial_cmp(&b1)
+            .expect("finite DP keys")
+            .then(a2.partial_cmp(&b2).expect("finite DP keys"))
+    });
+    let mut best_second = f64::INFINITY;
+    items.retain(|item| {
+        let (_, second) = key(item);
+        if second < best_second {
+            best_second = second;
+            true
+        } else {
+            false
+        }
+    });
+}
+
+/// A monotone staircase over `(d, p)` pairs: `d` ascending, `p` strictly
+/// descending. Supports "is (d, p) dominated by any inserted pair?" and
+/// insertion, both O(log n) / amortized O(log n).
+#[derive(Debug, Default)]
+pub(crate) struct Staircase {
+    /// Points sorted by `d` ascending with `p` strictly descending.
+    pts: Vec<(f64, f64)>,
+}
+
+impl Staircase {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` when some inserted `(d', p')` has `d' ≤ d` and
+    /// `p' ≤ p`.
+    pub(crate) fn dominates(&self, d: f64, p: f64) -> bool {
+        // Last point with d' <= d; p is minimized there because p
+        // decreases along the staircase.
+        let idx = self.pts.partition_point(|&(d2, _)| d2 <= d);
+        idx > 0 && self.pts[idx - 1].1 <= p
+    }
+
+    /// Inserts `(d, p)`; the caller must have checked
+    /// [`Staircase::dominates`] first. Points made redundant by the new
+    /// one are removed.
+    pub(crate) fn insert(&mut self, d: f64, p: f64) {
+        debug_assert!(!self.dominates(d, p), "inserting a dominated point");
+        let idx = self.pts.partition_point(|&(d2, _)| d2 < d);
+        // Remove successors with p' >= p (they are now redundant for
+        // dominance queries).
+        let mut end = idx;
+        while end < self.pts.len() && self.pts[end].1 >= p {
+            end += 1;
+        }
+        self.pts.splice(idx..end, std::iter::once((d, p)));
+    }
+}
+
+/// Prunes `items` to the 3D Pareto frontier (all three keys minimized).
+///
+/// Sorts by the first key, then sweeps with a [`Staircase`] over the
+/// remaining two keys: an item is dominated iff an already-accepted item
+/// (which necessarily has first key `≤`) has both remaining keys `≤`.
+/// Exact multi-key duplicates collapse to one survivor.
+///
+/// O(n log n); survivors end up sorted by the first key ascending.
+pub(crate) fn prune_3d<T>(items: &mut Vec<T>, key: impl Fn(&T) -> (f64, f64, f64)) {
+    items.sort_by(|a, b| {
+        let (a1, a2, a3) = key(a);
+        let (b1, b2, b3) = key(b);
+        a1.partial_cmp(&b1)
+            .expect("finite DP keys")
+            .then(a2.partial_cmp(&b2).expect("finite DP keys"))
+            .then(a3.partial_cmp(&b3).expect("finite DP keys"))
+    });
+    let mut stairs = Staircase::new();
+    items.retain(|item| {
+        let (_, d, p) = key(item);
+        if stairs.dominates(d, p) {
+            false
+        } else {
+            stairs.insert(d, p);
+            true
+        }
+    });
+}
+
+/// Traceback arena for chain DP: records which repeater insertions
+/// produced each surviving option, as a linked structure indexed by
+/// `u32` handles. Handle 0 is the shared "no repeaters" root.
+#[derive(Debug)]
+pub(crate) struct TraceArena {
+    nodes: Vec<TraceNode>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TraceNode {
+    /// Repeater position, µm (unused for the root).
+    position: f64,
+    /// Repeater width, u (unused for the root).
+    width: f64,
+    /// Previous insertion (downstream of this one), or 0 for the root.
+    prev: u32,
+}
+
+/// The shared empty-trace handle.
+pub(crate) const TRACE_ROOT: u32 = 0;
+
+impl TraceArena {
+    pub(crate) fn new() -> Self {
+        Self { nodes: vec![TraceNode { position: f64::NAN, width: f64::NAN, prev: 0 }] }
+    }
+
+    /// Records a repeater insertion on top of `prev`; returns the new
+    /// handle.
+    pub(crate) fn push(&mut self, position: f64, width: f64, prev: u32) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(TraceNode { position, width, prev });
+        idx
+    }
+
+    /// Number of recorded nodes (including the root), for statistics.
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Walks a trace back to the root, yielding `(position, width)` pairs
+    /// in ascending-position order (the DP sweeps sink→source, so the
+    /// chain is naturally most-upstream-first).
+    pub(crate) fn collect(&self, mut handle: u32) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        while handle != TRACE_ROOT {
+            let node = self.nodes[handle as usize];
+            out.push((node.position, node.width));
+            handle = node.prev;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_pareto_3d(items: &[(f64, f64, f64)]) -> Vec<(f64, f64, f64)> {
+        let dominated = |x: &(f64, f64, f64)| {
+            items.iter().any(|y| {
+                y != x && y.0 <= x.0 && y.1 <= x.1 && y.2 <= x.2
+            })
+        };
+        let mut out: Vec<_> = items.iter().copied().filter(|x| !dominated(x)).collect();
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn prune_2d_keeps_frontier() {
+        let mut items = vec![(1.0, 5.0), (2.0, 3.0), (2.5, 4.0), (3.0, 1.0), (1.0, 6.0)];
+        prune_2d(&mut items, |&x| x);
+        assert_eq!(items, vec![(1.0, 5.0), (2.0, 3.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn prune_2d_collapses_duplicates() {
+        let mut items = vec![(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)];
+        prune_2d(&mut items, |&x| x);
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn prune_3d_matches_brute_force() {
+        // Deterministic pseudo-random triples (LCG) cross-checked against
+        // the O(n^2) definition of dominance.
+        let mut state = 0x2545F4914F6CDD1D_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 32) as f64 / u32::MAX as f64 * 10.0).round()
+        };
+        let items: Vec<(f64, f64, f64)> = (0..200).map(|_| (next(), next(), next())).collect();
+        let mut pruned = items.clone();
+        prune_3d(&mut pruned, |&x| x);
+        let mut got = pruned.clone();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        got.dedup();
+        assert_eq!(got, brute_pareto_3d(&items));
+    }
+
+    #[test]
+    fn prune_3d_keeps_incomparable_options() {
+        let mut items = vec![(1.0, 9.0, 9.0), (9.0, 1.0, 9.0), (9.0, 9.0, 1.0)];
+        prune_3d(&mut items, |&x| x);
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn staircase_dominance_queries() {
+        let mut s = Staircase::new();
+        s.insert(2.0, 8.0);
+        s.insert(5.0, 3.0);
+        assert!(s.dominates(2.0, 8.0)); // equal counts as dominated
+        assert!(s.dominates(3.0, 9.0));
+        assert!(s.dominates(6.0, 3.5));
+        assert!(!s.dominates(1.0, 100.0));
+        assert!(!s.dominates(4.0, 5.0));
+        s.insert(4.0, 5.0);
+        assert!(s.dominates(4.5, 5.0));
+    }
+
+    #[test]
+    fn staircase_insert_removes_redundant_successors() {
+        let mut s = Staircase::new();
+        s.insert(5.0, 5.0);
+        s.insert(6.0, 4.0);
+        // (3, 3) makes both previous points redundant.
+        s.insert(3.0, 3.0);
+        assert_eq!(s.pts, vec![(3.0, 3.0)]);
+    }
+
+    #[test]
+    fn trace_arena_collects_in_position_order() {
+        let mut arena = TraceArena::new();
+        // Sweep goes sink -> source: downstream repeaters pushed first.
+        let t1 = arena.push(3000.0, 120.0, TRACE_ROOT);
+        let t2 = arena.push(1000.0, 80.0, t1);
+        let collected = arena.collect(t2);
+        assert_eq!(collected, vec![(1000.0, 80.0), (3000.0, 120.0)]);
+        assert!(arena.collect(TRACE_ROOT).is_empty());
+        assert_eq!(arena.len(), 3);
+    }
+}

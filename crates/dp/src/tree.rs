@@ -1,0 +1,523 @@
+//! Tree DP: van Ginneken / Lillis buffering on RC trees.
+//!
+//! The paper's final section announces an extension of the hybrid scheme
+//! to interconnect trees; this module supplies the DP half of that
+//! extension. Options propagate bottom-up: lifted across edges
+//! (`delay += D_e + R_e·cap; cap += C_e`), cross-merged at branch points
+//! (`cap` adds, `delay` maxes, `width` adds), and optionally cut by a
+//! buffer at each legal node. Chains are the special case of path-shaped
+//! trees, and the test suite pins tree-DP results to chain-DP results on
+//! paths.
+
+use crate::chain::DpStats;
+use crate::error::DpError;
+use crate::options::{prune_2d, prune_3d};
+use rip_delay::RcTree;
+use rip_tech::{RepeaterDevice, RepeaterLibrary};
+
+/// A buffered-tree solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSolution {
+    /// Per-node buffer widths (`None` = no buffer), indexed by tree node.
+    pub buffer_widths: Vec<Option<f64>>,
+    /// Maximum source-to-sink Elmore delay, fs.
+    pub delay_fs: f64,
+    /// Total buffer width, u.
+    pub total_width: f64,
+    /// Work counters.
+    pub stats: DpStats,
+}
+
+/// Tree option (internal): downstream load, worst downstream delay,
+/// accumulated width, and a trace handle.
+#[derive(Debug, Clone, Copy)]
+struct TOpt {
+    cap: f64,
+    delay: f64,
+    width: f64,
+    trace: u32,
+}
+
+/// Trace arena for trees: buffers chain via `prev`, branch merges join
+/// two traces.
+#[derive(Debug)]
+enum TNode {
+    Root,
+    Buffer { node: usize, width: f64, prev: u32 },
+    Join { a: u32, b: u32 },
+}
+
+#[derive(Debug)]
+struct TArena {
+    nodes: Vec<TNode>,
+}
+
+impl TArena {
+    fn new() -> Self {
+        Self { nodes: vec![TNode::Root] }
+    }
+
+    fn buffer(&mut self, node: usize, width: f64, prev: u32) -> u32 {
+        self.nodes.push(TNode::Buffer { node, width, prev });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn join(&mut self, a: u32, b: u32) -> u32 {
+        // Joining with an empty trace is a no-op; skip the allocation.
+        if a == 0 {
+            return b;
+        }
+        if b == 0 {
+            return a;
+        }
+        self.nodes.push(TNode::Join { a, b });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Collects `(node, width)` buffer decisions reachable from `handle`.
+    fn collect(&self, handle: u32, out: &mut Vec<(usize, f64)>) {
+        let mut stack = vec![handle];
+        while let Some(h) = stack.pop() {
+            match &self.nodes[h as usize] {
+                TNode::Root => {}
+                TNode::Buffer { node, width, prev } => {
+                    out.push((*node, *width));
+                    stack.push(*prev);
+                }
+                TNode::Join { a, b } => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+            }
+        }
+    }
+}
+
+/// Tree objective selector (mirrors the chain [`crate::Objective`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TreeMode {
+    MinDelay,
+    MinPower { target_fs: f64 },
+}
+
+/// Minimum-delay buffering of an RC tree.
+///
+/// * `allowed` — optional per-node buffer-legality mask (e.g. forbidden
+///   zones mapped onto tree nodes); the root entry is ignored (the root
+///   is the driver). Default: buffers allowed everywhere but the root.
+///
+/// # Errors
+///
+/// Returns [`DpError::BadAllowedMask`] for a mask of the wrong length.
+///
+/// # Examples
+///
+/// ```
+/// use rip_delay::RcTree;
+/// use rip_dp::tree_min_delay;
+/// use rip_tech::{RepeaterLibrary, Technology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::generic_180nm();
+/// let mut tree = RcTree::with_root();
+/// let a = tree.add_uniform_child(0, 400.0, 1200.0)?;
+/// let s1 = tree.add_uniform_child(a, 300.0, 800.0)?;
+/// let s2 = tree.add_uniform_child(a, 250.0, 700.0)?;
+/// tree.set_sink_cap(s1, 60.0)?;
+/// tree.set_sink_cap(s2, 60.0)?;
+/// let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0)?;
+/// let sol = tree_min_delay(&tree, tech.device(), 120.0, &lib, None)?;
+/// assert!(sol.delay_fs > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn tree_min_delay(
+    tree: &RcTree,
+    device: &RepeaterDevice,
+    driver_width: f64,
+    library: &RepeaterLibrary,
+    allowed: Option<&[bool]>,
+) -> Result<TreeSolution, DpError> {
+    solve_tree(tree, device, driver_width, library, allowed, TreeMode::MinDelay)
+}
+
+/// Minimum-total-width buffering of an RC tree under a timing target
+/// (max over sinks).
+///
+/// # Errors
+///
+/// * [`DpError::InvalidTarget`] for a bad target;
+/// * [`DpError::InfeasibleTarget`] when the target cannot be met;
+/// * [`DpError::BadAllowedMask`] for a mask of the wrong length.
+pub fn tree_min_power(
+    tree: &RcTree,
+    device: &RepeaterDevice,
+    driver_width: f64,
+    library: &RepeaterLibrary,
+    allowed: Option<&[bool]>,
+    target_fs: f64,
+) -> Result<TreeSolution, DpError> {
+    if !target_fs.is_finite() || target_fs <= 0.0 {
+        return Err(DpError::InvalidTarget { target_fs });
+    }
+    solve_tree(
+        tree,
+        device,
+        driver_width,
+        library,
+        allowed,
+        TreeMode::MinPower { target_fs },
+    )
+}
+
+fn solve_tree(
+    tree: &RcTree,
+    device: &RepeaterDevice,
+    driver_width: f64,
+    library: &RepeaterLibrary,
+    allowed: Option<&[bool]>,
+    mode: TreeMode,
+) -> Result<TreeSolution, DpError> {
+    if let Some(mask) = allowed {
+        if mask.len() != tree.len() {
+            return Err(DpError::BadAllowedMask { got: mask.len(), expected: tree.len() });
+        }
+    }
+    let buffer_ok = |v: usize| v != 0 && allowed.map_or(true, |m| m[v]);
+    let target = match mode {
+        TreeMode::MinDelay => None,
+        TreeMode::MinPower { target_fs } => Some(target_fs),
+    };
+
+    let mut arena = TArena::new();
+    let mut stats = DpStats {
+        candidates: tree.len() - 1,
+        library_size: library.len(),
+        ..DpStats::default()
+    };
+    // options[v]: the non-dominated set looking into node v from its
+    // parent edge (load the edge would see at v, worst delay from v's
+    // input to any sink below, width spent below).
+    let mut options: Vec<Vec<TOpt>> = vec![Vec::new(); tree.len()];
+
+    // Creation order guarantees parents before children, so a reverse
+    // scan is a post-order.
+    for v in (0..tree.len()).rev() {
+        // Cross-merge the children (lifted across their edges).
+        let mut acc = vec![TOpt { cap: 0.0, delay: 0.0, width: 0.0, trace: 0 }];
+        for &u in tree.children(v) {
+            let wire = tree.wire(u);
+            let lifted: Vec<TOpt> = options[u]
+                .iter()
+                .map(|o| TOpt {
+                    cap: o.cap + wire.capacitance,
+                    delay: o.delay + wire.elmore + wire.resistance * o.cap,
+                    width: o.width,
+                    trace: o.trace,
+                })
+                .collect();
+            options[u].clear(); // consumed
+            let mut next = Vec::with_capacity(acc.len() * lifted.len());
+            for a in &acc {
+                for b in &lifted {
+                    if target.is_some_and(|t| a.delay.max(b.delay) > t) {
+                        continue;
+                    }
+                    next.push(TOpt {
+                        cap: a.cap + b.cap,
+                        delay: a.delay.max(b.delay),
+                        width: a.width + b.width,
+                        trace: arena.join(a.trace, b.trace),
+                    });
+                }
+            }
+            stats.options_created += next.len() as u64;
+            prune(&mut next, mode);
+            acc = next;
+        }
+
+        if v == 0 {
+            // Driver stage at the root (tap at the root loads the driver
+            // alongside the subtree).
+            let tap = tree.sink_cap(0);
+            for o in &mut acc {
+                o.delay += device.intrinsic_delay()
+                    + device.output_resistance(driver_width) * (o.cap + tap);
+            }
+            options[0] = acc;
+            break;
+        }
+
+        // Unbuffered at v: the node's tap joins the stage load.
+        let tap = tree.sink_cap(v);
+        let mut combined: Vec<TOpt> = acc
+            .iter()
+            .map(|o| TOpt { cap: o.cap + tap, ..*o })
+            .collect();
+        // Buffered at v: the buffer drives the merged subtree; upstream
+        // sees tap + buffer input cap.
+        if buffer_ok(v) {
+            for o in &acc {
+                for &w in library {
+                    let delay = o.delay
+                        + device.intrinsic_delay()
+                        + device.output_resistance(w) * o.cap;
+                    if target.is_some_and(|t| delay > t) {
+                        continue;
+                    }
+                    combined.push(TOpt {
+                        cap: tap + device.input_cap(w),
+                        delay,
+                        width: o.width + w,
+                        trace: arena.buffer(v, w, o.trace),
+                    });
+                }
+            }
+        }
+        stats.options_created += combined.len() as u64;
+        prune(&mut combined, mode);
+        stats.options_peak = stats.options_peak.max(combined.len());
+        options[v] = combined;
+    }
+
+    let finals = &options[0];
+    let best = match mode {
+        TreeMode::MinDelay => finals.iter().min_by(|a, b| {
+            a.delay
+                .partial_cmp(&b.delay)
+                .expect("finite delays")
+                .then(a.width.partial_cmp(&b.width).expect("finite widths"))
+        }),
+        TreeMode::MinPower { target_fs } => finals
+            .iter()
+            .filter(|o| o.delay <= target_fs)
+            .min_by(|a, b| {
+                a.width
+                    .partial_cmp(&b.width)
+                    .expect("finite widths")
+                    .then(a.delay.partial_cmp(&b.delay).expect("finite delays"))
+            }),
+    };
+    let best = match best {
+        Some(b) => *b,
+        None => {
+            let fastest =
+                solve_tree(tree, device, driver_width, library, allowed, TreeMode::MinDelay)?;
+            return Err(DpError::InfeasibleTarget {
+                target_fs: target.expect("only the power mode can be infeasible"),
+                achievable_fs: fastest.delay_fs,
+            });
+        }
+    };
+
+    let mut buffers = Vec::new();
+    arena.collect(best.trace, &mut buffers);
+    let mut buffer_widths = vec![None; tree.len()];
+    for (node, width) in buffers {
+        buffer_widths[node] = Some(width);
+    }
+    stats.trace_nodes = arena.nodes.len() - 1;
+    Ok(TreeSolution {
+        buffer_widths,
+        delay_fs: best.delay,
+        total_width: best.width,
+        stats,
+    })
+}
+
+fn prune(options: &mut Vec<TOpt>, mode: TreeMode) {
+    match mode {
+        TreeMode::MinDelay => prune_2d(options, |o| (o.cap, o.delay)),
+        TreeMode::MinPower { .. } => prune_3d(options, |o| (o.cap, o.delay, o.width)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::CandidateSet;
+    use crate::chain::{solve_min_delay, solve_min_power};
+    use rip_net::{NetBuilder, Segment, TwoPinNet};
+    use rip_tech::Technology;
+
+    fn tech() -> Technology {
+        Technology::generic_180nm()
+    }
+
+    /// Y-shaped tree: trunk then two branches with sinks.
+    fn y_tree(dev: &RepeaterDevice) -> RcTree {
+        let mut tree = RcTree::with_root();
+        let trunk = tree.add_uniform_child(0, 400.0, 1200.0).unwrap();
+        let s1 = tree.add_uniform_child(trunk, 300.0, 800.0).unwrap();
+        let s2 = tree.add_uniform_child(trunk, 500.0, 1500.0).unwrap();
+        tree.set_sink_cap(s1, dev.input_cap(60.0)).unwrap();
+        tree.set_sink_cap(s2, dev.input_cap(40.0)).unwrap();
+        tree
+    }
+
+    /// Maps a chain net + candidate set onto the equivalent path tree.
+    fn chain_as_tree(net: &TwoPinNet, dev: &RepeaterDevice, cands: &CandidateSet) -> RcTree {
+        let mut tree = RcTree::with_root();
+        let mut prev_pos = 0.0;
+        let mut prev_node = 0;
+        for &x in cands.positions() {
+            let wire = net.profile().interval(prev_pos, x);
+            prev_node = tree.add_child(prev_node, wire, 0.0).unwrap();
+            prev_pos = x;
+        }
+        let wire = net.profile().interval(prev_pos, net.total_length());
+        let sink = tree.add_child(prev_node, wire, 0.0).unwrap();
+        tree.set_sink_cap(sink, dev.input_cap(net.receiver_width())).unwrap();
+        tree
+    }
+
+    fn chain_net() -> TwoPinNet {
+        NetBuilder::new()
+            .segment(Segment::new(4000.0, 0.08, 0.20))
+            .segment(Segment::new(5000.0, 0.06, 0.18))
+            .driver_width(120.0)
+            .receiver_width(60.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tree_dp_matches_chain_dp_on_paths_min_delay() {
+        let tech = tech();
+        let net = chain_net();
+        let lib = RepeaterLibrary::from_widths([40.0, 120.0, 280.0]).unwrap();
+        let cands = CandidateSet::uniform(&net, 600.0);
+        let chain_sol = solve_min_delay(&net, tech.device(), &lib, &cands);
+        let tree = chain_as_tree(&net, tech.device(), &cands);
+        let tree_sol =
+            tree_min_delay(&tree, tech.device(), net.driver_width(), &lib, None).unwrap();
+        assert!(
+            (chain_sol.delay_fs - tree_sol.delay_fs).abs() < 1e-6,
+            "chain {} vs tree {}",
+            chain_sol.delay_fs,
+            tree_sol.delay_fs
+        );
+        assert!((chain_sol.total_width - tree_sol.total_width).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_dp_matches_chain_dp_on_paths_min_power() {
+        let tech = tech();
+        let net = chain_net();
+        let lib = RepeaterLibrary::from_widths([40.0, 120.0, 280.0]).unwrap();
+        let cands = CandidateSet::uniform(&net, 600.0);
+        let fastest = solve_min_delay(&net, tech.device(), &lib, &cands);
+        let tree = chain_as_tree(&net, tech.device(), &cands);
+        for mult in [1.1, 1.4, 1.9] {
+            let target = fastest.delay_fs * mult;
+            let chain_sol =
+                solve_min_power(&net, tech.device(), &lib, &cands, target).unwrap();
+            let tree_sol = tree_min_power(
+                &tree,
+                tech.device(),
+                net.driver_width(),
+                &lib,
+                None,
+                target,
+            )
+            .unwrap();
+            assert!(
+                (chain_sol.total_width - tree_sol.total_width).abs() < 1e-9,
+                "mult {mult}: chain {} vs tree {}",
+                chain_sol.total_width,
+                tree_sol.total_width
+            );
+        }
+    }
+
+    #[test]
+    fn solution_delay_matches_tree_evaluation() {
+        let tech = tech();
+        let tree = y_tree(tech.device());
+        let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0).unwrap();
+        let sol = tree_min_delay(&tree, tech.device(), 120.0, &lib, None).unwrap();
+        let timing = tree.evaluate_buffered(tech.device(), 120.0, &sol.buffer_widths);
+        assert!(
+            (timing.max_sink_delay - sol.delay_fs).abs() < 1e-6,
+            "DP {} vs evaluate {}",
+            sol.delay_fs,
+            timing.max_sink_delay
+        );
+    }
+
+    #[test]
+    fn tree_min_power_meets_target_with_less_width() {
+        let tech = tech();
+        let tree = y_tree(tech.device());
+        let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0).unwrap();
+        let fastest = tree_min_delay(&tree, tech.device(), 120.0, &lib, None).unwrap();
+        let target = fastest.delay_fs * 1.5;
+        let sol =
+            tree_min_power(&tree, tech.device(), 120.0, &lib, None, target).unwrap();
+        assert!(sol.delay_fs <= target * (1.0 + 1e-12));
+        assert!(sol.total_width <= fastest.total_width);
+        let timing = tree.evaluate_buffered(tech.device(), 120.0, &sol.buffer_widths);
+        assert!((timing.max_sink_delay - sol.delay_fs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_tree_target_reports_achievable() {
+        let tech = tech();
+        let tree = y_tree(tech.device());
+        let lib = RepeaterLibrary::from_widths([20.0]).unwrap();
+        let fastest = tree_min_delay(&tree, tech.device(), 120.0, &lib, None).unwrap();
+        let err = tree_min_power(
+            &tree,
+            tech.device(),
+            120.0,
+            &lib,
+            None,
+            fastest.delay_fs * 0.5,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DpError::InfeasibleTarget { .. }));
+    }
+
+    #[test]
+    fn allowed_mask_restricts_buffer_sites() {
+        let tech = tech();
+        let tree = y_tree(tech.device());
+        let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0).unwrap();
+        // Forbid everywhere: solution must be bufferless.
+        let mask = vec![false; tree.len()];
+        let sol = tree_min_delay(&tree, tech.device(), 120.0, &lib, Some(&mask)).unwrap();
+        assert!(sol.buffer_widths.iter().all(Option::is_none));
+        assert_eq!(sol.total_width, 0.0);
+        // And matches the unbuffered evaluation.
+        let unbuffered = tree.elmore_delays(tech.device(), 120.0).max_sink_delay;
+        assert!((sol.delay_fs - unbuffered).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrong_mask_length_is_rejected() {
+        let tech = tech();
+        let tree = y_tree(tech.device());
+        let lib = RepeaterLibrary::paper_coarse();
+        let err =
+            tree_min_delay(&tree, tech.device(), 120.0, &lib, Some(&[true])).unwrap_err();
+        assert!(matches!(err, DpError::BadAllowedMask { got: 1, expected: 4 }));
+    }
+
+    #[test]
+    fn buffering_helps_an_unbalanced_tree() {
+        let tech = tech();
+        let dev = tech.device();
+        let mut tree = RcTree::with_root();
+        let trunk = tree.add_uniform_child(0, 800.0, 2500.0).unwrap();
+        let near = tree.add_uniform_child(trunk, 50.0, 120.0).unwrap();
+        let far1 = tree.add_uniform_child(trunk, 600.0, 1800.0).unwrap();
+        let far2 = tree.add_uniform_child(far1, 600.0, 1800.0).unwrap();
+        tree.set_sink_cap(near, dev.input_cap(50.0)).unwrap();
+        tree.set_sink_cap(far2, dev.input_cap(50.0)).unwrap();
+        let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0).unwrap();
+        let sol = tree_min_delay(&tree, dev, 120.0, &lib, None).unwrap();
+        let unbuffered = tree.elmore_delays(dev, 120.0).max_sink_delay;
+        assert!(sol.delay_fs < unbuffered);
+        assert!(sol.buffer_widths.iter().any(Option::is_some));
+    }
+}

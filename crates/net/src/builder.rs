@@ -1,0 +1,166 @@
+//! Incremental construction of two-pin nets.
+
+use crate::error::NetError;
+use crate::net::TwoPinNet;
+use crate::segment::Segment;
+use crate::zone::ForbiddenZone;
+use rip_tech::WireLayer;
+
+/// Default driver width when none is specified, in u.
+///
+/// A strong-but-not-huge driver, consistent with a global net leaving a
+/// sizeable functional block.
+pub const DEFAULT_DRIVER_WIDTH: f64 = 120.0;
+
+/// Default receiver width when none is specified, in u.
+pub const DEFAULT_RECEIVER_WIDTH: f64 = 60.0;
+
+/// Builder for [`TwoPinNet`] (C-BUILDER).
+///
+/// Segments are appended in source-to-sink order; forbidden zones may be
+/// added in any order and are normalized at build time.
+///
+/// # Examples
+///
+/// ```
+/// use rip_net::NetBuilder;
+/// use rip_tech::WireLayer;
+///
+/// # fn main() -> Result<(), rip_net::NetError> {
+/// let m4 = WireLayer::metal4_180nm();
+/// let m5 = WireLayer::metal5_180nm();
+/// let net = NetBuilder::new()
+///     .segment_on(&m4, 1800.0)
+///     .segment_on(&m5, 2200.0)
+///     .segment_on(&m4, 1400.0)
+///     .forbidden_zone(2000.0, 3300.0)?
+///     .build()?;
+/// assert_eq!(net.segments().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetBuilder {
+    segments: Vec<Segment>,
+    zones: Vec<ForbiddenZone>,
+    driver_width: Option<f64>,
+    receiver_width: Option<f64>,
+}
+
+impl NetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a wire segment at the sink end of the chain.
+    #[must_use]
+    pub fn segment(mut self, segment: Segment) -> Self {
+        self.segments.push(segment);
+        self
+    }
+
+    /// Appends a segment of the given length on a routing layer.
+    #[must_use]
+    pub fn segment_on(self, layer: &WireLayer, length_um: f64) -> Self {
+        self.segment(Segment::on_layer(layer, length_um))
+    }
+
+    /// Adds a forbidden zone spanning `[start, end]` µm from the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ZoneInverted`] for `end <= start`. Range
+    /// checking against the (not yet known) net length happens at
+    /// [`NetBuilder::build`].
+    pub fn forbidden_zone(mut self, start: f64, end: f64) -> Result<Self, NetError> {
+        self.zones.push(ForbiddenZone::new(start, end)?);
+        Ok(self)
+    }
+
+    /// Sets the driver width `w_d`, in u (default
+    /// [`DEFAULT_DRIVER_WIDTH`]).
+    #[must_use]
+    pub fn driver_width(mut self, width: f64) -> Self {
+        self.driver_width = Some(width);
+        self
+    }
+
+    /// Sets the receiver width `w_r`, in u (default
+    /// [`DEFAULT_RECEIVER_WIDTH`]).
+    #[must_use]
+    pub fn receiver_width(mut self, width: f64) -> Self {
+        self.receiver_width = Some(width);
+        self
+    }
+
+    /// Builds the net, validating all parts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`TwoPinNet::new`] validation error.
+    pub fn build(self) -> Result<TwoPinNet, NetError> {
+        TwoPinNet::new(
+            self.segments,
+            self.zones,
+            self.driver_width.unwrap_or(DEFAULT_DRIVER_WIDTH),
+            self.receiver_width.unwrap_or(DEFAULT_RECEIVER_WIDTH),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_defaults() {
+        let net = NetBuilder::new()
+            .segment(Segment::new(1000.0, 0.08, 0.2))
+            .build()
+            .unwrap();
+        assert_eq!(net.driver_width(), DEFAULT_DRIVER_WIDTH);
+        assert_eq!(net.receiver_width(), DEFAULT_RECEIVER_WIDTH);
+    }
+
+    #[test]
+    fn builds_with_explicit_widths() {
+        let net = NetBuilder::new()
+            .segment(Segment::new(1000.0, 0.08, 0.2))
+            .driver_width(200.0)
+            .receiver_width(30.0)
+            .build()
+            .unwrap();
+        assert_eq!(net.driver_width(), 200.0);
+        assert_eq!(net.receiver_width(), 30.0);
+    }
+
+    #[test]
+    fn zone_errors_surface_at_the_right_time() {
+        // Inverted zone: immediately.
+        assert!(NetBuilder::new().forbidden_zone(10.0, 5.0).is_err());
+        // Out-of-range zone: at build, when the length is known.
+        let result = NetBuilder::new()
+            .segment(Segment::new(1000.0, 0.08, 0.2))
+            .forbidden_zone(500.0, 5000.0)
+            .unwrap()
+            .build();
+        assert!(matches!(result, Err(NetError::ZoneOutOfRange { .. })));
+    }
+
+    #[test]
+    fn empty_builder_fails() {
+        assert!(matches!(NetBuilder::new().build(), Err(NetError::NoSegments)));
+    }
+
+    #[test]
+    fn segments_keep_insertion_order() {
+        let net = NetBuilder::new()
+            .segment(Segment::new(1000.0, 0.08, 0.2))
+            .segment(Segment::new(2000.0, 0.06, 0.18))
+            .build()
+            .unwrap();
+        assert_eq!(net.segments()[0].length_um(), 1000.0);
+        assert_eq!(net.segments()[1].length_um(), 2000.0);
+    }
+}

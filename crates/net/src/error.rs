@@ -1,0 +1,100 @@
+//! Error types for the interconnect substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or querying interconnect nets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A net must contain at least one wire segment.
+    NoSegments,
+    /// A segment length or electrical parameter was invalid.
+    InvalidSegment {
+        /// Index of the offending segment.
+        index: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A forbidden zone was inverted (`end <= start`).
+    ZoneInverted {
+        /// Zone start, µm from the source.
+        start: f64,
+        /// Zone end, µm from the source.
+        end: f64,
+    },
+    /// A forbidden zone extended outside the net span `[0, L]`.
+    ZoneOutOfRange {
+        /// Zone start, µm from the source.
+        start: f64,
+        /// Zone end, µm from the source.
+        end: f64,
+        /// Net length, µm.
+        net_length: f64,
+    },
+    /// A driver or receiver width was not strictly positive and finite.
+    InvalidWidth {
+        /// Which terminal the width belonged to.
+        terminal: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A queried position lies outside the net span `[0, L]`.
+    PositionOutOfRange {
+        /// The rejected position, µm.
+        position: f64,
+        /// Net length, µm.
+        net_length: f64,
+    },
+    /// The forbidden zones cover the entire net, leaving no legal repeater
+    /// position.
+    NoLegalPosition,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoSegments => write!(f, "net must contain at least one segment"),
+            NetError::InvalidSegment { index, reason } => {
+                write!(f, "segment {index} is invalid: {reason}")
+            }
+            NetError::ZoneInverted { start, end } => {
+                write!(f, "forbidden zone is inverted: start {start} >= end {end}")
+            }
+            NetError::ZoneOutOfRange { start, end, net_length } => write!(
+                f,
+                "forbidden zone [{start}, {end}] extends outside the net span [0, {net_length}]"
+            ),
+            NetError::InvalidWidth { terminal, value } => {
+                write!(f, "{terminal} width must be strictly positive, got {value}")
+            }
+            NetError::PositionOutOfRange { position, net_length } => {
+                write!(f, "position {position} lies outside the net span [0, {net_length}]")
+            }
+            NetError::NoLegalPosition => {
+                write!(f, "forbidden zones cover the entire net; no legal repeater position")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_values() {
+        let msg = NetError::ZoneOutOfRange { start: -5.0, end: 100.0, net_length: 50.0 }
+            .to_string();
+        assert!(msg.contains("-5"));
+        assert!(msg.contains("50"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<NetError>();
+    }
+}

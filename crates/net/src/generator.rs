@@ -1,0 +1,259 @@
+//! Random net generation matching the paper's experimental setup.
+//!
+//! Section 6 of the paper: nets routed on metal4/metal5 of a 0.18 µm
+//! process, 4–10 segments of 1000–2500 µm each, one forbidden zone
+//! covering 20–40 % of the net length, uniformly located along the net.
+//! The original 20 evaluation nets are not published, so experiments
+//! regenerate statistically identical suites from a fixed seed
+//! (see DESIGN.md §2).
+
+use crate::error::NetError;
+use crate::net::TwoPinNet;
+use crate::segment::Segment;
+use crate::zone::ForbiddenZone;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rip_tech::WireLayer;
+
+/// Distribution parameters for random two-pin nets.
+///
+/// The [`Default`] instance reproduces the paper's Section 6 setup.
+///
+/// # Examples
+///
+/// ```
+/// use rip_net::{NetGenerator, RandomNetConfig};
+///
+/// let mut gen = NetGenerator::from_seed(RandomNetConfig::default(), 42).unwrap();
+/// let net = gen.generate();
+/// assert!(net.segments().len() >= 4 && net.segments().len() <= 10);
+/// assert_eq!(net.zones().len(), 1);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomNetConfig {
+    /// Inclusive range of segment counts (paper: 4–10).
+    pub segment_count: (usize, usize),
+    /// Inclusive range of per-segment lengths, µm (paper: 1000–2500).
+    pub segment_length_um: (f64, f64),
+    /// Number of forbidden zones per net (paper: 1).
+    pub zone_count: usize,
+    /// Inclusive range of the zone-length fraction of the total net
+    /// length (paper: 0.2–0.4).
+    pub zone_fraction: (f64, f64),
+    /// Inclusive range of driver widths, u.
+    pub driver_width: (f64, f64),
+    /// Inclusive range of receiver widths, u.
+    pub receiver_width: (f64, f64),
+    /// Routing layers segments are drawn from, uniformly (paper: metal4
+    /// and metal5).
+    pub layers: Vec<WireLayer>,
+}
+
+impl Default for RandomNetConfig {
+    fn default() -> Self {
+        Self {
+            segment_count: (4, 10),
+            segment_length_um: (1000.0, 2500.0),
+            zone_count: 1,
+            zone_fraction: (0.2, 0.4),
+            driver_width: (100.0, 160.0),
+            receiver_width: (40.0, 80.0),
+            layers: vec![WireLayer::metal4_180nm(), WireLayer::metal5_180nm()],
+        }
+    }
+}
+
+impl RandomNetConfig {
+    /// Validates the configuration ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidSegment`] (index 0) when any range is
+    /// inverted, non-finite, or the layer list is empty — the generator
+    /// cannot produce a valid net from such a configuration.
+    pub fn validate(&self) -> Result<(), NetError> {
+        let ok_range = |(lo, hi): (f64, f64)| lo.is_finite() && hi.is_finite() && lo <= hi;
+        let valid = self.segment_count.0 >= 1
+            && self.segment_count.0 <= self.segment_count.1
+            && ok_range(self.segment_length_um)
+            && self.segment_length_um.0 > 0.0
+            && ok_range(self.zone_fraction)
+            && self.zone_fraction.0 >= 0.0
+            && self.zone_fraction.1 < 1.0
+            && ok_range(self.driver_width)
+            && self.driver_width.0 > 0.0
+            && ok_range(self.receiver_width)
+            && self.receiver_width.0 > 0.0
+            && !self.layers.is_empty();
+        if valid {
+            Ok(())
+        } else {
+            Err(NetError::InvalidSegment {
+                index: 0,
+                reason: "random net configuration has inverted or invalid ranges",
+            })
+        }
+    }
+}
+
+/// Deterministic random net generator (seeded [`StdRng`]).
+#[derive(Debug, Clone)]
+pub struct NetGenerator {
+    config: RandomNetConfig,
+    rng: StdRng,
+}
+
+impl NetGenerator {
+    /// Creates a generator with the given configuration and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid (see
+    /// [`RandomNetConfig::validate`]).
+    pub fn from_seed(config: RandomNetConfig, seed: u64) -> Result<Self, NetError> {
+        config.validate()?;
+        Ok(Self { config, rng: StdRng::seed_from_u64(seed) })
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &RandomNetConfig {
+        &self.config
+    }
+
+    /// Generates the next random net.
+    ///
+    /// Generation cannot fail for a validated configuration: segment
+    /// lengths are positive, zones are derived from the realized length,
+    /// and widths are positive.
+    pub fn generate(&mut self) -> TwoPinNet {
+        let cfg = &self.config;
+        let n_segs = self.rng.gen_range(cfg.segment_count.0..=cfg.segment_count.1);
+        let mut segments = Vec::with_capacity(n_segs);
+        for _ in 0..n_segs {
+            let layer = &cfg.layers[self.rng.gen_range(0..cfg.layers.len())];
+            let len = self
+                .rng
+                .gen_range(cfg.segment_length_um.0..=cfg.segment_length_um.1);
+            segments.push(Segment::on_layer(layer, len));
+        }
+        let total: f64 = segments.iter().map(Segment::length_um).sum();
+        let mut zones = Vec::with_capacity(cfg.zone_count);
+        for _ in 0..cfg.zone_count {
+            let frac = self.rng.gen_range(cfg.zone_fraction.0..=cfg.zone_fraction.1);
+            let len = frac * total;
+            if len <= 0.0 {
+                continue;
+            }
+            let start = self.rng.gen_range(0.0..=(total - len));
+            zones.push(
+                ForbiddenZone::new(start, start + len)
+                    .expect("generated zone has positive length"),
+            );
+        }
+        let wd = self.rng.gen_range(cfg.driver_width.0..=cfg.driver_width.1);
+        let wr = self.rng.gen_range(cfg.receiver_width.0..=cfg.receiver_width.1);
+        TwoPinNet::new(segments, zones, wd, wr)
+            .expect("validated configuration generates valid nets")
+    }
+
+    /// Generates a reproducible suite of `count` nets from a fresh
+    /// generator with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid.
+    pub fn suite(
+        config: RandomNetConfig,
+        seed: u64,
+        count: usize,
+    ) -> Result<Vec<TwoPinNet>, NetError> {
+        let mut gen = Self::from_seed(config, seed)?;
+        Ok((0..count).map(|_| gen.generate()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_nets_match_paper_distribution() {
+        let mut gen = NetGenerator::from_seed(RandomNetConfig::default(), 7).unwrap();
+        for _ in 0..50 {
+            let net = gen.generate();
+            let n = net.segments().len();
+            assert!((4..=10).contains(&n), "segment count {n}");
+            for seg in net.segments() {
+                assert!(seg.length_um() >= 1000.0 && seg.length_um() <= 2500.0);
+            }
+            assert_eq!(net.zones().len(), 1);
+            let frac = net.forbidden_fraction();
+            assert!(frac >= 0.2 - 1e-9 && frac <= 0.4 + 1e-9, "zone fraction {frac}");
+            assert!(net.driver_width() >= 100.0 && net.driver_width() <= 160.0);
+            assert!(net.receiver_width() >= 40.0 && net.receiver_width() <= 80.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_nets() {
+        let a = NetGenerator::suite(RandomNetConfig::default(), 99, 5).unwrap();
+        let b = NetGenerator::suite(RandomNetConfig::default(), 99, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NetGenerator::suite(RandomNetConfig::default(), 1, 3).unwrap();
+        let b = NetGenerator::suite(RandomNetConfig::default(), 2, 3).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zone_lies_within_net() {
+        let mut gen = NetGenerator::from_seed(RandomNetConfig::default(), 5).unwrap();
+        for _ in 0..20 {
+            let net = gen.generate();
+            let z = &net.zones()[0];
+            assert!(z.start() >= 0.0);
+            assert!(z.end() <= net.total_length() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_zone_configuration() {
+        let config = RandomNetConfig { zone_count: 0, ..RandomNetConfig::default() };
+        let mut gen = NetGenerator::from_seed(config, 3).unwrap();
+        let net = gen.generate();
+        assert!(net.zones().is_empty());
+    }
+
+    #[test]
+    fn layers_are_actually_mixed() {
+        let mut gen = NetGenerator::from_seed(RandomNetConfig::default(), 11).unwrap();
+        let mut seen_m4 = false;
+        let mut seen_m5 = false;
+        for _ in 0..20 {
+            let net = gen.generate();
+            for seg in net.segments() {
+                if (seg.r_per_um() - 0.08).abs() < 1e-12 {
+                    seen_m4 = true;
+                }
+                if (seg.r_per_um() - 0.06).abs() < 1e-12 {
+                    seen_m5 = true;
+                }
+            }
+        }
+        assert!(seen_m4 && seen_m5);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = RandomNetConfig { segment_count: (5, 3), ..RandomNetConfig::default() };
+        assert!(NetGenerator::from_seed(bad, 0).is_err());
+        let bad = RandomNetConfig { zone_fraction: (0.5, 1.2), ..RandomNetConfig::default() };
+        assert!(NetGenerator::from_seed(bad, 0).is_err());
+        let bad = RandomNetConfig { layers: vec![], ..RandomNetConfig::default() };
+        assert!(NetGenerator::from_seed(bad, 0).is_err());
+    }
+}

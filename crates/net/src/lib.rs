@@ -1,0 +1,99 @@
+//! # rip-net — interconnect substrate for the RIP reproduction
+//!
+//! Models the paper's Problem LPRI inputs (Section 3): routed multi-layer
+//! two-pin nets made of wire segments with distinct RC characteristics,
+//! plus forbidden zones where macro-blocks preclude repeater placement.
+//!
+//! * [`Segment`], [`TwoPinNet`], [`NetBuilder`] — net construction;
+//! * [`ForbiddenZone`] — open-interval placement blockages;
+//! * [`RcProfile`], [`IntervalRc`], [`Side`] — exact piecewise RC prefix
+//!   integrals, the numerical backbone of every delay computation in the
+//!   workspace (split-invariant, O(log m) interval queries);
+//! * [`uniform_candidates`], [`window_candidates`], [`snap_legal`] —
+//!   candidate repeater positions for the DP engines;
+//! * [`NetGenerator`], [`RandomNetConfig`] — seeded random nets matching
+//!   the paper's Section 6 distribution.
+//!
+//! # Example
+//!
+//! ```
+//! use rip_net::{uniform_candidates, NetBuilder, Segment};
+//!
+//! # fn main() -> Result<(), rip_net::NetError> {
+//! let net = NetBuilder::new()
+//!     .segment(Segment::new(2500.0, 0.08, 0.20))
+//!     .segment(Segment::new(2000.0, 0.06, 0.18))
+//!     .forbidden_zone(1500.0, 2600.0)?
+//!     .build()?;
+//!
+//! // Everything Eq. (1) needs about the wire between two positions:
+//! let span = net.profile().interval(500.0, 3000.0);
+//! assert!(span.resistance > 0.0 && span.capacitance > 0.0);
+//!
+//! // The paper's 200 µm DP candidate grid, zone-aware:
+//! let grid = uniform_candidates(&net, 200.0);
+//! assert!(grid.iter().all(|&x| !net.is_forbidden(x)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod error;
+mod generator;
+mod net;
+mod position;
+mod profile;
+mod segment;
+mod zone;
+
+pub use builder::{NetBuilder, DEFAULT_DRIVER_WIDTH, DEFAULT_RECEIVER_WIDTH};
+pub use error::NetError;
+pub use generator::{NetGenerator, RandomNetConfig};
+pub use net::TwoPinNet;
+pub use position::{snap_legal, sort_dedup_positions, uniform_candidates, window_candidates};
+pub use profile::{IntervalRc, RcProfile, Side};
+pub use segment::Segment;
+pub use zone::ForbiddenZone;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Segment>();
+        assert_send_sync::<ForbiddenZone>();
+        assert_send_sync::<TwoPinNet>();
+        assert_send_sync::<RcProfile>();
+        assert_send_sync::<NetGenerator>();
+        assert_send_sync::<NetError>();
+    }
+}
+
+#[cfg(all(test, feature = "serde"))]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn net_components_round_trip_through_json() {
+        let seg = Segment::new(1500.0, 0.08, 0.2);
+        let back: Segment =
+            serde_json::from_str(&serde_json::to_string(&seg).unwrap()).unwrap();
+        assert_eq!(seg, back);
+
+        let zone = ForbiddenZone::new(100.0, 900.0).unwrap();
+        let back: ForbiddenZone =
+            serde_json::from_str(&serde_json::to_string(&zone).unwrap()).unwrap();
+        assert_eq!(zone, back);
+
+        let config = RandomNetConfig::default();
+        let back: RandomNetConfig =
+            serde_json::from_str(&serde_json::to_string(&config).unwrap()).unwrap();
+        assert_eq!(config, back);
+    }
+}

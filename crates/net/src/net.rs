@@ -1,0 +1,278 @@
+//! Multi-layer two-pin interconnects (Problem LPRI, Section 3 of the
+//! paper).
+
+use crate::error::NetError;
+use crate::profile::RcProfile;
+use crate::segment::Segment;
+use crate::zone::{normalize_zones, ForbiddenZone};
+
+/// A routed multi-layer two-pin net: an ordered chain of wire segments
+/// with distinct RC characteristics, driver/receiver widths, and forbidden
+/// zones (Figure 1 of the paper).
+///
+/// Construction validates every segment, normalizes (sorts/merges) the
+/// zones, checks that they lie within the net span, and precomputes the
+/// exact RC prefix profile used by all delay computations.
+///
+/// # Examples
+///
+/// ```
+/// use rip_net::{NetBuilder, Segment};
+///
+/// # fn main() -> Result<(), rip_net::NetError> {
+/// let net = NetBuilder::new()
+///     .segment(Segment::new(2000.0, 0.08, 0.2))
+///     .segment(Segment::new(3000.0, 0.06, 0.18))
+///     .forbidden_zone(2500.0, 3500.0)?
+///     .driver_width(120.0)
+///     .receiver_width(60.0)
+///     .build()?;
+/// assert_eq!(net.total_length(), 5000.0);
+/// assert!(net.is_forbidden(3000.0));
+/// assert!(!net.is_forbidden(1000.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoPinNet {
+    segments: Vec<Segment>,
+    zones: Vec<ForbiddenZone>,
+    driver_width: f64,
+    receiver_width: f64,
+    profile: RcProfile,
+}
+
+impl TwoPinNet {
+    /// Creates a net from parts. Prefer [`crate::NetBuilder`] for
+    /// incremental construction.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::NoSegments`] / [`NetError::InvalidSegment`] for an
+    ///   invalid chain;
+    /// * [`NetError::InvalidWidth`] for non-positive driver/receiver
+    ///   widths;
+    /// * [`NetError::ZoneOutOfRange`] for zones escaping `[0, L]`.
+    pub fn new(
+        segments: Vec<Segment>,
+        zones: Vec<ForbiddenZone>,
+        driver_width: f64,
+        receiver_width: f64,
+    ) -> Result<Self, NetError> {
+        let profile = RcProfile::new(&segments)?;
+        if !driver_width.is_finite() || driver_width <= 0.0 {
+            return Err(NetError::InvalidWidth { terminal: "driver", value: driver_width });
+        }
+        if !receiver_width.is_finite() || receiver_width <= 0.0 {
+            return Err(NetError::InvalidWidth {
+                terminal: "receiver",
+                value: receiver_width,
+            });
+        }
+        let total = profile.total_length();
+        let zones = normalize_zones(zones);
+        for z in &zones {
+            if z.start() < -1e-9 || z.end() > total + 1e-9 {
+                return Err(NetError::ZoneOutOfRange {
+                    start: z.start(),
+                    end: z.end(),
+                    net_length: total,
+                });
+            }
+        }
+        Ok(Self { segments, zones, driver_width, receiver_width, profile })
+    }
+
+    /// The wire segments, in source-to-sink order.
+    #[inline]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The forbidden zones, normalized: disjoint and ascending.
+    #[inline]
+    pub fn zones(&self) -> &[ForbiddenZone] {
+        &self.zones
+    }
+
+    /// Driver width `w_d`, in u.
+    #[inline]
+    pub fn driver_width(&self) -> f64 {
+        self.driver_width
+    }
+
+    /// Receiver width `w_r`, in u.
+    #[inline]
+    pub fn receiver_width(&self) -> f64 {
+        self.receiver_width
+    }
+
+    /// The precomputed RC prefix profile.
+    #[inline]
+    pub fn profile(&self) -> &RcProfile {
+        &self.profile
+    }
+
+    /// Total routed length `L`, µm.
+    #[inline]
+    pub fn total_length(&self) -> f64 {
+        self.profile.total_length()
+    }
+
+    /// Total wire resistance, Ω.
+    #[inline]
+    pub fn total_resistance(&self) -> f64 {
+        self.profile.total_resistance()
+    }
+
+    /// Total wire capacitance, fF.
+    #[inline]
+    pub fn total_capacitance(&self) -> f64 {
+        self.profile.total_capacitance()
+    }
+
+    /// Returns `true` when `x` lies strictly inside a forbidden zone
+    /// (zone boundaries are legal).
+    pub fn is_forbidden(&self, x: f64) -> bool {
+        // Zones are sorted and disjoint: binary search by start.
+        let idx = self.zones.partition_point(|z| z.start() < x);
+        // Only the zone starting at or before x can contain it.
+        idx > 0 && self.zones[idx - 1].contains(x)
+    }
+
+    /// Returns `true` when `x` is a legal repeater position: inside the
+    /// open span `(0, L)` and not strictly inside a forbidden zone.
+    pub fn is_legal_position(&self, x: f64) -> bool {
+        x > 0.0 && x < self.total_length() && !self.is_forbidden(x)
+    }
+
+    /// Fraction of the net length covered by forbidden zones, in `[0, 1]`.
+    pub fn forbidden_fraction(&self) -> f64 {
+        let covered: f64 = self.zones.iter().map(|z| z.length_um()).sum();
+        covered / self.total_length()
+    }
+
+    /// The forbidden zone containing `x`, if any.
+    pub fn zone_at(&self, x: f64) -> Option<&ForbiddenZone> {
+        let idx = self.zones.partition_point(|z| z.start() < x);
+        if idx > 0 && self.zones[idx - 1].contains(x) {
+            Some(&self.zones[idx - 1])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segments() -> Vec<Segment> {
+        vec![
+            Segment::new(1000.0, 0.08, 0.20),
+            Segment::new(2000.0, 0.06, 0.18),
+            Segment::new(1500.0, 0.08, 0.20),
+        ]
+    }
+
+    fn zone(a: f64, b: f64) -> ForbiddenZone {
+        ForbiddenZone::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let net =
+            TwoPinNet::new(segments(), vec![zone(1200.0, 2400.0)], 120.0, 60.0).unwrap();
+        assert_eq!(net.segments().len(), 3);
+        assert_eq!(net.total_length(), 4500.0);
+        assert_eq!(net.driver_width(), 120.0);
+        assert_eq!(net.receiver_width(), 60.0);
+        assert_eq!(net.zones().len(), 1);
+    }
+
+    #[test]
+    fn forbidden_queries() {
+        let net = TwoPinNet::new(
+            segments(),
+            vec![zone(1200.0, 2400.0), zone(3000.0, 3500.0)],
+            120.0,
+            60.0,
+        )
+        .unwrap();
+        assert!(net.is_forbidden(1500.0));
+        assert!(net.is_forbidden(3200.0));
+        assert!(!net.is_forbidden(1200.0)); // boundary legal
+        assert!(!net.is_forbidden(2700.0));
+        assert!(net.zone_at(1500.0).is_some());
+        assert!(net.zone_at(2700.0).is_none());
+    }
+
+    #[test]
+    fn legal_positions_exclude_endpoints_and_zones() {
+        let net =
+            TwoPinNet::new(segments(), vec![zone(1200.0, 2400.0)], 120.0, 60.0).unwrap();
+        assert!(!net.is_legal_position(0.0));
+        assert!(!net.is_legal_position(4500.0));
+        assert!(!net.is_legal_position(2000.0)); // inside zone
+        assert!(net.is_legal_position(1000.0));
+        assert!(net.is_legal_position(2400.0)); // zone end boundary
+    }
+
+    #[test]
+    fn forbidden_fraction() {
+        let net =
+            TwoPinNet::new(segments(), vec![zone(1000.0, 2350.0)], 120.0, 60.0).unwrap();
+        assert!((net.forbidden_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zones_are_normalized_on_construction() {
+        let net = TwoPinNet::new(
+            segments(),
+            vec![zone(2000.0, 3000.0), zone(1000.0, 2200.0)],
+            120.0,
+            60.0,
+        )
+        .unwrap();
+        assert_eq!(net.zones().len(), 1);
+        assert_eq!(net.zones()[0].start(), 1000.0);
+        assert_eq!(net.zones()[0].end(), 3000.0);
+    }
+
+    #[test]
+    fn rejects_zone_outside_span() {
+        let err = TwoPinNet::new(segments(), vec![zone(4000.0, 5000.0)], 120.0, 60.0)
+            .unwrap_err();
+        assert!(matches!(err, NetError::ZoneOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(matches!(
+            TwoPinNet::new(segments(), vec![], 0.0, 60.0),
+            Err(NetError::InvalidWidth { terminal: "driver", .. })
+        ));
+        assert!(matches!(
+            TwoPinNet::new(segments(), vec![], 120.0, -3.0),
+            Err(NetError::InvalidWidth { terminal: "receiver", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_segments() {
+        assert!(matches!(
+            TwoPinNet::new(vec![], vec![], 120.0, 60.0),
+            Err(NetError::NoSegments)
+        ));
+    }
+
+    #[test]
+    fn no_zones_means_nothing_forbidden() {
+        let net = TwoPinNet::new(segments(), vec![], 120.0, 60.0).unwrap();
+        assert!(!net.is_forbidden(2000.0));
+        assert_eq!(net.forbidden_fraction(), 0.0);
+        for x in [1.0, 100.0, 4499.0] {
+            assert!(net.is_legal_position(x));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Candidate repeater positions.
+//!
+//! The DP engines choose repeater locations from a finite candidate set.
+//! Two constructions appear in the paper's Section 6:
+//!
+//! * a **uniform grid** along the net (200 µm granularity for both the
+//!   baseline DP and RIP's coarse pass), excluding forbidden zones;
+//! * RIP's **windows around refined locations** (each REFINE location plus
+//!   10 slots before and after at 50 µm granularity), which is what gives
+//!   the final DP its fine *local* resolution at tiny global cost.
+
+use crate::net::TwoPinNet;
+
+/// Absolute tolerance (µm) for deduplicating candidate positions.
+const POS_DEDUP_TOL: f64 = 1.0e-6;
+
+/// Generates the uniform candidate grid of the paper's DP runs: positions
+/// `step, 2·step, …` strictly inside `(0, L)`, excluding forbidden-zone
+/// interiors.
+///
+/// # Panics
+///
+/// Panics if `step` is not strictly positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use rip_net::{uniform_candidates, NetBuilder, Segment};
+///
+/// # fn main() -> Result<(), rip_net::NetError> {
+/// let net = NetBuilder::new()
+///     .segment(Segment::new(1000.0, 0.08, 0.2))
+///     .forbidden_zone(350.0, 450.0)?
+///     .build()?;
+/// let grid = uniform_candidates(&net, 100.0);
+/// // 100..900 by 100, minus the forbidden 400.
+/// assert_eq!(grid.len(), 8);
+/// assert!(!grid.contains(&400.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn uniform_candidates(net: &TwoPinNet, step: f64) -> Vec<f64> {
+    assert!(step.is_finite() && step > 0.0, "candidate step must be positive");
+    let total = net.total_length();
+    let mut out = Vec::new();
+    let mut k = 1usize;
+    loop {
+        let x = step * k as f64;
+        if x >= total {
+            break;
+        }
+        if !net.is_forbidden(x) {
+            out.push(x);
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Generates RIP's refined candidate set (Fig. 6, Line 3): for each center
+/// `c` (a REFINE repeater location), the positions
+/// `c + j·step, j ∈ [−half_slots, +half_slots]`, clamped to the open net
+/// span, excluding forbidden-zone interiors, merged, sorted, and
+/// deduplicated.
+///
+/// The paper uses `half_slots = 10`, `step = 50 µm`.
+///
+/// # Panics
+///
+/// Panics if `step` is not strictly positive and finite.
+pub fn window_candidates(
+    net: &TwoPinNet,
+    centers: &[f64],
+    half_slots: usize,
+    step: f64,
+) -> Vec<f64> {
+    assert!(step.is_finite() && step > 0.0, "candidate step must be positive");
+    let mut out = Vec::with_capacity(centers.len() * (2 * half_slots + 1));
+    for &c in centers {
+        for j in -(half_slots as i64)..=(half_slots as i64) {
+            let x = c + j as f64 * step;
+            if net.is_legal_position(x) {
+                out.push(x);
+            }
+        }
+    }
+    sort_dedup_positions(&mut out);
+    out
+}
+
+/// Sorts positions ascending and removes near-duplicates (within
+/// 10⁻⁶ µm).
+pub fn sort_dedup_positions(positions: &mut Vec<f64>) {
+    positions.sort_by(|a, b| a.partial_cmp(b).expect("finite positions"));
+    positions.dedup_by(|a, b| (*a - *b).abs() <= POS_DEDUP_TOL);
+}
+
+/// Snaps `x` to the nearest legal repeater position: zone interiors snap
+/// to the nearer zone boundary, and positions outside `(0, L)` snap just
+/// inside. Returns `None` when the net has no legal position at all
+/// (zones covering everything).
+pub fn snap_legal(net: &TwoPinNet, x: f64) -> Option<f64> {
+    let total = net.total_length();
+    // Nudge endpoint positions inside the open interval by a hair.
+    let inset = (total * 1e-9).max(1e-9);
+    let clamped = x.clamp(inset, total - inset);
+    if net.is_legal_position(clamped) {
+        return Some(clamped);
+    }
+    let zone = net.zone_at(clamped)?;
+    let to_start = clamped - zone.start();
+    let to_end = zone.end() - clamped;
+    let (near, far) = if to_start <= to_end {
+        (zone.start(), zone.end())
+    } else {
+        (zone.end(), zone.start())
+    };
+    for candidate in [near, far] {
+        let snapped = candidate.clamp(inset, total - inset);
+        if net.is_legal_position(snapped) {
+            return Some(snapped);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::segment::Segment;
+
+    fn net_with_zone(zone: Option<(f64, f64)>) -> TwoPinNet {
+        let b = NetBuilder::new()
+            .segment(Segment::new(2000.0, 0.08, 0.2))
+            .segment(Segment::new(2000.0, 0.06, 0.18));
+        let b = match zone {
+            Some((s, e)) => b.forbidden_zone(s, e).unwrap(),
+            None => b,
+        };
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_grid_without_zone() {
+        let net = net_with_zone(None);
+        let grid = uniform_candidates(&net, 500.0);
+        assert_eq!(grid, vec![500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0, 3500.0]);
+    }
+
+    #[test]
+    fn uniform_grid_excludes_zone_interior() {
+        let net = net_with_zone(Some((900.0, 2100.0)));
+        let grid = uniform_candidates(&net, 500.0);
+        // 1000, 1500, 2000 fall strictly inside the zone.
+        assert_eq!(grid, vec![500.0, 2500.0, 3000.0, 3500.0]);
+    }
+
+    #[test]
+    fn uniform_grid_keeps_zone_boundary_points() {
+        let net = net_with_zone(Some((1000.0, 2000.0)));
+        let grid = uniform_candidates(&net, 500.0);
+        assert!(grid.contains(&1000.0));
+        assert!(grid.contains(&2000.0));
+        assert!(!grid.contains(&1500.0));
+    }
+
+    #[test]
+    fn window_candidates_build_local_grids() {
+        let net = net_with_zone(None);
+        let set = window_candidates(&net, &[1000.0], 2, 50.0);
+        assert_eq!(set, vec![900.0, 950.0, 1000.0, 1050.0, 1100.0]);
+    }
+
+    #[test]
+    fn window_candidates_merge_overlapping_windows() {
+        let net = net_with_zone(None);
+        let set = window_candidates(&net, &[1000.0, 1050.0], 1, 50.0);
+        // Windows {950,1000,1050} and {1000,1050,1100} merge.
+        assert_eq!(set, vec![950.0, 1000.0, 1050.0, 1100.0]);
+    }
+
+    #[test]
+    fn window_candidates_respect_span_and_zones() {
+        let net = net_with_zone(Some((1100.0, 1300.0)));
+        let set = window_candidates(&net, &[50.0, 1200.0], 2, 50.0);
+        // Around 50: negative and zero positions dropped.
+        assert!(set.iter().all(|&x| x > 0.0));
+        // Around 1200: zone interior dropped, boundary 1100/1300 kept.
+        assert!(set.contains(&1100.0));
+        assert!(set.contains(&1300.0));
+        assert!(!set.contains(&1150.0));
+        assert!(!set.contains(&1200.0));
+        assert!(!set.contains(&1250.0));
+    }
+
+    #[test]
+    fn snap_legal_zone_interior_goes_to_nearer_boundary() {
+        let net = net_with_zone(Some((1000.0, 2000.0)));
+        assert_eq!(snap_legal(&net, 1200.0), Some(1000.0));
+        assert_eq!(snap_legal(&net, 1800.0), Some(2000.0));
+    }
+
+    #[test]
+    fn snap_legal_clamps_to_open_span() {
+        let net = net_with_zone(None);
+        let snapped = snap_legal(&net, -100.0).unwrap();
+        assert!(snapped > 0.0 && snapped < 1.0);
+        let snapped = snap_legal(&net, 1.0e9).unwrap();
+        assert!(snapped < 4000.0 && snapped > 3999.0);
+    }
+
+    #[test]
+    fn snap_legal_handles_legal_input_as_identity() {
+        let net = net_with_zone(Some((1000.0, 2000.0)));
+        assert_eq!(snap_legal(&net, 500.0), Some(500.0));
+    }
+
+    #[test]
+    fn sort_dedup_collapses_float_noise() {
+        let mut v = vec![100.0, 99.9999999, 100.0000001, 50.0];
+        sort_dedup_positions(&mut v);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 50.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Exact piecewise RC prefix profile of a segmented net.
+//!
+//! The paper models each segment between adjacent repeaters as a lumped-RC
+//! π section (Figure 2). A chain of π sections is *split-invariant*: a
+//! segment split at any interior point into two π sections has exactly the
+//! same Elmore behaviour as the unsplit segment, and both equal the
+//! continuous distributed-RC integral. We therefore precompute three
+//! piecewise-analytic prefix functions over the chain
+//!
+//! * `R(x) = ∫₀ˣ r(y) dy` — cumulative resistance,
+//! * `C(x) = ∫₀ˣ c(y) dy` — cumulative capacitance,
+//! * `E(x) = ∫₀ˣ r(y)·C(y) dy` — a mixed moment,
+//!
+//! from which every interval quantity needed by Eq. (1) follows in closed
+//! form (see [`RcProfile::interval`]), for **arbitrary** repeater
+//! positions, including positions strictly inside a segment.
+
+use crate::error::NetError;
+use crate::segment::Segment;
+
+/// Which side of a position to inspect when the per-unit-length RC is
+/// discontinuous there (positions on a segment boundary).
+///
+/// The one-sided location derivatives of the paper (Eqs. 17–18) need the
+/// wire parameters immediately downstream (`(r_{i1}, c_{i1})`) and
+/// immediately upstream (`(r_{(i−1)k}, c_{(i−1)k})`) of a repeater.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Towards the source (smaller `x`).
+    Upstream,
+    /// Towards the sink (larger `x`).
+    Downstream,
+}
+
+/// Lumped view of a wire interval `(a, b)`: everything Eq. (1) needs to
+/// account for the wire between two adjacent repeaters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IntervalRc {
+    /// Total interval resistance `R_ab`, Ω.
+    pub resistance: f64,
+    /// Total interval capacitance `C_ab`, fF.
+    pub capacitance: f64,
+    /// Wire-internal Elmore term `D_ab`, fs: the delay through the
+    /// interval's own distributed RC, excluding any load beyond `b`
+    /// (the double sum of Eq. 1).
+    pub elmore: f64,
+}
+
+/// Precomputed piecewise-analytic prefix integrals over a segment chain.
+///
+/// Constructed once per net (O(m)); every interval query is O(log m).
+///
+/// # Examples
+///
+/// ```
+/// use rip_net::{RcProfile, Segment};
+///
+/// # fn main() -> Result<(), rip_net::NetError> {
+/// let profile = RcProfile::new(&[
+///     Segment::new(1000.0, 0.08, 0.2),
+///     Segment::new(2000.0, 0.06, 0.18),
+/// ])?;
+/// let whole = profile.interval(0.0, profile.total_length());
+/// assert!((whole.resistance - (80.0 + 120.0)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcProfile {
+    /// Segment boundary positions `x₀ = 0 < x₁ < … < x_m = L`, µm.
+    bounds: Vec<f64>,
+    /// Per-segment resistance per µm (length m).
+    r: Vec<f64>,
+    /// Per-segment capacitance per µm (length m).
+    c: Vec<f64>,
+    /// `R(xᵢ)` at each boundary (length m+1), Ω.
+    pref_r: Vec<f64>,
+    /// `C(xᵢ)` at each boundary (length m+1), fF.
+    pref_c: Vec<f64>,
+    /// `E(xᵢ)` at each boundary (length m+1), Ω·fF = fs.
+    pref_e: Vec<f64>,
+}
+
+impl RcProfile {
+    /// Builds the profile for a segment chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoSegments`] for an empty chain and
+    /// [`NetError::InvalidSegment`] for a segment with non-positive or
+    /// non-finite parameters.
+    pub fn new(segments: &[Segment]) -> Result<Self, NetError> {
+        if segments.is_empty() {
+            return Err(NetError::NoSegments);
+        }
+        let m = segments.len();
+        let mut bounds = Vec::with_capacity(m + 1);
+        let mut r = Vec::with_capacity(m);
+        let mut c = Vec::with_capacity(m);
+        let mut pref_r = Vec::with_capacity(m + 1);
+        let mut pref_c = Vec::with_capacity(m + 1);
+        let mut pref_e = Vec::with_capacity(m + 1);
+        bounds.push(0.0);
+        pref_r.push(0.0);
+        pref_c.push(0.0);
+        pref_e.push(0.0);
+        for (i, seg) in segments.iter().enumerate() {
+            if !seg.is_valid() {
+                return Err(NetError::InvalidSegment {
+                    index: i,
+                    reason: "length, r and c must be strictly positive and finite",
+                });
+            }
+            let l = seg.length_um();
+            let x0 = bounds[i];
+            let r0 = pref_r[i];
+            let c0 = pref_c[i];
+            let e0 = pref_e[i];
+            bounds.push(x0 + l);
+            r.push(seg.r_per_um());
+            c.push(seg.c_per_um());
+            pref_r.push(r0 + seg.resistance());
+            pref_c.push(c0 + seg.capacitance());
+            // E over the segment: ∫ r·(C(x₀) + c·(y−x₀)) dy
+            //                   = r·C(x₀)·l + r·c·l²/2.
+            pref_e.push(e0 + seg.r_per_um() * (c0 * l + seg.c_per_um() * l * l / 2.0));
+        }
+        Ok(Self { bounds, r, c, pref_r, pref_c, pref_e })
+    }
+
+    /// Total net length `L`, µm.
+    #[inline]
+    pub fn total_length(&self) -> f64 {
+        *self.bounds.last().expect("profile always has bounds")
+    }
+
+    /// Total net resistance `R(L)`, Ω.
+    #[inline]
+    pub fn total_resistance(&self) -> f64 {
+        *self.pref_r.last().expect("profile always has bounds")
+    }
+
+    /// Total net capacitance `C(L)`, fF.
+    #[inline]
+    pub fn total_capacitance(&self) -> f64 {
+        *self.pref_c.last().expect("profile always has bounds")
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Segment boundary positions `x₀ = 0 < … < x_m = L`, µm.
+    #[inline]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Index of the segment containing `x`, counting a boundary position
+    /// as belonging to the segment on the requested side.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `0 ≤ x ≤ L`; in release builds out-of-range
+    /// positions clamp to the first/last segment.
+    pub fn segment_index(&self, x: f64, side: Side) -> usize {
+        debug_assert!(
+            (-1e-9..=self.total_length() + 1e-9).contains(&x),
+            "position {x} outside [0, {}]",
+            self.total_length()
+        );
+        let m = self.r.len();
+        // partition_point: first boundary index with bounds[idx] >= x
+        // (strictly > for Downstream so that a boundary belongs to the
+        // right segment).
+        let idx = match side {
+            Side::Downstream => self.bounds.partition_point(|&b| b <= x),
+            Side::Upstream => self.bounds.partition_point(|&b| b < x),
+        };
+        // idx is in 0..=m+1; boundary index i means segment i-1 on the
+        // upstream side and segment i on the downstream side; the
+        // partition above already selects that, so just clamp to [1, m]
+        // and shift.
+        idx.clamp(1, m) - 1
+    }
+
+    /// Per-unit-length resistance immediately on `side` of `x`, Ω/µm.
+    #[inline]
+    pub fn r_at(&self, x: f64, side: Side) -> f64 {
+        self.r[self.segment_index(x, side)]
+    }
+
+    /// Per-unit-length capacitance immediately on `side` of `x`, fF/µm.
+    #[inline]
+    pub fn c_at(&self, x: f64, side: Side) -> f64 {
+        self.c[self.segment_index(x, side)]
+    }
+
+    /// Cumulative resistance `R(x)`, Ω.
+    pub fn resistance_to(&self, x: f64) -> f64 {
+        let i = self.segment_index(x, Side::Upstream);
+        self.pref_r[i] + self.r[i] * (x - self.bounds[i])
+    }
+
+    /// Cumulative capacitance `C(x)`, fF.
+    pub fn capacitance_to(&self, x: f64) -> f64 {
+        let i = self.segment_index(x, Side::Upstream);
+        self.pref_c[i] + self.c[i] * (x - self.bounds[i])
+    }
+
+    /// Mixed moment `E(x) = ∫₀ˣ r(y)·C(y) dy`, fs.
+    fn e_to(&self, x: f64) -> f64 {
+        let i = self.segment_index(x, Side::Upstream);
+        let dx = x - self.bounds[i];
+        self.pref_e[i] + self.r[i] * (self.pref_c[i] * dx + self.c[i] * dx * dx / 2.0)
+    }
+
+    /// Lumped view of the interval `(a, b)` (requires `a ≤ b`).
+    ///
+    /// The wire-internal Elmore term is computed from the prefix integrals
+    /// as `D_ab = C(b)·(R(b) − R(a)) − (E(b) − E(a))`, which equals the
+    /// π-ladder double sum of Eq. (1) exactly, for any split points.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `a ≤ b`; in release builds a reversed interval yields
+    /// a negative-length result.
+    pub fn interval(&self, a: f64, b: f64) -> IntervalRc {
+        debug_assert!(a <= b + 1e-9, "reversed interval ({a}, {b})");
+        let ra = self.resistance_to(a);
+        let rb = self.resistance_to(b);
+        let ca = self.capacitance_to(a);
+        let cb = self.capacitance_to(b);
+        let resistance = rb - ra;
+        let capacitance = cb - ca;
+        let elmore = cb * resistance - (self.e_to(b) - self.e_to(a));
+        IntervalRc { resistance, capacitance, elmore }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_profile(r: f64, c: f64, l: f64) -> RcProfile {
+        RcProfile::new(&[Segment::new(l, r, c)]).unwrap()
+    }
+
+    fn two_layer_profile() -> RcProfile {
+        RcProfile::new(&[
+            Segment::new(1000.0, 0.08, 0.20),
+            Segment::new(2000.0, 0.06, 0.18),
+            Segment::new(1500.0, 0.08, 0.20),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_wire_matches_closed_forms() {
+        let (r, c, l) = (0.08, 0.2, 2000.0);
+        let p = uniform_profile(r, c, l);
+        let iv = p.interval(0.0, l);
+        assert!((iv.resistance - r * l).abs() < 1e-9);
+        assert!((iv.capacitance - c * l).abs() < 1e-9);
+        // Distributed-RC Elmore of a uniform line: r·c·l²/2.
+        assert!((iv.elmore - r * c * l * l / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interval_elmore_matches_pi_ladder_sum() {
+        // Eq. (1)'s double sum over full segments:
+        // Σ_j r_j·l_j·(c_j·l_j/2 + Σ_{h>j} c_h·l_h).
+        let p = two_layer_profile();
+        let segs = [(1000.0, 0.08, 0.20), (2000.0, 0.06, 0.18), (1500.0, 0.08, 0.20)];
+        let mut expected = 0.0;
+        for j in 0..segs.len() {
+            let (lj, rj, cj) = segs[j];
+            let mut downstream: f64 = cj * lj / 2.0;
+            for &(lh, _, ch) in &segs[j + 1..] {
+                downstream += ch * lh;
+            }
+            expected += rj * lj * downstream;
+        }
+        let iv = p.interval(0.0, p.total_length());
+        assert!(
+            (iv.elmore - expected).abs() < 1e-6 * expected,
+            "profile {} vs ladder {expected}",
+            iv.elmore
+        );
+    }
+
+    #[test]
+    fn interval_composition_law() {
+        // D(a,c) = D(a,b) + D(b,c) + R(a,b)·C(b,c): the Elmore composition
+        // rule that makes sink-to-source DP sweeps correct.
+        let p = two_layer_profile();
+        let (a, b, c) = (250.0, 1700.0, 4100.0);
+        let ab = p.interval(a, b);
+        let bc = p.interval(b, c);
+        let ac = p.interval(a, c);
+        let composed = ab.elmore + bc.elmore + ab.resistance * bc.capacitance;
+        assert!((ac.elmore - composed).abs() < 1e-6);
+        assert!((ac.resistance - (ab.resistance + bc.resistance)).abs() < 1e-9);
+        assert!((ac.capacitance - (ab.capacitance + bc.capacitance)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_invariance_within_segment() {
+        // Splitting an interval anywhere inside a segment leaves the
+        // composed Elmore term unchanged - the property that lets
+        // repeaters sit at arbitrary intra-segment positions.
+        let p = uniform_profile(0.1, 0.25, 1000.0);
+        let whole = p.interval(0.0, 1000.0);
+        for split in [1.0, 123.456, 500.0, 999.0] {
+            let left = p.interval(0.0, split);
+            let right = p.interval(split, 1000.0);
+            let composed = left.elmore + right.elmore + left.resistance * right.capacitance;
+            assert!((whole.elmore - composed).abs() < 1e-6, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        let p = two_layer_profile();
+        let iv = p.interval(1234.0, 1234.0);
+        assert_eq!(iv.resistance, 0.0);
+        assert_eq!(iv.capacitance, 0.0);
+        assert_eq!(iv.elmore, 0.0);
+    }
+
+    #[test]
+    fn one_sided_rc_at_boundaries() {
+        let p = two_layer_profile();
+        // x = 1000 is the boundary between segment 0 (0.08/0.20) and
+        // segment 1 (0.06/0.18).
+        assert_eq!(p.r_at(1000.0, Side::Upstream), 0.08);
+        assert_eq!(p.r_at(1000.0, Side::Downstream), 0.06);
+        assert_eq!(p.c_at(1000.0, Side::Upstream), 0.20);
+        assert_eq!(p.c_at(1000.0, Side::Downstream), 0.18);
+        // Strictly inside a segment both sides agree.
+        assert_eq!(p.r_at(500.0, Side::Upstream), p.r_at(500.0, Side::Downstream));
+    }
+
+    #[test]
+    fn one_sided_rc_at_ends_clamps() {
+        let p = two_layer_profile();
+        assert_eq!(p.r_at(0.0, Side::Upstream), 0.08);
+        assert_eq!(p.r_at(0.0, Side::Downstream), 0.08);
+        let l = p.total_length();
+        assert_eq!(p.r_at(l, Side::Upstream), 0.08);
+        assert_eq!(p.r_at(l, Side::Downstream), 0.08);
+    }
+
+    #[test]
+    fn prefix_functions_are_monotone() {
+        let p = two_layer_profile();
+        let mut prev_r = -1.0;
+        let mut prev_c = -1.0;
+        let l = p.total_length();
+        let steps = 97;
+        for k in 0..=steps {
+            let x = l * k as f64 / steps as f64;
+            let r = p.resistance_to(x);
+            let c = p.capacitance_to(x);
+            assert!(r >= prev_r);
+            assert!(c >= prev_c);
+            prev_r = r;
+            prev_c = c;
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_segments() {
+        assert!(matches!(RcProfile::new(&[]), Err(NetError::NoSegments)));
+        let bad = RcProfile::new(&[Segment::new(1000.0, 0.08, 0.2), Segment::new(-1.0, 0.08, 0.2)]);
+        assert!(matches!(bad, Err(NetError::InvalidSegment { index: 1, .. })));
+    }
+
+    #[test]
+    fn totals_accumulate_over_segments() {
+        let p = two_layer_profile();
+        assert_eq!(p.segment_count(), 3);
+        assert_eq!(p.total_length(), 4500.0);
+        assert!((p.total_resistance() - (80.0 + 120.0 + 120.0)).abs() < 1e-9);
+        assert!((p.total_capacitance() - (200.0 + 360.0 + 300.0)).abs() < 1e-9);
+    }
+}

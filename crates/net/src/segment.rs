@@ -1,0 +1,116 @@
+//! Wire segments: the building blocks of routed multi-layer nets.
+
+use rip_tech::WireLayer;
+
+/// One wire segment of a routed net (Figure 1 of the paper): a fixed
+/// length with distinct per-unit-length RC characteristics, as produced by
+/// a routing tool that may change layers along the net.
+///
+/// # Examples
+///
+/// ```
+/// use rip_net::Segment;
+/// use rip_tech::WireLayer;
+///
+/// let m4 = WireLayer::metal4_180nm();
+/// let seg = Segment::on_layer(&m4, 1500.0);
+/// assert_eq!(seg.length_um(), 1500.0);
+/// assert_eq!(seg.r_per_um(), m4.r_per_um());
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    length_um: f64,
+    r_per_um: f64,
+    c_per_um: f64,
+}
+
+impl Segment {
+    /// Creates a segment from raw electrical parameters.
+    ///
+    /// * `length_um` — segment length, µm.
+    /// * `r_per_um` — resistance per µm, Ω/µm.
+    /// * `c_per_um` — capacitance per µm, fF/µm.
+    ///
+    /// Validation happens when the segment is assembled into a net (the
+    /// net constructor reports the segment index with the error), so this
+    /// constructor is infallible.
+    pub fn new(length_um: f64, r_per_um: f64, c_per_um: f64) -> Self {
+        Self { length_um, r_per_um, c_per_um }
+    }
+
+    /// Creates a segment of the given length on a routing layer.
+    pub fn on_layer(layer: &WireLayer, length_um: f64) -> Self {
+        Self::new(length_um, layer.r_per_um(), layer.c_per_um())
+    }
+
+    /// Segment length, µm.
+    #[inline]
+    pub fn length_um(&self) -> f64 {
+        self.length_um
+    }
+
+    /// Resistance per µm, Ω/µm.
+    #[inline]
+    pub fn r_per_um(&self) -> f64 {
+        self.r_per_um
+    }
+
+    /// Capacitance per µm, fF/µm.
+    #[inline]
+    pub fn c_per_um(&self) -> f64 {
+        self.c_per_um
+    }
+
+    /// Total lumped resistance of the segment, Ω.
+    #[inline]
+    pub fn resistance(&self) -> f64 {
+        self.r_per_um * self.length_um
+    }
+
+    /// Total lumped capacitance of the segment, fF.
+    #[inline]
+    pub fn capacitance(&self) -> f64 {
+        self.c_per_um * self.length_um
+    }
+
+    /// Returns `true` when all parameters are finite and strictly
+    /// positive; used by net constructors for indexed validation.
+    pub(crate) fn is_valid(&self) -> bool {
+        self.length_um.is_finite()
+            && self.length_um > 0.0
+            && self.r_per_um.is_finite()
+            && self.r_per_um > 0.0
+            && self.c_per_um.is_finite()
+            && self.c_per_um > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lumped_values() {
+        let s = Segment::new(2000.0, 0.08, 0.2);
+        assert!((s.resistance() - 160.0).abs() < 1e-12);
+        assert!((s.capacitance() - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_layer_copies_layer_rc() {
+        let m5 = WireLayer::metal5_180nm();
+        let s = Segment::on_layer(&m5, 1000.0);
+        assert_eq!(s.r_per_um(), 0.060);
+        assert_eq!(s.c_per_um(), 0.180);
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(Segment::new(1.0, 1.0, 1.0).is_valid());
+        assert!(!Segment::new(0.0, 1.0, 1.0).is_valid());
+        assert!(!Segment::new(1.0, -1.0, 1.0).is_valid());
+        assert!(!Segment::new(1.0, 1.0, f64::NAN).is_valid());
+        assert!(!Segment::new(f64::INFINITY, 1.0, 1.0).is_valid());
+    }
+}

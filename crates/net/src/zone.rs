@@ -1,0 +1,163 @@
+//! Forbidden zones: spans of the net where no repeater may be placed.
+//!
+//! Real routed nets cross macro-blocks; inside a block there is no room
+//! for a repeater. The paper (Section 3) models these as position ranges
+//! `[zs, ze]` and requires every repeater location to avoid them.
+
+use crate::error::NetError;
+
+/// A span `(start, end)` of the net, in µm from the source, inside which
+/// no repeater may be placed.
+///
+/// The interior is treated as an **open** interval: a repeater placed
+/// exactly on a zone boundary sits at the macro-block edge and is legal.
+///
+/// # Examples
+///
+/// ```
+/// use rip_net::ForbiddenZone;
+///
+/// # fn main() -> Result<(), rip_net::NetError> {
+/// let zone = ForbiddenZone::new(2000.0, 5000.0)?;
+/// assert!(zone.contains(3000.0));
+/// assert!(!zone.contains(2000.0)); // boundary is legal
+/// assert_eq!(zone.length_um(), 3000.0);
+/// # Ok(())
+/// # }
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForbiddenZone {
+    start: f64,
+    end: f64,
+}
+
+impl ForbiddenZone {
+    /// Creates a zone spanning `[start, end]` µm from the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ZoneInverted`] when `end <= start` or either
+    /// bound is not finite.
+    pub fn new(start: f64, end: f64) -> Result<Self, NetError> {
+        if !start.is_finite() || !end.is_finite() || end <= start {
+            return Err(NetError::ZoneInverted { start, end });
+        }
+        Ok(Self { start, end })
+    }
+
+    /// Zone start, µm from the source.
+    #[inline]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Zone end, µm from the source.
+    #[inline]
+    pub fn end(&self) -> f64 {
+        self.end
+    }
+
+    /// Zone length, µm.
+    #[inline]
+    pub fn length_um(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Returns `true` when `x` lies strictly inside the zone.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x > self.start && x < self.end
+    }
+
+    /// Returns `true` when the two zones overlap or touch, in which case
+    /// they can be merged into one.
+    #[inline]
+    pub fn touches(&self, other: &ForbiddenZone) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Merges two touching zones into their union.
+    ///
+    /// Callers must check [`ForbiddenZone::touches`] first; merging
+    /// disjoint zones would fabricate forbidden space between them.
+    pub(crate) fn merge(&self, other: &ForbiddenZone) -> ForbiddenZone {
+        ForbiddenZone {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Normalizes a list of zones: sorts by start and merges overlapping or
+/// touching zones, yielding a minimal disjoint ascending list.
+pub(crate) fn normalize_zones(mut zones: Vec<ForbiddenZone>) -> Vec<ForbiddenZone> {
+    zones.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite zone bounds"));
+    let mut merged: Vec<ForbiddenZone> = Vec::with_capacity(zones.len());
+    for z in zones {
+        match merged.last_mut() {
+            Some(last) if last.touches(&z) => *last = last.merge(&z),
+            _ => merged.push(z),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z(a: f64, b: f64) -> ForbiddenZone {
+        ForbiddenZone::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn boundaries_are_legal_interior_is_not() {
+        let zone = z(10.0, 20.0);
+        assert!(!zone.contains(10.0));
+        assert!(!zone.contains(20.0));
+        assert!(zone.contains(10.0 + 1e-9));
+        assert!(zone.contains(19.999));
+        assert!(!zone.contains(5.0));
+        assert!(!zone.contains(25.0));
+    }
+
+    #[test]
+    fn rejects_inverted_and_nonfinite() {
+        assert!(ForbiddenZone::new(20.0, 10.0).is_err());
+        assert!(ForbiddenZone::new(10.0, 10.0).is_err());
+        assert!(ForbiddenZone::new(f64::NAN, 10.0).is_err());
+        assert!(ForbiddenZone::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn touching_detection() {
+        assert!(z(0.0, 10.0).touches(&z(10.0, 20.0)));
+        assert!(z(0.0, 10.0).touches(&z(5.0, 20.0)));
+        assert!(!z(0.0, 10.0).touches(&z(11.0, 20.0)));
+    }
+
+    #[test]
+    fn normalize_merges_overlaps() {
+        let zones = vec![z(30.0, 40.0), z(0.0, 10.0), z(5.0, 20.0), z(20.0, 25.0)];
+        let merged = normalize_zones(zones);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].start(), 0.0);
+        assert_eq!(merged[0].end(), 25.0);
+        assert_eq!(merged[1].start(), 30.0);
+        assert_eq!(merged[1].end(), 40.0);
+    }
+
+    #[test]
+    fn normalize_preserves_disjoint() {
+        let zones = vec![z(50.0, 60.0), z(0.0, 10.0)];
+        let merged = normalize_zones(zones);
+        assert_eq!(merged.len(), 2);
+        assert!(merged[0].start() < merged[1].start());
+    }
+
+    #[test]
+    fn normalize_empty_is_empty() {
+        assert!(normalize_zones(vec![]).is_empty());
+    }
+}

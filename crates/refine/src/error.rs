@@ -1,0 +1,93 @@
+//! Error types for the analytical solver.
+
+use rip_delay::DelayError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the REFINE solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RefineError {
+    /// The initial repeater positions were invalid for the net (outside
+    /// the span or non-increasing).
+    BadPositions(DelayError),
+    /// The timing target was not strictly positive and finite.
+    InvalidTarget {
+        /// The rejected target, fs.
+        target_fs: f64,
+    },
+    /// Even the delay-optimal continuous widths cannot meet the target at
+    /// the given repeater positions.
+    InfeasibleTarget {
+        /// The requested target, fs.
+        target_fs: f64,
+        /// Minimum delay achievable at these positions with continuous
+        /// widths, fs.
+        achievable_fs: f64,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The inner width solver failed to converge (pathological input).
+    NonConvergence {
+        /// Which stage failed.
+        stage: &'static str,
+    },
+}
+
+impl fmt::Display for RefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineError::BadPositions(e) => write!(f, "invalid initial positions: {e}"),
+            RefineError::InvalidTarget { target_fs } => {
+                write!(f, "timing target must be strictly positive and finite, got {target_fs} fs")
+            }
+            RefineError::InfeasibleTarget { target_fs, achievable_fs } => write!(
+                f,
+                "target {target_fs} fs is unreachable at these positions \
+                 (continuous-width minimum: {achievable_fs} fs)"
+            ),
+            RefineError::InvalidConfig { reason } => {
+                write!(f, "invalid REFINE configuration: {reason}")
+            }
+            RefineError::NonConvergence { stage } => {
+                write!(f, "width solver failed to converge during {stage}")
+            }
+        }
+    }
+}
+
+impl Error for RefineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RefineError::BadPositions(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DelayError> for RefineError {
+    fn from(e: DelayError) -> Self {
+        RefineError::BadPositions(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_chains_to_delay_error() {
+        let err = RefineError::BadPositions(DelayError::DuplicatePosition { position: 1.0 });
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("invalid initial positions"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<RefineError>();
+    }
+}

@@ -1,0 +1,516 @@
+//! Lagrangian width solving (Fig. 5, Lines 1 and 7 of the paper).
+//!
+//! With repeater positions fixed, power minimization under the active
+//! timing constraint (Eq. 5 — the constraint binds at the optimum) has
+//! the KKT system
+//!
+//! ```text
+//! 1 + λ·∂τ/∂wᵢ = 0,  i = 1…n        (Eq. 8)
+//! τ(w) = τ_t                         (Eq. 5)
+//! ```
+//!
+//! Rearranging Eq. (8) gives a contraction in `w` for fixed `λ`:
+//!
+//! ```text
+//! wᵢ = sqrt( λ·Rs·(Cᵢ + Co·w_{i+1}) / (1 + λ·Co·(R_{i−1} + Rs/w_{i−1})) )
+//! ```
+//!
+//! and `τ(w(λ))` is monotone decreasing in `λ` (λ is the marginal width
+//! price of delay), so an outer bisection on `λ` pins `τ = τ_t`. A damped
+//! Newton pass on the full `(w, λ)` system (see [`crate::newton`])
+//! optionally polishes the result to machine precision.
+
+use crate::error::RefineError;
+use crate::newton::{newton_solve, NewtonOptions};
+use rip_delay::ChainView;
+
+/// Configuration of the width solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WidthSolverConfig {
+    /// Lower bound on continuous widths, u (physical floor; default 1.0 =
+    /// the minimum repeater width).
+    pub width_floor: f64,
+    /// Relative tolerance on `τ(w) = τ_t` for the λ bisection.
+    pub delay_tolerance: f64,
+    /// Maximum inner fixed-point iterations per λ.
+    pub max_fixed_point_iters: usize,
+    /// Maximum outer bisection iterations.
+    pub max_bisection_iters: usize,
+    /// Whether to polish with a damped Newton pass on the full KKT
+    /// system.
+    pub newton_polish: bool,
+}
+
+impl Default for WidthSolverConfig {
+    fn default() -> Self {
+        Self {
+            width_floor: 1.0,
+            delay_tolerance: 1e-10,
+            max_fixed_point_iters: 300,
+            max_bisection_iters: 200,
+            newton_polish: true,
+        }
+    }
+}
+
+/// Solution of the width subproblem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidthSolve {
+    /// Optimal continuous widths, u (one per repeater).
+    pub widths: Vec<f64>,
+    /// The Lagrange multiplier λ (fs⁻¹·u — marginal width per unit of
+    /// delay).
+    pub lambda: f64,
+    /// Achieved delay `τ(w)`, fs (equals the target up to tolerance,
+    /// unless the width floor binds on a very loose target).
+    pub delay_fs: f64,
+    /// Total width `Σwᵢ`, u.
+    pub total_width: f64,
+}
+
+/// Solves Eqs. (5) + (8) for the optimal continuous widths at the view's
+/// fixed positions.
+///
+/// # Errors
+///
+/// * [`RefineError::InvalidTarget`] for a bad target;
+/// * [`RefineError::InfeasibleTarget`] when even the delay-optimal
+///   continuous widths (the λ→∞ limit) cannot meet the target at these
+///   positions.
+///
+/// # Examples
+///
+/// ```
+/// use rip_delay::ChainView;
+/// use rip_net::{NetBuilder, Segment};
+/// use rip_refine::{solve_widths, WidthSolverConfig};
+/// use rip_tech::Technology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::generic_180nm();
+/// let net = NetBuilder::new()
+///     .segment(Segment::new(8000.0, 0.08, 0.2))
+///     .build()?;
+/// let view = ChainView::new(&net, tech.device(), vec![2700.0, 5400.0])?;
+/// // A generous target: the solver finds small widths that just meet it.
+/// let solve = solve_widths(&view, 2.0e6, &WidthSolverConfig::default())?;
+/// assert!((solve.delay_fs - 2.0e6).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_widths(
+    view: &ChainView<'_>,
+    target_fs: f64,
+    config: &WidthSolverConfig,
+) -> Result<WidthSolve, RefineError> {
+    if !target_fs.is_finite() || target_fs <= 0.0 {
+        return Err(RefineError::InvalidTarget { target_fs });
+    }
+    let n = view.len();
+    if n == 0 {
+        // No repeaters: the delay is fixed by the wire and driver.
+        let delay = view.total_delay(&[]);
+        if delay > target_fs * (1.0 + 1e-12) {
+            return Err(RefineError::InfeasibleTarget {
+                target_fs,
+                achievable_fs: delay,
+            });
+        }
+        return Ok(WidthSolve { widths: vec![], lambda: 0.0, delay_fs: delay, total_width: 0.0 });
+    }
+
+    // --- Feasibility: λ → ∞ is the unconstrained delay optimum.
+    let mut w_fast = vec![100.0_f64; n];
+    fixed_point(view, f64::INFINITY, &mut w_fast, config);
+    let best_delay = view.total_delay(&w_fast);
+    if best_delay > target_fs * (1.0 + 1e-12) {
+        return Err(RefineError::InfeasibleTarget { target_fs, achievable_fs: best_delay });
+    }
+
+    // --- Bracket λ: τ(λ) decreases from +∞ (λ→0) to best_delay (λ→∞).
+    let mut lambda_hi = 1e-6;
+    let mut w = vec![config.width_floor.max(10.0); n];
+    let mut delay_hi = eval_lambda(view, lambda_hi, &mut w, config);
+    let mut grow = 0;
+    while delay_hi > target_fs && grow < 200 {
+        lambda_hi *= 4.0;
+        delay_hi = eval_lambda(view, lambda_hi, &mut w, config);
+        grow += 1;
+    }
+    if delay_hi > target_fs {
+        // Pathological: fall back to the λ→∞ widths (still feasible).
+        let delay = view.total_delay(&w_fast);
+        let total = w_fast.iter().sum();
+        return Ok(WidthSolve { widths: w_fast, lambda: f64::INFINITY, delay_fs: delay, total_width: total });
+    }
+    let mut lambda_lo = lambda_hi / 4.0;
+    let mut delay_lo = eval_lambda(view, lambda_lo, &mut w, config);
+    let mut shrink = 0;
+    while delay_lo <= target_fs && shrink < 200 {
+        // The floor can make very small λ feasible already; λ_lo = 0 is
+        // then the floor-bound optimum.
+        lambda_lo /= 4.0;
+        delay_lo = eval_lambda(view, lambda_lo, &mut w, config);
+        shrink += 1;
+        if lambda_lo < 1e-30 {
+            // Floor-width solution already meets the target: done (the
+            // equality of Eq. 5 cannot bind below the physical floor).
+            let mut w_floor = vec![config.width_floor; n];
+            fixed_point(view, lambda_lo, &mut w_floor, config);
+            let delay = view.total_delay(&w_floor);
+            let total = w_floor.iter().sum();
+            return Ok(WidthSolve {
+                widths: w_floor,
+                lambda: lambda_lo,
+                delay_fs: delay,
+                total_width: total,
+            });
+        }
+    }
+
+    // --- Bisect λ to pin τ = τ_t.
+    for _ in 0..config.max_bisection_iters {
+        let mid = (lambda_lo * lambda_hi).sqrt(); // geometric: λ spans decades
+        let delay_mid = eval_lambda(view, mid, &mut w, config);
+        if (delay_mid - target_fs).abs() <= config.delay_tolerance * target_fs {
+            lambda_hi = mid;
+            break;
+        }
+        if delay_mid > target_fs {
+            lambda_lo = mid;
+        } else {
+            lambda_hi = mid;
+        }
+    }
+    // Use the feasible end of the bracket.
+    let mut lambda = lambda_hi;
+    let mut delay = eval_lambda(view, lambda, &mut w, config);
+
+    // --- Optional Newton polish on the full KKT system.
+    if config.newton_polish {
+        if let Some((wp, lp)) = polish(view, &w, lambda, target_fs, config) {
+            let dp = view.total_delay(&wp);
+            // Accept only solutions that stay feasible.
+            if dp <= target_fs * (1.0 + 1e-9) {
+                w = wp;
+                lambda = lp;
+                delay = dp;
+            }
+        }
+    }
+
+    let total = w.iter().sum();
+    Ok(WidthSolve { widths: w, lambda, delay_fs: delay, total_width: total })
+}
+
+/// KKT residuals at `(widths, λ)`: `n` entries of `1 + λ·∂τ/∂wᵢ` followed
+/// by `τ(w) − τ_t`. Exposed for tests and diagnostics.
+pub fn kkt_residuals(
+    view: &ChainView<'_>,
+    widths: &[f64],
+    lambda: f64,
+    target_fs: f64,
+) -> Vec<f64> {
+    let mut res: Vec<f64> = (0..widths.len())
+        .map(|j| 1.0 + lambda * view.dtau_dw(widths, j))
+        .collect();
+    res.push(view.total_delay(widths) - target_fs);
+    res
+}
+
+/// Runs the fixed-point width update at fixed λ (∞ = unconstrained delay
+/// optimum), in place. Returns the number of iterations used.
+fn fixed_point(
+    view: &ChainView<'_>,
+    lambda: f64,
+    w: &mut [f64],
+    config: &WidthSolverConfig,
+) -> usize {
+    let n = w.len();
+    let rs = view.device().rs();
+    let co = view.device().co();
+    for iter in 0..config.max_fixed_point_iters {
+        let mut max_rel = 0.0_f64;
+        for j in 0..n {
+            let w_up = view.upstream_width(w, j);
+            let w_down = view.downstream_width(w, j);
+            let r_up = view.upstream_wire_resistance(j);
+            let c_down = view.downstream_wire_capacitance(j);
+            let numerator = rs * (c_down + co * w_down);
+            let new_w = if lambda.is_infinite() {
+                // λ→∞ limit: ∂τ/∂wᵢ = 0 directly.
+                (numerator / (co * (r_up + rs / w_up))).sqrt()
+            } else {
+                (lambda * numerator / (1.0 + lambda * co * (r_up + rs / w_up))).sqrt()
+            }
+            .max(config.width_floor);
+            max_rel = max_rel.max((new_w - w[j]).abs() / w[j].max(1.0));
+            w[j] = new_w;
+        }
+        if max_rel < 1e-13 {
+            return iter + 1;
+        }
+    }
+    config.max_fixed_point_iters
+}
+
+/// Evaluates `τ(w(λ))` at a given λ (fixed point warm-started from `w`).
+fn eval_lambda(
+    view: &ChainView<'_>,
+    lambda: f64,
+    w: &mut Vec<f64>,
+    config: &WidthSolverConfig,
+) -> f64 {
+    fixed_point(view, lambda, w, config);
+    view.total_delay(w)
+}
+
+/// Damped Newton on the full `(w, λ)` KKT system with analytic Jacobian.
+fn polish(
+    view: &ChainView<'_>,
+    w0: &[f64],
+    lambda0: f64,
+    target_fs: f64,
+    config: &WidthSolverConfig,
+) -> Option<(Vec<f64>, f64)> {
+    let n = w0.len();
+    let rs = view.device().rs();
+    let co = view.device().co();
+    let mut x0 = w0.to_vec();
+    x0.push(lambda0);
+    let mut lower = vec![config.width_floor; n];
+    lower.push(1e-30); // λ > 0
+    let options = NewtonOptions {
+        tolerance: 1e-12,
+        max_iterations: 40,
+        lower_bounds: Some(lower),
+        ..Default::default()
+    };
+    // The delay residual (fs, ~10⁶) and the KKT rows (~1) differ by many
+    // orders of magnitude; normalize the delay row by the target so the
+    // max-norm tolerance is meaningful for both.
+    let result = newton_solve(
+        |x| {
+            let (w, lambda) = x.split_at(n);
+            let mut res = kkt_residuals(view, w, lambda[0], target_fs);
+            res[n] /= target_fs;
+            res
+        },
+        |x| {
+            let (w, lambda) = x.split_at(n);
+            let lambda = lambda[0];
+            let mut jac = vec![vec![0.0; n + 1]; n + 1];
+            for i in 0..n {
+                let w_up = view.upstream_width(w, i);
+                let w_down = view.downstream_width(w, i);
+                let c_down = view.downstream_wire_capacitance(i);
+                // ∂Fᵢ/∂wᵢ = λ·2Rs(Cᵢ + Co·w_{i+1})/wᵢ³
+                jac[i][i] = lambda * 2.0 * rs * (c_down + co * w_down) / w[i].powi(3);
+                // ∂Fᵢ/∂w_{i−1} = λ·(−Co·Rs/w_{i−1}²)
+                if i > 0 {
+                    jac[i][i - 1] = -lambda * co * rs / (w_up * w_up);
+                }
+                // ∂Fᵢ/∂w_{i+1} = λ·(−Rs·Co/wᵢ²)
+                if i + 1 < n {
+                    jac[i][i + 1] = -lambda * rs * co / (w[i] * w[i]);
+                }
+                // ∂Fᵢ/∂λ = ∂τ/∂wᵢ
+                jac[i][n] = view.dtau_dw(w, i);
+                // Last row: ∂((τ−τ_t)/τ_t)/∂wᵢ
+                jac[n][i] = view.dtau_dw(w, i) / target_fs;
+            }
+            jac[n][n] = 0.0;
+            jac
+        },
+        x0,
+        &options,
+    );
+    if !result.converged {
+        return None;
+    }
+    let (w, lambda) = result.x.split_at(n);
+    Some((w.to_vec(), lambda[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_net::{NetBuilder, Segment, TwoPinNet};
+    use rip_tech::Technology;
+
+    fn tech() -> Technology {
+        Technology::generic_180nm()
+    }
+
+    fn net() -> TwoPinNet {
+        NetBuilder::new()
+            .segment(Segment::new(4000.0, 0.08, 0.20))
+            .segment(Segment::new(5000.0, 0.06, 0.18))
+            .segment(Segment::new(3000.0, 0.08, 0.20))
+            .driver_width(120.0)
+            .receiver_width(60.0)
+            .build()
+            .unwrap()
+    }
+
+    fn view(net: &TwoPinNet, tech: &Technology) -> ChainView<'static> {
+        // Tests keep net/tech alive for the duration; avoid lifetime
+        // gymnastics by leaking (test-only).
+        let net: &'static TwoPinNet = Box::leak(Box::new(net.clone()));
+        let tech: &'static Technology = Box::leak(Box::new(tech.clone()));
+        ChainView::new(net, tech.device(), vec![2400.0, 4800.0, 7200.0, 9600.0]).unwrap()
+    }
+
+    fn continuous_min_delay(v: &ChainView<'_>, config: &WidthSolverConfig) -> f64 {
+        let mut w = vec![100.0; v.len()];
+        fixed_point(v, f64::INFINITY, &mut w, config);
+        v.total_delay(&w)
+    }
+
+    #[test]
+    fn solution_meets_target_exactly_and_satisfies_kkt() {
+        let tech = tech();
+        let net = net();
+        let v = view(&net, &tech);
+        let config = WidthSolverConfig::default();
+        let t_min = continuous_min_delay(&v, &config);
+        let target = t_min * 1.3;
+        let sol = solve_widths(&v, target, &config).unwrap();
+        // Eq. (5): the constraint binds.
+        assert!(
+            (sol.delay_fs - target).abs() < 1e-6 * target,
+            "delay {} vs target {target}",
+            sol.delay_fs
+        );
+        // Eq. (8): stationarity.
+        let res = kkt_residuals(&v, &sol.widths, sol.lambda, target);
+        for (i, r) in res[..sol.widths.len()].iter().enumerate() {
+            assert!(r.abs() < 1e-6, "KKT residual {i} = {r}");
+        }
+    }
+
+    #[test]
+    fn looser_target_gives_smaller_total_width() {
+        let tech = tech();
+        let net = net();
+        let v = view(&net, &tech);
+        let config = WidthSolverConfig::default();
+        let t_min = continuous_min_delay(&v, &config);
+        let mut prev = f64::INFINITY;
+        for mult in [1.05, 1.2, 1.5, 1.8, 2.05] {
+            let sol = solve_widths(&v, t_min * mult, &config).unwrap();
+            assert!(
+                sol.total_width < prev,
+                "mult {mult}: width {} should shrink (prev {prev})",
+                sol.total_width
+            );
+            prev = sol.total_width;
+        }
+    }
+
+    #[test]
+    fn infeasible_target_is_detected_with_achievable_delay() {
+        let tech = tech();
+        let net = net();
+        let v = view(&net, &tech);
+        let config = WidthSolverConfig::default();
+        let t_min = continuous_min_delay(&v, &config);
+        let err = solve_widths(&v, t_min * 0.8, &config).unwrap_err();
+        match err {
+            RefineError::InfeasibleTarget { achievable_fs, .. } => {
+                assert!((achievable_fs - t_min).abs() < 1e-6 * t_min);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_target_approaches_continuous_min_delay_widths() {
+        let tech = tech();
+        let net = net();
+        let v = view(&net, &tech);
+        let config = WidthSolverConfig::default();
+        let t_min = continuous_min_delay(&v, &config);
+        let sol = solve_widths(&v, t_min * 1.0000001, &config).unwrap();
+        // Near the feasibility boundary λ is huge and widths approach the
+        // delay-optimal sizing.
+        let mut w_fast = vec![100.0; v.len()];
+        fixed_point(&v, f64::INFINITY, &mut w_fast, &config);
+        for (a, b) in sol.widths.iter().zip(&w_fast) {
+            assert!((a - b).abs() < 0.05 * b, "width {a} vs delay-opt {b}");
+        }
+    }
+
+    #[test]
+    fn no_repeater_chain_feasibility() {
+        let tech = tech();
+        let net = net();
+        let net: &'static TwoPinNet = Box::leak(Box::new(net));
+        let tech: &'static Technology = Box::leak(Box::new(tech));
+        let v = ChainView::new(net, tech.device(), vec![]).unwrap();
+        let unbuffered = v.total_delay(&[]);
+        let ok = solve_widths(&v, unbuffered * 1.01, &WidthSolverConfig::default()).unwrap();
+        assert!(ok.widths.is_empty());
+        assert_eq!(ok.total_width, 0.0);
+        let err = solve_widths(&v, unbuffered * 0.9, &WidthSolverConfig::default());
+        assert!(matches!(err, Err(RefineError::InfeasibleTarget { .. })));
+    }
+
+    #[test]
+    fn width_floor_binds_on_very_loose_targets() {
+        let tech = tech();
+        let net = net();
+        let v = view(&net, &tech);
+        let config = WidthSolverConfig { width_floor: 10.0, ..Default::default() };
+        let t_min = continuous_min_delay(&v, &config);
+        // Enormous slack: optimal continuous widths would be < 10u.
+        let sol = solve_widths(&v, t_min * 50.0, &config).unwrap();
+        assert!(sol.widths.iter().all(|&w| w >= 10.0 - 1e-12));
+        // With the floor binding the delay is allowed to undershoot.
+        assert!(sol.delay_fs <= t_min * 50.0);
+    }
+
+    #[test]
+    fn newton_polish_tightens_residuals() {
+        let tech = tech();
+        let net = net();
+        let v = view(&net, &tech);
+        let t_min = continuous_min_delay(&v, &WidthSolverConfig::default());
+        let target = t_min * 1.4;
+        let rough = WidthSolverConfig {
+            newton_polish: false,
+            delay_tolerance: 1e-4,
+            ..Default::default()
+        };
+        let polished = WidthSolverConfig {
+            newton_polish: true,
+            delay_tolerance: 1e-4,
+            ..Default::default()
+        };
+        let r = solve_widths(&v, target, &rough).unwrap();
+        let p = solve_widths(&v, target, &polished).unwrap();
+        let rn: f64 = kkt_residuals(&v, &r.widths, r.lambda, target)
+            .iter()
+            .fold(0.0, |a, &x| a.max(x.abs() / target.max(1.0)));
+        let pn: f64 = kkt_residuals(&v, &p.widths, p.lambda, target)
+            .iter()
+            .fold(0.0, |a, &x| a.max(x.abs() / target.max(1.0)));
+        assert!(pn <= rn, "polish must not worsen residuals: {pn} vs {rn}");
+        assert!(p.delay_fs <= target * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let tech = tech();
+        let net = net();
+        let v = view(&net, &tech);
+        assert!(matches!(
+            solve_widths(&v, 0.0, &WidthSolverConfig::default()),
+            Err(RefineError::InvalidTarget { .. })
+        ));
+        assert!(matches!(
+            solve_widths(&v, f64::NAN, &WidthSolverConfig::default()),
+            Err(RefineError::InvalidTarget { .. })
+        ));
+    }
+}

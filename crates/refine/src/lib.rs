@@ -1,0 +1,78 @@
+//! # rip-refine — the analytical half of the RIP hybrid scheme
+//!
+//! Implements algorithm REFINE (Fig. 5 of the paper): given an initial
+//! repeater placement and a timing budget, alternate
+//!
+//! 1. **Lagrangian width solving** ([`solve_widths`]) — the KKT system of
+//!    Eqs. (5) + (8), solved by a per-λ fixed point with an outer λ
+//!    bisection and an optional damped-Newton polish ([`newton`]);
+//! 2. **derivative-driven movement** ([`decide_move`], [`apply_moves`]) —
+//!    the one-sided location derivatives of Eqs. (17)–(18) and the
+//!    optimality inequalities (22)–(23), with forbidden zones respected
+//!    (and optionally hopped — the paper's §7 extension);
+//!
+//! until the relative total-width improvement drops below ε₀
+//! ([`refine`]).
+//!
+//! The output widths are continuous; `rip-core` rounds them into the
+//! design-specific discrete library of RIP's Line 3.
+//!
+//! # Example
+//!
+//! ```
+//! use rip_net::{NetBuilder, Segment};
+//! use rip_refine::{refine, RefineConfig};
+//! use rip_tech::Technology;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Technology::generic_180nm();
+//! let net = NetBuilder::new()
+//!     .segment(Segment::new(10_000.0, 0.08, 0.2))
+//!     .build()?;
+//! let outcome = refine(
+//!     &net,
+//!     tech.device(),
+//!     &[2500.0, 5000.0, 7500.0],
+//!     2.5e6,
+//!     &RefineConfig::default(),
+//! )?;
+//! println!(
+//!     "total width {:.1} u at delay {:.3} ns",
+//!     outcome.total_width,
+//!     rip_tech::units::ns_from_fs(outcome.delay_fs),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod lagrange;
+mod movement;
+pub mod newton;
+mod refine;
+mod tree_trim;
+
+pub use error::RefineError;
+pub use lagrange::{kkt_residuals, solve_widths, WidthSolve, WidthSolverConfig};
+pub use movement::{apply_moves, decide_move, MoveDecision, MoveRound};
+pub use refine::{refine, RefineConfig, RefineOutcome};
+pub use tree_trim::{trim_tree_widths, TreeTrimConfig, TreeTrimOutcome};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RefineConfig>();
+        assert_send_sync::<RefineOutcome>();
+        assert_send_sync::<WidthSolve>();
+        assert_send_sync::<RefineError>();
+        assert_send_sync::<MoveDecision>();
+    }
+}

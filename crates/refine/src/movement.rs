@@ -1,0 +1,295 @@
+//! Derivative-driven repeater movement (Fig. 5, Lines 4–5 of the paper).
+//!
+//! At a power-optimal solution the one-sided location derivatives must
+//! satisfy `(∂τ/∂xᵢ)₊ ≥ 0` and `(∂τ/∂xᵢ)₋ ≤ 0` (Eqs. 22–23 with λ > 0).
+//! A violated inequality means moving the repeater in the corresponding
+//! direction *decreases* the delay — and by Eq. (13) the freed slack can
+//! be converted into total-width (power) reduction when the widths are
+//! re-solved. Movement steps are a preselected distance (the paper's
+//! "preselected distance"); moves that would enter a forbidden zone,
+//! leave the net span, or cross a neighbouring repeater are skipped
+//! (optionally, small zones can be hopped — the paper's future-work
+//! extension).
+
+use rip_delay::ChainView;
+use rip_net::{Side, TwoPinNet};
+
+/// Direction a repeater should move, with the predicted delay reduction
+/// per µm (the violated derivative's magnitude).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MoveDecision {
+    /// Both optimality inequalities hold: stay.
+    Stay,
+    /// `(∂τ/∂x)₊ < 0`: moving towards the sink reduces delay.
+    Downstream {
+        /// Delay reduction per µm of movement, fs/µm.
+        gain: f64,
+    },
+    /// `(∂τ/∂x)₋ > 0`: moving towards the source reduces delay.
+    Upstream {
+        /// Delay reduction per µm of movement, fs/µm.
+        gain: f64,
+    },
+}
+
+/// Evaluates the movement optimality conditions (Eqs. 22–23) for repeater
+/// `j` and picks the better violated direction (Fig. 5, Line 5: "the
+/// moving direction is chosen for larger reduction").
+pub fn decide_move(view: &ChainView<'_>, widths: &[f64], j: usize) -> MoveDecision {
+    let d_plus = view.dtau_dx(widths, j, Side::Downstream);
+    let d_minus = view.dtau_dx(widths, j, Side::Upstream);
+    let down_gain = if d_plus < 0.0 { -d_plus } else { 0.0 };
+    let up_gain = if d_minus > 0.0 { d_minus } else { 0.0 };
+    if down_gain <= 0.0 && up_gain <= 0.0 {
+        MoveDecision::Stay
+    } else if down_gain >= up_gain {
+        MoveDecision::Downstream { gain: down_gain }
+    } else {
+        MoveDecision::Upstream { gain: up_gain }
+    }
+}
+
+/// Outcome of one simultaneous movement round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoveRound {
+    /// New positions (same length/order as the input).
+    pub positions: Vec<f64>,
+    /// Number of repeaters actually moved.
+    pub moved: usize,
+    /// Number of proposed moves skipped for legality (zones, span,
+    /// ordering).
+    pub skipped: usize,
+}
+
+/// Applies one round of movement decisions to all repeaters
+/// simultaneously (Fig. 5, Line 5).
+///
+/// Legality rules, in order:
+///
+/// 1. the new position must stay strictly inside `(0, L)`;
+/// 2. it must not cross (or come within `min_separation` of) the
+///    neighbouring repeaters' *new* positions as processed left-to-right;
+/// 3. it must not land strictly inside a forbidden zone — unless
+///    `zone_hop_um` allows hopping zones shorter than the limit, in which
+///    case the repeater continues to the far zone boundary.
+///
+/// Moves failing any rule are skipped (the repeater stays), matching the
+/// paper's conservative rule; zone hopping is the paper's §7 extension.
+pub fn apply_moves(
+    net: &TwoPinNet,
+    view: &ChainView<'_>,
+    widths: &[f64],
+    step_um: f64,
+    min_separation_um: f64,
+    zone_hop_um: Option<f64>,
+) -> MoveRound {
+    let old = view.positions();
+    let n = old.len();
+    let total = net.total_length();
+    let mut positions = old.to_vec();
+    let mut moved = 0;
+    let mut skipped = 0;
+
+    for j in 0..n {
+        let proposal = match decide_move(view, widths, j) {
+            MoveDecision::Stay => continue,
+            MoveDecision::Downstream { .. } => old[j] + step_um,
+            MoveDecision::Upstream { .. } => old[j] - step_um,
+        };
+        let direction_down = proposal > old[j];
+
+        // Rule 1: net span.
+        if proposal <= 0.0 || proposal >= total {
+            skipped += 1;
+            continue;
+        }
+        // Rule 3: forbidden zones (with optional hopping).
+        let landed = match net.zone_at(proposal) {
+            None => proposal,
+            Some(zone) => {
+                let hop_ok = zone_hop_um.is_some_and(|lim| zone.length_um() <= lim);
+                if !hop_ok {
+                    skipped += 1;
+                    continue;
+                }
+                // Continue through the zone to its far boundary.
+                if direction_down {
+                    zone.end()
+                } else {
+                    zone.start()
+                }
+            }
+        };
+        if landed <= 0.0 || landed >= total {
+            skipped += 1;
+            continue;
+        }
+        // Rule 2: ordering against current neighbours (left already
+        // final, right still old - conservative).
+        let left_ok = j == 0 || landed >= positions[j - 1] + min_separation_um;
+        let right_ok = j + 1 == n || landed <= old[j + 1] - min_separation_um;
+        if !left_ok || !right_ok {
+            skipped += 1;
+            continue;
+        }
+        positions[j] = landed;
+        moved += 1;
+    }
+    MoveRound { positions, moved, skipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_net::{NetBuilder, Segment};
+    use rip_tech::Technology;
+
+    fn tech() -> Technology {
+        Technology::generic_180nm()
+    }
+
+    fn plain_net() -> TwoPinNet {
+        NetBuilder::new()
+            .segment(Segment::new(10_000.0, 0.08, 0.2))
+            .driver_width(120.0)
+            .receiver_width(60.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn decision_agrees_with_numeric_probe() {
+        // For a repeater pushed far off the uniform-wire optimum, the
+        // analytic decision must match what a small numeric probe says.
+        let tech = tech();
+        let net = plain_net();
+        let view = ChainView::new(&net, tech.device(), vec![1500.0, 8500.0]).unwrap();
+        let widths = vec![100.0, 100.0];
+        let h = 1.0;
+        for j in 0..2 {
+            let base = view.total_delay(&widths);
+            let mut probe = view.positions().to_vec();
+            probe[j] += h;
+            let down = view.with_positions(probe.clone()).unwrap().total_delay(&widths);
+            probe[j] -= 2.0 * h;
+            let up = view.with_positions(probe).unwrap().total_delay(&widths);
+            match decide_move(&view, &widths, j) {
+                MoveDecision::Downstream { .. } => {
+                    assert!(down < base, "j={j}: numeric probe disagrees")
+                }
+                MoveDecision::Upstream { .. } => {
+                    assert!(up < base, "j={j}: numeric probe disagrees")
+                }
+                MoveDecision::Stay => {
+                    assert!(down >= base - 1e-6 && up >= base - 1e-6)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_optimum_stays_put() {
+        // Two repeaters at the even thirds of a uniform wire with equal
+        // widths and matched terminals: location derivatives straddle
+        // zero, so moves (if any) must have negligible gain.
+        let tech = tech();
+        let net = NetBuilder::new()
+            .segment(Segment::new(9000.0, 0.08, 0.2))
+            .driver_width(100.0)
+            .receiver_width(100.0)
+            .build()
+            .unwrap();
+        let view = ChainView::new(&net, tech.device(), vec![3000.0, 6000.0]).unwrap();
+        // Widths from the delay-optimal continuous solve would be ideal;
+        // near-optimal hand values suffice to check gains are tiny
+        // relative to the derivative scale elsewhere.
+        let widths = vec![100.0, 100.0];
+        for j in 0..2 {
+            if let MoveDecision::Downstream { gain } | MoveDecision::Upstream { gain } =
+                decide_move(&view, &widths, j)
+            {
+                assert!(gain < 2.0, "j={j}: gain {gain} should be small near symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn moves_toward_balance_on_skewed_placement() {
+        // A repeater crammed against the source on a uniform wire should
+        // move downstream (the downstream wire is too long).
+        let tech = tech();
+        let net = plain_net();
+        let view = ChainView::new(&net, tech.device(), vec![500.0]).unwrap();
+        let widths = vec![100.0];
+        assert!(matches!(
+            decide_move(&view, &widths, 0),
+            MoveDecision::Downstream { .. }
+        ));
+        // And one crammed against the sink should move upstream.
+        let view = ChainView::new(&net, tech.device(), vec![9500.0]).unwrap();
+        assert!(matches!(decide_move(&view, &widths, 0), MoveDecision::Upstream { .. }));
+    }
+
+    #[test]
+    fn apply_moves_respects_span_and_ordering() {
+        let tech = tech();
+        let net = plain_net();
+        // Two repeaters 60 um apart, both pulled towards each other by
+        // the skew: ordering rule must prevent a crossing.
+        let view = ChainView::new(&net, tech.device(), vec![4970.0, 5030.0]).unwrap();
+        let widths = vec![100.0, 100.0];
+        let round = apply_moves(&net, &view, &widths, 100.0, 10.0, None);
+        assert!(round.positions[0] < round.positions[1]);
+        for w in round.positions.windows(2) {
+            assert!(w[1] - w[0] >= 10.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn apply_moves_skips_zone_landing_without_hop() {
+        let tech = tech();
+        let net = NetBuilder::new()
+            .segment(Segment::new(10_000.0, 0.08, 0.2))
+            .forbidden_zone(600.0, 1200.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        // Repeater at 550 wants to move downstream (skewed to source) by
+        // 100 -> 650, which is inside the zone: skipped without hopping.
+        let view = ChainView::new(&net, tech.device(), vec![550.0]).unwrap();
+        let widths = vec![100.0];
+        assert!(matches!(
+            decide_move(&view, &widths, 0),
+            MoveDecision::Downstream { .. }
+        ));
+        let no_hop = apply_moves(&net, &view, &widths, 100.0, 10.0, None);
+        assert_eq!(no_hop.positions, vec![550.0]);
+        assert_eq!(no_hop.skipped, 1);
+
+        // With hopping allowed for zones up to 1000 um it lands on the far
+        // boundary.
+        let hop = apply_moves(&net, &view, &widths, 100.0, 10.0, Some(1000.0));
+        assert_eq!(hop.positions, vec![1200.0]);
+        assert_eq!(hop.moved, 1);
+
+        // A hop limit smaller than the zone still skips.
+        let small = apply_moves(&net, &view, &widths, 100.0, 10.0, Some(500.0));
+        assert_eq!(small.positions, vec![550.0]);
+    }
+
+    #[test]
+    fn moving_reduces_delay_when_applied() {
+        let tech = tech();
+        let net = plain_net();
+        let view = ChainView::new(&net, tech.device(), vec![1500.0, 8500.0]).unwrap();
+        let widths = vec![100.0, 100.0];
+        let before = view.total_delay(&widths);
+        let round = apply_moves(&net, &view, &widths, 50.0, 1.0, None);
+        assert!(round.moved > 0);
+        let after = view
+            .with_positions(round.positions)
+            .unwrap()
+            .total_delay(&widths);
+        assert!(after < before, "{after} !< {before}");
+    }
+}

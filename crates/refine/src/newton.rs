@@ -1,0 +1,246 @@
+//! A small damped Newton–Raphson solver for dense nonlinear systems.
+//!
+//! The paper's REFINE (Fig. 5, Lines 1 and 7) solves the nonlinear KKT
+//! system of Eqs. (5) + (8) "using Newton-Raphson method". The systems are
+//! tiny (one unknown per repeater plus λ), so a dense Gaussian-elimination
+//! linear solve with partial pivoting is exactly right. The solver is
+//! generic and reusable; `rip-refine` feeds it analytic Jacobians.
+
+/// Options for [`newton_solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonOptions {
+    /// Stop when the max-norm of the residual falls below this.
+    pub tolerance: f64,
+    /// Maximum Newton iterations.
+    pub max_iterations: usize,
+    /// Damping: the step is halved at most this many times per iteration
+    /// while it fails to reduce the residual norm.
+    pub max_halvings: usize,
+    /// Optional per-variable lower bounds (steps are clipped to stay
+    /// above them).
+    pub lower_bounds: Option<Vec<f64>>,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self { tolerance: 1e-10, max_iterations: 60, max_halvings: 30, lower_bounds: None }
+    }
+}
+
+/// Outcome of a Newton solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonResult {
+    /// The final iterate.
+    pub x: Vec<f64>,
+    /// Max-norm of the final residual.
+    pub residual_norm: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// `true` when the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Solves `f(x) = 0` by damped Newton–Raphson with an explicit Jacobian.
+///
+/// * `f` — residual function, `n` in / `n` out;
+/// * `jac` — Jacobian at `x` (row-major `n×n`: `jac[i][j] = ∂fᵢ/∂xⱼ`);
+/// * `x0` — starting point.
+///
+/// Returns the best iterate found even when not converged (check
+/// [`NewtonResult::converged`]); a singular Jacobian stops the iteration
+/// early.
+///
+/// # Examples
+///
+/// ```
+/// use rip_refine::newton::{newton_solve, NewtonOptions};
+///
+/// // Solve x² = 4, y = x (roots x = 2, y = 2 from a positive start).
+/// let result = newton_solve(
+///     |x| vec![x[0] * x[0] - 4.0, x[1] - x[0]],
+///     |x| vec![vec![2.0 * x[0], 0.0], vec![-1.0, 1.0]],
+///     vec![3.0, 0.0],
+///     &NewtonOptions::default(),
+/// );
+/// assert!(result.converged);
+/// assert!((result.x[0] - 2.0).abs() < 1e-9);
+/// assert!((result.x[1] - 2.0).abs() < 1e-9);
+/// ```
+pub fn newton_solve(
+    f: impl Fn(&[f64]) -> Vec<f64>,
+    jac: impl Fn(&[f64]) -> Vec<Vec<f64>>,
+    x0: Vec<f64>,
+    options: &NewtonOptions,
+) -> NewtonResult {
+    let mut x = x0;
+    let mut residual = f(&x);
+    let mut norm = max_norm(&residual);
+    let mut iterations = 0;
+
+    while norm > options.tolerance && iterations < options.max_iterations {
+        iterations += 1;
+        let j = jac(&x);
+        // Solve J·dx = -r.
+        let rhs: Vec<f64> = residual.iter().map(|r| -r).collect();
+        let Some(dx) = solve_linear(j, rhs) else {
+            break; // singular Jacobian: keep the best iterate
+        };
+        // Damped line search on the residual norm.
+        let mut alpha = 1.0;
+        let mut accepted = false;
+        for _ in 0..=options.max_halvings {
+            let trial: Vec<f64> = x
+                .iter()
+                .zip(&dx)
+                .enumerate()
+                .map(|(i, (&xi, &di))| {
+                    let v = xi + alpha * di;
+                    match &options.lower_bounds {
+                        Some(lb) => v.max(lb[i]),
+                        None => v,
+                    }
+                })
+                .collect();
+            let trial_res = f(&trial);
+            let trial_norm = max_norm(&trial_res);
+            if trial_norm < norm {
+                x = trial;
+                residual = trial_res;
+                norm = trial_norm;
+                accepted = true;
+                break;
+            }
+            alpha *= 0.5;
+        }
+        if !accepted {
+            break; // stuck: no descent along the Newton direction
+        }
+    }
+    NewtonResult { x, residual_norm: norm, iterations, converged: norm <= options.tolerance }
+}
+
+fn max_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |acc, &x| acc.max(x.abs()))
+}
+
+/// Solves the dense system `A·x = b` by Gaussian elimination with partial
+/// pivoting; returns `None` for (numerically) singular `A`.
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_solver_matches_hand_solution() {
+        // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_solver_pivots() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_linear(a, vec![3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn linear_solver_detects_singularity() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn newton_converges_quadratically_on_sqrt() {
+        let result = newton_solve(
+            |x| vec![x[0] * x[0] - 2.0],
+            |x| vec![vec![2.0 * x[0]]],
+            vec![1.0],
+            &NewtonOptions::default(),
+        );
+        assert!(result.converged);
+        // Residual tolerance 1e-10 near x=sqrt(2) bounds |x - sqrt(2)| by
+        // 1e-10 / f'(sqrt 2) = ~3.5e-11.
+        assert!((result.x[0] - 2.0_f64.sqrt()).abs() < 1e-9);
+        assert!(result.iterations < 10);
+    }
+
+    #[test]
+    fn newton_respects_lower_bounds() {
+        // Root at x = -1 but bound keeps x >= 0.5: solver must not cross.
+        let options = NewtonOptions { lower_bounds: Some(vec![0.5]), ..Default::default() };
+        let result = newton_solve(
+            |x| vec![x[0] + 1.0],
+            |_| vec![vec![1.0]],
+            vec![2.0],
+            &options,
+        );
+        assert!(!result.converged);
+        assert!(result.x[0] >= 0.5);
+    }
+
+    #[test]
+    fn newton_solves_coupled_system() {
+        // x + y = 3, x*y = 2 -> {1, 2} (from an asymmetric start).
+        let result = newton_solve(
+            |x| vec![x[0] + x[1] - 3.0, x[0] * x[1] - 2.0],
+            |x| vec![vec![1.0, 1.0], vec![x[1], x[0]]],
+            vec![0.5, 3.0],
+            &NewtonOptions::default(),
+        );
+        assert!(result.converged);
+        let (a, b) = (result.x[0].min(result.x[1]), result.x[0].max(result.x[1]));
+        assert!((a - 1.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_reports_non_convergence_gracefully() {
+        // f(x) = 1 (no root): must stop without panicking.
+        let result = newton_solve(
+            |_| vec![1.0],
+            |_| vec![vec![0.0]],
+            vec![0.0],
+            &NewtonOptions { max_iterations: 5, ..Default::default() },
+        );
+        assert!(!result.converged);
+    }
+}

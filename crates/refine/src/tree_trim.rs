@@ -1,0 +1,245 @@
+//! Continuous width refinement on buffered trees — the analytical half of
+//! the paper's §7 tree extension.
+//!
+//! With buffer *locations* fixed (tree nodes chosen by a coarse tree DP),
+//! the widths are relaxed to continuous values and minimized under the
+//! max-sink-delay constraint by cyclic coordinate descent: each buffer is
+//! shrunk to the smallest width that keeps the tree feasible (found by
+//! bisection on the quasiconvex per-width delay response), and the sweep
+//! repeats until the total width stops improving.
+//!
+//! This plays the role REFINE's width solve plays on chains. Location
+//! movement on trees is left to the fine DP stage (candidate sites from
+//! edge subdivision), mirroring how RIP lets the DP handle discreteness.
+
+use crate::error::RefineError;
+use rip_delay::RcTree;
+use rip_tech::RepeaterDevice;
+
+/// Configuration of the tree width trimmer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeTrimConfig {
+    /// Lower bound on continuous widths, u.
+    pub width_floor: f64,
+    /// Per-width bisection tolerance (relative, on the width).
+    pub width_tolerance: f64,
+    /// Stop when a full sweep improves total width by less than this
+    /// relative amount.
+    pub epsilon: f64,
+    /// Safety cap on sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for TreeTrimConfig {
+    fn default() -> Self {
+        Self { width_floor: 1.0, width_tolerance: 1e-6, epsilon: 1e-6, max_sweeps: 60 }
+    }
+}
+
+/// Result of a tree width trim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeTrimOutcome {
+    /// Trimmed per-node widths (same shape as the input assignment).
+    pub buffer_widths: Vec<Option<f64>>,
+    /// Final max-sink delay, fs.
+    pub delay_fs: f64,
+    /// Final total width, u.
+    pub total_width: f64,
+    /// Sweeps executed.
+    pub sweeps: usize,
+}
+
+/// Shrinks every buffer of a feasible buffered tree to (nearly) its
+/// minimal feasible continuous width, holding locations fixed.
+///
+/// # Errors
+///
+/// * [`RefineError::InvalidTarget`] for a bad target;
+/// * [`RefineError::InfeasibleTarget`] when the *input* assignment
+///   already violates the target (trimming only ever loosens, so a
+///   feasible input is required).
+///
+/// # Panics
+///
+/// Panics if `buffer_widths.len() != tree.len()` (propagated from the
+/// tree evaluator).
+pub fn trim_tree_widths(
+    tree: &RcTree,
+    device: &RepeaterDevice,
+    driver_width: f64,
+    buffer_widths: &[Option<f64>],
+    target_fs: f64,
+    config: &TreeTrimConfig,
+) -> Result<TreeTrimOutcome, RefineError> {
+    if !target_fs.is_finite() || target_fs <= 0.0 {
+        return Err(RefineError::InvalidTarget { target_fs });
+    }
+    let mut widths = buffer_widths.to_vec();
+    let eval = |w: &[Option<f64>]| -> f64 {
+        tree.evaluate_buffered(device, driver_width, w).max_sink_delay
+    };
+    let mut delay = eval(&widths);
+    if delay > target_fs * (1.0 + 1e-12) {
+        return Err(RefineError::InfeasibleTarget { target_fs, achievable_fs: delay });
+    }
+
+    let buffer_nodes: Vec<usize> =
+        (0..widths.len()).filter(|&v| widths[v].is_some()).collect();
+    let total = |w: &[Option<f64>]| -> f64 { w.iter().flatten().sum() };
+    let mut best_total = total(&widths);
+    let mut sweeps = 0;
+
+    while sweeps < config.max_sweeps {
+        sweeps += 1;
+        for &v in &buffer_nodes {
+            let current = widths[v].expect("buffer nodes carry widths");
+            if current <= config.width_floor * (1.0 + 1e-12) {
+                continue;
+            }
+            // Feasible set in w is an interval (delay is quasiconvex in a
+            // single width); find its lower end within [floor, current].
+            widths[v] = Some(config.width_floor);
+            if eval(&widths) <= target_fs {
+                continue; // floor itself is feasible: keep it
+            }
+            let mut lo = config.width_floor; // infeasible
+            let mut hi = current; // feasible
+            while (hi - lo) > config.width_tolerance * hi {
+                let mid = 0.5 * (lo + hi);
+                widths[v] = Some(mid);
+                if eval(&widths) <= target_fs {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            widths[v] = Some(hi);
+        }
+        let new_total = total(&widths);
+        let improved = (best_total - new_total) / best_total.max(1e-30);
+        best_total = new_total;
+        if improved < config.epsilon {
+            break;
+        }
+    }
+
+    delay = eval(&widths);
+    debug_assert!(delay <= target_fs * (1.0 + 1e-9));
+    Ok(TreeTrimOutcome { buffer_widths: widths, delay_fs: delay, total_width: best_total, sweeps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_tech::Technology;
+
+    fn device() -> RepeaterDevice {
+        *Technology::generic_180nm().device()
+    }
+
+    /// A 7 mm Y-tree with line edges and two sinks.
+    fn y_tree(dev: &RepeaterDevice) -> (RcTree, Vec<Option<f64>>) {
+        let mut tree = RcTree::with_root();
+        let trunk = tree.add_line_child(0, 0.08, 0.2, 4000.0).unwrap();
+        let s1 = tree.add_line_child(trunk, 0.06, 0.18, 3000.0).unwrap();
+        let s2 = tree.add_line_child(trunk, 0.08, 0.2, 2000.0).unwrap();
+        tree.set_sink_cap(s1, dev.input_cap(60.0)).unwrap();
+        tree.set_sink_cap(s2, dev.input_cap(40.0)).unwrap();
+        let mut widths = vec![None; tree.len()];
+        widths[trunk] = Some(250.0); // deliberately oversized
+        (tree, widths)
+    }
+
+    #[test]
+    fn trimming_shrinks_oversized_buffers() {
+        let dev = device();
+        let (tree, widths) = y_tree(&dev);
+        let before = tree.evaluate_buffered(&dev, 120.0, &widths);
+        let target = before.max_sink_delay * 1.3;
+        let out =
+            trim_tree_widths(&tree, &dev, 120.0, &widths, target, &TreeTrimConfig::default())
+                .unwrap();
+        assert!(out.total_width < 250.0, "did not shrink: {}", out.total_width);
+        assert!(out.delay_fs <= target * (1.0 + 1e-9));
+        // The trimmed solution is tight: shaving 2% more off every buffer
+        // must break the target (otherwise the trim left slack behind).
+        let squeezed: Vec<Option<f64>> = out
+            .buffer_widths
+            .iter()
+            .map(|w| w.map(|w| (w * 0.98).max(1.0)))
+            .collect();
+        let d = tree.evaluate_buffered(&dev, 120.0, &squeezed).max_sink_delay;
+        assert!(d > target, "trim left recoverable slack");
+    }
+
+    #[test]
+    fn loose_targets_trim_to_the_floor() {
+        let dev = device();
+        let (tree, widths) = y_tree(&dev);
+        let before = tree.evaluate_buffered(&dev, 120.0, &widths);
+        let out = trim_tree_widths(
+            &tree,
+            &dev,
+            120.0,
+            &widths,
+            before.max_sink_delay * 50.0,
+            &TreeTrimConfig { width_floor: 10.0, ..Default::default() },
+        )
+        .unwrap();
+        for w in out.buffer_widths.iter().flatten() {
+            assert!((w - 10.0).abs() < 1e-9, "expected floor, got {w}");
+        }
+    }
+
+    #[test]
+    fn infeasible_input_is_rejected() {
+        let dev = device();
+        let (tree, widths) = y_tree(&dev);
+        let before = tree.evaluate_buffered(&dev, 120.0, &widths);
+        let err = trim_tree_widths(
+            &tree,
+            &dev,
+            120.0,
+            &widths,
+            before.max_sink_delay * 0.5,
+            &TreeTrimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RefineError::InfeasibleTarget { .. }));
+    }
+
+    #[test]
+    fn multiple_buffers_trim_jointly() {
+        let dev = device();
+        let mut tree = RcTree::with_root();
+        let a = tree.add_line_child(0, 0.08, 0.2, 3000.0).unwrap();
+        let b = tree.add_line_child(a, 0.08, 0.2, 3000.0).unwrap();
+        let s = tree.add_line_child(b, 0.08, 0.2, 3000.0).unwrap();
+        tree.set_sink_cap(s, dev.input_cap(50.0)).unwrap();
+        let mut widths = vec![None; tree.len()];
+        widths[a] = Some(300.0);
+        widths[b] = Some(300.0);
+        let before = tree.evaluate_buffered(&dev, 120.0, &widths);
+        let target = before.max_sink_delay * 1.2;
+        let out =
+            trim_tree_widths(&tree, &dev, 120.0, &widths, target, &TreeTrimConfig::default())
+                .unwrap();
+        assert!(out.total_width < 600.0);
+        assert!(out.sweeps >= 1);
+        assert!(out.delay_fs <= target * (1.0 + 1e-9));
+        // Both buffers participate.
+        let trimmed: Vec<f64> = out.buffer_widths.iter().flatten().copied().collect();
+        assert_eq!(trimmed.len(), 2);
+        assert!(trimmed.iter().all(|&w| w < 300.0));
+    }
+
+    #[test]
+    fn bad_target_is_rejected() {
+        let dev = device();
+        let (tree, widths) = y_tree(&dev);
+        assert!(matches!(
+            trim_tree_widths(&tree, &dev, 120.0, &widths, -1.0, &TreeTrimConfig::default()),
+            Err(RefineError::InvalidTarget { .. })
+        ));
+    }
+}

@@ -1,0 +1,86 @@
+//! Minimal CSV output for experiment results (hand-rolled — no external
+//! dependency needed for plain numeric tables).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Escapes a CSV cell (quotes cells containing commas, quotes or
+/// newlines).
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Renders headers + rows as CSV text.
+///
+/// # Examples
+///
+/// ```
+/// let text = rip_report::to_csv_string(
+///     &["net", "saving"],
+///     &[vec!["1".into(), "22.95".into()]],
+/// );
+/// assert_eq!(text, "net,saving\n1,22.95\n");
+/// ```
+pub fn to_csv_string(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes headers + rows to a CSV file, creating parent directories as
+/// needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: impl AsRef<Path>, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_csv_string(headers, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_cells_pass_through() {
+        let s = to_csv_string(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn cells_with_commas_are_quoted() {
+        let s = to_csv_string(&["a"], &[vec!["x,y".into()]]);
+        assert_eq!(s, "a\n\"x,y\"\n");
+    }
+
+    #[test]
+    fn quotes_are_doubled() {
+        let s = to_csv_string(&["a"], &[vec!["say \"hi\"".into()]]);
+        assert!(s.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn write_creates_directories() {
+        let dir = std::env::temp_dir().join("rip_report_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        write_csv(&path, &["x"], &[vec!["1".into()]]).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, "x\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

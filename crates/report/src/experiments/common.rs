@@ -1,0 +1,200 @@
+//! Shared experiment infrastructure: the paper's net suite, timing-target
+//! sweeps, and the RIP-vs-baseline comparison grid that Table 1, Table 2
+//! and Figure 7 are all views of.
+
+use rip_core::{baseline_dp, rip, tau_min_paper, BaselineConfig, RipConfig};
+use rip_net::{NetGenerator, RandomNetConfig, TwoPinNet};
+use rip_tech::Technology;
+use std::time::{Duration, Instant};
+
+/// The evaluation environment: technology, the regenerated net suite and
+/// each net's `τ_min`.
+#[derive(Debug, Clone)]
+pub struct ExperimentEnv {
+    /// The synthetic 0.18 µm technology (DESIGN.md §2).
+    pub tech: Technology,
+    /// The regenerated evaluation nets (paper: 20, Section 6
+    /// distribution).
+    pub nets: Vec<TwoPinNet>,
+    /// Per-net minimum delay `τ_min`, fs (paper-setup DP).
+    pub tau_mins: Vec<f64>,
+}
+
+impl ExperimentEnv {
+    /// Regenerates the paper's evaluation environment from a seed
+    /// (paper: 20 nets; tests use fewer).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the built-in paper distribution constants were
+    /// invalid — impossible by construction.
+    pub fn paper(seed: u64, net_count: usize) -> Self {
+        let tech = Technology::generic_180nm();
+        let nets = NetGenerator::suite(RandomNetConfig::default(), seed, net_count)
+            .expect("paper distribution is valid");
+        let tau_mins =
+            nets.iter().map(|net| tau_min_paper(net, tech.device())).collect();
+        Self { tech, nets, tau_mins }
+    }
+}
+
+/// The paper's timing-target sweep: `count` multipliers evenly spaced
+/// over `[1.05, 2.05]` (Section 6 uses 20).
+///
+/// # Examples
+///
+/// ```
+/// let m = rip_report::target_multipliers(20);
+/// assert_eq!(m.len(), 20);
+/// assert!((m[0] - 1.05).abs() < 1e-12);
+/// assert!((m[19] - 2.05).abs() < 1e-12);
+/// ```
+pub fn target_multipliers(count: usize) -> Vec<f64> {
+    if count == 1 {
+        return vec![1.05];
+    }
+    (0..count)
+        .map(|k| 1.05 + k as f64 * (1.0 / (count - 1) as f64))
+        .collect()
+}
+
+/// One baseline measurement: total width (the power objective) and
+/// runtime, or `None` when the baseline violated the timing target (the
+/// paper's `V_DP` event).
+pub type BaselineMeasure = Option<(f64, Duration)>;
+
+/// One grid cell: a `(net, target)` pair with RIP's result and each
+/// baseline's.
+#[derive(Debug, Clone)]
+pub struct ComparisonCell {
+    /// Target multiplier over `τ_min`.
+    pub multiplier: f64,
+    /// Absolute target, fs.
+    pub target_fs: f64,
+    /// RIP's total width, u (`None` on the rare RIP failure — counted,
+    /// and asserted zero in the test suite).
+    pub rip_width: Option<f64>,
+    /// RIP's wall-clock runtime.
+    pub rip_time: Duration,
+    /// Per-baseline `(width, runtime)`, aligned with
+    /// [`ComparisonGrid::baseline_labels`].
+    pub baselines: Vec<BaselineMeasure>,
+}
+
+/// The full RIP-vs-baselines comparison over a net suite and target
+/// sweep. Table 1, Table 2 and Figure 7 are different summaries of this
+/// grid.
+#[derive(Debug, Clone)]
+pub struct ComparisonGrid {
+    /// Human-readable labels of the baselines (e.g. `"g=10u"`).
+    pub baseline_labels: Vec<String>,
+    /// Per-net `τ_min`, fs.
+    pub tau_mins: Vec<f64>,
+    /// `cells[net][target]`.
+    pub cells: Vec<Vec<ComparisonCell>>,
+}
+
+impl ComparisonGrid {
+    /// Total number of RIP failures across the grid (expected 0).
+    pub fn rip_failures(&self) -> usize {
+        self.cells
+            .iter()
+            .flatten()
+            .filter(|c| c.rip_width.is_none())
+            .count()
+    }
+}
+
+/// Runs the comparison grid: for every net and every target multiplier,
+/// run RIP once and every baseline once, recording widths and runtimes.
+pub fn run_grid(
+    env: &ExperimentEnv,
+    multipliers: &[f64],
+    baselines: &[(String, BaselineConfig)],
+    rip_config: &RipConfig,
+) -> ComparisonGrid {
+    let mut cells = Vec::with_capacity(env.nets.len());
+    for (net, &tau_min) in env.nets.iter().zip(&env.tau_mins) {
+        let mut row = Vec::with_capacity(multipliers.len());
+        for &m in multipliers {
+            let target_fs = tau_min * m;
+
+            let t0 = Instant::now();
+            let rip_outcome = rip(net, &env.tech, target_fs, rip_config);
+            let rip_time = t0.elapsed();
+            let rip_width = rip_outcome.ok().map(|o| o.solution.total_width);
+
+            let baselines = baselines
+                .iter()
+                .map(|(_, cfg)| {
+                    let t1 = Instant::now();
+                    let result = baseline_dp(net, env.tech.device(), cfg, target_fs);
+                    let elapsed = t1.elapsed();
+                    result.ok().map(|sol| (sol.total_width, elapsed))
+                })
+                .collect();
+
+            row.push(ComparisonCell {
+                multiplier: m,
+                target_fs,
+                rip_width,
+                rip_time,
+                baselines,
+            });
+        }
+        cells.push(row);
+    }
+    ComparisonGrid {
+        baseline_labels: baselines.iter().map(|(l, _)| l.clone()).collect(),
+        tau_mins: env.tau_mins.clone(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multipliers_span_paper_range() {
+        let m = target_multipliers(20);
+        assert_eq!(m.len(), 20);
+        assert!((m[0] - 1.05).abs() < 1e-12);
+        assert!((m[19] - 2.05).abs() < 1e-12);
+        for w in m.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn single_multiplier_is_tightest() {
+        assert_eq!(target_multipliers(1), vec![1.05]);
+    }
+
+    #[test]
+    fn env_is_reproducible() {
+        let a = ExperimentEnv::paper(7, 2);
+        let b = ExperimentEnv::paper(7, 2);
+        assert_eq!(a.nets, b.nets);
+        assert_eq!(a.tau_mins, b.tau_mins);
+        assert_eq!(a.nets.len(), 2);
+        assert!(a.tau_mins.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn tiny_grid_runs_clean() {
+        let env = ExperimentEnv::paper(3, 1);
+        let baselines = vec![
+            ("g=20u".to_string(), BaselineConfig::paper_table1(20.0)),
+            ("g=40u".to_string(), BaselineConfig::paper_table1(40.0)),
+        ];
+        let grid = run_grid(&env, &[1.2, 1.8], &baselines, &RipConfig::paper());
+        assert_eq!(grid.cells.len(), 1);
+        assert_eq!(grid.cells[0].len(), 2);
+        assert_eq!(grid.rip_failures(), 0);
+        for cell in &grid.cells[0] {
+            assert!(cell.rip_width.unwrap() > 0.0);
+            assert_eq!(cell.baselines.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Experiment E2/E3 — the paper's **Figure 7**: power savings of RIP over
+//! the size-10 DP baseline as a function of the timing target, for width
+//! granularities (a) `g = 10u` and (b) `g = 40u`.
+//!
+//! Expected shape (paper, Section 6):
+//!
+//! * **(a) g = 10u** — zone I at tight targets where the baseline finds
+//!   *no* feasible solution (its library tops out at 100u); zone II where
+//!   RIP's savings peak; zone III at loose targets where the baseline's
+//!   many small widths reach parity (occasionally slightly beating RIP).
+//! * **(b) g = 40u** — RIP wins everywhere, and the savings *grow* with
+//!   looser targets because the coarse library lacks the small widths
+//!   loose designs want.
+
+use crate::experiments::common::{run_grid, target_multipliers, ExperimentEnv};
+use crate::plot::{ascii_plot, Series};
+use crate::stats::mean;
+use rip_core::{power_saving_percent, BaselineConfig, RipConfig};
+use rip_tech::units::ns_from_fs;
+
+/// Configuration of the Figure 7 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure7Config {
+    /// Net-suite seed.
+    pub seed: u64,
+    /// Number of nets (paper: 20, all scattered into one plot).
+    pub net_count: usize,
+    /// Number of timing targets per net.
+    pub target_count: usize,
+    /// The two granularities plotted (paper: 10u for (a), 40u for (b)).
+    pub granularity_a: f64,
+    /// Panel (b) granularity.
+    pub granularity_b: f64,
+    /// RIP configuration.
+    pub rip: RipConfig,
+}
+
+impl Default for Figure7Config {
+    fn default() -> Self {
+        Self {
+            seed: 2005,
+            net_count: 20,
+            target_count: 20,
+            granularity_a: 10.0,
+            granularity_b: 40.0,
+            rip: RipConfig::paper(),
+        }
+    }
+}
+
+/// One scatter point of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Figure7Point {
+    /// Target multiplier over `τ_min`.
+    pub multiplier: f64,
+    /// Absolute timing constraint, ns (the paper's x axis).
+    pub target_ns: f64,
+    /// Saving over the baseline, percent; `None` when the baseline
+    /// violated timing (zone I).
+    pub saving_percent: Option<f64>,
+}
+
+/// Result of the Figure 7 experiment.
+#[derive(Debug, Clone)]
+pub struct Figure7Outcome {
+    /// Panel (a) points (fine granularity).
+    pub panel_a: Vec<Figure7Point>,
+    /// Panel (b) points (coarse granularity).
+    pub panel_b: Vec<Figure7Point>,
+    /// Granularities of the panels, u.
+    pub granularities: (f64, f64),
+}
+
+/// Runs the Figure 7 experiment.
+pub fn run_figure7(config: &Figure7Config) -> Figure7Outcome {
+    let env = ExperimentEnv::paper(config.seed, config.net_count);
+    let multipliers = target_multipliers(config.target_count);
+    let baselines = vec![
+        (format!("g={}u", config.granularity_a), BaselineConfig::paper_table1(config.granularity_a)),
+        (format!("g={}u", config.granularity_b), BaselineConfig::paper_table1(config.granularity_b)),
+    ];
+    let grid = run_grid(&env, &multipliers, &baselines, &config.rip);
+    let points = |gi: usize| -> Vec<Figure7Point> {
+        grid.cells
+            .iter()
+            .flatten()
+            .filter_map(|cell| {
+                cell.rip_width.map(|rip_width| Figure7Point {
+                    multiplier: cell.multiplier,
+                    target_ns: ns_from_fs(cell.target_fs),
+                    saving_percent: cell.baselines[gi]
+                        .map(|(w, _)| power_saving_percent(w, rip_width)),
+                })
+            })
+            .collect()
+    };
+    Figure7Outcome {
+        panel_a: points(0),
+        panel_b: points(1),
+        granularities: (config.granularity_a, config.granularity_b),
+    }
+}
+
+/// Mean saving per multiplier over the feasible points (the trend line
+/// behind the paper's scatter). Multipliers where *no* baseline was
+/// feasible (pure zone I) report `None`.
+pub fn mean_by_multiplier(points: &[Figure7Point]) -> Vec<(f64, Option<f64>)> {
+    let mut multipliers: Vec<f64> = points.iter().map(|p| p.multiplier).collect();
+    multipliers.sort_by(|a, b| a.partial_cmp(b).expect("finite multipliers"));
+    multipliers.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    multipliers
+        .into_iter()
+        .map(|m| {
+            let savings: Vec<f64> = points
+                .iter()
+                .filter(|p| (p.multiplier - m).abs() < 1e-12)
+                .filter_map(|p| p.saving_percent)
+                .collect();
+            let value = if savings.is_empty() { None } else { Some(mean(&savings)) };
+            (m, value)
+        })
+        .collect()
+}
+
+/// Fraction of points in zone I (baseline infeasible) per panel.
+pub fn zone1_fraction(points: &[Figure7Point]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points.iter().filter(|p| p.saving_percent.is_none()).count() as f64 / points.len() as f64
+}
+
+/// Renders both panels as ASCII scatter plots with zone annotations.
+pub fn render_figure7(outcome: &Figure7Outcome) -> String {
+    let mut out = String::new();
+    for (panel, label, points) in [
+        ("(a)", outcome.granularities.0, &outcome.panel_a),
+        ("(b)", outcome.granularities.1, &outcome.panel_b),
+    ] {
+        let scatter: Vec<(f64, f64)> = points
+            .iter()
+            .filter_map(|p| p.saving_percent.map(|s| (p.target_ns, s)))
+            .collect();
+        out.push_str(&format!(
+            "Figure 7{panel}: power savings over DP [14] (library size 10, g = {label}u)\n"
+        ));
+        out.push_str(&ascii_plot(
+            &[Series::new('x', format!("saving vs g={label}u"), scatter)],
+            64,
+            16,
+            "timing constraint (ns)",
+            "improvement (%)",
+        ));
+        let z1 = zone1_fraction(points);
+        if z1 > 0.0 {
+            out.push_str(&format!(
+                "          zone I: baseline infeasible on {:.0}% of (net, target) pairs\n",
+                z1 * 100.0
+            ));
+        }
+        let trend = mean_by_multiplier(points);
+        out.push_str("          mean saving by target multiplier:\n");
+        for (m, s) in trend {
+            match s {
+                Some(s) => {
+                    out.push_str(&format!("            {m:.2} x tau_min: {s:6.2} %\n"))
+                }
+                None => out.push_str(&format!(
+                    "            {m:.2} x tau_min:   zone I (baseline infeasible)\n"
+                )),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV headers + rows (both panels, long format).
+pub fn figure7_csv(outcome: &Figure7Outcome) -> (Vec<String>, Vec<Vec<String>>) {
+    let headers: Vec<String> = ["panel", "granularity_u", "multiplier", "target_ns", "saving_percent", "baseline_feasible"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for (panel, g, points) in [
+        ("a", outcome.granularities.0, &outcome.panel_a),
+        ("b", outcome.granularities.1, &outcome.panel_b),
+    ] {
+        for p in points {
+            rows.push(vec![
+                panel.to_string(),
+                format!("{g}"),
+                format!("{:.4}", p.multiplier),
+                format!("{:.4}", p.target_ns),
+                p.saving_percent.map_or(String::new(), |s| format!("{s:.4}")),
+                p.saving_percent.is_some().to_string(),
+            ]);
+        }
+    }
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Figure7Config {
+        Figure7Config { seed: 11, net_count: 2, target_count: 5, ..Default::default() }
+    }
+
+    #[test]
+    fn outcome_has_points_for_both_panels() {
+        let out = run_figure7(&tiny_config());
+        assert_eq!(out.panel_a.len(), 10);
+        assert_eq!(out.panel_b.len(), 10);
+    }
+
+    #[test]
+    fn panel_a_shows_zone_one_panel_b_does_not() {
+        // g=10u (max 100u) must hit infeasible tight targets; g=40u (max
+        // 370u) must not.
+        let out = run_figure7(&tiny_config());
+        assert!(zone1_fraction(&out.panel_a) > 0.0, "no zone I in panel (a)");
+        assert_eq!(zone1_fraction(&out.panel_b), 0.0, "unexpected zone I in panel (b)");
+    }
+
+    #[test]
+    fn trend_is_computed_per_multiplier() {
+        let out = run_figure7(&tiny_config());
+        let trend = mean_by_multiplier(&out.panel_b);
+        assert_eq!(trend.len(), 5);
+        for w in trend.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+        // Panel (b) is always feasible -> every multiplier has a mean.
+        assert!(trend.iter().all(|(_, s)| s.is_some()));
+        // Panel (a) has pure-zone-I multipliers on tight targets.
+        let trend_a = mean_by_multiplier(&out.panel_a);
+        assert!(trend_a.iter().any(|(_, s)| s.is_none()));
+    }
+
+    #[test]
+    fn rendering_mentions_both_panels() {
+        let out = run_figure7(&tiny_config());
+        let text = render_figure7(&out);
+        assert!(text.contains("Figure 7(a)"));
+        assert!(text.contains("Figure 7(b)"));
+        assert!(text.contains("improvement (%)"));
+    }
+
+    #[test]
+    fn csv_is_long_format_with_feasibility_flag() {
+        let out = run_figure7(&tiny_config());
+        let (headers, rows) = figure7_csv(&out);
+        assert_eq!(headers.len(), 6);
+        assert_eq!(rows.len(), 20);
+        assert!(rows.iter().any(|r| r[5] == "false"), "zone I rows should appear");
+    }
+}

@@ -1,0 +1,16 @@
+//! The paper-reproduction experiment runners (DESIGN.md §5).
+//!
+//! | Module | Paper artifact | Regeneration binary |
+//! |--------|---------------|---------------------|
+//! | [`table1`] | Table 1 | `cargo run -p rip-bench --release --bin table1` |
+//! | [`figure7`] | Figure 7(a)/(b) | `cargo run -p rip-bench --release --bin figure7` |
+//! | [`table2`] | Table 2 | `cargo run -p rip-bench --release --bin table2` |
+//!
+//! All three are summaries of the same [`common::ComparisonGrid`]; the
+//! original nets are regenerated from a fixed seed with the paper's
+//! Section 6 distribution (see DESIGN.md §2 for the substitution note).
+
+pub mod common;
+pub mod figure7;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,231 @@
+//! Experiment E4 — the paper's **Table 2**: the quality/runtime tradeoff
+//! of the DP baseline as its width granularity `g_DP` shrinks over a
+//! fixed (10u, 400u) range, versus RIP's fixed (and small) runtime.
+//!
+//! Expected shape: as `g_DP` goes 40u → 10u, the baseline's power
+//! disadvantage `∆` shrinks towards ~0 while its runtime `T_DP` grows
+//! steeply (pseudo-polynomial pruning frontier); RIP's runtime stays
+//! flat, so the speedup at equal quality grows by orders of magnitude.
+
+use crate::experiments::common::{
+    run_grid, target_multipliers, ComparisonGrid, ExperimentEnv,
+};
+use crate::stats::mean;
+use crate::table::{fmt_f, TextTable};
+use rip_core::{power_saving_percent, BaselineConfig, RipConfig};
+use std::time::Duration;
+
+/// Configuration of the Table 2 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Config {
+    /// Net-suite seed.
+    pub seed: u64,
+    /// Number of nets (paper: 20).
+    pub net_count: usize,
+    /// Number of timing targets per net (paper: 20).
+    pub target_count: usize,
+    /// Baseline granularities over the fixed (10u, 400u) range
+    /// (paper: 40, 30, 20, 10).
+    pub granularities: Vec<f64>,
+    /// RIP configuration.
+    pub rip: RipConfig,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Self {
+            seed: 2005,
+            net_count: 20,
+            target_count: 20,
+            granularities: vec![40.0, 30.0, 20.0, 10.0],
+            rip: RipConfig::paper(),
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Baseline width granularity `g_DP`, u.
+    pub granularity: f64,
+    /// Mean power saving `∆` of RIP over this baseline, percent
+    /// (feasible pairs only).
+    pub delta_mean_percent: f64,
+    /// Mean baseline runtime per design, `T_DP`.
+    pub t_dp: Duration,
+    /// Speedup `T_DP / T_RIP` (means).
+    pub speedup: f64,
+    /// Baseline timing violations across the grid.
+    pub violations: usize,
+}
+
+/// Result of the Table 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Table2Outcome {
+    /// One row per granularity, in configuration order.
+    pub rows: Vec<Table2Row>,
+    /// Mean RIP runtime per design, `T_RIP`.
+    pub t_rip: Duration,
+    /// RIP failures across the grid (expected 0).
+    pub rip_failures: usize,
+}
+
+/// Runs the Table 2 experiment.
+pub fn run_table2(config: &Table2Config) -> Table2Outcome {
+    let env = ExperimentEnv::paper(config.seed, config.net_count);
+    let multipliers = target_multipliers(config.target_count);
+    let baselines: Vec<(String, BaselineConfig)> = config
+        .granularities
+        .iter()
+        .map(|&g| (format!("gDP={g}u"), BaselineConfig::paper_table2(g)))
+        .collect();
+    let grid = run_grid(&env, &multipliers, &baselines, &config.rip);
+    summarize_table2(config, &grid)
+}
+
+/// Summarizes a prebuilt grid into Table 2 rows.
+pub fn summarize_table2(config: &Table2Config, grid: &ComparisonGrid) -> Table2Outcome {
+    let cells: Vec<_> = grid.cells.iter().flatten().collect();
+    let rip_times: Vec<f64> =
+        cells.iter().map(|c| c.rip_time.as_secs_f64()).collect();
+    let t_rip_mean = mean(&rip_times);
+
+    let rows = config
+        .granularities
+        .iter()
+        .enumerate()
+        .map(|(gi, &g)| {
+            let mut savings = Vec::new();
+            let mut times = Vec::new();
+            let mut violations = 0;
+            for cell in &cells {
+                match (cell.baselines[gi], cell.rip_width) {
+                    (Some((w, t)), Some(rip_w)) => {
+                        savings.push(power_saving_percent(w, rip_w));
+                        times.push(t.as_secs_f64());
+                    }
+                    (None, _) => violations += 1,
+                    _ => {}
+                }
+            }
+            let t_dp_mean = mean(&times);
+            Table2Row {
+                granularity: g,
+                delta_mean_percent: mean(&savings),
+                t_dp: Duration::from_secs_f64(t_dp_mean),
+                speedup: if t_rip_mean > 0.0 { t_dp_mean / t_rip_mean } else { 0.0 },
+                violations,
+            }
+        })
+        .collect();
+
+    Table2Outcome {
+        rows,
+        t_rip: Duration::from_secs_f64(t_rip_mean),
+        rip_failures: grid.rip_failures(),
+    }
+}
+
+/// Renders the outcome in the paper's Table 2 layout.
+pub fn render_table2(outcome: &Table2Outcome) -> String {
+    let mut table = TextTable::new(vec!["gDP (u)", "delta (%)", "T_DP (ms)", "Speedup"]);
+    for row in &outcome.rows {
+        table.row(vec![
+            fmt_f(row.granularity, 0),
+            fmt_f(row.delta_mean_percent, 1),
+            fmt_f(row.t_dp.as_secs_f64() * 1e3, 3),
+            fmt_f(row.speedup, 1),
+        ]);
+    }
+    let mut out =
+        String::from("Table 2: power savings and speedup tradeoff (range 10u-400u)\n");
+    out.push_str(&table.to_string());
+    out.push_str(&format!(
+        "mean RIP runtime per design: {:.3} ms\n",
+        outcome.t_rip.as_secs_f64() * 1e3
+    ));
+    if outcome.rip_failures > 0 {
+        out.push_str(&format!("WARNING: {} RIP failures\n", outcome.rip_failures));
+    }
+    out
+}
+
+/// CSV headers + rows.
+pub fn table2_csv(outcome: &Table2Outcome) -> (Vec<String>, Vec<Vec<String>>) {
+    let headers: Vec<String> =
+        ["g_dp_u", "delta_mean_percent", "t_dp_ms", "t_rip_ms", "speedup", "violations"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let rows = outcome
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt_f(r.granularity, 0),
+                fmt_f(r.delta_mean_percent, 4),
+                fmt_f(r.t_dp.as_secs_f64() * 1e3, 4),
+                fmt_f(outcome.t_rip.as_secs_f64() * 1e3, 4),
+                fmt_f(r.speedup, 3),
+                r.violations.to_string(),
+            ]
+        })
+        .collect();
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Table2Config {
+        Table2Config {
+            seed: 5,
+            net_count: 2,
+            target_count: 3,
+            granularities: vec![40.0, 10.0],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn outcome_shape_and_no_rip_failures() {
+        let out = run_table2(&tiny_config());
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rip_failures, 0);
+        assert!(out.t_rip > Duration::ZERO);
+    }
+
+    #[test]
+    fn finer_baseline_library_closes_the_power_gap() {
+        // The paper's headline tradeoff: delta shrinks as g_DP shrinks.
+        let out = run_table2(&tiny_config());
+        let coarse = out.rows[0].delta_mean_percent; // g=40u
+        let fine = out.rows[1].delta_mean_percent; // g=10u
+        assert!(
+            fine <= coarse + 1e-9,
+            "finer library should close the gap: {fine} vs {coarse}"
+        );
+    }
+
+    #[test]
+    fn finer_baseline_library_costs_runtime() {
+        let out = run_table2(&tiny_config());
+        assert!(
+            out.rows[1].t_dp >= out.rows[0].t_dp,
+            "g=10u should not be faster than g=40u"
+        );
+    }
+
+    #[test]
+    fn rendering_has_one_row_per_granularity() {
+        let out = run_table2(&tiny_config());
+        let text = render_table2(&out);
+        assert!(text.contains("gDP"));
+        assert!(text.contains("Speedup"));
+        assert!(!text.contains("WARNING"));
+        let (headers, rows) = table2_csv(&out);
+        assert_eq!(headers.len(), 6);
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # rip-report — reporting and experiment harness for the RIP reproduction
+//!
+//! Provides the output layer (text tables, CSV, ASCII plots, statistics)
+//! and the experiment runners that regenerate every table and figure of
+//! the paper's evaluation section:
+//!
+//! * [`experiments::table1`] — Table 1 (per-net power savings vs the DP
+//!   baseline at three width granularities);
+//! * [`experiments::figure7`] — Figure 7(a)/(b) (savings vs timing
+//!   target, zones I/II/III);
+//! * [`experiments::table2`] — Table 2 (quality/runtime tradeoff and
+//!   speedup).
+//!
+//! The `rip-bench` crate wraps these in runnable binaries and Criterion
+//! benchmarks.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rip_report::experiments::table1::{render_table1, run_table1, Table1Config};
+//!
+//! // Full paper-scale run (20 nets x 20 targets x 3 baselines).
+//! let outcome = run_table1(&Table1Config::default());
+//! println!("{}", render_table1(&outcome));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod csv;
+pub mod experiments;
+mod plot;
+mod stats;
+mod table;
+
+pub use csv::{to_csv_string, write_csv};
+pub use experiments::common::{target_multipliers, ComparisonCell, ComparisonGrid, ExperimentEnv};
+pub use plot::{ascii_plot, Series};
+pub use stats::{max, mean, median, min};
+pub use table::{fmt_f, Align, TextTable};

@@ -1,0 +1,164 @@
+//! ASCII scatter/line plots for regenerating the paper's figures in a
+//! terminal.
+
+/// One plotted series: a marker character and its `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Marker drawn for the series' points.
+    pub marker: char,
+    /// Legend label.
+    pub label: String,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(marker: char, label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { marker, label: label.into(), points }
+    }
+}
+
+/// Renders an ASCII scatter plot of the given series.
+///
+/// The canvas auto-scales to the data (with a zero-line drawn when the y
+/// range spans zero, as in the paper's Figure 7(a) where savings can go
+/// negative).
+///
+/// # Examples
+///
+/// ```
+/// use rip_report::{ascii_plot, Series};
+///
+/// let s = Series::new('x', "savings", vec![(1.0, 5.0), (2.0, 10.0)]);
+/// let plot = ascii_plot(&[s], 40, 10, "target", "saving (%)");
+/// assert!(plot.contains('x'));
+/// assert!(plot.contains("saving (%)"));
+/// ```
+pub fn ascii_plot(
+    series: &[Series],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    let width = width.max(10);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("(no data)\n{y_label} vs {x_label}\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-30 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-30 {
+        y_max = y_min + 1.0;
+    }
+    // A little headroom so extreme points are not on the border.
+    let y_pad = (y_max - y_min) * 0.05;
+    let (y_lo, y_hi) = (y_min - y_pad, y_max + y_pad);
+
+    let mut canvas = vec![vec![' '; width]; height];
+    // Zero line.
+    if y_lo < 0.0 && y_hi > 0.0 {
+        let zero_row = to_row(0.0, y_lo, y_hi, height);
+        for cell in &mut canvas[zero_row] {
+            *cell = '.';
+        }
+    }
+    for s in series {
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = to_row(y, y_lo, y_hi, height);
+            canvas[row][col.min(width - 1)] = s.marker;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_label}\n"));
+    for (i, row) in canvas.iter().enumerate() {
+        let y_tick = if i == 0 {
+            format!("{y_hi:>9.2}")
+        } else if i == height - 1 {
+            format!("{y_lo:>9.2}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&format!("{y_tick} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("{} +{}\n", " ".repeat(9), "-".repeat(width)));
+    out.push_str(&format!(
+        "{} {:<width$}\n",
+        " ".repeat(9),
+        format!("{x_min:.2}{}{x_max:.2}  ({x_label})", " ".repeat(width.saturating_sub(16))),
+    ));
+    for s in series {
+        out.push_str(&format!("{} '{}' = {}\n", " ".repeat(9), s.marker, s.label));
+    }
+    out
+}
+
+fn to_row(y: f64, y_lo: f64, y_hi: f64, height: usize) -> usize {
+    let frac = (y - y_lo) / (y_hi - y_lo);
+    let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+    row.min(height - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_contains_markers_and_labels() {
+        let s = Series::new('o', "demo", vec![(0.0, 1.0), (5.0, 2.0), (10.0, 0.5)]);
+        let p = ascii_plot(&[s], 30, 8, "time", "value");
+        assert!(p.contains('o'));
+        assert!(p.contains("demo"));
+        assert!(p.contains("time"));
+    }
+
+    #[test]
+    fn zero_line_appears_when_range_spans_zero() {
+        let s = Series::new('x', "signed", vec![(0.0, -1.0), (1.0, 1.0)]);
+        let p = ascii_plot(&[s], 20, 9, "x", "y");
+        assert!(p.lines().any(|l| l.contains("....")));
+    }
+
+    #[test]
+    fn no_zero_line_for_positive_data() {
+        let s = Series::new('x', "pos", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let p = ascii_plot(&[s], 20, 9, "x", "y");
+        assert!(!p.lines().any(|l| l.contains("....")));
+    }
+
+    #[test]
+    fn higher_y_is_higher_row() {
+        let s = Series::new('H', "high", vec![(0.5, 10.0)]);
+        let t = Series::new('L', "low", vec![(0.5, -10.0)]);
+        let p = ascii_plot(&[s, t], 20, 9, "x", "y");
+        let h_line = p.lines().position(|l| l.contains('H')).unwrap();
+        let l_line = p.lines().position(|l| l.contains('L')).unwrap();
+        assert!(h_line < l_line);
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let p = ascii_plot(&[], 20, 9, "x", "y");
+        assert!(p.contains("no data"));
+    }
+
+    #[test]
+    fn degenerate_single_point_is_graceful() {
+        let s = Series::new('x', "one", vec![(1.0, 1.0)]);
+        let p = ascii_plot(&[s], 20, 6, "x", "y");
+        assert!(p.contains('x'));
+    }
+}

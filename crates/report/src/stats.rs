@@ -1,0 +1,80 @@
+//! Small statistics helpers for experiment aggregation.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rip_report::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(rip_report::mean(&[]), 0.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Maximum; 0.0 for an empty slice.
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)).max(0.0)
+}
+
+/// Minimum; 0.0 for an empty slice.
+pub fn min(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+    }
+}
+
+/// Median (average of middle pair for even lengths); 0.0 when empty.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite stats inputs"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_max_min() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(mean(&v), 2.0);
+        assert_eq!(max(&v), 3.0);
+        assert_eq!(min(&v), 1.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn empty_slices_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn max_clamps_negative_only_sets_to_zero() {
+        // max() is used for "best saving" reporting where an all-negative
+        // series reads as "no saving".
+        assert_eq!(max(&[-5.0, -2.0]), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Switch-level RC model of a repeater (Section 4.1, Figure 2 of the paper).
+//!
+//! A repeater of width `w` (in multiples of the minimum width `u`) is
+//! modelled by three parameters of the *unit-width* device:
+//!
+//! * output resistance `Rs` — scales as `Rs / w`,
+//! * input capacitance `Co` — scales as `Co · w`,
+//! * output (drain) capacitance `Cp` — scales as `Cp · w`.
+//!
+//! The interconnect driver and receiver are modelled as repeaters of given
+//! widths `w_d` and `w_r` (the receiver contributes only its input
+//! capacitance `Co · w_r`).
+
+use crate::error::{ensure_positive, TechError};
+
+/// Switch-level RC parameters of a unit-width repeater.
+///
+/// All widths in this workspace are expressed in multiples of the minimum
+/// repeater width `u`, so the scaled quantities are obtained by simple
+/// multiplication/division with the dimensionless width.
+///
+/// # Examples
+///
+/// ```
+/// use rip_tech::RepeaterDevice;
+///
+/// # fn main() -> Result<(), rip_tech::TechError> {
+/// let dev = RepeaterDevice::new(6000.0, 1.8, 1.4)?;
+/// // A 100u repeater drives with Rs/100 and loads its driver with Co*100.
+/// assert_eq!(dev.output_resistance(100.0), 60.0);
+/// assert_eq!(dev.input_cap(100.0), 180.0);
+/// # Ok(())
+/// # }
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepeaterDevice {
+    rs: f64,
+    co: f64,
+    cp: f64,
+}
+
+impl RepeaterDevice {
+    /// Creates a device model from unit-width parameters.
+    ///
+    /// * `rs` — output resistance of the unit-width repeater, in Ω·u.
+    /// * `co` — input capacitance per unit width, in fF/u.
+    /// * `cp` — output (drain) capacitance per unit width, in fF/u.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::NonPositive`] or [`TechError::NotFinite`] if any
+    /// parameter is not a strictly positive finite number.
+    pub fn new(rs: f64, co: f64, cp: f64) -> Result<Self, TechError> {
+        Ok(Self {
+            rs: ensure_positive("repeater output resistance rs", rs)?,
+            co: ensure_positive("repeater input capacitance co", co)?,
+            cp: ensure_positive("repeater output capacitance cp", cp)?,
+        })
+    }
+
+    /// Unit-width output resistance `Rs`, in Ω·u.
+    #[inline]
+    pub fn rs(&self) -> f64 {
+        self.rs
+    }
+
+    /// Input capacitance per unit width `Co`, in fF/u.
+    #[inline]
+    pub fn co(&self) -> f64 {
+        self.co
+    }
+
+    /// Output (drain) capacitance per unit width `Cp`, in fF/u.
+    #[inline]
+    pub fn cp(&self) -> f64 {
+        self.cp
+    }
+
+    /// Output resistance of a repeater of width `w` (in u): `Rs / w`, in Ω.
+    #[inline]
+    pub fn output_resistance(&self, width: f64) -> f64 {
+        self.rs / width
+    }
+
+    /// Input capacitance of a repeater of width `w` (in u): `Co · w`, in fF.
+    #[inline]
+    pub fn input_cap(&self, width: f64) -> f64 {
+        self.co * width
+    }
+
+    /// Output (drain) capacitance of a repeater of width `w`: `Cp · w`, fF.
+    #[inline]
+    pub fn output_cap(&self, width: f64) -> f64 {
+        self.cp * width
+    }
+
+    /// Width-independent intrinsic delay `Rs · Cp` of the repeater, in fs.
+    ///
+    /// This is the first term of the paper's Eq. (1): the output resistance
+    /// `Rs/w` discharging the repeater's own drain capacitance `Cp·w`.
+    #[inline]
+    pub fn intrinsic_delay(&self) -> f64 {
+        self.rs * self.cp
+    }
+
+    /// The classic closed-form optimal repeater width for a uniform wire
+    /// with resistance `r` (Ω/µm) and capacitance `c` (fF/µm):
+    /// `w_opt = sqrt(Rs·c / (r·Co))` (Bakoglu).
+    ///
+    /// Used in tests and as a sanity anchor for library ranges; the
+    /// algorithms themselves never assume uniform wires.
+    #[inline]
+    pub fn optimal_width_uniform(&self, r_per_um: f64, c_per_um: f64) -> f64 {
+        (self.rs * c_per_um / (r_per_um * self.co)).sqrt()
+    }
+
+    /// The classic closed-form optimal repeater spacing for a uniform wire:
+    /// `l_opt = sqrt(2·Rs·(Cp + Co) / (r·c))`, in µm.
+    #[inline]
+    pub fn optimal_spacing_uniform(&self, r_per_um: f64, c_per_um: f64) -> f64 {
+        (2.0 * self.rs * (self.cp + self.co) / (r_per_um * c_per_um)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> RepeaterDevice {
+        RepeaterDevice::new(6000.0, 1.8, 1.4).unwrap()
+    }
+
+    #[test]
+    fn accessors_return_constructor_values() {
+        let d = dev();
+        assert_eq!(d.rs(), 6000.0);
+        assert_eq!(d.co(), 1.8);
+        assert_eq!(d.cp(), 1.4);
+    }
+
+    #[test]
+    fn scaling_laws() {
+        let d = dev();
+        // Doubling the width halves the resistance and doubles the caps.
+        assert_eq!(d.output_resistance(2.0), d.output_resistance(1.0) / 2.0);
+        assert_eq!(d.input_cap(2.0), 2.0 * d.input_cap(1.0));
+        assert_eq!(d.output_cap(2.0), 2.0 * d.output_cap(1.0));
+    }
+
+    #[test]
+    fn intrinsic_delay_is_width_independent() {
+        let d = dev();
+        for w in [1.0, 10.0, 400.0] {
+            let delay = d.output_resistance(w) * d.output_cap(w);
+            assert!((delay - d.intrinsic_delay()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(RepeaterDevice::new(0.0, 1.8, 1.4).is_err());
+        assert!(RepeaterDevice::new(6000.0, -1.0, 1.4).is_err());
+        assert!(RepeaterDevice::new(6000.0, 1.8, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn bakoglu_optimum_is_in_plausible_range_for_180nm() {
+        // For 180 nm global wiring the optimal repeater is expected to be
+        // on the order of 50u-150u wide with mm-scale spacing; this anchors
+        // the paper's library choices (80u..400u coarse, 10u..400u fine).
+        let d = dev();
+        let w_opt = d.optimal_width_uniform(0.08, 0.2);
+        let l_opt = d.optimal_spacing_uniform(0.08, 0.2);
+        assert!(w_opt > 40.0 && w_opt < 200.0, "w_opt = {w_opt}");
+        assert!(l_opt > 500.0 && l_opt < 5000.0, "l_opt = {l_opt}");
+    }
+
+    #[test]
+    fn optimal_width_scales_with_wire_ratio() {
+        let d = dev();
+        // Quadrupling wire capacitance doubles the optimal width.
+        let w1 = d.optimal_width_uniform(0.08, 0.2);
+        let w2 = d.optimal_width_uniform(0.08, 0.8);
+        assert!((w2 / w1 - 2.0).abs() < 1e-12);
+    }
+}

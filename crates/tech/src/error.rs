@@ -1,0 +1,168 @@
+//! Error types for the technology substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating technology data.
+///
+/// All constructors in this crate validate their inputs eagerly
+/// (C-VALIDATE); invalid physical parameters are rejected with a
+/// descriptive variant rather than producing NaNs downstream.
+///
+/// # Examples
+///
+/// ```
+/// use rip_tech::{RepeaterDevice, TechError};
+///
+/// let err = RepeaterDevice::new(-1.0, 1.8, 1.4).unwrap_err();
+/// assert!(matches!(err, TechError::NonPositive { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TechError {
+    /// A physical parameter that must be strictly positive was zero or
+    /// negative.
+    NonPositive {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter was NaN or infinite.
+    NotFinite {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+    /// A collection that must be non-empty (e.g. a repeater library) was
+    /// empty.
+    Empty {
+        /// Name of the offending collection.
+        what: &'static str,
+    },
+    /// A parameter that must lie in `[0, 1]` (e.g. a switching activity
+    /// factor) was outside that range.
+    OutOfUnitRange {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::NonPositive { what, value } => {
+                write!(f, "{what} must be strictly positive, got {value}")
+            }
+            TechError::NotFinite { what } => {
+                write!(f, "{what} must be finite")
+            }
+            TechError::Empty { what } => write!(f, "{what} must not be empty"),
+            TechError::OutOfUnitRange { what, value } => {
+                write!(f, "{what} must lie in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl Error for TechError {}
+
+/// Validates that `value` is finite and strictly positive.
+///
+/// Shared helper used by every constructor in this crate.
+pub(crate) fn ensure_positive(what: &'static str, value: f64) -> Result<f64, TechError> {
+    if !value.is_finite() {
+        return Err(TechError::NotFinite { what });
+    }
+    if value <= 0.0 {
+        return Err(TechError::NonPositive { what, value });
+    }
+    Ok(value)
+}
+
+/// Validates that `value` is finite and non-negative.
+pub(crate) fn ensure_non_negative(what: &'static str, value: f64) -> Result<f64, TechError> {
+    if !value.is_finite() {
+        return Err(TechError::NotFinite { what });
+    }
+    if value < 0.0 {
+        return Err(TechError::NonPositive { what, value });
+    }
+    Ok(value)
+}
+
+/// Validates that `value` is finite and lies in `[0, 1]`.
+pub(crate) fn ensure_unit_range(what: &'static str, value: f64) -> Result<f64, TechError> {
+    if !value.is_finite() {
+        return Err(TechError::NotFinite { what });
+    }
+    if !(0.0..=1.0).contains(&value) {
+        return Err(TechError::OutOfUnitRange { what, value });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_positive_accepts_positive() {
+        assert_eq!(ensure_positive("x", 2.5), Ok(2.5));
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero() {
+        assert_eq!(
+            ensure_positive("x", 0.0),
+            Err(TechError::NonPositive { what: "x", value: 0.0 })
+        );
+    }
+
+    #[test]
+    fn ensure_positive_rejects_negative() {
+        assert!(ensure_positive("x", -1.0).is_err());
+    }
+
+    #[test]
+    fn ensure_positive_rejects_nan() {
+        assert_eq!(
+            ensure_positive("x", f64::NAN),
+            Err(TechError::NotFinite { what: "x" })
+        );
+    }
+
+    #[test]
+    fn ensure_positive_rejects_infinity() {
+        assert!(ensure_positive("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn ensure_non_negative_accepts_zero() {
+        assert_eq!(ensure_non_negative("x", 0.0), Ok(0.0));
+    }
+
+    #[test]
+    fn ensure_unit_range_bounds() {
+        assert!(ensure_unit_range("a", 0.0).is_ok());
+        assert!(ensure_unit_range("a", 1.0).is_ok());
+        assert!(ensure_unit_range("a", 1.0001).is_err());
+        assert!(ensure_unit_range("a", -0.0001).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let msg = TechError::NonPositive { what: "rs", value: -3.0 }.to_string();
+        assert!(msg.contains("rs"));
+        assert!(msg.contains("-3"));
+        let msg = TechError::Empty { what: "library" }.to_string();
+        assert!(msg.contains("library"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<TechError>();
+    }
+}

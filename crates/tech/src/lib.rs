@@ -1,0 +1,108 @@
+//! # rip-tech — technology substrate for the RIP reproduction
+//!
+//! This crate provides the process-technology models that every other crate
+//! in the workspace builds on:
+//!
+//! * [`RepeaterDevice`] — the switch-level RC model of a repeater
+//!   (`Rs`, `Co`, `Cp` of the unit-width device; Figure 2 of the paper);
+//! * [`WireLayer`] — per-unit-length RC of a routing layer, with synthetic
+//!   0.18 µm metal4/metal5 presets;
+//! * [`PowerParams`] — the dynamic + leakage power model of Eqs. (3)–(4),
+//!   including the reduction of power minimization to total-repeater-width
+//!   minimization;
+//! * [`RepeaterLibrary`] — discrete width libraries for the DP engines,
+//!   including the paper's baseline constructions and RIP's
+//!   refined-solution rounding ([`RepeaterLibrary::from_refined_widths`]);
+//! * [`Technology`] — a bundle of the above with the
+//!   [`Technology::generic_180nm`] preset used by all experiments.
+//!
+//! Units are uniform across the workspace (µm / Ω / fF / fs / u); see
+//! [`units`].
+//!
+//! # Example
+//!
+//! ```
+//! use rip_tech::{RepeaterLibrary, Technology};
+//!
+//! # fn main() -> Result<(), rip_tech::TechError> {
+//! let tech = Technology::generic_180nm();
+//!
+//! // The paper's Table 2 baseline library: range (10u, 400u), step 40u.
+//! let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0)?;
+//!
+//! // Power cost per unit width (Eq. 4's gamma):
+//! let gamma = tech.power().gamma(tech.device());
+//! assert!(gamma > 0.0);
+//! assert!(lib.len() >= 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod device;
+mod error;
+mod library;
+mod power;
+mod process;
+pub mod units;
+mod wire;
+
+pub use device::RepeaterDevice;
+pub use error::TechError;
+pub use library::{round_to_grid, RepeaterLibrary};
+pub use power::PowerParams;
+pub use process::Technology;
+pub use wire::WireLayer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RepeaterDevice>();
+        assert_send_sync::<WireLayer>();
+        assert_send_sync::<PowerParams>();
+        assert_send_sync::<RepeaterLibrary>();
+        assert_send_sync::<Technology>();
+        assert_send_sync::<TechError>();
+    }
+
+    #[test]
+    fn debug_representations_are_nonempty() {
+        assert!(!format!("{:?}", Technology::generic_180nm()).is_empty());
+        assert!(!format!("{:?}", RepeaterLibrary::paper_coarse()).is_empty());
+    }
+}
+
+#[cfg(all(test, feature = "serde"))]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn technology_components_round_trip_through_json() {
+        let dev = RepeaterDevice::new(9000.0, 0.43, 0.35).unwrap();
+        let json = serde_json::to_string(&dev).unwrap();
+        let back: RepeaterDevice = serde_json::from_str(&json).unwrap();
+        assert_eq!(dev, back);
+
+        let layer = WireLayer::metal4_180nm();
+        let back: WireLayer =
+            serde_json::from_str(&serde_json::to_string(&layer).unwrap()).unwrap();
+        assert_eq!(layer, back);
+
+        let lib = RepeaterLibrary::paper_coarse();
+        let back: RepeaterLibrary =
+            serde_json::from_str(&serde_json::to_string(&lib).unwrap()).unwrap();
+        assert_eq!(lib, back);
+
+        let power = PowerParams::new(1.8, 5.0e8, 0.15, 2.0e-8).unwrap();
+        let back: PowerParams =
+            serde_json::from_str(&serde_json::to_string(&power).unwrap()).unwrap();
+        assert_eq!(power, back);
+    }
+}

@@ -1,0 +1,335 @@
+//! Discrete repeater libraries.
+//!
+//! DP-based repeater insertion chooses widths from a finite library. The
+//! paper's key observation is that *which* library you hand to the DP
+//! matters enormously for power: coarse libraries miss near-optimal widths
+//! (power loss), fine libraries blow up the pseudo-polynomial DP runtime.
+//! RIP sidesteps the tradeoff by synthesizing a tiny, design-specific
+//! library from the analytically refined solution
+//! ([`RepeaterLibrary::from_refined_widths`]).
+//!
+//! All widths are in multiples of the minimum repeater width `u`, sorted
+//! ascending and deduplicated.
+
+use crate::error::{ensure_positive, TechError};
+
+/// Tolerance used to deduplicate widths that differ only by floating-point
+/// noise (widths are conceptually integer multiples of `u`).
+const WIDTH_DEDUP_TOL: f64 = 1.0e-6;
+
+/// A sorted, deduplicated set of allowed repeater widths (in units of `u`).
+///
+/// # Examples
+///
+/// ```
+/// use rip_tech::RepeaterLibrary;
+///
+/// # fn main() -> Result<(), rip_tech::TechError> {
+/// // The paper's baseline DP library: size 10, min width 10u, step g=10u.
+/// let lib = RepeaterLibrary::uniform(10.0, 10.0, 10)?;
+/// assert_eq!(lib.len(), 10);
+/// assert_eq!(lib.min_width(), 10.0);
+/// assert_eq!(lib.max_width(), 100.0);
+/// # Ok(())
+/// # }
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepeaterLibrary {
+    widths: Vec<f64>,
+}
+
+impl RepeaterLibrary {
+    /// Creates a library from an arbitrary collection of widths.
+    ///
+    /// Widths are validated (strictly positive, finite), sorted ascending
+    /// and deduplicated within a small absolute tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::Empty`] for an empty collection and
+    /// [`TechError::NonPositive`]/[`TechError::NotFinite`] for invalid
+    /// widths.
+    pub fn from_widths(widths: impl IntoIterator<Item = f64>) -> Result<Self, TechError> {
+        let mut ws: Vec<f64> = Vec::new();
+        for w in widths {
+            ws.push(ensure_positive("repeater width", w)?);
+        }
+        if ws.is_empty() {
+            return Err(TechError::Empty { what: "repeater library" });
+        }
+        ws.sort_by(|a, b| a.partial_cmp(b).expect("validated finite widths"));
+        ws.dedup_by(|a, b| (*a - *b).abs() <= WIDTH_DEDUP_TOL);
+        Ok(Self { widths: ws })
+    }
+
+    /// Creates a uniform library: `{min, min+step, …, min+(count−1)·step}`.
+    ///
+    /// This is the construction used for the paper's DP baseline
+    /// (Section 6): library size 10, minimum width 10u, granularity `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `min` or `step` is not strictly positive or
+    /// `count` is zero.
+    pub fn uniform(min: f64, step: f64, count: usize) -> Result<Self, TechError> {
+        ensure_positive("library minimum width", min)?;
+        ensure_positive("library width step", step)?;
+        if count == 0 {
+            return Err(TechError::Empty { what: "repeater library" });
+        }
+        Self::from_widths((0..count).map(|i| min + step * i as f64))
+    }
+
+    /// Creates a library covering the closed range `[min, max]` with the
+    /// given step: `{min, min+step, …}` plus `max` if not already included.
+    ///
+    /// This is the construction used for the paper's Table 2 baseline:
+    /// fixed width range `(10u, 400u)` with granularity `g_DP` swept from
+    /// 40u down to 10u.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range or step is invalid (`max < min`, or
+    /// non-positive values).
+    pub fn range_step(min: f64, max: f64, step: f64) -> Result<Self, TechError> {
+        ensure_positive("library minimum width", min)?;
+        ensure_positive("library maximum width", max)?;
+        ensure_positive("library width step", step)?;
+        if max < min {
+            return Err(TechError::NonPositive {
+                what: "library width range (max - min)",
+                value: max - min,
+            });
+        }
+        let mut ws = Vec::new();
+        let mut w = min;
+        let count = ((max - min) / step).floor() as usize;
+        for i in 0..=count {
+            w = min + step * i as f64;
+            ws.push(w);
+        }
+        if w < max - WIDTH_DEDUP_TOL {
+            ws.push(max);
+        }
+        Self::from_widths(ws)
+    }
+
+    /// The coarse library RIP uses for its initial DP pass (Section 6):
+    /// five widths `{80u, 160u, 240u, 320u, 400u}`.
+    pub fn paper_coarse() -> Self {
+        Self::uniform(80.0, 80.0, 5).expect("paper constants are valid")
+    }
+
+    /// Builds the design-specific library `B` of RIP's Line 3 (Fig. 6):
+    /// each analytically refined width is rounded to the nearest multiple
+    /// of `grid` (10u in the paper) and the results are deduplicated.
+    ///
+    /// Widths that round to zero are clamped up to one `grid` step, keeping
+    /// every refined repeater representable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `grid` is not strictly positive or the refined
+    /// width collection is empty/invalid.
+    pub fn from_refined_widths(
+        refined: impl IntoIterator<Item = f64>,
+        grid: f64,
+    ) -> Result<Self, TechError> {
+        ensure_positive("width rounding grid", grid)?;
+        let rounded: Vec<f64> = refined
+            .into_iter()
+            .map(|w| round_to_grid(w, grid))
+            .collect();
+        Self::from_widths(rounded)
+    }
+
+    /// The allowed widths, sorted ascending, in units of `u`.
+    #[inline]
+    pub fn widths(&self) -> &[f64] {
+        &self.widths
+    }
+
+    /// Number of distinct widths in the library.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Returns `true` if the library is empty (never true for a
+    /// successfully constructed library; provided for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.widths.is_empty()
+    }
+
+    /// Smallest width in the library, in u.
+    #[inline]
+    pub fn min_width(&self) -> f64 {
+        *self.widths.first().expect("library is never empty")
+    }
+
+    /// Largest width in the library, in u.
+    #[inline]
+    pub fn max_width(&self) -> f64 {
+        *self.widths.last().expect("library is never empty")
+    }
+
+    /// Returns the library width closest to `w` (ties resolve to the
+    /// smaller width).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use rip_tech::RepeaterLibrary;
+    /// let lib = RepeaterLibrary::uniform(10.0, 10.0, 10).unwrap();
+    /// assert_eq!(lib.nearest(37.0), 40.0);
+    /// assert_eq!(lib.nearest(35.0), 30.0); // tie goes down
+    /// assert_eq!(lib.nearest(1000.0), 100.0);
+    /// ```
+    pub fn nearest(&self, w: f64) -> f64 {
+        let idx = match self
+            .widths
+            .binary_search_by(|probe| probe.partial_cmp(&w).expect("finite widths"))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) if i == self.widths.len() => i - 1,
+            Err(i) => {
+                let below = self.widths[i - 1];
+                let above = self.widths[i];
+                if (w - below) <= (above - w) {
+                    i - 1
+                } else {
+                    i
+                }
+            }
+        };
+        self.widths[idx]
+    }
+
+    /// Returns an iterator over the allowed widths, ascending.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.widths.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a RepeaterLibrary {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.widths.iter()
+    }
+}
+
+/// Rounds `w` to the nearest strictly positive multiple of `grid`.
+///
+/// This is the rounding rule of RIP's Line 3 (Fig. 6): refined continuous
+/// widths snap to the discrete layout grid (10u in the paper). Values that
+/// would round to zero are clamped up to `grid`.
+///
+/// # Examples
+///
+/// ```
+/// use rip_tech::round_to_grid;
+///
+/// assert_eq!(round_to_grid(87.3, 10.0), 90.0);
+/// assert_eq!(round_to_grid(84.9, 10.0), 80.0);
+/// assert_eq!(round_to_grid(2.0, 10.0), 10.0); // clamped, never zero
+/// ```
+pub fn round_to_grid(w: f64, grid: f64) -> f64 {
+    let snapped = (w / grid).round() * grid;
+    if snapped < grid {
+        grid
+    } else {
+        snapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_paper_baseline() {
+        let lib = RepeaterLibrary::uniform(10.0, 20.0, 10).unwrap();
+        assert_eq!(lib.len(), 10);
+        assert_eq!(lib.min_width(), 10.0);
+        assert_eq!(lib.max_width(), 190.0);
+    }
+
+    #[test]
+    fn paper_coarse_is_five_wide_steps() {
+        let lib = RepeaterLibrary::paper_coarse();
+        assert_eq!(lib.widths(), &[80.0, 160.0, 240.0, 320.0, 400.0]);
+    }
+
+    #[test]
+    fn range_step_includes_endpoint() {
+        let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0).unwrap();
+        assert_eq!(lib.min_width(), 10.0);
+        assert_eq!(lib.max_width(), 400.0);
+        // 10, 50, ..., 370 is 10 entries; 400 appended as endpoint.
+        assert_eq!(lib.len(), 11);
+    }
+
+    #[test]
+    fn range_step_exact_fit_has_no_duplicate_endpoint() {
+        let lib = RepeaterLibrary::range_step(10.0, 100.0, 30.0).unwrap();
+        assert_eq!(lib.widths(), &[10.0, 40.0, 70.0, 100.0]);
+    }
+
+    #[test]
+    fn from_widths_sorts_and_dedups() {
+        let lib = RepeaterLibrary::from_widths([40.0, 10.0, 40.0, 20.0]).unwrap();
+        assert_eq!(lib.widths(), &[10.0, 20.0, 40.0]);
+    }
+
+    #[test]
+    fn from_refined_widths_rounds_and_dedups() {
+        // Three repeaters refined to nearly equal widths collapse into a
+        // tiny library - the essence of RIP's Line 3.
+        let lib =
+            RepeaterLibrary::from_refined_widths([91.2, 88.7, 93.0, 152.1], 10.0).unwrap();
+        assert_eq!(lib.widths(), &[90.0, 150.0]);
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let lib = RepeaterLibrary::from_widths([10.0, 50.0, 100.0]).unwrap();
+        assert_eq!(lib.nearest(5.0), 10.0);
+        assert_eq!(lib.nearest(29.0), 10.0);
+        assert_eq!(lib.nearest(31.0), 50.0);
+        assert_eq!(lib.nearest(80.0), 100.0);
+        assert_eq!(lib.nearest(500.0), 100.0);
+        assert_eq!(lib.nearest(50.0), 50.0);
+    }
+
+    #[test]
+    fn round_to_grid_clamps_to_grid() {
+        assert_eq!(round_to_grid(0.1, 10.0), 10.0);
+        assert_eq!(round_to_grid(14.9, 10.0), 10.0);
+        assert_eq!(round_to_grid(15.0, 10.0), 20.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_invalid() {
+        assert!(RepeaterLibrary::from_widths(std::iter::empty()).is_err());
+        assert!(RepeaterLibrary::from_widths([1.0, -2.0]).is_err());
+        assert!(RepeaterLibrary::uniform(10.0, 10.0, 0).is_err());
+        assert!(RepeaterLibrary::range_step(100.0, 10.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let lib = RepeaterLibrary::uniform(10.0, 10.0, 5).unwrap();
+        let collected: Vec<f64> = lib.iter().copied().collect();
+        let mut sorted = collected.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(collected, sorted);
+        // &lib into-iterator agrees with iter().
+        let via_ref: Vec<f64> = (&lib).into_iter().copied().collect();
+        assert_eq!(via_ref, collected);
+    }
+}

@@ -1,0 +1,150 @@
+//! Unit conventions and conversion helpers.
+//!
+//! The whole workspace uses one consistent internal unit system chosen so
+//! that Elmore delays come out of resistance × capacitance products without
+//! any scaling factors:
+//!
+//! | Quantity    | Unit | Notes |
+//! |-------------|------|-------|
+//! | length      | µm   | wire segment lengths, repeater positions |
+//! | resistance  | Ω    | device output resistance, wire resistance |
+//! | capacitance | fF   | device pin caps, wire capacitance |
+//! | time        | fs   | 1 Ω · 1 fF = 10⁻¹⁵ s = 1 fs |
+//! | width       | u    | multiples of the minimum repeater width |
+//! | power       | W    | reported absolute power |
+//!
+//! Times are converted to ns only at display boundaries via
+//! [`ns_from_fs`]/[`fs_from_ns`].
+
+/// Femtoseconds per nanosecond (10⁶).
+pub const FS_PER_NS: f64 = 1.0e6;
+
+/// Femtoseconds per picosecond (10³).
+pub const FS_PER_PS: f64 = 1.0e3;
+
+/// Farads per femtofarad (10⁻¹⁵).
+pub const FARAD_PER_FF: f64 = 1.0e-15;
+
+/// Seconds per femtosecond (10⁻¹⁵).
+pub const SECOND_PER_FS: f64 = 1.0e-15;
+
+/// Micrometres per millimetre (10³).
+pub const UM_PER_MM: f64 = 1.0e3;
+
+/// Converts a time in femtoseconds (the internal unit) to nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rip_tech::units::ns_from_fs(2.5e6), 2.5);
+/// ```
+#[inline]
+pub fn ns_from_fs(fs: f64) -> f64 {
+    fs / FS_PER_NS
+}
+
+/// Converts a time in nanoseconds to femtoseconds (the internal unit).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rip_tech::units::fs_from_ns(1.5), 1.5e6);
+/// ```
+#[inline]
+pub fn fs_from_ns(ns: f64) -> f64 {
+    ns * FS_PER_NS
+}
+
+/// Converts a time in femtoseconds to picoseconds.
+#[inline]
+pub fn ps_from_fs(fs: f64) -> f64 {
+    fs / FS_PER_PS
+}
+
+/// Converts a capacitance in femtofarads to farads.
+#[inline]
+pub fn farad_from_ff(ff: f64) -> f64 {
+    ff * FARAD_PER_FF
+}
+
+/// Converts a length in micrometres to millimetres.
+#[inline]
+pub fn mm_from_um(um: f64) -> f64 {
+    um / UM_PER_MM
+}
+
+/// Relative tolerance used when comparing physical quantities that went
+/// through different but algebraically equivalent computations (e.g. the
+/// π-ladder Elmore sum vs. the closed-form prefix integrals).
+pub const REL_TOL: f64 = 1.0e-9;
+
+/// Returns `true` when `a` and `b` are equal within [`REL_TOL`] relative
+/// tolerance (with an absolute floor for values near zero).
+///
+/// # Examples
+///
+/// ```
+/// assert!(rip_tech::units::approx_eq(1.0, 1.0 + 1e-12));
+/// assert!(!rip_tech::units::approx_eq(1.0, 1.01));
+/// ```
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_tol(a, b, REL_TOL)
+}
+
+/// Returns `true` when `a` and `b` are equal within the given relative
+/// tolerance (with the same tolerance used as an absolute floor near zero).
+#[inline]
+pub fn approx_eq_tol(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip() {
+        let t_ns = 3.7;
+        assert!((ns_from_fs(fs_from_ns(t_ns)) - t_ns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_ohm_times_one_ff_is_one_fs() {
+        // The invariant that motivates the unit system: R [Ω] * C [fF]
+        // directly yields fs, i.e. 1e-15 s.
+        let r_ohm = 1.0;
+        let c_ff = 1.0;
+        let tau_fs = r_ohm * c_ff;
+        assert!((tau_fs * SECOND_PER_FS - 1e-15).abs() < 1e-30);
+    }
+
+    #[test]
+    fn ps_conversion() {
+        assert_eq!(ps_from_fs(1500.0), 1.5);
+    }
+
+    #[test]
+    fn farad_conversion() {
+        assert!((farad_from_ff(250.0) - 2.5e-13).abs() < 1e-25);
+    }
+
+    #[test]
+    fn mm_conversion() {
+        assert_eq!(mm_from_um(12_000.0), 12.0);
+    }
+
+    #[test]
+    fn approx_eq_handles_zero_neighbourhood() {
+        assert!(approx_eq(0.0, 1e-12));
+        assert!(approx_eq(1e9, 1e9 * (1.0 + 1e-10)));
+        assert!(!approx_eq(0.0, 1e-3));
+    }
+
+    #[test]
+    fn approx_eq_tol_is_scale_aware() {
+        assert!(approx_eq_tol(1000.0, 1001.0, 1e-2));
+        assert!(!approx_eq_tol(1000.0, 1020.0, 1e-2));
+    }
+}

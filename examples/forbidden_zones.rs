@@ -1,0 +1,64 @@
+//! Forbidden zones: how macro-blocks shape a repeater solution.
+//!
+//! Builds the same physical net twice - once unobstructed, once with a
+//! 40% macro-block in the middle - and compares the RIP solutions.
+//!
+//! Run with: `cargo run -p rip-core --release --example forbidden_zones`
+
+use rip_core::prelude::*;
+use rip_tech::units::ns_from_fs;
+
+fn build_net(zone: Option<(f64, f64)>) -> Result<TwoPinNet, Box<dyn std::error::Error>> {
+    let tech = Technology::generic_180nm();
+    let m4 = tech.layer("metal4").expect("preset layer").clone();
+    let m5 = tech.layer("metal5").expect("preset layer").clone();
+    let builder = NetBuilder::new()
+        .segment_on(&m4, 4000.0)
+        .segment_on(&m5, 4000.0)
+        .segment_on(&m4, 4000.0)
+        .driver_width(140.0)
+        .receiver_width(60.0);
+    let builder = match zone {
+        Some((s, e)) => builder.forbidden_zone(s, e)?,
+        None => builder,
+    };
+    Ok(builder.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::generic_180nm();
+    let open = build_net(None)?;
+    // A zone covering 40% of the net, right where repeaters want to be.
+    let blocked = build_net(Some((3600.0, 8400.0)))?;
+
+    let t_min = tau_min_paper(&blocked, tech.device());
+    let target = 1.25 * t_min;
+    println!("target = {:.3} ns (1.25 x tau_min of the blocked net)\n", ns_from_fs(target));
+
+    for (name, net) in [("unobstructed", &open), ("40% macro-block", &blocked)] {
+        let outcome = rip(net, &tech, target, &RipConfig::paper())?;
+        let sol = &outcome.solution;
+        println!("{name}:");
+        for r in sol.assignment.repeaters() {
+            let marker = if net.zones().iter().any(|z| {
+                (r.position - z.start()).abs() < 1e-6 || (r.position - z.end()).abs() < 1e-6
+            }) {
+                "  <- pushed to the zone boundary"
+            } else {
+                ""
+            };
+            println!("  x = {:7.1} um   w = {:5.0} u{marker}", r.position, r.width);
+        }
+        // Solutions are always legal: never inside a zone.
+        sol.assignment.validate_on(net)?;
+        println!(
+            "  delay {:.3} ns, total width {:.0} u\n",
+            ns_from_fs(sol.delay_fs),
+            sol.total_width,
+        );
+    }
+
+    println!("note: the blocked net needs more total width - repeaters cannot sit");
+    println!("at their electrically ideal positions, so the sizing compensates.");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Quickstart: insert power-optimal repeaters into a routed two-pin net.
+//!
+//! Run with: `cargo run -p rip-core --release --example quickstart`
+
+use rip_core::prelude::*;
+use rip_tech::units::ns_from_fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The synthetic 0.18 um technology used throughout the reproduction.
+    let tech = Technology::generic_180nm();
+    let m4 = tech.layer("metal4").expect("preset layer").clone();
+    let m5 = tech.layer("metal5").expect("preset layer").clone();
+
+    // A 12.5 mm global net as a router would hand it to us: alternating
+    // metal4/metal5 segments and a 3 mm macro-block the net crosses
+    // (no repeaters allowed inside).
+    let net = NetBuilder::new()
+        .segment_on(&m4, 3000.0)
+        .segment_on(&m5, 4500.0)
+        .segment_on(&m4, 2500.0)
+        .segment_on(&m5, 2500.0)
+        .forbidden_zone(5000.0, 8000.0)?
+        .driver_width(140.0)
+        .receiver_width(60.0)
+        .build()?;
+
+    // Timing budget: 30% above the fastest achievable delay.
+    let t_min = tau_min_paper(&net, tech.device());
+    let target = 1.3 * t_min;
+    println!(
+        "net: {:.1} mm, tau_min = {:.3} ns, target = {:.3} ns",
+        net.total_length() / 1000.0,
+        ns_from_fs(t_min),
+        ns_from_fs(target),
+    );
+
+    // Run the hybrid RIP pipeline (Fig. 6 of the paper).
+    let outcome = rip(&net, &tech, target, &RipConfig::paper())?;
+    let solution = &outcome.solution;
+
+    println!("\nRIP solution ({} repeaters):", solution.assignment.len());
+    for r in solution.assignment.repeaters() {
+        println!("  x = {:7.1} um   width = {:5.0} u", r.position, r.width);
+    }
+    println!(
+        "\ndelay  = {:.3} ns (target {:.3} ns)",
+        ns_from_fs(solution.delay_fs),
+        ns_from_fs(target),
+    );
+    println!("total repeater width = {:.0} u (the Eq. 4 power objective)", solution.total_width);
+
+    let power = rip_delay::assignment_power(
+        &net,
+        tech.device(),
+        tech.power(),
+        &solution.assignment,
+    );
+    println!(
+        "absolute power: repeaters {:.3} mW + wire {:.3} mW = {:.3} mW",
+        power.repeater * 1e3,
+        power.wire * 1e3,
+        power.total() * 1e3,
+    );
+
+    // How the pipeline got there:
+    println!("\npipeline: coarse DP {:.0} u  ->  REFINE  ->  fine DP {:.0} u", 
+             outcome.coarse.total_width, solution.total_width);
+    if let Some(lib) = &outcome.library {
+        println!("design-specific library: {:?} u", lib.widths());
+    }
+    println!(
+        "stage runtimes: coarse {:?}, refine {:?}, fine {:?}",
+        outcome.runtime.coarse, outcome.runtime.refine, outcome.runtime.fine,
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Smoke tests for the experiment harness at reduced scale: the paper's
+//! qualitative claims must already be visible on small suites.
+
+use rip_report::experiments::figure7::{run_figure7, zone1_fraction, Figure7Config};
+use rip_report::experiments::table1::{render_table1, run_table1, Table1Config};
+use rip_report::experiments::table2::{render_table2, run_table2, Table2Config};
+
+#[test]
+fn table1_shape_matches_paper_claims() {
+    let out = run_table1(&Table1Config {
+        seed: 2005,
+        net_count: 3,
+        target_count: 6,
+        granularities: vec![10.0, 20.0, 40.0],
+        ..Default::default()
+    });
+    assert_eq!(out.rip_failures, 0, "RIP must always succeed (paper, Section 6)");
+    // g=10u: violations appear (zone I).
+    let v10: usize = out.rows.iter().map(|r| r[0].baseline_violations).sum();
+    assert!(v10 > 0, "expected V_DP > 0 at g=10u");
+    // Coarser baselines have no violations but lose power on average.
+    let v40: usize = out.rows.iter().map(|r| r[2].baseline_violations).sum();
+    assert_eq!(v40, 0, "g=40u reaches 370u and must stay feasible");
+    assert!(
+        out.averages[2].mean_percent > 0.0,
+        "RIP should save power vs g=40u on average, got {:.2}%",
+        out.averages[2].mean_percent
+    );
+    // And the coarser the library, the larger the average saving.
+    assert!(
+        out.averages[2].mean_percent >= out.averages[1].mean_percent - 1.0,
+        "g=40u saving {:.2}% should be >= g=20u saving {:.2}%",
+        out.averages[2].mean_percent,
+        out.averages[1].mean_percent
+    );
+    let text = render_table1(&out);
+    assert!(text.contains("Ave"));
+}
+
+#[test]
+fn figure7_shape_matches_paper_zones() {
+    let out = run_figure7(&Figure7Config {
+        seed: 2005,
+        net_count: 3,
+        target_count: 6,
+        ..Default::default()
+    });
+    // Panel (a): zone I exists; panel (b): it does not.
+    assert!(zone1_fraction(&out.panel_a) > 0.0);
+    assert_eq!(zone1_fraction(&out.panel_b), 0.0);
+    // Panel (b): savings grow towards looser targets (paper: "power
+    // savings increase when the timing target becomes loose").
+    let trend = rip_report::experiments::figure7::mean_by_multiplier(&out.panel_b);
+    let first = trend.first().unwrap().1.expect("panel (b) always feasible");
+    let last = trend.last().unwrap().1.expect("panel (b) always feasible");
+    assert!(
+        last >= first - 2.0,
+        "panel (b) saving should not collapse towards loose targets: {first:.2}% -> {last:.2}%"
+    );
+}
+
+#[test]
+fn table2_shape_matches_paper_tradeoff() {
+    let out = run_table2(&Table2Config {
+        seed: 2005,
+        net_count: 2,
+        target_count: 4,
+        granularities: vec![40.0, 20.0, 10.0],
+        ..Default::default()
+    });
+    assert_eq!(out.rip_failures, 0);
+    // Quality gap shrinks with finer granularity...
+    assert!(
+        out.rows[2].delta_mean_percent <= out.rows[0].delta_mean_percent + 1e-9,
+        "gDP=10u gap {:.2}% should be <= gDP=40u gap {:.2}%",
+        out.rows[2].delta_mean_percent,
+        out.rows[0].delta_mean_percent
+    );
+    // ...while the runtime cost grows.
+    assert!(
+        out.rows[2].t_dp >= out.rows[0].t_dp,
+        "gDP=10u ({:?}) should cost at least gDP=40u ({:?})",
+        out.rows[2].t_dp,
+        out.rows[0].t_dp
+    );
+    let text = render_table2(&out);
+    assert!(text.contains("Speedup"));
+}

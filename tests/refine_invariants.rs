@@ -1,0 +1,188 @@
+//! Invariants of the analytical solver on randomized inputs: KKT
+//! satisfaction, monotone improvement, movement optimality, and the
+//! interplay with the DP stages.
+
+use rip_core::prelude::*;
+use rip_core::tau_min_paper;
+use rip_delay::ChainView;
+use rip_dp::solve_min_power;
+use rip_net::Side;
+use rip_refine::{kkt_residuals, solve_widths, MoveDecision, WidthSolverConfig};
+use rip_tech::{RepeaterLibrary, Technology};
+
+fn paper_nets(seed: u64, count: usize) -> (Technology, Vec<TwoPinNet>) {
+    let tech = Technology::generic_180nm();
+    let nets = NetGenerator::suite(RandomNetConfig::default(), seed, count).unwrap();
+    (tech, nets)
+}
+
+#[test]
+fn kkt_holds_at_width_solutions_across_nets() {
+    let (tech, nets) = paper_nets(51, 4);
+    for net in &nets {
+        let l = net.total_length();
+        let positions: Vec<f64> = (1..=4).map(|i| l * i as f64 / 5.0).collect();
+        let view = ChainView::new(net, tech.device(), positions).unwrap();
+        let probe = view.total_delay(&vec![150.0; 4]);
+        for mult in [1.1, 1.5] {
+            let target = probe * mult;
+            let sol = solve_widths(&view, target, &WidthSolverConfig::default()).unwrap();
+            let res = kkt_residuals(&view, &sol.widths, sol.lambda, target);
+            let floor_active = sol.widths.iter().any(|&w| w <= 1.0 + 1e-9);
+            if !floor_active {
+                for (i, r) in res[..sol.widths.len()].iter().enumerate() {
+                    assert!(r.abs() < 1e-5, "stationarity residual {i} = {r} (mult {mult})");
+                }
+                // Eq. (5): the timing constraint binds.
+                assert!(
+                    res[sol.widths.len()].abs() < 1e-5 * target,
+                    "constraint residual {} (mult {mult})",
+                    res[sol.widths.len()]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn refine_improves_on_its_dp_seed() {
+    // REFINE's purpose inside RIP: continuous relaxation from the coarse
+    // DP seed must not be worse than the seed itself.
+    let (tech, nets) = paper_nets(53, 3);
+    let coarse_lib = RepeaterLibrary::paper_coarse();
+    for net in &nets {
+        let tmin = tau_min_paper(net, tech.device());
+        let target = tmin * 1.4;
+        let cands = CandidateSet::uniform(net, 200.0);
+        let seed_sol =
+            solve_min_power(net, tech.device(), &coarse_lib, &cands, target).unwrap();
+        let refined = refine(
+            net,
+            tech.device(),
+            &seed_sol.assignment.positions(),
+            target,
+            &RefineConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            refined.total_width <= seed_sol.total_width + 1e-9,
+            "refined {} vs seed {}",
+            refined.total_width,
+            seed_sol.total_width
+        );
+        assert!(refined.delay_fs <= target * (1.0 + 1e-9));
+    }
+}
+
+#[test]
+fn movement_conditions_hold_at_convergence() {
+    // Eqs. (22)-(23) at the step-size scale: after convergence no single
+    // repeater move of one step should promise a large delay gain.
+    let (tech, nets) = paper_nets(55, 2);
+    for net in &nets {
+        let tmin = tau_min_paper(net, tech.device());
+        let target = tmin * 1.5;
+        let cands = CandidateSet::uniform(net, 200.0);
+        let seed =
+            solve_min_power(net, tech.device(), &RepeaterLibrary::paper_coarse(), &cands, target)
+                .unwrap();
+        let out = refine(
+            net,
+            tech.device(),
+            &seed.assignment.positions(),
+            target,
+            &RefineConfig::default(),
+        )
+        .unwrap();
+        let view = ChainView::new(net, tech.device(), out.positions.clone()).unwrap();
+        // Derivative scale for tolerance: fs per um.
+        let scale: f64 = (0..out.widths.len())
+            .map(|j| view.dtau_dx(&out.widths, j, Side::Downstream).abs())
+            .fold(0.0, f64::max)
+            .max(1.0);
+        for j in 0..out.widths.len() {
+            match rip_refine::decide_move(&view, &out.widths, j) {
+                MoveDecision::Stay => {}
+                MoveDecision::Downstream { gain } | MoveDecision::Upstream { gain } => {
+                    // Residual gains are allowed if movement was blocked
+                    // (zones/ordering) or below the convergence epsilon;
+                    // they must just not dwarf the derivative scale.
+                    assert!(
+                        gain <= scale,
+                        "repeater {j} still wants to move with gain {gain} (scale {scale})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn width_history_is_monotone_on_random_seeds() {
+    let (tech, nets) = paper_nets(57, 3);
+    for net in &nets {
+        let l = net.total_length();
+        // Deliberately bad initial placement: all repeaters in the first
+        // third (skipping any forbidden zone).
+        let mut init = Vec::new();
+        for i in 1..=3 {
+            let x = l * i as f64 / 10.0;
+            if let Some(x) = rip_net::snap_legal(net, x) {
+                if init.last().map_or(true, |&p| x > p + 1.0) {
+                    init.push(x);
+                }
+            }
+        }
+        if init.is_empty() {
+            continue;
+        }
+        let view = ChainView::new(net, tech.device(), init.clone()).unwrap();
+        let target = view.total_delay(&vec![200.0; init.len()]) * 1.3;
+        let out = refine(net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
+        for w in out.width_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "history regressed: {:?}", out.width_history);
+        }
+        assert!(out.total_width <= out.width_history[0] + 1e-9);
+    }
+}
+
+#[test]
+fn zone_hop_stays_close_and_respects_zones() {
+    // Zone hopping is a greedy, discontinuous move: it can land REFINE in
+    // a *different* local optimum, so strict dominance over the no-hop
+    // path is not guaranteed (the paper only says it "may" improve
+    // power). It must, however, stay close in quality and always produce
+    // zone-legal solutions.
+    let (tech, nets) = paper_nets(59, 3);
+    for net in &nets {
+        let tmin = tau_min_paper(net, tech.device());
+        let target = tmin * 1.5;
+        let cands = CandidateSet::uniform(net, 200.0);
+        let seed =
+            solve_min_power(net, tech.device(), &RepeaterLibrary::paper_coarse(), &cands, target)
+                .unwrap();
+        let base = refine(
+            net,
+            tech.device(),
+            &seed.assignment.positions(),
+            target,
+            &RefineConfig::default(),
+        )
+        .unwrap();
+        let hop = refine(
+            net,
+            tech.device(),
+            &seed.assignment.positions(),
+            target,
+            &RefineConfig { zone_hop_um: Some(10_000.0), ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            hop.total_width <= base.total_width * 1.05 + 1e-6,
+            "hopping regressed too far: {} vs {}",
+            hop.total_width,
+            base.total_width
+        );
+        hop.to_assignment().validate_on(net).unwrap();
+    }
+}
