@@ -1,54 +1,50 @@
-//! Criterion ablations over RIP's own design choices (DESIGN.md §6):
-//! coarse-seed library size, candidate-window half-width, and the Newton
-//! polish - the knobs the paper fixes in Section 6.
+//! Ablations over RIP's own design choices (DESIGN.md §6): coarse-seed
+//! library size, candidate-window half-width, and the Newton polish - the
+//! knobs the paper fixes in Section 6. Each configuration gets its own
+//! [`Engine`] session, mirroring how a production deployment would pin a
+//! configuration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rip_core::{rip, tau_min_paper, RipConfig};
+use rip_bench::harness::run_case;
+use rip_core::{Engine, RipConfig};
 use rip_net::{NetGenerator, RandomNetConfig};
 use rip_tech::{RepeaterLibrary, Technology};
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let tech = Technology::generic_180nm();
+    let probe = Engine::paper(tech.clone());
     let net = NetGenerator::suite(RandomNetConfig::default(), 2005, 1)
         .expect("valid config")
         .remove(0);
-    let target = tau_min_paper(&net, tech.device()) * 1.4;
+    let target = probe.tau_min(&net) * 1.4;
 
-    let mut group = c.benchmark_group("rip_coarse_library_size");
-    group.sample_size(10);
+    println!("# rip_coarse_library_size");
     for count in [3usize, 5, 8] {
         let mut config = RipConfig::paper();
-        config.coarse.library =
-            RepeaterLibrary::uniform(80.0, 320.0 / (count - 1) as f64, count)
-                .expect("valid library");
-        group.bench_with_input(BenchmarkId::from_parameter(count), &config, |b, cfg| {
-            b.iter(|| rip(&net, &tech, target, cfg).expect("feasible"))
+        config.coarse.library = RepeaterLibrary::uniform(80.0, 320.0 / (count - 1) as f64, count)
+            .expect("valid library");
+        let engine = Engine::new(tech.clone(), config);
+        run_case(&format!("rip_coarse_library_size/{count}"), || {
+            engine.solve(&net, target).expect("feasible");
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("rip_window_half_slots");
-    group.sample_size(10);
+    println!("# rip_window_half_slots");
     for half in [5usize, 10, 20] {
         let mut config = RipConfig::paper();
         config.fine.window_half_slots = half;
-        group.bench_with_input(BenchmarkId::from_parameter(half), &config, |b, cfg| {
-            b.iter(|| rip(&net, &tech, target, cfg).expect("feasible"))
+        let engine = Engine::new(tech.clone(), config);
+        run_case(&format!("rip_window_half_slots/{half}"), || {
+            engine.solve(&net, target).expect("feasible");
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("rip_newton_polish");
-    group.sample_size(10);
+    println!("# rip_newton_polish");
     for polish in [false, true] {
         let mut config = RipConfig::paper();
         config.refine.widths.newton_polish = polish;
-        group.bench_with_input(BenchmarkId::from_parameter(polish), &config, |b, cfg| {
-            b.iter(|| rip(&net, &tech, target, cfg).expect("feasible"))
+        let engine = Engine::new(tech.clone(), config);
+        run_case(&format!("rip_newton_polish/{polish}"), || {
+            engine.solve(&net, target).expect("feasible");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

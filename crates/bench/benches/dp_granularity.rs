@@ -1,34 +1,29 @@
-//! Criterion bench for the Table 2 runtime axis: baseline power-DP cost
-//! as the library granularity shrinks over the fixed (10u, 400u) range.
+//! Bench for the Table 2 runtime axis: baseline power-DP cost as the
+//! library granularity shrinks over the fixed (10u, 400u) range.
 //!
 //! Expected shape: runtime grows steeply as g_DP goes 40u -> 10u (the
 //! pseudo-polynomial (cap, delay, width) frontier), while RIP's cost
 //! (benched in `rip_pipeline`) stays flat.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rip_core::{baseline_dp, tau_min_paper, BaselineConfig};
+use rip_bench::harness::run_case;
+use rip_core::{BaselineConfig, Engine};
 use rip_net::{NetGenerator, RandomNetConfig};
 use rip_tech::Technology;
 
-fn bench_dp_granularity(c: &mut Criterion) {
-    let tech = Technology::generic_180nm();
+fn main() {
+    let engine = Engine::paper(Technology::generic_180nm());
     let net = NetGenerator::suite(RandomNetConfig::default(), 2005, 1)
         .expect("valid config")
         .remove(0);
-    let target = tau_min_paper(&net, tech.device()) * 1.5;
+    let target = engine.tau_min(&net) * 1.5;
 
-    let mut group = c.benchmark_group("baseline_dp_granularity");
-    group.sample_size(10);
+    println!("# baseline_dp_granularity");
     for g in [40.0, 30.0, 20.0, 10.0] {
         let config = BaselineConfig::paper_table2(g);
-        group.bench_with_input(BenchmarkId::from_parameter(g as u64), &config, |b, cfg| {
-            b.iter(|| {
-                baseline_dp(&net, tech.device(), cfg, target).expect("feasible target")
-            })
+        run_case(&format!("baseline_dp_granularity/{g}u"), || {
+            engine
+                .baseline(&net, &config, target)
+                .expect("feasible target");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dp_granularity);
-criterion_main!(benches);

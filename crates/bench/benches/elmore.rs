@@ -1,30 +1,27 @@
-//! Criterion bench for the delay substrate: RC-profile interval queries
-//! and full assignment evaluation (the inner loops of both DP and
-//! REFINE).
+//! Bench for the delay substrate: RC-profile interval queries and full
+//! assignment evaluation (the inner loops of both DP and REFINE).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rip_bench::harness::run_case;
 use rip_delay::{evaluate, Repeater, RepeaterAssignment};
 use rip_net::{NetGenerator, RandomNetConfig};
 use rip_tech::Technology;
 use std::hint::black_box;
 
-fn bench_elmore(c: &mut Criterion) {
+fn main() {
     let tech = Technology::generic_180nm();
     let net = NetGenerator::suite(RandomNetConfig::default(), 7, 1)
         .expect("valid config")
         .remove(0);
     let len = net.total_length();
 
-    c.bench_function("profile_interval_query", |b| {
-        let profile = net.profile();
-        let mut x = 0.1 * len;
-        b.iter(|| {
-            x = (x + 137.0) % (0.5 * len);
-            black_box(profile.interval(x, x + 0.4 * len))
-        })
+    let profile = net.profile();
+    let mut x = 0.1 * len;
+    run_case("profile_interval_query", || {
+        x = (x + 137.0) % (0.5 * len);
+        black_box(profile.interval(x, x + 0.4 * len));
     });
 
-    let mut group = c.benchmark_group("evaluate_assignment");
+    println!("# evaluate_assignment");
     for n_reps in [2usize, 8, 24] {
         let spacing = len / (n_reps + 1) as f64;
         let asg = RepeaterAssignment::new(
@@ -33,12 +30,8 @@ fn bench_elmore(c: &mut Criterion) {
                 .collect(),
         )
         .expect("valid repeaters");
-        group.bench_with_input(BenchmarkId::from_parameter(n_reps), &asg, |b, asg| {
-            b.iter(|| evaluate(&net, tech.device(), black_box(asg)))
+        run_case(&format!("evaluate_assignment/{n_reps}"), || {
+            black_box(evaluate(&net, tech.device(), black_box(&asg)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_elmore);
-criterion_main!(benches);

@@ -1,38 +1,28 @@
-//! Criterion bench for Pareto-pruning pressure: power-DP cost vs
-//! candidate density (the other axis of the pseudo-polynomial blowup
-//! besides width granularity).
+//! Bench for Pareto-pruning pressure: power-DP cost vs candidate density
+//! (the other axis of the pseudo-polynomial blowup besides width
+//! granularity).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rip_core::tau_min_paper;
+use rip_bench::harness::run_case;
+use rip_core::Engine;
 use rip_dp::{solve_min_power, CandidateSet};
 use rip_net::{NetGenerator, RandomNetConfig};
 use rip_tech::{RepeaterLibrary, Technology};
 
-fn bench_pruning(c: &mut Criterion) {
+fn main() {
     let tech = Technology::generic_180nm();
+    let engine = Engine::paper(tech.clone());
     let net = NetGenerator::suite(RandomNetConfig::default(), 2005, 1)
         .expect("valid config")
         .remove(0);
-    let target = tau_min_paper(&net, tech.device()) * 1.5;
+    let target = engine.tau_min(&net) * 1.5;
     let library = RepeaterLibrary::range_step(10.0, 400.0, 40.0).expect("valid library");
 
-    let mut group = c.benchmark_group("power_dp_candidate_density");
-    group.sample_size(10);
+    println!("# power_dp_candidate_density");
     for step in [400.0, 200.0, 100.0, 50.0] {
         let cands = CandidateSet::uniform(&net, step);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{step}um")),
-            &cands,
-            |b, cands| {
-                b.iter(|| {
-                    solve_min_power(&net, tech.device(), &library, cands, target)
-                        .expect("feasible target")
-                })
-            },
-        );
+        run_case(&format!("power_dp_candidate_density/{step}um"), || {
+            solve_min_power(&net, tech.device(), &library, &cands, target)
+                .expect("feasible target");
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pruning);
-criterion_main!(benches);

@@ -1,43 +1,43 @@
-//! Criterion bench for the analytical solver: Lagrangian width solves and
-//! the full REFINE loop.
+//! Bench for the analytical solver: Lagrangian width solves and the full
+//! REFINE loop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rip_bench::harness::run_case;
 use rip_delay::ChainView;
 use rip_net::{NetGenerator, RandomNetConfig};
 use rip_refine::{refine, solve_widths, RefineConfig, WidthSolverConfig};
 use rip_tech::Technology;
 
-fn bench_refine(c: &mut Criterion) {
+fn main() {
     let tech = Technology::generic_180nm();
     let net = NetGenerator::suite(RandomNetConfig::default(), 2005, 1)
         .expect("valid config")
         .remove(0);
     let len = net.total_length();
 
-    let mut group = c.benchmark_group("solve_widths");
+    println!("# solve_widths");
     for n in [3usize, 8, 16] {
-        let positions: Vec<f64> =
-            (1..=n).map(|i| len * i as f64 / (n + 1) as f64).collect();
+        let positions: Vec<f64> = (1..=n).map(|i| len * i as f64 / (n + 1) as f64).collect();
         let view = ChainView::new(&net, tech.device(), positions).expect("legal positions");
         let target = view.total_delay(&vec![150.0; n]) * 1.3;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &view, |b, view| {
-            b.iter(|| solve_widths(view, target, &WidthSolverConfig::default()).expect("feasible"))
+        run_case(&format!("solve_widths/{n}"), || {
+            solve_widths(&view, target, &WidthSolverConfig::default()).expect("feasible");
         });
     }
-    group.finish();
 
-    c.bench_function("refine_loop_skewed_start", |b| {
-        let n = 8;
-        let positions: Vec<f64> =
-            (1..=n).map(|i| len * 0.5 * i as f64 / (n + 1) as f64).collect();
-        let view = ChainView::new(&net, tech.device(), positions.clone()).expect("legal");
-        let target = view.total_delay(&vec![150.0; n]) * 1.4;
-        b.iter(|| {
-            refine(&net, tech.device(), &positions, target, &RefineConfig::default())
-                .expect("feasible")
-        })
+    let n = 8;
+    let positions: Vec<f64> = (1..=n)
+        .map(|i| len * 0.5 * i as f64 / (n + 1) as f64)
+        .collect();
+    let view = ChainView::new(&net, tech.device(), positions.clone()).expect("legal");
+    let target = view.total_delay(&vec![150.0; n]) * 1.4;
+    run_case("refine_loop_skewed_start", || {
+        refine(
+            &net,
+            tech.device(),
+            &positions,
+            target,
+            &RefineConfig::default(),
+        )
+        .expect("feasible");
     });
 }
-
-criterion_group!(benches, bench_refine);
-criterion_main!(benches);

@@ -1,41 +1,32 @@
-//! Criterion bench for the full RIP pipeline and its per-stage costs -
-//! the "our scheme" side of Table 2's runtime comparison.
+//! Bench for the full RIP pipeline and its target-tightness behaviour -
+//! the "our scheme" side of Table 2's runtime comparison, driven through
+//! the batch [`Engine`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rip_core::{rip, tau_min_paper, RipConfig};
+use rip_bench::harness::run_case;
+use rip_core::Engine;
 use rip_net::{NetGenerator, RandomNetConfig};
 use rip_tech::Technology;
 
-fn bench_rip_pipeline(c: &mut Criterion) {
-    let tech = Technology::generic_180nm();
+fn main() {
+    let engine = Engine::paper(Technology::generic_180nm());
     let nets = NetGenerator::suite(RandomNetConfig::default(), 2005, 3).expect("valid config");
-    let config = RipConfig::paper();
 
-    let mut group = c.benchmark_group("rip_pipeline");
-    group.sample_size(10);
+    println!("# rip_pipeline");
     for (i, net) in nets.iter().enumerate() {
-        let target = tau_min_paper(net, tech.device()) * 1.5;
-        group.bench_with_input(BenchmarkId::new("net", i), net, |b, net| {
-            b.iter(|| rip(net, &tech, target, &config).expect("feasible target"))
+        let target = engine.tau_min(net) * 1.5;
+        run_case(&format!("rip_pipeline/net{i}"), || {
+            engine.solve(net, target).expect("feasible target");
         });
     }
-    group.finish();
 
     // Tight vs loose targets: tight targets stress the coarse DP + fine
     // DP enrichment paths.
     let net = &nets[0];
-    let tmin = tau_min_paper(net, tech.device());
-    let mut group = c.benchmark_group("rip_target_tightness");
-    group.sample_size(10);
+    let tmin = engine.tau_min(net);
+    println!("# rip_target_tightness");
     for mult in [1.05_f64, 1.5, 2.05] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{mult:.2}")),
-            &mult,
-            |b, &mult| b.iter(|| rip(net, &tech, tmin * mult, &config).expect("feasible")),
-        );
+        run_case(&format!("rip_target_tightness/{mult:.2}"), || {
+            engine.solve(net, tmin * mult).expect("feasible");
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_rip_pipeline);
-criterion_main!(benches);

@@ -17,21 +17,33 @@ fn main() {
     let t0 = Instant::now();
 
     eprintln!("[1/3] Table 1 ({net_count} nets x {target_count} targets)...");
-    let t1 = run_table1(&Table1Config { net_count, target_count, ..Default::default() });
+    let t1 = run_table1(&Table1Config {
+        net_count,
+        target_count,
+        ..Default::default()
+    });
     println!("{}", render_table1(&t1));
     let (h, r) = table1_csv(&t1);
     let hr: Vec<&str> = h.iter().map(String::as_str).collect();
     write_csv(dir.join("table1.csv"), &hr, &r).expect("write table1.csv");
 
     eprintln!("[2/3] Figure 7 ({net_count} nets x {target_count} targets)...");
-    let f7 = run_figure7(&Figure7Config { net_count, target_count, ..Default::default() });
+    let f7 = run_figure7(&Figure7Config {
+        net_count,
+        target_count,
+        ..Default::default()
+    });
     println!("{}", render_figure7(&f7));
     let (h, r) = figure7_csv(&f7);
     let hr: Vec<&str> = h.iter().map(String::as_str).collect();
     write_csv(dir.join("figure7.csv"), &hr, &r).expect("write figure7.csv");
 
     eprintln!("[3/3] Table 2 ({net_count} nets x {target_count} targets)...");
-    let t2 = run_table2(&Table2Config { net_count, target_count, ..Default::default() });
+    let t2 = run_table2(&Table2Config {
+        net_count,
+        target_count,
+        ..Default::default()
+    });
     println!("{}", render_table2(&t2));
     let (h, r) = table2_csv(&t2);
     let hr: Vec<&str> = h.iter().map(String::as_str).collect();

@@ -4,14 +4,16 @@
 //! Usage: `cargo run -p rip-bench --release --bin figure7 [--quick]`
 
 use rip_bench::{results_dir, scaled_counts};
-use rip_report::experiments::figure7::{
-    figure7_csv, render_figure7, run_figure7, Figure7Config,
-};
+use rip_report::experiments::figure7::{figure7_csv, render_figure7, run_figure7, Figure7Config};
 use rip_report::write_csv;
 
 fn main() {
     let (net_count, target_count) = scaled_counts(20, 20);
-    let config = Figure7Config { net_count, target_count, ..Default::default() };
+    let config = Figure7Config {
+        net_count,
+        target_count,
+        ..Default::default()
+    };
     eprintln!("running Figure 7: {net_count} nets x {target_count} targets x 2 panels...");
     let outcome = run_figure7(&config);
     println!("{}", render_figure7(&outcome));

@@ -8,7 +8,11 @@ use rip_report::write_csv;
 
 fn main() {
     let (net_count, target_count) = scaled_counts(20, 20);
-    let config = Table1Config { net_count, target_count, ..Default::default() };
+    let config = Table1Config {
+        net_count,
+        target_count,
+        ..Default::default()
+    };
     eprintln!(
         "running Table 1: {net_count} nets x {target_count} targets x {} baselines...",
         config.granularities.len()

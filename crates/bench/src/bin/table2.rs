@@ -10,7 +10,11 @@ use rip_report::write_csv;
 
 fn main() {
     let (net_count, target_count) = scaled_counts(20, 20);
-    let config = Table2Config { net_count, target_count, ..Default::default() };
+    let config = Table2Config {
+        net_count,
+        target_count,
+        ..Default::default()
+    };
     eprintln!(
         "running Table 2: {net_count} nets x {target_count} targets x {} baselines...",
         config.granularities.len()

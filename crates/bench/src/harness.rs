@@ -1,0 +1,119 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds offline without Criterion, so the bench targets
+//! use this std-only harness instead: warm up, run until both an
+//! iteration floor and a time floor are met, and report mean/min. It is
+//! deliberately simple — the experiment binaries (`table2`, `figure7`)
+//! carry the paper's statistically careful runtime comparisons; these
+//! benches exist to track relative regressions between PRs.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Case label, e.g. `"rip_pipeline/net0"`.
+    pub label: String,
+    /// Timed iterations (after warmup).
+    pub iters: u32,
+    /// Total timed duration.
+    pub total: Duration,
+    /// Mean per-iteration duration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+}
+
+impl Measurement {
+    /// Mean iterations per second.
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.mean.as_secs_f64() > 0.0 {
+            1.0 / self.mean.as_secs_f64()
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<40} {:>6} iters   mean {:>12.3?}   min {:>12.3?}",
+            self.label, self.iters, self.mean, self.min
+        )
+    }
+}
+
+/// Runs `f` repeatedly: one warmup iteration, then until both
+/// `min_iters` iterations and `min_time` have elapsed (whichever demands
+/// more work). Returns the aggregated [`Measurement`].
+pub fn bench(label: &str, min_iters: u32, min_time: Duration, mut f: impl FnMut()) -> Measurement {
+    f(); // warmup
+    let mut iters = 0u32;
+    let mut min = Duration::MAX;
+    let started = Instant::now();
+    loop {
+        let t0 = Instant::now();
+        f();
+        let elapsed = t0.elapsed();
+        min = min.min(elapsed);
+        iters += 1;
+        if iters >= min_iters && started.elapsed() >= min_time {
+            break;
+        }
+        // Hard cap so pathological cases cannot hang a bench run.
+        if iters >= 10_000 {
+            break;
+        }
+    }
+    let total = started.elapsed();
+    Measurement {
+        label: label.to_string(),
+        iters,
+        total,
+        mean: total / iters,
+        min,
+    }
+}
+
+/// Standard floors for the workspace benches: `--quick` mode trims to a
+/// smoke measurement.
+pub fn default_floors() -> (u32, Duration) {
+    if crate::quick_mode() {
+        (2, Duration::from_millis(50))
+    } else {
+        (10, Duration::from_millis(300))
+    }
+}
+
+/// Benches with [`default_floors`] and prints the measurement.
+pub fn run_case(label: &str, f: impl FnMut()) -> Measurement {
+    let (min_iters, min_time) = default_floors();
+    let m = bench(label, min_iters, min_time, f);
+    println!("{m}");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_counts_iterations_and_orders_stats() {
+        let mut calls = 0u32;
+        let m = bench("noop", 5, Duration::from_millis(1), || calls += 1);
+        assert_eq!(m.iters + 1, calls, "warmup iteration is untimed");
+        assert!(m.iters >= 5);
+        assert!(m.min <= m.mean);
+        assert!(m.throughput_per_s() > 0.0);
+    }
+
+    #[test]
+    fn display_contains_label() {
+        let m = bench("spin", 2, Duration::ZERO, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(m.to_string().contains("spin"));
+    }
+}

@@ -13,11 +13,16 @@
 //! Pass `--quick` to any binary for a reduced run (fewer nets/targets)
 //! when smoke-testing.
 //!
-//! Criterion benches cover the runtime claims: DP cost vs width
-//! granularity (`dp_granularity`, the Table 2 runtime axis), the RIP
-//! pipeline and its stages (`rip_pipeline`, `refine`), the Elmore
-//! substrate (`elmore`), pruning pressure vs candidate density
-//! (`pruning`), and configuration ablations (`ablations`).
+//! The bench targets (std-only [`harness`], run via `cargo bench`) cover
+//! the runtime claims: DP cost vs width granularity (`dp_granularity`,
+//! the Table 2 runtime axis), the RIP pipeline and its stages
+//! (`rip_pipeline`, `refine`), the Elmore substrate (`elmore`), pruning
+//! pressure vs candidate density (`pruning`), configuration ablations
+//! (`ablations`), and batch-engine throughput (`batch_engine`). The
+//! `bench_batch` binary additionally writes `BENCH_batch.json` at the
+//! workspace root with single-net vs batch-of-100 throughput.
+
+pub mod harness;
 
 use std::path::PathBuf;
 
@@ -29,13 +34,18 @@ use std::path::PathBuf;
 /// Panics when the directory cannot be created (no fallback makes sense
 /// for the experiment binaries).
 pub fn results_dir() -> PathBuf {
-    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace
-    // root so EXPERIMENTS.md can reference them stably.
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results");
+    let dir = workspace_root().join("results");
     std::fs::create_dir_all(&dir).expect("can create results directory");
     dir
+}
+
+/// Returns the workspace root (the parent of `crates/`), where benchmark
+/// JSON artifacts like `BENCH_batch.json` live.
+pub fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace
+    // root so EXPERIMENTS.md can reference them stably.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().unwrap_or(root)
 }
 
 /// `true` when the binary was invoked with `--quick`.

@@ -1,10 +1,10 @@
 //! CLI command implementations, separated from I/O for testability.
 
-use crate::netfile::{format_net, parse_net};
-use rip_core::{
-    baseline_dp, rip, tau_min_paper, BaselineConfig, RipConfig,
-};
+use crate::netfile::{format_net, parse_net, ParseError};
+use rip_core::{BaselineConfig, BatchTarget, Engine, RipError};
+use rip_delay::assignment_power;
 use rip_net::{NetGenerator, RandomNetConfig, TwoPinNet};
+use rip_report::TextTable;
 use rip_tech::units::{fs_from_ns, ns_from_fs};
 use rip_tech::Technology;
 use std::fmt::Write as _;
@@ -15,9 +15,9 @@ pub enum CliError {
     /// Bad command line.
     Usage(String),
     /// Net file could not be parsed.
-    Parse(crate::netfile::ParseError),
+    Parse(ParseError),
     /// The solver failed (e.g. infeasible target).
-    Solve(String),
+    Solve(RipError),
     /// Filesystem trouble.
     Io(std::io::Error),
 }
@@ -27,25 +27,17 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Parse(e) => write!(f, "net file error: {e}"),
-            CliError::Solve(msg) => write!(f, "solver error: {msg}"),
+            CliError::Solve(e) => write!(f, "solver error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
         }
     }
 }
 
-impl std::error::Error for CliError {}
-
-impl From<crate::netfile::ParseError> for CliError {
-    fn from(e: crate::netfile::ParseError) -> Self {
-        CliError::Parse(e)
-    }
-}
-
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError::Io(e)
-    }
-}
+rip_tech::impl_error_wrapper!(CliError {
+    Parse(ParseError),
+    Solve(RipError),
+    Io(std::io::Error),
+});
 
 /// The timing target of a solve: absolute or relative to `τ_min`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,10 +49,10 @@ pub enum Target {
 }
 
 impl Target {
-    fn resolve_fs(self, net: &TwoPinNet, tech: &Technology) -> f64 {
+    fn resolve_fs(self, net: &TwoPinNet, engine: &Engine) -> f64 {
         match self {
             Target::Ns(ns) => fs_from_ns(ns),
-            Target::Multiplier(m) => m * tau_min_paper(net, tech.device()),
+            Target::Multiplier(m) => m * engine.tau_min(net),
         }
     }
 }
@@ -75,10 +67,9 @@ impl Target {
 /// infeasible targets.
 pub fn cmd_solve(net_text: &str, target: Target) -> Result<String, CliError> {
     let net = parse_net(net_text)?;
-    let tech = Technology::generic_180nm();
-    let target_fs = target.resolve_fs(&net, &tech);
-    let outcome = rip(&net, &tech, target_fs, &RipConfig::paper())
-        .map_err(|e| CliError::Solve(e.to_string()))?;
+    let engine = Engine::paper(Technology::generic_180nm());
+    let target_fs = target.resolve_fs(&net, &engine);
+    let outcome = engine.solve(&net, target_fs)?;
     let sol = &outcome.solution;
     let mut out = String::new();
     let _ = writeln!(
@@ -94,12 +85,17 @@ pub fn cmd_solve(net_text: &str, target: Target) -> Result<String, CliError> {
         ns_from_fs(target_fs),
         ns_from_fs(sol.delay_fs)
     );
-    let _ = writeln!(out, "repeaters: {}   total width: {:.0} u", sol.assignment.len(), sol.total_width);
+    let _ = writeln!(
+        out,
+        "repeaters: {}   total width: {:.0} u",
+        sol.assignment.len(),
+        sol.total_width
+    );
     for r in sol.assignment.repeaters() {
         let _ = writeln!(out, "  x = {:9.1} um   w = {:5.0} u", r.position, r.width);
     }
-    let power =
-        rip_delay::assignment_power(&net, tech.device(), tech.power(), &sol.assignment);
+    let tech = engine.technology();
+    let power = assignment_power(&net, tech.device(), tech.power(), &sol.assignment);
     let _ = writeln!(
         out,
         "power: {:.4} mW repeaters + {:.4} mW wire = {:.4} mW",
@@ -117,9 +113,11 @@ pub fn cmd_solve(net_text: &str, target: Target) -> Result<String, CliError> {
 /// Returns [`CliError::Parse`] for bad input.
 pub fn cmd_tmin(net_text: &str) -> Result<String, CliError> {
     let net = parse_net(net_text)?;
-    let tech = Technology::generic_180nm();
-    let tmin = tau_min_paper(&net, tech.device());
-    Ok(format!("tau_min = {:.4} ns\n", ns_from_fs(tmin)))
+    let engine = Engine::paper(Technology::generic_180nm());
+    Ok(format!(
+        "tau_min = {:.4} ns\n",
+        ns_from_fs(engine.tau_min(&net))
+    ))
 }
 
 /// `rip baseline`: run the Lillis-style DP baseline at a given width
@@ -139,11 +137,12 @@ pub fn cmd_baseline(
         return Err(CliError::Usage("granularity must be positive".into()));
     }
     let net = parse_net(net_text)?;
-    let tech = Technology::generic_180nm();
-    let target_fs = target.resolve_fs(&net, &tech);
+    let engine = Engine::paper(Technology::generic_180nm());
+    let target_fs = target.resolve_fs(&net, &engine);
     let config = BaselineConfig::paper_table2(granularity_u);
-    let sol = baseline_dp(&net, tech.device(), &config, target_fs)
-        .map_err(|e| CliError::Solve(e.to_string()))?;
+    let sol = engine
+        .baseline(&net, &config, target_fs)
+        .map_err(|e| CliError::Solve(e.into()))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -174,6 +173,128 @@ pub fn cmd_generate(seed: u64, count: usize) -> Result<Vec<String>, CliError> {
     Ok(nets.iter().map(format_net).collect())
 }
 
+/// `rip batch`: solve many nets through one [`Engine`] session and render
+/// a per-net + aggregate power/delay table.
+///
+/// Takes `(label, net text)` pairs so the command stays I/O-free; the
+/// binary supplies file names or generated-net labels. Nets that cannot
+/// meet their target are reported in the table (status `infeasible`)
+/// rather than failing the whole batch.
+///
+/// # Errors
+///
+/// Returns [`CliError::Parse`] (with the offending label in the message)
+/// for bad input and [`CliError::Usage`] for an empty batch.
+pub fn cmd_batch(named_nets: &[(String, String)], target: Target) -> Result<String, CliError> {
+    if named_nets.is_empty() {
+        return Err(CliError::Usage("batch needs at least one net".into()));
+    }
+    let mut nets = Vec::with_capacity(named_nets.len());
+    for (label, text) in named_nets {
+        let net = parse_net(text).map_err(|e| ParseError {
+            line: e.line,
+            reason: format!("net {label:?}: {}", e.reason),
+        })?;
+        nets.push(net);
+    }
+
+    let engine = Engine::paper(Technology::generic_180nm());
+    // Hand the target rule to the engine unresolved: `τ_min` (the most
+    // expensive per-net precomputation) is then computed inside the
+    // parallel workers instead of serially up front.
+    let batch_target = match target {
+        Target::Ns(ns) => BatchTarget::AbsoluteFs(fs_from_ns(ns)),
+        Target::Multiplier(m) => BatchTarget::TauMinMultiple(m),
+    };
+    let outcomes = engine.solve_batch(&nets, &batch_target);
+    // For the table only; every tau_min below is a warm cache hit.
+    let targets: Vec<f64> = nets
+        .iter()
+        .map(|net| target.resolve_fs(net, &engine))
+        .collect();
+
+    let tech = engine.technology();
+    let mut table = TextTable::new(vec![
+        "Net",
+        "mm",
+        "Reps",
+        "Width (u)",
+        "Target (ns)",
+        "Delay (ns)",
+        "Power (mW)",
+        "Status",
+    ]);
+    let mut total_width = 0.0;
+    let mut total_power = 0.0;
+    let mut total_reps = 0usize;
+    let mut infeasible = 0usize;
+    for (((label, _), net), (outcome, target_fs)) in named_nets
+        .iter()
+        .zip(&nets)
+        .zip(outcomes.iter().zip(&targets))
+    {
+        match outcome {
+            Ok(out) => {
+                let sol = &out.solution;
+                let power = assignment_power(net, tech.device(), tech.power(), &sol.assignment);
+                total_width += sol.total_width;
+                total_power += power.total();
+                total_reps += sol.assignment.len();
+                table.row(vec![
+                    label.clone(),
+                    format!("{:.1}", net.total_length() / 1000.0),
+                    format!("{}", sol.assignment.len()),
+                    format!("{:.0}", sol.total_width),
+                    format!("{:.4}", ns_from_fs(*target_fs)),
+                    format!("{:.4}", ns_from_fs(sol.delay_fs)),
+                    format!("{:.4}", power.total() * 1e3),
+                    "ok".into(),
+                ]);
+            }
+            Err(RipError::Infeasible { achievable_fs, .. }) => {
+                infeasible += 1;
+                table.row(vec![
+                    label.clone(),
+                    format!("{:.1}", net.total_length() / 1000.0),
+                    "-".into(),
+                    "-".into(),
+                    format!("{:.4}", ns_from_fs(*target_fs)),
+                    format!(">{:.4}", ns_from_fs(*achievable_fs)),
+                    "-".into(),
+                    "infeasible".into(),
+                ]);
+            }
+            Err(e) => return Err(CliError::Solve(e.clone())),
+        }
+    }
+    let solved = nets.len() - infeasible;
+    table.row(vec![
+        "TOTAL".into(),
+        format!(
+            "{:.1}",
+            nets.iter().map(|n| n.total_length()).sum::<f64>() / 1000.0
+        ),
+        format!("{total_reps}"),
+        format!("{total_width:.0}"),
+        "-".into(),
+        "-".into(),
+        format!("{:.4}", total_power * 1e3),
+        format!("{solved}/{} ok", nets.len()),
+    ]);
+
+    let stats = engine.stats();
+    let mut out = table.to_string();
+    let _ = writeln!(
+        out,
+        "\n{} net(s), {} infeasible; engine cache: {} hit(s), {} miss(es)",
+        nets.len(),
+        infeasible,
+        stats.hits(),
+        stats.misses()
+    );
+    Ok(out)
+}
+
 /// The top-level usage text.
 pub fn usage() -> &'static str {
     "rip - hybrid repeater insertion for low power (DATE 2005 reproduction)
@@ -182,6 +303,7 @@ USAGE:
     rip solve    <net-file> (--target-ns <x> | --target-mult <m>)
     rip baseline <net-file> (--target-ns <x> | --target-mult <m>) --granularity <g_u>
     rip tmin     <net-file>
+    rip batch    (--dir <dir> | --seed <n> --count <k>) (--target-ns <x> | --target-mult <m>)
     rip generate --seed <n> --count <k> [--out-dir <dir>]
     rip help
 
@@ -254,6 +376,54 @@ zone 4000 7000
         for text in &a {
             crate::netfile::parse_net(text).unwrap();
         }
+    }
+
+    #[test]
+    fn batch_renders_per_net_rows_and_aggregate() {
+        let nets: Vec<(String, String)> = cmd_generate(2005, 3)
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(i, text)| (format!("net_{i:02}"), text))
+            .collect();
+        let report = cmd_batch(&nets, Target::Multiplier(1.4)).unwrap();
+        assert!(report.contains("net_00"));
+        assert!(report.contains("net_02"));
+        assert!(report.contains("TOTAL"));
+        assert!(report.contains("3/3 ok"));
+        assert!(report.contains("engine cache"));
+    }
+
+    #[test]
+    fn batch_reports_infeasible_nets_without_failing() {
+        let nets: Vec<(String, String)> = cmd_generate(7, 2)
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(i, text)| (format!("net_{i:02}"), text))
+            .collect();
+        // An impossibly tight absolute target: every net is infeasible,
+        // but the batch still renders.
+        let report = cmd_batch(&nets, Target::Ns(1e-6)).unwrap();
+        assert!(report.contains("infeasible"));
+        assert!(report.contains("0/2 ok"));
+    }
+
+    #[test]
+    fn batch_rejects_empty_and_bad_input() {
+        assert!(matches!(
+            cmd_batch(&[], Target::Ns(1.0)),
+            Err(CliError::Usage(_))
+        ));
+        let bad = vec![("broken".to_string(), "segment oops\n".to_string())];
+        let err = cmd_batch(&bad, Target::Ns(1.0)).unwrap_err();
+        // Parse failures keep their structured form (line number intact)
+        // with the offending net's label prefixed to the reason.
+        match &err {
+            CliError::Parse(e) => assert_eq!(e.line, 1),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        assert!(err.to_string().contains("broken"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! rip solve    <net-file> --target-ns 2.5        # hybrid RIP pipeline
 //! rip baseline <net-file> --target-mult 1.5 --granularity 20
 //! rip tmin     <net-file>                        # minimum achievable delay
+//! rip batch    --dir nets --target-mult 1.4      # many nets, one Engine session
 //! rip generate --seed 7 --count 5 --out-dir nets # paper-distribution nets
 //! ```
 //!
@@ -21,6 +22,6 @@ mod commands;
 mod netfile;
 
 pub use commands::{
-    cmd_baseline, cmd_generate, cmd_solve, cmd_tmin, usage, CliError, Target,
+    cmd_baseline, cmd_batch, cmd_generate, cmd_solve, cmd_tmin, usage, CliError, Target,
 };
 pub use netfile::{format_net, parse_net, ParseError};

@@ -1,7 +1,9 @@
 //! The `rip` binary: thin argument parsing over `rip_cli`'s command
 //! implementations.
 
-use rip_cli::{cmd_baseline, cmd_generate, cmd_solve, cmd_tmin, usage, CliError, Target};
+use rip_cli::{
+    cmd_baseline, cmd_batch, cmd_generate, cmd_solve, cmd_tmin, usage, CliError, Target,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -44,6 +46,31 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let text = std::fs::read_to_string(&file)?;
             cmd_tmin(&text)
         }
+        Some("batch") => {
+            let flags: Vec<String> = it.map(String::from).collect();
+            let target = parse_target(&flags)?;
+            let named_nets = match flag_value(&flags, "--dir")? {
+                Some(dir) => read_net_dir(&dir)?,
+                None => {
+                    let seed = flag_value(&flags, "--seed")?
+                        .unwrap_or_else(|| "2005".into())
+                        .parse::<u64>()
+                        .map_err(|_| CliError::Usage("seed must be an integer".into()))?;
+                    let count = flag_value(&flags, "--count")?
+                        .ok_or_else(|| {
+                            CliError::Usage("batch needs --dir <dir> or --count <k>".into())
+                        })?
+                        .parse::<usize>()
+                        .map_err(|_| CliError::Usage("count must be an integer".into()))?;
+                    cmd_generate(seed, count)?
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, text)| (format!("gen_{seed}_{i:02}"), text))
+                        .collect()
+                }
+            };
+            cmd_batch(&named_nets, target)
+        }
         Some("generate") => {
             let flags: Vec<String> = it.map(String::from).collect();
             let seed = flag_value(&flags, "--seed")?
@@ -80,6 +107,31 @@ fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Reads every `*.net` file in a directory, sorted by name for
+/// deterministic batch order.
+fn read_net_dir(dir: &str) -> Result<Vec<(String, String)>, CliError> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "net"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Usage(format!("no .net files found in {dir:?}")));
+    }
+    paths
+        .into_iter()
+        .map(|p| {
+            let label = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.display().to_string());
+            Ok((label, std::fs::read_to_string(&p)?))
+        })
+        .collect()
+}
+
 /// Splits `<file> [flags...]` style arguments.
 fn split_flags<'a>(
     mut it: impl Iterator<Item = &'a str>,
@@ -108,12 +160,16 @@ fn parse_target(flags: &[String]) -> Result<Target, CliError> {
     let ns = flag_value(flags, "--target-ns")?;
     let mult = flag_value(flags, "--target-mult")?;
     match (ns, mult) {
-        (Some(ns), None) => Ok(Target::Ns(ns.parse().map_err(|_| {
-            CliError::Usage("--target-ns must be a number".into())
-        })?)),
-        (None, Some(m)) => Ok(Target::Multiplier(m.parse().map_err(|_| {
-            CliError::Usage("--target-mult must be a number".into())
-        })?)),
+        (Some(ns), None) => {
+            Ok(Target::Ns(ns.parse().map_err(|_| {
+                CliError::Usage("--target-ns must be a number".into())
+            })?))
+        }
+        (None, Some(m)) => {
+            Ok(Target::Multiplier(m.parse().map_err(|_| {
+                CliError::Usage("--target-mult must be a number".into())
+            })?))
+        }
         (None, None) => Err(CliError::Usage(
             "one of --target-ns or --target-mult is required".into(),
         )),

@@ -31,11 +31,14 @@ impl fmt::Display for ParseError {
     }
 }
 
-impl std::error::Error for ParseError {}
+rip_tech::impl_leaf_error!(ParseError);
 
 impl From<(usize, NetError)> for ParseError {
     fn from((line, e): (usize, NetError)) -> Self {
-        ParseError { line, reason: e.to_string() }
+        ParseError {
+            line,
+            reason: e.to_string(),
+        }
     }
 }
 

@@ -111,12 +111,20 @@ mod tests {
         let tech = Technology::generic_180nm();
         let net = net();
         let tmin = tau_min_paper(&net, tech.device());
-        let result =
-            baseline_dp(&net, tech.device(), &BaselineConfig::paper_table1(10.0), tmin * 1.05);
+        let result = baseline_dp(
+            &net,
+            tech.device(),
+            &BaselineConfig::paper_table1(10.0),
+            tmin * 1.05,
+        );
         assert!(matches!(result, Err(DpError::InfeasibleTarget { .. })));
         // While a coarse-but-wide library succeeds at the same target.
-        let ok =
-            baseline_dp(&net, tech.device(), &BaselineConfig::paper_table1(40.0), tmin * 1.05);
+        let ok = baseline_dp(
+            &net,
+            tech.device(),
+            &BaselineConfig::paper_table1(40.0),
+            tmin * 1.05,
+        );
         assert!(ok.is_ok());
     }
 
@@ -125,9 +133,13 @@ mod tests {
         let tech = Technology::generic_180nm();
         let net = net();
         let tmin = tau_min_paper(&net, tech.device());
-        let sol =
-            baseline_dp(&net, tech.device(), &BaselineConfig::paper_table1(20.0), tmin * 1.6)
-                .unwrap();
+        let sol = baseline_dp(
+            &net,
+            tech.device(),
+            &BaselineConfig::paper_table1(20.0),
+            tmin * 1.6,
+        )
+        .unwrap();
         assert!(sol.meets(tmin * 1.6));
         sol.assignment.validate_on(&net).unwrap();
     }

@@ -16,7 +16,10 @@ pub struct CoarseDpConfig {
 
 impl Default for CoarseDpConfig {
     fn default() -> Self {
-        Self { library: RepeaterLibrary::paper_coarse(), candidate_step_um: 200.0 }
+        Self {
+            library: RepeaterLibrary::paper_coarse(),
+            candidate_step_um: 200.0,
+        }
     }
 }
 
@@ -100,7 +103,10 @@ mod tests {
     #[test]
     fn paper_defaults_match_section_6() {
         let c = RipConfig::paper();
-        assert_eq!(c.coarse.library.widths(), &[80.0, 160.0, 240.0, 320.0, 400.0]);
+        assert_eq!(
+            c.coarse.library.widths(),
+            &[80.0, 160.0, 240.0, 320.0, 400.0]
+        );
         assert_eq!(c.coarse.candidate_step_um, 200.0);
         assert_eq!(c.fine.width_grid_u, 10.0);
         assert_eq!(c.fine.window_half_slots, 10);

@@ -1,0 +1,950 @@
+//! The batch [`Engine`]: a long-lived session that owns a
+//! [`Technology`] + [`RipConfig`] pair, caches the per-technology
+//! precomputation the pipeline repeats on every call, and solves many
+//! nets in parallel.
+//!
+//! The free functions [`rip`](crate::rip), [`tree_rip`](crate::tree_rip)
+//! and [`baseline_dp`](crate::baseline_dp) are thin wrappers over a
+//! one-shot engine; anything that solves more than one net — the CLI
+//! `batch` command, the experiment grids, the benchmarks — should hold an
+//! engine so that:
+//!
+//! * coarse/baseline candidate grids are built once per distinct
+//!   `(net, step)` pair instead of once per `(net, target)` cell;
+//! * `τ_min` is computed once per net across a whole target sweep;
+//! * the synthesized fine libraries of stage 3 are shared between
+//!   identical refinement outcomes;
+//! * independent nets run on all available cores with deterministic,
+//!   input-ordered output ([`Engine::solve_batch`]).
+//!
+//! Caching never changes results: every cached value is exactly the value
+//! the uncached pipeline would recompute, which the batch-determinism
+//! test suite pins (`tests/engine_batch.rs`).
+
+use crate::baseline::BaselineConfig;
+use crate::compare::{summarize_savings, SavingsSummary};
+use crate::config::RipConfig;
+use crate::error::RipError;
+use crate::pipeline::{RipOutcome, RipRuntime};
+use crate::tmin;
+use crate::tree_pipeline::{TreeRipConfig, TreeRipOutcome};
+use rip_dp::{solve_min_delay, solve_min_power, CandidateSet, DpError, DpSolution};
+use rip_net::TwoPinNet;
+use rip_refine::{refine, trim_tree_widths, RefineError, RefineOutcome, TreeTrimOutcome};
+use rip_tech::{RepeaterLibrary, TechError, Technology};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How a batch maps nets to timing targets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BatchTarget {
+    /// One absolute target for every net, fs.
+    AbsoluteFs(f64),
+    /// A per-net multiplier over that net's `τ_min` (computed once per
+    /// net through the engine cache) — the paper's target convention.
+    TauMinMultiple(f64),
+    /// Explicit per-net absolute targets, fs. Must have one entry per
+    /// net.
+    PerNetFs(Vec<f64>),
+}
+
+/// Cache-effectiveness counters of an [`Engine`] session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Candidate-grid lookups served from cache.
+    pub grid_hits: u64,
+    /// Candidate-grid lookups that had to build the grid.
+    pub grid_misses: u64,
+    /// `τ_min` lookups served from cache.
+    pub tau_min_hits: u64,
+    /// `τ_min` lookups that had to run the min-delay DP.
+    pub tau_min_misses: u64,
+    /// Synthesized-library lookups served from cache.
+    pub library_hits: u64,
+    /// Synthesized-library lookups that had to build the library.
+    pub library_misses: u64,
+    /// Chain solves completed (successful or not).
+    pub nets_solved: u64,
+}
+
+impl EngineStats {
+    /// Total lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.grid_hits + self.tau_min_hits + self.library_hits
+    }
+
+    /// Total lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.grid_misses + self.tau_min_misses + self.library_misses
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    grid_hits: AtomicU64,
+    grid_misses: AtomicU64,
+    tau_min_hits: AtomicU64,
+    tau_min_misses: AtomicU64,
+    library_hits: AtomicU64,
+    library_misses: AtomicU64,
+    nets_solved: AtomicU64,
+}
+
+/// A 64-bit fingerprint of any `Debug`-printable value, used only for
+/// the informational [`Engine::config_hash`].
+fn fingerprint(value: &impl fmt::Debug) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    format!("{value:?}").hash(&mut hasher);
+    hasher.finish()
+}
+
+/// An exact in-memory cache key: the `Debug` rendering of the inputs.
+///
+/// Rust's `{:?}` for `f64` prints the shortest representation that
+/// round-trips, so distinct parameter values yield distinct keys — and
+/// because the full string is the `HashMap` key (not a digest of it),
+/// hash collisions are resolved by equality and can never serve a stale
+/// or wrong cached value.
+fn cache_key(value: &impl fmt::Debug) -> String {
+    format!("{value:?}")
+}
+
+fn combine(a: u64, b: u64) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    a.hash(&mut hasher);
+    b.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Deterministic parallel map: distributes `items` over the available
+/// cores and returns results in input order. Falls back to an inline loop
+/// when a single worker would be spawned.
+fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                collected
+                    .lock()
+                    .expect("no poisoned worker")
+                    .push((i, result));
+            });
+        }
+    });
+    let mut tagged = collected.into_inner().expect("workers joined");
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A solving session: one technology, one configuration, shared caches,
+/// parallel batch entry points.
+///
+/// Cache entries are never evicted: reuse within a batch, a target
+/// sweep, or a bounded working set is the design point. A long-lived
+/// process solving an unbounded stream of *distinct* nets should call
+/// [`Engine::clear_cache`] at natural boundaries (end of a design, end
+/// of a request) to keep memory flat.
+///
+/// # Examples
+///
+/// ```
+/// use rip_core::{BatchTarget, Engine, RipConfig};
+/// use rip_net::{NetGenerator, RandomNetConfig};
+/// use rip_tech::Technology;
+///
+/// let engine = Engine::new(Technology::generic_180nm(), RipConfig::paper());
+/// let nets = NetGenerator::suite(RandomNetConfig::default(), 7, 4).unwrap();
+/// let outcomes = engine.solve_batch(&nets, &BatchTarget::TauMinMultiple(1.4));
+/// assert_eq!(outcomes.len(), nets.len());
+/// for out in &outcomes {
+///     assert!(out.as_ref().unwrap().solution.delay_fs > 0.0);
+/// }
+/// // A second pass over the same nets is served from the session cache.
+/// let before = engine.stats();
+/// let _ = engine.solve_batch(&nets, &BatchTarget::TauMinMultiple(1.4));
+/// assert!(engine.stats().hits() > before.hits());
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    tech: Technology,
+    config: RipConfig,
+    config_hash: u64,
+    grids: Mutex<HashMap<String, Arc<CandidateSet>>>,
+    tau_mins: Mutex<HashMap<String, f64>>,
+    libraries: Mutex<HashMap<String, Arc<RepeaterLibrary>>>,
+    counters: Counters,
+}
+
+impl Engine {
+    /// Creates a session over a technology and pipeline configuration.
+    pub fn new(tech: Technology, config: RipConfig) -> Self {
+        let config_hash = combine(fingerprint(&tech), fingerprint(&config));
+        Self {
+            tech,
+            config,
+            config_hash,
+            grids: Mutex::new(HashMap::new()),
+            tau_mins: Mutex::new(HashMap::new()),
+            libraries: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// A session with the paper's Section 6 configuration.
+    pub fn paper(tech: Technology) -> Self {
+        Self::new(tech, RipConfig::paper())
+    }
+
+    /// The session's technology.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The session's pipeline configuration.
+    pub fn config(&self) -> &RipConfig {
+        &self.config
+    }
+
+    /// In-process fingerprint of the `(technology, configuration)` pair,
+    /// for logging and diagnostics (e.g. tagging results with the
+    /// session that produced them).
+    ///
+    /// Unequal hashes guarantee different configurations; equal hashes
+    /// make identical configurations overwhelmingly likely but are not
+    /// proof (64-bit digest), and the underlying hasher is unspecified
+    /// across Rust releases — do not key persisted caches on this value.
+    pub fn config_hash(&self) -> u64 {
+        self.config_hash
+    }
+
+    /// Drops every cached candidate grid, `τ_min` and synthesized
+    /// library, keeping the technology, configuration and statistics
+    /// counters. Long-running services solving unbounded streams of
+    /// distinct nets call this at natural boundaries to bound memory.
+    pub fn clear_cache(&self) {
+        self.grids.lock().expect("grid cache").clear();
+        self.tau_mins.lock().expect("tau cache").clear();
+        self.libraries.lock().expect("library cache").clear();
+    }
+
+    /// Cache-effectiveness counters so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            grid_hits: self.counters.grid_hits.load(Ordering::Relaxed),
+            grid_misses: self.counters.grid_misses.load(Ordering::Relaxed),
+            tau_min_hits: self.counters.tau_min_hits.load(Ordering::Relaxed),
+            tau_min_misses: self.counters.tau_min_misses.load(Ordering::Relaxed),
+            library_hits: self.counters.library_hits.load(Ordering::Relaxed),
+            library_misses: self.counters.library_misses.load(Ordering::Relaxed),
+            nets_solved: self.counters.nets_solved.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---- cached precomputation -------------------------------------------
+
+    /// The uniform candidate grid for `(net, step)`, built at most once
+    /// per session.
+    fn grid(&self, net: &TwoPinNet, step_um: f64) -> Arc<CandidateSet> {
+        let key = cache_key(&(net, step_um.to_bits()));
+        if let Some(grid) = self.grids.lock().expect("grid cache").get(&key) {
+            self.counters.grid_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(grid);
+        }
+        self.counters.grid_misses.fetch_add(1, Ordering::Relaxed);
+        let grid = Arc::new(CandidateSet::uniform(net, step_um));
+        self.grids
+            .lock()
+            .expect("grid cache")
+            .entry(key)
+            .or_insert(grid)
+            .clone()
+    }
+
+    /// `τ_min` of a net under the paper's experimental setup, computed at
+    /// most once per session.
+    pub fn tau_min(&self, net: &TwoPinNet) -> f64 {
+        let key = cache_key(net);
+        if let Some(&tmin) = self.tau_mins.lock().expect("tau cache").get(&key) {
+            self.counters.tau_min_hits.fetch_add(1, Ordering::Relaxed);
+            return tmin;
+        }
+        self.counters.tau_min_misses.fetch_add(1, Ordering::Relaxed);
+        let tmin = tmin::tau_min_paper(net, self.tech.device());
+        *self
+            .tau_mins
+            .lock()
+            .expect("tau cache")
+            .entry(key)
+            .or_insert(tmin)
+    }
+
+    /// Stage-3 library synthesis, memoized on `(rounded widths, grid,
+    /// steps, direction)`.
+    ///
+    /// `upward_only = false` builds the standard enrichment (`steps` grid
+    /// neighbours on both sides of every rounded width); `true` builds
+    /// the infeasibility-retry library (wider neighbours only).
+    fn synthesized_library(
+        &self,
+        rounded: &RepeaterLibrary,
+        grid: f64,
+        steps: usize,
+        upward_only: bool,
+    ) -> Result<Arc<RepeaterLibrary>, TechError> {
+        let key = cache_key(&(rounded.widths(), steps, upward_only, grid.to_bits()));
+        if let Some(lib) = self.libraries.lock().expect("library cache").get(&key) {
+            self.counters.library_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(lib));
+        }
+        self.counters.library_misses.fetch_add(1, Ordering::Relaxed);
+        let mut widths: Vec<f64> = Vec::new();
+        for &w in rounded.widths() {
+            widths.push(w);
+            for k in 1..=steps {
+                widths.push(w + grid * k as f64);
+                if !upward_only {
+                    let below = w - grid * k as f64;
+                    if below >= grid - 1e-9 {
+                        widths.push(below);
+                    }
+                }
+            }
+        }
+        let lib = Arc::new(RepeaterLibrary::from_widths(widths)?);
+        Ok(self
+            .libraries
+            .lock()
+            .expect("library cache")
+            .entry(key)
+            .or_insert(lib)
+            .clone())
+    }
+
+    // ---- chain solving ---------------------------------------------------
+
+    /// Runs algorithm RIP (Fig. 6) on one two-pin net through the session
+    /// caches. Semantics are identical to [`rip`](crate::rip); see there
+    /// for the stage walkthrough and the robustness extensions.
+    ///
+    /// # Errors
+    ///
+    /// * [`RipError::Infeasible`] when no stage can meet the target;
+    /// * [`RipError::Dp`] / [`RipError::Refine`] for invalid inputs.
+    pub fn solve(&self, net: &TwoPinNet, target_fs: f64) -> Result<RipOutcome, RipError> {
+        self.counters.nets_solved.fetch_add(1, Ordering::Relaxed);
+        let device = self.tech.device();
+        let config = &self.config;
+        let mut runtime = RipRuntime::default();
+
+        // ---- Stage 1: coarse DP (Fig. 6, Line 1).
+        let t0 = Instant::now();
+        let coarse_cands = self.grid(net, config.coarse.candidate_step_um);
+        let coarse = match solve_min_power(
+            net,
+            device,
+            &config.coarse.library,
+            &coarse_cands,
+            target_fs,
+        ) {
+            Ok(sol) => sol,
+            // Coarse library can't meet the target: seed REFINE from the
+            // fastest coarse placement instead.
+            Err(DpError::InfeasibleTarget { .. }) => {
+                solve_min_delay(net, device, &config.coarse.library, &coarse_cands)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        runtime.coarse = t0.elapsed();
+
+        // ---- Stage 2: REFINE (Fig. 6, Line 2).
+        let t1 = Instant::now();
+        let refined = match refine(
+            net,
+            device,
+            &coarse.assignment.positions(),
+            target_fs,
+            &config.refine,
+        ) {
+            Ok(out) => out,
+            Err(RefineError::InfeasibleTarget { achievable_fs, .. }) => {
+                return Err(RipError::Infeasible {
+                    target_fs,
+                    achievable_fs,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        runtime.refine = t1.elapsed();
+
+        // Degenerate loose-target case: no repeaters needed at all.
+        if refined.positions.is_empty() {
+            let t2 = Instant::now();
+            let empty_cands = CandidateSet::from_positions(net, vec![])?;
+            let solution =
+                solve_min_power(net, device, &config.coarse.library, &empty_cands, target_fs)?;
+            runtime.fine = t2.elapsed();
+            return Ok(RipOutcome {
+                solution,
+                coarse,
+                refined: Some(refined),
+                library: None,
+                candidate_count: 0,
+                runtime,
+            });
+        }
+
+        // ---- Stages 3-4 on the n-repeater branch.
+        let t2 = Instant::now();
+        let mut best = self.finish_from_refined(net, &refined, target_fs);
+
+        // Extension (`FineDpConfig::try_fewer_repeaters`): REFINE cannot
+        // change the repeater *count* it inherited from the coarse DP, and
+        // a coarse library whose minimum width exceeds the loose-target
+        // optimum systematically over-counts. Re-refine with one repeater
+        // dropped (each of the up-to-3 narrowest tried — removal can
+        // strand the survivors behind a forbidden zone, so a single
+        // heuristic pick is not enough) and keep whichever branch the fine
+        // DP likes better. Over-counting only happens in the
+        // small-repeater regime: when the refined widths sit well above
+        // the coarse library's minimum, the count was not forced by the
+        // library floor and dropping can only lose. The gate keeps
+        // tight-target runs (big widths, big DP frontiers) free of
+        // pointless extra branches.
+        let mean_refined_width = refined.total_width / refined.widths.len().max(1) as f64;
+        let small_width_regime = mean_refined_width < 1.5 * config.coarse.library.min_width();
+        if config.fine.try_fewer_repeaters && refined.positions.len() >= 2 && small_width_regime {
+            let mut by_width: Vec<usize> = (0..refined.widths.len()).collect();
+            by_width.sort_by(|&a, &b| {
+                refined.widths[a]
+                    .partial_cmp(&refined.widths[b])
+                    .expect("finite widths")
+            });
+            for &drop in by_width.iter().take(3) {
+                let mut fewer_positions = refined.positions.clone();
+                fewer_positions.remove(drop);
+                let Ok(fewer) = refine(net, device, &fewer_positions, target_fs, &config.refine)
+                else {
+                    continue;
+                };
+                // The continuous width lower-bounds this branch's discrete
+                // outcome (modulo one grid step); skip branches that
+                // cannot beat the incumbent.
+                if let Ok((incumbent, _, _)) = &best {
+                    if fewer.total_width >= incumbent.total_width + config.fine.width_grid_u {
+                        continue;
+                    }
+                }
+                let alt = self.finish_from_refined(net, &fewer, target_fs);
+                let better = match (&best, &alt) {
+                    (Ok(b), Ok(a)) => a.0.total_width < b.0.total_width,
+                    (Err(_), Ok(_)) => true,
+                    _ => false,
+                };
+                if better {
+                    best = alt;
+                }
+            }
+        }
+        runtime.fine = t2.elapsed();
+
+        let (solution, final_lib, candidate_count) = match best {
+            Ok(parts) => parts,
+            Err(achievable_fs) => {
+                // Final fallback: the coarse solution, if it met the
+                // target.
+                if coarse.meets(target_fs) {
+                    (coarse.clone(), config.coarse.library.clone(), 0)
+                } else {
+                    return Err(RipError::Infeasible {
+                        target_fs,
+                        achievable_fs: achievable_fs.min(coarse.delay_fs),
+                    });
+                }
+            }
+        };
+
+        Ok(RipOutcome {
+            solution,
+            coarse,
+            refined: Some(refined),
+            library: Some(final_lib),
+            candidate_count,
+            runtime,
+        })
+    }
+
+    /// Stages 3-4 for one refined branch: synthesize the design-specific
+    /// library `B` (rounded + neighbouring grid steps — see
+    /// [`crate::FineDpConfig::enrich_steps`]) and candidate set `S`, then
+    /// run the fine DP with an infeasibility retry on a further-enriched
+    /// library.
+    ///
+    /// Returns the minimum achievable delay on failure so the caller can
+    /// report how far off the target was.
+    fn finish_from_refined(
+        &self,
+        net: &TwoPinNet,
+        refined: &RefineOutcome,
+        target_fs: f64,
+    ) -> Result<(DpSolution, RepeaterLibrary, usize), f64> {
+        let device = self.tech.device();
+        let config = &self.config;
+        let grid = config.fine.width_grid_u;
+        let rounded = RepeaterLibrary::from_refined_widths(refined.widths.iter().copied(), grid)
+            .expect("refined widths are positive");
+        let cands = CandidateSet::windows(
+            net,
+            &refined.positions,
+            config.fine.window_half_slots,
+            config.fine.window_step_um,
+        );
+        let mut final_lib = self
+            .synthesized_library(&rounded, grid, config.fine.enrich_steps, false)
+            .expect("enriched widths are positive");
+        let mut solution = solve_min_power(net, device, &final_lib, &cands, target_fs);
+        if matches!(solution, Err(DpError::InfeasibleTarget { .. })) {
+            // Infeasible after rounding: only *wider* fallbacks can help,
+            // so the retry enriches upward only (keeps the library small -
+            // the fine DP's cost is sensitive to |B| at tight targets).
+            final_lib = self
+                .synthesized_library(&rounded, grid, config.fine.enrich_steps.max(1) * 3, true)
+                .expect("positive widths");
+            solution = solve_min_power(net, device, &final_lib, &cands, target_fs);
+        }
+        match solution {
+            Ok(sol) => Ok((sol, (*final_lib).clone(), cands.len())),
+            Err(DpError::InfeasibleTarget { achievable_fs, .. }) => Err(achievable_fs),
+            Err(e) => unreachable!("windowed candidates and targets are pre-validated: {e}"),
+        }
+    }
+
+    /// Resolves a [`BatchTarget`] for net `index`.
+    fn resolve_target(&self, net: &TwoPinNet, target: &BatchTarget, index: usize) -> f64 {
+        match target {
+            BatchTarget::AbsoluteFs(fs) => *fs,
+            BatchTarget::TauMinMultiple(mult) => mult * self.tau_min(net),
+            BatchTarget::PerNetFs(all) => all[index],
+        }
+    }
+
+    /// Solves a batch of nets in parallel over the available cores.
+    ///
+    /// The output is input-ordered and deterministic: entry `i` is
+    /// exactly what `self.solve(&nets[i], target_i)` returns, regardless
+    /// of thread interleaving (the caches only memoize values the
+    /// pipeline would recompute identically).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`BatchTarget::PerNetFs`] list length differs from
+    /// `nets.len()`.
+    pub fn solve_batch(
+        &self,
+        nets: &[TwoPinNet],
+        target: &BatchTarget,
+    ) -> Vec<Result<RipOutcome, RipError>> {
+        if let BatchTarget::PerNetFs(all) = target {
+            assert_eq!(all.len(), nets.len(), "one target per net");
+        }
+        par_map(nets, |i, net| {
+            let target_fs = self.resolve_target(net, target, i);
+            self.solve(net, target_fs)
+        })
+    }
+
+    // ---- baseline + comparison ------------------------------------------
+
+    /// Runs the Lillis-style baseline DP through the session's grid
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DpError::InfeasibleTarget`] — the paper's `V_DP`
+    /// timing-violation event.
+    pub fn baseline(
+        &self,
+        net: &TwoPinNet,
+        config: &BaselineConfig,
+        target_fs: f64,
+    ) -> Result<DpSolution, DpError> {
+        let cands = self.grid(net, config.candidate_step_um);
+        solve_min_power(net, self.tech.device(), &config.library, &cands, target_fs)
+    }
+
+    /// RIP vs baseline over a batch, in parallel: per-net
+    /// `(baseline width, RIP width)` rows plus the paper's Table 1 summary
+    /// metrics. A baseline timing violation becomes a `None` row entry
+    /// (counted in [`SavingsSummary::baseline_violations`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when RIP itself fails on any net, or when the baseline
+    /// reports anything other than an infeasible target.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`BatchTarget::PerNetFs`] list length differs from
+    /// `nets.len()`.
+    #[allow(clippy::type_complexity)]
+    pub fn compare_batch(
+        &self,
+        nets: &[TwoPinNet],
+        target: &BatchTarget,
+        baseline: &BaselineConfig,
+    ) -> Result<(Vec<(Option<f64>, f64)>, SavingsSummary), RipError> {
+        if let BatchTarget::PerNetFs(all) = target {
+            assert_eq!(all.len(), nets.len(), "one target per net");
+        }
+        let rows: Vec<Result<(Option<f64>, f64), RipError>> = par_map(nets, |i, net| {
+            let target_fs = self.resolve_target(net, target, i);
+            let rip_width = self.solve(net, target_fs)?.solution.total_width;
+            let base = match self.baseline(net, baseline, target_fs) {
+                Ok(sol) => Some(sol.total_width),
+                Err(DpError::InfeasibleTarget { .. }) => None,
+                Err(e) => return Err(e.into()),
+            };
+            Ok((base, rip_width))
+        });
+        let rows: Vec<(Option<f64>, f64)> = rows.into_iter().collect::<Result<_, _>>()?;
+        let summary = summarize_savings(&rows);
+        Ok((rows, summary))
+    }
+
+    // ---- tree solving ----------------------------------------------------
+
+    /// Runs the hybrid RIP pipeline on an RC tree through the session's
+    /// library cache. Semantics are identical to
+    /// [`tree_rip`](crate::tree_rip); the chain knobs are taken from
+    /// `config.base` (not the engine's chain configuration, which governs
+    /// two-pin solves only).
+    ///
+    /// # Errors
+    ///
+    /// * [`RipError::Infeasible`] when even min-delay buffering over the
+    ///   coarse sites cannot meet the target;
+    /// * other [`RipError`] variants for invalid inputs.
+    pub fn solve_tree(
+        &self,
+        tree: &rip_delay::RcTree,
+        driver_width: f64,
+        target_fs: f64,
+        config: &TreeRipConfig,
+    ) -> Result<TreeRipOutcome, RipError> {
+        use rip_dp::{tree_min_delay, tree_min_power};
+
+        let device = self.tech.device();
+        let mut runtime = RipRuntime::default();
+
+        // ---- Stage 1: coarse tree DP.
+        let t0 = Instant::now();
+        let (coarse_tree, _) = tree.subdivided(config.coarse_step_um);
+        let coarse = match tree_min_power(
+            &coarse_tree,
+            device,
+            driver_width,
+            &config.base.coarse.library,
+            None,
+            target_fs,
+        ) {
+            Ok(sol) => sol,
+            Err(DpError::InfeasibleTarget { .. }) => {
+                // Seed from the fastest coarse buffering, as on chains.
+                let fastest = tree_min_delay(
+                    &coarse_tree,
+                    device,
+                    driver_width,
+                    &config.base.coarse.library,
+                    None,
+                )?;
+                if fastest.delay_fs > target_fs {
+                    return Err(RipError::Infeasible {
+                        target_fs,
+                        achievable_fs: fastest.delay_fs,
+                    });
+                }
+                fastest
+            }
+            Err(e) => return Err(e.into()),
+        };
+        runtime.coarse = t0.elapsed();
+
+        // ---- Stage 2: continuous width trim at the chosen sites.
+        let t1 = Instant::now();
+        let trim: TreeTrimOutcome = match trim_tree_widths(
+            &coarse_tree,
+            device,
+            driver_width,
+            &coarse.buffer_widths,
+            target_fs,
+            &config.trim,
+        ) {
+            Ok(out) => out,
+            Err(RefineError::InfeasibleTarget { achievable_fs, .. }) => {
+                return Err(RipError::Infeasible {
+                    target_fs,
+                    achievable_fs,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        runtime.refine = t1.elapsed();
+
+        // Degenerate loose case: no buffers at all.
+        let trimmed_widths: Vec<f64> = trim.buffer_widths.iter().flatten().copied().collect();
+        let t2 = Instant::now();
+        if trimmed_widths.is_empty() {
+            let (fine_tree, _) = tree.subdivided(config.fine_step_um);
+            let unbuffered = tree_min_power(
+                &fine_tree,
+                device,
+                driver_width,
+                &config.base.coarse.library,
+                Some(&vec![false; fine_tree.len()]),
+                target_fs,
+            )?;
+            runtime.fine = t2.elapsed();
+            return Ok(TreeRipOutcome {
+                solution: unbuffered,
+                fine_tree,
+                coarse_width: coarse.total_width,
+                trimmed_width: 0.0,
+                library: config.base.coarse.library.clone(),
+                candidate_count: 0,
+                runtime,
+            });
+        }
+
+        // ---- Stage 3: synthesized library + windowed fine sites.
+        let grid = config.base.fine.width_grid_u;
+        let rounded = RepeaterLibrary::from_refined_widths(trimmed_widths.iter().copied(), grid)?;
+
+        // Buffer positions measured as coarse-tree root distances; fine
+        // sites within the window of any buffer (path distance via
+        // root-distance frame of the *original* tree is approximated on
+        // the fine tree, which shares its geometry).
+        let window_um = config.base.fine.window_half_slots as f64 * config.base.fine.window_step_um;
+        let (fine_tree, _) = tree.subdivided(config.fine_step_um);
+        let buffer_sites: Vec<usize> = (0..coarse_tree.len())
+            .filter(|&v| trim.buffer_widths[v].is_some())
+            .collect();
+        let mut allowed = vec![false; fine_tree.len()];
+        let mut candidate_count = 0usize;
+        // Both subdivisions preserve geometry, so match sites by root
+        // distance + subtree identity via nearest fine node on the same
+        // monotone path. A conservative and simple criterion that works
+        // for the common case: allow fine nodes whose root distance is
+        // within the window of some chosen buffer's root distance.
+        // (Branches at equal depth admit a few extra candidates; the DP
+        // simply ignores unhelpful ones.)
+        let buffer_dists: Vec<f64> = buffer_sites
+            .iter()
+            .map(|&v| coarse_tree.root_distance(v))
+            .collect();
+        for (v, slot) in allowed.iter_mut().enumerate().skip(1) {
+            let d = fine_tree.root_distance(v);
+            if buffer_dists.iter().any(|&bd| (d - bd).abs() <= window_um) {
+                *slot = true;
+                candidate_count += 1;
+            }
+        }
+
+        // ---- Stage 4: fine tree DP with enrichment retry.
+        let mut library =
+            self.synthesized_library(&rounded, grid, config.base.fine.enrich_steps, false)?;
+        let mut solution = tree_min_power(
+            &fine_tree,
+            device,
+            driver_width,
+            &library,
+            Some(&allowed),
+            target_fs,
+        );
+        if matches!(solution, Err(DpError::InfeasibleTarget { .. })) {
+            library = self.synthesized_library(
+                &rounded,
+                grid,
+                config.base.fine.enrich_steps.max(1) * 3,
+                false,
+            )?;
+            solution = tree_min_power(
+                &fine_tree,
+                device,
+                driver_width,
+                &library,
+                Some(&allowed),
+                target_fs,
+            );
+        }
+        runtime.fine = t2.elapsed();
+
+        let solution = match solution {
+            Ok(sol) => sol,
+            Err(DpError::InfeasibleTarget { achievable_fs, .. }) => {
+                return Err(RipError::Infeasible {
+                    target_fs,
+                    achievable_fs,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        Ok(TreeRipOutcome {
+            solution,
+            fine_tree,
+            coarse_width: coarse.total_width,
+            trimmed_width: trim.total_width,
+            library: (*library).clone(),
+            candidate_count,
+            runtime,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_net::{NetGenerator, RandomNetConfig};
+
+    fn engine() -> Engine {
+        Engine::paper(Technology::generic_180nm())
+    }
+
+    fn nets(seed: u64, count: usize) -> Vec<TwoPinNet> {
+        NetGenerator::suite(RandomNetConfig::default(), seed, count).unwrap()
+    }
+
+    #[test]
+    fn engine_solve_matches_free_function() {
+        let engine = engine();
+        let nets = nets(11, 3);
+        for net in &nets {
+            let target = engine.tau_min(net) * 1.4;
+            let from_engine = engine.solve(net, target).unwrap();
+            let from_free = crate::rip(net, engine.technology(), target, engine.config()).unwrap();
+            assert_eq!(from_engine.solution, from_free.solution);
+            assert_eq!(from_engine.coarse, from_free.coarse);
+            assert_eq!(from_engine.library, from_free.library);
+            assert_eq!(from_engine.candidate_count, from_free.candidate_count);
+        }
+    }
+
+    #[test]
+    fn batch_is_input_ordered_and_deterministic() {
+        let engine = engine();
+        let nets = nets(23, 6);
+        let a = engine.solve_batch(&nets, &BatchTarget::TauMinMultiple(1.35));
+        let b = engine.solve_batch(&nets, &BatchTarget::TauMinMultiple(1.35));
+        assert_eq!(a.len(), nets.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_ref().unwrap().solution, y.as_ref().unwrap().solution);
+        }
+    }
+
+    #[test]
+    fn second_identical_batch_hits_the_cache() {
+        let engine = engine();
+        let nets = nets(5, 4);
+        let _ = engine.solve_batch(&nets, &BatchTarget::TauMinMultiple(1.4));
+        let first = engine.stats();
+        assert!(first.misses() > 0);
+        let _ = engine.solve_batch(&nets, &BatchTarget::TauMinMultiple(1.4));
+        let second = engine.stats();
+        assert_eq!(
+            second.misses(),
+            first.misses(),
+            "a second identical batch must not recompute anything"
+        );
+        assert!(second.hits() > first.hits());
+        assert_eq!(second.nets_solved, 2 * nets.len() as u64);
+    }
+
+    #[test]
+    fn per_net_targets_are_respected() {
+        let engine = engine();
+        let nets = nets(31, 2);
+        let targets: Vec<f64> = nets.iter().map(|n| engine.tau_min(n) * 1.5).collect();
+        let outs = engine.solve_batch(&nets, &BatchTarget::PerNetFs(targets.clone()));
+        for (out, &t) in outs.iter().zip(&targets) {
+            assert!(out.as_ref().unwrap().solution.meets(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per net")]
+    fn per_net_target_length_mismatch_panics() {
+        let engine = engine();
+        let nets = nets(1, 2);
+        let _ = engine.solve_batch(&nets, &BatchTarget::PerNetFs(vec![1.0e6]));
+    }
+
+    #[test]
+    fn infeasible_nets_error_without_poisoning_the_batch() {
+        let engine = engine();
+        let nets = nets(3, 3);
+        // Net 1 gets an impossible absolute target; the others are fine.
+        let targets = vec![
+            engine.tau_min(&nets[0]) * 1.4,
+            1.0,
+            engine.tau_min(&nets[2]) * 1.4,
+        ];
+        let outs = engine.solve_batch(&nets, &BatchTarget::PerNetFs(targets));
+        assert!(outs[0].is_ok());
+        assert!(matches!(outs[1], Err(RipError::Infeasible { .. })));
+        assert!(outs[2].is_ok());
+    }
+
+    #[test]
+    fn compare_batch_summarizes_savings() {
+        let engine = engine();
+        let nets = nets(2005, 3);
+        let (rows, summary) = engine
+            .compare_batch(
+                &nets,
+                &BatchTarget::TauMinMultiple(1.5),
+                &BaselineConfig::paper_table1(20.0),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), nets.len());
+        assert_eq!(summary.compared + summary.baseline_violations, nets.len());
+    }
+
+    #[test]
+    fn config_hash_distinguishes_configurations() {
+        let a = Engine::paper(Technology::generic_180nm());
+        let mut config = RipConfig::paper();
+        config.fine.window_half_slots = 7;
+        let b = Engine::new(Technology::generic_180nm(), config);
+        assert_ne!(a.config_hash(), b.config_hash());
+        let c = Engine::paper(Technology::generic_180nm());
+        assert_eq!(a.config_hash(), c.config_hash());
+    }
+
+    #[test]
+    fn engine_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<EngineStats>();
+        assert_send_sync::<BatchTarget>();
+    }
+}

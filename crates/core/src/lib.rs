@@ -48,6 +48,15 @@
 //! # }
 //! ```
 //!
+//! # Batch solving
+//!
+//! [`rip`] is a one-shot convenience. Anything that solves more than one
+//! net — target sweeps, experiment grids, serving workloads — should hold
+//! an [`Engine`] session instead: it caches per-technology precomputation
+//! (candidate grids, `τ_min`, synthesized fine libraries) across calls
+//! and runs batches in parallel over all cores with deterministic,
+//! input-ordered results ([`Engine::solve_batch`]).
+//!
 //! The re-exported substrate crates ([`rip_tech`], [`rip_net`],
 //! [`rip_delay`], [`rip_dp`], [`rip_refine`]) are available under
 //! [`prelude`] for one-line imports.
@@ -59,6 +68,7 @@
 mod baseline;
 mod compare;
 mod config;
+mod engine;
 mod error;
 mod pipeline;
 mod tmin;
@@ -67,6 +77,7 @@ mod tree_pipeline;
 pub use baseline::{baseline_dp, BaselineConfig};
 pub use compare::{power_saving_percent, summarize_savings, SavingsSummary};
 pub use config::{CoarseDpConfig, FineDpConfig, RipConfig};
+pub use engine::{BatchTarget, Engine, EngineStats};
 pub use error::RipError;
 pub use pipeline::{rip, RipOutcome, RipRuntime};
 pub use tmin::{tau_min, tau_min_paper};
@@ -82,12 +93,14 @@ pub use tree_pipeline::{tree_rip, TreeRipConfig, TreeRipOutcome};
 /// ```
 pub mod prelude {
     pub use crate::{
-        baseline_dp, power_saving_percent, rip, tau_min, tau_min_paper, tree_rip,
-        BaselineConfig, RipConfig, RipError, RipOutcome, TreeRipConfig,
+        baseline_dp, power_saving_percent, rip, tau_min, tau_min_paper, tree_rip, BaselineConfig,
+        BatchTarget, Engine, EngineStats, RipConfig, RipError, RipOutcome, TreeRipConfig,
     };
     pub use rip_delay::{evaluate, Repeater, RepeaterAssignment};
     pub use rip_dp::{solve_min_delay, solve_min_power, CandidateSet, DpSolution};
-    pub use rip_net::{ForbiddenZone, NetBuilder, NetGenerator, RandomNetConfig, Segment, TwoPinNet};
+    pub use rip_net::{
+        ForbiddenZone, NetBuilder, NetGenerator, RandomNetConfig, Segment, TwoPinNet,
+    };
     pub use rip_refine::{refine, RefineConfig, RefineOutcome};
     pub use rip_tech::{RepeaterLibrary, Technology};
 }

@@ -10,14 +10,20 @@
 //! 4. **Fine DP** — power DP over `(B, S)`: a few widths × a few dozen
 //!    positions, so it runs fast regardless of how fine the underlying
 //!    width/location grids are.
+//!
+//! The implementation lives in [`crate::Engine`]; the [`rip`] free
+//! function here is a one-shot convenience wrapper over a fresh engine.
+//! Multi-net workloads should construct an [`crate::Engine`] directly to
+//! reuse its session caches.
 
 use crate::config::RipConfig;
+use crate::engine::Engine;
 use crate::error::RipError;
-use rip_dp::{solve_min_delay, solve_min_power, CandidateSet, DpError, DpSolution};
+use rip_dp::DpSolution;
 use rip_net::TwoPinNet;
-use rip_refine::{refine, RefineError, RefineOutcome};
+use rip_refine::RefineOutcome;
 use rip_tech::{RepeaterLibrary, Technology};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Wall-clock runtimes of the RIP stages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,204 +109,7 @@ pub fn rip(
     target_fs: f64,
     config: &RipConfig,
 ) -> Result<RipOutcome, RipError> {
-    let device = tech.device();
-    let mut runtime = RipRuntime::default();
-
-    // ---- Stage 1: coarse DP (Fig. 6, Line 1).
-    let t0 = Instant::now();
-    let coarse_cands = CandidateSet::uniform(net, config.coarse.candidate_step_um);
-    let coarse = match solve_min_power(
-        net,
-        device,
-        &config.coarse.library,
-        &coarse_cands,
-        target_fs,
-    ) {
-        Ok(sol) => sol,
-        // Coarse library can't meet the target: seed REFINE from the
-        // fastest coarse placement instead.
-        Err(DpError::InfeasibleTarget { .. }) => {
-            solve_min_delay(net, device, &config.coarse.library, &coarse_cands)
-        }
-        Err(e) => return Err(e.into()),
-    };
-    runtime.coarse = t0.elapsed();
-
-    // ---- Stage 2: REFINE (Fig. 6, Line 2).
-    let t1 = Instant::now();
-    let refined = match refine(
-        net,
-        device,
-        &coarse.assignment.positions(),
-        target_fs,
-        &config.refine,
-    ) {
-        Ok(out) => out,
-        Err(RefineError::InfeasibleTarget { achievable_fs, .. }) => {
-            return Err(RipError::Infeasible { target_fs, achievable_fs });
-        }
-        Err(e) => return Err(e.into()),
-    };
-    runtime.refine = t1.elapsed();
-
-    // Degenerate loose-target case: no repeaters needed at all.
-    if refined.positions.is_empty() {
-        let t2 = Instant::now();
-        let empty_cands = CandidateSet::from_positions(net, vec![])?;
-        let solution =
-            solve_min_power(net, device, &config.coarse.library, &empty_cands, target_fs)?;
-        runtime.fine = t2.elapsed();
-        return Ok(RipOutcome {
-            solution,
-            coarse,
-            refined: Some(refined),
-            library: None,
-            candidate_count: 0,
-            runtime,
-        });
-    }
-
-    // ---- Stages 3-4 on the n-repeater branch.
-    let t2 = Instant::now();
-    let mut best = finish_from_refined(net, device, &refined, target_fs, config);
-
-    // Extension (`FineDpConfig::try_fewer_repeaters`): REFINE cannot
-    // change the repeater *count* it inherited from the coarse DP, and a
-    // coarse library whose minimum width exceeds the loose-target optimum
-    // systematically over-counts. Re-refine with one repeater dropped
-    // (each of the up-to-3 narrowest tried — removal can strand the
-    // survivors behind a forbidden zone, so a single heuristic pick is
-    // not enough) and keep whichever branch the fine DP likes better.
-    // Over-counting only happens in the small-repeater regime: when the
-    // refined widths sit well above the coarse library's minimum, the
-    // count was not forced by the library floor and dropping can only
-    // lose. The gate keeps tight-target runs (big widths, big DP
-    // frontiers) free of pointless extra branches.
-    let mean_refined_width = refined.total_width / refined.widths.len().max(1) as f64;
-    let small_width_regime =
-        mean_refined_width < 1.5 * config.coarse.library.min_width();
-    if config.fine.try_fewer_repeaters
-        && refined.positions.len() >= 2
-        && small_width_regime
-    {
-        let mut by_width: Vec<usize> = (0..refined.widths.len()).collect();
-        by_width.sort_by(|&a, &b| {
-            refined.widths[a]
-                .partial_cmp(&refined.widths[b])
-                .expect("finite widths")
-        });
-        for &drop in by_width.iter().take(3) {
-            let mut fewer_positions = refined.positions.clone();
-            fewer_positions.remove(drop);
-            let Ok(fewer) = refine(net, device, &fewer_positions, target_fs, &config.refine)
-            else {
-                continue;
-            };
-            // The continuous width lower-bounds this branch's discrete
-            // outcome (modulo one grid step); skip branches that cannot
-            // beat the incumbent.
-            if let Ok((incumbent, _, _)) = &best {
-                if fewer.total_width
-                    >= incumbent.total_width + config.fine.width_grid_u
-                {
-                    continue;
-                }
-            }
-            let alt = finish_from_refined(net, device, &fewer, target_fs, config);
-            let better = match (&best, &alt) {
-                (Ok(b), Ok(a)) => a.0.total_width < b.0.total_width,
-                (Err(_), Ok(_)) => true,
-                _ => false,
-            };
-            if better {
-                best = alt;
-            }
-        }
-    }
-    runtime.fine = t2.elapsed();
-
-    let (solution, final_lib, candidate_count) = match best {
-        Ok(parts) => parts,
-        Err(achievable_fs) => {
-            // Final fallback: the coarse solution, if it met the target.
-            if coarse.meets(target_fs) {
-                (coarse.clone(), config.coarse.library.clone(), 0)
-            } else {
-                return Err(RipError::Infeasible {
-                    target_fs,
-                    achievable_fs: achievable_fs.min(coarse.delay_fs),
-                });
-            }
-        }
-    };
-
-    Ok(RipOutcome {
-        solution,
-        coarse,
-        refined: Some(refined),
-        library: Some(final_lib),
-        candidate_count,
-        runtime,
-    })
-}
-
-/// Stages 3-4 for one refined branch: synthesize the design-specific
-/// library `B` (rounded + neighbouring grid steps — see
-/// [`crate::FineDpConfig::enrich_steps`]) and candidate set `S`, then run
-/// the fine DP with an infeasibility retry on a further-enriched library.
-///
-/// Returns the minimum achievable delay on failure so the caller can
-/// report how far off the target was.
-fn finish_from_refined(
-    net: &TwoPinNet,
-    device: &rip_tech::RepeaterDevice,
-    refined: &RefineOutcome,
-    target_fs: f64,
-    config: &RipConfig,
-) -> Result<(DpSolution, RepeaterLibrary, usize), f64> {
-    let grid = config.fine.width_grid_u;
-    let rounded = RepeaterLibrary::from_refined_widths(refined.widths.iter().copied(), grid)
-        .expect("refined widths are positive");
-    let enriched = |steps: usize| -> RepeaterLibrary {
-        let mut widths: Vec<f64> = Vec::new();
-        for &w in rounded.widths() {
-            widths.push(w);
-            for k in 1..=steps {
-                widths.push(w + grid * k as f64);
-                let below = w - grid * k as f64;
-                if below >= grid - 1e-9 {
-                    widths.push(below);
-                }
-            }
-        }
-        RepeaterLibrary::from_widths(widths).expect("enriched widths are positive")
-    };
-    let cands = CandidateSet::windows(
-        net,
-        &refined.positions,
-        config.fine.window_half_slots,
-        config.fine.window_step_um,
-    );
-    let mut final_lib = enriched(config.fine.enrich_steps);
-    let mut solution = solve_min_power(net, device, &final_lib, &cands, target_fs);
-    if matches!(solution, Err(DpError::InfeasibleTarget { .. })) {
-        // Infeasible after rounding: only *wider* fallbacks can help, so
-        // the retry enriches upward only (keeps the library small - the
-        // fine DP's cost is sensitive to |B| at tight targets).
-        let mut widths: Vec<f64> = rounded.widths().to_vec();
-        for &w in rounded.widths() {
-            for k in 1..=(config.fine.enrich_steps.max(1) * 3) {
-                widths.push(w + grid * k as f64);
-            }
-        }
-        final_lib = RepeaterLibrary::from_widths(widths).expect("positive widths");
-        solution = solve_min_power(net, device, &final_lib, &cands, target_fs);
-    }
-    match solution {
-        Ok(sol) => Ok((sol, final_lib, cands.len())),
-        Err(DpError::InfeasibleTarget { achievable_fs, .. }) => Err(achievable_fs),
-        Err(e) => unreachable!("windowed candidates and targets are pre-validated: {e}"),
-    }
+    Engine::new(tech.clone(), config.clone()).solve(net, target_fs)
 }
 
 #[cfg(test)]
@@ -354,7 +163,10 @@ mod tests {
         // neighbours - still far smaller than a full-range sweep library.
         assert!(lib.len() <= 20, "library of {} widths", lib.len());
         for &w in lib.widths() {
-            assert!((w / 10.0 - (w / 10.0).round()).abs() < 1e-9, "width {w} off-grid");
+            assert!(
+                (w / 10.0 - (w / 10.0).round()).abs() < 1e-9,
+                "width {w} off-grid"
+            );
         }
     }
 
@@ -385,8 +197,7 @@ mod tests {
             .build()
             .unwrap();
         let unbuffered =
-            evaluate(&net, tech.device(), &rip_delay::RepeaterAssignment::empty())
-                .total_delay;
+            evaluate(&net, tech.device(), &rip_delay::RepeaterAssignment::empty()).total_delay;
         let out = rip(&net, &tech, unbuffered * 3.0, &RipConfig::paper()).unwrap();
         assert!(out.solution.assignment.is_empty());
         assert_eq!(out.solution.total_width, 0.0);

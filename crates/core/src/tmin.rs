@@ -26,8 +26,8 @@ pub fn tau_min(
 /// `τ_min` under the paper's experimental setup: width range (10u, 400u)
 /// at 10u granularity, 200 µm candidate grid.
 pub fn tau_min_paper(net: &TwoPinNet, device: &RepeaterDevice) -> f64 {
-    let library = RepeaterLibrary::range_step(10.0, 400.0, 10.0)
-        .expect("paper library constants are valid");
+    let library =
+        RepeaterLibrary::range_step(10.0, 400.0, 10.0).expect("paper library constants are valid");
     tau_min(net, device, &library, 200.0)
 }
 
@@ -51,8 +51,7 @@ mod tests {
         let tech = Technology::generic_180nm();
         let net = net();
         let tmin = tau_min_paper(&net, tech.device());
-        let unbuffered =
-            evaluate(&net, tech.device(), &RepeaterAssignment::empty()).total_delay;
+        let unbuffered = evaluate(&net, tech.device(), &RepeaterAssignment::empty()).total_delay;
         assert!(tmin < unbuffered);
         assert!(tmin > 0.0);
     }

@@ -15,14 +15,18 @@
 //!    tiny library `B`; candidate sites restricted to fine-subdivision
 //!    nodes within a path-distance window of the chosen buffers;
 //! 4. **Fine tree DP** over `(B, windowed sites)`.
+//!
+//! The implementation lives in [`crate::Engine::solve_tree`]; the
+//! [`tree_rip`] free function here is a one-shot convenience wrapper over
+//! a fresh engine.
 
 use crate::config::RipConfig;
+use crate::engine::Engine;
 use crate::error::RipError;
 use rip_delay::RcTree;
-use rip_dp::{tree_min_delay, tree_min_power, DpError, TreeSolution};
-use rip_refine::{trim_tree_widths, RefineError, TreeTrimConfig, TreeTrimOutcome};
+use rip_dp::TreeSolution;
+use rip_refine::TreeTrimConfig;
 use rip_tech::{RepeaterLibrary, Technology};
-use std::time::Instant;
 
 use crate::pipeline::RipRuntime;
 
@@ -123,177 +127,13 @@ pub fn tree_rip(
     target_fs: f64,
     config: &TreeRipConfig,
 ) -> Result<TreeRipOutcome, RipError> {
-    let device = tech.device();
-    let mut runtime = RipRuntime::default();
-
-    // ---- Stage 1: coarse tree DP.
-    let t0 = Instant::now();
-    let (coarse_tree, _) = tree.subdivided(config.coarse_step_um);
-    let coarse = match tree_min_power(
-        &coarse_tree,
-        device,
-        driver_width,
-        &config.base.coarse.library,
-        None,
-        target_fs,
-    ) {
-        Ok(sol) => sol,
-        Err(DpError::InfeasibleTarget { .. }) => {
-            // Seed from the fastest coarse buffering, as on chains.
-            let fastest = tree_min_delay(
-                &coarse_tree,
-                device,
-                driver_width,
-                &config.base.coarse.library,
-                None,
-            )?;
-            if fastest.delay_fs > target_fs {
-                return Err(RipError::Infeasible {
-                    target_fs,
-                    achievable_fs: fastest.delay_fs,
-                });
-            }
-            fastest
-        }
-        Err(e) => return Err(e.into()),
-    };
-    runtime.coarse = t0.elapsed();
-
-    // ---- Stage 2: continuous width trim at the chosen sites.
-    let t1 = Instant::now();
-    let trim: TreeTrimOutcome = match trim_tree_widths(
-        &coarse_tree,
-        device,
-        driver_width,
-        &coarse.buffer_widths,
-        target_fs,
-        &config.trim,
-    ) {
-        Ok(out) => out,
-        Err(RefineError::InfeasibleTarget { achievable_fs, .. }) => {
-            return Err(RipError::Infeasible { target_fs, achievable_fs });
-        }
-        Err(e) => return Err(e.into()),
-    };
-    runtime.refine = t1.elapsed();
-
-    // Degenerate loose case: no buffers at all.
-    let trimmed_widths: Vec<f64> =
-        trim.buffer_widths.iter().flatten().copied().collect();
-    let t2 = Instant::now();
-    if trimmed_widths.is_empty() {
-        let (fine_tree, _) = tree.subdivided(config.fine_step_um);
-        let unbuffered = tree_min_power(
-            &fine_tree,
-            device,
-            driver_width,
-            &config.base.coarse.library,
-            Some(&vec![false; fine_tree.len()]),
-            target_fs,
-        )?;
-        runtime.fine = t2.elapsed();
-        return Ok(TreeRipOutcome {
-            solution: unbuffered,
-            fine_tree,
-            coarse_width: coarse.total_width,
-            trimmed_width: 0.0,
-            library: config.base.coarse.library.clone(),
-            candidate_count: 0,
-            runtime,
-        });
-    }
-
-    // ---- Stage 3: synthesized library + windowed fine sites.
-    let grid = config.base.fine.width_grid_u;
-    let rounded = RepeaterLibrary::from_refined_widths(trimmed_widths.iter().copied(), grid)?;
-    let enriched = |steps: usize| -> Result<RepeaterLibrary, RipError> {
-        let mut widths = Vec::new();
-        for &w in rounded.widths() {
-            widths.push(w);
-            for k in 1..=steps {
-                widths.push(w + grid * k as f64);
-                let below = w - grid * k as f64;
-                if below >= grid - 1e-9 {
-                    widths.push(below);
-                }
-            }
-        }
-        Ok(RepeaterLibrary::from_widths(widths)?)
-    };
-
-    // Buffer positions measured as coarse-tree root distances; fine sites
-    // within the window of any buffer (path distance via root-distance
-    // frame of the *original* tree is approximated on the fine tree,
-    // which shares its geometry).
-    let window_um = config.base.fine.window_half_slots as f64 * config.base.fine.window_step_um;
-    let (fine_tree, _) = tree.subdivided(config.fine_step_um);
-    let buffer_sites: Vec<usize> = (0..coarse_tree.len())
-        .filter(|&v| trim.buffer_widths[v].is_some())
-        .collect();
-    let mut allowed = vec![false; fine_tree.len()];
-    let mut candidate_count = 0usize;
-    // Both subdivisions preserve geometry, so match sites by root
-    // distance + subtree identity via nearest fine node on the same
-    // monotone path. A conservative and simple criterion that works for
-    // the common case: allow fine nodes whose root distance is within the
-    // window of some chosen buffer's root distance. (Branches at equal
-    // depth admit a few extra candidates; the DP simply ignores unhelpful
-    // ones.)
-    let buffer_dists: Vec<f64> =
-        buffer_sites.iter().map(|&v| coarse_tree.root_distance(v)).collect();
-    for v in 1..fine_tree.len() {
-        let d = fine_tree.root_distance(v);
-        if buffer_dists.iter().any(|&bd| (d - bd).abs() <= window_um) {
-            allowed[v] = true;
-            candidate_count += 1;
-        }
-    }
-
-    // ---- Stage 4: fine tree DP with enrichment retry.
-    let mut library = enriched(config.base.fine.enrich_steps)?;
-    let mut solution = tree_min_power(
-        &fine_tree,
-        device,
-        driver_width,
-        &library,
-        Some(&allowed),
-        target_fs,
-    );
-    if matches!(solution, Err(DpError::InfeasibleTarget { .. })) {
-        library = enriched(config.base.fine.enrich_steps.max(1) * 3)?;
-        solution = tree_min_power(
-            &fine_tree,
-            device,
-            driver_width,
-            &library,
-            Some(&allowed),
-            target_fs,
-        );
-    }
-    runtime.fine = t2.elapsed();
-
-    let solution = match solution {
-        Ok(sol) => sol,
-        Err(DpError::InfeasibleTarget { achievable_fs, .. }) => {
-            return Err(RipError::Infeasible { target_fs, achievable_fs });
-        }
-        Err(e) => return Err(e.into()),
-    };
-
-    Ok(TreeRipOutcome {
-        solution,
-        fine_tree,
-        coarse_width: coarse.total_width,
-        trimmed_width: trim.total_width,
-        library,
-        candidate_count,
-        runtime,
-    })
+    Engine::new(tech.clone(), config.base.clone()).solve_tree(tree, driver_width, target_fs, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rip_dp::{tree_min_delay, tree_min_power};
 
     fn tech() -> Technology {
         Technology::generic_180nm()
@@ -331,11 +171,9 @@ mod tests {
         let out = tree_rip(&tree, &tech, 120.0, target, &TreeRipConfig::paper()).unwrap();
         assert!(out.solution.delay_fs <= target * (1.0 + 1e-9));
         // Independent re-evaluation on the fine tree.
-        let timing = out.fine_tree.evaluate_buffered(
-            tech.device(),
-            120.0,
-            &out.solution.buffer_widths,
-        );
+        let timing =
+            out.fine_tree
+                .evaluate_buffered(tech.device(), 120.0, &out.solution.buffer_widths);
         assert!((timing.max_sink_delay - out.solution.delay_fs).abs() < 1e-6);
         assert!(out.candidate_count > 0);
     }
@@ -346,8 +184,7 @@ mod tests {
         let tree = routed_tree(&tech);
         let tmin = tree_tau_min(&tree, &tech);
         for mult in [1.2, 1.6, 2.0] {
-            let out =
-                tree_rip(&tree, &tech, 120.0, tmin * mult, &TreeRipConfig::paper()).unwrap();
+            let out = tree_rip(&tree, &tech, 120.0, tmin * mult, &TreeRipConfig::paper()).unwrap();
             assert!(
                 out.solution.total_width <= out.coarse_width + 1e-9,
                 "mult {mult}: final {} vs coarse {}",
@@ -373,10 +210,12 @@ mod tests {
         let (coarse_sites, _) = tree.subdivided(200.0);
         let full_lib = RepeaterLibrary::range_step(10.0, 400.0, 10.0).unwrap();
         let full =
-            tree_min_power(&coarse_sites, tech.device(), 120.0, &full_lib, None, target)
-                .unwrap();
+            tree_min_power(&coarse_sites, tech.device(), 120.0, &full_lib, None, target).unwrap();
         let gap = (out.solution.total_width - full.total_width) / full.total_width * 100.0;
-        assert!(gap < 10.0, "hybrid is {gap:.1}% worse than the full fine DP");
+        assert!(
+            gap < 10.0,
+            "hybrid is {gap:.1}% worse than the full fine DP"
+        );
     }
 
     #[test]
@@ -397,8 +236,14 @@ mod tests {
         let s = tree.add_line_child(a, 0.08, 0.2, 700.0).unwrap();
         tree.set_sink_cap(s, dev.input_cap(40.0)).unwrap();
         let unbuffered = tree.elmore_delays(dev, 120.0).max_sink_delay;
-        let out =
-            tree_rip(&tree, &tech, 120.0, unbuffered * 2.0, &TreeRipConfig::paper()).unwrap();
+        let out = tree_rip(
+            &tree,
+            &tech,
+            120.0,
+            unbuffered * 2.0,
+            &TreeRipConfig::paper(),
+        )
+        .unwrap();
         assert_eq!(out.solution.total_width, 0.0);
         assert!(out.solution.buffer_widths.iter().all(Option::is_none));
     }

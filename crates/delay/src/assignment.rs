@@ -66,7 +66,10 @@ impl RepeaterAssignment {
     pub fn new(mut repeaters: Vec<Repeater>) -> Result<Self, DelayError> {
         for (i, r) in repeaters.iter().enumerate() {
             if !r.width.is_finite() || r.width <= 0.0 {
-                return Err(DelayError::InvalidWidth { index: i, value: r.width });
+                return Err(DelayError::InvalidWidth {
+                    index: i,
+                    value: r.width,
+                });
             }
             if !r.position.is_finite() {
                 return Err(DelayError::PositionOutOfSpan {
@@ -77,11 +80,15 @@ impl RepeaterAssignment {
             }
         }
         repeaters.sort_by(|a, b| {
-            a.position.partial_cmp(&b.position).expect("finite positions")
+            a.position
+                .partial_cmp(&b.position)
+                .expect("finite positions")
         });
         for pair in repeaters.windows(2) {
             if pair[0].position == pair[1].position {
-                return Err(DelayError::DuplicatePosition { position: pair[0].position });
+                return Err(DelayError::DuplicatePosition {
+                    position: pair[0].position,
+                });
             }
         }
         Ok(Self { repeaters })
@@ -247,7 +254,10 @@ pub fn evaluate(
         stage_delays.push(tau);
         total += tau;
     }
-    NetTiming { total_delay: total, stage_delays }
+    NetTiming {
+        total_delay: total,
+        stage_delays,
+    }
 }
 
 #[cfg(test)]
@@ -304,7 +314,12 @@ mod tests {
         .unwrap();
         let p = net.profile();
         let mut expected = 0.0;
-        let nodes = [(0.0, 120.0), (1500.0, 90.0), (4000.0, 110.0), (4500.0, 60.0)];
+        let nodes = [
+            (0.0, 120.0),
+            (1500.0, 90.0),
+            (4000.0, 110.0),
+            (4500.0, 60.0),
+        ];
         for w in nodes.windows(2) {
             let ((a, wa), (b, wb)) = (w[0], w[1]);
             expected += stage_delay(&d, p.interval(a, b), wa, d.input_cap(wb));
@@ -321,8 +336,7 @@ mod tests {
             .unwrap();
         let d = device();
         let unbuffered = evaluate(&long, &d, &RepeaterAssignment::empty()).total_delay;
-        let asg =
-            RepeaterAssignment::new(vec![Repeater::new(5000.0, 100.0)]).unwrap();
+        let asg = RepeaterAssignment::new(vec![Repeater::new(5000.0, 100.0)]).unwrap();
         let buffered = evaluate(&long, &d, &asg).total_delay;
         assert!(buffered < unbuffered, "{buffered} !< {unbuffered}");
     }
@@ -363,21 +377,16 @@ mod tests {
             Err(DelayError::InvalidWidth { .. })
         ));
         assert!(matches!(
-            RepeaterAssignment::new(vec![
-                Repeater::new(100.0, 10.0),
-                Repeater::new(100.0, 20.0)
-            ]),
+            RepeaterAssignment::new(vec![Repeater::new(100.0, 10.0), Repeater::new(100.0, 20.0)]),
             Err(DelayError::DuplicatePosition { .. })
         ));
     }
 
     #[test]
     fn total_width_and_accessors() {
-        let asg = RepeaterAssignment::new(vec![
-            Repeater::new(200.0, 30.0),
-            Repeater::new(100.0, 20.0),
-        ])
-        .unwrap();
+        let asg =
+            RepeaterAssignment::new(vec![Repeater::new(200.0, 30.0), Repeater::new(100.0, 20.0)])
+                .unwrap();
         assert_eq!(asg.total_width(), 50.0);
         assert_eq!(asg.positions(), vec![100.0, 200.0]);
         assert_eq!(asg.widths(), vec![20.0, 30.0]);

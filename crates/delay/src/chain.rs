@@ -99,11 +99,7 @@ impl<'a> ChainView<'a> {
         })
     }
 
-    fn build_intervals(
-        profile: &RcProfile,
-        positions: &[f64],
-        total: f64,
-    ) -> Vec<IntervalRc> {
+    fn build_intervals(profile: &RcProfile, positions: &[f64], total: f64) -> Vec<IntervalRc> {
         let mut intervals = Vec::with_capacity(positions.len() + 1);
         let mut prev = 0.0;
         for &x in positions {
@@ -266,8 +262,7 @@ impl<'a> ChainView<'a> {
         let w_down = self.downstream_width(widths, j);
         let r_up = self.upstream_wire_resistance(j);
         let c_down = self.downstream_wire_capacitance(j);
-        co * r_side * (w - w_down) + rs * c_side * (1.0 / w_up - 1.0 / w)
-            + c_side * r_up
+        co * r_side * (w - w_down) + rs * c_side * (1.0 / w_up - 1.0 / w) + c_side * r_up
             - r_side * c_down
     }
 
@@ -293,7 +288,11 @@ impl<'a> ChainView<'a> {
             }
         }
         let intervals = Self::build_intervals(self.profile, &positions, total);
-        Ok(Self { positions, intervals, ..*self })
+        Ok(Self {
+            positions,
+            intervals,
+            ..*self
+        })
     }
 }
 
@@ -374,8 +373,7 @@ mod tests {
                 let mut moved = positions.clone();
                 moved[j] += sign * h;
                 let shifted = view.with_positions(moved).unwrap();
-                let numeric =
-                    sign * (shifted.total_delay(&widths) - view.total_delay(&widths)) / h;
+                let numeric = sign * (shifted.total_delay(&widths) - view.total_delay(&widths)) / h;
                 assert!(
                     (analytic - numeric).abs() < 1e-2 * numeric.abs().max(1.0),
                     "j={j} {side:?}: analytic {analytic} vs numeric {numeric}"
@@ -444,8 +442,7 @@ mod tests {
         let view = ChainView::new(&net, tech.device(), vec![2000.0]).unwrap();
         let moved = view.with_positions(vec![3000.0]).unwrap();
         assert!(
-            (moved.upstream_wire_resistance(0)
-                - net.profile().interval(0.0, 3000.0).resistance)
+            (moved.upstream_wire_resistance(0) - net.profile().interval(0.0, 3000.0).resistance)
                 .abs()
                 < 1e-12
         );

@@ -1,6 +1,5 @@
 //! Error types for delay-model computations.
 
-use std::error::Error;
 use std::fmt;
 
 /// Errors produced while constructing or evaluating repeater assignments.
@@ -54,14 +53,24 @@ impl fmt::Display for DelayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DelayError::InvalidWidth { index, value } => {
-                write!(f, "repeater {index} width must be strictly positive, got {value}")
+                write!(
+                    f,
+                    "repeater {index} width must be strictly positive, got {value}"
+                )
             }
-            DelayError::PositionOutOfSpan { index, position, net_length } => write!(
+            DelayError::PositionOutOfSpan {
+                index,
+                position,
+                net_length,
+            } => write!(
                 f,
                 "repeater {index} position {position} lies outside the open span (0, {net_length})"
             ),
             DelayError::PositionInForbiddenZone { index, position } => {
-                write!(f, "repeater {index} position {position} lies inside a forbidden zone")
+                write!(
+                    f,
+                    "repeater {index} position {position} lies inside a forbidden zone"
+                )
             }
             DelayError::DuplicatePosition { position } => {
                 write!(f, "two repeaters share position {position}")
@@ -70,13 +79,16 @@ impl fmt::Display for DelayError {
                 write!(f, "tree node {node} references an invalid parent")
             }
             DelayError::TreeNodeOutOfRange { node, len } => {
-                write!(f, "tree node index {node} out of range for tree of {len} nodes")
+                write!(
+                    f,
+                    "tree node index {node} out of range for tree of {len} nodes"
+                )
             }
         }
     }
 }
 
-impl Error for DelayError {}
+rip_tech::impl_leaf_error!(DelayError);
 
 #[cfg(test)]
 mod tests {

@@ -185,7 +185,11 @@ pub fn compare_delay_models(
         d2m += m.d2m();
         stages.push(m);
     }
-    DelayModelComparison { stages, elmore_fs: elmore, d2m_fs: d2m }
+    DelayModelComparison {
+        stages,
+        elmore_fs: elmore,
+        d2m_fs: d2m,
+    }
 }
 
 #[cfg(test)]
@@ -282,8 +286,7 @@ mod tests {
     fn comparison_total_matches_ground_truth_elmore() {
         let dev = device();
         let net = net();
-        let asg =
-            RepeaterAssignment::new(vec![Repeater::new(3500.0, 120.0)]).unwrap();
+        let asg = RepeaterAssignment::new(vec![Repeater::new(3500.0, 120.0)]).unwrap();
         let cmp = compare_delay_models(&net, &dev, &asg, 16);
         let timing = evaluate(&net, &dev, &asg);
         assert!((cmp.elmore_fs - timing.total_delay).abs() < 1e-6 * timing.total_delay);
@@ -301,15 +304,13 @@ mod tests {
             .segment(Segment::new(12_000.0, 0.08, 0.2))
             .build()
             .unwrap();
-        let wd =
-            compare_delay_models(&wire_dominated, &dev, &RepeaterAssignment::empty(), 128);
+        let wd = compare_delay_models(&wire_dominated, &dev, &RepeaterAssignment::empty(), 128);
         let driver_dominated = NetBuilder::new()
             .segment(Segment::new(500.0, 0.08, 0.2))
             .receiver_width(300.0)
             .build()
             .unwrap();
-        let dd =
-            compare_delay_models(&driver_dominated, &dev, &RepeaterAssignment::empty(), 128);
+        let dd = compare_delay_models(&driver_dominated, &dev, &RepeaterAssignment::empty(), 128);
         let bound = 1.0 - std::f64::consts::LN_2;
         assert!(
             wd.elmore_margin() < dd.elmore_margin(),

@@ -98,7 +98,12 @@ mod tests {
     #[test]
     fn empty_assignment_has_zero_repeater_power() {
         let (net, tech) = setup();
-        let p = assignment_power(&net, tech.device(), tech.power(), &RepeaterAssignment::empty());
+        let p = assignment_power(
+            &net,
+            tech.device(),
+            tech.power(),
+            &RepeaterAssignment::empty(),
+        );
         assert_eq!(p.repeater, 0.0);
         assert!(p.wire > 0.0);
         assert_eq!(p.total(), p.wire);

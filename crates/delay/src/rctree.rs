@@ -109,7 +109,11 @@ impl RcTree {
     ) -> Result<usize, DelayError> {
         self.add_child(
             parent,
-            IntervalRc { resistance: r, capacitance: c, elmore: r * c / 2.0 },
+            IntervalRc {
+                resistance: r,
+                capacitance: c,
+                elmore: r * c / 2.0,
+            },
             0.0,
         )
     }
@@ -133,7 +137,11 @@ impl RcTree {
         let c = c_per_um * length_um;
         let idx = self.add_child(
             parent,
-            IntervalRc { resistance: r, capacitance: c, elmore: r * c / 2.0 },
+            IntervalRc {
+                resistance: r,
+                capacitance: c,
+                elmore: r * c / 2.0,
+            },
             0.0,
         )?;
         self.nodes[idx].length_um = length_um;
@@ -223,7 +231,11 @@ impl RcTree {
             let node = &self.nodes[v];
             let parent_new = map[node.parent.expect("non-root node")];
             let l = node.length_um;
-            let pieces = if l > 0.0 { (l / step_um).ceil().max(1.0) as usize } else { 1 };
+            let pieces = if l > 0.0 {
+                (l / step_um).ceil().max(1.0) as usize
+            } else {
+                1
+            };
             if pieces == 1 {
                 let idx = out
                     .add_child(parent_new, node.wire, node.sink_cap)
@@ -233,13 +245,20 @@ impl RcTree {
                 continue;
             }
             let k = pieces as f64;
-            let (r, c, d) = (node.wire.resistance, node.wire.capacitance, node.wire.elmore);
+            let (r, c, d) = (
+                node.wire.resistance,
+                node.wire.capacitance,
+                node.wire.elmore,
+            );
             // Series composition of k identical pieces (R/k, C/k, d_p):
             //   D = k·d_p + R·C·(k−1)/(2k)  ⇒  d_p below. Uniform edges
             //   (d = R·C/2) give exactly d_p = R·C/(2k²).
             let d_piece = ((d - r * c * (k - 1.0) / (2.0 * k)) / k).max(0.0);
-            let piece =
-                IntervalRc { resistance: r / k, capacitance: c / k, elmore: d_piece };
+            let piece = IntervalRc {
+                resistance: r / k,
+                capacitance: c / k,
+                elmore: d_piece,
+            };
             let mut cursor = parent_new;
             for i in 0..pieces {
                 let sink = if i + 1 == pieces { node.sink_cap } else { 0.0 };
@@ -260,7 +279,10 @@ impl RcTree {
     /// Returns [`DelayError::TreeNodeOutOfRange`] for an invalid node.
     pub fn set_sink_cap(&mut self, node: usize, cap_ff: f64) -> Result<(), DelayError> {
         if node >= self.nodes.len() {
-            return Err(DelayError::TreeNodeOutOfRange { node, len: self.nodes.len() });
+            return Err(DelayError::TreeNodeOutOfRange {
+                node,
+                len: self.nodes.len(),
+            });
         }
         self.nodes[node].sink_cap = cap_ff;
         Ok(())
@@ -301,7 +323,9 @@ impl RcTree {
     /// Indices of all sinks (nodes with positive tap capacitance),
     /// ascending.
     pub fn sinks(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].sink_cap > 0.0).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].sink_cap > 0.0)
+            .collect()
     }
 
     /// Post-order traversal (children before parents). Node indices are
@@ -315,11 +339,7 @@ impl RcTree {
     /// `stage_load[v] = tap(v) + buffer_in(v) + Σ_children (wire_cap + stage_load(child))`,
     /// where a buffered node contributes only its tap plus the buffer's
     /// input capacitance (the subtree beyond belongs to the next stage).
-    fn stage_loads(
-        &self,
-        device: &RepeaterDevice,
-        buffer_widths: &[Option<f64>],
-    ) -> Vec<f64> {
+    fn stage_loads(&self, device: &RepeaterDevice, buffer_widths: &[Option<f64>]) -> Vec<f64> {
         let mut load = vec![0.0_f64; self.nodes.len()];
         for v in self.post_order() {
             let node = &self.nodes[v];
@@ -358,8 +378,15 @@ impl RcTree {
         driver_width: f64,
         buffer_widths: &[Option<f64>],
     ) -> TreeTiming {
-        assert_eq!(buffer_widths.len(), self.nodes.len(), "one width slot per node");
-        assert!(buffer_widths[0].is_none(), "place no buffer at the root; size the driver");
+        assert_eq!(
+            buffer_widths.len(),
+            self.nodes.len(),
+            "one width slot per node"
+        );
+        assert!(
+            buffer_widths[0].is_none(),
+            "place no buffer at the root; size the driver"
+        );
         for w in buffer_widths.iter().flatten() {
             assert!(w.is_finite() && *w > 0.0, "buffer widths must be positive");
         }
@@ -378,8 +405,8 @@ impl RcTree {
         };
 
         // Root driver stage.
-        arrival[0] = device.intrinsic_delay()
-            + device.output_resistance(driver_width) * stage_cap_below(0);
+        arrival[0] =
+            device.intrinsic_delay() + device.output_resistance(driver_width) * stage_cap_below(0);
 
         // Pre-order walk (parents first - creation order guarantees it).
         for v in 1..self.nodes.len() {
@@ -404,7 +431,11 @@ impl RcTree {
             .iter()
             .map(|&s| arrival[s])
             .fold(f64::NEG_INFINITY, f64::max);
-        TreeTiming { arrival, sinks, max_sink_delay }
+        TreeTiming {
+            arrival,
+            sinks,
+            max_sink_delay,
+        }
     }
 
     /// Unbuffered Elmore arrival times (driver at the root only).
@@ -458,7 +489,8 @@ mod tests {
         let wire = net.profile().interval(prev_pos, net.total_length());
         let sink = tree.add_child(prev_node, wire, 0.0).unwrap();
         widths.push(None);
-        tree.set_sink_cap(sink, dev.input_cap(net.receiver_width())).unwrap();
+        tree.set_sink_cap(sink, dev.input_cap(net.receiver_width()))
+            .unwrap();
         (tree, widths)
     }
 
@@ -495,10 +527,8 @@ mod tests {
         let reps = [(1500.0, 90.0), (3600.0, 130.0), (5200.0, 70.0)];
         let (tree, widths) = path_tree(&net, &dev, &reps);
         let tree_delay = tree.evaluate_buffered(&dev, net.driver_width(), &widths);
-        let asg = RepeaterAssignment::new(
-            reps.iter().map(|&(x, w)| Repeater::new(x, w)).collect(),
-        )
-        .unwrap();
+        let asg = RepeaterAssignment::new(reps.iter().map(|&(x, w)| Repeater::new(x, w)).collect())
+            .unwrap();
         let chain = evaluate(&net, &dev, &asg);
         assert!(
             (tree_delay.max_sink_delay - chain.total_delay).abs() < 1e-6,
@@ -606,8 +636,7 @@ mod tests {
         let after = fine.elmore_delays(&dev, 120.0);
         for (&old, &new) in [s1, s2].iter().zip(&[map[s1], map[s2]]) {
             assert!(
-                (before.arrival[old] - after.arrival[new]).abs()
-                    < 1e-6 * before.arrival[old],
+                (before.arrival[old] - after.arrival[new]).abs() < 1e-6 * before.arrival[old],
                 "subdivision changed sink delay: {} vs {}",
                 before.arrival[old],
                 after.arrival[new]
@@ -637,9 +666,7 @@ mod tests {
         let mut fine_widths = vec![None; fine.len()];
         fine_widths[map[a]] = Some(90.0);
         let after = fine.evaluate_buffered(&dev, 120.0, &fine_widths);
-        assert!(
-            (before.arrival[s] - after.arrival[map[s]]).abs() < 1e-6 * before.arrival[s]
-        );
+        assert!((before.arrival[s] - after.arrival[map[s]]).abs() < 1e-6 * before.arrival[s]);
     }
 
     #[test]

@@ -86,7 +86,10 @@ pub fn brute_min_power(
             best = Some(sol);
         }
     });
-    best.ok_or(DpError::InfeasibleTarget { target_fs, achievable_fs: fastest })
+    best.ok_or(DpError::InfeasibleTarget {
+        target_fs,
+        achievable_fs: fastest,
+    })
 }
 
 /// Enumerates all combinations; calls `visit` with each evaluated
@@ -164,8 +167,7 @@ mod tests {
         let net = tiny_net();
         let lib = RepeaterLibrary::from_widths([40.0, 120.0, 280.0]).unwrap();
         let cands =
-            CandidateSet::from_positions(&net, vec![1000.0, 2500.0, 3500.0, 5000.0])
-                .unwrap();
+            CandidateSet::from_positions(&net, vec![1000.0, 2500.0, 3500.0, 5000.0]).unwrap();
         let dp = solve_min_delay(&net, tech.device(), &lib, &cands);
         let brute = brute_min_delay(&net, tech.device(), &lib, &cands);
         assert!(
@@ -183,8 +185,7 @@ mod tests {
         let net = tiny_net();
         let lib = RepeaterLibrary::from_widths([40.0, 120.0, 280.0]).unwrap();
         let cands =
-            CandidateSet::from_positions(&net, vec![1000.0, 2500.0, 3500.0, 5000.0])
-                .unwrap();
+            CandidateSet::from_positions(&net, vec![1000.0, 2500.0, 3500.0, 5000.0]).unwrap();
         let fastest = brute_min_delay(&net, tech.device(), &lib, &cands);
         for mult in [1.01, 1.1, 1.3, 1.7, 2.2] {
             let target = fastest.delay_fs * mult;
@@ -212,8 +213,12 @@ mod tests {
         let brute_err = brute_min_power(&net, tech.device(), &lib, &cands, target).unwrap_err();
         match (dp_err, brute_err) {
             (
-                DpError::InfeasibleTarget { achievable_fs: a, .. },
-                DpError::InfeasibleTarget { achievable_fs: b, .. },
+                DpError::InfeasibleTarget {
+                    achievable_fs: a, ..
+                },
+                DpError::InfeasibleTarget {
+                    achievable_fs: b, ..
+                },
             ) => assert!((a - b).abs() < 1e-6),
             other => panic!("unexpected errors {other:?}"),
         }

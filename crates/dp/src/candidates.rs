@@ -33,14 +33,18 @@ impl CandidateSet {
     /// multiples of `step_um` strictly inside the net, excluding
     /// forbidden-zone interiors.
     pub fn uniform(net: &TwoPinNet, step_um: f64) -> Self {
-        Self { positions: uniform_candidates(net, step_um) }
+        Self {
+            positions: uniform_candidates(net, step_um),
+        }
     }
 
     /// Builds RIP's windowed candidate set (Fig. 6, Line 3): positions
     /// around each center at the given granularity (paper:
     /// `half_slots = 10`, `step_um = 50`).
     pub fn windows(net: &TwoPinNet, centers: &[f64], half_slots: usize, step_um: f64) -> Self {
-        Self { positions: window_candidates(net, centers, half_slots, step_um) }
+        Self {
+            positions: window_candidates(net, centers, half_slots, step_um),
+        }
     }
 
     /// Builds a candidate set from explicit positions, validating

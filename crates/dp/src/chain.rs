@@ -123,8 +123,7 @@ pub fn solve_min_delay(
     library: &RepeaterLibrary,
     candidates: &CandidateSet,
 ) -> DpSolution {
-    let (mut options, arena, stats) =
-        sweep(net, device, library, candidates, Objective::MinDelay);
+    let (mut options, arena, stats) = sweep(net, device, library, candidates, Objective::MinDelay);
     // Smallest delay; break ties towards less width.
     options.sort_by(|a, b| {
         a.delay
@@ -132,7 +131,9 @@ pub fn solve_min_delay(
             .expect("finite delays")
             .then(a.width.partial_cmp(&b.width).expect("finite widths"))
     });
-    let best = options.first().expect("the unbuffered option always exists");
+    let best = options
+        .first()
+        .expect("the unbuffered option always exists");
     materialize(best, &arena, stats)
 }
 
@@ -198,14 +199,16 @@ pub fn solve(
 }
 
 fn materialize(best: &Opt, arena: &TraceArena, stats: DpStats) -> DpSolution {
-    debug_assert!(!best.has_pending(), "final options never carry pending inserts");
+    debug_assert!(
+        !best.has_pending(),
+        "final options never carry pending inserts"
+    );
     let repeaters: Vec<Repeater> = arena
         .collect(best.trace)
         .into_iter()
         .map(|(x, w)| Repeater::new(x, w))
         .collect();
-    let assignment =
-        RepeaterAssignment::new(repeaters).expect("DP traces are valid assignments");
+    let assignment = RepeaterAssignment::new(repeaters).expect("DP traces are valid assignments");
     DpSolution {
         assignment,
         delay_fs: best.delay,
@@ -351,8 +354,7 @@ mod tests {
         let lib = RepeaterLibrary::range_step(10.0, 400.0, 10.0).unwrap();
         let cands = CandidateSet::uniform(&net, 200.0);
         let sol = solve_min_delay(&net, tech.device(), &lib, &cands);
-        let unbuffered =
-            evaluate(&net, tech.device(), &RepeaterAssignment::empty()).total_delay;
+        let unbuffered = evaluate(&net, tech.device(), &RepeaterAssignment::empty()).total_delay;
         assert!(sol.delay_fs < unbuffered);
         assert!(!sol.assignment.is_empty());
     }
@@ -375,8 +377,7 @@ mod tests {
         );
 
         let target = sol.delay_fs * 1.4;
-        let psol =
-            solve_min_power(&net, tech.device(), &lib, &cands, target).unwrap();
+        let psol = solve_min_power(&net, tech.device(), &lib, &cands, target).unwrap();
         let ptiming = evaluate(&net, tech.device(), &psol.assignment);
         assert!((ptiming.total_delay - psol.delay_fs).abs() < 1e-6);
         assert!((psol.assignment.total_width() - psol.total_width).abs() < 1e-9);
@@ -409,14 +410,8 @@ mod tests {
         let fastest = solve_min_delay(&net, tech.device(), &lib, &cands);
         let mut prev_width = f64::INFINITY;
         for mult in [1.05, 1.2, 1.5, 1.8, 2.05] {
-            let sol = solve_min_power(
-                &net,
-                tech.device(),
-                &lib,
-                &cands,
-                fastest.delay_fs * mult,
-            )
-            .unwrap();
+            let sol = solve_min_power(&net, tech.device(), &lib, &cands, fastest.delay_fs * mult)
+                .unwrap();
             assert!(
                 sol.total_width <= prev_width + 1e-9,
                 "width must not grow as the target loosens"
@@ -432,8 +427,8 @@ mod tests {
         let lib = RepeaterLibrary::paper_coarse();
         let cands = CandidateSet::uniform(&net, 200.0);
         let fastest = solve_min_delay(&net, tech.device(), &lib, &cands);
-        let err = solve_min_power(&net, tech.device(), &lib, &cands, fastest.delay_fs * 0.5)
-            .unwrap_err();
+        let err =
+            solve_min_power(&net, tech.device(), &lib, &cands, fastest.delay_fs * 0.5).unwrap_err();
         match err {
             DpError::InfeasibleTarget { achievable_fs, .. } => {
                 assert!((achievable_fs - fastest.delay_fs).abs() < 1e-6);
@@ -450,14 +445,8 @@ mod tests {
         let cands = CandidateSet::uniform(&net, 200.0);
         let fastest = solve_min_delay(&net, tech.device(), &lib, &cands);
         fastest.assignment.validate_on(&net).unwrap();
-        let sol = solve_min_power(
-            &net,
-            tech.device(),
-            &lib,
-            &cands,
-            fastest.delay_fs * 1.3,
-        )
-        .unwrap();
+        let sol =
+            solve_min_power(&net, tech.device(), &lib, &cands, fastest.delay_fs * 1.3).unwrap();
         sol.assignment.validate_on(&net).unwrap();
         assert!(sol
             .assignment
@@ -474,8 +463,7 @@ mod tests {
         let cands = CandidateSet::from_positions(&net, vec![]).unwrap();
         let sol = solve_min_delay(&net, tech.device(), &lib, &cands);
         assert!(sol.assignment.is_empty());
-        let unbuffered =
-            evaluate(&net, tech.device(), &RepeaterAssignment::empty()).total_delay;
+        let unbuffered = evaluate(&net, tech.device(), &RepeaterAssignment::empty()).total_delay;
         assert!((sol.delay_fs - unbuffered).abs() < 1e-6);
     }
 

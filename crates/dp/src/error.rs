@@ -1,6 +1,5 @@
 //! Error types for the DP engines.
 
-use std::error::Error;
 use std::fmt;
 
 /// Errors produced by the dynamic-programming repeater insertion engines.
@@ -45,27 +44,42 @@ impl fmt::Display for DpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DpError::IllegalCandidate { position } => {
-                write!(f, "candidate position {position} is not a legal repeater location")
+                write!(
+                    f,
+                    "candidate position {position} is not a legal repeater location"
+                )
             }
             DpError::UnsortedCandidates { position } => {
-                write!(f, "candidate positions must be strictly ascending (broke at {position})")
+                write!(
+                    f,
+                    "candidate positions must be strictly ascending (broke at {position})"
+                )
             }
             DpError::InvalidTarget { target_fs } => {
-                write!(f, "timing target must be strictly positive and finite, got {target_fs} fs")
+                write!(
+                    f,
+                    "timing target must be strictly positive and finite, got {target_fs} fs"
+                )
             }
-            DpError::InfeasibleTarget { target_fs, achievable_fs } => write!(
+            DpError::InfeasibleTarget {
+                target_fs,
+                achievable_fs,
+            } => write!(
                 f,
                 "no solution meets the timing target {target_fs} fs \
                  (minimum achievable with this library/candidates: {achievable_fs} fs)"
             ),
             DpError::BadAllowedMask { got, expected } => {
-                write!(f, "buffer-legality mask has {got} entries, tree has {expected} nodes")
+                write!(
+                    f,
+                    "buffer-legality mask has {got} entries, tree has {expected} nodes"
+                )
             }
         }
     }
 }
 
-impl Error for DpError {}
+rip_tech::impl_leaf_error!(DpError);
 
 #[cfg(test)]
 mod tests {
@@ -73,8 +87,11 @@ mod tests {
 
     #[test]
     fn infeasible_display_reports_gap() {
-        let msg =
-            DpError::InfeasibleTarget { target_fs: 1.0e6, achievable_fs: 1.4e6 }.to_string();
+        let msg = DpError::InfeasibleTarget {
+            target_fs: 1.0e6,
+            achievable_fs: 1.4e6,
+        }
+        .to_string();
         assert!(msg.contains("1000000"));
         assert!(msg.contains("1400000"));
     }

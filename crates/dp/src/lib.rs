@@ -15,7 +15,11 @@
 //!   oracles for cross-validation on tiny instances;
 //! * [`tree_min_delay`] / [`tree_min_power`] — the tree extension
 //!   announced in the paper's conclusion, cross-validated against the
-//!   chain engines on path topologies.
+//!   chain engines on path topologies;
+//! * [`Solver`] — the object-safe interface unifying all of the above
+//!   ([`ChainDpSolver`], [`TreeDpSolver`], [`BruteForceSolver`]), selected
+//!   by [`SolverKind`]. `rip_core`'s batch `Engine` and the
+//!   cross-validation suites drive engines through this trait.
 //!
 //! # Example
 //!
@@ -48,12 +52,16 @@ mod candidates;
 mod chain;
 mod error;
 mod options;
+mod solver;
 mod tree;
 
 pub use brute::{brute_min_delay, brute_min_power};
 pub use candidates::CandidateSet;
 pub use chain::{solve, solve_min_delay, solve_min_power, DpSolution, DpStats, Objective};
 pub use error::DpError;
+pub use solver::{
+    solver_panel, BruteForceSolver, ChainDpSolver, SolveRequest, Solver, SolverKind, TreeDpSolver,
+};
 pub use tree::{tree_min_delay, tree_min_power, TreeSolution};
 
 #[cfg(test)]

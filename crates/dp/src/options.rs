@@ -127,14 +127,24 @@ pub(crate) const TRACE_ROOT: u32 = 0;
 
 impl TraceArena {
     pub(crate) fn new() -> Self {
-        Self { nodes: vec![TraceNode { position: f64::NAN, width: f64::NAN, prev: 0 }] }
+        Self {
+            nodes: vec![TraceNode {
+                position: f64::NAN,
+                width: f64::NAN,
+                prev: 0,
+            }],
+        }
     }
 
     /// Records a repeater insertion on top of `prev`; returns the new
     /// handle.
     pub(crate) fn push(&mut self, position: f64, width: f64, prev: u32) -> u32 {
         let idx = self.nodes.len() as u32;
-        self.nodes.push(TraceNode { position, width, prev });
+        self.nodes.push(TraceNode {
+            position,
+            width,
+            prev,
+        });
         idx
     }
 
@@ -163,9 +173,9 @@ mod tests {
 
     fn brute_pareto_3d(items: &[(f64, f64, f64)]) -> Vec<(f64, f64, f64)> {
         let dominated = |x: &(f64, f64, f64)| {
-            items.iter().any(|y| {
-                y != x && y.0 <= x.0 && y.1 <= x.1 && y.2 <= x.2
-            })
+            items
+                .iter()
+                .any(|y| y != x && y.0 <= x.0 && y.1 <= x.1 && y.2 <= x.2)
         };
         let mut out: Vec<_> = items.iter().copied().filter(|x| !dominated(x)).collect();
         out.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -193,7 +203,9 @@ mod tests {
         // the O(n^2) definition of dominance.
         let mut state = 0x2545F4914F6CDD1D_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 32) as f64 / u32::MAX as f64 * 10.0).round()
         };
         let items: Vec<(f64, f64, f64)> = (0..200).map(|_| (next(), next(), next())).collect();

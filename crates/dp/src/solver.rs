@@ -1,0 +1,517 @@
+//! The unified [`Solver`] interface over the crate's engine families.
+//!
+//! The chain DP ([`solve_min_delay`](crate::solve_min_delay) /
+//! [`solve_min_power`](crate::solve_min_power)), the tree DP
+//! ([`tree_min_delay`](crate::tree_min_delay) /
+//! [`tree_min_power`](crate::tree_min_power)) and the exhaustive oracle
+//! ([`brute_min_delay`](crate::brute_min_delay) /
+//! [`brute_min_power`](crate::brute_min_power)) historically exposed six
+//! free functions with three incompatible shapes. [`Solver`] puts one
+//! object-safe interface in front of all of them — a [`SolveRequest`]
+//! (net + device + [`Objective`]) in, a [`DpSolution`] out — so callers
+//! like `rip_core`'s `Engine`, the cross-validation suites and future
+//! backends can treat engines as interchangeable `dyn` values and select
+//! them by [`SolverKind`].
+
+use crate::candidates::CandidateSet;
+use crate::chain::{solve, DpSolution, Objective};
+use crate::error::DpError;
+use crate::{brute_min_delay, brute_min_power, tree_min_delay, tree_min_power};
+use rip_delay::{evaluate, RcTree, Repeater, RepeaterAssignment};
+use rip_net::TwoPinNet;
+use rip_tech::{RepeaterDevice, RepeaterLibrary};
+use std::fmt;
+
+/// A fully-specified single-net solve: the problem every [`Solver`]
+/// implementation answers.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveRequest<'a> {
+    /// The routed two-pin net.
+    pub net: &'a TwoPinNet,
+    /// The repeater device model.
+    pub device: &'a RepeaterDevice,
+    /// What to optimize.
+    pub objective: Objective,
+}
+
+impl<'a> SolveRequest<'a> {
+    /// Bundles a request.
+    pub fn new(net: &'a TwoPinNet, device: &'a RepeaterDevice, objective: Objective) -> Self {
+        Self {
+            net,
+            device,
+            objective,
+        }
+    }
+
+    /// Shorthand for a minimum-delay request.
+    pub fn min_delay(net: &'a TwoPinNet, device: &'a RepeaterDevice) -> Self {
+        Self::new(net, device, Objective::MinDelay)
+    }
+
+    /// Shorthand for a minimum-power request under a timing target (fs).
+    pub fn min_power(net: &'a TwoPinNet, device: &'a RepeaterDevice, target_fs: f64) -> Self {
+        Self::new(net, device, Objective::MinPowerUnderDelay { target_fs })
+    }
+}
+
+/// The engine family behind a [`Solver`] — callers select and report
+/// solvers by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SolverKind {
+    /// Chain sweep DP (van Ginneken / Lillis). The production engine.
+    ChainDp,
+    /// Bottom-up tree DP run on the net's path topology. Exists for
+    /// cross-validation of the tree engines and as the seam where tree
+    /// workloads plug in.
+    TreeDp,
+    /// Exhaustive enumeration. Exponential — a test oracle, not a
+    /// production solver.
+    BruteForce,
+}
+
+impl SolverKind {
+    /// Stable human-readable name (`"chain-dp"`, `"tree-dp"`,
+    /// `"brute-force"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::ChainDp => "chain-dp",
+            SolverKind::TreeDp => "tree-dp",
+            SolverKind::BruteForce => "brute-force",
+        }
+    }
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An object-safe repeater insertion engine: a [`SolveRequest`] in, a
+/// [`DpSolution`] out.
+///
+/// All implementations are `Send + Sync` so a single boxed solver can be
+/// shared across the batch engine's worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use rip_dp::{ChainDpSolver, Solver, SolveRequest, SolverKind};
+/// use rip_net::{NetBuilder, Segment};
+/// use rip_tech::{RepeaterLibrary, Technology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::generic_180nm();
+/// let net = NetBuilder::new()
+///     .segment(Segment::new(9000.0, 0.08, 0.2))
+///     .build()?;
+/// let solver: Box<dyn Solver> =
+///     Box::new(ChainDpSolver::new(RepeaterLibrary::paper_coarse(), 200.0)?);
+/// assert_eq!(solver.kind(), SolverKind::ChainDp);
+/// let fastest = solver.solve(&SolveRequest::min_delay(&net, tech.device()))?;
+/// assert!(fastest.delay_fs > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub trait Solver: fmt::Debug + Send + Sync {
+    /// Which engine family answers the request.
+    fn kind(&self) -> SolverKind;
+
+    /// `true` when the solver enumerates the entire search space (safe
+    /// only on tiny instances).
+    fn is_exhaustive(&self) -> bool {
+        matches!(self.kind(), SolverKind::BruteForce)
+    }
+
+    /// Solves the request.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidTarget`] / [`DpError::InfeasibleTarget`] exactly
+    /// as the underlying engine's free function reports them; the
+    /// min-delay objective never fails.
+    fn solve(&self, request: &SolveRequest<'_>) -> Result<DpSolution, DpError>;
+}
+
+/// Validates a uniform candidate-grid step.
+fn validate_step(step_um: f64) -> Result<f64, DpError> {
+    if !step_um.is_finite() || step_um <= 0.0 {
+        return Err(DpError::IllegalCandidate { position: step_um });
+    }
+    Ok(step_um)
+}
+
+/// The production chain DP behind the [`Solver`] interface: a repeater
+/// library plus a uniform candidate-grid step applied to every net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainDpSolver {
+    library: RepeaterLibrary,
+    step_um: f64,
+}
+
+impl ChainDpSolver {
+    /// Creates a chain solver over `library` with a uniform `step_um`
+    /// candidate grid (paper: 200 µm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::IllegalCandidate`] for a non-positive or
+    /// non-finite step.
+    pub fn new(library: RepeaterLibrary, step_um: f64) -> Result<Self, DpError> {
+        Ok(Self {
+            library,
+            step_um: validate_step(step_um)?,
+        })
+    }
+
+    /// The solver's library.
+    pub fn library(&self) -> &RepeaterLibrary {
+        &self.library
+    }
+
+    /// The uniform candidate-grid step, µm.
+    pub fn step_um(&self) -> f64 {
+        self.step_um
+    }
+}
+
+impl Solver for ChainDpSolver {
+    fn kind(&self) -> SolverKind {
+        SolverKind::ChainDp
+    }
+
+    fn solve(&self, request: &SolveRequest<'_>) -> Result<DpSolution, DpError> {
+        let cands = CandidateSet::uniform(request.net, self.step_um);
+        solve(
+            request.net,
+            request.device,
+            &self.library,
+            &cands,
+            request.objective,
+        )
+    }
+}
+
+/// The exhaustive oracle behind the [`Solver`] interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteForceSolver {
+    library: RepeaterLibrary,
+    step_um: f64,
+}
+
+impl BruteForceSolver {
+    /// Creates a brute-force solver (tiny instances only: the underlying
+    /// oracle panics past its combination cap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::IllegalCandidate`] for a non-positive or
+    /// non-finite step.
+    pub fn new(library: RepeaterLibrary, step_um: f64) -> Result<Self, DpError> {
+        Ok(Self {
+            library,
+            step_um: validate_step(step_um)?,
+        })
+    }
+}
+
+impl Solver for BruteForceSolver {
+    fn kind(&self) -> SolverKind {
+        SolverKind::BruteForce
+    }
+
+    fn solve(&self, request: &SolveRequest<'_>) -> Result<DpSolution, DpError> {
+        let cands = CandidateSet::uniform(request.net, self.step_um);
+        match request.objective {
+            Objective::MinDelay => Ok(brute_min_delay(
+                request.net,
+                request.device,
+                &self.library,
+                &cands,
+            )),
+            Objective::MinPowerUnderDelay { target_fs } => brute_min_power(
+                request.net,
+                request.device,
+                &self.library,
+                &cands,
+                target_fs,
+            ),
+        }
+    }
+}
+
+/// The tree DP behind the [`Solver`] interface, adapted to two-pin nets
+/// via their path topology.
+///
+/// The net is unrolled into a path-shaped [`RcTree`] with one node per
+/// legal candidate position; buffered nodes map back to chain repeaters.
+/// On paths the tree DP and the chain DP explore the same space, which is
+/// exactly what makes this adapter useful for cross-validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeDpSolver {
+    library: RepeaterLibrary,
+    step_um: f64,
+}
+
+impl TreeDpSolver {
+    /// Creates a tree solver over `library` with a uniform `step_um`
+    /// candidate grid along the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::IllegalCandidate`] for a non-positive or
+    /// non-finite step.
+    pub fn new(library: RepeaterLibrary, step_um: f64) -> Result<Self, DpError> {
+        Ok(Self {
+            library,
+            step_um: validate_step(step_um)?,
+        })
+    }
+}
+
+impl Solver for TreeDpSolver {
+    fn kind(&self) -> SolverKind {
+        SolverKind::TreeDp
+    }
+
+    fn solve(&self, request: &SolveRequest<'_>) -> Result<DpSolution, DpError> {
+        let net = request.net;
+        let device = request.device;
+        let cands = CandidateSet::uniform(net, self.step_um);
+
+        // Unroll the net into a path tree: root = driver, one node per
+        // candidate, one sink node carrying the receiver load.
+        let mut tree = RcTree::with_root();
+        let mut prev_pos = 0.0;
+        let mut prev_node = 0;
+        for &x in cands.positions() {
+            let wire = net.profile().interval(prev_pos, x);
+            prev_node = tree
+                .add_child(prev_node, wire, 0.0)
+                .expect("path construction parents are always in range");
+            prev_pos = x;
+        }
+        let wire = net.profile().interval(prev_pos, net.total_length());
+        let sink = tree
+            .add_child(prev_node, wire, device.input_cap(net.receiver_width()))
+            .expect("path construction parents are always in range");
+
+        // The chain engines never buffer the endpoints; forbid the sink
+        // node so both engines search the same space.
+        let mut allowed = vec![true; tree.len()];
+        allowed[sink] = false;
+
+        let tree_sol = match request.objective {
+            Objective::MinDelay => tree_min_delay(
+                &tree,
+                device,
+                net.driver_width(),
+                &self.library,
+                Some(&allowed),
+            )?,
+            Objective::MinPowerUnderDelay { target_fs } => tree_min_power(
+                &tree,
+                device,
+                net.driver_width(),
+                &self.library,
+                Some(&allowed),
+                target_fs,
+            )?,
+        };
+
+        // Node v ∈ 1..=n is candidate v-1; nodes were added source→sink,
+        // so positions come out ascending as RepeaterAssignment requires.
+        let repeaters: Vec<Repeater> = tree_sol
+            .buffer_widths
+            .iter()
+            .enumerate()
+            .filter_map(|(v, w)| w.map(|w| Repeater::new(cands.positions()[v - 1], w)))
+            .collect();
+        let assignment = RepeaterAssignment::new(repeaters)
+            .expect("tree DP buffers sit on validated candidate positions");
+        let delay_fs = evaluate(net, device, &assignment).total_delay;
+        Ok(DpSolution {
+            assignment,
+            delay_fs,
+            total_width: tree_sol.total_width,
+            stats: tree_sol.stats,
+        })
+    }
+}
+
+/// One solver of each kind over the same library and grid — the panel the
+/// cross-validation suites iterate.
+///
+/// # Errors
+///
+/// Returns [`DpError::IllegalCandidate`] for a non-positive or non-finite
+/// step.
+pub fn solver_panel(
+    library: &RepeaterLibrary,
+    step_um: f64,
+) -> Result<Vec<Box<dyn Solver>>, DpError> {
+    Ok(vec![
+        Box::new(ChainDpSolver::new(library.clone(), step_um)?),
+        Box::new(TreeDpSolver::new(library.clone(), step_um)?),
+        Box::new(BruteForceSolver::new(library.clone(), step_um)?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_net::{NetBuilder, Segment};
+    use rip_tech::Technology;
+
+    fn tiny_net() -> TwoPinNet {
+        NetBuilder::new()
+            .segment(Segment::new(3000.0, 0.08, 0.20))
+            .segment(Segment::new(3000.0, 0.06, 0.18))
+            .driver_width(120.0)
+            .receiver_width(60.0)
+            .build()
+            .unwrap()
+    }
+
+    fn tiny_library() -> RepeaterLibrary {
+        RepeaterLibrary::from_widths([60.0, 150.0, 300.0]).unwrap()
+    }
+
+    #[test]
+    fn kinds_and_names_are_stable() {
+        let panel = solver_panel(&tiny_library(), 1200.0).unwrap();
+        let kinds: Vec<SolverKind> = panel.iter().map(|s| s.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SolverKind::ChainDp,
+                SolverKind::TreeDp,
+                SolverKind::BruteForce
+            ]
+        );
+        assert_eq!(SolverKind::ChainDp.to_string(), "chain-dp");
+        assert!(panel.iter().filter(|s| s.is_exhaustive()).count() == 1);
+    }
+
+    #[test]
+    fn all_solver_kinds_agree_on_small_instances() {
+        let tech = Technology::generic_180nm();
+        let net = tiny_net();
+        let panel = solver_panel(&tiny_library(), 1200.0).unwrap();
+
+        let delays: Vec<f64> = panel
+            .iter()
+            .map(|s| {
+                s.solve(&SolveRequest::min_delay(&net, tech.device()))
+                    .unwrap()
+                    .delay_fs
+            })
+            .collect();
+        for d in &delays[1..] {
+            assert!(
+                (d - delays[0]).abs() < 1e-6,
+                "min-delay disagreement across solver kinds: {delays:?}"
+            );
+        }
+
+        let target = delays[0] * 1.4;
+        let widths: Vec<f64> = panel
+            .iter()
+            .map(|s| {
+                s.solve(&SolveRequest::min_power(&net, tech.device(), target))
+                    .unwrap()
+                    .total_width
+            })
+            .collect();
+        for w in &widths[1..] {
+            assert!(
+                (w - widths[0]).abs() < 1e-9,
+                "min-power disagreement across solver kinds: {widths:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn solutions_satisfy_their_objective() {
+        let tech = Technology::generic_180nm();
+        let net = tiny_net();
+        let solver = ChainDpSolver::new(tiny_library(), 600.0).unwrap();
+        let fastest = solver
+            .solve(&SolveRequest::min_delay(&net, tech.device()))
+            .unwrap();
+        let sol = solver
+            .solve(&SolveRequest::min_power(
+                &net,
+                tech.device(),
+                fastest.delay_fs * 1.5,
+            ))
+            .unwrap();
+        assert!(sol.meets(fastest.delay_fs * 1.5));
+        assert!(sol.total_width <= fastest.total_width + 1e-9);
+        sol.assignment.validate_on(&net).unwrap();
+    }
+
+    #[test]
+    fn infeasible_and_invalid_targets_propagate() {
+        let tech = Technology::generic_180nm();
+        let net = tiny_net();
+        for solver in solver_panel(&tiny_library(), 1200.0).unwrap() {
+            let err = solver
+                .solve(&SolveRequest::min_power(&net, tech.device(), 1.0))
+                .unwrap_err();
+            assert!(
+                matches!(err, DpError::InfeasibleTarget { .. }),
+                "{}: unexpected {err:?}",
+                solver.kind()
+            );
+            let err = solver
+                .solve(&SolveRequest::min_power(&net, tech.device(), -1.0))
+                .unwrap_err();
+            assert!(
+                matches!(err, DpError::InvalidTarget { .. }),
+                "{}",
+                solver.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn zoned_nets_keep_solver_agreement() {
+        let tech = Technology::generic_180nm();
+        let net = NetBuilder::new()
+            .segment(Segment::new(3000.0, 0.08, 0.20))
+            .segment(Segment::new(3000.0, 0.06, 0.18))
+            .forbidden_zone(2000.0, 4000.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let panel = solver_panel(&tiny_library(), 1000.0).unwrap();
+        let delays: Vec<f64> = panel
+            .iter()
+            .map(|s| {
+                s.solve(&SolveRequest::min_delay(&net, tech.device()))
+                    .unwrap()
+                    .delay_fs
+            })
+            .collect();
+        for d in &delays[1..] {
+            assert!(
+                (d - delays[0]).abs() < 1e-6,
+                "zoned disagreement: {delays:?}"
+            );
+        }
+        let panel_sol = panel[0]
+            .solve(&SolveRequest::min_delay(&net, tech.device()))
+            .unwrap();
+        panel_sol.assignment.validate_on(&net).unwrap();
+    }
+
+    #[test]
+    fn invalid_steps_are_rejected() {
+        assert!(ChainDpSolver::new(tiny_library(), 0.0).is_err());
+        assert!(TreeDpSolver::new(tiny_library(), f64::NAN).is_err());
+        assert!(BruteForceSolver::new(tiny_library(), -5.0).is_err());
+    }
+}

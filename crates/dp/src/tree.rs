@@ -54,7 +54,9 @@ struct TArena {
 
 impl TArena {
     fn new() -> Self {
-        Self { nodes: vec![TNode::Root] }
+        Self {
+            nodes: vec![TNode::Root],
+        }
     }
 
     fn buffer(&mut self, node: usize, width: f64, prev: u32) -> u32 {
@@ -138,7 +140,14 @@ pub fn tree_min_delay(
     library: &RepeaterLibrary,
     allowed: Option<&[bool]>,
 ) -> Result<TreeSolution, DpError> {
-    solve_tree(tree, device, driver_width, library, allowed, TreeMode::MinDelay)
+    solve_tree(
+        tree,
+        device,
+        driver_width,
+        library,
+        allowed,
+        TreeMode::MinDelay,
+    )
 }
 
 /// Minimum-total-width buffering of an RC tree under a timing target
@@ -180,7 +189,10 @@ fn solve_tree(
 ) -> Result<TreeSolution, DpError> {
     if let Some(mask) = allowed {
         if mask.len() != tree.len() {
-            return Err(DpError::BadAllowedMask { got: mask.len(), expected: tree.len() });
+            return Err(DpError::BadAllowedMask {
+                got: mask.len(),
+                expected: tree.len(),
+            });
         }
     }
     let buffer_ok = |v: usize| v != 0 && allowed.map_or(true, |m| m[v]);
@@ -204,7 +216,12 @@ fn solve_tree(
     // scan is a post-order.
     for v in (0..tree.len()).rev() {
         // Cross-merge the children (lifted across their edges).
-        let mut acc = vec![TOpt { cap: 0.0, delay: 0.0, width: 0.0, trace: 0 }];
+        let mut acc = vec![TOpt {
+            cap: 0.0,
+            delay: 0.0,
+            width: 0.0,
+            trace: 0,
+        }];
         for &u in tree.children(v) {
             let wire = tree.wire(u);
             let lifted: Vec<TOpt> = options[u]
@@ -252,16 +269,18 @@ fn solve_tree(
         let tap = tree.sink_cap(v);
         let mut combined: Vec<TOpt> = acc
             .iter()
-            .map(|o| TOpt { cap: o.cap + tap, ..*o })
+            .map(|o| TOpt {
+                cap: o.cap + tap,
+                ..*o
+            })
             .collect();
         // Buffered at v: the buffer drives the merged subtree; upstream
         // sees tap + buffer input cap.
         if buffer_ok(v) {
             for o in &acc {
                 for &w in library {
-                    let delay = o.delay
-                        + device.intrinsic_delay()
-                        + device.output_resistance(w) * o.cap;
+                    let delay =
+                        o.delay + device.intrinsic_delay() + device.output_resistance(w) * o.cap;
                     if target.is_some_and(|t| delay > t) {
                         continue;
                     }
@@ -281,28 +300,35 @@ fn solve_tree(
     }
 
     let finals = &options[0];
-    let best = match mode {
-        TreeMode::MinDelay => finals.iter().min_by(|a, b| {
-            a.delay
-                .partial_cmp(&b.delay)
-                .expect("finite delays")
-                .then(a.width.partial_cmp(&b.width).expect("finite widths"))
-        }),
-        TreeMode::MinPower { target_fs } => finals
-            .iter()
-            .filter(|o| o.delay <= target_fs)
-            .min_by(|a, b| {
-                a.width
-                    .partial_cmp(&b.width)
-                    .expect("finite widths")
-                    .then(a.delay.partial_cmp(&b.delay).expect("finite delays"))
+    let best =
+        match mode {
+            TreeMode::MinDelay => finals.iter().min_by(|a, b| {
+                a.delay
+                    .partial_cmp(&b.delay)
+                    .expect("finite delays")
+                    .then(a.width.partial_cmp(&b.width).expect("finite widths"))
             }),
-    };
+            TreeMode::MinPower { target_fs } => finals
+                .iter()
+                .filter(|o| o.delay <= target_fs)
+                .min_by(|a, b| {
+                    a.width
+                        .partial_cmp(&b.width)
+                        .expect("finite widths")
+                        .then(a.delay.partial_cmp(&b.delay).expect("finite delays"))
+                }),
+        };
     let best = match best {
         Some(b) => *b,
         None => {
-            let fastest =
-                solve_tree(tree, device, driver_width, library, allowed, TreeMode::MinDelay)?;
+            let fastest = solve_tree(
+                tree,
+                device,
+                driver_width,
+                library,
+                allowed,
+                TreeMode::MinDelay,
+            )?;
             return Err(DpError::InfeasibleTarget {
                 target_fs: target.expect("only the power mode can be infeasible"),
                 achievable_fs: fastest.delay_fs,
@@ -367,7 +393,8 @@ mod tests {
         }
         let wire = net.profile().interval(prev_pos, net.total_length());
         let sink = tree.add_child(prev_node, wire, 0.0).unwrap();
-        tree.set_sink_cap(sink, dev.input_cap(net.receiver_width())).unwrap();
+        tree.set_sink_cap(sink, dev.input_cap(net.receiver_width()))
+            .unwrap();
         tree
     }
 
@@ -410,17 +437,10 @@ mod tests {
         let tree = chain_as_tree(&net, tech.device(), &cands);
         for mult in [1.1, 1.4, 1.9] {
             let target = fastest.delay_fs * mult;
-            let chain_sol =
-                solve_min_power(&net, tech.device(), &lib, &cands, target).unwrap();
-            let tree_sol = tree_min_power(
-                &tree,
-                tech.device(),
-                net.driver_width(),
-                &lib,
-                None,
-                target,
-            )
-            .unwrap();
+            let chain_sol = solve_min_power(&net, tech.device(), &lib, &cands, target).unwrap();
+            let tree_sol =
+                tree_min_power(&tree, tech.device(), net.driver_width(), &lib, None, target)
+                    .unwrap();
             assert!(
                 (chain_sol.total_width - tree_sol.total_width).abs() < 1e-9,
                 "mult {mult}: chain {} vs tree {}",
@@ -452,8 +472,7 @@ mod tests {
         let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0).unwrap();
         let fastest = tree_min_delay(&tree, tech.device(), 120.0, &lib, None).unwrap();
         let target = fastest.delay_fs * 1.5;
-        let sol =
-            tree_min_power(&tree, tech.device(), 120.0, &lib, None, target).unwrap();
+        let sol = tree_min_power(&tree, tech.device(), 120.0, &lib, None, target).unwrap();
         assert!(sol.delay_fs <= target * (1.0 + 1e-12));
         assert!(sol.total_width <= fastest.total_width);
         let timing = tree.evaluate_buffered(tech.device(), 120.0, &sol.buffer_widths);
@@ -498,9 +517,14 @@ mod tests {
         let tech = tech();
         let tree = y_tree(tech.device());
         let lib = RepeaterLibrary::paper_coarse();
-        let err =
-            tree_min_delay(&tree, tech.device(), 120.0, &lib, Some(&[true])).unwrap_err();
-        assert!(matches!(err, DpError::BadAllowedMask { got: 1, expected: 4 }));
+        let err = tree_min_delay(&tree, tech.device(), 120.0, &lib, Some(&[true])).unwrap_err();
+        assert!(matches!(
+            err,
+            DpError::BadAllowedMask {
+                got: 1,
+                expected: 4
+            }
+        ));
     }
 
     #[test]

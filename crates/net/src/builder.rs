@@ -150,7 +150,10 @@ mod tests {
 
     #[test]
     fn empty_builder_fails() {
-        assert!(matches!(NetBuilder::new().build(), Err(NetError::NoSegments)));
+        assert!(matches!(
+            NetBuilder::new().build(),
+            Err(NetError::NoSegments)
+        ));
     }
 
     #[test]

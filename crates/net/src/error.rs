@@ -1,6 +1,5 @@
 //! Error types for the interconnect substrate.
 
-use std::error::Error;
 use std::fmt;
 
 /// Errors produced while constructing or querying interconnect nets.
@@ -61,24 +60,37 @@ impl fmt::Display for NetError {
             NetError::ZoneInverted { start, end } => {
                 write!(f, "forbidden zone is inverted: start {start} >= end {end}")
             }
-            NetError::ZoneOutOfRange { start, end, net_length } => write!(
+            NetError::ZoneOutOfRange {
+                start,
+                end,
+                net_length,
+            } => write!(
                 f,
                 "forbidden zone [{start}, {end}] extends outside the net span [0, {net_length}]"
             ),
             NetError::InvalidWidth { terminal, value } => {
                 write!(f, "{terminal} width must be strictly positive, got {value}")
             }
-            NetError::PositionOutOfRange { position, net_length } => {
-                write!(f, "position {position} lies outside the net span [0, {net_length}]")
+            NetError::PositionOutOfRange {
+                position,
+                net_length,
+            } => {
+                write!(
+                    f,
+                    "position {position} lies outside the net span [0, {net_length}]"
+                )
             }
             NetError::NoLegalPosition => {
-                write!(f, "forbidden zones cover the entire net; no legal repeater position")
+                write!(
+                    f,
+                    "forbidden zones cover the entire net; no legal repeater position"
+                )
             }
         }
     }
 }
 
-impl Error for NetError {}
+rip_tech::impl_leaf_error!(NetError);
 
 #[cfg(test)]
 mod tests {
@@ -86,8 +98,12 @@ mod tests {
 
     #[test]
     fn display_mentions_key_values() {
-        let msg = NetError::ZoneOutOfRange { start: -5.0, end: 100.0, net_length: 50.0 }
-            .to_string();
+        let msg = NetError::ZoneOutOfRange {
+            start: -5.0,
+            end: 100.0,
+            net_length: 50.0,
+        }
+        .to_string();
         assert!(msg.contains("-5"));
         assert!(msg.contains("50"));
     }

@@ -9,10 +9,9 @@
 
 use crate::error::NetError;
 use crate::net::TwoPinNet;
+use crate::rng::SplitMix64;
 use crate::segment::Segment;
 use crate::zone::ForbiddenZone;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rip_tech::WireLayer;
 
 /// Distribution parameters for random two-pin nets.
@@ -29,7 +28,6 @@ use rip_tech::WireLayer;
 /// assert!(net.segments().len() >= 4 && net.segments().len() <= 10);
 /// assert_eq!(net.zones().len(), 1);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
 pub struct RandomNetConfig {
     /// Inclusive range of segment counts (paper: 4–10).
@@ -97,11 +95,11 @@ impl RandomNetConfig {
     }
 }
 
-/// Deterministic random net generator (seeded [`StdRng`]).
+/// Deterministic random net generator (seeded [`SplitMix64`]).
 #[derive(Debug, Clone)]
 pub struct NetGenerator {
     config: RandomNetConfig,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl NetGenerator {
@@ -113,7 +111,10 @@ impl NetGenerator {
     /// [`RandomNetConfig::validate`]).
     pub fn from_seed(config: RandomNetConfig, seed: u64) -> Result<Self, NetError> {
         config.validate()?;
-        Ok(Self { config, rng: StdRng::seed_from_u64(seed) })
+        Ok(Self {
+            config,
+            rng: SplitMix64::new(seed),
+        })
     }
 
     /// The generator's configuration.
@@ -128,31 +129,34 @@ impl NetGenerator {
     /// and widths are positive.
     pub fn generate(&mut self) -> TwoPinNet {
         let cfg = &self.config;
-        let n_segs = self.rng.gen_range(cfg.segment_count.0..=cfg.segment_count.1);
+        let n_segs = self
+            .rng
+            .range_usize(cfg.segment_count.0, cfg.segment_count.1);
         let mut segments = Vec::with_capacity(n_segs);
         for _ in 0..n_segs {
-            let layer = &cfg.layers[self.rng.gen_range(0..cfg.layers.len())];
+            let layer = &cfg.layers[self.rng.index(cfg.layers.len())];
             let len = self
                 .rng
-                .gen_range(cfg.segment_length_um.0..=cfg.segment_length_um.1);
+                .range_f64(cfg.segment_length_um.0, cfg.segment_length_um.1);
             segments.push(Segment::on_layer(layer, len));
         }
         let total: f64 = segments.iter().map(Segment::length_um).sum();
         let mut zones = Vec::with_capacity(cfg.zone_count);
         for _ in 0..cfg.zone_count {
-            let frac = self.rng.gen_range(cfg.zone_fraction.0..=cfg.zone_fraction.1);
+            let frac = self.rng.range_f64(cfg.zone_fraction.0, cfg.zone_fraction.1);
             let len = frac * total;
             if len <= 0.0 {
                 continue;
             }
-            let start = self.rng.gen_range(0.0..=(total - len));
+            let start = self.rng.range_f64(0.0, total - len);
             zones.push(
-                ForbiddenZone::new(start, start + len)
-                    .expect("generated zone has positive length"),
+                ForbiddenZone::new(start, start + len).expect("generated zone has positive length"),
             );
         }
-        let wd = self.rng.gen_range(cfg.driver_width.0..=cfg.driver_width.1);
-        let wr = self.rng.gen_range(cfg.receiver_width.0..=cfg.receiver_width.1);
+        let wd = self.rng.range_f64(cfg.driver_width.0, cfg.driver_width.1);
+        let wr = self
+            .rng
+            .range_f64(cfg.receiver_width.0, cfg.receiver_width.1);
         TwoPinNet::new(segments, zones, wd, wr)
             .expect("validated configuration generates valid nets")
     }
@@ -189,7 +193,10 @@ mod tests {
             }
             assert_eq!(net.zones().len(), 1);
             let frac = net.forbidden_fraction();
-            assert!(frac >= 0.2 - 1e-9 && frac <= 0.4 + 1e-9, "zone fraction {frac}");
+            assert!(
+                (0.2 - 1e-9..=0.4 + 1e-9).contains(&frac),
+                "zone fraction {frac}"
+            );
             assert!(net.driver_width() >= 100.0 && net.driver_width() <= 160.0);
             assert!(net.receiver_width() >= 40.0 && net.receiver_width() <= 80.0);
         }
@@ -222,7 +229,10 @@ mod tests {
 
     #[test]
     fn zero_zone_configuration() {
-        let config = RandomNetConfig { zone_count: 0, ..RandomNetConfig::default() };
+        let config = RandomNetConfig {
+            zone_count: 0,
+            ..RandomNetConfig::default()
+        };
         let mut gen = NetGenerator::from_seed(config, 3).unwrap();
         let net = gen.generate();
         assert!(net.zones().is_empty());
@@ -249,11 +259,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let bad = RandomNetConfig { segment_count: (5, 3), ..RandomNetConfig::default() };
+        let bad = RandomNetConfig {
+            segment_count: (5, 3),
+            ..RandomNetConfig::default()
+        };
         assert!(NetGenerator::from_seed(bad, 0).is_err());
-        let bad = RandomNetConfig { zone_fraction: (0.5, 1.2), ..RandomNetConfig::default() };
+        let bad = RandomNetConfig {
+            zone_fraction: (0.5, 1.2),
+            ..RandomNetConfig::default()
+        };
         assert!(NetGenerator::from_seed(bad, 0).is_err());
-        let bad = RandomNetConfig { layers: vec![], ..RandomNetConfig::default() };
+        let bad = RandomNetConfig {
+            layers: vec![],
+            ..RandomNetConfig::default()
+        };
         assert!(NetGenerator::from_seed(bad, 0).is_err());
     }
 }

@@ -47,6 +47,7 @@ mod generator;
 mod net;
 mod position;
 mod profile;
+mod rng;
 mod segment;
 mod zone;
 
@@ -56,6 +57,7 @@ pub use generator::{NetGenerator, RandomNetConfig};
 pub use net::TwoPinNet;
 pub use position::{snap_legal, sort_dedup_positions, uniform_candidates, window_candidates};
 pub use profile::{IntervalRc, RcProfile, Side};
+pub use rng::SplitMix64;
 pub use segment::Segment;
 pub use zone::ForbiddenZone;
 
@@ -72,28 +74,5 @@ mod tests {
         assert_send_sync::<RcProfile>();
         assert_send_sync::<NetGenerator>();
         assert_send_sync::<NetError>();
-    }
-}
-
-#[cfg(all(test, feature = "serde"))]
-mod serde_tests {
-    use super::*;
-
-    #[test]
-    fn net_components_round_trip_through_json() {
-        let seg = Segment::new(1500.0, 0.08, 0.2);
-        let back: Segment =
-            serde_json::from_str(&serde_json::to_string(&seg).unwrap()).unwrap();
-        assert_eq!(seg, back);
-
-        let zone = ForbiddenZone::new(100.0, 900.0).unwrap();
-        let back: ForbiddenZone =
-            serde_json::from_str(&serde_json::to_string(&zone).unwrap()).unwrap();
-        assert_eq!(zone, back);
-
-        let config = RandomNetConfig::default();
-        let back: RandomNetConfig =
-            serde_json::from_str(&serde_json::to_string(&config).unwrap()).unwrap();
-        assert_eq!(config, back);
     }
 }

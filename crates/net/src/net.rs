@@ -61,7 +61,10 @@ impl TwoPinNet {
     ) -> Result<Self, NetError> {
         let profile = RcProfile::new(&segments)?;
         if !driver_width.is_finite() || driver_width <= 0.0 {
-            return Err(NetError::InvalidWidth { terminal: "driver", value: driver_width });
+            return Err(NetError::InvalidWidth {
+                terminal: "driver",
+                value: driver_width,
+            });
         }
         if !receiver_width.is_finite() || receiver_width <= 0.0 {
             return Err(NetError::InvalidWidth {
@@ -80,7 +83,13 @@ impl TwoPinNet {
                 });
             }
         }
-        Ok(Self { segments, zones, driver_width, receiver_width, profile })
+        Ok(Self {
+            segments,
+            zones,
+            driver_width,
+            receiver_width,
+            profile,
+        })
     }
 
     /// The wire segments, in source-to-sink order.
@@ -181,8 +190,7 @@ mod tests {
 
     #[test]
     fn construction_and_accessors() {
-        let net =
-            TwoPinNet::new(segments(), vec![zone(1200.0, 2400.0)], 120.0, 60.0).unwrap();
+        let net = TwoPinNet::new(segments(), vec![zone(1200.0, 2400.0)], 120.0, 60.0).unwrap();
         assert_eq!(net.segments().len(), 3);
         assert_eq!(net.total_length(), 4500.0);
         assert_eq!(net.driver_width(), 120.0);
@@ -209,8 +217,7 @@ mod tests {
 
     #[test]
     fn legal_positions_exclude_endpoints_and_zones() {
-        let net =
-            TwoPinNet::new(segments(), vec![zone(1200.0, 2400.0)], 120.0, 60.0).unwrap();
+        let net = TwoPinNet::new(segments(), vec![zone(1200.0, 2400.0)], 120.0, 60.0).unwrap();
         assert!(!net.is_legal_position(0.0));
         assert!(!net.is_legal_position(4500.0));
         assert!(!net.is_legal_position(2000.0)); // inside zone
@@ -220,8 +227,7 @@ mod tests {
 
     #[test]
     fn forbidden_fraction() {
-        let net =
-            TwoPinNet::new(segments(), vec![zone(1000.0, 2350.0)], 120.0, 60.0).unwrap();
+        let net = TwoPinNet::new(segments(), vec![zone(1000.0, 2350.0)], 120.0, 60.0).unwrap();
         assert!((net.forbidden_fraction() - 0.3).abs() < 1e-12);
     }
 
@@ -241,8 +247,7 @@ mod tests {
 
     #[test]
     fn rejects_zone_outside_span() {
-        let err = TwoPinNet::new(segments(), vec![zone(4000.0, 5000.0)], 120.0, 60.0)
-            .unwrap_err();
+        let err = TwoPinNet::new(segments(), vec![zone(4000.0, 5000.0)], 120.0, 60.0).unwrap_err();
         assert!(matches!(err, NetError::ZoneOutOfRange { .. }));
     }
 
@@ -250,11 +255,17 @@ mod tests {
     fn rejects_bad_widths() {
         assert!(matches!(
             TwoPinNet::new(segments(), vec![], 0.0, 60.0),
-            Err(NetError::InvalidWidth { terminal: "driver", .. })
+            Err(NetError::InvalidWidth {
+                terminal: "driver",
+                ..
+            })
         ));
         assert!(matches!(
             TwoPinNet::new(segments(), vec![], 120.0, -3.0),
-            Err(NetError::InvalidWidth { terminal: "receiver", .. })
+            Err(NetError::InvalidWidth {
+                terminal: "receiver",
+                ..
+            })
         ));
     }
 

@@ -40,7 +40,10 @@ const POS_DEDUP_TOL: f64 = 1.0e-6;
 /// # }
 /// ```
 pub fn uniform_candidates(net: &TwoPinNet, step: f64) -> Vec<f64> {
-    assert!(step.is_finite() && step > 0.0, "candidate step must be positive");
+    assert!(
+        step.is_finite() && step > 0.0,
+        "candidate step must be positive"
+    );
     let total = net.total_length();
     let mut out = Vec::new();
     let mut k = 1usize;
@@ -74,7 +77,10 @@ pub fn window_candidates(
     half_slots: usize,
     step: f64,
 ) -> Vec<f64> {
-    assert!(step.is_finite() && step > 0.0, "candidate step must be positive");
+    assert!(
+        step.is_finite() && step > 0.0,
+        "candidate step must be positive"
+    );
     let mut out = Vec::with_capacity(centers.len() * (2 * half_slots + 1));
     for &c in centers {
         for j in -(half_slots as i64)..=(half_slots as i64) {
@@ -145,7 +151,10 @@ mod tests {
     fn uniform_grid_without_zone() {
         let net = net_with_zone(None);
         let grid = uniform_candidates(&net, 500.0);
-        assert_eq!(grid, vec![500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0, 3500.0]);
+        assert_eq!(
+            grid,
+            vec![500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0, 3500.0]
+        );
     }
 
     #[test]

@@ -125,7 +125,14 @@ impl RcProfile {
             //                   = r·C(x₀)·l + r·c·l²/2.
             pref_e.push(e0 + seg.r_per_um() * (c0 * l + seg.c_per_um() * l * l / 2.0));
         }
-        Ok(Self { bounds, r, c, pref_r, pref_c, pref_e })
+        Ok(Self {
+            bounds,
+            r,
+            c,
+            pref_r,
+            pref_c,
+            pref_e,
+        })
     }
 
     /// Total net length `L`, µm.
@@ -236,7 +243,11 @@ impl RcProfile {
         let resistance = rb - ra;
         let capacitance = cb - ca;
         let elmore = cb * resistance - (self.e_to(b) - self.e_to(a));
-        IntervalRc { resistance, capacitance, elmore }
+        IntervalRc {
+            resistance,
+            capacitance,
+            elmore,
+        }
     }
 }
 
@@ -273,7 +284,11 @@ mod tests {
         // Eq. (1)'s double sum over full segments:
         // Σ_j r_j·l_j·(c_j·l_j/2 + Σ_{h>j} c_h·l_h).
         let p = two_layer_profile();
-        let segs = [(1000.0, 0.08, 0.20), (2000.0, 0.06, 0.18), (1500.0, 0.08, 0.20)];
+        let segs = [
+            (1000.0, 0.08, 0.20),
+            (2000.0, 0.06, 0.18),
+            (1500.0, 0.08, 0.20),
+        ];
         let mut expected = 0.0;
         for j in 0..segs.len() {
             let (lj, rj, cj) = segs[j];
@@ -340,7 +355,10 @@ mod tests {
         assert_eq!(p.c_at(1000.0, Side::Upstream), 0.20);
         assert_eq!(p.c_at(1000.0, Side::Downstream), 0.18);
         // Strictly inside a segment both sides agree.
-        assert_eq!(p.r_at(500.0, Side::Upstream), p.r_at(500.0, Side::Downstream));
+        assert_eq!(
+            p.r_at(500.0, Side::Upstream),
+            p.r_at(500.0, Side::Downstream)
+        );
     }
 
     #[test]
@@ -374,8 +392,14 @@ mod tests {
     #[test]
     fn rejects_invalid_segments() {
         assert!(matches!(RcProfile::new(&[]), Err(NetError::NoSegments)));
-        let bad = RcProfile::new(&[Segment::new(1000.0, 0.08, 0.2), Segment::new(-1.0, 0.08, 0.2)]);
-        assert!(matches!(bad, Err(NetError::InvalidSegment { index: 1, .. })));
+        let bad = RcProfile::new(&[
+            Segment::new(1000.0, 0.08, 0.2),
+            Segment::new(-1.0, 0.08, 0.2),
+        ]);
+        assert!(matches!(
+            bad,
+            Err(NetError::InvalidSegment { index: 1, .. })
+        ));
     }
 
     #[test]

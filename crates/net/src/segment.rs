@@ -17,7 +17,6 @@ use rip_tech::WireLayer;
 /// assert_eq!(seg.length_um(), 1500.0);
 /// assert_eq!(seg.r_per_um(), m4.r_per_um());
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     length_um: f64,
@@ -36,7 +35,11 @@ impl Segment {
     /// net constructor reports the segment index with the error), so this
     /// constructor is infallible.
     pub fn new(length_um: f64, r_per_um: f64, c_per_um: f64) -> Self {
-        Self { length_um, r_per_um, c_per_um }
+        Self {
+            length_um,
+            r_per_um,
+            c_per_um,
+        }
     }
 
     /// Creates a segment of the given length on a routing layer.

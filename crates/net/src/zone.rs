@@ -25,7 +25,6 @@ use crate::error::NetError;
 /// # Ok(())
 /// # }
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForbiddenZone {
     start: f64,

@@ -1,7 +1,6 @@
 //! Error types for the analytical solver.
 
 use rip_delay::DelayError;
-use std::error::Error;
 use std::fmt;
 
 /// Errors produced by the REFINE solver.
@@ -42,9 +41,15 @@ impl fmt::Display for RefineError {
         match self {
             RefineError::BadPositions(e) => write!(f, "invalid initial positions: {e}"),
             RefineError::InvalidTarget { target_fs } => {
-                write!(f, "timing target must be strictly positive and finite, got {target_fs} fs")
+                write!(
+                    f,
+                    "timing target must be strictly positive and finite, got {target_fs} fs"
+                )
             }
-            RefineError::InfeasibleTarget { target_fs, achievable_fs } => write!(
+            RefineError::InfeasibleTarget {
+                target_fs,
+                achievable_fs,
+            } => write!(
                 f,
                 "target {target_fs} fs is unreachable at these positions \
                  (continuous-width minimum: {achievable_fs} fs)"
@@ -59,24 +64,12 @@ impl fmt::Display for RefineError {
     }
 }
 
-impl Error for RefineError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            RefineError::BadPositions(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<DelayError> for RefineError {
-    fn from(e: DelayError) -> Self {
-        RefineError::BadPositions(e)
-    }
-}
+rip_tech::impl_error_wrapper!(RefineError { BadPositions(DelayError) });
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn source_chains_to_delay_error() {

@@ -116,7 +116,12 @@ pub fn solve_widths(
                 achievable_fs: delay,
             });
         }
-        return Ok(WidthSolve { widths: vec![], lambda: 0.0, delay_fs: delay, total_width: 0.0 });
+        return Ok(WidthSolve {
+            widths: vec![],
+            lambda: 0.0,
+            delay_fs: delay,
+            total_width: 0.0,
+        });
     }
 
     // --- Feasibility: λ → ∞ is the unconstrained delay optimum.
@@ -124,7 +129,10 @@ pub fn solve_widths(
     fixed_point(view, f64::INFINITY, &mut w_fast, config);
     let best_delay = view.total_delay(&w_fast);
     if best_delay > target_fs * (1.0 + 1e-12) {
-        return Err(RefineError::InfeasibleTarget { target_fs, achievable_fs: best_delay });
+        return Err(RefineError::InfeasibleTarget {
+            target_fs,
+            achievable_fs: best_delay,
+        });
     }
 
     // --- Bracket λ: τ(λ) decreases from +∞ (λ→0) to best_delay (λ→∞).
@@ -141,7 +149,12 @@ pub fn solve_widths(
         // Pathological: fall back to the λ→∞ widths (still feasible).
         let delay = view.total_delay(&w_fast);
         let total = w_fast.iter().sum();
-        return Ok(WidthSolve { widths: w_fast, lambda: f64::INFINITY, delay_fs: delay, total_width: total });
+        return Ok(WidthSolve {
+            widths: w_fast,
+            lambda: f64::INFINITY,
+            delay_fs: delay,
+            total_width: total,
+        });
     }
     let mut lambda_lo = lambda_hi / 4.0;
     let mut delay_lo = eval_lambda(view, lambda_lo, &mut w, config);
@@ -200,7 +213,12 @@ pub fn solve_widths(
     }
 
     let total = w.iter().sum();
-    Ok(WidthSolve { widths: w, lambda, delay_fs: delay, total_width: total })
+    Ok(WidthSolve {
+        widths: w,
+        lambda,
+        delay_fs: delay,
+        total_width: total,
+    })
 }
 
 /// KKT residuals at `(widths, λ)`: `n` entries of `1 + λ·∂τ/∂wᵢ` followed
@@ -258,7 +276,7 @@ fn fixed_point(
 fn eval_lambda(
     view: &ChainView<'_>,
     lambda: f64,
-    w: &mut Vec<f64>,
+    w: &mut [f64],
     config: &WidthSolverConfig,
 ) -> f64 {
     fixed_point(view, lambda, w, config);
@@ -461,7 +479,10 @@ mod tests {
         let tech = tech();
         let net = net();
         let v = view(&net, &tech);
-        let config = WidthSolverConfig { width_floor: 10.0, ..Default::default() };
+        let config = WidthSolverConfig {
+            width_floor: 10.0,
+            ..Default::default()
+        };
         let t_min = continuous_min_delay(&v, &config);
         // Enormous slack: optimal continuous widths would be < 10u.
         let sol = solve_widths(&v, t_min * 50.0, &config).unwrap();

@@ -135,7 +135,11 @@ pub fn apply_moves(
         positions[j] = landed;
         moved += 1;
     }
-    MoveRound { positions, moved, skipped }
+    MoveRound {
+        positions,
+        moved,
+        skipped,
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +174,10 @@ mod tests {
             let base = view.total_delay(&widths);
             let mut probe = view.positions().to_vec();
             probe[j] += h;
-            let down = view.with_positions(probe.clone()).unwrap().total_delay(&widths);
+            let down = view
+                .with_positions(probe.clone())
+                .unwrap()
+                .total_delay(&widths);
             probe[j] -= 2.0 * h;
             let up = view.with_positions(probe).unwrap().total_delay(&widths);
             match decide_move(&view, &widths, j) {
@@ -208,7 +215,10 @@ mod tests {
             if let MoveDecision::Downstream { gain } | MoveDecision::Upstream { gain } =
                 decide_move(&view, &widths, j)
             {
-                assert!(gain < 2.0, "j={j}: gain {gain} should be small near symmetry");
+                assert!(
+                    gain < 2.0,
+                    "j={j}: gain {gain} should be small near symmetry"
+                );
             }
         }
     }
@@ -227,7 +237,10 @@ mod tests {
         ));
         // And one crammed against the sink should move upstream.
         let view = ChainView::new(&net, tech.device(), vec![9500.0]).unwrap();
-        assert!(matches!(decide_move(&view, &widths, 0), MoveDecision::Upstream { .. }));
+        assert!(matches!(
+            decide_move(&view, &widths, 0),
+            MoveDecision::Upstream { .. }
+        ));
     }
 
     #[test]

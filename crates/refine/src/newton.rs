@@ -23,7 +23,12 @@ pub struct NewtonOptions {
 
 impl Default for NewtonOptions {
     fn default() -> Self {
-        Self { tolerance: 1e-10, max_iterations: 60, max_halvings: 30, lower_bounds: None }
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 60,
+            max_halvings: 30,
+            lower_bounds: None,
+        }
     }
 }
 
@@ -116,7 +121,12 @@ pub fn newton_solve(
             break; // stuck: no descent along the Newton direction
         }
     }
-    NewtonResult { x, residual_norm: norm, iterations, converged: norm <= options.tolerance }
+    NewtonResult {
+        x,
+        residual_norm: norm,
+        iterations,
+        converged: norm <= options.tolerance,
+    }
 }
 
 fn max_norm(v: &[f64]) -> f64 {
@@ -131,7 +141,10 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite matrix")
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix")
         })?;
         if a[pivot][col].abs() < 1e-300 {
             return None;
@@ -143,8 +156,9 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (head, tail) = a.split_at_mut(row);
+            for (dst, &src) in tail[0][col..].iter_mut().zip(&head[col][col..]) {
+                *dst -= factor * src;
             }
             b[row] -= factor * b[col];
         }
@@ -206,7 +220,10 @@ mod tests {
     #[test]
     fn newton_respects_lower_bounds() {
         // Root at x = -1 but bound keeps x >= 0.5: solver must not cross.
-        let options = NewtonOptions { lower_bounds: Some(vec![0.5]), ..Default::default() };
+        let options = NewtonOptions {
+            lower_bounds: Some(vec![0.5]),
+            ..Default::default()
+        };
         let result = newton_solve(
             |x| vec![x[0] + 1.0],
             |_| vec![vec![1.0]],
@@ -239,7 +256,10 @@ mod tests {
             |_| vec![1.0],
             |_| vec![vec![0.0]],
             vec![0.0],
-            &NewtonOptions { max_iterations: 5, ..Default::default() },
+            &NewtonOptions {
+                max_iterations: 5,
+                ..Default::default()
+            },
         );
         assert!(!result.converged);
     }

@@ -62,13 +62,19 @@ impl Default for RefineConfig {
 impl RefineConfig {
     fn validate(&self) -> Result<(), RefineError> {
         if !(self.step_um.is_finite() && self.step_um > 0.0) {
-            return Err(RefineError::InvalidConfig { reason: "step_um must be positive" });
+            return Err(RefineError::InvalidConfig {
+                reason: "step_um must be positive",
+            });
         }
         if !(self.epsilon.is_finite() && self.epsilon >= 0.0) {
-            return Err(RefineError::InvalidConfig { reason: "epsilon must be non-negative" });
+            return Err(RefineError::InvalidConfig {
+                reason: "epsilon must be non-negative",
+            });
         }
         if self.passes == 0 {
-            return Err(RefineError::InvalidConfig { reason: "passes must be at least 1" });
+            return Err(RefineError::InvalidConfig {
+                reason: "passes must be at least 1",
+            });
         }
         if !(self.min_separation_um.is_finite() && self.min_separation_um >= 0.0) {
             return Err(RefineError::InvalidConfig {
@@ -274,10 +280,13 @@ mod tests {
         let net = uniform_net(12_000.0);
         let init = [2000.0, 4000.0, 6000.0]; // skewed towards the source
         let target = loose_target(&net, &init);
-        let out = refine(&net, tech.device(), &init, target, &RefineConfig::default())
-            .unwrap();
+        let out = refine(&net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
         for w in out.width_history.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "history must not increase: {:?}", out.width_history);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "history must not increase: {:?}",
+                out.width_history
+            );
         }
         assert!(out.moves_applied > 0, "skewed start must trigger movement");
     }
@@ -296,8 +305,7 @@ mod tests {
                 .unwrap()
                 .total_width
         };
-        let out = refine(&net, tech.device(), &init, target, &RefineConfig::default())
-            .unwrap();
+        let out = refine(&net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
         assert!(
             out.total_width < frozen,
             "refined {} !< frozen {frozen}",
@@ -317,8 +325,7 @@ mod tests {
             .unwrap();
         let init = [2000.0, 4000.0, 9000.0];
         let target = loose_target(&net, &init);
-        let out =
-            refine(&net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
+        let out = refine(&net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
         assert!(out.delay_fs <= target * (1.0 + 1e-9));
         let asg = out.to_assignment();
         asg.validate_on(&net).unwrap();
@@ -346,8 +353,7 @@ mod tests {
         let tight = solve_widths(&view, probe, &WidthSolverConfig::default()).unwrap();
         w = tight.widths;
         let target = view.total_delay(&w) * 1.02;
-        let out =
-            refine(&net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
+        let out = refine(&net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
         assert!(out.iterations <= 30, "took {} iterations", out.iterations);
         for (x, x0) in out.positions.iter().zip(&init) {
             assert!((x - x0).abs() <= 1000.0, "moved {x0} -> {x}");
@@ -364,8 +370,7 @@ mod tests {
         let net = multi_layer_net();
         let init = [1500.0, 5000.0, 8000.0];
         let target = loose_target(&net, &init);
-        let out =
-            refine(&net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
+        let out = refine(&net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
         assert!(out.total_width > 0.0);
         assert!(out.delay_fs <= target * (1.0 + 1e-9));
         // Positions remain strictly ordered and inside the span.
@@ -382,14 +387,16 @@ mod tests {
         let net = uniform_net(14_000.0);
         let init = [2000.0, 4000.0, 6000.0, 8000.0];
         let target = loose_target(&net, &init);
-        let one = refine(&net, tech.device(), &init, target, &RefineConfig::default())
-            .unwrap();
+        let one = refine(&net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
         let two = refine(
             &net,
             tech.device(),
             &init,
             target,
-            &RefineConfig { passes: 3, ..Default::default() },
+            &RefineConfig {
+                passes: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(two.total_width <= one.total_width + 1e-9);
@@ -409,14 +416,16 @@ mod tests {
             .unwrap();
         let init = [2450.0, 8000.0];
         let target = loose_target(&net, &init);
-        let stuck = refine(&net, tech.device(), &init, target, &RefineConfig::default())
-            .unwrap();
+        let stuck = refine(&net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
         let hopped = refine(
             &net,
             tech.device(),
             &init,
             target,
-            &RefineConfig { zone_hop_um: Some(500.0), ..Default::default() },
+            &RefineConfig {
+                zone_hop_um: Some(500.0),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(hopped.total_width <= stuck.total_width + 1e-9);
@@ -428,14 +437,26 @@ mod tests {
     fn propagates_infeasibility_and_bad_config() {
         let tech = tech();
         let net = uniform_net(12_000.0);
-        let err = refine(&net, tech.device(), &[6000.0], 1.0, &RefineConfig::default());
+        let err = refine(
+            &net,
+            tech.device(),
+            &[6000.0],
+            1.0,
+            &RefineConfig::default(),
+        );
         assert!(matches!(err, Err(RefineError::InfeasibleTarget { .. })));
-        let bad = RefineConfig { step_um: 0.0, ..Default::default() };
+        let bad = RefineConfig {
+            step_um: 0.0,
+            ..Default::default()
+        };
         assert!(matches!(
             refine(&net, tech.device(), &[6000.0], 1.0e6, &bad),
             Err(RefineError::InvalidConfig { .. })
         ));
-        let bad = RefineConfig { passes: 0, ..Default::default() };
+        let bad = RefineConfig {
+            passes: 0,
+            ..Default::default()
+        };
         assert!(matches!(
             refine(&net, tech.device(), &[6000.0], 1.0e6, &bad),
             Err(RefineError::InvalidConfig { .. })

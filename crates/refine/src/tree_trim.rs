@@ -32,7 +32,12 @@ pub struct TreeTrimConfig {
 
 impl Default for TreeTrimConfig {
     fn default() -> Self {
-        Self { width_floor: 1.0, width_tolerance: 1e-6, epsilon: 1e-6, max_sweeps: 60 }
+        Self {
+            width_floor: 1.0,
+            width_tolerance: 1e-6,
+            epsilon: 1e-6,
+            max_sweeps: 60,
+        }
     }
 }
 
@@ -76,15 +81,18 @@ pub fn trim_tree_widths(
     }
     let mut widths = buffer_widths.to_vec();
     let eval = |w: &[Option<f64>]| -> f64 {
-        tree.evaluate_buffered(device, driver_width, w).max_sink_delay
+        tree.evaluate_buffered(device, driver_width, w)
+            .max_sink_delay
     };
     let mut delay = eval(&widths);
     if delay > target_fs * (1.0 + 1e-12) {
-        return Err(RefineError::InfeasibleTarget { target_fs, achievable_fs: delay });
+        return Err(RefineError::InfeasibleTarget {
+            target_fs,
+            achievable_fs: delay,
+        });
     }
 
-    let buffer_nodes: Vec<usize> =
-        (0..widths.len()).filter(|&v| widths[v].is_some()).collect();
+    let buffer_nodes: Vec<usize> = (0..widths.len()).filter(|&v| widths[v].is_some()).collect();
     let total = |w: &[Option<f64>]| -> f64 { w.iter().flatten().sum() };
     let mut best_total = total(&widths);
     let mut sweeps = 0;
@@ -125,7 +133,12 @@ pub fn trim_tree_widths(
 
     delay = eval(&widths);
     debug_assert!(delay <= target_fs * (1.0 + 1e-9));
-    Ok(TreeTrimOutcome { buffer_widths: widths, delay_fs: delay, total_width: best_total, sweeps })
+    Ok(TreeTrimOutcome {
+        buffer_widths: widths,
+        delay_fs: delay,
+        total_width: best_total,
+        sweeps,
+    })
 }
 
 #[cfg(test)]
@@ -156,10 +169,20 @@ mod tests {
         let (tree, widths) = y_tree(&dev);
         let before = tree.evaluate_buffered(&dev, 120.0, &widths);
         let target = before.max_sink_delay * 1.3;
-        let out =
-            trim_tree_widths(&tree, &dev, 120.0, &widths, target, &TreeTrimConfig::default())
-                .unwrap();
-        assert!(out.total_width < 250.0, "did not shrink: {}", out.total_width);
+        let out = trim_tree_widths(
+            &tree,
+            &dev,
+            120.0,
+            &widths,
+            target,
+            &TreeTrimConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            out.total_width < 250.0,
+            "did not shrink: {}",
+            out.total_width
+        );
         assert!(out.delay_fs <= target * (1.0 + 1e-9));
         // The trimmed solution is tight: shaving 2% more off every buffer
         // must break the target (otherwise the trim left slack behind).
@@ -168,7 +191,9 @@ mod tests {
             .iter()
             .map(|w| w.map(|w| (w * 0.98).max(1.0)))
             .collect();
-        let d = tree.evaluate_buffered(&dev, 120.0, &squeezed).max_sink_delay;
+        let d = tree
+            .evaluate_buffered(&dev, 120.0, &squeezed)
+            .max_sink_delay;
         assert!(d > target, "trim left recoverable slack");
     }
 
@@ -183,7 +208,10 @@ mod tests {
             120.0,
             &widths,
             before.max_sink_delay * 50.0,
-            &TreeTrimConfig { width_floor: 10.0, ..Default::default() },
+            &TreeTrimConfig {
+                width_floor: 10.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         for w in out.buffer_widths.iter().flatten() {
@@ -221,9 +249,15 @@ mod tests {
         widths[b] = Some(300.0);
         let before = tree.evaluate_buffered(&dev, 120.0, &widths);
         let target = before.max_sink_delay * 1.2;
-        let out =
-            trim_tree_widths(&tree, &dev, 120.0, &widths, target, &TreeTrimConfig::default())
-                .unwrap();
+        let out = trim_tree_widths(
+            &tree,
+            &dev,
+            120.0,
+            &widths,
+            target,
+            &TreeTrimConfig::default(),
+        )
+        .unwrap();
         assert!(out.total_width < 600.0);
         assert!(out.sweeps >= 1);
         assert!(out.delay_fs <= target * (1.0 + 1e-9));
@@ -238,7 +272,14 @@ mod tests {
         let dev = device();
         let (tree, widths) = y_tree(&dev);
         assert!(matches!(
-            trim_tree_widths(&tree, &dev, 120.0, &widths, -1.0, &TreeTrimConfig::default()),
+            trim_tree_widths(
+                &tree,
+                &dev,
+                120.0,
+                &widths,
+                -1.0,
+                &TreeTrimConfig::default()
+            ),
             Err(RefineError::InvalidTarget { .. })
         ));
     }

@@ -8,17 +8,70 @@ fn main() {
     let t_min = tau_min_paper(&net, tech.device());
     let target = 1.5 * t_min;
     let out = rip(&net, &tech, target, &RipConfig::paper()).unwrap();
-    let dp = baseline_dp(&net, tech.device(), &BaselineConfig::paper_table2(10.0), target).unwrap();
-    println!("net len {:.0}, zones {:?}", net.total_length(), net.zones().iter().map(|z|(z.start(),z.end())).collect::<Vec<_>>());
-    println!("coarse: n={} widths={:?} pos={:?} w={}", out.coarse.assignment.len(), out.coarse.assignment.widths(), out.coarse.assignment.positions(), out.coarse.total_width);
+    let dp = baseline_dp(
+        &net,
+        tech.device(),
+        &BaselineConfig::paper_table2(10.0),
+        target,
+    )
+    .unwrap();
+    println!(
+        "net len {:.0}, zones {:?}",
+        net.total_length(),
+        net.zones()
+            .iter()
+            .map(|z| (z.start(), z.end()))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "coarse: n={} widths={:?} pos={:?} w={}",
+        out.coarse.assignment.len(),
+        out.coarse.assignment.widths(),
+        out.coarse.assignment.positions(),
+        out.coarse.total_width
+    );
     if let Some(r) = &out.refined {
-        println!("refined: w={:.1} widths={:?} pos={:?} iters={} moves={}", r.total_width,
-            r.widths.iter().map(|w|(w*10.).round()/10.).collect::<Vec<_>>(),
-            r.positions.iter().map(|x|x.round()).collect::<Vec<_>>(), r.iterations, r.moves_applied);
+        println!(
+            "refined: w={:.1} widths={:?} pos={:?} iters={} moves={}",
+            r.total_width,
+            r.widths
+                .iter()
+                .map(|w| (w * 10.).round() / 10.)
+                .collect::<Vec<_>>(),
+            r.positions.iter().map(|x| x.round()).collect::<Vec<_>>(),
+            r.iterations,
+            r.moves_applied
+        );
     }
-    println!("final: n={} widths={:?} pos={:?} w={}", out.solution.assignment.len(), out.solution.assignment.widths(), out.solution.assignment.positions(), out.solution.total_width);
-    println!("dp:    n={} widths={:?} pos={:?} w={}", dp.assignment.len(), dp.assignment.widths(), dp.assignment.positions(), dp.total_width);
+    println!(
+        "final: n={} widths={:?} pos={:?} w={}",
+        out.solution.assignment.len(),
+        out.solution.assignment.widths(),
+        out.solution.assignment.positions(),
+        out.solution.total_width
+    );
+    println!(
+        "dp:    n={} widths={:?} pos={:?} w={}",
+        dp.assignment.len(),
+        dp.assignment.widths(),
+        dp.assignment.positions(),
+        dp.total_width
+    );
     // what would refine say if seeded from DP's positions?
-    let r2 = refine(&net, tech.device(), &dp.assignment.positions(), target, &RefineConfig::default()).unwrap();
-    println!("refine from DP seed: w={:.1} widths={:?}", r2.total_width, r2.widths.iter().map(|w|(w*10.).round()/10.).collect::<Vec<_>>());
+    let r2 = refine(
+        &net,
+        tech.device(),
+        &dp.assignment.positions(),
+        target,
+        &RefineConfig::default(),
+    )
+    .unwrap();
+    println!(
+        "refine from DP seed: w={:.1} widths={:?}",
+        r2.total_width,
+        r2.widths
+            .iter()
+            .map(|w| (w * 10.).round() / 10.)
+            .collect::<Vec<_>>()
+    );
 }

@@ -28,7 +28,13 @@ fn escape(cell: &str) -> String {
 /// ```
 pub fn to_csv_string(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

@@ -2,7 +2,7 @@
 //! sweeps, and the RIP-vs-baseline comparison grid that Table 1, Table 2
 //! and Figure 7 are all views of.
 
-use rip_core::{baseline_dp, rip, tau_min_paper, BaselineConfig, RipConfig};
+use rip_core::{BaselineConfig, Engine, RipConfig};
 use rip_net::{NetGenerator, RandomNetConfig, TwoPinNet};
 use rip_tech::Technology;
 use std::time::{Duration, Instant};
@@ -32,9 +32,13 @@ impl ExperimentEnv {
         let tech = Technology::generic_180nm();
         let nets = NetGenerator::suite(RandomNetConfig::default(), seed, net_count)
             .expect("paper distribution is valid");
-        let tau_mins =
-            nets.iter().map(|net| tau_min_paper(net, tech.device())).collect();
-        Self { tech, nets, tau_mins }
+        let engine = Engine::paper(tech.clone());
+        let tau_mins = nets.iter().map(|net| engine.tau_min(net)).collect();
+        Self {
+            tech,
+            nets,
+            tau_mins,
+        }
     }
 }
 
@@ -107,12 +111,19 @@ impl ComparisonGrid {
 
 /// Runs the comparison grid: for every net and every target multiplier,
 /// run RIP once and every baseline once, recording widths and runtimes.
+///
+/// All cells of one grid share a single [`Engine`] session, so candidate
+/// grids are built once per `(net, step)` rather than once per cell —
+/// per-cell runtimes still measure each solve's own DP work. Cells run
+/// sequentially on purpose: the grid's runtimes feed Table 2's timing
+/// columns, and concurrent solves on shared cores would distort them.
 pub fn run_grid(
     env: &ExperimentEnv,
     multipliers: &[f64],
     baselines: &[(String, BaselineConfig)],
     rip_config: &RipConfig,
 ) -> ComparisonGrid {
+    let engine = Engine::new(env.tech.clone(), rip_config.clone());
     let mut cells = Vec::with_capacity(env.nets.len());
     for (net, &tau_min) in env.nets.iter().zip(&env.tau_mins) {
         let mut row = Vec::with_capacity(multipliers.len());
@@ -120,7 +131,7 @@ pub fn run_grid(
             let target_fs = tau_min * m;
 
             let t0 = Instant::now();
-            let rip_outcome = rip(net, &env.tech, target_fs, rip_config);
+            let rip_outcome = engine.solve(net, target_fs);
             let rip_time = t0.elapsed();
             let rip_width = rip_outcome.ok().map(|o| o.solution.total_width);
 
@@ -128,7 +139,7 @@ pub fn run_grid(
                 .iter()
                 .map(|(_, cfg)| {
                     let t1 = Instant::now();
-                    let result = baseline_dp(net, env.tech.device(), cfg, target_fs);
+                    let result = engine.baseline(net, cfg, target_fs);
                     let elapsed = t1.elapsed();
                     result.ok().map(|sol| (sol.total_width, elapsed))
                 })

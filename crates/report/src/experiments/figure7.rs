@@ -76,8 +76,14 @@ pub fn run_figure7(config: &Figure7Config) -> Figure7Outcome {
     let env = ExperimentEnv::paper(config.seed, config.net_count);
     let multipliers = target_multipliers(config.target_count);
     let baselines = vec![
-        (format!("g={}u", config.granularity_a), BaselineConfig::paper_table1(config.granularity_a)),
-        (format!("g={}u", config.granularity_b), BaselineConfig::paper_table1(config.granularity_b)),
+        (
+            format!("g={}u", config.granularity_a),
+            BaselineConfig::paper_table1(config.granularity_a),
+        ),
+        (
+            format!("g={}u", config.granularity_b),
+            BaselineConfig::paper_table1(config.granularity_b),
+        ),
     ];
     let grid = run_grid(&env, &multipliers, &baselines, &config.rip);
     let points = |gi: usize| -> Vec<Figure7Point> {
@@ -116,7 +122,11 @@ pub fn mean_by_multiplier(points: &[Figure7Point]) -> Vec<(f64, Option<f64>)> {
                 .filter(|p| (p.multiplier - m).abs() < 1e-12)
                 .filter_map(|p| p.saving_percent)
                 .collect();
-            let value = if savings.is_empty() { None } else { Some(mean(&savings)) };
+            let value = if savings.is_empty() {
+                None
+            } else {
+                Some(mean(&savings))
+            };
             (m, value)
         })
         .collect()
@@ -162,9 +172,7 @@ pub fn render_figure7(outcome: &Figure7Outcome) -> String {
         out.push_str("          mean saving by target multiplier:\n");
         for (m, s) in trend {
             match s {
-                Some(s) => {
-                    out.push_str(&format!("            {m:.2} x tau_min: {s:6.2} %\n"))
-                }
+                Some(s) => out.push_str(&format!("            {m:.2} x tau_min: {s:6.2} %\n")),
                 None => out.push_str(&format!(
                     "            {m:.2} x tau_min:   zone I (baseline infeasible)\n"
                 )),
@@ -177,10 +185,17 @@ pub fn render_figure7(outcome: &Figure7Outcome) -> String {
 
 /// CSV headers + rows (both panels, long format).
 pub fn figure7_csv(outcome: &Figure7Outcome) -> (Vec<String>, Vec<Vec<String>>) {
-    let headers: Vec<String> = ["panel", "granularity_u", "multiplier", "target_ns", "saving_percent", "baseline_feasible"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "panel",
+        "granularity_u",
+        "multiplier",
+        "target_ns",
+        "saving_percent",
+        "baseline_feasible",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for (panel, g, points) in [
         ("a", outcome.granularities.0, &outcome.panel_a),
@@ -192,7 +207,8 @@ pub fn figure7_csv(outcome: &Figure7Outcome) -> (Vec<String>, Vec<Vec<String>>) 
                 format!("{g}"),
                 format!("{:.4}", p.multiplier),
                 format!("{:.4}", p.target_ns),
-                p.saving_percent.map_or(String::new(), |s| format!("{s:.4}")),
+                p.saving_percent
+                    .map_or(String::new(), |s| format!("{s:.4}")),
                 p.saving_percent.is_some().to_string(),
             ]);
         }
@@ -205,7 +221,12 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> Figure7Config {
-        Figure7Config { seed: 11, net_count: 2, target_count: 5, ..Default::default() }
+        Figure7Config {
+            seed: 11,
+            net_count: 2,
+            target_count: 5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -221,7 +242,11 @@ mod tests {
         // 370u) must not.
         let out = run_figure7(&tiny_config());
         assert!(zone1_fraction(&out.panel_a) > 0.0, "no zone I in panel (a)");
-        assert_eq!(zone1_fraction(&out.panel_b), 0.0, "unexpected zone I in panel (b)");
+        assert_eq!(
+            zone1_fraction(&out.panel_b),
+            0.0,
+            "unexpected zone I in panel (b)"
+        );
     }
 
     #[test]
@@ -254,6 +279,9 @@ mod tests {
         let (headers, rows) = figure7_csv(&out);
         assert_eq!(headers.len(), 6);
         assert_eq!(rows.len(), 20);
-        assert!(rows.iter().any(|r| r[5] == "false"), "zone I rows should appear");
+        assert!(
+            rows.iter().any(|r| r[5] == "false"),
+            "zone I rows should appear"
+        );
     }
 }

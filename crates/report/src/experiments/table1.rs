@@ -6,9 +6,7 @@
 //! library violates tight targets), then `∆Max`/`∆Mean` at `g=20u` and
 //! `g=40u`, plus an averages row.
 
-use crate::experiments::common::{
-    run_grid, target_multipliers, ComparisonGrid, ExperimentEnv,
-};
+use crate::experiments::common::{run_grid, target_multipliers, ComparisonGrid, ExperimentEnv};
 use crate::table::{fmt_f, TextTable};
 use rip_core::{summarize_savings, BaselineConfig, RipConfig, SavingsSummary};
 
@@ -198,7 +196,10 @@ mod tests {
         assert_eq!(out.rows.len(), 2);
         assert_eq!(out.rows[0].len(), 2);
         assert_eq!(out.averages.len(), 2);
-        assert_eq!(out.rip_failures, 0, "RIP must never fail at >= 1.05 tau_min");
+        assert_eq!(
+            out.rip_failures, 0,
+            "RIP must never fail at >= 1.05 tau_min"
+        );
     }
 
     #[test]
@@ -227,8 +228,7 @@ mod tests {
         // at 100u (far below the ~230u optimum), so across tight targets
         // it must either violate timing or lose power.
         let out = run_table1(&tiny_config());
-        let g10_violations: usize =
-            out.rows.iter().map(|r| r[0].baseline_violations).sum();
+        let g10_violations: usize = out.rows.iter().map(|r| r[0].baseline_violations).sum();
         assert!(
             g10_violations > 0,
             "expected zone-I violations at g=10u (got none)"

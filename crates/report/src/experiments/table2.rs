@@ -7,9 +7,7 @@
 //! steeply (pseudo-polynomial pruning frontier); RIP's runtime stays
 //! flat, so the speedup at equal quality grows by orders of magnitude.
 
-use crate::experiments::common::{
-    run_grid, target_multipliers, ComparisonGrid, ExperimentEnv,
-};
+use crate::experiments::common::{run_grid, target_multipliers, ComparisonGrid, ExperimentEnv};
 use crate::stats::mean;
 use crate::table::{fmt_f, TextTable};
 use rip_core::{power_saving_percent, BaselineConfig, RipConfig};
@@ -86,8 +84,7 @@ pub fn run_table2(config: &Table2Config) -> Table2Outcome {
 /// Summarizes a prebuilt grid into Table 2 rows.
 pub fn summarize_table2(config: &Table2Config, grid: &ComparisonGrid) -> Table2Outcome {
     let cells: Vec<_> = grid.cells.iter().flatten().collect();
-    let rip_times: Vec<f64> =
-        cells.iter().map(|c| c.rip_time.as_secs_f64()).collect();
+    let rip_times: Vec<f64> = cells.iter().map(|c| c.rip_time.as_secs_f64()).collect();
     let t_rip_mean = mean(&rip_times);
 
     let rows = config
@@ -113,7 +110,11 @@ pub fn summarize_table2(config: &Table2Config, grid: &ComparisonGrid) -> Table2O
                 granularity: g,
                 delta_mean_percent: mean(&savings),
                 t_dp: Duration::from_secs_f64(t_dp_mean),
-                speedup: if t_rip_mean > 0.0 { t_dp_mean / t_rip_mean } else { 0.0 },
+                speedup: if t_rip_mean > 0.0 {
+                    t_dp_mean / t_rip_mean
+                } else {
+                    0.0
+                },
                 violations,
             }
         })
@@ -137,8 +138,7 @@ pub fn render_table2(outcome: &Table2Outcome) -> String {
             fmt_f(row.speedup, 1),
         ]);
     }
-    let mut out =
-        String::from("Table 2: power savings and speedup tradeoff (range 10u-400u)\n");
+    let mut out = String::from("Table 2: power savings and speedup tradeoff (range 10u-400u)\n");
     out.push_str(&table.to_string());
     out.push_str(&format!(
         "mean RIP runtime per design: {:.3} ms\n",
@@ -152,11 +152,17 @@ pub fn render_table2(outcome: &Table2Outcome) -> String {
 
 /// CSV headers + rows.
 pub fn table2_csv(outcome: &Table2Outcome) -> (Vec<String>, Vec<Vec<String>>) {
-    let headers: Vec<String> =
-        ["g_dp_u", "delta_mean_percent", "t_dp_ms", "t_rip_ms", "speedup", "violations"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let headers: Vec<String> = [
+        "g_dp_u",
+        "delta_mean_percent",
+        "t_dp_ms",
+        "t_rip_ms",
+        "speedup",
+        "violations",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let rows = outcome
         .rows
         .iter()

@@ -15,7 +15,11 @@ pub struct Series {
 impl Series {
     /// Convenience constructor.
     pub fn new(marker: char, label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Self { marker, label: label.into(), points }
+        Self {
+            marker,
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -44,7 +48,10 @@ pub fn ascii_plot(
 ) -> String {
     let width = width.max(10);
     let height = height.max(4);
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return format!("(no data)\n{y_label} vs {x_label}\n");
     }
@@ -98,7 +105,10 @@ pub fn ascii_plot(
     out.push_str(&format!(
         "{} {:<width$}\n",
         " ".repeat(9),
-        format!("{x_min:.2}{}{x_max:.2}  ({x_label})", " ".repeat(width.saturating_sub(16))),
+        format!(
+            "{x_min:.2}{}{x_max:.2}  ({x_label})",
+            " ".repeat(width.saturating_sub(16))
+        ),
     ));
     for s in series {
         out.push_str(&format!("{} '{}' = {}\n", " ".repeat(9), s.marker, s.label));

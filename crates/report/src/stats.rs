@@ -18,7 +18,10 @@ pub fn mean(values: &[f64]) -> f64 {
 
 /// Maximum; 0.0 for an empty slice.
 pub fn max(values: &[f64]) -> f64 {
-    values.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)).max(0.0)
+    values
+        .iter()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        .max(0.0)
 }
 
 /// Minimum; 0.0 for an empty slice.

@@ -41,7 +41,11 @@ impl TextTable {
             .enumerate()
             .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
             .collect();
-        Self { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new(), aligns }
+        Self {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            aligns,
+        }
     }
 
     /// Overrides the per-column alignments.
@@ -91,10 +95,10 @@ impl fmt::Display for TextTable {
         }
         let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             let mut line = String::new();
-            for i in 0..cols {
+            for (i, (&width, align)) in widths.iter().zip(&self.aligns).enumerate() {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                let pad = widths[i].saturating_sub(cell.chars().count());
-                match self.aligns[i] {
+                let pad = width.saturating_sub(cell.chars().count());
+                match align {
                     Align::Left => {
                         line.push_str(cell);
                         line.push_str(&" ".repeat(pad));
@@ -168,7 +172,7 @@ mod tests {
 
     #[test]
     fn fmt_f_controls_decimals() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(37.146, 2), "37.15");
         assert_eq!(fmt_f(10.0, 0), "10");
     }
 }

@@ -32,7 +32,6 @@ use crate::error::{ensure_positive, TechError};
 /// # Ok(())
 /// # }
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RepeaterDevice {
     rs: f64,

@@ -1,6 +1,5 @@
 //! Error types for the technology substrate.
 
-use std::error::Error;
 use std::fmt;
 
 /// Errors produced while constructing or validating technology data.
@@ -66,7 +65,7 @@ impl fmt::Display for TechError {
     }
 }
 
-impl Error for TechError {}
+crate::impl_leaf_error!(TechError);
 
 /// Validates that `value` is finite and strictly positive.
 ///
@@ -116,7 +115,10 @@ mod tests {
     fn ensure_positive_rejects_zero() {
         assert_eq!(
             ensure_positive("x", 0.0),
-            Err(TechError::NonPositive { what: "x", value: 0.0 })
+            Err(TechError::NonPositive {
+                what: "x",
+                value: 0.0
+            })
         );
     }
 
@@ -153,7 +155,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let msg = TechError::NonPositive { what: "rs", value: -3.0 }.to_string();
+        let msg = TechError::NonPositive {
+            what: "rs",
+            value: -3.0,
+        }
+        .to_string();
         assert!(msg.contains("rs"));
         assert!(msg.contains("-3"));
         let msg = TechError::Empty { what: "library" }.to_string();

@@ -1,0 +1,140 @@
+//! Shared error-boilerplate macros.
+//!
+//! Every crate in the workspace exposes one error enum with the same
+//! shape: hand-written `Display` prose per variant, a `std::error::Error`
+//! impl whose `source()` walks wrapper variants, and `From` conversions
+//! for each wrapped inner error. Before these macros, the eight
+//! `error.rs` files each re-implemented that plumbing by hand; now the
+//! `Display` prose stays local (it is the part that genuinely differs)
+//! and everything mechanical comes from here, so the `From` chain up to
+//! `rip_core::RipError` stays uniform by construction.
+
+/// Implements `std::error::Error` for an error type with no underlying
+/// source (a *leaf* of the workspace error chain).
+///
+/// # Examples
+///
+/// ```
+/// use std::fmt;
+///
+/// #[derive(Debug)]
+/// struct MyError;
+///
+/// impl fmt::Display for MyError {
+///     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+///         f.write_str("my error")
+///     }
+/// }
+///
+/// rip_tech::impl_leaf_error!(MyError);
+/// assert!(std::error::Error::source(&MyError).is_none());
+/// ```
+#[macro_export]
+macro_rules! impl_leaf_error {
+    ($err:ty) => {
+        impl ::std::error::Error for $err {}
+    };
+}
+
+/// Implements `std::error::Error` (with `source()` delegating to the
+/// listed wrapper variants) and one `From<inner>` conversion per variant
+/// for an error enum that wraps other errors.
+///
+/// Variants not listed (plain data variants like `Infeasible { .. }`)
+/// report no source.
+///
+/// # Examples
+///
+/// ```
+/// use std::fmt;
+///
+/// #[derive(Debug)]
+/// enum Outer {
+///     Io(std::io::Error),
+///     Other,
+/// }
+///
+/// impl fmt::Display for Outer {
+///     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+///         match self {
+///             Outer::Io(e) => write!(f, "io: {e}"),
+///             Outer::Other => f.write_str("other"),
+///         }
+///     }
+/// }
+///
+/// rip_tech::impl_error_wrapper!(Outer { Io(std::io::Error) });
+///
+/// let outer: Outer = std::io::Error::other("boom").into();
+/// assert!(std::error::Error::source(&outer).is_some());
+/// assert!(std::error::Error::source(&Outer::Other).is_none());
+/// ```
+#[macro_export]
+macro_rules! impl_error_wrapper {
+    ($err:ident { $($variant:ident($inner:ty)),+ $(,)? }) => {
+        impl ::std::error::Error for $err {
+            fn source(&self) -> ::core::option::Option<&(dyn ::std::error::Error + 'static)> {
+                #[allow(unreachable_patterns)]
+                match self {
+                    $( $err::$variant(e) => ::core::option::Option::Some(e), )+
+                    _ => ::core::option::Option::None,
+                }
+            }
+        }
+
+        $(
+            impl ::core::convert::From<$inner> for $err {
+                fn from(e: $inner) -> Self {
+                    $err::$variant(e)
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use std::error::Error;
+    use std::fmt;
+
+    #[derive(Debug, PartialEq)]
+    struct Leaf;
+
+    impl fmt::Display for Leaf {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("leaf")
+        }
+    }
+
+    impl_leaf_error!(Leaf);
+
+    #[derive(Debug)]
+    enum Wrapper {
+        Inner(Leaf),
+        Plain { code: u32 },
+    }
+
+    impl fmt::Display for Wrapper {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Wrapper::Inner(e) => write!(f, "wrapped: {e}"),
+                Wrapper::Plain { code } => write!(f, "plain {code}"),
+            }
+        }
+    }
+
+    impl_error_wrapper!(Wrapper { Inner(Leaf) });
+
+    #[test]
+    fn leaf_has_no_source() {
+        assert!(Leaf.source().is_none());
+    }
+
+    #[test]
+    fn wrapper_sources_and_converts() {
+        let w: Wrapper = Leaf.into();
+        assert!(matches!(w, Wrapper::Inner(_)));
+        assert_eq!(w.source().unwrap().to_string(), "leaf");
+        assert!(Wrapper::Plain { code: 7 }.source().is_none());
+    }
+}

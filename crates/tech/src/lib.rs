@@ -44,6 +44,7 @@
 
 mod device;
 mod error;
+mod errors;
 mod library;
 mod power;
 mod process;
@@ -76,33 +77,5 @@ mod tests {
     fn debug_representations_are_nonempty() {
         assert!(!format!("{:?}", Technology::generic_180nm()).is_empty());
         assert!(!format!("{:?}", RepeaterLibrary::paper_coarse()).is_empty());
-    }
-}
-
-#[cfg(all(test, feature = "serde"))]
-mod serde_tests {
-    use super::*;
-
-    #[test]
-    fn technology_components_round_trip_through_json() {
-        let dev = RepeaterDevice::new(9000.0, 0.43, 0.35).unwrap();
-        let json = serde_json::to_string(&dev).unwrap();
-        let back: RepeaterDevice = serde_json::from_str(&json).unwrap();
-        assert_eq!(dev, back);
-
-        let layer = WireLayer::metal4_180nm();
-        let back: WireLayer =
-            serde_json::from_str(&serde_json::to_string(&layer).unwrap()).unwrap();
-        assert_eq!(layer, back);
-
-        let lib = RepeaterLibrary::paper_coarse();
-        let back: RepeaterLibrary =
-            serde_json::from_str(&serde_json::to_string(&lib).unwrap()).unwrap();
-        assert_eq!(lib, back);
-
-        let power = PowerParams::new(1.8, 5.0e8, 0.15, 2.0e-8).unwrap();
-        let back: PowerParams =
-            serde_json::from_str(&serde_json::to_string(&power).unwrap()).unwrap();
-        assert_eq!(power, back);
     }
 }

@@ -33,7 +33,6 @@ const WIDTH_DEDUP_TOL: f64 = 1.0e-6;
 /// # Ok(())
 /// # }
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
 pub struct RepeaterLibrary {
     widths: Vec<f64>,
@@ -56,7 +55,9 @@ impl RepeaterLibrary {
             ws.push(ensure_positive("repeater width", w)?);
         }
         if ws.is_empty() {
-            return Err(TechError::Empty { what: "repeater library" });
+            return Err(TechError::Empty {
+                what: "repeater library",
+            });
         }
         ws.sort_by(|a, b| a.partial_cmp(b).expect("validated finite widths"));
         ws.dedup_by(|a, b| (*a - *b).abs() <= WIDTH_DEDUP_TOL);
@@ -76,7 +77,9 @@ impl RepeaterLibrary {
         ensure_positive("library minimum width", min)?;
         ensure_positive("library width step", step)?;
         if count == 0 {
-            return Err(TechError::Empty { what: "repeater library" });
+            return Err(TechError::Empty {
+                what: "repeater library",
+            });
         }
         Self::from_widths((0..count).map(|i| min + step * i as f64))
     }
@@ -290,8 +293,7 @@ mod tests {
     fn from_refined_widths_rounds_and_dedups() {
         // Three repeaters refined to nearly equal widths collapse into a
         // tiny library - the essence of RIP's Line 3.
-        let lib =
-            RepeaterLibrary::from_refined_widths([91.2, 88.7, 93.0, 152.1], 10.0).unwrap();
+        let lib = RepeaterLibrary::from_refined_widths([91.2, 88.7, 93.0, 152.1], 10.0).unwrap();
         assert_eq!(lib.widths(), &[90.0, 150.0]);
     }
 

@@ -34,7 +34,6 @@ use crate::units::FARAD_PER_FF;
 /// # Ok(())
 /// # }
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerParams {
     vdd: f64,
@@ -56,12 +55,7 @@ impl PowerParams {
     ///
     /// Returns an error if `vdd` or `freq` is not strictly positive,
     /// `activity` is outside `[0, 1]`, or `leak_per_width` is negative.
-    pub fn new(
-        vdd: f64,
-        freq: f64,
-        activity: f64,
-        leak_per_width: f64,
-    ) -> Result<Self, TechError> {
+    pub fn new(vdd: f64, freq: f64, activity: f64, leak_per_width: f64) -> Result<Self, TechError> {
         Ok(Self {
             vdd: ensure_positive("supply voltage vdd", vdd)?,
             freq: ensure_positive("clock frequency", freq)?,
@@ -124,12 +118,7 @@ impl PowerParams {
     /// Absolute power of a repeatered net: repeater power plus the constant
     /// wire + receiver switching term, in W.
     #[inline]
-    pub fn net_power(
-        &self,
-        device: &RepeaterDevice,
-        total_width: f64,
-        wire_cap_ff: f64,
-    ) -> f64 {
+    pub fn net_power(&self, device: &RepeaterDevice, total_width: f64, wire_cap_ff: f64) -> f64 {
         self.repeater_power(device, total_width) + self.dynamic_power(wire_cap_ff)
     }
 }

@@ -42,9 +42,16 @@ impl Technology {
         power: PowerParams,
     ) -> Result<Self, TechError> {
         if layers.is_empty() {
-            return Err(TechError::Empty { what: "technology layer list" });
+            return Err(TechError::Empty {
+                what: "technology layer list",
+            });
         }
-        Ok(Self { name: name.into(), device, layers, power })
+        Ok(Self {
+            name: name.into(),
+            device,
+            layers,
+            power,
+        })
     }
 
     /// Synthetic 0.18 µm technology used for all paper-reproduction
@@ -149,9 +156,13 @@ mod tests {
         // reproduces the paper's zone-I timing violations.
         let t = Technology::generic_180nm();
         let m4 = t.layer("metal4").unwrap();
-        let w_opt = t.device().optimal_width_uniform(m4.r_per_um(), m4.c_per_um());
+        let w_opt = t
+            .device()
+            .optimal_width_uniform(m4.r_per_um(), m4.c_per_um());
         assert!(w_opt > 150.0 && w_opt < 400.0, "w_opt = {w_opt}");
-        let l_opt = t.device().optimal_spacing_uniform(m4.r_per_um(), m4.c_per_um());
+        let l_opt = t
+            .device()
+            .optimal_spacing_uniform(m4.r_per_um(), m4.c_per_um());
         assert!(l_opt > 500.0 && l_opt < 2000.0, "l_opt = {l_opt}");
     }
 

@@ -19,7 +19,6 @@ use crate::error::{ensure_positive, TechError};
 /// let r = m4.r_per_um() * 1000.0;
 /// assert!(r > 10.0 && r < 1000.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireLayer {
     name: String,
@@ -38,11 +37,7 @@ impl WireLayer {
     ///
     /// Returns an error if either electrical parameter is not strictly
     /// positive and finite.
-    pub fn new(
-        name: impl Into<String>,
-        r_per_um: f64,
-        c_per_um: f64,
-    ) -> Result<Self, TechError> {
+    pub fn new(name: impl Into<String>, r_per_um: f64, c_per_um: f64) -> Result<Self, TechError> {
         Ok(Self {
             name: name.into(),
             r_per_um: ensure_positive("wire resistance per um", r_per_um)?,

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t_min = tau_min_paper(&blocked, tech.device());
     let target = 1.25 * t_min;
-    println!("target = {:.3} ns (1.25 x tau_min of the blocked net)\n", ns_from_fs(target));
+    println!(
+        "target = {:.3} ns (1.25 x tau_min of the blocked net)\n",
+        ns_from_fs(target)
+    );
 
     for (name, net) in [("unobstructed", &open), ("40% macro-block", &blocked)] {
         let outcome = rip(net, &tech, target, &RipConfig::paper())?;
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 ""
             };
-            println!("  x = {:7.1} um   w = {:5.0} u{marker}", r.position, r.width);
+            println!(
+                "  x = {:7.1} um   w = {:5.0} u{marker}",
+                r.position, r.width
+            );
         }
         // Solutions are always legal: never inside a zone.
         sol.assignment.validate_on(net)?;

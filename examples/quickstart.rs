@@ -47,14 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ns_from_fs(solution.delay_fs),
         ns_from_fs(target),
     );
-    println!("total repeater width = {:.0} u (the Eq. 4 power objective)", solution.total_width);
-
-    let power = rip_delay::assignment_power(
-        &net,
-        tech.device(),
-        tech.power(),
-        &solution.assignment,
+    println!(
+        "total repeater width = {:.0} u (the Eq. 4 power objective)",
+        solution.total_width
     );
+
+    let power =
+        rip_delay::assignment_power(&net, tech.device(), tech.power(), &solution.assignment);
     println!(
         "absolute power: repeaters {:.3} mW + wire {:.3} mW = {:.3} mW",
         power.repeater * 1e3,
@@ -63,8 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // How the pipeline got there:
-    println!("\npipeline: coarse DP {:.0} u  ->  REFINE  ->  fine DP {:.0} u", 
-             outcome.coarse.total_width, solution.total_width);
+    println!(
+        "\npipeline: coarse DP {:.0} u  ->  REFINE  ->  fine DP {:.0} u",
+        outcome.coarse.total_width, solution.total_width
+    );
     if let Some(lib) = &outcome.library {
         println!("design-specific library: {:?} u", lib.widths());
     }

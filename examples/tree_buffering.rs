@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let driver_width = 140.0;
     let unbuffered = tree.elmore_delays(dev, driver_width);
-    println!("unbuffered worst sink delay: {:.3} ns", ns_from_fs(unbuffered.max_sink_delay));
+    println!(
+        "unbuffered worst sink delay: {:.3} ns",
+        ns_from_fs(unbuffered.max_sink_delay)
+    );
 
     // Candidate buffer sites come from subdividing the physical edges.
     let (sites, _) = tree.subdivided(200.0);

@@ -1,0 +1,27 @@
+//! # rip — reproduction of "RIP: An Efficient Hybrid Repeater Insertion
+//! Scheme for Low Power" (Liu, Peng & Papaefthymiou, DATE 2005)
+//!
+//! This meta-crate re-exports the workspace's public surface so
+//! applications can depend on a single crate. See [`rip_core`] for the
+//! pipeline documentation and the crate map in the repository README.
+//!
+//! ```
+//! use rip::prelude::*;
+//!
+//! let tech = Technology::generic_180nm();
+//! let _ = tech.device();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rip_core::{
+    baseline_dp, power_saving_percent, rip, summarize_savings, tau_min, tau_min_paper, tree_rip,
+    BaselineConfig, BatchTarget, Engine, EngineStats, RipConfig, RipError, RipOutcome,
+    SavingsSummary, TreeRipConfig, TreeRipOutcome,
+};
+
+/// Convenient bulk imports, mirroring [`rip_core::prelude`].
+pub mod prelude {
+    pub use rip_core::prelude::*;
+}

@@ -80,14 +80,8 @@ fn tree_dp_agrees_with_chain_dp_on_path_topologies() {
             .unwrap();
 
         let chain = solve_min_delay(net, tech.device(), &lib, &cands);
-        let tree_sol = rip_dp::tree_min_delay(
-            &tree,
-            tech.device(),
-            net.driver_width(),
-            &lib,
-            None,
-        )
-        .unwrap();
+        let tree_sol =
+            rip_dp::tree_min_delay(&tree, tech.device(), net.driver_width(), &lib, None).unwrap();
         assert!(
             (chain.delay_fs - tree_sol.delay_fs).abs() < 1e-6,
             "path-tree min-delay mismatch: {} vs {}",
@@ -97,15 +91,9 @@ fn tree_dp_agrees_with_chain_dp_on_path_topologies() {
 
         let target = chain.delay_fs * 1.5;
         let chain_p = solve_min_power(net, tech.device(), &lib, &cands, target).unwrap();
-        let tree_p = rip_dp::tree_min_power(
-            &tree,
-            tech.device(),
-            net.driver_width(),
-            &lib,
-            None,
-            target,
-        )
-        .unwrap();
+        let tree_p =
+            rip_dp::tree_min_power(&tree, tech.device(), net.driver_width(), &lib, None, target)
+                .unwrap();
         assert!(
             (chain_p.total_width - tree_p.total_width).abs() < 1e-9,
             "path-tree min-power mismatch: {} vs {}",

@@ -44,9 +44,7 @@ fn reported_metrics_match_ground_truth_evaluation() {
             (timing.total_delay - out.solution.delay_fs).abs() < 1e-6,
             "reported delay diverges from Eq. (2) evaluation"
         );
-        assert!(
-            (out.solution.assignment.total_width() - out.solution.total_width).abs() < 1e-9
-        );
+        assert!((out.solution.assignment.total_width() - out.solution.total_width).abs() < 1e-9);
     }
 }
 
@@ -89,8 +87,7 @@ fn rip_is_competitive_with_equal_granularity_baseline() {
             let target = tmin * mult;
             let rip_sol = rip(net, &tech, target, &RipConfig::paper()).unwrap();
             let dp_sol = baseline_dp(net, tech.device(), &baseline_cfg, target).unwrap();
-            let saving =
-                power_saving_percent(dp_sol.total_width, rip_sol.solution.total_width);
+            let saving = power_saving_percent(dp_sol.total_width, rip_sol.solution.total_width);
             assert!(
                 saving > -5.0,
                 "RIP lost {saving:.1}% to the equal-granularity baseline (mult {mult})"
@@ -111,9 +108,13 @@ fn regression_rounding_feasibility_is_recovered_by_enrichment() {
     let tmin = tau_min_paper(net, tech.device());
     let target = tmin * 1.7;
     let rip_sol = rip(net, &tech, target, &RipConfig::paper()).unwrap();
-    let dp_sol =
-        baseline_dp(net, tech.device(), &BaselineConfig::paper_table2(10.0), target)
-            .unwrap();
+    let dp_sol = baseline_dp(
+        net,
+        tech.device(),
+        &BaselineConfig::paper_table2(10.0),
+        target,
+    )
+    .unwrap();
     let saving = power_saving_percent(dp_sol.total_width, rip_sol.solution.total_width);
     assert!(
         saving > -3.0,
@@ -136,9 +137,13 @@ fn regression_repeater_count_lock_in_is_broken_by_drop_branch() {
     let tmin = tau_min_paper(&net, tech.device());
     let target = tmin * 1.5;
     let rip_sol = rip(&net, &tech, target, &RipConfig::paper()).unwrap();
-    let dp_sol =
-        baseline_dp(&net, tech.device(), &BaselineConfig::paper_table2(10.0), target)
-            .unwrap();
+    let dp_sol = baseline_dp(
+        &net,
+        tech.device(),
+        &BaselineConfig::paper_table2(10.0),
+        target,
+    )
+    .unwrap();
     assert!(
         rip_sol.solution.total_width <= dp_sol.total_width * 1.03,
         "count lock-in regression: RIP {} vs DP {}",

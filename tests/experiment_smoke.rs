@@ -14,7 +14,10 @@ fn table1_shape_matches_paper_claims() {
         granularities: vec![10.0, 20.0, 40.0],
         ..Default::default()
     });
-    assert_eq!(out.rip_failures, 0, "RIP must always succeed (paper, Section 6)");
+    assert_eq!(
+        out.rip_failures, 0,
+        "RIP must always succeed (paper, Section 6)"
+    );
     // g=10u: violations appear (zone I).
     let v10: usize = out.rows.iter().map(|r| r[0].baseline_violations).sum();
     assert!(v10 > 0, "expected V_DP > 0 at g=10u");

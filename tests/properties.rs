@@ -1,26 +1,36 @@
-//! Property-based tests (proptest) over the core data structures and
+//! Randomized property tests over the core data structures and
 //! invariants.
+//!
+//! The workspace builds offline without proptest, so these properties are
+//! exercised with a seeded [`SplitMix64`] case loop: deterministic,
+//! reproducible (the failing case's seed is in the assertion message),
+//! and dependency-free.
 
-use proptest::prelude::*;
 use rip_core::prelude::*;
 use rip_delay::evaluate;
-use rip_net::{RcProfile, Segment};
+use rip_net::{RcProfile, Segment, SplitMix64};
 use rip_tech::{round_to_grid, RepeaterLibrary, Technology};
 
-/// Strategy: a random multi-layer segment chain (2-8 segments).
-fn segments_strategy() -> impl Strategy<Value = Vec<Segment>> {
-    prop::collection::vec(
-        (500.0_f64..3000.0, 0.02_f64..0.15, 0.1_f64..0.3)
-            .prop_map(|(l, r, c)| Segment::new(l, r, c)),
-        2..8,
-    )
+/// A random multi-layer segment chain (2-8 segments).
+fn random_segments(rng: &mut SplitMix64) -> Vec<Segment> {
+    let n = rng.range_usize(2, 8);
+    (0..n)
+        .map(|_| {
+            Segment::new(
+                rng.range_f64(500.0, 3000.0),
+                rng.range_f64(0.02, 0.15),
+                rng.range_f64(0.1, 0.3),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn interval_algebra_is_additive(segs in segments_strategy(), split in 0.05_f64..0.95) {
+#[test]
+fn interval_algebra_is_additive() {
+    let mut rng = SplitMix64::new(0xA1);
+    for case in 0..64 {
+        let segs = random_segments(&mut rng);
+        let split = rng.range_f64(0.05, 0.95);
         let profile = RcProfile::new(&segs).unwrap();
         let l = profile.total_length();
         let mid = l * split;
@@ -28,110 +38,180 @@ proptest! {
         let right = profile.interval(mid, l);
         let whole = profile.interval(0.0, l);
         // R and C add; the Elmore term composes with the cross term.
-        prop_assert!((whole.resistance - (left.resistance + right.resistance)).abs() < 1e-9 * whole.resistance.max(1.0));
-        prop_assert!((whole.capacitance - (left.capacitance + right.capacitance)).abs() < 1e-9 * whole.capacitance.max(1.0));
+        assert!(
+            (whole.resistance - (left.resistance + right.resistance)).abs()
+                < 1e-9 * whole.resistance.max(1.0),
+            "case {case}: resistance not additive"
+        );
+        assert!(
+            (whole.capacitance - (left.capacitance + right.capacitance)).abs()
+                < 1e-9 * whole.capacitance.max(1.0),
+            "case {case}: capacitance not additive"
+        );
         let composed = left.elmore + right.elmore + left.resistance * right.capacitance;
-        prop_assert!((whole.elmore - composed).abs() < 1e-9 * whole.elmore.max(1.0));
+        assert!(
+            (whole.elmore - composed).abs() < 1e-9 * whole.elmore.max(1.0),
+            "case {case}: elmore does not compose"
+        );
     }
+}
 
-    #[test]
-    fn prefix_functions_are_monotone(segs in segments_strategy(), a in 0.0_f64..1.0, b in 0.0_f64..1.0) {
+#[test]
+fn prefix_functions_are_monotone() {
+    let mut rng = SplitMix64::new(0xA2);
+    for case in 0..64 {
+        let segs = random_segments(&mut rng);
+        let (a, b) = (rng.range_f64(0.0, 1.0), rng.range_f64(0.0, 1.0));
         let profile = RcProfile::new(&segs).unwrap();
         let l = profile.total_length();
-        let (lo, hi) = if a <= b { (a * l, b * l) } else { (b * l, a * l) };
-        prop_assert!(profile.resistance_to(hi) >= profile.resistance_to(lo) - 1e-12);
-        prop_assert!(profile.capacitance_to(hi) >= profile.capacitance_to(lo) - 1e-12);
+        let (lo, hi) = if a <= b {
+            (a * l, b * l)
+        } else {
+            (b * l, a * l)
+        };
+        assert!(
+            profile.resistance_to(hi) >= profile.resistance_to(lo) - 1e-12,
+            "case {case}"
+        );
+        assert!(
+            profile.capacitance_to(hi) >= profile.capacitance_to(lo) - 1e-12,
+            "case {case}"
+        );
         let iv = profile.interval(lo, hi);
-        prop_assert!(iv.resistance >= -1e-12);
-        prop_assert!(iv.capacitance >= -1e-12);
-        prop_assert!(iv.elmore >= -1e-9);
+        assert!(iv.resistance >= -1e-12, "case {case}");
+        assert!(iv.capacitance >= -1e-12, "case {case}");
+        assert!(iv.elmore >= -1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn delay_is_positive_and_grows_with_load(
-        segs in segments_strategy(),
-        pos_frac in 0.2_f64..0.8,
-        width in 20.0_f64..300.0,
-    ) {
-        let tech = Technology::generic_180nm();
+#[test]
+fn delay_is_positive_and_grows_with_load() {
+    let tech = Technology::generic_180nm();
+    let mut rng = SplitMix64::new(0xA3);
+    for case in 0..64 {
+        let segs = random_segments(&mut rng);
+        let pos_frac = rng.range_f64(0.2, 0.8);
+        let width = rng.range_f64(20.0, 300.0);
         let net = TwoPinNet::new(segs, vec![], 120.0, 60.0).unwrap();
         let l = net.total_length();
         let asg = RepeaterAssignment::new(vec![Repeater::new(pos_frac * l, width)]).unwrap();
         let d = evaluate(&net, tech.device(), &asg).total_delay;
-        prop_assert!(d > 0.0);
+        assert!(d > 0.0, "case {case}: non-positive delay");
         // A heavier receiver strictly slows the net.
         let heavy = TwoPinNet::new(net.segments().to_vec(), vec![], 120.0, 120.0).unwrap();
         let d_heavy = evaluate(&heavy, tech.device(), &asg).total_delay;
-        prop_assert!(d_heavy > d);
+        assert!(
+            d_heavy > d,
+            "case {case}: heavier receiver did not slow the net"
+        );
     }
+}
 
-    #[test]
-    fn library_rounding_is_idempotent_and_near(width in 1.0_f64..500.0, grid in 1.0_f64..50.0) {
+#[test]
+fn library_rounding_is_idempotent_and_near() {
+    let mut rng = SplitMix64::new(0xA4);
+    for case in 0..256 {
+        let width = rng.range_f64(1.0, 500.0);
+        let grid = rng.range_f64(1.0, 50.0);
         let once = round_to_grid(width, grid);
         let twice = round_to_grid(once, grid);
-        prop_assert_eq!(once, twice);
-        prop_assert!(once >= grid);
+        assert_eq!(once, twice, "case {case}: rounding not idempotent");
+        assert!(once >= grid, "case {case}");
         // Rounding moves a width by at most half a grid step (except the
         // clamp at the bottom).
         if width >= grid {
-            prop_assert!((once - width).abs() <= grid / 2.0 + 1e-9);
+            assert!((once - width).abs() <= grid / 2.0 + 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn library_nearest_is_consistent(
-        widths in prop::collection::vec(1.0_f64..400.0, 1..12),
-        probe in 1.0_f64..450.0,
-    ) {
-        let lib = RepeaterLibrary::from_widths(widths.clone()).unwrap();
+#[test]
+fn library_nearest_is_consistent() {
+    let mut rng = SplitMix64::new(0xA5);
+    for case in 0..256 {
+        let n = rng.range_usize(1, 12);
+        let widths: Vec<f64> = (0..n).map(|_| rng.range_f64(1.0, 400.0)).collect();
+        let probe = rng.range_f64(1.0, 450.0);
+        let lib = RepeaterLibrary::from_widths(widths).unwrap();
         let nearest = lib.nearest(probe);
         // No library width is strictly closer.
         for &w in lib.widths() {
-            prop_assert!((probe - nearest).abs() <= (probe - w).abs() + 1e-9);
+            assert!(
+                (probe - nearest).abs() <= (probe - w).abs() + 1e-9,
+                "case {case}: {w} is closer to {probe} than {nearest}"
+            );
         }
     }
+}
 
-    #[test]
-    fn generated_nets_obey_their_configuration(seed in 0u64..10_000) {
+#[test]
+fn generated_nets_obey_their_configuration() {
+    let mut rng = SplitMix64::new(0xA6);
+    for case in 0..64 {
+        let seed = rng.next_u64();
         let config = RandomNetConfig::default();
         let mut gen = NetGenerator::from_seed(config.clone(), seed).unwrap();
         let net = gen.generate();
-        prop_assert!(net.segments().len() >= config.segment_count.0);
-        prop_assert!(net.segments().len() <= config.segment_count.1);
+        assert!(
+            net.segments().len() >= config.segment_count.0,
+            "case {case} (seed {seed})"
+        );
+        assert!(
+            net.segments().len() <= config.segment_count.1,
+            "case {case} (seed {seed})"
+        );
         let frac = net.forbidden_fraction();
-        prop_assert!(frac >= config.zone_fraction.0 - 1e-9);
-        prop_assert!(frac <= config.zone_fraction.1 + 1e-9);
+        assert!(
+            frac >= config.zone_fraction.0 - 1e-9,
+            "case {case} (seed {seed})"
+        );
+        assert!(
+            frac <= config.zone_fraction.1 + 1e-9,
+            "case {case} (seed {seed})"
+        );
         // Zones are inside the span and normalized.
         for z in net.zones() {
-            prop_assert!(z.start() >= 0.0 && z.end() <= net.total_length() + 1e-9);
+            assert!(
+                z.start() >= 0.0 && z.end() <= net.total_length() + 1e-9,
+                "case {case} (seed {seed})"
+            );
         }
     }
+}
 
-    #[test]
-    fn uniform_candidates_are_legal_sorted_unique(
-        seed in 0u64..10_000,
-        step in 100.0_f64..800.0,
-    ) {
+#[test]
+fn uniform_candidates_are_legal_sorted_unique() {
+    let mut rng = SplitMix64::new(0xA7);
+    for case in 0..64 {
+        let seed = rng.next_u64();
+        let step = rng.range_f64(100.0, 800.0);
         let mut gen = NetGenerator::from_seed(RandomNetConfig::default(), seed).unwrap();
         let net = gen.generate();
         let cands = CandidateSet::uniform(&net, step);
         let pos = cands.positions();
         for w in pos.windows(2) {
-            prop_assert!(w[1] > w[0]);
+            assert!(
+                w[1] > w[0],
+                "case {case} (seed {seed}): positions not ascending"
+            );
         }
         for &x in pos {
-            prop_assert!(net.is_legal_position(x));
+            assert!(
+                net.is_legal_position(x),
+                "case {case} (seed {seed}): illegal {x}"
+            );
         }
     }
 }
 
-proptest! {
-    // The DP-involving properties are more expensive: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+// The DP-involving properties are more expensive: fewer cases.
 
-    #[test]
-    fn dp_power_is_monotone_in_target(seed in 0u64..1000) {
-        let tech = Technology::generic_180nm();
+#[test]
+fn dp_power_is_monotone_in_target() {
+    let tech = Technology::generic_180nm();
+    let mut rng = SplitMix64::new(0xA8);
+    for case in 0..12 {
+        let seed = rng.next_u64();
         let mut gen = NetGenerator::from_seed(RandomNetConfig::default(), seed).unwrap();
         let net = gen.generate();
         let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0).unwrap();
@@ -139,25 +219,32 @@ proptest! {
         let fastest = rip_dp::solve_min_delay(&net, tech.device(), &lib, &cands);
         let mut prev = f64::INFINITY;
         for mult in [1.1, 1.5, 2.0] {
-            let sol = rip_dp::solve_min_power(
-                &net, tech.device(), &lib, &cands, fastest.delay_fs * mult,
-            ).unwrap();
-            prop_assert!(sol.total_width <= prev + 1e-9);
-            prop_assert!(sol.delay_fs <= fastest.delay_fs * mult * (1.0 + 1e-12));
+            let sol =
+                rip_dp::solve_min_power(&net, tech.device(), &lib, &cands, fastest.delay_fs * mult)
+                    .unwrap();
+            assert!(sol.total_width <= prev + 1e-9, "case {case} (seed {seed})");
+            assert!(
+                sol.delay_fs <= fastest.delay_fs * mult * (1.0 + 1e-12),
+                "case {case} (seed {seed})"
+            );
             sol.assignment.validate_on(&net).unwrap();
             prev = sol.total_width;
         }
     }
+}
 
-    #[test]
-    fn rip_solutions_are_legal_and_meet_targets(seed in 0u64..1000) {
-        let tech = Technology::generic_180nm();
+#[test]
+fn rip_solutions_are_legal_and_meet_targets() {
+    let tech = Technology::generic_180nm();
+    let mut rng = SplitMix64::new(0xA9);
+    for case in 0..12 {
+        let seed = rng.next_u64();
         let mut gen = NetGenerator::from_seed(RandomNetConfig::default(), seed).unwrap();
         let net = gen.generate();
         let tmin = rip_core::tau_min_paper(&net, tech.device());
         let target = tmin * 1.45;
         let out = rip(&net, &tech, target, &RipConfig::paper()).unwrap();
-        prop_assert!(out.solution.meets(target));
+        assert!(out.solution.meets(target), "case {case} (seed {seed})");
         out.solution.assignment.validate_on(&net).unwrap();
     }
 }

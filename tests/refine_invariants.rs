@@ -23,7 +23,7 @@ fn kkt_holds_at_width_solutions_across_nets() {
         let l = net.total_length();
         let positions: Vec<f64> = (1..=4).map(|i| l * i as f64 / 5.0).collect();
         let view = ChainView::new(net, tech.device(), positions).unwrap();
-        let probe = view.total_delay(&vec![150.0; 4]);
+        let probe = view.total_delay(&[150.0; 4]);
         for mult in [1.1, 1.5] {
             let target = probe * mult;
             let sol = solve_widths(&view, target, &WidthSolverConfig::default()).unwrap();
@@ -31,7 +31,10 @@ fn kkt_holds_at_width_solutions_across_nets() {
             let floor_active = sol.widths.iter().any(|&w| w <= 1.0 + 1e-9);
             if !floor_active {
                 for (i, r) in res[..sol.widths.len()].iter().enumerate() {
-                    assert!(r.abs() < 1e-5, "stationarity residual {i} = {r} (mult {mult})");
+                    assert!(
+                        r.abs() < 1e-5,
+                        "stationarity residual {i} = {r} (mult {mult})"
+                    );
                 }
                 // Eq. (5): the timing constraint binds.
                 assert!(
@@ -54,8 +57,7 @@ fn refine_improves_on_its_dp_seed() {
         let tmin = tau_min_paper(net, tech.device());
         let target = tmin * 1.4;
         let cands = CandidateSet::uniform(net, 200.0);
-        let seed_sol =
-            solve_min_power(net, tech.device(), &coarse_lib, &cands, target).unwrap();
+        let seed_sol = solve_min_power(net, tech.device(), &coarse_lib, &cands, target).unwrap();
         let refined = refine(
             net,
             tech.device(),
@@ -83,9 +85,14 @@ fn movement_conditions_hold_at_convergence() {
         let tmin = tau_min_paper(net, tech.device());
         let target = tmin * 1.5;
         let cands = CandidateSet::uniform(net, 200.0);
-        let seed =
-            solve_min_power(net, tech.device(), &RepeaterLibrary::paper_coarse(), &cands, target)
-                .unwrap();
+        let seed = solve_min_power(
+            net,
+            tech.device(),
+            &RepeaterLibrary::paper_coarse(),
+            &cands,
+            target,
+        )
+        .unwrap();
         let out = refine(
             net,
             tech.device(),
@@ -140,7 +147,11 @@ fn width_history_is_monotone_on_random_seeds() {
         let target = view.total_delay(&vec![200.0; init.len()]) * 1.3;
         let out = refine(net, tech.device(), &init, target, &RefineConfig::default()).unwrap();
         for w in out.width_history.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "history regressed: {:?}", out.width_history);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "history regressed: {:?}",
+                out.width_history
+            );
         }
         assert!(out.total_width <= out.width_history[0] + 1e-9);
     }
@@ -158,9 +169,14 @@ fn zone_hop_stays_close_and_respects_zones() {
         let tmin = tau_min_paper(net, tech.device());
         let target = tmin * 1.5;
         let cands = CandidateSet::uniform(net, 200.0);
-        let seed =
-            solve_min_power(net, tech.device(), &RepeaterLibrary::paper_coarse(), &cands, target)
-                .unwrap();
+        let seed = solve_min_power(
+            net,
+            tech.device(),
+            &RepeaterLibrary::paper_coarse(),
+            &cands,
+            target,
+        )
+        .unwrap();
         let base = refine(
             net,
             tech.device(),
@@ -174,7 +190,10 @@ fn zone_hop_stays_close_and_respects_zones() {
             tech.device(),
             &seed.assignment.positions(),
             target,
-            &RefineConfig { zone_hop_um: Some(10_000.0), ..Default::default() },
+            &RefineConfig {
+                zone_hop_um: Some(10_000.0),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(
