@@ -1,79 +1,36 @@
-//! Measures single-net sequential solving vs `Engine::solve_batch` over a
-//! 100-net suite, verifies the batch output is byte-identical to
-//! sequential `rip()` calls, and writes `BENCH_batch.json` at the
-//! workspace root so later PRs have a throughput trajectory.
+//! Measures single-net sequential solving vs `Engine::solve_batch` over
+//! the standard net suite, verifies the batch output is byte-identical
+//! to sequential `rip()` calls, and writes `BENCH_batch.json` at the
+//! workspace root so later PRs have a throughput trajectory
+//! (median/MAD over repeated fresh-engine runs — see
+//! `rip_bench::batch_bench`).
 //!
 //! Usage: `cargo run -p rip-bench --release --bin bench_batch [--quick]`
 
-use rip_bench::{quick_mode, workspace_root};
-use rip_core::{rip, BatchTarget, Engine, RipConfig, RipOutcome};
-use rip_net::{NetGenerator, RandomNetConfig};
-use rip_tech::Technology;
-use std::time::Instant;
+use rip_bench::{quick_mode, run_batch_bench, workspace_root, BatchBenchConfig};
 
 fn main() {
-    let net_count = if quick_mode() { 10 } else { 100 };
-    let tech = Technology::generic_180nm();
-    let config = RipConfig::paper();
-    let nets =
-        NetGenerator::suite(RandomNetConfig::default(), 2005, net_count).expect("valid config");
-
-    // Targets resolved once up front so both sides solve identical
-    // problems.
-    let probe = Engine::new(tech.clone(), config.clone());
-    let targets: Vec<f64> = nets.iter().map(|net| probe.tau_min(net) * 1.4).collect();
-    drop(probe);
-
-    // Side A: the pre-Engine workflow — a cold `rip()` call per net.
-    eprintln!("sequential rip() over {net_count} nets...");
-    let t0 = Instant::now();
-    let sequential: Vec<RipOutcome> = nets
-        .iter()
-        .zip(&targets)
-        .map(|(net, &t)| rip(net, &tech, t, &config).expect("feasible target"))
-        .collect();
-    let sequential_s = t0.elapsed().as_secs_f64();
-
-    // Side B: one Engine session, parallel batch.
-    eprintln!("Engine::solve_batch over {net_count} nets...");
-    let engine = Engine::new(tech.clone(), config.clone());
-    let t1 = Instant::now();
-    let batch = engine.solve_batch(&nets, &BatchTarget::PerNetFs(targets.clone()));
-    let batch_s = t1.elapsed().as_secs_f64();
-
-    // Acceptance gate: byte-identical solutions, net by net.
-    let mut identical = true;
-    for (i, (seq, out)) in sequential.iter().zip(&batch).enumerate() {
-        let b = out.as_ref().expect("feasible target");
-        if format!("{:?}", seq.solution) != format!("{:?}", b.solution) {
-            eprintln!("net {i}: batch solution differs from sequential rip()!");
-            identical = false;
-        }
-    }
-
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let stats = engine.stats();
-    let json = format!(
-        "{{\n  \"nets\": {net_count},\n  \"threads\": {threads},\n  \
-         \"sequential_s\": {sequential_s:.4},\n  \"batch_s\": {batch_s:.4},\n  \
-         \"speedup\": {:.3},\n  \"sequential_nets_per_s\": {:.3},\n  \
-         \"batch_nets_per_s\": {:.3},\n  \"cache_hits\": {},\n  \
-         \"cache_misses\": {},\n  \"byte_identical\": {identical}\n}}\n",
-        sequential_s / batch_s,
-        net_count as f64 / sequential_s,
-        net_count as f64 / batch_s,
-        stats.hits(),
-        stats.misses(),
+    let config = BatchBenchConfig::preset(quick_mode());
+    eprintln!(
+        "bench_batch: {} nets, {} batch run(s)...",
+        config.nets, config.runs
     );
-    print!("{json}");
+    let report = run_batch_bench(config);
+    println!("{}", report.summary_text());
 
-    let path = workspace_root().join("BENCH_batch.json");
-    std::fs::write(&path, &json).expect("write BENCH_batch.json");
+    let json = report.to_json();
+    // Quick runs keep their JSON beside the committed full-scale
+    // baseline instead of replacing it.
+    let name = if quick_mode() {
+        "BENCH_batch.quick.json"
+    } else {
+        "BENCH_batch.json"
+    };
+    let path = workspace_root().join(name);
+    std::fs::write(&path, &json).expect("write BENCH_batch json");
     eprintln!("wrote {}", path.display());
     assert!(
-        identical,
+        report.byte_identical,
         "batch output must be byte-identical to sequential rip()"
     );
 }

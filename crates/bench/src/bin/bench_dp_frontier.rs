@@ -1,0 +1,39 @@
+//! Measures the production sorted-frontier DP pruner against the seed
+//! reference pruner on the standard corpus, verifies byte-identical
+//! solutions, and writes `BENCH_dp_frontier.json` at the workspace root
+//! (median/MAD over repeated runs — see `rip_bench::frontier_bench`).
+//!
+//! The recorded `speedup_vs_reference` is measured in-process on the
+//! current machine, so it stays comparable wherever the bench runs —
+//! CI's bench-regression gate checks it alongside the absolute
+//! throughput baselines.
+//!
+//! Usage: `cargo run -p rip-bench --release --bin bench_dp_frontier [--quick]`
+
+use rip_bench::{quick_mode, run_frontier_bench, workspace_root, FrontierBenchConfig};
+
+fn main() {
+    let config = FrontierBenchConfig::preset(quick_mode());
+    eprintln!(
+        "bench_dp_frontier: {} nets, {} runs (+{} warmup) per side...",
+        config.nets, config.runs, config.warmup
+    );
+    let report = run_frontier_bench(config);
+    println!("{}", report.summary_text());
+
+    let json = report.to_json();
+    // Quick runs keep their JSON beside the committed full-scale
+    // baseline instead of replacing it.
+    let name = if quick_mode() {
+        "BENCH_dp_frontier.quick.json"
+    } else {
+        "BENCH_dp_frontier.json"
+    };
+    let path = workspace_root().join(name);
+    std::fs::write(&path, &json).expect("write BENCH_dp_frontier json");
+    eprintln!("wrote {}", path.display());
+    assert!(
+        report.byte_identical,
+        "frontier solutions must be byte-identical to the reference pruner"
+    );
+}

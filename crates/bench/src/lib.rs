@@ -18,11 +18,27 @@
 //! the Table 2 runtime axis), the RIP pipeline and its stages
 //! (`rip_pipeline`, `refine`), the Elmore substrate (`elmore`), pruning
 //! pressure vs candidate density (`pruning`), configuration ablations
-//! (`ablations`), and batch-engine throughput (`batch_engine`). The
-//! `bench_batch` binary additionally writes `BENCH_batch.json` at the
-//! workspace root with single-net vs batch-of-100 throughput.
+//! (`ablations`), and batch-engine throughput (`batch_engine`).
+//!
+//! The *statistical* benchmarks live in [`stats`] (median/MAD over
+//! repeated runs with warm-up discard), with two standard workloads:
+//!
+//! * [`run_frontier_bench`] — production sorted-frontier DP vs the seed
+//!   reference pruner, written to `BENCH_dp_frontier.json`
+//!   (`bench_dp_frontier` binary);
+//! * [`run_batch_bench`] — sequential `rip()` vs `Engine::solve_batch`,
+//!   written to `BENCH_batch.json` (`bench_batch` binary).
+//!
+//! Both are also reachable as `rip bench` from the CLI, which is what
+//! CI's bench-regression job runs against the committed baselines.
 
+pub mod batch_bench;
+pub mod frontier_bench;
 pub mod harness;
+pub mod stats;
+
+pub use batch_bench::{run_batch_bench, BatchBenchConfig, BatchBenchReport};
+pub use frontier_bench::{run_frontier_bench, FrontierBenchConfig, FrontierBenchReport};
 
 use std::path::PathBuf;
 

@@ -20,6 +20,9 @@ pub enum CliError {
     Solve(RipError),
     /// Filesystem trouble.
     Io(std::io::Error),
+    /// A benchmark regressed past the allowed tolerance
+    /// (`rip bench --check-baseline`).
+    BenchRegression(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -29,6 +32,7 @@ impl std::fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "net file error: {e}"),
             CliError::Solve(e) => write!(f, "solver error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::BenchRegression(msg) => write!(f, "bench regression: {msg}"),
         }
     }
 }
@@ -295,6 +299,151 @@ pub fn cmd_batch(named_nets: &[(String, String)], target: Target) -> Result<Stri
     Ok(out)
 }
 
+/// Options for `rip bench`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchOptions {
+    /// Reduced smoke-run workloads (CI uses this).
+    pub quick: bool,
+    /// Compare fresh results against the committed `BENCH_*.json`
+    /// baselines and fail on regression.
+    pub check_baseline: bool,
+    /// Allowed fractional regression of absolute throughput before
+    /// failing (default 0.25 — machines differ; the in-process
+    /// `speedup_vs_reference` ratio is gated much tighter).
+    pub tolerance: f64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            check_baseline: false,
+            tolerance: 0.25,
+        }
+    }
+}
+
+/// `rip bench`: run the statistical benchmark suite (DP frontier + batch
+/// engine), write `BENCH_dp_frontier.json` / `BENCH_batch.json` at the
+/// workspace root, and optionally gate against the committed baselines.
+///
+/// This is the one command behind every performance claim in the
+/// repository: the committed JSONs are regenerated by it, and CI's
+/// bench-regression job runs it with `--check-baseline` at full scale
+/// (`--quick` runs skip the absolute gate — their workload does not
+/// match the committed baselines — but still gate the in-process
+/// frontier-vs-reference speedup).
+///
+/// # Errors
+///
+/// * [`CliError::BenchRegression`] when `--check-baseline` finds
+///   throughput below `(1 - tolerance) ×` baseline, or the frontier
+///   pruner slower than the reference pruner;
+/// * [`CliError::Io`] when the JSON artifacts cannot be written.
+pub fn cmd_bench(opts: &BenchOptions) -> Result<String, CliError> {
+    let root = rip_bench::workspace_root();
+    // The canonical files are the committed full-scale baselines; quick
+    // runs read them for the gate but write their own `.quick.json`
+    // sibling so a smoke run can never silently replace a baseline.
+    let frontier_path = root.join("BENCH_dp_frontier.json");
+    let batch_path = root.join("BENCH_batch.json");
+    let (frontier_out, batch_out) = if opts.quick {
+        (
+            root.join("BENCH_dp_frontier.quick.json"),
+            root.join("BENCH_batch.quick.json"),
+        )
+    } else {
+        (frontier_path.clone(), batch_path.clone())
+    };
+
+    // Read the committed baselines *before* overwriting them.
+    let read_baseline = |path: &std::path::Path, key: &str| -> Option<f64> {
+        let text = std::fs::read_to_string(path).ok()?;
+        rip_bench::stats::read_json_number(&text, key)
+    };
+    // Absolute throughput is only comparable at matching workload scale:
+    // a `--quick` run must not be judged against a committed full-size
+    // baseline (per-net overheads differ), so each baseline carries its
+    // `nets` count and mismatched scales skip the absolute gate (the
+    // in-process speedup ratio is always gated).
+    let scale_matched = |path: &std::path::Path, fresh_nets: usize, key: &str| -> Option<f64> {
+        match read_baseline(path, "nets") {
+            Some(n) if n == fresh_nets as f64 => read_baseline(path, key),
+            _ => None,
+        }
+    };
+
+    let frontier_config = rip_bench::FrontierBenchConfig::preset(opts.quick);
+    let batch_config = rip_bench::BatchBenchConfig::preset(opts.quick);
+    let base_frontier_nps =
+        scale_matched(&frontier_path, frontier_config.nets, "frontier_nets_per_s");
+    let base_batch_nps = scale_matched(&batch_path, batch_config.nets, "batch_nets_per_s");
+
+    let frontier = rip_bench::run_frontier_bench(frontier_config);
+    let batch = rip_bench::run_batch_bench(batch_config);
+
+    std::fs::write(&frontier_out, frontier.to_json())?;
+    std::fs::write(&batch_out, batch.to_json())?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", frontier.summary_text());
+    let _ = writeln!(out, "{}", batch.summary_text());
+    let _ = writeln!(out, "wrote {}", frontier_out.display());
+    let _ = writeln!(out, "wrote {}", batch_out.display());
+
+    if !frontier.byte_identical || !batch.byte_identical {
+        return Err(CliError::BenchRegression(
+            "benchmark equivalence check failed: solutions are not byte-identical".into(),
+        ));
+    }
+
+    if opts.check_baseline {
+        let mut failures = Vec::new();
+        // Machine-independent gate: the production pruner must beat the
+        // in-process reference pruner outright.
+        if frontier.speedup_vs_reference < 1.0 {
+            failures.push(format!(
+                "frontier speedup_vs_reference {:.3} < 1.0",
+                frontier.speedup_vs_reference
+            ));
+        }
+        // Absolute-throughput gates against the committed baselines,
+        // with a wide tolerance for machine variance.
+        let floor = 1.0 - opts.tolerance;
+        let mut check_abs = |label: &str, fresh: f64, baseline: Option<f64>| match baseline {
+            Some(base) if fresh < base * floor => failures.push(format!(
+                "{label} {fresh:.3} nets/s < {:.3} ({:.0}% of baseline {base:.3})",
+                base * floor,
+                floor * 100.0
+            )),
+            Some(base) => {
+                let _ = writeln!(
+                    out,
+                    "check {label}: {fresh:.3} nets/s vs baseline {base:.3} (floor {:.3}) ok",
+                    base * floor
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "check {label}: no scale-matched committed baseline, skipped"
+                );
+            }
+        };
+        check_abs(
+            "frontier_nets_per_s",
+            frontier.frontier_nets_per_s(),
+            base_frontier_nps,
+        );
+        check_abs("batch_nets_per_s", batch.batch_nets_per_s(), base_batch_nps);
+        if !failures.is_empty() {
+            return Err(CliError::BenchRegression(failures.join("; ")));
+        }
+        let _ = writeln!(out, "bench-regression gate: ok");
+    }
+    Ok(out)
+}
+
 /// The top-level usage text.
 pub fn usage() -> &'static str {
     "rip - hybrid repeater insertion for low power (DATE 2005 reproduction)
@@ -305,6 +454,7 @@ USAGE:
     rip tmin     <net-file>
     rip batch    (--dir <dir> | --seed <n> --count <k>) (--target-ns <x> | --target-mult <m>)
     rip generate --seed <n> --count <k> [--out-dir <dir>]
+    rip bench    [--quick] [--check-baseline] [--tolerance <frac>]
     rip help
 
 NET FILE FORMAT (text, '#' comments):

@@ -8,6 +8,7 @@
 //! rip tmin     <net-file>                        # minimum achievable delay
 //! rip batch    --dir nets --target-mult 1.4      # many nets, one Engine session
 //! rip generate --seed 7 --count 5 --out-dir nets # paper-distribution nets
+//! rip bench    --quick --check-baseline          # statistical benches + CI gate
 //! ```
 //!
 //! Net descriptions use a minimal line-oriented text format (see
@@ -22,6 +23,7 @@ mod commands;
 mod netfile;
 
 pub use commands::{
-    cmd_baseline, cmd_batch, cmd_generate, cmd_solve, cmd_tmin, usage, CliError, Target,
+    cmd_baseline, cmd_batch, cmd_bench, cmd_generate, cmd_solve, cmd_tmin, usage, BenchOptions,
+    CliError, Target,
 };
 pub use netfile::{format_net, parse_net, ParseError};

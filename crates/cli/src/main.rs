@@ -2,7 +2,8 @@
 //! implementations.
 
 use rip_cli::{
-    cmd_baseline, cmd_batch, cmd_generate, cmd_solve, cmd_tmin, usage, CliError, Target,
+    cmd_baseline, cmd_batch, cmd_bench, cmd_generate, cmd_solve, cmd_tmin, usage, BenchOptions,
+    CliError, Target,
 };
 use std::process::ExitCode;
 
@@ -101,6 +102,24 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     Ok(out)
                 }
             }
+        }
+        Some("bench") => {
+            let flags: Vec<String> = it.map(String::from).collect();
+            let mut opts = BenchOptions {
+                quick: flags.iter().any(|f| f == "--quick"),
+                check_baseline: flags.iter().any(|f| f == "--check-baseline"),
+                ..BenchOptions::default()
+            };
+            if let Some(tol) = flag_value(&flags, "--tolerance")? {
+                opts.tolerance = tol
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && (0.0..1.0).contains(t))
+                    .ok_or_else(|| {
+                        CliError::Usage("--tolerance must be a fraction in [0, 1)".into())
+                    })?;
+            }
+            cmd_bench(&opts)
         }
         Some("help") | Some("--help") | Some("-h") | None => Ok(usage().to_string()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),

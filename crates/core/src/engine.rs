@@ -10,10 +10,16 @@
 //! engine so that:
 //!
 //! * coarse/baseline candidate grids are built once per distinct
-//!   `(net, step)` pair instead of once per `(net, target)` cell;
+//!   `(geometry, step)` pair — keyed on exactly the net geometry that
+//!   determines them (length + forbidden zones), so nets differing only
+//!   in driver/receiver widths share grids — instead of once per
+//!   `(net, target)` cell;
+//! * the fine stage's windowed candidate sets are cached the same way;
 //! * `τ_min` is computed once per net across a whole target sweep;
 //! * the synthesized fine libraries of stage 3 are shared between
 //!   identical refinement outcomes;
+//! * DP scratch memory (option frontiers, trace arenas) is pooled, so a
+//!   warm batch allocates nothing per solve;
 //! * independent nets run on all available cores with deterministic,
 //!   input-ordered output ([`Engine::solve_batch`]).
 //!
@@ -28,7 +34,9 @@ use crate::error::RipError;
 use crate::pipeline::{RipOutcome, RipRuntime};
 use crate::tmin;
 use crate::tree_pipeline::{TreeRipConfig, TreeRipOutcome};
-use rip_dp::{solve_min_delay, solve_min_power, CandidateSet, DpError, DpSolution};
+use rip_dp::{
+    solve_min_delay_with, solve_min_power_with, CandidateSet, DpError, DpScratch, DpSolution,
+};
 use rip_net::TwoPinNet;
 use rip_refine::{refine, trim_tree_widths, RefineError, RefineOutcome, TreeTrimOutcome};
 use rip_tech::{RepeaterLibrary, TechError, Technology};
@@ -57,10 +65,14 @@ pub enum BatchTarget {
 /// Cache-effectiveness counters of an [`Engine`] session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
-    /// Candidate-grid lookups served from cache.
+    /// Uniform candidate-grid lookups served from cache.
     pub grid_hits: u64,
-    /// Candidate-grid lookups that had to build the grid.
+    /// Uniform candidate-grid lookups that had to build the grid.
     pub grid_misses: u64,
+    /// Windowed candidate-set lookups served from cache.
+    pub window_hits: u64,
+    /// Windowed candidate-set lookups that had to build the set.
+    pub window_misses: u64,
     /// `τ_min` lookups served from cache.
     pub tau_min_hits: u64,
     /// `τ_min` lookups that had to run the min-delay DP.
@@ -76,12 +88,12 @@ pub struct EngineStats {
 impl EngineStats {
     /// Total lookups served from cache.
     pub fn hits(&self) -> u64 {
-        self.grid_hits + self.tau_min_hits + self.library_hits
+        self.grid_hits + self.window_hits + self.tau_min_hits + self.library_hits
     }
 
     /// Total lookups that had to compute.
     pub fn misses(&self) -> u64 {
-        self.grid_misses + self.tau_min_misses + self.library_misses
+        self.grid_misses + self.window_misses + self.tau_min_misses + self.library_misses
     }
 }
 
@@ -89,6 +101,8 @@ impl EngineStats {
 struct Counters {
     grid_hits: AtomicU64,
     grid_misses: AtomicU64,
+    window_hits: AtomicU64,
+    window_misses: AtomicU64,
     tau_min_hits: AtomicU64,
     tau_min_misses: AtomicU64,
     library_hits: AtomicU64,
@@ -120,6 +134,28 @@ fn combine(a: u64, b: u64) -> u64 {
     a.hash(&mut hasher);
     b.hash(&mut hasher);
     hasher.finish()
+}
+
+/// Cache key for candidate sets: exactly the geometry that determines
+/// the positions — total length and forbidden zones — plus the grid
+/// parameters. Keying on the full net `Debug` rendering (the seed
+/// behavior) over-discriminated: driver/receiver widths and per-segment
+/// parasitics never influence candidate positions, so nets differing
+/// only in those now share one cached grid.
+fn geometry_key(net: &TwoPinNet, extra: &impl fmt::Debug) -> String {
+    use fmt::Write as _;
+    let mut key = String::with_capacity(32 + 36 * net.zones().len());
+    let _ = write!(key, "{:x}", net.total_length().to_bits());
+    for zone in net.zones() {
+        let _ = write!(
+            key,
+            "|{:x}-{:x}",
+            zone.start().to_bits(),
+            zone.end().to_bits()
+        );
+    }
+    let _ = write!(key, "|{extra:?}");
+    key
 }
 
 /// Deterministic parallel map: distributes `items` over the available
@@ -191,8 +227,10 @@ pub struct Engine {
     config: RipConfig,
     config_hash: u64,
     grids: Mutex<HashMap<String, Arc<CandidateSet>>>,
+    windows: Mutex<HashMap<String, Arc<CandidateSet>>>,
     tau_mins: Mutex<HashMap<String, f64>>,
     libraries: Mutex<HashMap<String, Arc<RepeaterLibrary>>>,
+    scratches: Mutex<Vec<DpScratch>>,
     counters: Counters,
 }
 
@@ -205,8 +243,10 @@ impl Engine {
             config,
             config_hash,
             grids: Mutex::new(HashMap::new()),
+            windows: Mutex::new(HashMap::new()),
             tau_mins: Mutex::new(HashMap::new()),
             libraries: Mutex::new(HashMap::new()),
+            scratches: Mutex::new(Vec::new()),
             counters: Counters::default(),
         }
     }
@@ -244,8 +284,10 @@ impl Engine {
     /// distinct nets call this at natural boundaries to bound memory.
     pub fn clear_cache(&self) {
         self.grids.lock().expect("grid cache").clear();
+        self.windows.lock().expect("window cache").clear();
         self.tau_mins.lock().expect("tau cache").clear();
         self.libraries.lock().expect("library cache").clear();
+        self.scratches.lock().expect("scratch pool").clear();
     }
 
     /// Cache-effectiveness counters so far.
@@ -253,6 +295,8 @@ impl Engine {
         EngineStats {
             grid_hits: self.counters.grid_hits.load(Ordering::Relaxed),
             grid_misses: self.counters.grid_misses.load(Ordering::Relaxed),
+            window_hits: self.counters.window_hits.load(Ordering::Relaxed),
+            window_misses: self.counters.window_misses.load(Ordering::Relaxed),
             tau_min_hits: self.counters.tau_min_hits.load(Ordering::Relaxed),
             tau_min_misses: self.counters.tau_min_misses.load(Ordering::Relaxed),
             library_hits: self.counters.library_hits.load(Ordering::Relaxed),
@@ -261,24 +305,96 @@ impl Engine {
         }
     }
 
+    // ---- scratch pool ----------------------------------------------------
+
+    /// Runs `f` with a pooled [`DpScratch`]: pops one (or creates the
+    /// pool's first on a cold start), and returns it afterwards so a
+    /// warm batch allocates no DP working memory at all. The pool grows
+    /// to at most the peak number of concurrent solves.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut DpScratch) -> R) -> R {
+        let mut scratch = self
+            .scratches
+            .lock()
+            .expect("scratch pool")
+            .pop()
+            .unwrap_or_default();
+        let result = f(&mut scratch);
+        self.scratches.lock().expect("scratch pool").push(scratch);
+        result
+    }
+
     // ---- cached precomputation -------------------------------------------
 
-    /// The uniform candidate grid for `(net, step)`, built at most once
-    /// per session.
+    /// Inserts a freshly computed value unless another worker won the
+    /// race, and attributes the hit/miss to whoever actually resolved
+    /// the entry: values are computed *outside* the cache lock, so two
+    /// workers can build the same key concurrently — only the one whose
+    /// insert lands counts a miss, keeping the counters exact even
+    /// under parallel batches (the hit-rate tests assert equality).
+    fn finish_lookup<V: Clone>(
+        cache: &Mutex<HashMap<String, V>>,
+        key: String,
+        computed: V,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+    ) -> V {
+        use std::collections::hash_map::Entry;
+        match cache.lock().expect("engine cache").entry(key) {
+            Entry::Occupied(entry) => {
+                hits.fetch_add(1, Ordering::Relaxed);
+                entry.get().clone()
+            }
+            Entry::Vacant(entry) => {
+                misses.fetch_add(1, Ordering::Relaxed);
+                entry.insert(computed).clone()
+            }
+        }
+    }
+
+    /// The uniform candidate grid for `(net geometry, step)`, built at
+    /// most once per session. Keyed on geometry only (length + zones),
+    /// so nets differing in driver/receiver widths or wire parasitics
+    /// share one grid.
     fn grid(&self, net: &TwoPinNet, step_um: f64) -> Arc<CandidateSet> {
-        let key = cache_key(&(net, step_um.to_bits()));
+        let key = geometry_key(net, &step_um.to_bits());
         if let Some(grid) = self.grids.lock().expect("grid cache").get(&key) {
             self.counters.grid_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(grid);
         }
-        self.counters.grid_misses.fetch_add(1, Ordering::Relaxed);
         let grid = Arc::new(CandidateSet::uniform(net, step_um));
-        self.grids
-            .lock()
-            .expect("grid cache")
-            .entry(key)
-            .or_insert(grid)
-            .clone()
+        Self::finish_lookup(
+            &self.grids,
+            key,
+            grid,
+            &self.counters.grid_hits,
+            &self.counters.grid_misses,
+        )
+    }
+
+    /// The windowed candidate set for `(net geometry, centers, window)`,
+    /// built at most once per session — repeated solves of a net (target
+    /// sweeps, identical batches) reuse the fine-stage candidate sets.
+    fn window_grid(
+        &self,
+        net: &TwoPinNet,
+        centers: &[f64],
+        half_slots: usize,
+        step_um: f64,
+    ) -> Arc<CandidateSet> {
+        let center_bits: Vec<u64> = centers.iter().map(|c| c.to_bits()).collect();
+        let key = geometry_key(net, &(center_bits, half_slots, step_um.to_bits()));
+        if let Some(set) = self.windows.lock().expect("window cache").get(&key) {
+            self.counters.window_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(set);
+        }
+        let set = Arc::new(CandidateSet::windows(net, centers, half_slots, step_um));
+        Self::finish_lookup(
+            &self.windows,
+            key,
+            set,
+            &self.counters.window_hits,
+            &self.counters.window_misses,
+        )
     }
 
     /// `τ_min` of a net under the paper's experimental setup, computed at
@@ -289,14 +405,14 @@ impl Engine {
             self.counters.tau_min_hits.fetch_add(1, Ordering::Relaxed);
             return tmin;
         }
-        self.counters.tau_min_misses.fetch_add(1, Ordering::Relaxed);
         let tmin = tmin::tau_min_paper(net, self.tech.device());
-        *self
-            .tau_mins
-            .lock()
-            .expect("tau cache")
-            .entry(key)
-            .or_insert(tmin)
+        Self::finish_lookup(
+            &self.tau_mins,
+            key,
+            tmin,
+            &self.counters.tau_min_hits,
+            &self.counters.tau_min_misses,
+        )
     }
 
     /// Stage-3 library synthesis, memoized on `(rounded widths, grid,
@@ -317,7 +433,6 @@ impl Engine {
             self.counters.library_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(lib));
         }
-        self.counters.library_misses.fetch_add(1, Ordering::Relaxed);
         let mut widths: Vec<f64> = Vec::new();
         for &w in rounded.widths() {
             widths.push(w);
@@ -332,13 +447,13 @@ impl Engine {
             }
         }
         let lib = Arc::new(RepeaterLibrary::from_widths(widths)?);
-        Ok(self
-            .libraries
-            .lock()
-            .expect("library cache")
-            .entry(key)
-            .or_insert(lib)
-            .clone())
+        Ok(Self::finish_lookup(
+            &self.libraries,
+            key,
+            lib,
+            &self.counters.library_hits,
+            &self.counters.library_misses,
+        ))
     }
 
     // ---- chain solving ---------------------------------------------------
@@ -352,6 +467,17 @@ impl Engine {
     /// * [`RipError::Infeasible`] when no stage can meet the target;
     /// * [`RipError::Dp`] / [`RipError::Refine`] for invalid inputs.
     pub fn solve(&self, net: &TwoPinNet, target_fs: f64) -> Result<RipOutcome, RipError> {
+        self.with_scratch(|scratch| self.solve_with_scratch(net, target_fs, scratch))
+    }
+
+    /// [`Engine::solve`] against one checked-out scratch: every DP stage
+    /// of the pipeline reuses the same working memory.
+    fn solve_with_scratch(
+        &self,
+        net: &TwoPinNet,
+        target_fs: f64,
+        scratch: &mut DpScratch,
+    ) -> Result<RipOutcome, RipError> {
         self.counters.nets_solved.fetch_add(1, Ordering::Relaxed);
         let device = self.tech.device();
         let config = &self.config;
@@ -360,7 +486,8 @@ impl Engine {
         // ---- Stage 1: coarse DP (Fig. 6, Line 1).
         let t0 = Instant::now();
         let coarse_cands = self.grid(net, config.coarse.candidate_step_um);
-        let coarse = match solve_min_power(
+        let coarse = match solve_min_power_with(
+            scratch,
             net,
             device,
             &config.coarse.library,
@@ -371,7 +498,7 @@ impl Engine {
             // Coarse library can't meet the target: seed REFINE from the
             // fastest coarse placement instead.
             Err(DpError::InfeasibleTarget { .. }) => {
-                solve_min_delay(net, device, &config.coarse.library, &coarse_cands)
+                solve_min_delay_with(scratch, net, device, &config.coarse.library, &coarse_cands)
             }
             Err(e) => return Err(e.into()),
         };
@@ -401,8 +528,14 @@ impl Engine {
         if refined.positions.is_empty() {
             let t2 = Instant::now();
             let empty_cands = CandidateSet::from_positions(net, vec![])?;
-            let solution =
-                solve_min_power(net, device, &config.coarse.library, &empty_cands, target_fs)?;
+            let solution = solve_min_power_with(
+                scratch,
+                net,
+                device,
+                &config.coarse.library,
+                &empty_cands,
+                target_fs,
+            )?;
             runtime.fine = t2.elapsed();
             return Ok(RipOutcome {
                 solution,
@@ -416,7 +549,7 @@ impl Engine {
 
         // ---- Stages 3-4 on the n-repeater branch.
         let t2 = Instant::now();
-        let mut best = self.finish_from_refined(net, &refined, target_fs);
+        let mut best = self.finish_from_refined(net, &refined, target_fs, scratch);
 
         // Extension (`FineDpConfig::try_fewer_repeaters`): REFINE cannot
         // change the repeater *count* it inherited from the coarse DP, and
@@ -455,7 +588,7 @@ impl Engine {
                         continue;
                     }
                 }
-                let alt = self.finish_from_refined(net, &fewer, target_fs);
+                let alt = self.finish_from_refined(net, &fewer, target_fs, scratch);
                 let better = match (&best, &alt) {
                     (Ok(b), Ok(a)) => a.0.total_width < b.0.total_width,
                     (Err(_), Ok(_)) => true,
@@ -507,13 +640,14 @@ impl Engine {
         net: &TwoPinNet,
         refined: &RefineOutcome,
         target_fs: f64,
+        scratch: &mut DpScratch,
     ) -> Result<(DpSolution, RepeaterLibrary, usize), f64> {
         let device = self.tech.device();
         let config = &self.config;
         let grid = config.fine.width_grid_u;
         let rounded = RepeaterLibrary::from_refined_widths(refined.widths.iter().copied(), grid)
             .expect("refined widths are positive");
-        let cands = CandidateSet::windows(
+        let cands = self.window_grid(
             net,
             &refined.positions,
             config.fine.window_half_slots,
@@ -522,7 +656,8 @@ impl Engine {
         let mut final_lib = self
             .synthesized_library(&rounded, grid, config.fine.enrich_steps, false)
             .expect("enriched widths are positive");
-        let mut solution = solve_min_power(net, device, &final_lib, &cands, target_fs);
+        let mut solution =
+            solve_min_power_with(scratch, net, device, &final_lib, &cands, target_fs);
         if matches!(solution, Err(DpError::InfeasibleTarget { .. })) {
             // Infeasible after rounding: only *wider* fallbacks can help,
             // so the retry enriches upward only (keeps the library small -
@@ -530,7 +665,7 @@ impl Engine {
             final_lib = self
                 .synthesized_library(&rounded, grid, config.fine.enrich_steps.max(1) * 3, true)
                 .expect("positive widths");
-            solution = solve_min_power(net, device, &final_lib, &cands, target_fs);
+            solution = solve_min_power_with(scratch, net, device, &final_lib, &cands, target_fs);
         }
         match solution {
             Ok(sol) => Ok((sol, (*final_lib).clone(), cands.len())),
@@ -589,7 +724,16 @@ impl Engine {
         target_fs: f64,
     ) -> Result<DpSolution, DpError> {
         let cands = self.grid(net, config.candidate_step_um);
-        solve_min_power(net, self.tech.device(), &config.library, &cands, target_fs)
+        self.with_scratch(|scratch| {
+            solve_min_power_with(
+                scratch,
+                net,
+                self.tech.device(),
+                &config.library,
+                &cands,
+                target_fs,
+            )
+        })
     }
 
     /// RIP vs baseline over a batch, in parallel: per-net

@@ -11,13 +11,29 @@
 //! Dominated options are pruned after every candidate (2D in delay mode,
 //! 3D in power mode — the pseudo-polynomial frontier the paper's
 //! Section 2 discusses).
+//!
+//! Options live in the sorted struct-of-arrays frontier of
+//! [`crate::frontier`]: the surviving set stays sorted by capacitance,
+//! fresh insertion options arrive pre-bucketed by library width, and
+//! each prune is a single linear merge instead of a full re-sort. All
+//! working memory comes from a reusable [`DpScratch`], so the `_with`
+//! entry points ([`solve_min_power_with`] etc.) allocate nothing after
+//! warm-up; the plain free functions draw from a thread-local scratch.
+//! The seed implementation survives in [`crate::reference`] and the
+//! test suite pins both to byte-identical solutions.
 
 use crate::candidates::CandidateSet;
 use crate::error::DpError;
-use crate::options::{prune_2d, prune_3d, TraceArena, TRACE_ROOT};
+use crate::frontier::{
+    merge_prune_2d, merge_prune_3d, reduce_bucket_2d, reduce_bucket_3d, BucketItem, DpScratch,
+    OptionBuf,
+};
+use crate::options::{TraceArena, TRACE_ROOT};
 use rip_delay::{buffer_added_delay, wire_added_delay, Repeater, RepeaterAssignment};
 use rip_net::TwoPinNet;
 use rip_tech::{RepeaterDevice, RepeaterLibrary};
+use std::cell::RefCell;
+use std::cmp::Ordering;
 
 /// Optimization objective of a DP run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,33 +86,20 @@ impl DpSolution {
     }
 }
 
-/// An in-flight DP option (internal).
-#[derive(Debug, Clone, Copy)]
-struct Opt {
-    /// Downstream load seen at the current position, fF.
-    cap: f64,
-    /// Downstream delay from the current position to the sink, fs.
-    delay: f64,
-    /// Accumulated downstream repeater width, u.
-    width: f64,
-    /// Traceback handle.
-    trace: u32,
-    /// Pending insertion decision `(position, width)` not yet
-    /// materialized into the arena (NaN width = none). Lets pruning run
-    /// before arena allocation.
-    pending_pos: f64,
-    pending_width: f64,
-}
-
-impl Opt {
-    fn has_pending(&self) -> bool {
-        !self.pending_width.is_nan()
-    }
+thread_local! {
+    /// Scratch backing the free functions: one per thread, reused across
+    /// calls so even scratch-unaware callers stop allocating after their
+    /// first solve on a thread.
+    static SCRATCH: RefCell<DpScratch> = RefCell::new(DpScratch::new());
 }
 
 /// Minimum-delay repeater insertion (van Ginneken over the candidate
 /// grid). Always succeeds: the unbuffered solution is in the search
 /// space.
+///
+/// Uses a thread-local [`DpScratch`]; batch callers that manage their
+/// own scratch (or pool scratches across threads, like
+/// `rip_core::Engine`) should prefer [`solve_min_delay_with`].
 ///
 /// # Examples
 ///
@@ -123,22 +126,51 @@ pub fn solve_min_delay(
     library: &RepeaterLibrary,
     candidates: &CandidateSet,
 ) -> DpSolution {
-    let (mut options, arena, stats) = sweep(net, device, library, candidates, Objective::MinDelay);
-    // Smallest delay; break ties towards less width.
-    options.sort_by(|a, b| {
-        a.delay
-            .partial_cmp(&b.delay)
+    SCRATCH.with(|s| solve_min_delay_with(&mut s.borrow_mut(), net, device, library, candidates))
+}
+
+/// [`solve_min_delay`] with caller-provided scratch memory.
+pub fn solve_min_delay_with(
+    scratch: &mut DpScratch,
+    net: &TwoPinNet,
+    device: &RepeaterDevice,
+    library: &RepeaterLibrary,
+    candidates: &CandidateSet,
+) -> DpSolution {
+    let stats = sweep(
+        net,
+        device,
+        library,
+        candidates,
+        Objective::MinDelay,
+        scratch,
+    );
+    // Smallest delay; break ties towards less width, then towards the
+    // earliest record (matching the reference pruner's stable sort).
+    let cur = &scratch.cur;
+    let mut best = 0usize;
+    for i in 1..cur.len() {
+        let better = match cur.delay[i]
+            .partial_cmp(&cur.delay[best])
             .expect("finite delays")
-            .then(a.width.partial_cmp(&b.width).expect("finite widths"))
-    });
-    let best = options
-        .first()
-        .expect("the unbuffered option always exists");
-    materialize(best, &arena, stats)
+        {
+            Ordering::Less => true,
+            Ordering::Equal => cur.width[i] < cur.width[best],
+            Ordering::Greater => false,
+        };
+        if better {
+            best = i;
+        }
+    }
+    debug_assert!(cur.len() > 0, "the unbuffered option always exists");
+    materialize(cur, best, &scratch.arena, stats)
 }
 
 /// Minimum-power repeater insertion under a timing target (Lillis-style
 /// power-mode DP; the baseline scheme \[14\] of the paper's experiments).
+///
+/// Uses a thread-local [`DpScratch`]; batch callers should prefer
+/// [`solve_min_power_with`].
 ///
 /// # Errors
 ///
@@ -154,27 +186,70 @@ pub fn solve_min_power(
     candidates: &CandidateSet,
     target_fs: f64,
 ) -> Result<DpSolution, DpError> {
+    SCRATCH.with(|s| {
+        solve_min_power_with(
+            &mut s.borrow_mut(),
+            net,
+            device,
+            library,
+            candidates,
+            target_fs,
+        )
+    })
+}
+
+/// [`solve_min_power`] with caller-provided scratch memory.
+///
+/// # Errors
+///
+/// See [`solve_min_power`].
+pub fn solve_min_power_with(
+    scratch: &mut DpScratch,
+    net: &TwoPinNet,
+    device: &RepeaterDevice,
+    library: &RepeaterLibrary,
+    candidates: &CandidateSet,
+    target_fs: f64,
+) -> Result<DpSolution, DpError> {
     if !target_fs.is_finite() || target_fs <= 0.0 {
         return Err(DpError::InvalidTarget { target_fs });
     }
     let objective = Objective::MinPowerUnderDelay { target_fs };
-    let (mut options, arena, stats) = sweep(net, device, library, candidates, objective);
-    options.retain(|o| o.delay <= target_fs);
-    if options.is_empty() {
-        let fastest = solve_min_delay(net, device, library, candidates);
-        return Err(DpError::InfeasibleTarget {
-            target_fs,
-            achievable_fs: fastest.delay_fs,
-        });
-    }
-    // Least total width; break ties towards less delay.
-    options.sort_by(|a, b| {
-        a.width
-            .partial_cmp(&b.width)
+    let stats = sweep(net, device, library, candidates, objective, scratch);
+    // Least total width among target-meeting options; break ties towards
+    // less delay, then towards the earliest record.
+    let cur = &scratch.cur;
+    let mut best: Option<usize> = None;
+    for i in 0..cur.len() {
+        if cur.delay[i] > target_fs {
+            continue;
+        }
+        let Some(b) = best else {
+            best = Some(i);
+            continue;
+        };
+        let better = match cur.width[i]
+            .partial_cmp(&cur.width[b])
             .expect("finite widths")
-            .then(a.delay.partial_cmp(&b.delay).expect("finite delays"))
-    });
-    Ok(materialize(&options[0], &arena, stats))
+        {
+            Ordering::Less => true,
+            Ordering::Equal => cur.delay[i] < cur.delay[b],
+            Ordering::Greater => false,
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+    match best {
+        Some(i) => Ok(materialize(cur, i, &scratch.arena, stats)),
+        None => {
+            let fastest = solve_min_delay_with(scratch, net, device, library, candidates);
+            Err(DpError::InfeasibleTarget {
+                target_fs,
+                achievable_fs: fastest.delay_fs,
+            })
+        }
+    }
 }
 
 /// Runs an objective-appropriate DP: delegates to [`solve_min_delay`] or
@@ -198,118 +273,169 @@ pub fn solve(
     }
 }
 
-fn materialize(best: &Opt, arena: &TraceArena, stats: DpStats) -> DpSolution {
+/// [`solve`] with caller-provided scratch memory.
+///
+/// # Errors
+///
+/// See [`solve_min_power`]; the min-delay objective never fails.
+pub fn solve_with(
+    scratch: &mut DpScratch,
+    net: &TwoPinNet,
+    device: &RepeaterDevice,
+    library: &RepeaterLibrary,
+    candidates: &CandidateSet,
+    objective: Objective,
+) -> Result<DpSolution, DpError> {
+    match objective {
+        Objective::MinDelay => Ok(solve_min_delay_with(
+            scratch, net, device, library, candidates,
+        )),
+        Objective::MinPowerUnderDelay { target_fs } => {
+            solve_min_power_with(scratch, net, device, library, candidates, target_fs)
+        }
+    }
+}
+
+fn materialize(cur: &OptionBuf, best: usize, arena: &TraceArena, stats: DpStats) -> DpSolution {
     debug_assert!(
-        !best.has_pending(),
+        cur.pending[best].is_nan(),
         "final options never carry pending inserts"
     );
     let repeaters: Vec<Repeater> = arena
-        .collect(best.trace)
+        .collect(cur.trace[best])
         .into_iter()
         .map(|(x, w)| Repeater::new(x, w))
         .collect();
     let assignment = RepeaterAssignment::new(repeaters).expect("DP traces are valid assignments");
     DpSolution {
         assignment,
-        delay_fs: best.delay,
-        total_width: best.width,
+        delay_fs: cur.delay[best],
+        total_width: cur.width[best],
         stats,
     }
 }
 
-/// The sink→source sweep shared by both objectives. Returns the final
-/// option set (with *total* delays, i.e. the driver stage applied), the
-/// trace arena, and statistics.
+/// The sink→source sweep shared by both objectives. Leaves the final
+/// option frontier (with *total* delays, i.e. the driver stage applied)
+/// in `scratch.cur` and the traceback in `scratch.arena`; returns the
+/// work counters.
 fn sweep(
     net: &TwoPinNet,
     device: &RepeaterDevice,
     library: &RepeaterLibrary,
     candidates: &CandidateSet,
     objective: Objective,
-) -> (Vec<Opt>, TraceArena, DpStats) {
+    scratch: &mut DpScratch,
+) -> DpStats {
+    scratch.reset();
     let profile = net.profile();
     let target = match objective {
         Objective::MinDelay => None,
         Objective::MinPowerUnderDelay { target_fs } => Some(target_fs),
     };
-    let mut arena = TraceArena::new();
     let mut stats = DpStats {
         candidates: candidates.len(),
         library_size: library.len(),
         ..DpStats::default()
     };
-    let mut options = vec![Opt {
-        cap: device.input_cap(net.receiver_width()),
-        delay: 0.0,
-        width: 0.0,
-        trace: TRACE_ROOT,
-        pending_pos: f64::NAN,
-        pending_width: f64::NAN,
-    }];
+    scratch.cur.push(
+        device.input_cap(net.receiver_width()),
+        0.0,
+        0.0,
+        TRACE_ROOT,
+        f64::NAN,
+    );
     stats.options_created = 1;
 
     let mut prev_pos = net.total_length();
     for &x in candidates.positions().iter().rev() {
-        // Cross the wire from this candidate to the previous stop.
+        // Cross the wire from this candidate to the previous stop. The
+        // constant capacitance shift and within-equal-cap-uniform delay
+        // shift preserve the frontier's sort order.
         let wire = profile.interval(x, prev_pos);
-        for o in &mut options {
-            o.delay += wire_added_delay(wire, o.cap);
-            o.cap += wire.capacitance;
+        {
+            let cur = &mut scratch.cur;
+            for i in 0..cur.len() {
+                cur.delay[i] += wire_added_delay(wire, cur.cap[i]);
+                cur.cap[i] += wire.capacitance;
+            }
         }
         if let Some(t) = target {
             // Upstream delay only grows; over-target options are dead.
-            options.retain(|o| o.delay <= t);
+            scratch.cur.retain_delay_le(t);
         }
 
-        // Option to insert each library width here.
-        let mut combined = options.clone();
-        for o in &options {
-            for &w in library {
-                let delay = o.delay + buffer_added_delay(device, w, o.cap);
+        // Option to insert each library width here, bucketed per width:
+        // each bucket shares the load `C_in(w)` and is reduced to its
+        // sorted sub-frontier before the global merge.
+        scratch.fresh.clear();
+        let mut created = scratch.cur.len() as u64;
+        for &w in library.widths() {
+            let new_cap = device.input_cap(w);
+            scratch.bucket.clear();
+            let cur = &scratch.cur;
+            for i in 0..cur.len() {
+                let delay = cur.delay[i] + buffer_added_delay(device, w, cur.cap[i]);
                 if target.is_some_and(|t| delay > t) {
                     continue;
                 }
-                combined.push(Opt {
-                    cap: device.input_cap(w),
+                scratch.bucket.push(BucketItem {
                     delay,
-                    width: o.width + w,
-                    trace: o.trace,
-                    pending_pos: x,
-                    pending_width: w,
+                    width: cur.width[i] + w,
+                    trace: cur.trace[i],
+                    seq: scratch.bucket.len() as u32,
                 });
             }
+            created += scratch.bucket.len() as u64;
+            let (bucket, fresh) = (&mut scratch.bucket, &mut scratch.fresh);
+            match objective {
+                Objective::MinDelay => reduce_bucket_2d(bucket, |item| {
+                    fresh.push(new_cap, item.delay, item.width, item.trace, w);
+                }),
+                Objective::MinPowerUnderDelay { .. } => reduce_bucket_3d(bucket, |item| {
+                    fresh.push(new_cap, item.delay, item.width, item.trace, w);
+                }),
+            }
         }
-        stats.options_created += combined.len() as u64;
+        stats.options_created += created;
 
         match objective {
-            Objective::MinDelay => prune_2d(&mut combined, |o| (o.cap, o.delay)),
-            Objective::MinPowerUnderDelay { .. } => {
-                prune_3d(&mut combined, |o| (o.cap, o.delay, o.width))
+            Objective::MinDelay => {
+                merge_prune_2d(&mut scratch.cur, &scratch.fresh, &mut scratch.merged);
             }
+            Objective::MinPowerUnderDelay { .. } => merge_prune_3d(
+                &mut scratch.cur,
+                &scratch.fresh,
+                &mut scratch.merged,
+                &mut scratch.stairs,
+            ),
         }
 
         // Materialize traces only for surviving fresh insertions.
-        for o in &mut combined {
-            if o.has_pending() {
-                o.trace = arena.push(o.pending_pos, o.pending_width, o.trace);
-                o.pending_pos = f64::NAN;
-                o.pending_width = f64::NAN;
+        {
+            let cur = &mut scratch.cur;
+            for i in 0..cur.len() {
+                let pending = cur.pending[i];
+                if !pending.is_nan() {
+                    cur.trace[i] = scratch.arena.push(x, pending, cur.trace[i]);
+                    cur.pending[i] = f64::NAN;
+                }
             }
+            stats.options_peak = stats.options_peak.max(cur.len());
         }
-        stats.options_peak = stats.options_peak.max(combined.len());
-        options = combined;
         prev_pos = x;
     }
 
     // Close the wire back to the source and apply the driver stage.
     let wire = profile.interval(0.0, prev_pos);
-    for o in &mut options {
-        o.delay += wire_added_delay(wire, o.cap);
-        o.cap += wire.capacitance;
-        o.delay += buffer_added_delay(device, net.driver_width(), o.cap);
+    let cur = &mut scratch.cur;
+    for i in 0..cur.len() {
+        cur.delay[i] += wire_added_delay(wire, cur.cap[i]);
+        cur.cap[i] += wire.capacitance;
+        cur.delay[i] += buffer_added_delay(device, net.driver_width(), cur.cap[i]);
     }
-    stats.trace_nodes = arena.len() - 1;
-    (options, arena, stats)
+    stats.trace_nodes = scratch.arena.len() - 1;
+    stats
 }
 
 #[cfg(test)]
@@ -529,5 +655,37 @@ mod tests {
         let a = solve(&net, tech.device(), &lib, &cands, Objective::MinDelay).unwrap();
         let b = solve_min_delay(&net, tech.device(), &lib, &cands);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        // A single scratch driven through an interleaving of solves must
+        // give exactly what fresh scratches give: scratch is memory, not
+        // state.
+        let tech = tech();
+        let net = long_net();
+        let zoned = zoned_net();
+        let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0).unwrap();
+        let cands = CandidateSet::uniform(&net, 200.0);
+        let zcands = CandidateSet::uniform(&zoned, 200.0);
+        let mut shared = DpScratch::new();
+
+        let fastest = solve_min_delay_with(&mut shared, &net, tech.device(), &lib, &cands);
+        for mult in [1.1, 1.6, 0.5, 1.3] {
+            let target = fastest.delay_fs * mult;
+            let reused =
+                solve_min_power_with(&mut shared, &net, tech.device(), &lib, &cands, target);
+            let fresh = solve_min_power_with(
+                &mut DpScratch::new(),
+                &net,
+                tech.device(),
+                &lib,
+                &cands,
+                target,
+            );
+            assert_eq!(format!("{reused:?}"), format!("{fresh:?}"), "mult {mult}");
+            // Interleave a different net to try to poison the scratch.
+            let _ = solve_min_delay_with(&mut shared, &zoned, tech.device(), &lib, &zcands);
+        }
     }
 }

@@ -19,7 +19,15 @@
 //! * [`Solver`] — the object-safe interface unifying all of the above
 //!   ([`ChainDpSolver`], [`TreeDpSolver`], [`BruteForceSolver`]), selected
 //!   by [`SolverKind`]. `rip_core`'s batch `Engine` and the
-//!   cross-validation suites drive engines through this trait.
+//!   cross-validation suites drive engines through this trait;
+//! * [`DpScratch`] and the `_with` entry points
+//!   ([`solve_min_power_with`] etc.) — caller-managed scratch memory so
+//!   batch workloads allocate nothing after warm-up (the plain free
+//!   functions fall back to a thread-local scratch);
+//! * [`mod@reference`] — the seed chain sweep, kept verbatim so the sorted
+//!   struct-of-arrays frontier that now powers the production engines
+//!   stays pinned to byte-identical solutions and an honestly measured
+//!   speedup (`BENCH_dp_frontier.json`).
 //!
 //! # Example
 //!
@@ -51,14 +59,20 @@ mod brute;
 mod candidates;
 mod chain;
 mod error;
+mod frontier;
 mod options;
+pub mod reference;
 mod solver;
 mod tree;
 
 pub use brute::{brute_min_delay, brute_min_power};
 pub use candidates::CandidateSet;
-pub use chain::{solve, solve_min_delay, solve_min_power, DpSolution, DpStats, Objective};
+pub use chain::{
+    solve, solve_min_delay, solve_min_delay_with, solve_min_power, solve_min_power_with,
+    solve_with, DpSolution, DpStats, Objective,
+};
 pub use error::DpError;
+pub use frontier::DpScratch;
 pub use solver::{
     solver_panel, BruteForceSolver, ChainDpSolver, SolveRequest, Solver, SolverKind, TreeDpSolver,
 };

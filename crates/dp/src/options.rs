@@ -50,6 +50,12 @@ impl Staircase {
         Self::default()
     }
 
+    /// Forgets every inserted point, keeping the allocation (scratch
+    /// reuse across prunes).
+    pub(crate) fn clear(&mut self) {
+        self.pts.clear();
+    }
+
     /// Returns `true` when some inserted `(d', p')` has `d' ≤ d` and
     /// `p' ≤ p`.
     pub(crate) fn dominates(&self, d: f64, p: f64) -> bool {
@@ -125,6 +131,12 @@ struct TraceNode {
 /// The shared empty-trace handle.
 pub(crate) const TRACE_ROOT: u32 = 0;
 
+impl Default for TraceArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl TraceArena {
     pub(crate) fn new() -> Self {
         Self {
@@ -134,6 +146,12 @@ impl TraceArena {
                 prev: 0,
             }],
         }
+    }
+
+    /// Forgets every recorded insertion, keeping the allocation and the
+    /// shared root (scratch reuse across solves).
+    pub(crate) fn reset(&mut self) {
+        self.nodes.truncate(1);
     }
 
     /// Records a repeater insertion on top of `prev`; returns the new
@@ -246,6 +264,106 @@ mod tests {
         // (3, 3) makes both previous points redundant.
         s.insert(3.0, 3.0);
         assert_eq!(s.pts, vec![(3.0, 3.0)]);
+    }
+
+    /// Deterministic-seed LCG producing coarse quantized values so
+    /// duplicates and dominance chains occur with high probability.
+    fn quantized_stream(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 32) as f64 / u32::MAX as f64 * 12.0).round()
+        }
+    }
+
+    fn naive_pareto_2d(items: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = items
+            .iter()
+            .copied()
+            .filter(|x| !items.iter().any(|y| y != x && y.0 <= x.0 && y.1 <= x.1))
+            .collect();
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn prune_2d_fuzz_sorted_nondominated_and_set_identical_to_naive() {
+        let mut next = quantized_stream(0xA11CE);
+        for round in 0..60 {
+            let n = 1 + (round * 7) % 120;
+            let items: Vec<(f64, f64)> = (0..n).map(|_| (next(), next())).collect();
+            let mut pruned = items.clone();
+            prune_2d(&mut pruned, |&x| x);
+            // Sorted by the first key ascending.
+            assert!(
+                pruned.windows(2).all(|w| w[0].0 <= w[1].0),
+                "round {round}: survivors not sorted by first key"
+            );
+            // Mutually non-dominated.
+            for (i, a) in pruned.iter().enumerate() {
+                for (j, b) in pruned.iter().enumerate() {
+                    assert!(
+                        i == j || !(a.0 <= b.0 && a.1 <= b.1),
+                        "round {round}: {a:?} dominates fellow survivor {b:?}"
+                    );
+                }
+            }
+            // Identical, as a set, to the naive O(n^2) reference.
+            let mut got = pruned.clone();
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            got.dedup();
+            assert_eq!(got, naive_pareto_2d(&items), "round {round}");
+        }
+    }
+
+    #[test]
+    fn prune_3d_fuzz_sorted_nondominated_and_set_identical_to_naive() {
+        let mut next = quantized_stream(0xB0B);
+        for round in 0..60 {
+            let n = 1 + (round * 11) % 150;
+            let items: Vec<(f64, f64, f64)> = (0..n).map(|_| (next(), next(), next())).collect();
+            let mut pruned = items.clone();
+            prune_3d(&mut pruned, |&x| x);
+            assert!(
+                pruned.windows(2).all(|w| w[0].0 <= w[1].0),
+                "round {round}: survivors not sorted by first key"
+            );
+            for (i, a) in pruned.iter().enumerate() {
+                for (j, b) in pruned.iter().enumerate() {
+                    assert!(
+                        i == j || !(a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2),
+                        "round {round}: {a:?} dominates fellow survivor {b:?}"
+                    );
+                }
+            }
+            let mut got = pruned.clone();
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            got.dedup();
+            assert_eq!(got, brute_pareto_3d(&items), "round {round}");
+        }
+    }
+
+    #[test]
+    fn staircase_clear_resets_state() {
+        let mut s = Staircase::new();
+        s.insert(1.0, 1.0);
+        assert!(s.dominates(2.0, 2.0));
+        s.clear();
+        assert!(!s.dominates(2.0, 2.0));
+    }
+
+    #[test]
+    fn trace_arena_reset_keeps_only_the_root() {
+        let mut arena = TraceArena::new();
+        let t = arena.push(1000.0, 80.0, TRACE_ROOT);
+        assert_eq!(arena.collect(t).len(), 1);
+        arena.reset();
+        assert_eq!(arena.len(), 1);
+        let t2 = arena.push(2000.0, 40.0, TRACE_ROOT);
+        assert_eq!(arena.collect(t2), vec![(2000.0, 40.0)]);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 
 use crate::chain::DpStats;
 use crate::error::DpError;
-use crate::options::{prune_2d, prune_3d};
+use crate::frontier::{cmp_f64, reduce_bucket_2d, reduce_bucket_3d, BucketItem};
+use crate::options::{prune_2d, prune_3d, Staircase};
 use rip_delay::RcTree;
 use rip_tech::{RepeaterDevice, RepeaterLibrary};
+use std::cmp::Ordering;
 
 /// A buffered-tree solution.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +102,106 @@ impl TArena {
 enum TreeMode {
     MinDelay,
     MinPower { target_fs: f64 },
+}
+
+/// Reusable per-solve scratch for the buffer-combine step: the fresh
+/// sub-frontiers, the in-flight width bucket (shared
+/// [`BucketItem`] records and reductions from the chain engine's
+/// frontier module — the tree engine keeps its array-of-structs node
+/// storage and reuses the bucketed merge scheme), the dominance
+/// staircase, and the child-lift buffer. Allocated once per
+/// [`solve_tree`] call instead of once per tree node.
+#[derive(Debug, Default)]
+struct TreeScratch {
+    fresh: Vec<TOpt>,
+    bucket: Vec<BucketItem>,
+    stairs: Staircase,
+    lifted: Vec<TOpt>,
+}
+
+/// Lexicographic option key for `mode`: `(cap, delay)` in delay mode,
+/// `(cap, delay, width)` in power mode — exactly the reference pruner's
+/// sort keys.
+fn cmp_opt(a: &TOpt, b: &TOpt, mode: TreeMode) -> Ordering {
+    let two = cmp_f64(a.cap, b.cap).then_with(|| cmp_f64(a.delay, b.delay));
+    match mode {
+        TreeMode::MinDelay => two,
+        TreeMode::MinPower { .. } => two.then_with(|| cmp_f64(a.width, b.width)),
+    }
+}
+
+/// Merges the sorted unbuffered prefix with the sorted bucketed fresh
+/// options into the non-dominated frontier (ties prefer the prefix,
+/// reproducing the reference pruner's stable sort of
+/// `[prefix.., fresh..]`). Returns the surviving options, sorted.
+fn merge_combine(
+    prefix: &[TOpt],
+    fresh: &[TOpt],
+    mode: TreeMode,
+    stairs: &mut Staircase,
+) -> Vec<TOpt> {
+    let mut out = Vec::with_capacity(prefix.len() + fresh.len());
+    stairs.clear();
+    let mut best_delay = f64::INFINITY;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < prefix.len() || j < fresh.len() {
+        let take_prefix = if i >= prefix.len() {
+            false
+        } else if j >= fresh.len() {
+            true
+        } else {
+            cmp_opt(&prefix[i], &fresh[j], mode) != Ordering::Greater
+        };
+        let o = if take_prefix {
+            i += 1;
+            prefix[i - 1]
+        } else {
+            j += 1;
+            fresh[j - 1]
+        };
+        let keep = match mode {
+            TreeMode::MinDelay => {
+                if o.delay < best_delay {
+                    best_delay = o.delay;
+                    true
+                } else {
+                    false
+                }
+            }
+            TreeMode::MinPower { .. } => {
+                if stairs.dominates(o.delay, o.width) {
+                    false
+                } else {
+                    stairs.insert(o.delay, o.width);
+                    true
+                }
+            }
+        };
+        if keep {
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// Reduces a width bucket to its sorted sub-frontier and appends it to
+/// `fresh` via the shared reductions in [`crate::frontier`]: only the
+/// bucket's minimum-delay record (delay mode) or its `(delay, width)`
+/// staircase (power mode) can survive same-`cap` dominance in
+/// [`merge_combine`].
+fn reduce_bucket(bucket: &mut [BucketItem], cap: f64, mode: TreeMode, fresh: &mut Vec<TOpt>) {
+    let emit = |item: &BucketItem| {
+        fresh.push(TOpt {
+            cap,
+            delay: item.delay,
+            width: item.width,
+            trace: item.trace,
+        });
+    };
+    match mode {
+        TreeMode::MinDelay => reduce_bucket_2d(bucket, emit),
+        TreeMode::MinPower { .. } => reduce_bucket_3d(bucket, emit),
+    }
 }
 
 /// Minimum-delay buffering of an RC tree.
@@ -202,6 +304,7 @@ fn solve_tree(
     };
 
     let mut arena = TArena::new();
+    let mut scratch = TreeScratch::default();
     let mut stats = DpStats {
         candidates: tree.len() - 1,
         library_size: library.len(),
@@ -224,19 +327,17 @@ fn solve_tree(
         }];
         for &u in tree.children(v) {
             let wire = tree.wire(u);
-            let lifted: Vec<TOpt> = options[u]
-                .iter()
-                .map(|o| TOpt {
-                    cap: o.cap + wire.capacitance,
-                    delay: o.delay + wire.elmore + wire.resistance * o.cap,
-                    width: o.width,
-                    trace: o.trace,
-                })
-                .collect();
-            options[u].clear(); // consumed
-            let mut next = Vec::with_capacity(acc.len() * lifted.len());
+            scratch.lifted.clear();
+            scratch.lifted.extend(options[u].iter().map(|o| TOpt {
+                cap: o.cap + wire.capacitance,
+                delay: o.delay + wire.elmore + wire.resistance * o.cap,
+                width: o.width,
+                trace: o.trace,
+            }));
+            options[u] = Vec::new(); // consumed; release the node storage
+            let mut next = Vec::with_capacity(acc.len() * scratch.lifted.len());
             for a in &acc {
-                for b in &lifted {
+                for b in &scratch.lifted {
                     if target.is_some_and(|t| a.delay.max(b.delay) > t) {
                         continue;
                     }
@@ -265,36 +366,43 @@ fn solve_tree(
             break;
         }
 
-        // Unbuffered at v: the node's tap joins the stage load.
-        let tap = tree.sink_cap(v);
-        let mut combined: Vec<TOpt> = acc
-            .iter()
-            .map(|o| TOpt {
-                cap: o.cap + tap,
-                ..*o
-            })
-            .collect();
         // Buffered at v: the buffer drives the merged subtree; upstream
-        // sees tap + buffer input cap.
+        // sees tap + buffer input cap. Generated per width bucket (each
+        // bucket shares its cap and is reduced to its sub-frontier), with
+        // the traceback allocated eagerly as the reference engine does.
+        let tap = tree.sink_cap(v);
+        scratch.fresh.clear();
+        let mut created = acc.len() as u64;
         if buffer_ok(v) {
-            for o in &acc {
-                for &w in library {
+            for &w in library.widths() {
+                let new_cap = tap + device.input_cap(w);
+                scratch.bucket.clear();
+                for o in &acc {
                     let delay =
                         o.delay + device.intrinsic_delay() + device.output_resistance(w) * o.cap;
                     if target.is_some_and(|t| delay > t) {
                         continue;
                     }
-                    combined.push(TOpt {
-                        cap: tap + device.input_cap(w),
+                    let seq = scratch.bucket.len() as u32;
+                    scratch.bucket.push(BucketItem {
                         delay,
                         width: o.width + w,
                         trace: arena.buffer(v, w, o.trace),
+                        seq,
                     });
                 }
+                created += scratch.bucket.len() as u64;
+                reduce_bucket(&mut scratch.bucket, new_cap, mode, &mut scratch.fresh);
             }
         }
-        stats.options_created += combined.len() as u64;
-        prune(&mut combined, mode);
+        stats.options_created += created;
+        // Unbuffered at v: the node's tap joins the stage load (a
+        // constant shift, so the sorted order survives and the prune is
+        // a single linear merge).
+        for o in &mut acc {
+            o.cap += tap;
+        }
+        let combined = merge_combine(&acc, &scratch.fresh, mode, &mut scratch.stairs);
         stats.options_peak = stats.options_peak.max(combined.len());
         options[v] = combined;
     }

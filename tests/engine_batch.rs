@@ -2,7 +2,7 @@
 //! sequential `rip()` calls, and a session's caches actually get reused.
 
 use rip_core::{rip, BatchTarget, Engine, RipConfig, RipOutcome};
-use rip_net::{NetGenerator, RandomNetConfig, TwoPinNet};
+use rip_net::{NetBuilder, NetGenerator, RandomNetConfig, Segment, TwoPinNet};
 use rip_tech::Technology;
 
 fn suite(seed: u64, count: usize) -> Vec<TwoPinNet> {
@@ -97,6 +97,82 @@ fn second_identical_batch_reuses_the_session_cache() {
         "second identical batch should be served from the cache"
     );
     assert_eq!(second.nets_solved, 2 * nets.len() as u64);
+}
+
+/// Candidate grids depend only on net *geometry* (length + zones), not
+/// driver/receiver widths — the seed keyed them on the full net and so
+/// rebuilt identical grids for every width variant. Nets sharing a
+/// geometry must now share one cached coarse grid: grid hit rate
+/// `(n-1)/n` across `n` width variants, where the seed scored `0/n`.
+#[test]
+fn width_variants_of_one_geometry_share_the_cached_grid() {
+    let engine = Engine::paper(Technology::generic_180nm());
+    let variants: Vec<TwoPinNet> = [100.0, 115.0, 130.0, 145.0, 160.0]
+        .iter()
+        .map(|&driver| {
+            NetBuilder::new()
+                .segment(Segment::new(6000.0, 0.08, 0.20))
+                .segment(Segment::new(6000.0, 0.06, 0.18))
+                .forbidden_zone(4000.0, 7000.0)
+                .unwrap()
+                .driver_width(driver)
+                .receiver_width(60.0)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let outs = engine.solve_batch(&variants, &BatchTarget::TauMinMultiple(1.4));
+    for (i, out) in outs.iter().enumerate() {
+        assert!(out.is_ok(), "variant {i} failed: {:?}", out.as_ref().err());
+    }
+    let stats = engine.stats();
+    assert_eq!(
+        stats.grid_misses, 1,
+        "five width variants of one geometry must build exactly one coarse grid"
+    );
+    assert_eq!(
+        stats.grid_hits,
+        variants.len() as u64 - 1,
+        "the remaining variants must be served from the cache"
+    );
+    // And the shared grid must not have changed any result: each variant
+    // matches its standalone solve.
+    let tech = Technology::generic_180nm();
+    let config = RipConfig::paper();
+    for (i, (net, out)) in variants.iter().zip(&outs).enumerate() {
+        let target = engine.tau_min(net) * 1.4;
+        let standalone = rip(net, &tech, target, &config).unwrap();
+        assert_eq!(
+            format!("{:?}", out.as_ref().unwrap().solution),
+            format!("{:?}", standalone.solution),
+            "variant {i}: shared grid changed the solution"
+        );
+    }
+}
+
+/// The fine stage's windowed candidate sets are cached too: re-solving
+/// the same nets converts every window build into a hit.
+#[test]
+fn repeated_batches_reuse_windowed_candidate_sets() {
+    let engine = Engine::paper(Technology::generic_180nm());
+    let nets = suite(42, 6);
+    let target = BatchTarget::TauMinMultiple(1.4);
+    let _ = engine.solve_batch(&nets, &target);
+    let first = engine.stats();
+    assert!(
+        first.window_misses > 0,
+        "the fine stage must request windowed candidate sets"
+    );
+    let _ = engine.solve_batch(&nets, &target);
+    let second = engine.stats();
+    assert_eq!(
+        second.window_misses, first.window_misses,
+        "second identical batch rebuilt windowed candidate sets"
+    );
+    assert!(
+        second.window_hits > first.window_hits,
+        "second identical batch should hit the window cache"
+    );
 }
 
 #[test]
