@@ -59,6 +59,12 @@ impl BatchBenchReport {
         self.config.nets as f64 / self.batch.median_s
     }
 
+    /// Sequential wall-clock over median batch wall-clock — the
+    /// machine-independent batch-vs-sequential ratio the CI gate checks.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_s / self.batch.median_s
+    }
+
     /// The flat-JSON rendering written to `BENCH_batch.json` (a
     /// superset of the seed schema, so older tooling keeps parsing it).
     pub fn to_json(&self) -> String {
@@ -70,7 +76,7 @@ impl BatchBenchReport {
             .num("batch_s", self.batch.median_s)
             .num("batch_mad_s", self.batch.mad_s)
             .num("batch_min_s", self.batch.min_s)
-            .num("speedup", self.sequential_s / self.batch.median_s)
+            .num("speedup", self.speedup())
             .num(
                 "sequential_nets_per_s",
                 self.config.nets as f64 / self.sequential_s,

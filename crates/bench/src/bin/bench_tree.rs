@@ -1,0 +1,40 @@
+//! Measures the production SoA tree DP against the frozen pre-SoA tree
+//! engine (`rip_dp::reference::tree`) on a generated multi-sink corpus,
+//! verifies byte-identical solutions, times the batch tree pipeline,
+//! and writes `BENCH_tree.json` at the workspace root (median/MAD over
+//! repeated runs — see `rip_bench::tree_bench`).
+//!
+//! The recorded `speedup_vs_reference` is measured in-process on the
+//! current machine, so it stays comparable wherever the bench runs —
+//! CI's bench-regression gate checks it alongside the absolute
+//! throughput baselines.
+//!
+//! Usage: `cargo run -p rip-bench --release --bin bench_tree [--quick]`
+
+use rip_bench::{quick_mode, run_tree_bench, workspace_root, TreeBenchConfig};
+
+fn main() {
+    let config = TreeBenchConfig::preset(quick_mode());
+    eprintln!(
+        "bench_tree: {} trees, {} runs (+{} warmup) per side...",
+        config.trees, config.runs, config.warmup
+    );
+    let report = run_tree_bench(config);
+    println!("{}", report.summary_text());
+
+    let json = report.to_json();
+    // Quick runs keep their JSON beside the committed full-scale
+    // baseline instead of replacing it.
+    let name = if quick_mode() {
+        "BENCH_tree.quick.json"
+    } else {
+        "BENCH_tree.json"
+    };
+    let path = workspace_root().join(name);
+    std::fs::write(&path, &json).expect("write BENCH_tree json");
+    eprintln!("wrote {}", path.display());
+    assert!(
+        report.byte_identical,
+        "tree solutions must be byte-identical to the reference engine"
+    );
+}

@@ -21,24 +21,29 @@
 //! (`ablations`), and batch-engine throughput (`batch_engine`).
 //!
 //! The *statistical* benchmarks live in [`stats`] (median/MAD over
-//! repeated runs with warm-up discard), with two standard workloads:
+//! repeated runs with warm-up discard), with three standard workloads:
 //!
 //! * [`run_frontier_bench`] — production sorted-frontier DP vs the seed
 //!   reference pruner, written to `BENCH_dp_frontier.json`
 //!   (`bench_dp_frontier` binary);
 //! * [`run_batch_bench`] — sequential `rip()` vs `Engine::solve_batch`,
-//!   written to `BENCH_batch.json` (`bench_batch` binary).
+//!   written to `BENCH_batch.json` (`bench_batch` binary);
+//! * [`run_tree_bench`] — production SoA tree DP vs the frozen pre-SoA
+//!   tree engine plus batch tree-pipeline throughput, written to
+//!   `BENCH_tree.json` (`bench_tree` binary).
 //!
-//! Both are also reachable as `rip bench` from the CLI, which is what
+//! All are also reachable as `rip bench` from the CLI, which is what
 //! CI's bench-regression job runs against the committed baselines.
 
 pub mod batch_bench;
 pub mod frontier_bench;
 pub mod harness;
 pub mod stats;
+pub mod tree_bench;
 
 pub use batch_bench::{run_batch_bench, BatchBenchConfig, BatchBenchReport};
 pub use frontier_bench::{run_frontier_bench, FrontierBenchConfig, FrontierBenchReport};
+pub use tree_bench::{run_tree_bench, TreeBenchConfig, TreeBenchReport};
 
 use std::path::PathBuf;
 

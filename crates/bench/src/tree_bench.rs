@@ -1,0 +1,322 @@
+//! The tree-workload benchmark behind `BENCH_tree.json`: the production
+//! SoA tree DP vs the frozen pre-SoA engine (`rip_dp::reference::tree`)
+//! on a generated multi-sink corpus, plus cold-session
+//! `Engine::solve_tree_batch` throughput over the full tree pipeline.
+//!
+//! Like the frontier bench, both DP sides run in the same process on the
+//! same trees, so the recorded `speedup_vs_reference` is
+//! machine-independent: `BENCH_tree.json` can be regenerated anywhere
+//! and the ratio stays comparable — CI's bench-regression gate checks it
+//! alongside the absolute throughput baselines.
+
+use crate::stats::{summarize, JsonObject, StatSummary};
+use rip_core::{BatchTarget, Engine, RipConfig, TreeRipConfig};
+use rip_delay::RcTree;
+use rip_dp::{reference, tree_min_power_with, TreeScratch, TreeSolution};
+use rip_net::{RandomTreeConfig, TreeNetGenerator};
+use rip_tech::{RepeaterLibrary, Technology};
+use std::time::Instant;
+
+/// Workload and repetition parameters of the tree bench.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeBenchConfig {
+    /// Trees in the corpus (deterministic seed 2005 suite).
+    pub trees: usize,
+    /// Timed DP runs per side.
+    pub runs: usize,
+    /// Discarded warm-up runs per side.
+    pub warmup: usize,
+    /// Edge-subdivision step for the raw-DP comparison, µm.
+    pub step_um: f64,
+    /// Timing target as a multiple of each tree's min-delay.
+    pub target_mult: f64,
+    /// Timed `Engine::solve_tree_batch` runs (each on a fresh engine).
+    pub batch_runs: usize,
+    /// Trees fed to the batch-pipeline leg (a prefix of the corpus).
+    /// The full hybrid pipeline is orders of magnitude heavier per tree
+    /// than the raw DP (fine 50 µm subdivision, enriched libraries), so
+    /// the batch leg samples rather than sweeps.
+    pub batch_trees: usize,
+}
+
+impl TreeBenchConfig {
+    /// Full run (committed baseline) or `--quick` smoke run.
+    pub fn preset(quick: bool) -> Self {
+        if quick {
+            Self {
+                trees: 4,
+                runs: 2,
+                warmup: 1,
+                step_um: 200.0,
+                target_mult: 1.3,
+                batch_runs: 1,
+                batch_trees: 2,
+            }
+        } else {
+            Self {
+                trees: 30,
+                runs: 5,
+                warmup: 2,
+                step_um: 200.0,
+                target_mult: 1.3,
+                batch_runs: 1,
+                batch_trees: 6,
+            }
+        }
+    }
+}
+
+/// Results of one tree-bench invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeBenchReport {
+    /// The configuration that produced this report.
+    pub config: TreeBenchConfig,
+    /// Library widths used by the raw-DP comparison.
+    pub library_widths: usize,
+    /// Tree nodes solved per full DP pass (after subdivision).
+    pub nodes_per_pass: u64,
+    /// Options created per full DP pass (both sides create identical
+    /// counts — pinned by the byte-identical check).
+    pub options_per_pass: u64,
+    /// Run-time summary of the production (SoA frontier) tree DP.
+    pub frontier: StatSummary,
+    /// Run-time summary of the frozen pre-SoA tree DP.
+    pub reference: StatSummary,
+    /// `reference.median_s / frontier.median_s`.
+    pub speedup_vs_reference: f64,
+    /// Summary of the timed `Engine::solve_tree_batch` runs (full
+    /// hybrid pipeline, fresh engine per run).
+    pub batch: StatSummary,
+    /// Whether both DP sides produced byte-identical solutions on every
+    /// tree (checked during warm-up).
+    pub byte_identical: bool,
+}
+
+impl TreeBenchReport {
+    /// Trees solved per second by the production DP (median run).
+    pub fn frontier_trees_per_s(&self) -> f64 {
+        self.config.trees as f64 / self.frontier.median_s
+    }
+
+    /// Trees solved per second by the batch pipeline (median run).
+    pub fn batch_trees_per_s(&self) -> f64 {
+        self.config.batch_trees.min(self.config.trees) as f64 / self.batch.median_s
+    }
+
+    /// The flat-JSON rendering written to `BENCH_tree.json`.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .int("trees", self.config.trees as u64)
+            .int("runs", self.config.runs as u64)
+            .int("warmup", self.config.warmup as u64)
+            .num("step_um", self.config.step_um)
+            .num("target_mult", self.config.target_mult)
+            .int("library_widths", self.library_widths as u64)
+            .int("nodes_per_pass", self.nodes_per_pass)
+            .int("options_per_pass", self.options_per_pass)
+            .num("frontier_median_s", self.frontier.median_s)
+            .num("frontier_mad_s", self.frontier.mad_s)
+            .num("frontier_min_s", self.frontier.min_s)
+            .num("frontier_trees_per_s", self.frontier_trees_per_s())
+            .num("reference_median_s", self.reference.median_s)
+            .num("reference_mad_s", self.reference.mad_s)
+            .num("reference_min_s", self.reference.min_s)
+            .num(
+                "reference_trees_per_s",
+                self.config.trees as f64 / self.reference.median_s,
+            )
+            .num("speedup_vs_reference", self.speedup_vs_reference)
+            .int("batch_runs", self.config.batch_runs as u64)
+            .int(
+                "batch_trees",
+                self.config.batch_trees.min(self.config.trees) as u64,
+            )
+            .num("batch_s", self.batch.median_s)
+            .num("batch_mad_s", self.batch.mad_s)
+            .num("batch_trees_per_s", self.batch_trees_per_s())
+            .bool("byte_identical", self.byte_identical)
+            .finish()
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary_text(&self) -> String {
+        format!(
+            "tree_dp: {} trees ({} nodes subdivided), {} runs (+{} warmup), {} options/pass\n\
+               frontier  median {:.4}s  mad {:.4}s  ({:.1} trees/s)\n\
+               reference median {:.4}s  mad {:.4}s  ({:.1} trees/s)\n\
+               speedup vs reference: {:.2}x   byte_identical: {}\n\
+               pipeline batch ({} trees) median {:.3}s over {} run(s)  ({:.2} trees/s)",
+            self.config.trees,
+            self.nodes_per_pass,
+            self.config.runs,
+            self.config.warmup,
+            self.options_per_pass,
+            self.frontier.median_s,
+            self.frontier.mad_s,
+            self.frontier_trees_per_s(),
+            self.reference.median_s,
+            self.reference.mad_s,
+            self.config.trees as f64 / self.reference.median_s,
+            self.speedup_vs_reference,
+            self.byte_identical,
+            self.config.batch_trees.min(self.config.trees),
+            self.batch.median_s,
+            self.config.batch_runs,
+            self.batch_trees_per_s(),
+        )
+    }
+}
+
+/// Runs the tree bench with the given preset.
+pub fn run_tree_bench(config: TreeBenchConfig) -> TreeBenchReport {
+    let tech = Technology::generic_180nm();
+    let device = tech.device();
+    let library = RepeaterLibrary::range_step(10.0, 400.0, 40.0).expect("valid library");
+    let nets = TreeNetGenerator::suite(RandomTreeConfig::default(), 2005, config.trees)
+        .expect("valid config");
+    let raw: Vec<(RcTree, f64)> = nets
+        .iter()
+        .map(|net| (RcTree::from_tree_net(net, device), net.driver_width()))
+        .collect();
+    // The raw-DP comparison solves each tree's subdivision (its
+    // candidate buffer sites) directly, mirroring the chain frontier
+    // bench's dense uniform grids.
+    let sites: Vec<(RcTree, f64)> = raw
+        .iter()
+        .map(|(tree, driver)| (tree.subdivided(config.step_um).0, *driver))
+        .collect();
+    let nodes_per_pass: u64 = sites.iter().map(|(t, _)| t.len() as u64).sum();
+    // Targets fixed outside the timed region so both sides solve the
+    // exact same problems.
+    let targets: Vec<f64> = sites
+        .iter()
+        .map(|(tree, driver)| {
+            reference::tree::tree_min_delay(tree, device, *driver, &library, None)
+                .expect("min-delay tree DP cannot fail without a mask")
+                .delay_fs
+                * config.target_mult
+        })
+        .collect();
+
+    let mut scratch = TreeScratch::new();
+    let solve_frontier = |scratch: &mut TreeScratch| -> Vec<TreeSolution> {
+        sites
+            .iter()
+            .zip(&targets)
+            .map(|((tree, driver), &t)| {
+                tree_min_power_with(scratch, tree, device, *driver, &library, None, t)
+                    .expect("1.3x targets are feasible")
+            })
+            .collect()
+    };
+    let solve_reference = || -> Vec<TreeSolution> {
+        sites
+            .iter()
+            .zip(&targets)
+            .map(|((tree, driver), &t)| {
+                reference::tree::tree_min_power(tree, device, *driver, &library, None, t)
+                    .expect("1.3x targets are feasible")
+            })
+            .collect()
+    };
+
+    // Warm-up (discarded) + the equivalence check.
+    let mut byte_identical = true;
+    let mut options_per_pass = 0u64;
+    for pass in 0..config.warmup.max(1) {
+        let a = solve_frontier(&mut scratch);
+        let b = solve_reference();
+        if pass == 0 {
+            options_per_pass = a.iter().map(|s| s.stats.options_created).sum();
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                if format!("{x:?}") != format!("{y:?}") {
+                    eprintln!("tree {i}: frontier solution differs from reference!");
+                    byte_identical = false;
+                }
+            }
+        }
+    }
+
+    // Timed DP runs, interleaved so slow drift hits both sides equally.
+    let mut frontier_samples = Vec::with_capacity(config.runs);
+    let mut reference_samples = Vec::with_capacity(config.runs);
+    for _ in 0..config.runs {
+        let t0 = Instant::now();
+        let a = solve_frontier(&mut scratch);
+        frontier_samples.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&a);
+        let t1 = Instant::now();
+        let b = solve_reference();
+        reference_samples.push(t1.elapsed().as_secs_f64());
+        std::hint::black_box(&b);
+    }
+
+    // Batch pipeline side: fresh engine sessions, one parallel tree
+    // batch each over a prefix of the raw (unsubdivided) trees,
+    // mirroring `run_batch_bench`'s cold-session convention.
+    let batch_corpus = &raw[..config.batch_trees.min(raw.len())];
+    let tree_config = TreeRipConfig::paper();
+    let probe = Engine::new(tech.clone(), RipConfig::paper());
+    let batch_targets: Vec<f64> = batch_corpus
+        .iter()
+        .map(|(tree, driver)| config.target_mult * probe.tree_tau_min(tree, *driver, &tree_config))
+        .collect();
+    drop(probe);
+    let mut batch_samples = Vec::with_capacity(config.batch_runs.max(1));
+    for _ in 0..config.batch_runs.max(1) {
+        let engine = Engine::new(tech.clone(), RipConfig::paper());
+        let t = Instant::now();
+        let outcomes = engine.solve_tree_batch(
+            batch_corpus,
+            &BatchTarget::PerNetFs(batch_targets.clone()),
+            &tree_config,
+        );
+        batch_samples.push(t.elapsed().as_secs_f64());
+        for (i, out) in outcomes.iter().enumerate() {
+            assert!(out.is_ok(), "tree {i}: pipeline failed in the bench");
+        }
+    }
+
+    let frontier = summarize(&frontier_samples);
+    let reference = summarize(&reference_samples);
+    TreeBenchReport {
+        config,
+        library_widths: library.len(),
+        nodes_per_pass,
+        options_per_pass,
+        speedup_vs_reference: reference.median_s / frontier.median_s,
+        frontier,
+        reference,
+        batch: summarize(&batch_samples),
+        byte_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::read_json_number;
+
+    #[test]
+    fn tiny_tree_bench_is_byte_identical_and_serializes() {
+        let config = TreeBenchConfig {
+            trees: 2,
+            runs: 1,
+            warmup: 1,
+            step_um: 400.0,
+            target_mult: 1.4,
+            batch_runs: 1,
+            batch_trees: 1,
+        };
+        let report = run_tree_bench(config);
+        assert!(report.byte_identical);
+        assert!(report.options_per_pass > 0);
+        assert!(report.nodes_per_pass > 0);
+        let json = report.to_json();
+        assert_eq!(read_json_number(&json, "trees"), Some(2.0));
+        assert!(read_json_number(&json, "speedup_vs_reference").is_some());
+        assert!(read_json_number(&json, "frontier_trees_per_s").unwrap() > 0.0);
+        assert!(read_json_number(&json, "batch_trees_per_s").unwrap() > 0.0);
+        assert!(report.summary_text().contains("speedup"));
+    }
+}

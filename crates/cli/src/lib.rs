@@ -7,6 +7,7 @@
 //! rip baseline <net-file> --target-mult 1.5 --granularity 20
 //! rip tmin     <net-file>                        # minimum achievable delay
 //! rip batch    --dir nets --target-mult 1.4      # many nets, one Engine session
+//! rip batch    --tree --count 10 --target-mult 1.4 # multi-sink tree batch
 //! rip generate --seed 7 --count 5 --out-dir nets # paper-distribution nets
 //! rip bench    --quick --check-baseline          # statistical benches + CI gate
 //! ```
@@ -23,7 +24,7 @@ mod commands;
 mod netfile;
 
 pub use commands::{
-    cmd_baseline, cmd_batch, cmd_bench, cmd_generate, cmd_solve, cmd_tmin, usage, BenchOptions,
-    CliError, Target,
+    cmd_baseline, cmd_batch, cmd_batch_tree, cmd_bench, cmd_generate, cmd_solve, cmd_tmin, usage,
+    BenchOptions, CliError, Target,
 };
 pub use netfile::{format_net, parse_net, ParseError};

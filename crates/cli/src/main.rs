@@ -2,8 +2,8 @@
 //! implementations.
 
 use rip_cli::{
-    cmd_baseline, cmd_batch, cmd_bench, cmd_generate, cmd_solve, cmd_tmin, usage, BenchOptions,
-    CliError, Target,
+    cmd_baseline, cmd_batch, cmd_batch_tree, cmd_bench, cmd_generate, cmd_solve, cmd_tmin, usage,
+    BenchOptions, CliError, Target,
 };
 use std::process::ExitCode;
 
@@ -50,6 +50,22 @@ fn run(args: &[String]) -> Result<String, CliError> {
         Some("batch") => {
             let flags: Vec<String> = it.map(String::from).collect();
             let target = parse_target(&flags)?;
+            if flags.iter().any(|f| f == "--tree") {
+                if flag_value(&flags, "--dir")?.is_some() {
+                    return Err(CliError::Usage(
+                        "--tree batches are generated; --dir is not supported".into(),
+                    ));
+                }
+                let seed = flag_value(&flags, "--seed")?
+                    .unwrap_or_else(|| "2005".into())
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage("seed must be an integer".into()))?;
+                let count = flag_value(&flags, "--count")?
+                    .ok_or_else(|| CliError::Usage("batch --tree needs --count <k>".into()))?
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage("count must be an integer".into()))?;
+                return cmd_batch_tree(seed, count, target);
+            }
             let named_nets = match flag_value(&flags, "--dir")? {
                 Some(dir) => read_net_dir(&dir)?,
                 None => {

@@ -18,14 +18,22 @@
 //! * `τ_min` is computed once per net across a whole target sweep;
 //! * the synthesized fine libraries of stage 3 are shared between
 //!   identical refinement outcomes;
-//! * DP scratch memory (option frontiers, trace arenas) is pooled, so a
-//!   warm batch allocates nothing per solve;
+//! * DP scratch memory (option frontiers, trace arenas) is pooled — for
+//!   chains *and* trees — so a warm batch allocates nothing per solve;
+//! * tree workloads get the same treatment: per-topology edge
+//!   subdivisions (the tree analogue of the candidate grids) are cached,
+//!   tree `τ_min` is memoized, and [`Engine::solve_tree_batch`] runs
+//!   many trees in parallel with deterministic, input-ordered output;
 //! * independent nets run on all available cores with deterministic,
 //!   input-ordered output ([`Engine::solve_batch`]).
 //!
 //! Caching never changes results: every cached value is exactly the value
 //! the uncached pipeline would recompute, which the batch-determinism
-//! test suite pins (`tests/engine_batch.rs`).
+//! test suite pins (`tests/engine_batch.rs`). The geometry caches
+//! (candidate grids, fine windows, tree subdivisions) can be bounded with
+//! [`Engine::set_cache_cap`]: beyond the cap the oldest entries are
+//! evicted FIFO (counted in [`EngineStats::evictions`]), trading
+//! recomputation for flat memory on unbounded streams of distinct nets.
 
 use crate::baseline::BaselineConfig;
 use crate::compare::{summarize_savings, SavingsSummary};
@@ -34,14 +42,16 @@ use crate::error::RipError;
 use crate::pipeline::{RipOutcome, RipRuntime};
 use crate::tmin;
 use crate::tree_pipeline::{TreeRipConfig, TreeRipOutcome};
+use rip_delay::RcTree;
 use rip_dp::{
-    solve_min_delay_with, solve_min_power_with, CandidateSet, DpError, DpScratch, DpSolution,
+    solve_min_delay_with, solve_min_power_with, tree_min_delay_with, tree_min_power_with,
+    CandidateSet, DpError, DpScratch, DpSolution, TreeScratch,
 };
 use rip_net::TwoPinNet;
 use rip_refine::{refine, trim_tree_widths, RefineError, RefineOutcome, TreeTrimOutcome};
 use rip_tech::{RepeaterLibrary, TechError, Technology};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -73,6 +83,10 @@ pub struct EngineStats {
     pub window_hits: u64,
     /// Windowed candidate-set lookups that had to build the set.
     pub window_misses: u64,
+    /// Tree-subdivision lookups served from cache.
+    pub tree_grid_hits: u64,
+    /// Tree-subdivision lookups that had to subdivide the tree.
+    pub tree_grid_misses: u64,
     /// `τ_min` lookups served from cache.
     pub tau_min_hits: u64,
     /// `τ_min` lookups that had to run the min-delay DP.
@@ -83,17 +97,29 @@ pub struct EngineStats {
     pub library_misses: u64,
     /// Chain solves completed (successful or not).
     pub nets_solved: u64,
+    /// Tree solves completed (successful or not).
+    pub trees_solved: u64,
+    /// Cache entries dropped by the FIFO bound ([`Engine::set_cache_cap`]).
+    pub evictions: u64,
 }
 
 impl EngineStats {
     /// Total lookups served from cache.
     pub fn hits(&self) -> u64 {
-        self.grid_hits + self.window_hits + self.tau_min_hits + self.library_hits
+        self.grid_hits
+            + self.window_hits
+            + self.tree_grid_hits
+            + self.tau_min_hits
+            + self.library_hits
     }
 
     /// Total lookups that had to compute.
     pub fn misses(&self) -> u64 {
-        self.grid_misses + self.window_misses + self.tau_min_misses + self.library_misses
+        self.grid_misses
+            + self.window_misses
+            + self.tree_grid_misses
+            + self.tau_min_misses
+            + self.library_misses
     }
 }
 
@@ -103,11 +129,15 @@ struct Counters {
     grid_misses: AtomicU64,
     window_hits: AtomicU64,
     window_misses: AtomicU64,
+    tree_grid_hits: AtomicU64,
+    tree_grid_misses: AtomicU64,
     tau_min_hits: AtomicU64,
     tau_min_misses: AtomicU64,
     library_hits: AtomicU64,
     library_misses: AtomicU64,
     nets_solved: AtomicU64,
+    trees_solved: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A 64-bit fingerprint of any `Debug`-printable value, used only for
@@ -156,6 +186,66 @@ fn geometry_key(net: &TwoPinNet, extra: &impl fmt::Debug) -> String {
     }
     let _ = write!(key, "|{extra:?}");
     key
+}
+
+/// A `HashMap` with optional FIFO eviction: keys remember their insertion
+/// order, and inserts past the cap drop the oldest entries. Eviction
+/// never changes results — a dropped entry is simply recomputed on its
+/// next lookup — so it is safe on exactly the caches whose values are
+/// pure functions of their keys (candidate grids, fine windows, tree
+/// subdivisions).
+#[derive(Debug)]
+struct FifoCache<V> {
+    map: HashMap<String, V>,
+    order: VecDeque<String>,
+}
+
+// Derived `Default` would needlessly require `V: Default`.
+impl<V> Default for FifoCache<V> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
+impl<V: Clone> FifoCache<V> {
+    fn get(&self, key: &str) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Completes a lookup whose value was computed outside the lock:
+    /// returns the existing value when another worker won the race
+    /// (`false` = hit), otherwise inserts `value`, evicts FIFO down to
+    /// `cap` entries (0 = unbounded, counting drops into `evictions`),
+    /// and returns it (`true` = miss).
+    fn finish(&mut self, key: String, value: V, cap: usize, evictions: &AtomicU64) -> (V, bool) {
+        use std::collections::hash_map::Entry;
+        match self.map.entry(key.clone()) {
+            Entry::Occupied(entry) => (entry.get().clone(), false),
+            Entry::Vacant(entry) => {
+                entry.insert(value.clone());
+                self.order.push_back(key);
+                if cap > 0 {
+                    while self.map.len() > cap {
+                        let oldest = self
+                            .order
+                            .pop_front()
+                            .expect("the order queue tracks every map entry");
+                        self.map.remove(&oldest);
+                        evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                (value, true)
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
 }
 
 /// Deterministic parallel map: distributes `items` over the available
@@ -226,11 +316,14 @@ pub struct Engine {
     tech: Technology,
     config: RipConfig,
     config_hash: u64,
-    grids: Mutex<HashMap<String, Arc<CandidateSet>>>,
-    windows: Mutex<HashMap<String, Arc<CandidateSet>>>,
+    grids: Mutex<FifoCache<Arc<CandidateSet>>>,
+    windows: Mutex<FifoCache<Arc<CandidateSet>>>,
+    subdivisions: Mutex<FifoCache<Arc<RcTree>>>,
     tau_mins: Mutex<HashMap<String, f64>>,
     libraries: Mutex<HashMap<String, Arc<RepeaterLibrary>>>,
     scratches: Mutex<Vec<DpScratch>>,
+    tree_scratches: Mutex<Vec<TreeScratch>>,
+    cache_cap: AtomicUsize,
     counters: Counters,
 }
 
@@ -242,11 +335,14 @@ impl Engine {
             tech,
             config,
             config_hash,
-            grids: Mutex::new(HashMap::new()),
-            windows: Mutex::new(HashMap::new()),
+            grids: Mutex::new(FifoCache::default()),
+            windows: Mutex::new(FifoCache::default()),
+            subdivisions: Mutex::new(FifoCache::default()),
             tau_mins: Mutex::new(HashMap::new()),
             libraries: Mutex::new(HashMap::new()),
             scratches: Mutex::new(Vec::new()),
+            tree_scratches: Mutex::new(Vec::new()),
+            cache_cap: AtomicUsize::new(0),
             counters: Counters::default(),
         }
     }
@@ -278,16 +374,37 @@ impl Engine {
         self.config_hash
     }
 
-    /// Drops every cached candidate grid, `τ_min` and synthesized
-    /// library, keeping the technology, configuration and statistics
-    /// counters. Long-running services solving unbounded streams of
-    /// distinct nets call this at natural boundaries to bound memory.
+    /// Drops every cached candidate grid, tree subdivision, `τ_min` and
+    /// synthesized library, keeping the technology, configuration and
+    /// statistics counters. Long-running services solving unbounded
+    /// streams of distinct nets call this at natural boundaries to bound
+    /// memory (or set a standing bound with [`Engine::set_cache_cap`]).
     pub fn clear_cache(&self) {
         self.grids.lock().expect("grid cache").clear();
         self.windows.lock().expect("window cache").clear();
+        self.subdivisions.lock().expect("subdivision cache").clear();
         self.tau_mins.lock().expect("tau cache").clear();
         self.libraries.lock().expect("library cache").clear();
         self.scratches.lock().expect("scratch pool").clear();
+        self.tree_scratches
+            .lock()
+            .expect("tree scratch pool")
+            .clear();
+    }
+
+    /// Bounds the geometry caches (candidate grids, fine windows, tree
+    /// subdivisions) to at most `cap` entries **each**, evicting the
+    /// oldest entries first (FIFO) as new ones arrive; `0` (the default)
+    /// means unbounded. Evicted entries are recomputed on their next
+    /// lookup, so results never change — only
+    /// [`EngineStats::evictions`] and the hit rate do.
+    pub fn set_cache_cap(&self, cap: usize) {
+        self.cache_cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// The current geometry-cache bound (`0` = unbounded).
+    pub fn cache_cap(&self) -> usize {
+        self.cache_cap.load(Ordering::Relaxed)
     }
 
     /// Cache-effectiveness counters so far.
@@ -297,11 +414,15 @@ impl Engine {
             grid_misses: self.counters.grid_misses.load(Ordering::Relaxed),
             window_hits: self.counters.window_hits.load(Ordering::Relaxed),
             window_misses: self.counters.window_misses.load(Ordering::Relaxed),
+            tree_grid_hits: self.counters.tree_grid_hits.load(Ordering::Relaxed),
+            tree_grid_misses: self.counters.tree_grid_misses.load(Ordering::Relaxed),
             tau_min_hits: self.counters.tau_min_hits.load(Ordering::Relaxed),
             tau_min_misses: self.counters.tau_min_misses.load(Ordering::Relaxed),
             library_hits: self.counters.library_hits.load(Ordering::Relaxed),
             library_misses: self.counters.library_misses.load(Ordering::Relaxed),
             nets_solved: self.counters.nets_solved.load(Ordering::Relaxed),
+            trees_solved: self.counters.trees_solved.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -320,6 +441,23 @@ impl Engine {
             .unwrap_or_default();
         let result = f(&mut scratch);
         self.scratches.lock().expect("scratch pool").push(scratch);
+        result
+    }
+
+    /// The tree analogue of [`Engine::with_scratch`]: every tree DP stage
+    /// of one `solve_tree` call reuses the same pooled [`TreeScratch`].
+    fn with_tree_scratch<R>(&self, f: impl FnOnce(&mut TreeScratch) -> R) -> R {
+        let mut scratch = self
+            .tree_scratches
+            .lock()
+            .expect("tree scratch pool")
+            .pop()
+            .unwrap_or_default();
+        let result = f(&mut scratch);
+        self.tree_scratches
+            .lock()
+            .expect("tree scratch pool")
+            .push(scratch);
         result
     }
 
@@ -351,10 +489,37 @@ impl Engine {
         }
     }
 
+    /// [`FifoCache`] analogue of [`Engine::finish_lookup`]: attributes
+    /// the hit/miss to whoever actually resolved the entry and applies
+    /// the session's FIFO cap on insert.
+    fn finish_lookup_fifo<V: Clone>(
+        &self,
+        cache: &Mutex<FifoCache<V>>,
+        key: String,
+        computed: V,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+    ) -> V {
+        let cap = self.cache_cap.load(Ordering::Relaxed);
+        let (value, was_miss) = cache.lock().expect("engine cache").finish(
+            key,
+            computed,
+            cap,
+            &self.counters.evictions,
+        );
+        if was_miss {
+            misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
     /// The uniform candidate grid for `(net geometry, step)`, built at
-    /// most once per session. Keyed on geometry only (length + zones),
-    /// so nets differing in driver/receiver widths or wire parasitics
-    /// share one grid.
+    /// most once per session (FIFO-bounded by
+    /// [`Engine::set_cache_cap`]). Keyed on geometry only (length +
+    /// zones), so nets differing in driver/receiver widths or wire
+    /// parasitics share one grid.
     fn grid(&self, net: &TwoPinNet, step_um: f64) -> Arc<CandidateSet> {
         let key = geometry_key(net, &step_um.to_bits());
         if let Some(grid) = self.grids.lock().expect("grid cache").get(&key) {
@@ -362,7 +527,7 @@ impl Engine {
             return Arc::clone(grid);
         }
         let grid = Arc::new(CandidateSet::uniform(net, step_um));
-        Self::finish_lookup(
+        self.finish_lookup_fifo(
             &self.grids,
             key,
             grid,
@@ -388,12 +553,38 @@ impl Engine {
             return Arc::clone(set);
         }
         let set = Arc::new(CandidateSet::windows(net, centers, half_slots, step_um));
-        Self::finish_lookup(
+        self.finish_lookup_fifo(
             &self.windows,
             key,
             set,
             &self.counters.window_hits,
             &self.counters.window_misses,
+        )
+    }
+
+    /// The `step_um` edge subdivision of a tree — its candidate buffer
+    /// sites — built at most once per `(topology, step)` per session.
+    /// The tree analogue of [`Engine::grid`]: repeated solves of one
+    /// topology (target sweeps, identical batches) reuse the coarse and
+    /// fine site trees instead of re-subdividing.
+    fn subdivision(&self, tree: &RcTree, step_um: f64) -> Arc<RcTree> {
+        let key = cache_key(&(tree, step_um.to_bits()));
+        if let Some(sub) = self
+            .subdivisions
+            .lock()
+            .expect("subdivision cache")
+            .get(&key)
+        {
+            self.counters.tree_grid_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(sub);
+        }
+        let (sub, _) = tree.subdivided(step_um);
+        self.finish_lookup_fifo(
+            &self.subdivisions,
+            key,
+            Arc::new(sub),
+            &self.counters.tree_grid_hits,
+            &self.counters.tree_grid_misses,
         )
     }
 
@@ -777,11 +968,55 @@ impl Engine {
 
     // ---- tree solving ----------------------------------------------------
 
+    /// The minimum achievable delay of a tree under `config`'s coarse
+    /// sites with the paper's fine-granularity width range, computed at
+    /// most once per `(topology, driver, config)` per session — the tree
+    /// analogue of [`Engine::tau_min`], and what
+    /// [`BatchTarget::TauMinMultiple`] resolves against in
+    /// [`Engine::solve_tree_batch`].
+    pub fn tree_tau_min(&self, tree: &RcTree, driver_width: f64, config: &TreeRipConfig) -> f64 {
+        let key = cache_key(&(
+            "tree_tau_min",
+            tree,
+            driver_width.to_bits(),
+            config.coarse_step_um.to_bits(),
+        ));
+        if let Some(&tmin) = self.tau_mins.lock().expect("tau cache").get(&key) {
+            self.counters.tau_min_hits.fetch_add(1, Ordering::Relaxed);
+            return tmin;
+        }
+        let sites = self.subdivision(tree, config.coarse_step_um);
+        let library = RepeaterLibrary::range_step(10.0, 400.0, 10.0)
+            .expect("paper library constants are valid");
+        let tmin = self.with_tree_scratch(|scratch| {
+            tree_min_delay_with(
+                scratch,
+                &sites,
+                self.tech.device(),
+                driver_width,
+                &library,
+                None,
+            )
+            .expect("min-delay tree DP cannot fail without a mask")
+            .delay_fs
+        });
+        Self::finish_lookup(
+            &self.tau_mins,
+            key,
+            tmin,
+            &self.counters.tau_min_hits,
+            &self.counters.tau_min_misses,
+        )
+    }
+
     /// Runs the hybrid RIP pipeline on an RC tree through the session's
-    /// library cache. Semantics are identical to
-    /// [`tree_rip`](crate::tree_rip); the chain knobs are taken from
-    /// `config.base` (not the engine's chain configuration, which governs
-    /// two-pin solves only).
+    /// caches. Semantics are identical to [`tree_rip`](crate::tree_rip);
+    /// the chain knobs are taken from `config.base` (not the engine's
+    /// chain configuration, which governs two-pin solves only).
+    ///
+    /// Per-topology candidate-site trees (the coarse and fine edge
+    /// subdivisions) come from the session cache, and every tree DP
+    /// stage draws its working memory from the pooled [`TreeScratch`]es.
     ///
     /// # Errors
     ///
@@ -790,20 +1025,34 @@ impl Engine {
     /// * other [`RipError`] variants for invalid inputs.
     pub fn solve_tree(
         &self,
-        tree: &rip_delay::RcTree,
+        tree: &RcTree,
         driver_width: f64,
         target_fs: f64,
         config: &TreeRipConfig,
     ) -> Result<TreeRipOutcome, RipError> {
-        use rip_dp::{tree_min_delay, tree_min_power};
+        self.with_tree_scratch(|scratch| {
+            self.solve_tree_with_scratch(tree, driver_width, target_fs, config, scratch)
+        })
+    }
 
+    /// [`Engine::solve_tree`] against one checked-out scratch.
+    fn solve_tree_with_scratch(
+        &self,
+        tree: &RcTree,
+        driver_width: f64,
+        target_fs: f64,
+        config: &TreeRipConfig,
+        scratch: &mut TreeScratch,
+    ) -> Result<TreeRipOutcome, RipError> {
+        self.counters.trees_solved.fetch_add(1, Ordering::Relaxed);
         let device = self.tech.device();
         let mut runtime = RipRuntime::default();
 
         // ---- Stage 1: coarse tree DP.
         let t0 = Instant::now();
-        let (coarse_tree, _) = tree.subdivided(config.coarse_step_um);
-        let coarse = match tree_min_power(
+        let coarse_tree = self.subdivision(tree, config.coarse_step_um);
+        let coarse = match tree_min_power_with(
+            scratch,
             &coarse_tree,
             device,
             driver_width,
@@ -814,7 +1063,8 @@ impl Engine {
             Ok(sol) => sol,
             Err(DpError::InfeasibleTarget { .. }) => {
                 // Seed from the fastest coarse buffering, as on chains.
-                let fastest = tree_min_delay(
+                let fastest = tree_min_delay_with(
+                    scratch,
                     &coarse_tree,
                     device,
                     driver_width,
@@ -858,8 +1108,9 @@ impl Engine {
         let trimmed_widths: Vec<f64> = trim.buffer_widths.iter().flatten().copied().collect();
         let t2 = Instant::now();
         if trimmed_widths.is_empty() {
-            let (fine_tree, _) = tree.subdivided(config.fine_step_um);
-            let unbuffered = tree_min_power(
+            let fine_tree = self.subdivision(tree, config.fine_step_um);
+            let unbuffered = tree_min_power_with(
+                scratch,
                 &fine_tree,
                 device,
                 driver_width,
@@ -870,7 +1121,7 @@ impl Engine {
             runtime.fine = t2.elapsed();
             return Ok(TreeRipOutcome {
                 solution: unbuffered,
-                fine_tree,
+                fine_tree: (*fine_tree).clone(),
                 coarse_width: coarse.total_width,
                 trimmed_width: 0.0,
                 library: config.base.coarse.library.clone(),
@@ -888,7 +1139,7 @@ impl Engine {
         // root-distance frame of the *original* tree is approximated on
         // the fine tree, which shares its geometry).
         let window_um = config.base.fine.window_half_slots as f64 * config.base.fine.window_step_um;
-        let (fine_tree, _) = tree.subdivided(config.fine_step_um);
+        let fine_tree = self.subdivision(tree, config.fine_step_um);
         let buffer_sites: Vec<usize> = (0..coarse_tree.len())
             .filter(|&v| trim.buffer_widths[v].is_some())
             .collect();
@@ -916,7 +1167,8 @@ impl Engine {
         // ---- Stage 4: fine tree DP with enrichment retry.
         let mut library =
             self.synthesized_library(&rounded, grid, config.base.fine.enrich_steps, false)?;
-        let mut solution = tree_min_power(
+        let mut solution = tree_min_power_with(
+            scratch,
             &fine_tree,
             device,
             driver_width,
@@ -931,7 +1183,8 @@ impl Engine {
                 config.base.fine.enrich_steps.max(1) * 3,
                 false,
             )?;
-            solution = tree_min_power(
+            solution = tree_min_power_with(
+                scratch,
                 &fine_tree,
                 device,
                 driver_width,
@@ -955,7 +1208,7 @@ impl Engine {
 
         Ok(TreeRipOutcome {
             solution,
-            fine_tree,
+            fine_tree: (*fine_tree).clone(),
             coarse_width: coarse.total_width,
             trimmed_width: trim.total_width,
             library: (*library).clone(),
@@ -963,12 +1216,66 @@ impl Engine {
             runtime,
         })
     }
+
+    /// Solves a batch of `(tree, driver width)` pairs in parallel over
+    /// the available cores — the tree counterpart of
+    /// [`Engine::solve_batch`].
+    ///
+    /// The output is input-ordered and deterministic: entry `i` is
+    /// exactly what `self.solve_tree(&trees[i].0, trees[i].1, target_i,
+    /// config)` returns, regardless of thread interleaving.
+    /// [`BatchTarget::TauMinMultiple`] resolves against each tree's
+    /// cached [`Engine::tree_tau_min`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`BatchTarget::PerNetFs`] list length differs from
+    /// `trees.len()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rip_core::{BatchTarget, Engine, RipConfig, TreeRipConfig};
+    /// use rip_delay::RcTree;
+    /// use rip_net::{RandomTreeConfig, TreeNetGenerator};
+    /// use rip_tech::Technology;
+    ///
+    /// let engine = Engine::new(Technology::generic_180nm(), RipConfig::paper());
+    /// let config = TreeRipConfig::paper();
+    /// let nets = TreeNetGenerator::suite(RandomTreeConfig::default(), 7, 3).unwrap();
+    /// let trees: Vec<(RcTree, f64)> = nets
+    ///     .iter()
+    ///     .map(|n| (RcTree::from_tree_net(n, engine.technology().device()), n.driver_width()))
+    ///     .collect();
+    /// let outcomes = engine.solve_tree_batch(&trees, &BatchTarget::TauMinMultiple(1.4), &config);
+    /// assert_eq!(outcomes.len(), trees.len());
+    /// ```
+    pub fn solve_tree_batch(
+        &self,
+        trees: &[(RcTree, f64)],
+        target: &BatchTarget,
+        config: &TreeRipConfig,
+    ) -> Vec<Result<TreeRipOutcome, RipError>> {
+        if let BatchTarget::PerNetFs(all) = target {
+            assert_eq!(all.len(), trees.len(), "one target per tree");
+        }
+        par_map(trees, |i, (tree, driver_width)| {
+            let target_fs = match target {
+                BatchTarget::AbsoluteFs(fs) => *fs,
+                BatchTarget::TauMinMultiple(mult) => {
+                    mult * self.tree_tau_min(tree, *driver_width, config)
+                }
+                BatchTarget::PerNetFs(all) => all[i],
+            };
+            self.solve_tree(tree, *driver_width, target_fs, config)
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rip_net::{NetGenerator, RandomNetConfig};
+    use rip_net::{NetGenerator, RandomNetConfig, RandomTreeConfig, TreeNetGenerator};
 
     fn engine() -> Engine {
         Engine::paper(Technology::generic_180nm())
@@ -976,6 +1283,15 @@ mod tests {
 
     fn nets(seed: u64, count: usize) -> Vec<TwoPinNet> {
         NetGenerator::suite(RandomNetConfig::default(), seed, count).unwrap()
+    }
+
+    fn trees(seed: u64, count: usize) -> Vec<(RcTree, f64)> {
+        let device = *Technology::generic_180nm().device();
+        TreeNetGenerator::suite(RandomTreeConfig::default(), seed, count)
+            .unwrap()
+            .iter()
+            .map(|net| (RcTree::from_tree_net(net, &device), net.driver_width()))
+            .collect()
     }
 
     #[test]
@@ -1071,6 +1387,74 @@ mod tests {
             .unwrap();
         assert_eq!(rows.len(), nets.len());
         assert_eq!(summary.compared + summary.baseline_violations, nets.len());
+    }
+
+    #[test]
+    fn cache_cap_evicts_fifo_and_rebuilds_identically() {
+        let engine = engine();
+        engine.set_cache_cap(2);
+        assert_eq!(engine.cache_cap(), 2);
+        let nets = nets(77, 4);
+        for net in &nets {
+            let _ = engine.grid(net, 200.0);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.grid_misses, 4);
+        assert_eq!(
+            stats.evictions, 2,
+            "two oldest grids must have been dropped"
+        );
+        assert!(engine.grids.lock().unwrap().map.len() <= 2);
+        // The newest entries survived FIFO...
+        let _ = engine.grid(&nets[3], 200.0);
+        assert_eq!(engine.stats().grid_hits, 1);
+        // ...and an evicted geometry is rebuilt bit-identically.
+        let again = engine.grid(&nets[0], 200.0);
+        let fresh = CandidateSet::uniform(&nets[0], 200.0);
+        assert_eq!(again.positions(), fresh.positions());
+        assert_eq!(engine.stats().evictions, 3);
+    }
+
+    #[test]
+    fn tree_batch_is_deterministic_and_reuses_the_session_caches() {
+        let engine = engine();
+        let config = crate::TreeRipConfig::paper();
+        let trees = trees(5, 3);
+        let target = BatchTarget::TauMinMultiple(1.4);
+        let a = engine.solve_tree_batch(&trees, &target, &config);
+        let first = engine.stats();
+        assert!(first.tree_grid_misses > 0);
+        let b = engine.solve_tree_batch(&trees, &target, &config);
+        let second = engine.stats();
+        assert_eq!(a.len(), trees.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                format!("{:?}", x.as_ref().unwrap().solution),
+                format!("{:?}", y.as_ref().unwrap().solution),
+                "tree {i}: repeated batch diverged"
+            );
+        }
+        assert_eq!(
+            second.misses(),
+            first.misses(),
+            "a second identical tree batch must not recompute anything"
+        );
+        assert!(second.tree_grid_hits > first.tree_grid_hits);
+        assert_eq!(second.trees_solved, 2 * trees.len() as u64);
+        // Entry i is exactly the one-at-a-time solve.
+        let (tree, driver) = &trees[1];
+        let solo = engine
+            .solve_tree(
+                tree,
+                *driver,
+                1.4 * engine.tree_tau_min(tree, *driver, &config),
+                &config,
+            )
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", solo.solution),
+            format!("{:?}", b[1].as_ref().unwrap().solution)
+        );
     }
 
     #[test]

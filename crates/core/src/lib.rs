@@ -55,7 +55,9 @@
 //! an [`Engine`] session instead: it caches per-technology precomputation
 //! (candidate grids, `τ_min`, synthesized fine libraries) across calls
 //! and runs batches in parallel over all cores with deterministic,
-//! input-ordered results ([`Engine::solve_batch`]).
+//! input-ordered results ([`Engine::solve_batch`]). Multi-sink trees get
+//! the same treatment via [`Engine::solve_tree_batch`] (cached
+//! per-topology subdivisions, pooled tree scratch, cached tree `τ_min`).
 //!
 //! The re-exported substrate crates ([`rip_tech`], [`rip_net`],
 //! [`rip_delay`], [`rip_dp`], [`rip_refine`]) are available under

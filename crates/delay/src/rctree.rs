@@ -148,6 +148,42 @@ impl RcTree {
         Ok(idx)
     }
 
+    /// Builds the RC tree of a generated [`rip_net::TreeNet`]: one node
+    /// per net node with **indices preserved one-to-one** (so the net's
+    /// `allowed_mask` aligns with this tree), uniform physical wires
+    /// from the per-µm layer parameters, and sink taps set to the input
+    /// capacitance of each sink's receiver width under `device`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rip_delay::RcTree;
+    /// use rip_net::{RandomTreeConfig, TreeNetGenerator};
+    /// use rip_tech::Technology;
+    ///
+    /// let tech = Technology::generic_180nm();
+    /// let mut gen = TreeNetGenerator::from_seed(RandomTreeConfig::default(), 7).unwrap();
+    /// let net = gen.generate();
+    /// let tree = RcTree::from_tree_net(&net, tech.device());
+    /// assert_eq!(tree.len(), net.len());
+    /// assert_eq!(tree.sinks(), net.sinks());
+    /// ```
+    pub fn from_tree_net(net: &rip_net::TreeNet, device: &RepeaterDevice) -> RcTree {
+        let mut tree = RcTree::with_root();
+        for (v, node) in net.nodes().iter().enumerate().skip(1) {
+            let parent = node.parent.expect("non-root net nodes have parents");
+            let idx = tree
+                .add_line_child(parent, node.r_per_um, node.c_per_um, node.length_um)
+                .expect("net nodes are stored parents-before-children");
+            debug_assert_eq!(idx, v, "conversion must preserve node indices");
+            if let Some(w) = node.sink_width {
+                tree.set_sink_cap(idx, device.input_cap(w))
+                    .expect("the node was just created");
+            }
+        }
+        tree
+    }
+
     /// Physical length of the wire from `node`'s parent, µm (0 when the
     /// edge was built from lumped values without a length).
     pub fn wire_length(&self, node: usize) -> f64 {

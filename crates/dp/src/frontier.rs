@@ -77,6 +77,16 @@ impl OptionBuf {
         self.pending.push(pending);
     }
 
+    /// Appends every option of `src`, column by column (the tree DP
+    /// parks each node's finished frontier in its store arena this way).
+    pub(crate) fn append_from(&mut self, src: &OptionBuf) {
+        self.cap.extend_from_slice(&src.cap);
+        self.delay.extend_from_slice(&src.delay);
+        self.width.extend_from_slice(&src.width);
+        self.trace.extend_from_slice(&src.trace);
+        self.pending.extend_from_slice(&src.pending);
+    }
+
     /// Drops every option whose delay exceeds `target_fs`, preserving
     /// order (in-place compaction across all columns).
     pub(crate) fn retain_delay_le(&mut self, target_fs: f64) {

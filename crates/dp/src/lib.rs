@@ -15,7 +15,9 @@
 //!   oracles for cross-validation on tiny instances;
 //! * [`tree_min_delay`] / [`tree_min_power`] — the tree extension
 //!   announced in the paper's conclusion, cross-validated against the
-//!   chain engines on path topologies;
+//!   chain engines on path topologies; like the chain sweep it runs on
+//!   the sorted struct-of-arrays frontier with a reusable
+//!   [`TreeScratch`] (`_with` entry points for batch callers);
 //! * [`Solver`] — the object-safe interface unifying all of the above
 //!   ([`ChainDpSolver`], [`TreeDpSolver`], [`BruteForceSolver`]), selected
 //!   by [`SolverKind`]. `rip_core`'s batch `Engine` and the
@@ -24,10 +26,11 @@
 //!   ([`solve_min_power_with`] etc.) — caller-managed scratch memory so
 //!   batch workloads allocate nothing after warm-up (the plain free
 //!   functions fall back to a thread-local scratch);
-//! * [`mod@reference`] — the seed chain sweep, kept verbatim so the sorted
-//!   struct-of-arrays frontier that now powers the production engines
-//!   stays pinned to byte-identical solutions and an honestly measured
-//!   speedup (`BENCH_dp_frontier.json`).
+//! * [`mod@reference`] — the seed chain sweep and the pre-SoA tree
+//!   engine ([`mod@reference::tree`]), kept verbatim so the sorted
+//!   struct-of-arrays frontiers that now power the production engines
+//!   stay pinned to byte-identical solutions and honestly measured
+//!   speedups (`BENCH_dp_frontier.json`, `BENCH_tree.json`).
 //!
 //! # Example
 //!
@@ -76,7 +79,10 @@ pub use frontier::DpScratch;
 pub use solver::{
     solver_panel, BruteForceSolver, ChainDpSolver, SolveRequest, Solver, SolverKind, TreeDpSolver,
 };
-pub use tree::{tree_min_delay, tree_min_power, TreeSolution};
+pub use tree::{
+    tree_min_delay, tree_min_delay_with, tree_min_power, tree_min_power_with, TreeScratch,
+    TreeSolution,
+};
 
 #[cfg(test)]
 mod tests {

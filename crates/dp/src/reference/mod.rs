@@ -15,7 +15,14 @@
 //!   speedup in `BENCH_dp_frontier.json` is machine-independent and
 //!   reproducible anywhere.
 //!
+//! The [`tree`] submodule plays the same two roles for the tree DP:
+//! it freezes the pre-SoA tree engine (per-node option `Vec`s,
+//! clone+sort cross-merges) as the fixed point behind
+//! `tests/tree_frontier_equivalence.rs` and `BENCH_tree.json`.
+//!
 //! Do not "optimize" this module — its value is being the fixed point.
+
+pub mod tree;
 
 use crate::candidates::CandidateSet;
 use crate::chain::{DpSolution, DpStats, Objective};

@@ -8,14 +8,42 @@
 //! buffer at each legal node. Chains are the special case of path-shaped
 //! trees, and the test suite pins tree-DP results to chain-DP results on
 //! paths.
+//!
+//! Like the chain sweep, the engine runs on the sorted struct-of-arrays
+//! frontier of [`crate::frontier`]:
+//!
+//! * per-node option sets are sorted `(cap, delay[, width])` frontiers
+//!   parked in one append-only SoA **store arena** inside a reusable
+//!   [`TreeScratch`] — no per-node `Vec` allocations;
+//! * edge propagation is a linear **in-place** pass over the store's
+//!   columns (the child frontier is consumed exactly once, by its
+//!   parent, so it can be lifted where it lies);
+//! * branch cross-merges stage the products in a reusable buffer and
+//!   prune with an in-place unstable sort on the full key plus a
+//!   generation sequence number (order-equivalent to the reference's
+//!   clone + stable sort, without either allocation) followed by a
+//!   single binary-search [`Staircase`] dominance sweep;
+//! * the buffer-insert step reuses the chain engine's width buckets
+//!   ([`BucketItem`], `reduce_bucket_2d`/`_3d`) and the node combine is
+//!   the chain engine's linear `merge_prune_2d`/`_3d`.
+//!
+//! The previous engine survives verbatim as [`crate::reference::tree`]
+//! and `tests/tree_frontier_equivalence.rs` pins both to byte-identical
+//! [`TreeSolution`]s (assignments, float bits, work counters): the trace
+//! arena is still filled eagerly in generation order and every float
+//! expression matches the reference, so only the work to compute the
+//! same survivors changes.
 
 use crate::chain::DpStats;
 use crate::error::DpError;
-use crate::frontier::{cmp_f64, reduce_bucket_2d, reduce_bucket_3d, BucketItem};
-use crate::options::{prune_2d, prune_3d, Staircase};
+use crate::frontier::{
+    cmp_f64, merge_prune_2d, merge_prune_3d, reduce_bucket_2d, reduce_bucket_3d, BucketItem,
+    OptionBuf,
+};
+use crate::options::Staircase;
 use rip_delay::RcTree;
 use rip_tech::{RepeaterDevice, RepeaterLibrary};
-use std::cmp::Ordering;
+use std::cell::RefCell;
 
 /// A buffered-tree solution.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,16 +56,6 @@ pub struct TreeSolution {
     pub total_width: f64,
     /// Work counters.
     pub stats: DpStats,
-}
-
-/// Tree option (internal): downstream load, worst downstream delay,
-/// accumulated width, and a trace handle.
-#[derive(Debug, Clone, Copy)]
-struct TOpt {
-    cap: f64,
-    delay: f64,
-    width: f64,
-    trace: u32,
 }
 
 /// Trace arena for trees: buffers chain via `prev`, branch merges join
@@ -54,11 +72,19 @@ struct TArena {
     nodes: Vec<TNode>,
 }
 
-impl TArena {
-    fn new() -> Self {
+impl Default for TArena {
+    fn default() -> Self {
         Self {
             nodes: vec![TNode::Root],
         }
+    }
+}
+
+impl TArena {
+    /// Forgets every recorded decision, keeping the allocation and the
+    /// shared root (scratch reuse across solves).
+    fn reset(&mut self) {
+        self.nodes.truncate(1);
     }
 
     fn buffer(&mut self, node: usize, width: f64, prev: u32) -> u32 {
@@ -104,103 +130,153 @@ enum TreeMode {
     MinPower { target_fs: f64 },
 }
 
-/// Reusable per-solve scratch for the buffer-combine step: the fresh
-/// sub-frontiers, the in-flight width bucket (shared
-/// [`BucketItem`] records and reductions from the chain engine's
-/// frontier module — the tree engine keeps its array-of-structs node
-/// storage and reuses the bucketed merge scheme), the dominance
-/// staircase, and the child-lift buffer. Allocated once per
-/// [`solve_tree`] call instead of once per tree node.
-#[derive(Debug, Default)]
-struct TreeScratch {
-    fresh: Vec<TOpt>,
-    bucket: Vec<BucketItem>,
-    stairs: Staircase,
-    lifted: Vec<TOpt>,
+/// One staged cross-merge product before pruning. `seq` records
+/// generation order so an in-place unstable sort on the full
+/// `(cap, delay[, width], seq)` key reproduces the reference pruner's
+/// stable sort without its clone or temporary allocation.
+#[derive(Debug, Clone, Copy)]
+struct CrossItem {
+    cap: f64,
+    delay: f64,
+    width: f64,
+    trace: u32,
+    seq: u32,
 }
 
-/// Lexicographic option key for `mode`: `(cap, delay)` in delay mode,
-/// `(cap, delay, width)` in power mode — exactly the reference pruner's
-/// sort keys.
-fn cmp_opt(a: &TOpt, b: &TOpt, mode: TreeMode) -> Ordering {
-    let two = cmp_f64(a.cap, b.cap).then_with(|| cmp_f64(a.delay, b.delay));
-    match mode {
-        TreeMode::MinDelay => two,
-        TreeMode::MinPower { .. } => two.then_with(|| cmp_f64(a.width, b.width)),
+/// Reusable working memory for the tree DP: the per-node frontier store
+/// (one append-only SoA arena plus `(start, len)` ranges), the running
+/// cross-merge accumulator, the staged cross-merge products, the fresh
+/// insertion buffer, the width bucket, the dominance staircase, and the
+/// trace arena.
+///
+/// A scratch is plain reusable memory — it carries no configuration and
+/// never influences results. Solvers reset it on entry, so a single
+/// scratch can serve any interleaving of solves; reusing one across a
+/// batch merely skips the per-solve allocations. `rip_core::Engine`
+/// keeps a pool of these for its tree workloads; the free functions
+/// ([`crate::tree_min_power`] etc.) use a thread-local one.
+///
+/// # Examples
+///
+/// ```
+/// use rip_delay::RcTree;
+/// use rip_dp::{tree_min_delay_with, tree_min_power_with, TreeScratch};
+/// use rip_tech::{RepeaterLibrary, Technology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::generic_180nm();
+/// let mut tree = RcTree::with_root();
+/// let a = tree.add_uniform_child(0, 400.0, 1200.0)?;
+/// let s = tree.add_uniform_child(a, 300.0, 800.0)?;
+/// tree.set_sink_cap(s, 60.0)?;
+/// let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0)?;
+/// let mut scratch = TreeScratch::new();
+/// // The warm-up solve allocates; subsequent solves reuse the buffers.
+/// let fastest = tree_min_delay_with(&mut scratch, &tree, tech.device(), 120.0, &lib, None)?;
+/// for mult in [2.0, 1.5] {
+///     let target = fastest.delay_fs * mult;
+///     let sol = tree_min_power_with(&mut scratch, &tree, tech.device(), 120.0, &lib, None, target)?;
+///     assert!(sol.delay_fs <= target);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct TreeScratch {
+    /// Append-only SoA store: every finished per-node frontier lives
+    /// here, addressed by `ranges`.
+    store: OptionBuf,
+    /// `ranges[v]` = `(start, len)` of node `v`'s frontier in `store`.
+    ranges: Vec<(u32, u32)>,
+    /// Running cross-merge accumulator (a sorted frontier).
+    acc: OptionBuf,
+    /// Staged cross-merge products, pruned in place.
+    products: Vec<CrossItem>,
+    /// Fresh buffer-insertion options (bucketed, sorted).
+    fresh: OptionBuf,
+    /// Merge output buffer for `merge_prune_2d`/`_3d`.
+    merged: OptionBuf,
+    /// Per-width generation bucket.
+    bucket: Vec<BucketItem>,
+    /// Binary-search dominance staircase.
+    stairs: Staircase,
+    /// Trace arena (buffer/join decisions).
+    arena: TArena,
+}
+
+impl TreeScratch {
+    /// Creates an empty scratch. Buffers grow on first use and are
+    /// retained across solves.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets per-solve state for a tree of `nodes` nodes, keeping
+    /// capacity.
+    fn reset(&mut self, nodes: usize) {
+        self.store.clear();
+        self.ranges.clear();
+        self.ranges.resize(nodes, (0, 0));
+        self.acc.clear();
+        self.products.clear();
+        self.fresh.clear();
+        self.merged.clear();
+        self.bucket.clear();
+        self.stairs.clear();
+        self.arena.reset();
     }
 }
 
-/// Merges the sorted unbuffered prefix with the sorted bucketed fresh
-/// options into the non-dominated frontier (ties prefer the prefix,
-/// reproducing the reference pruner's stable sort of
-/// `[prefix.., fresh..]`). Returns the surviving options, sorted.
-fn merge_combine(
-    prefix: &[TOpt],
-    fresh: &[TOpt],
+thread_local! {
+    /// Scratch backing the free functions: one per thread, reused across
+    /// calls so even scratch-unaware callers stop allocating after their
+    /// first solve on a thread.
+    static TREE_SCRATCH: RefCell<TreeScratch> = RefCell::new(TreeScratch::new());
+}
+
+/// Prunes the staged cross-merge products to their non-dominated
+/// frontier and writes the survivors (sorted, reference order) into
+/// `acc`: an in-place unstable sort on `(cap, delay[, width], seq)` —
+/// order-equivalent to the reference's stable `prune_2d`/`prune_3d`
+/// sort — followed by one linear dominance sweep (min-delay record in
+/// 2D, binary-search [`Staircase`] in 3D).
+fn cross_merge_prune(
+    products: &mut [CrossItem],
+    acc: &mut OptionBuf,
     mode: TreeMode,
     stairs: &mut Staircase,
-) -> Vec<TOpt> {
-    let mut out = Vec::with_capacity(prefix.len() + fresh.len());
-    stairs.clear();
-    let mut best_delay = f64::INFINITY;
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < prefix.len() || j < fresh.len() {
-        let take_prefix = if i >= prefix.len() {
-            false
-        } else if j >= fresh.len() {
-            true
-        } else {
-            cmp_opt(&prefix[i], &fresh[j], mode) != Ordering::Greater
-        };
-        let o = if take_prefix {
-            i += 1;
-            prefix[i - 1]
-        } else {
-            j += 1;
-            fresh[j - 1]
-        };
-        let keep = match mode {
-            TreeMode::MinDelay => {
-                if o.delay < best_delay {
-                    best_delay = o.delay;
-                    true
-                } else {
-                    false
-                }
-            }
-            TreeMode::MinPower { .. } => {
-                if stairs.dominates(o.delay, o.width) {
-                    false
-                } else {
-                    stairs.insert(o.delay, o.width);
-                    true
-                }
-            }
-        };
-        if keep {
-            out.push(o);
-        }
-    }
-    out
-}
-
-/// Reduces a width bucket to its sorted sub-frontier and appends it to
-/// `fresh` via the shared reductions in [`crate::frontier`]: only the
-/// bucket's minimum-delay record (delay mode) or its `(delay, width)`
-/// staircase (power mode) can survive same-`cap` dominance in
-/// [`merge_combine`].
-fn reduce_bucket(bucket: &mut [BucketItem], cap: f64, mode: TreeMode, fresh: &mut Vec<TOpt>) {
-    let emit = |item: &BucketItem| {
-        fresh.push(TOpt {
-            cap,
-            delay: item.delay,
-            width: item.width,
-            trace: item.trace,
-        });
-    };
+) {
+    acc.clear();
     match mode {
-        TreeMode::MinDelay => reduce_bucket_2d(bucket, emit),
-        TreeMode::MinPower { .. } => reduce_bucket_3d(bucket, emit),
+        TreeMode::MinDelay => {
+            products.sort_unstable_by(|a, b| {
+                cmp_f64(a.cap, b.cap)
+                    .then_with(|| cmp_f64(a.delay, b.delay))
+                    .then_with(|| a.seq.cmp(&b.seq))
+            });
+            let mut best_delay = f64::INFINITY;
+            for p in products.iter() {
+                if p.delay < best_delay {
+                    best_delay = p.delay;
+                    acc.push(p.cap, p.delay, p.width, p.trace, f64::NAN);
+                }
+            }
+        }
+        TreeMode::MinPower { .. } => {
+            products.sort_unstable_by(|a, b| {
+                cmp_f64(a.cap, b.cap)
+                    .then_with(|| cmp_f64(a.delay, b.delay))
+                    .then_with(|| cmp_f64(a.width, b.width))
+                    .then_with(|| a.seq.cmp(&b.seq))
+            });
+            stairs.clear();
+            for p in products.iter() {
+                if !stairs.dominates(p.delay, p.width) {
+                    stairs.insert(p.delay, p.width);
+                    acc.push(p.cap, p.delay, p.width, p.trace, f64::NAN);
+                }
+            }
+        }
     }
 }
 
@@ -209,6 +285,10 @@ fn reduce_bucket(bucket: &mut [BucketItem], cap: f64, mode: TreeMode, fresh: &mu
 /// * `allowed` — optional per-node buffer-legality mask (e.g. forbidden
 ///   zones mapped onto tree nodes); the root entry is ignored (the root
 ///   is the driver). Default: buffers allowed everywhere but the root.
+///
+/// Uses a thread-local [`TreeScratch`]; batch callers that manage their
+/// own scratch (or pool scratches across threads, like
+/// `rip_core::Engine`) should prefer [`tree_min_delay_with`].
 ///
 /// # Errors
 ///
@@ -242,7 +322,33 @@ pub fn tree_min_delay(
     library: &RepeaterLibrary,
     allowed: Option<&[bool]>,
 ) -> Result<TreeSolution, DpError> {
+    TREE_SCRATCH.with(|s| {
+        tree_min_delay_with(
+            &mut s.borrow_mut(),
+            tree,
+            device,
+            driver_width,
+            library,
+            allowed,
+        )
+    })
+}
+
+/// [`tree_min_delay`] with caller-provided scratch memory.
+///
+/// # Errors
+///
+/// See [`tree_min_delay`].
+pub fn tree_min_delay_with(
+    scratch: &mut TreeScratch,
+    tree: &RcTree,
+    device: &RepeaterDevice,
+    driver_width: f64,
+    library: &RepeaterLibrary,
+    allowed: Option<&[bool]>,
+) -> Result<TreeSolution, DpError> {
     solve_tree(
+        scratch,
         tree,
         device,
         driver_width,
@@ -254,6 +360,9 @@ pub fn tree_min_delay(
 
 /// Minimum-total-width buffering of an RC tree under a timing target
 /// (max over sinks).
+///
+/// Uses a thread-local [`TreeScratch`]; batch callers should prefer
+/// [`tree_min_power_with`].
 ///
 /// # Errors
 ///
@@ -268,10 +377,38 @@ pub fn tree_min_power(
     allowed: Option<&[bool]>,
     target_fs: f64,
 ) -> Result<TreeSolution, DpError> {
+    TREE_SCRATCH.with(|s| {
+        tree_min_power_with(
+            &mut s.borrow_mut(),
+            tree,
+            device,
+            driver_width,
+            library,
+            allowed,
+            target_fs,
+        )
+    })
+}
+
+/// [`tree_min_power`] with caller-provided scratch memory.
+///
+/// # Errors
+///
+/// See [`tree_min_power`].
+pub fn tree_min_power_with(
+    scratch: &mut TreeScratch,
+    tree: &RcTree,
+    device: &RepeaterDevice,
+    driver_width: f64,
+    library: &RepeaterLibrary,
+    allowed: Option<&[bool]>,
+    target_fs: f64,
+) -> Result<TreeSolution, DpError> {
     if !target_fs.is_finite() || target_fs <= 0.0 {
         return Err(DpError::InvalidTarget { target_fs });
     }
     solve_tree(
+        scratch,
         tree,
         device,
         driver_width,
@@ -282,6 +419,7 @@ pub fn tree_min_power(
 }
 
 fn solve_tree(
+    scratch: &mut TreeScratch,
     tree: &RcTree,
     device: &RepeaterDevice,
     driver_width: f64,
@@ -303,133 +441,175 @@ fn solve_tree(
         TreeMode::MinPower { target_fs } => Some(target_fs),
     };
 
-    let mut arena = TArena::new();
-    let mut scratch = TreeScratch::default();
+    scratch.reset(tree.len());
     let mut stats = DpStats {
         candidates: tree.len() - 1,
         library_size: library.len(),
         ..DpStats::default()
     };
-    // options[v]: the non-dominated set looking into node v from its
-    // parent edge (load the edge would see at v, worst delay from v's
-    // input to any sink below, width spent below).
-    let mut options: Vec<Vec<TOpt>> = vec![Vec::new(); tree.len()];
 
-    // Creation order guarantees parents before children, so a reverse
-    // scan is a post-order.
-    for v in (0..tree.len()).rev() {
-        // Cross-merge the children (lifted across their edges).
-        let mut acc = vec![TOpt {
-            cap: 0.0,
-            delay: 0.0,
-            width: 0.0,
-            trace: 0,
-        }];
-        for &u in tree.children(v) {
-            let wire = tree.wire(u);
-            scratch.lifted.clear();
-            scratch.lifted.extend(options[u].iter().map(|o| TOpt {
-                cap: o.cap + wire.capacitance,
-                delay: o.delay + wire.elmore + wire.resistance * o.cap,
-                width: o.width,
-                trace: o.trace,
-            }));
-            options[u] = Vec::new(); // consumed; release the node storage
-            let mut next = Vec::with_capacity(acc.len() * scratch.lifted.len());
-            for a in &acc {
-                for b in &scratch.lifted {
-                    if target.is_some_and(|t| a.delay.max(b.delay) > t) {
-                        continue;
+    // Sweep state is destructured so the store, the accumulator and the
+    // arena can be borrowed side by side.
+    let best = {
+        let TreeScratch {
+            store,
+            ranges,
+            acc,
+            products,
+            fresh,
+            merged,
+            bucket,
+            stairs,
+            arena,
+        } = scratch;
+
+        // Creation order guarantees parents before children, so a
+        // reverse scan is a post-order. `store[ranges[v]]` holds the
+        // non-dominated set looking into node v from its parent edge
+        // (load the edge would see at v, worst delay from v's input to
+        // any sink below, width spent below).
+        for v in (0..tree.len()).rev() {
+            // Cross-merge the children (lifted across their edges).
+            acc.clear();
+            acc.push(0.0, 0.0, 0.0, 0, f64::NAN);
+            for &u in tree.children(v) {
+                let wire = tree.wire(u);
+                // Lift the child frontier across its edge, in place: it
+                // is consumed exactly once, right here. The constant cap
+                // shift and within-equal-cap-uniform delay shift
+                // preserve the sort order.
+                let (start, len) = ranges[u];
+                let (start, end) = (start as usize, (start + len) as usize);
+                for i in start..end {
+                    let c = store.cap[i];
+                    store.delay[i] = store.delay[i] + wire.elmore + wire.resistance * c;
+                    store.cap[i] = c + wire.capacitance;
+                }
+                // Stage the cross products in generation order (acc
+                // outer, child inner — identical to the reference, so
+                // the eager trace arena fills identically too).
+                products.clear();
+                for a in 0..acc.len() {
+                    for b in start..end {
+                        let delay = acc.delay[a].max(store.delay[b]);
+                        if target.is_some_and(|t| delay > t) {
+                            continue;
+                        }
+                        let seq = products.len() as u32;
+                        products.push(CrossItem {
+                            cap: acc.cap[a] + store.cap[b],
+                            delay,
+                            width: acc.width[a] + store.width[b],
+                            trace: arena.join(acc.trace[a], store.trace[b]),
+                            seq,
+                        });
                     }
-                    next.push(TOpt {
-                        cap: a.cap + b.cap,
-                        delay: a.delay.max(b.delay),
-                        width: a.width + b.width,
-                        trace: arena.join(a.trace, b.trace),
-                    });
+                }
+                stats.options_created += products.len() as u64;
+                cross_merge_prune(products, acc, mode, stairs);
+            }
+
+            if v == 0 {
+                // Driver stage at the root (tap at the root loads the
+                // driver alongside the subtree).
+                let tap = tree.sink_cap(0);
+                for i in 0..acc.len() {
+                    acc.delay[i] += device.intrinsic_delay()
+                        + device.output_resistance(driver_width) * (acc.cap[i] + tap);
+                }
+                break;
+            }
+
+            // Buffered at v: the buffer drives the merged subtree;
+            // upstream sees tap + buffer input cap. Generated per width
+            // bucket (each bucket shares its cap and is reduced to its
+            // sub-frontier), with the traceback allocated eagerly as the
+            // reference engine does.
+            let tap = tree.sink_cap(v);
+            fresh.clear();
+            let mut created = acc.len() as u64;
+            if buffer_ok(v) {
+                for &w in library.widths() {
+                    let new_cap = tap + device.input_cap(w);
+                    bucket.clear();
+                    for i in 0..acc.len() {
+                        let delay = acc.delay[i]
+                            + device.intrinsic_delay()
+                            + device.output_resistance(w) * acc.cap[i];
+                        if target.is_some_and(|t| delay > t) {
+                            continue;
+                        }
+                        let seq = bucket.len() as u32;
+                        bucket.push(BucketItem {
+                            delay,
+                            width: acc.width[i] + w,
+                            trace: arena.buffer(v, w, acc.trace[i]),
+                            seq,
+                        });
+                    }
+                    created += bucket.len() as u64;
+                    match mode {
+                        TreeMode::MinDelay => reduce_bucket_2d(bucket, |item| {
+                            fresh.push(new_cap, item.delay, item.width, item.trace, f64::NAN);
+                        }),
+                        TreeMode::MinPower { .. } => reduce_bucket_3d(bucket, |item| {
+                            fresh.push(new_cap, item.delay, item.width, item.trace, f64::NAN);
+                        }),
+                    }
                 }
             }
-            stats.options_created += next.len() as u64;
-            prune(&mut next, mode);
-            acc = next;
-        }
-
-        if v == 0 {
-            // Driver stage at the root (tap at the root loads the driver
-            // alongside the subtree).
-            let tap = tree.sink_cap(0);
-            for o in &mut acc {
-                o.delay += device.intrinsic_delay()
-                    + device.output_resistance(driver_width) * (o.cap + tap);
+            stats.options_created += created;
+            // Unbuffered at v: the node's tap joins the stage load (a
+            // constant shift, so the sorted order survives and the prune
+            // is a single linear merge).
+            for i in 0..acc.len() {
+                acc.cap[i] += tap;
             }
-            options[0] = acc;
-            break;
-        }
-
-        // Buffered at v: the buffer drives the merged subtree; upstream
-        // sees tap + buffer input cap. Generated per width bucket (each
-        // bucket shares its cap and is reduced to its sub-frontier), with
-        // the traceback allocated eagerly as the reference engine does.
-        let tap = tree.sink_cap(v);
-        scratch.fresh.clear();
-        let mut created = acc.len() as u64;
-        if buffer_ok(v) {
-            for &w in library.widths() {
-                let new_cap = tap + device.input_cap(w);
-                scratch.bucket.clear();
-                for o in &acc {
-                    let delay =
-                        o.delay + device.intrinsic_delay() + device.output_resistance(w) * o.cap;
-                    if target.is_some_and(|t| delay > t) {
-                        continue;
-                    }
-                    let seq = scratch.bucket.len() as u32;
-                    scratch.bucket.push(BucketItem {
-                        delay,
-                        width: o.width + w,
-                        trace: arena.buffer(v, w, o.trace),
-                        seq,
-                    });
-                }
-                created += scratch.bucket.len() as u64;
-                reduce_bucket(&mut scratch.bucket, new_cap, mode, &mut scratch.fresh);
+            match mode {
+                TreeMode::MinDelay => merge_prune_2d(acc, fresh, merged),
+                TreeMode::MinPower { .. } => merge_prune_3d(acc, fresh, merged, stairs),
             }
+            stats.options_peak = stats.options_peak.max(acc.len());
+            // Park the finished frontier in the store arena.
+            ranges[v] = (store.len() as u32, acc.len() as u32);
+            store.append_from(acc);
         }
-        stats.options_created += created;
-        // Unbuffered at v: the node's tap joins the stage load (a
-        // constant shift, so the sorted order survives and the prune is
-        // a single linear merge).
-        for o in &mut acc {
-            o.cap += tap;
-        }
-        let combined = merge_combine(&acc, &scratch.fresh, mode, &mut scratch.stairs);
-        stats.options_peak = stats.options_peak.max(combined.len());
-        options[v] = combined;
-    }
 
-    let finals = &options[0];
-    let best =
+        // Final selection over the root frontier, with the reference's
+        // exact comparator and `min_by` tie semantics.
+        let finals = acc;
         match mode {
-            TreeMode::MinDelay => finals.iter().min_by(|a, b| {
-                a.delay
-                    .partial_cmp(&b.delay)
+            TreeMode::MinDelay => (0..finals.len()).min_by(|&a, &b| {
+                finals.delay[a]
+                    .partial_cmp(&finals.delay[b])
                     .expect("finite delays")
-                    .then(a.width.partial_cmp(&b.width).expect("finite widths"))
+                    .then(
+                        finals.width[a]
+                            .partial_cmp(&finals.width[b])
+                            .expect("finite widths"),
+                    )
             }),
-            TreeMode::MinPower { target_fs } => finals
-                .iter()
-                .filter(|o| o.delay <= target_fs)
-                .min_by(|a, b| {
-                    a.width
-                        .partial_cmp(&b.width)
+            TreeMode::MinPower { target_fs } => (0..finals.len())
+                .filter(|&i| finals.delay[i] <= target_fs)
+                .min_by(|&a, &b| {
+                    finals.width[a]
+                        .partial_cmp(&finals.width[b])
                         .expect("finite widths")
-                        .then(a.delay.partial_cmp(&b.delay).expect("finite delays"))
+                        .then(
+                            finals.delay[a]
+                                .partial_cmp(&finals.delay[b])
+                                .expect("finite delays"),
+                        )
                 }),
-        };
-    let best = match best {
-        Some(b) => *b,
+        }
+        .map(|i| (finals.delay[i], finals.width[i], finals.trace[i]))
+    };
+
+    let (delay_fs, total_width, trace) = match best {
+        Some(parts) => parts,
         None => {
             let fastest = solve_tree(
+                scratch,
                 tree,
                 device,
                 driver_width,
@@ -445,25 +625,18 @@ fn solve_tree(
     };
 
     let mut buffers = Vec::new();
-    arena.collect(best.trace, &mut buffers);
+    scratch.arena.collect(trace, &mut buffers);
     let mut buffer_widths = vec![None; tree.len()];
     for (node, width) in buffers {
         buffer_widths[node] = Some(width);
     }
-    stats.trace_nodes = arena.nodes.len() - 1;
+    stats.trace_nodes = scratch.arena.nodes.len() - 1;
     Ok(TreeSolution {
         buffer_widths,
-        delay_fs: best.delay,
-        total_width: best.width,
+        delay_fs,
+        total_width,
         stats,
     })
-}
-
-fn prune(options: &mut Vec<TOpt>, mode: TreeMode) {
-    match mode {
-        TreeMode::MinDelay => prune_2d(options, |o| (o.cap, o.delay)),
-        TreeMode::MinPower { .. } => prune_3d(options, |o| (o.cap, o.delay, o.width)),
-    }
 }
 
 #[cfg(test)]
@@ -651,5 +824,185 @@ mod tests {
         let unbuffered = tree.elmore_delays(dev, 120.0).max_sink_delay;
         assert!(sol.delay_fs < unbuffered);
         assert!(sol.buffer_widths.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn reused_tree_scratch_matches_fresh_scratch() {
+        // A single scratch driven through an interleaving of solves must
+        // give exactly what fresh scratches give: scratch is memory, not
+        // state.
+        let tech = tech();
+        let tree = y_tree(tech.device());
+        let net = chain_net();
+        let cands = CandidateSet::uniform(&net, 600.0);
+        let path = chain_as_tree(&net, tech.device(), &cands);
+        let lib = RepeaterLibrary::range_step(10.0, 400.0, 40.0).unwrap();
+        let mut shared = TreeScratch::new();
+
+        let fastest =
+            tree_min_delay_with(&mut shared, &tree, tech.device(), 120.0, &lib, None).unwrap();
+        for mult in [1.1, 1.6, 0.5, 1.3] {
+            let target = fastest.delay_fs * mult;
+            let reused =
+                tree_min_power_with(&mut shared, &tree, tech.device(), 120.0, &lib, None, target);
+            let fresh = tree_min_power_with(
+                &mut TreeScratch::new(),
+                &tree,
+                tech.device(),
+                120.0,
+                &lib,
+                None,
+                target,
+            );
+            assert_eq!(format!("{reused:?}"), format!("{fresh:?}"), "mult {mult}");
+            // Interleave a different topology to try to poison the
+            // scratch.
+            let _ = tree_min_delay_with(&mut shared, &path, tech.device(), 120.0, &lib, None);
+        }
+    }
+
+    /// Deterministic quantized pseudo-random generator: coarse values so
+    /// duplicates and dominance chains actually occur.
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 33) as f64 / (1u64 << 31) as f64 * 8.0).round()
+    }
+
+    fn naive_pareto_2d(items: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = items
+            .iter()
+            .copied()
+            .filter(|x| !items.iter().any(|y| y != x && y.0 <= x.0 && y.1 <= x.1))
+            .collect();
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out.dedup();
+        out
+    }
+
+    fn naive_pareto_3d(items: &[(f64, f64, f64)]) -> Vec<(f64, f64, f64)> {
+        let mut out: Vec<(f64, f64, f64)> = items
+            .iter()
+            .copied()
+            .filter(|x| {
+                !items
+                    .iter()
+                    .any(|y| y != x && y.0 <= x.0 && y.1 <= x.1 && y.2 <= x.2)
+            })
+            .collect();
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn cross_merge_fuzz_matches_naive_oracle_min_delay() {
+        // The staged-product pruner vs the O(n²) dominance definition:
+        // survivors must be sorted, mutually non-dominated, and
+        // set-identical to the naive oracle — mirroring the chain
+        // engine's prune_2d/prune_3d fuzz suites.
+        let mut state = 0xC0FFEEu64;
+        let mut acc = OptionBuf::default();
+        let mut stairs = Staircase::new();
+        for round in 0..50 {
+            let n = 1 + (round * 5) % 80;
+            let mut products: Vec<CrossItem> = (0..n)
+                .map(|s| CrossItem {
+                    cap: lcg(&mut state),
+                    delay: lcg(&mut state),
+                    width: 0.0,
+                    trace: s,
+                    seq: s,
+                })
+                .collect();
+            let items: Vec<(f64, f64)> = products.iter().map(|p| (p.cap, p.delay)).collect();
+            cross_merge_prune(&mut products, &mut acc, TreeMode::MinDelay, &mut stairs);
+            let got: Vec<(f64, f64)> = (0..acc.len()).map(|i| (acc.cap[i], acc.delay[i])).collect();
+            assert!(
+                got.windows(2).all(|w| w[0] <= w[1]),
+                "round {round}: survivors not sorted"
+            );
+            for (i, a) in got.iter().enumerate() {
+                for (j, b) in got.iter().enumerate() {
+                    assert!(
+                        i == j || !(a.0 <= b.0 && a.1 <= b.1),
+                        "round {round}: {a:?} dominates fellow survivor {b:?}"
+                    );
+                }
+            }
+            let mut sorted = got.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.dedup();
+            assert_eq!(sorted, naive_pareto_2d(&items), "round {round}");
+        }
+    }
+
+    #[test]
+    fn cross_merge_fuzz_matches_naive_oracle_min_power() {
+        let mut state = 0xBEEFu64;
+        let mut acc = OptionBuf::default();
+        let mut stairs = Staircase::new();
+        for round in 0..50 {
+            let n = 1 + (round * 7) % 100;
+            let mut products: Vec<CrossItem> = (0..n)
+                .map(|s| CrossItem {
+                    cap: lcg(&mut state),
+                    delay: lcg(&mut state),
+                    width: lcg(&mut state),
+                    trace: s,
+                    seq: s,
+                })
+                .collect();
+            let items: Vec<(f64, f64, f64)> =
+                products.iter().map(|p| (p.cap, p.delay, p.width)).collect();
+            let mode = TreeMode::MinPower { target_fs: 1.0 };
+            cross_merge_prune(&mut products, &mut acc, mode, &mut stairs);
+            let got: Vec<(f64, f64, f64)> = (0..acc.len())
+                .map(|i| (acc.cap[i], acc.delay[i], acc.width[i]))
+                .collect();
+            assert!(
+                got.windows(2).all(|w| w[0] <= w[1]),
+                "round {round}: survivors not sorted"
+            );
+            for (i, a) in got.iter().enumerate() {
+                for (j, b) in got.iter().enumerate() {
+                    assert!(
+                        i == j || !(a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2),
+                        "round {round}: {a:?} dominates fellow survivor {b:?}"
+                    );
+                }
+            }
+            let mut sorted = got.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.dedup();
+            assert_eq!(sorted, naive_pareto_3d(&items), "round {round}");
+        }
+    }
+
+    #[test]
+    fn cross_merge_collapses_duplicates_to_the_earliest_record() {
+        let mut acc = OptionBuf::default();
+        let mut stairs = Staircase::new();
+        let mut products = vec![
+            CrossItem {
+                cap: 1.0,
+                delay: 2.0,
+                width: 3.0,
+                trace: 7,
+                seq: 0,
+            },
+            CrossItem {
+                cap: 1.0,
+                delay: 2.0,
+                width: 3.0,
+                trace: 9,
+                seq: 1,
+            },
+        ];
+        let mode = TreeMode::MinPower { target_fs: 1.0 };
+        cross_merge_prune(&mut products, &mut acc, mode, &mut stairs);
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc.trace, vec![7], "generation-earliest duplicate survives");
     }
 }

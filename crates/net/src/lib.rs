@@ -12,7 +12,10 @@
 //! * [`uniform_candidates`], [`window_candidates`], [`snap_legal`] —
 //!   candidate repeater positions for the DP engines;
 //! * [`NetGenerator`], [`RandomNetConfig`] — seeded random nets matching
-//!   the paper's Section 6 distribution.
+//!   the paper's Section 6 distribution;
+//! * [`TreeNetGenerator`], [`RandomTreeConfig`], [`TreeNet`] — seeded
+//!   random multi-sink tree nets for the tree extension's batch
+//!   workloads.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ mod position;
 mod profile;
 mod rng;
 mod segment;
+mod tree_gen;
 mod zone;
 
 pub use builder::{NetBuilder, DEFAULT_DRIVER_WIDTH, DEFAULT_RECEIVER_WIDTH};
@@ -59,6 +63,7 @@ pub use position::{snap_legal, sort_dedup_positions, uniform_candidates, window_
 pub use profile::{IntervalRc, RcProfile, Side};
 pub use rng::SplitMix64;
 pub use segment::Segment;
+pub use tree_gen::{RandomTreeConfig, TreeNet, TreeNetGenerator, TreeNetNode};
 pub use zone::ForbiddenZone;
 
 #[cfg(test)]

@@ -1,0 +1,396 @@
+//! Random multi-sink tree-net generation.
+//!
+//! The paper closes by announcing an extension of the hybrid scheme to
+//! interconnect *trees*; this module supplies the workload for it: a
+//! seeded random-topology generator whose output mirrors the two-pin
+//! [`crate::NetGenerator`] in spirit — routed on metal4/metal5 of the
+//! 0.18 µm process, segment lengths in the paper's 1000–2500 µm range,
+//! deterministic from a `u64` seed.
+//!
+//! A [`TreeNet`] is topology plus electrical intent: per-edge layer RC
+//! and physical length, per-leaf receiver widths, a driver width, and a
+//! per-node buffer-legality flag (the tree analogue of forbidden
+//! zones, as a contiguous run of blocked nodes). It deliberately knows
+//! nothing about delay models; `rip_delay::RcTree::from_tree_net`
+//! converts it into a solvable RC tree with node indices preserved
+//! one-to-one, so [`TreeNet::allowed_mask`] aligns with the tree DP's
+//! `allowed` parameter.
+
+use crate::error::NetError;
+use crate::rng::SplitMix64;
+use rip_tech::WireLayer;
+
+/// One node of a [`TreeNet`]. Node 0 is the root (the net driver); every
+/// other node hangs below its parent on a uniform wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeNetNode {
+    /// Parent node index (`None` only for the root).
+    pub parent: Option<usize>,
+    /// Wire resistance per µm from the parent, Ω/µm (0 for the root).
+    pub r_per_um: f64,
+    /// Wire capacitance per µm from the parent, fF/µm (0 for the root).
+    pub c_per_um: f64,
+    /// Physical wire length from the parent, µm (0 for the root).
+    pub length_um: f64,
+    /// Receiver width at this node, u (`Some` exactly for sinks; sinks
+    /// are always leaves).
+    pub sink_width: Option<f64>,
+    /// Whether a repeater may legally be placed at this node (`false`
+    /// inside the generated forbidden run; the root's entry is ignored
+    /// by the DP).
+    pub buffer_ok: bool,
+}
+
+/// A routed multi-sink tree net: topology, per-edge RC, sink loads and
+/// placement legality — the tree analogue of [`crate::TwoPinNet`].
+///
+/// Nodes are stored parents-before-children (node 0 is the root), the
+/// same creation-order convention `rip_delay`'s `RcTree` uses, so
+/// conversions preserve indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeNet {
+    nodes: Vec<TreeNetNode>,
+    driver_width: f64,
+}
+
+impl TreeNet {
+    /// Number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the net is only the root (no edges, no sinks).
+    ///
+    /// The root always exists, so [`TreeNet::len`] is never 0 and this
+    /// — not `len() == 0` — is the natural emptiness notion, mirroring
+    /// `rip_delay::RcTree::is_empty`.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The nodes, parents before children; index 0 is the root.
+    pub fn nodes(&self) -> &[TreeNetNode] {
+        &self.nodes
+    }
+
+    /// Driver width at the root, u.
+    pub fn driver_width(&self) -> f64 {
+        self.driver_width
+    }
+
+    /// Indices of all sink nodes, ascending.
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&v| self.nodes[v].sink_width.is_some())
+            .collect()
+    }
+
+    /// Total routed wire length, µm.
+    pub fn total_length(&self) -> f64 {
+        self.nodes.iter().map(|n| n.length_um).sum()
+    }
+
+    /// The per-node buffer-legality mask, aligned to [`TreeNet::len`] —
+    /// pass it straight to the tree DP's `allowed` parameter after
+    /// converting to an `RcTree` (indices are preserved).
+    pub fn allowed_mask(&self) -> Vec<bool> {
+        self.nodes.iter().map(|n| n.buffer_ok).collect()
+    }
+}
+
+/// Distribution parameters for random tree nets.
+///
+/// The [`Default`] instance transplants the paper's Section 6 two-pin
+/// setup onto trees: metal4/metal5 segments of 1000–2500 µm, drivers of
+/// 100–160 u, receivers of 40–80 u, and a forbidden run covering
+/// 10–25 % of the nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomTreeConfig {
+    /// Inclusive range of sink counts (one branch path per sink).
+    pub sink_count: (usize, usize),
+    /// Inclusive range of edges per branch path (the depth added by each
+    /// new sink below its attachment point).
+    pub branch_depth: (usize, usize),
+    /// Inclusive range of per-edge lengths, µm (paper: 1000–2500).
+    pub segment_length_um: (f64, f64),
+    /// Inclusive range of the blocked-node fraction of the non-root
+    /// nodes (a contiguous index run is marked buffer-illegal).
+    pub forbidden_fraction: (f64, f64),
+    /// Inclusive range of driver widths, u.
+    pub driver_width: (f64, f64),
+    /// Inclusive range of sink receiver widths, u.
+    pub sink_width: (f64, f64),
+    /// Routing layers edges are drawn from, uniformly (paper: metal4 and
+    /// metal5).
+    pub layers: Vec<WireLayer>,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        Self {
+            sink_count: (2, 5),
+            branch_depth: (1, 4),
+            segment_length_um: (1000.0, 2500.0),
+            forbidden_fraction: (0.10, 0.25),
+            driver_width: (100.0, 160.0),
+            sink_width: (40.0, 80.0),
+            layers: vec![WireLayer::metal4_180nm(), WireLayer::metal5_180nm()],
+        }
+    }
+}
+
+impl RandomTreeConfig {
+    /// Validates the configuration ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidSegment`] (index 0) when any range is
+    /// inverted, non-finite, or the layer list is empty — the generator
+    /// cannot produce a valid net from such a configuration.
+    pub fn validate(&self) -> Result<(), NetError> {
+        let ok_range = |(lo, hi): (f64, f64)| lo.is_finite() && hi.is_finite() && lo <= hi;
+        let valid = self.sink_count.0 >= 1
+            && self.sink_count.0 <= self.sink_count.1
+            && self.branch_depth.0 >= 1
+            && self.branch_depth.0 <= self.branch_depth.1
+            && ok_range(self.segment_length_um)
+            && self.segment_length_um.0 > 0.0
+            && ok_range(self.forbidden_fraction)
+            && self.forbidden_fraction.0 >= 0.0
+            && self.forbidden_fraction.1 < 1.0
+            && ok_range(self.driver_width)
+            && self.driver_width.0 > 0.0
+            && ok_range(self.sink_width)
+            && self.sink_width.0 > 0.0
+            && !self.layers.is_empty();
+        if valid {
+            Ok(())
+        } else {
+            Err(NetError::InvalidSegment {
+                index: 0,
+                reason: "random tree configuration has inverted or invalid ranges",
+            })
+        }
+    }
+}
+
+/// Deterministic random tree-net generator (seeded [`SplitMix64`]).
+///
+/// # Examples
+///
+/// ```
+/// use rip_net::{RandomTreeConfig, TreeNetGenerator};
+///
+/// let mut gen = TreeNetGenerator::from_seed(RandomTreeConfig::default(), 42).unwrap();
+/// let net = gen.generate();
+/// assert!(net.sinks().len() >= 2);
+/// assert_eq!(net.allowed_mask().len(), net.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeNetGenerator {
+    config: RandomTreeConfig,
+    rng: SplitMix64,
+}
+
+impl TreeNetGenerator {
+    /// Creates a generator with the given configuration and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid (see
+    /// [`RandomTreeConfig::validate`]).
+    pub fn from_seed(config: RandomTreeConfig, seed: u64) -> Result<Self, NetError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            rng: SplitMix64::new(seed),
+        })
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &RandomTreeConfig {
+        &self.config
+    }
+
+    /// Generates the next random tree net.
+    ///
+    /// The topology grows one branch path per sink: each path starts at
+    /// a uniformly chosen *internal* node (root or a previous path's
+    /// interior — sinks stay leaves), descends a random number of edges,
+    /// and ends in a sink. Generation cannot fail for a validated
+    /// configuration.
+    pub fn generate(&mut self) -> TreeNet {
+        let cfg = self.config.clone();
+        let driver_width = self.rng.range_f64(cfg.driver_width.0, cfg.driver_width.1);
+        let mut nodes = vec![TreeNetNode {
+            parent: None,
+            r_per_um: 0.0,
+            c_per_um: 0.0,
+            length_um: 0.0,
+            sink_width: None,
+            buffer_ok: true,
+        }];
+        // Nodes a future branch may attach to: the root plus every
+        // non-sink node created so far.
+        let mut attach = vec![0usize];
+        let sinks = self.rng.range_usize(cfg.sink_count.0, cfg.sink_count.1);
+        for _ in 0..sinks {
+            let mut cur = attach[self.rng.index(attach.len())];
+            let depth = self.rng.range_usize(cfg.branch_depth.0, cfg.branch_depth.1);
+            for d in 0..depth {
+                let layer = &cfg.layers[self.rng.index(cfg.layers.len())];
+                let len = self
+                    .rng
+                    .range_f64(cfg.segment_length_um.0, cfg.segment_length_um.1);
+                let idx = nodes.len();
+                nodes.push(TreeNetNode {
+                    parent: Some(cur),
+                    r_per_um: layer.r_per_um(),
+                    c_per_um: layer.c_per_um(),
+                    length_um: len,
+                    sink_width: None,
+                    buffer_ok: true,
+                });
+                // The path's last node becomes a sink (a leaf forever);
+                // interior nodes are future attachment points.
+                if d + 1 < depth {
+                    attach.push(idx);
+                }
+                cur = idx;
+            }
+            nodes[cur].sink_width = Some(self.rng.range_f64(cfg.sink_width.0, cfg.sink_width.1));
+        }
+        // Forbidden run: a contiguous index window of non-root nodes is
+        // marked buffer-illegal — the tree analogue of the two-pin
+        // generator's single forbidden zone.
+        let frac = self
+            .rng
+            .range_f64(cfg.forbidden_fraction.0, cfg.forbidden_fraction.1);
+        let blocked = (frac * (nodes.len() - 1) as f64).floor() as usize;
+        if blocked > 0 {
+            let start = 1 + self.rng.range_usize(0, nodes.len() - 1 - blocked);
+            for node in &mut nodes[start..start + blocked] {
+                node.buffer_ok = false;
+            }
+        }
+        TreeNet {
+            nodes,
+            driver_width,
+        }
+    }
+
+    /// Generates a reproducible suite of `count` tree nets from a fresh
+    /// generator with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid.
+    pub fn suite(
+        config: RandomTreeConfig,
+        seed: u64,
+        count: usize,
+    ) -> Result<Vec<TreeNet>, NetError> {
+        let mut gen = Self::from_seed(config, seed)?;
+        Ok((0..count).map(|_| gen.generate()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trees() {
+        let a = TreeNetGenerator::suite(RandomTreeConfig::default(), 99, 5).unwrap();
+        let b = TreeNetGenerator::suite(RandomTreeConfig::default(), 99, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TreeNetGenerator::suite(RandomTreeConfig::default(), 1, 3).unwrap();
+        let b = TreeNetGenerator::suite(RandomTreeConfig::default(), 2, 3).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_trees_match_the_configured_distribution() {
+        let cfg = RandomTreeConfig::default();
+        let mut gen = TreeNetGenerator::from_seed(cfg.clone(), 7).unwrap();
+        for _ in 0..50 {
+            let net = gen.generate();
+            let sinks = net.sinks();
+            assert!(
+                (cfg.sink_count.0..=cfg.sink_count.1).contains(&sinks.len()),
+                "sink count {}",
+                sinks.len()
+            );
+            for node in &net.nodes()[1..] {
+                assert!(
+                    node.length_um >= cfg.segment_length_um.0
+                        && node.length_um <= cfg.segment_length_um.1
+                );
+                assert!(node.r_per_um > 0.0 && node.c_per_um > 0.0);
+            }
+            assert!(
+                net.driver_width() >= cfg.driver_width.0
+                    && net.driver_width() <= cfg.driver_width.1
+            );
+            for &s in &sinks {
+                let w = net.nodes()[s].sink_width.unwrap();
+                assert!(w >= cfg.sink_width.0 && w <= cfg.sink_width.1);
+            }
+        }
+    }
+
+    #[test]
+    fn structural_invariants_hold() {
+        let mut gen = TreeNetGenerator::from_seed(RandomTreeConfig::default(), 11).unwrap();
+        for _ in 0..50 {
+            let net = gen.generate();
+            // Parents precede children; the root is the only orphan.
+            assert!(net.nodes()[0].parent.is_none());
+            for (v, node) in net.nodes().iter().enumerate().skip(1) {
+                assert!(node.parent.expect("non-root nodes have parents") < v);
+            }
+            // Sinks are leaves: no node names a sink as its parent.
+            let sinks = net.sinks();
+            assert!(!sinks.is_empty());
+            for node in net.nodes() {
+                if let Some(p) = node.parent {
+                    assert!(net.nodes()[p].sink_width.is_none(), "sink with children");
+                }
+            }
+            // The legality mask aligns with the node count and the
+            // forbidden run stays within the configured bounds.
+            let mask = net.allowed_mask();
+            assert_eq!(mask.len(), net.len());
+            let blocked = mask.iter().filter(|ok| !**ok).count();
+            assert!(blocked as f64 <= 0.25 * (net.len() - 1) as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = RandomTreeConfig {
+            sink_count: (5, 2),
+            ..RandomTreeConfig::default()
+        };
+        assert!(TreeNetGenerator::from_seed(bad, 0).is_err());
+        let bad = RandomTreeConfig {
+            forbidden_fraction: (0.5, 1.5),
+            ..RandomTreeConfig::default()
+        };
+        assert!(TreeNetGenerator::from_seed(bad, 0).is_err());
+        let bad = RandomTreeConfig {
+            layers: vec![],
+            ..RandomTreeConfig::default()
+        };
+        assert!(TreeNetGenerator::from_seed(bad, 0).is_err());
+        let bad = RandomTreeConfig {
+            branch_depth: (0, 2),
+            ..RandomTreeConfig::default()
+        };
+        assert!(TreeNetGenerator::from_seed(bad, 0).is_err());
+    }
+}
