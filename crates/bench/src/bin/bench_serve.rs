@@ -1,0 +1,36 @@
+//! Drives an in-process `rip_serve` server with the deterministic load
+//! generator at 1/4/16 concurrent connections, byte-checks every
+//! deterministic response against a reference engine, and writes
+//! `BENCH_serve.json` at the workspace root (median/MAD requests/s per
+//! concurrency level plus the shared engine's cache hit rate — see
+//! `rip_bench::serve_bench`).
+//!
+//! Usage: `cargo run -p rip-bench --release --bin bench_serve [--quick]`
+
+use rip_bench::{quick_mode, run_serve_bench, workspace_root, ServeBenchConfig};
+
+fn main() {
+    let config = ServeBenchConfig::preset(quick_mode());
+    eprintln!(
+        "bench_serve: {:?} connection level(s), {} req/conn, {} run(s)...",
+        config.connections, config.requests_per_conn, config.runs
+    );
+    let report = run_serve_bench(config);
+    println!("{}", report.summary_text());
+
+    let json = report.to_json();
+    // Quick runs keep their JSON beside the committed full-scale
+    // baseline instead of replacing it.
+    let name = if quick_mode() {
+        "BENCH_serve.quick.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    let path = workspace_root().join(name);
+    std::fs::write(&path, &json).expect("write BENCH_serve json");
+    eprintln!("wrote {}", path.display());
+    assert!(
+        report.byte_identical,
+        "service responses must be byte-identical to the in-process engine"
+    );
+}

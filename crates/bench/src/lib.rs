@@ -30,7 +30,11 @@
 //!   written to `BENCH_batch.json` (`bench_batch` binary);
 //! * [`run_tree_bench`] — production SoA tree DP vs the frozen pre-SoA
 //!   tree engine plus batch tree-pipeline throughput, written to
-//!   `BENCH_tree.json` (`bench_tree` binary).
+//!   `BENCH_tree.json` (`bench_tree` binary);
+//! * [`run_serve_bench`] — `rip_serve` service throughput at 1/4/16
+//!   concurrent connections with byte-identity verification against an
+//!   in-process reference engine, written to `BENCH_serve.json`
+//!   (`bench_serve` binary).
 //!
 //! All are also reachable as `rip bench` from the CLI, which is what
 //! CI's bench-regression job runs against the committed baselines.
@@ -38,11 +42,13 @@
 pub mod batch_bench;
 pub mod frontier_bench;
 pub mod harness;
+pub mod serve_bench;
 pub mod stats;
 pub mod tree_bench;
 
 pub use batch_bench::{run_batch_bench, BatchBenchConfig, BatchBenchReport};
 pub use frontier_bench::{run_frontier_bench, FrontierBenchConfig, FrontierBenchReport};
+pub use serve_bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport, ServeLevel};
 pub use tree_bench::{run_tree_bench, TreeBenchConfig, TreeBenchReport};
 
 use std::path::PathBuf;

@@ -1,6 +1,7 @@
 //! CLI command implementations, separated from I/O for testability.
 
 use crate::netfile::{format_net, parse_net, ParseError};
+use crate::treefile::{format_tree_file, parse_tree_file};
 use rip_core::{BaselineConfig, BatchTarget, Engine, RipError, TreeRipConfig};
 use rip_delay::{assignment_power, RcTree};
 use rip_net::{NetGenerator, RandomNetConfig, RandomTreeConfig, TreeNetGenerator, TwoPinNet};
@@ -23,6 +24,18 @@ pub enum CliError {
     /// A benchmark regressed past the allowed tolerance
     /// (`rip bench --check-baseline`).
     BenchRegression(String),
+    /// One or more nets in a batch failed to solve. The rendered table
+    /// (with the per-net failure rows) is carried along so the binary
+    /// can still print it before exiting nonzero.
+    BatchFailed {
+        /// The full batch report, including the failure rows.
+        report: String,
+        /// How many nets failed.
+        failed: usize,
+    },
+    /// The serve/client protocol failed (bad response, refused
+    /// connection, server-side error).
+    Protocol(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -33,6 +46,10 @@ impl std::fmt::Display for CliError {
             CliError::Solve(e) => write!(f, "solver error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::BenchRegression(msg) => write!(f, "bench regression: {msg}"),
+            CliError::BatchFailed { failed, .. } => {
+                write!(f, "batch failed: {failed} net(s) did not solve")
+            }
+            CliError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }
@@ -177,18 +194,91 @@ pub fn cmd_generate(seed: u64, count: usize) -> Result<Vec<String>, CliError> {
     Ok(nets.iter().map(format_net).collect())
 }
 
+/// `rip generate --tree`: emit `count` random multi-sink tree nets in
+/// the `.tree` format (see [`parse_tree_file`]).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for a zero count.
+pub fn cmd_generate_trees(seed: u64, count: usize) -> Result<Vec<String>, CliError> {
+    if count == 0 {
+        return Err(CliError::Usage("count must be at least 1".into()));
+    }
+    let nets = TreeNetGenerator::suite(RandomTreeConfig::default(), seed, count)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok(nets.iter().map(format_tree_file).collect())
+}
+
+/// `rip solve --tree`: run the hybrid tree pipeline on a `.tree`
+/// description (driver width comes from the file).
+///
+/// # Errors
+///
+/// Returns [`CliError::Parse`] for bad input and [`CliError::Solve`] for
+/// infeasible targets.
+pub fn cmd_solve_tree(tree_text: &str, target: Target) -> Result<String, CliError> {
+    let net = parse_tree_file(tree_text)?;
+    let engine = Engine::paper(Technology::generic_180nm());
+    let config = TreeRipConfig::paper();
+    let tree = RcTree::from_tree_net(&net, engine.technology().device());
+    let driver = net.driver_width();
+    let target_fs = match target {
+        Target::Ns(ns) => fs_from_ns(ns),
+        Target::Multiplier(m) => m * engine.tree_tau_min(&tree, driver, &config),
+    };
+    let outcome = engine.solve_tree(&tree, driver, target_fs, &config)?;
+    let sol = &outcome.solution;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tree: {:.1} mm total wire, {} node(s), {} sink(s)",
+        net.total_length() / 1000.0,
+        net.len(),
+        net.sinks().len()
+    );
+    let _ = writeln!(
+        out,
+        "target: {:.4} ns   achieved: {:.4} ns",
+        ns_from_fs(target_fs),
+        ns_from_fs(sol.delay_fs)
+    );
+    let buffers: Vec<(usize, f64)> = sol
+        .buffer_widths
+        .iter()
+        .enumerate()
+        .filter_map(|(v, w)| w.map(|w| (v, w)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "buffers: {}   total width: {:.0} u",
+        buffers.len(),
+        sol.total_width
+    );
+    for (v, w) in &buffers {
+        let _ = writeln!(
+            out,
+            "  node {v:4}   {:9.1} um from root   w = {w:5.0} u",
+            outcome.fine_tree.root_distance(*v)
+        );
+    }
+    Ok(out)
+}
+
 /// `rip batch`: solve many nets through one [`Engine`] session and render
 /// a per-net + aggregate power/delay table.
 ///
 /// Takes `(label, net text)` pairs so the command stays I/O-free; the
 /// binary supplies file names or generated-net labels. Nets that cannot
-/// meet their target are reported in the table (status `infeasible`)
-/// rather than failing the whole batch.
+/// meet their target are reported in the table (status `infeasible`),
+/// and the batch then fails with [`CliError::BatchFailed`] carrying the
+/// full report — so scripts get a nonzero exit code while humans still
+/// see every per-net row.
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Parse`] (with the offending label in the message)
-/// for bad input and [`CliError::Usage`] for an empty batch.
+/// for bad input, [`CliError::Usage`] for an empty batch, and
+/// [`CliError::BatchFailed`] when any net fails to solve.
 pub fn cmd_batch(named_nets: &[(String, String)], target: Target) -> Result<String, CliError> {
     if named_nets.is_empty() {
         return Err(CliError::Usage("batch needs at least one net".into()));
@@ -296,26 +386,47 @@ pub fn cmd_batch(named_nets: &[(String, String)], target: Target) -> Result<Stri
         stats.hits(),
         stats.misses()
     );
+    if infeasible > 0 {
+        return Err(CliError::BatchFailed {
+            report: out,
+            failed: infeasible,
+        });
+    }
     Ok(out)
 }
 
-/// `rip batch --tree`: solve a generated multi-sink tree suite through
+/// `rip batch --tree`: solve a batch of `.tree` descriptions through
 /// one [`Engine`] session ([`Engine::solve_tree_batch`]) and render a
 /// per-tree + aggregate table.
 ///
-/// Trees that cannot meet their target are reported in the table
-/// (status `infeasible`) rather than failing the whole batch.
+/// Takes `(label, tree text)` pairs like [`cmd_batch`]; the binary
+/// supplies `.tree` file names ([`crate::parse_tree_file`]) or
+/// generated-tree labels. Trees that cannot meet their target are
+/// reported in the table (status `infeasible`) and the batch then fails
+/// with [`CliError::BatchFailed`] carrying the full report.
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Usage`] for a zero count and [`CliError::Solve`]
-/// for solver failures other than infeasible targets.
-pub fn cmd_batch_tree(seed: u64, count: usize, target: Target) -> Result<String, CliError> {
-    if count == 0 {
-        return Err(CliError::Usage("count must be at least 1".into()));
+/// Returns [`CliError::Parse`] (with the offending label in the
+/// message) for bad input, [`CliError::Usage`] for an empty batch,
+/// [`CliError::BatchFailed`] when any tree fails to solve, and
+/// [`CliError::Solve`] for solver failures other than infeasible
+/// targets.
+pub fn cmd_batch_tree(
+    named_trees: &[(String, String)],
+    target: Target,
+) -> Result<String, CliError> {
+    if named_trees.is_empty() {
+        return Err(CliError::Usage("batch needs at least one tree".into()));
     }
-    let nets = TreeNetGenerator::suite(RandomTreeConfig::default(), seed, count)
-        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let mut nets = Vec::with_capacity(named_trees.len());
+    for (label, text) in named_trees {
+        let net = parse_tree_file(text).map_err(|e| ParseError {
+            line: e.line,
+            reason: format!("tree {label:?}: {}", e.reason),
+        })?;
+        nets.push(net);
+    }
     let engine = Engine::paper(Technology::generic_180nm());
     let config = TreeRipConfig::paper();
     let trees: Vec<(RcTree, f64)> = nets
@@ -356,13 +467,12 @@ pub fn cmd_batch_tree(seed: u64, count: usize, target: Target) -> Result<String,
     let mut total_width = 0.0;
     let mut total_bufs = 0usize;
     let mut infeasible = 0usize;
-    for (i, ((net, (tree, _)), (outcome, target_fs))) in nets
+    for (((label, _), (net, (tree, _))), (outcome, target_fs)) in named_trees
         .iter()
-        .zip(&trees)
+        .zip(nets.iter().zip(&trees))
         .zip(outcomes.iter().zip(&targets))
-        .enumerate()
     {
-        let label = format!("tree_{seed}_{i:02}");
+        let label = label.clone();
         match outcome {
             Ok(out) => {
                 let sol = &out.solution;
@@ -418,6 +528,12 @@ pub fn cmd_batch_tree(seed: u64, count: usize, target: Target) -> Result<String,
         stats.hits(),
         stats.misses()
     );
+    if infeasible > 0 {
+        return Err(CliError::BatchFailed {
+            report: out,
+            failed: infeasible,
+        });
+    }
     Ok(out)
 }
 
@@ -426,12 +542,13 @@ pub fn cmd_batch_tree(seed: u64, count: usize, target: Target) -> Result<String,
 pub struct BenchOptions {
     /// Reduced smoke-run workloads (CI uses this).
     pub quick: bool,
-    /// Compare fresh results against the committed `BENCH_*.json`
-    /// baselines and fail on regression.
+    /// Check the machine-independent regression gates (in-process
+    /// speedup ratios, byte identity, serve hit rate) and fail on
+    /// regression.
     pub check_baseline: bool,
-    /// Allowed fractional regression of absolute throughput before
-    /// failing (default 0.25 — machines differ; the in-process
-    /// `speedup_vs_reference` ratio is gated much tighter).
+    /// Allowed slack on the batch-vs-sequential ratio gate (default
+    /// 0.25: on a single-core runner the batch engine's only edge is
+    /// cache reuse, so the ratio sits near 1.0 by construction).
     pub tolerance: f64,
 }
 
@@ -446,97 +563,87 @@ impl Default for BenchOptions {
 }
 
 /// `rip bench`: run the statistical benchmark suite (DP frontier, batch
-/// engine, tree workload), write `BENCH_dp_frontier.json` /
-/// `BENCH_batch.json` / `BENCH_tree.json` at the workspace root, and
-/// optionally gate against the committed baselines.
+/// engine, tree workload, solver service), write
+/// `BENCH_dp_frontier.json` / `BENCH_batch.json` / `BENCH_tree.json` /
+/// `BENCH_serve.json` at the workspace root, and optionally run the
+/// regression gates.
 ///
 /// This is the one command behind every performance claim in the
 /// repository: the committed JSONs are regenerated by it, and CI's
-/// bench-regression job runs it with `--check-baseline` at full scale
-/// (`--quick` runs skip the absolute gate — their workload does not
-/// match the committed baselines — but still gate the in-process
-/// speedup ratios).
+/// bench-regression job runs it with `--check-baseline` at full scale.
+/// Every gate is machine-independent — in-process speedup ratios, byte
+/// identity, and the service's warm-cache hit rate; the absolute
+/// throughput numbers (nets/s, trees/s, requests/s) are recorded in the
+/// JSON for trend-watching only, because they track the CI runner class
+/// more than the code (the old ±25 % absolute legs flaked on runner
+/// changes — see the ROADMAP's runner-variance note).
 ///
 /// # Errors
 ///
-/// * [`CliError::BenchRegression`] when `--check-baseline` finds
-///   throughput below `(1 - tolerance) ×` baseline, a DP engine slower
-///   than its in-process reference, or the batch engine behind the
-///   sequential pass beyond the tolerance;
+/// * [`CliError::BenchRegression`] when any solution is not
+///   byte-identical to its reference, or when `--check-baseline` finds
+///   a DP engine slower than its in-process reference, the batch engine
+///   behind the sequential pass beyond the tolerance, or the service's
+///   warm hit rate below 50 %;
 /// * [`CliError::Io`] when the JSON artifacts cannot be written.
 pub fn cmd_bench(opts: &BenchOptions) -> Result<String, CliError> {
     let root = rip_bench::workspace_root();
     // The canonical files are the committed full-scale baselines; quick
-    // runs read them for the gate but write their own `.quick.json`
-    // sibling so a smoke run can never silently replace a baseline.
-    let frontier_path = root.join("BENCH_dp_frontier.json");
-    let batch_path = root.join("BENCH_batch.json");
-    let tree_path = root.join("BENCH_tree.json");
-    let (frontier_out, batch_out, tree_out) = if opts.quick {
-        (
-            root.join("BENCH_dp_frontier.quick.json"),
-            root.join("BENCH_batch.quick.json"),
-            root.join("BENCH_tree.quick.json"),
-        )
-    } else {
-        (frontier_path.clone(), batch_path.clone(), tree_path.clone())
+    // runs write their own `.quick.json` sibling so a smoke run can
+    // never silently replace a baseline.
+    let name = |base: &str| {
+        if opts.quick {
+            root.join(format!("{base}.quick.json"))
+        } else {
+            root.join(format!("{base}.json"))
+        }
     };
+    let frontier_out = name("BENCH_dp_frontier");
+    let batch_out = name("BENCH_batch");
+    let tree_out = name("BENCH_tree");
+    let serve_out = name("BENCH_serve");
 
-    // Read the committed baselines *before* overwriting them.
-    let read_baseline = |path: &std::path::Path, key: &str| -> Option<f64> {
-        let text = std::fs::read_to_string(path).ok()?;
-        rip_bench::stats::read_json_number(&text, key)
-    };
-    // Absolute throughput is only comparable at matching workload scale:
-    // a `--quick` run must not be judged against a committed full-size
-    // baseline (per-net overheads differ), so each baseline carries its
-    // workload size (`nets` or `trees`) and mismatched scales skip the
-    // absolute gate (the in-process speedup ratios are always gated).
-    let scale_matched =
-        |path: &std::path::Path, scale_key: &str, fresh_scale: usize, key: &str| -> Option<f64> {
-            match read_baseline(path, scale_key) {
-                Some(n) if n == fresh_scale as f64 => read_baseline(path, key),
-                _ => None,
-            }
-        };
-
-    let frontier_config = rip_bench::FrontierBenchConfig::preset(opts.quick);
-    let batch_config = rip_bench::BatchBenchConfig::preset(opts.quick);
-    let tree_config = rip_bench::TreeBenchConfig::preset(opts.quick);
-    let base_frontier_nps = scale_matched(
-        &frontier_path,
-        "nets",
-        frontier_config.nets,
-        "frontier_nets_per_s",
-    );
-    let base_batch_nps = scale_matched(&batch_path, "nets", batch_config.nets, "batch_nets_per_s");
-    let base_tree_tps = scale_matched(
-        &tree_path,
-        "trees",
-        tree_config.trees,
-        "frontier_trees_per_s",
-    );
-
-    let frontier = rip_bench::run_frontier_bench(frontier_config);
-    let batch = rip_bench::run_batch_bench(batch_config);
-    let tree = rip_bench::run_tree_bench(tree_config);
+    let frontier =
+        rip_bench::run_frontier_bench(rip_bench::FrontierBenchConfig::preset(opts.quick));
+    let batch = rip_bench::run_batch_bench(rip_bench::BatchBenchConfig::preset(opts.quick));
+    let tree = rip_bench::run_tree_bench(rip_bench::TreeBenchConfig::preset(opts.quick));
+    let serve = rip_bench::run_serve_bench(rip_bench::ServeBenchConfig::preset(opts.quick));
 
     std::fs::write(&frontier_out, frontier.to_json())?;
     std::fs::write(&batch_out, batch.to_json())?;
     std::fs::write(&tree_out, tree.to_json())?;
+    std::fs::write(&serve_out, serve.to_json())?;
 
     let mut out = String::new();
     let _ = writeln!(out, "{}", frontier.summary_text());
     let _ = writeln!(out, "{}", batch.summary_text());
     let _ = writeln!(out, "{}", tree.summary_text());
-    let _ = writeln!(out, "wrote {}", frontier_out.display());
-    let _ = writeln!(out, "wrote {}", batch_out.display());
-    let _ = writeln!(out, "wrote {}", tree_out.display());
+    let _ = writeln!(out, "{}", serve.summary_text());
+    for path in [&frontier_out, &batch_out, &tree_out, &serve_out] {
+        let _ = writeln!(out, "wrote {}", path.display());
+    }
 
     if !frontier.byte_identical || !batch.byte_identical || !tree.byte_identical {
         return Err(CliError::BenchRegression(
             "benchmark equivalence check failed: solutions are not byte-identical".into(),
         ));
+    }
+    if !serve.byte_identical {
+        return Err(CliError::BenchRegression(
+            "serve equivalence check failed: responses are not byte-identical to the \
+             in-process engine"
+                .into(),
+        ));
+    }
+    if serve.request_errors > 0 {
+        // Kept distinct from the identity check: a failed request (ok:
+        // false) is a service bug, not a determinism break, and the
+        // investigator should start at the failing request, not the
+        // byte-identity machinery.
+        return Err(CliError::BenchRegression(format!(
+            "serve requests failed: {} response(s) were not ok",
+            serve.request_errors
+        )));
     }
 
     if opts.check_baseline {
@@ -570,47 +677,28 @@ pub fn cmd_bench(opts: &BenchOptions) -> Result<String, CliError> {
                 batch.speedup()
             ));
         }
-        // Absolute-throughput gates against the committed baselines,
-        // with a wide tolerance for machine variance.
-        let floor = 1.0 - opts.tolerance;
-        let mut check_abs =
-            |label: &str, unit: &str, fresh: f64, baseline: Option<f64>| match baseline {
-                Some(base) if fresh < base * floor => failures.push(format!(
-                    "{label} {fresh:.3} {unit} < {:.3} ({:.0}% of baseline {base:.3})",
-                    base * floor,
-                    floor * 100.0
-                )),
-                Some(base) => {
-                    let _ = writeln!(
-                        out,
-                        "check {label}: {fresh:.3} {unit} vs baseline {base:.3} (floor {:.3}) ok",
-                        base * floor
-                    );
-                }
-                None => {
-                    let _ = writeln!(
-                        out,
-                        "check {label}: no scale-matched committed baseline, skipped"
-                    );
-                }
-            };
-        check_abs(
-            "frontier_nets_per_s",
-            "nets/s",
+        // The serve workload replays the same request script, so the
+        // shared engine must be hitting its caches heavily; a cold hit
+        // rate here means the service lost its amortization (e.g. a
+        // cache keyed too finely, or eviction gone wild).
+        if serve.hit_rate < 0.5 {
+            failures.push(format!(
+                "serve hit_rate {:.3} < 0.5 (the shared engine stopped amortizing)",
+                serve.hit_rate
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "absolute throughput recorded for trends only (not gated): \
+             {:.2} nets/s frontier, {:.2} nets/s batch, {:.2} trees/s, {:.2} req/s serve",
             frontier.frontier_nets_per_s(),
-            base_frontier_nps,
-        );
-        check_abs(
-            "batch_nets_per_s",
-            "nets/s",
             batch.batch_nets_per_s(),
-            base_batch_nps,
-        );
-        check_abs(
-            "frontier_trees_per_s",
-            "trees/s",
             tree.frontier_trees_per_s(),
-            base_tree_tps,
+            serve
+                .levels
+                .last()
+                .map(|l| l.requests_per_s())
+                .unwrap_or(0.0),
         );
         if !failures.is_empty() {
             return Err(CliError::BenchRegression(failures.join("; ")));
@@ -626,19 +714,31 @@ pub fn usage() -> &'static str {
 
 USAGE:
     rip solve    <net-file> (--target-ns <x> | --target-mult <m>)
+    rip solve    --tree <tree-file> (--target-ns <x> | --target-mult <m>)
     rip baseline <net-file> (--target-ns <x> | --target-mult <m>) --granularity <g_u>
     rip tmin     <net-file>
     rip batch    (--dir <dir> | --seed <n> --count <k>) (--target-ns <x> | --target-mult <m>)
-    rip batch    --tree [--seed <n>] --count <k> (--target-ns <x> | --target-mult <m>)
-    rip generate --seed <n> --count <k> [--out-dir <dir>]
+    rip batch    --tree (--dir <dir> | [--seed <n>] --count <k>) (--target-ns <x> | --target-mult <m>)
+    rip generate [--tree] --seed <n> --count <k> [--out-dir <dir>]
     rip bench    [--quick] [--check-baseline] [--tolerance <frac>]
+    rip serve    [--port <p>] [--workers <n>] [--cache-cap <n>] [--value-cache-cap <n>]
+    rip client   <addr> [--smoke | --shutdown]   # reads JSON lines from stdin otherwise
     rip help
+
+`rip batch` exits nonzero when any net in the batch fails to solve (the
+per-net table, including the failure rows, is still printed).
 
 NET FILE FORMAT (text, '#' comments):
     driver 140                 # driver width, u (optional)
     receiver 60                # receiver width, u (optional)
     segment 3000 0.08 0.20     # length_um r_per_um c_per_um
     zone 5000 8000             # forbidden zone, um from source
+
+TREE FILE FORMAT (text, '#' comments; node lines append nodes 1, 2, ...):
+    driver 140                 # driver width, u (optional)
+    node 0 0.08 0.20 1500      # parent r_per_um c_per_um length_um
+    node 1 0.06 0.18 2000 sink 60
+    node 1 0.08 0.20 1200 blocked
 "
 }
 
@@ -722,23 +822,37 @@ zone 4000 7000
     }
 
     #[test]
-    fn batch_reports_infeasible_nets_without_failing() {
+    fn batch_with_infeasible_nets_fails_but_carries_the_report() {
         let nets: Vec<(String, String)> = cmd_generate(7, 2)
             .unwrap()
             .into_iter()
             .enumerate()
             .map(|(i, text)| (format!("net_{i:02}"), text))
             .collect();
-        // An impossibly tight absolute target: every net is infeasible,
-        // but the batch still renders.
-        let report = cmd_batch(&nets, Target::Ns(1e-6)).unwrap();
+        // An impossibly tight absolute target: every net is infeasible.
+        // The batch exits with an error (nonzero exit code from the
+        // binary) whose report still renders every per-net row.
+        let err = cmd_batch(&nets, Target::Ns(1e-6)).unwrap_err();
+        let CliError::BatchFailed { report, failed } = err else {
+            panic!("expected BatchFailed, got {err:?}");
+        };
+        assert_eq!(failed, 2);
         assert!(report.contains("infeasible"));
         assert!(report.contains("0/2 ok"));
     }
 
+    fn generated_trees(seed: u64, count: usize) -> Vec<(String, String)> {
+        cmd_generate_trees(seed, count)
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(i, text)| (format!("tree_{seed}_{i:02}"), text))
+            .collect()
+    }
+
     #[test]
     fn tree_batch_renders_per_tree_rows_and_aggregate() {
-        let report = cmd_batch_tree(7, 2, Target::Multiplier(1.4)).unwrap();
+        let report = cmd_batch_tree(&generated_trees(7, 2), Target::Multiplier(1.4)).unwrap();
         assert!(report.contains("tree_7_00"));
         assert!(report.contains("tree_7_01"));
         assert!(report.contains("TOTAL"));
@@ -747,18 +861,52 @@ zone 4000 7000
     }
 
     #[test]
-    fn tree_batch_reports_infeasible_trees_without_failing() {
-        let report = cmd_batch_tree(7, 2, Target::Ns(1e-6)).unwrap();
+    fn tree_batch_with_infeasible_trees_fails_but_carries_the_report() {
+        let err = cmd_batch_tree(&generated_trees(7, 2), Target::Ns(1e-6)).unwrap_err();
+        let CliError::BatchFailed { report, failed } = err else {
+            panic!("expected BatchFailed, got {err:?}");
+        };
+        assert_eq!(failed, 2);
         assert!(report.contains("infeasible"));
         assert!(report.contains("0/2 ok"));
     }
 
     #[test]
-    fn tree_batch_rejects_zero_count() {
+    fn tree_batch_rejects_empty_and_bad_input() {
         assert!(matches!(
-            cmd_batch_tree(7, 0, Target::Ns(1.0)),
+            cmd_batch_tree(&[], Target::Ns(1.0)),
             Err(CliError::Usage(_))
         ));
+        let bad = vec![("broken".to_string(), "node oops\n".to_string())];
+        let err = cmd_batch_tree(&bad, Target::Ns(1.0)).unwrap_err();
+        match &err {
+            CliError::Parse(e) => assert_eq!(e.line, 1),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn solve_tree_reports_buffers_and_meets_target() {
+        let tree_text = cmd_generate_trees(5, 1).unwrap().remove(0);
+        let report = cmd_solve_tree(&tree_text, Target::Multiplier(1.4)).unwrap();
+        assert!(report.contains("tree:"));
+        assert!(report.contains("buffers:"));
+        assert!(report.contains("total width"));
+        let err = cmd_solve_tree(&tree_text, Target::Ns(1e-6)).unwrap_err();
+        assert!(matches!(err, CliError::Solve(_)));
+    }
+
+    #[test]
+    fn generate_trees_is_deterministic_and_parses_back() {
+        let a = cmd_generate_trees(7, 3).unwrap();
+        let b = cmd_generate_trees(7, 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        for text in &a {
+            crate::treefile::parse_tree_file(text).unwrap();
+        }
+        assert!(matches!(cmd_generate_trees(7, 0), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! implementations.
 
 use rip_cli::{
-    cmd_baseline, cmd_batch, cmd_batch_tree, cmd_bench, cmd_generate, cmd_solve, cmd_tmin, usage,
-    BenchOptions, CliError, Target,
+    cmd_baseline, cmd_batch, cmd_batch_tree, cmd_bench, cmd_client, cmd_generate,
+    cmd_generate_trees, cmd_serve, cmd_solve, cmd_solve_tree, cmd_tmin, usage, BenchOptions,
+    CliError, ClientOptions, ServeOptions, Target,
 };
 use std::process::ExitCode;
 
@@ -13,6 +14,21 @@ fn main() -> ExitCode {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
+        }
+        // A failed batch still prints its full per-net report; only the
+        // exit code and a one-line summary signal the failure (no usage
+        // dump — the command line was fine).
+        Err(CliError::BatchFailed { report, failed }) => {
+            print!("{report}");
+            eprintln!("rip: batch failed: {failed} net(s) did not solve");
+            ExitCode::FAILURE
+        }
+        // A protocol failure means the command line was fine and the
+        // service misbehaved — the usage dump would only bury the
+        // failing request/response.
+        Err(e @ CliError::Protocol(_)) => {
+            eprintln!("rip: {e}");
+            ExitCode::FAILURE
         }
         Err(e) => {
             eprintln!("rip: {e}");
@@ -27,10 +43,19 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("solve") => {
-            let (file, flags) = split_flags(it)?;
+            let rest: Vec<&str> = it.collect();
+            let (tree_mode, rest) = match rest.split_first() {
+                Some((&"--tree", tail)) => (true, tail.to_vec()),
+                _ => (false, rest),
+            };
+            let (file, flags) = split_flags(rest.into_iter())?;
             let target = parse_target(&flags)?;
             let text = std::fs::read_to_string(&file)?;
-            cmd_solve(&text, target)
+            if tree_mode {
+                cmd_solve_tree(&text, target)
+            } else {
+                cmd_solve(&text, target)
+            }
         }
         Some("baseline") => {
             let (file, flags) = split_flags(it)?;
@@ -51,23 +76,32 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let flags: Vec<String> = it.map(String::from).collect();
             let target = parse_target(&flags)?;
             if flags.iter().any(|f| f == "--tree") {
-                if flag_value(&flags, "--dir")?.is_some() {
-                    return Err(CliError::Usage(
-                        "--tree batches are generated; --dir is not supported".into(),
-                    ));
-                }
-                let seed = flag_value(&flags, "--seed")?
-                    .unwrap_or_else(|| "2005".into())
-                    .parse::<u64>()
-                    .map_err(|_| CliError::Usage("seed must be an integer".into()))?;
-                let count = flag_value(&flags, "--count")?
-                    .ok_or_else(|| CliError::Usage("batch --tree needs --count <k>".into()))?
-                    .parse::<usize>()
-                    .map_err(|_| CliError::Usage("count must be an integer".into()))?;
-                return cmd_batch_tree(seed, count, target);
+                let named_trees = match flag_value(&flags, "--dir")? {
+                    Some(dir) => read_labeled_dir(&dir, "tree")?,
+                    None => {
+                        let seed = flag_value(&flags, "--seed")?
+                            .unwrap_or_else(|| "2005".into())
+                            .parse::<u64>()
+                            .map_err(|_| CliError::Usage("seed must be an integer".into()))?;
+                        let count = flag_value(&flags, "--count")?
+                            .ok_or_else(|| {
+                                CliError::Usage(
+                                    "batch --tree needs --dir <dir> or --count <k>".into(),
+                                )
+                            })?
+                            .parse::<usize>()
+                            .map_err(|_| CliError::Usage("count must be an integer".into()))?;
+                        cmd_generate_trees(seed, count)?
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, text)| (format!("tree_{seed}_{i:02}"), text))
+                            .collect()
+                    }
+                };
+                return cmd_batch_tree(&named_trees, target);
             }
             let named_nets = match flag_value(&flags, "--dir")? {
-                Some(dir) => read_net_dir(&dir)?,
+                Some(dir) => read_labeled_dir(&dir, "net")?,
                 None => {
                     let seed = flag_value(&flags, "--seed")?
                         .unwrap_or_else(|| "2005".into())
@@ -98,13 +132,18 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .unwrap_or_else(|| "1".into())
                 .parse::<usize>()
                 .map_err(|_| CliError::Usage("count must be an integer".into()))?;
-            let nets = cmd_generate(seed, count)?;
+            let tree_mode = flags.iter().any(|f| f == "--tree");
+            let (nets, kind, ext) = if tree_mode {
+                (cmd_generate_trees(seed, count)?, "tree", "tree")
+            } else {
+                (cmd_generate(seed, count)?, "net", "net")
+            };
             match flag_value(&flags, "--out-dir")? {
                 Some(dir) => {
                     std::fs::create_dir_all(&dir)?;
                     let mut summary = String::new();
                     for (i, text) in nets.iter().enumerate() {
-                        let path = format!("{dir}/net_{seed}_{i:02}.net");
+                        let path = format!("{dir}/{kind}_{seed}_{i:02}.{ext}");
                         std::fs::write(&path, text)?;
                         summary.push_str(&format!("wrote {path}\n"));
                     }
@@ -113,7 +152,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 None => {
                     let mut out = String::new();
                     for (i, text) in nets.iter().enumerate() {
-                        out.push_str(&format!("# --- net {i} ---\n{text}"));
+                        out.push_str(&format!("# --- {kind} {i} ---\n{text}"));
                     }
                     Ok(out)
                 }
@@ -137,23 +176,63 @@ fn run(args: &[String]) -> Result<String, CliError> {
             }
             cmd_bench(&opts)
         }
+        Some("serve") => {
+            let flags: Vec<String> = it.map(String::from).collect();
+            let mut opts = ServeOptions::default();
+            let parse_usize = |name: &str, v: String| {
+                v.parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("{name} must be an integer")))
+            };
+            if let Some(p) = flag_value(&flags, "--port")? {
+                opts.port = p
+                    .parse::<u16>()
+                    .map_err(|_| CliError::Usage("--port must be a port number".into()))?;
+            }
+            if let Some(w) = flag_value(&flags, "--workers")? {
+                opts.workers = parse_usize("--workers", w)?;
+                if opts.workers == 0 {
+                    return Err(CliError::Usage("--workers must be at least 1".into()));
+                }
+            }
+            if let Some(c) = flag_value(&flags, "--cache-cap")? {
+                opts.cache_cap = parse_usize("--cache-cap", c)?;
+            }
+            if let Some(c) = flag_value(&flags, "--value-cache-cap")? {
+                opts.value_cache_cap = parse_usize("--value-cache-cap", c)?;
+            }
+            cmd_serve(&opts)
+        }
+        Some("client") => {
+            let rest: Vec<String> = it.map(String::from).collect();
+            let Some(addr) = rest.first().filter(|a| !a.starts_with("--")) else {
+                return Err(CliError::Usage("client needs <addr> (host:port)".into()));
+            };
+            let opts = ClientOptions {
+                smoke: rest.iter().any(|f| f == "--smoke"),
+                shutdown: rest.iter().any(|f| f == "--shutdown"),
+            };
+            let stdin = std::io::stdin();
+            cmd_client(addr, &opts, &mut stdin.lock())
+        }
         Some("help") | Some("--help") | Some("-h") | None => Ok(usage().to_string()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
-/// Reads every `*.net` file in a directory, sorted by name for
+/// Reads every `*.{extension}` file in a directory, sorted by name for
 /// deterministic batch order.
-fn read_net_dir(dir: &str) -> Result<Vec<(String, String)>, CliError> {
+fn read_labeled_dir(dir: &str, extension: &str) -> Result<Vec<(String, String)>, CliError> {
     let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()
         .map(|entry| entry.path())
-        .filter(|p| p.extension().is_some_and(|ext| ext == "net"))
+        .filter(|p| p.extension().is_some_and(|ext| ext == extension))
         .collect();
     paths.sort();
     if paths.is_empty() {
-        return Err(CliError::Usage(format!("no .net files found in {dir:?}")));
+        return Err(CliError::Usage(format!(
+            "no .{extension} files found in {dir:?}"
+        )));
     }
     paths
         .into_iter()

@@ -1,0 +1,215 @@
+//! `rip serve` / `rip client`: the CLI face of the resident solver
+//! service (`rip_serve`).
+//!
+//! `rip serve` starts the multi-threaded TCP server over one shared
+//! [`Engine`] session and blocks until a client sends `shutdown`.
+//! `rip client` connects to a running server and either relays raw
+//! JSON request lines from stdin, runs the built-in `--smoke` script
+//! (the mixed-command health check CI uses), or sends a single
+//! `--shutdown`.
+
+use crate::commands::CliError;
+use rip_core::Engine;
+use rip_serve::{net_to_json, parse_json, start_server, Client, Json, ServeConfig, ServerHandle};
+use rip_tech::Technology;
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+/// Options for `rip serve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// TCP port to bind on 127.0.0.1 (0 picks an ephemeral port and
+    /// prints it).
+    pub port: u16,
+    /// Worker threads.
+    pub workers: usize,
+    /// Geometry-cache LRU bound (entries per cache; 0 = unbounded).
+    pub cache_cap: usize,
+    /// `τ_min`/library-cache LRU bound (entries per cache; 0 =
+    /// unbounded).
+    pub value_cache_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let defaults = ServeConfig::default();
+        Self {
+            port: 4817,
+            workers: defaults.workers,
+            cache_cap: defaults.cache_cap,
+            value_cache_cap: defaults.value_cache_cap,
+        }
+    }
+}
+
+/// Starts the server (printing the bound address on stdout immediately)
+/// and blocks until a client sends `shutdown`. Returns the session
+/// summary.
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when the bind fails (e.g. port in use).
+pub fn cmd_serve(opts: &ServeOptions) -> Result<String, CliError> {
+    let config = ServeConfig {
+        addr: format!("127.0.0.1:{}", opts.port),
+        workers: opts.workers,
+        cache_cap: opts.cache_cap,
+        value_cache_cap: opts.value_cache_cap,
+    };
+    let engine = Engine::paper(Technology::generic_180nm());
+    let server: ServerHandle = start_server(engine, &config)?;
+    // The banner must appear before the (indefinite) blocking join, so
+    // scripts can discover the port; everything else the command prints
+    // goes through the returned summary as usual.
+    println!(
+        "rip serve: listening on {} ({} worker(s), cache cap {}, value cache cap {})",
+        server.addr(),
+        config.workers,
+        config.cache_cap,
+        config.value_cache_cap
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let state = std::sync::Arc::clone(server.state());
+    server.join();
+    let stats = state.engine().stats();
+    Ok(format!(
+        "rip serve: shut down after {} request(s) over {} connection(s); \
+         engine cache hit rate {:.1}% ({} promotion(s), {} eviction(s))\n",
+        state.requests(),
+        state.connections(),
+        stats.hit_rate() * 100.0,
+        stats.promotions,
+        stats.evictions,
+    ))
+}
+
+/// Options for `rip client`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientOptions {
+    /// Run the built-in mixed-command smoke script and fail unless every
+    /// response is `ok`.
+    pub smoke: bool,
+    /// Send a single `shutdown` request.
+    pub shutdown: bool,
+}
+
+/// Connects to a running server. Relays JSON request lines from `input`
+/// unless `--smoke` or `--shutdown` was given.
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] for transport failures and
+/// [`CliError::Protocol`] when a smoke-script response is not `ok`.
+pub fn cmd_client(
+    addr: &str,
+    opts: &ClientOptions,
+    input: &mut dyn BufRead,
+) -> Result<String, CliError> {
+    let mut client = Client::connect(addr)?;
+    if opts.shutdown {
+        let response = client.request_line(r#"{"id":0,"cmd":"shutdown"}"#)?;
+        return Ok(format!("{response}\n"));
+    }
+    if opts.smoke {
+        return run_smoke(&mut client);
+    }
+    // Relay mode streams: each response is printed as it arrives, so an
+    // interactive session sees its answer immediately and a transport
+    // error later in the stream cannot discard earlier responses.
+    use std::io::Write as _;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = client.request_line(line.trim())?;
+        println!("{response}");
+        let _ = std::io::stdout().flush();
+    }
+    Ok(String::new())
+}
+
+/// The built-in smoke script: one of every command (including a small
+/// `solve_tree` and a final `shutdown`), each response required to be
+/// `ok`.
+fn run_smoke(client: &mut Client) -> Result<String, CliError> {
+    let nets: Vec<Json> = rip_net::NetGenerator::suite(rip_net::RandomNetConfig::default(), 7, 3)
+        .expect("default net distribution is valid")
+        .iter()
+        .map(net_to_json)
+        .collect();
+    // A deliberately small tree: the hybrid tree pipeline is the most
+    // expensive command, and the smoke test gates CI wall-clock.
+    let tree = r#"{"driver":120,"nodes":[[0,0.08,0.2,1200,null,false],[1,0.06,0.18,1500,60,false],[1,0.08,0.2,1000,50,true]]}"#;
+    let script = vec![
+        Json::obj([("id", Json::from(1u64)), ("cmd", Json::from("stats"))]).to_string(),
+        Json::obj([
+            ("id", Json::from(2u64)),
+            ("cmd", Json::from("tau_min")),
+            ("net", nets[0].clone()),
+        ])
+        .to_string(),
+        Json::obj([
+            ("id", Json::from(3u64)),
+            ("cmd", Json::from("solve")),
+            ("net", nets[0].clone()),
+            ("target_mult", Json::Num(1.4)),
+        ])
+        .to_string(),
+        Json::obj([
+            ("id", Json::from(4u64)),
+            ("cmd", Json::from("batch")),
+            ("nets", Json::Arr(nets.clone())),
+            ("target_mult", Json::Num(1.4)),
+        ])
+        .to_string(),
+        Json::obj([
+            ("id", Json::from(5u64)),
+            ("cmd", Json::from("compare")),
+            ("nets", Json::Arr(vec![nets[1].clone()])),
+            ("target_mult", Json::Num(1.5)),
+            ("granularity", Json::Num(20.0)),
+        ])
+        .to_string(),
+        format!(r#"{{"id":6,"cmd":"solve_tree","tree":{tree},"target_mult":1.4}}"#),
+        // Repeat the first solve: the warm path must serve from cache.
+        Json::obj([
+            ("id", Json::from(7u64)),
+            ("cmd", Json::from("solve")),
+            ("net", nets[0].clone()),
+            ("target_mult", Json::Num(1.4)),
+        ])
+        .to_string(),
+        Json::obj([("id", Json::from(8u64)), ("cmd", Json::from("stats"))]).to_string(),
+        Json::obj([("id", Json::from(9u64)), ("cmd", Json::from("shutdown"))]).to_string(),
+    ];
+    let mut out = String::new();
+    let mut solve_first = None;
+    for line in &script {
+        let response = client.request_line(line)?;
+        let value = parse_json(&response)
+            .map_err(|e| CliError::Protocol(format!("unparseable response: {e}")))?;
+        if value.get("ok") != Some(&Json::Bool(true)) {
+            return Err(CliError::Protocol(format!(
+                "smoke request failed: {line} -> {response}"
+            )));
+        }
+        // The warm repeat (id 7) must answer byte-identically to the
+        // cold solve (id 3) modulo the echoed id.
+        if line.contains("\"id\":3") {
+            solve_first = Some(response.replace("\"id\":3", ""));
+        }
+        if line.contains("\"id\":7") {
+            let warm = response.replace("\"id\":7", "");
+            if solve_first.as_deref() != Some(warm.as_str()) {
+                return Err(CliError::Protocol(
+                    "warm solve diverged from cold solve".into(),
+                ));
+            }
+        }
+        let _ = writeln!(out, "{response}");
+    }
+    let _ = writeln!(out, "smoke: {} request(s), all ok", script.len());
+    Ok(out)
+}

@@ -1,0 +1,256 @@
+//! The `.tree` text format: a minimal, diff-friendly description of a
+//! routed multi-sink tree net — the tree counterpart of the `.net`
+//! format in [`crate::parse_net`].
+//!
+//! ```text
+//! # comments start with '#'; blank lines are ignored
+//! driver 140                  # driver width, u (optional, default 120)
+//! node 0 0.08 0.20 1500       # parent r_per_um c_per_um length_um
+//! node 1 0.06 0.18 2000 sink 60
+//! node 1 0.08 0.20 1200 blocked
+//! ```
+//!
+//! Each `node` line appends one node below an already-declared parent
+//! (the implicit root is node 0, so the first `node` line creates node
+//! 1, the second node 2, and so on — parents always precede children,
+//! the same creation-order convention `rip_net::TreeNet` and
+//! `rip_delay::RcTree` use). Trailing attributes mark the node as a
+//! `sink <width_u>` (sinks must be leaves) and/or `blocked` (the tree
+//! analogue of a forbidden zone).
+//!
+//! `blocked` is parsed, validated and round-tripped
+//! ([`rip_net::TreeNet::allowed_mask`]), but the hybrid tree pipeline
+//! does not yet consume the mask — `rip solve --tree` places buffers
+//! on blocked nodes today (threading the mask through
+//! `Engine::solve_tree` is an open ROADMAP item). Masked tree solves
+//! are available at the DP layer (`rip_dp::tree_min_power`'s
+//! `allowed` parameter).
+
+use crate::netfile::ParseError;
+use rip_net::{TreeNet, TreeNetNode};
+
+/// Parses the `.tree` text format into a validated [`TreeNet`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line for syntax
+/// problems, and line 0 for whole-tree validation failures (e.g. a sink
+/// that has children, or a tree without sinks).
+///
+/// # Examples
+///
+/// ```
+/// let net = rip_cli::parse_tree_file(
+///     "driver 140\nnode 0 0.08 0.2 1500\nnode 1 0.06 0.18 2000 sink 60\n",
+/// ).unwrap();
+/// assert_eq!(net.len(), 3);
+/// assert_eq!(net.sinks(), vec![2]);
+/// assert_eq!(net.driver_width(), 140.0);
+/// ```
+pub fn parse_tree_file(text: &str) -> Result<TreeNet, ParseError> {
+    let mut driver_width = rip_net::DEFAULT_DRIVER_WIDTH;
+    let mut nodes = vec![TreeNetNode {
+        parent: None,
+        r_per_um: 0.0,
+        c_per_um: 0.0,
+        length_um: 0.0,
+        sink_width: None,
+        buffer_ok: true,
+    }];
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = parts.collect();
+        let number = |s: &str, what: &str| -> Result<f64, ParseError> {
+            s.parse::<f64>().map_err(|_| ParseError {
+                line: line_no,
+                reason: format!("invalid {what}: {s:?}"),
+            })
+        };
+        match keyword {
+            "driver" => {
+                let [w] = rest[..] else {
+                    return Err(ParseError {
+                        line: line_no,
+                        reason: "'driver' takes exactly one width".into(),
+                    });
+                };
+                driver_width = number(w, "width")?;
+            }
+            "node" => {
+                let [p, r, c, l, attrs @ ..] = &rest[..] else {
+                    return Err(ParseError {
+                        line: line_no,
+                        reason: "'node' takes <parent> <r_per_um> <c_per_um> <length_um> \
+                                 [sink <width_u>] [blocked]"
+                            .into(),
+                    });
+                };
+                let parent = p.parse::<usize>().map_err(|_| ParseError {
+                    line: line_no,
+                    reason: format!("invalid parent index: {p:?}"),
+                })?;
+                if parent >= nodes.len() {
+                    return Err(ParseError {
+                        line: line_no,
+                        reason: format!(
+                            "parent {parent} is not declared yet ({} node(s) so far)",
+                            nodes.len()
+                        ),
+                    });
+                }
+                let mut node = TreeNetNode {
+                    parent: Some(parent),
+                    r_per_um: number(r, "resistance per um")?,
+                    c_per_um: number(c, "capacitance per um")?,
+                    length_um: number(l, "length")?,
+                    sink_width: None,
+                    buffer_ok: true,
+                };
+                let mut attrs = attrs.iter();
+                while let Some(&attr) = attrs.next() {
+                    match attr {
+                        "sink" => {
+                            let Some(&w) = attrs.next() else {
+                                return Err(ParseError {
+                                    line: line_no,
+                                    reason: "'sink' takes a width".into(),
+                                });
+                            };
+                            node.sink_width = Some(number(w, "sink width")?);
+                        }
+                        "blocked" => node.buffer_ok = false,
+                        other => {
+                            return Err(ParseError {
+                                line: line_no,
+                                reason: format!(
+                                    "unknown node attribute {other:?} (expected sink/blocked)"
+                                ),
+                            });
+                        }
+                    }
+                }
+                nodes.push(node);
+            }
+            other => {
+                return Err(ParseError {
+                    line: line_no,
+                    reason: format!("unknown keyword {other:?} (expected driver/node)"),
+                });
+            }
+        }
+    }
+    TreeNet::from_nodes(nodes, driver_width).map_err(|e| ParseError {
+        line: 0,
+        reason: e.to_string(),
+    })
+}
+
+/// Renders a tree net back into the `.tree` format (inverse of
+/// [`parse_tree_file`]).
+pub fn format_tree_file(net: &TreeNet) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "driver {}", net.driver_width());
+    for node in &net.nodes()[1..] {
+        let parent = node.parent.expect("non-root nodes have parents");
+        let _ = write!(
+            out,
+            "node {parent} {} {} {}",
+            node.r_per_um, node.c_per_um, node.length_um
+        );
+        if let Some(w) = node.sink_width {
+            let _ = write!(out, " sink {w}");
+        }
+        if !node.buffer_ok {
+            let _ = write!(out, " blocked");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_net::{RandomTreeConfig, TreeNetGenerator};
+
+    const SAMPLE: &str = "\
+# a three-sink tree on metal4/metal5
+driver 140
+node 0 0.08 0.20 1500        # trunk
+node 1 0.06 0.18 2000 sink 60
+node 1 0.08 0.20 1200 blocked
+node 3 0.06 0.18 1800 sink 55
+node 3 0.08 0.20 1100 sink 44 blocked
+";
+
+    #[test]
+    fn parses_full_sample() {
+        let net = parse_tree_file(SAMPLE).unwrap();
+        assert_eq!(net.len(), 6);
+        assert_eq!(net.driver_width(), 140.0);
+        assert_eq!(net.sinks(), vec![2, 4, 5]);
+        assert_eq!(
+            net.allowed_mask(),
+            vec![true, true, true, false, true, false]
+        );
+        assert_eq!(net.nodes()[5].sink_width, Some(44.0));
+    }
+
+    #[test]
+    fn round_trips_through_format() {
+        let net = parse_tree_file(SAMPLE).unwrap();
+        let text = format_tree_file(&net);
+        let again = parse_tree_file(&text).unwrap();
+        assert_eq!(net, again);
+    }
+
+    #[test]
+    fn generated_trees_round_trip() {
+        for net in TreeNetGenerator::suite(RandomTreeConfig::default(), 2005, 5).unwrap() {
+            let text = format_tree_file(&net);
+            let again = parse_tree_file(&text).unwrap();
+            assert_eq!(net, again, "format/parse must be lossless");
+        }
+    }
+
+    #[test]
+    fn driver_defaults_when_omitted() {
+        let net = parse_tree_file("node 0 0.08 0.2 1000 sink 60\n").unwrap();
+        assert_eq!(net.driver_width(), rip_net::DEFAULT_DRIVER_WIDTH);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_tree_file("node 0 0.08 0.2\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_tree_file("node 0 0.08 0.2 1000 sink 60\nwat 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("wat"));
+        let err = parse_tree_file("node 7 0.08 0.2 1000 sink 60\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("parent"));
+        let err = parse_tree_file("node 0 0.08 0.2 1000 shiny\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("attribute"));
+    }
+
+    #[test]
+    fn whole_tree_validation_is_line_zero() {
+        // A sink with a child is only detectable once the whole tree is
+        // known.
+        let err = parse_tree_file("node 0 0.08 0.2 1000 sink 60\nnode 1 0.08 0.2 900 sink 50\n")
+            .unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.reason.contains("leaves"));
+        // No sinks at all.
+        let err = parse_tree_file("node 0 0.08 0.2 1000\n").unwrap_err();
+        assert_eq!(err.line, 0);
+    }
+}

@@ -31,9 +31,13 @@
 //! the uncached pipeline would recompute, which the batch-determinism
 //! test suite pins (`tests/engine_batch.rs`). The geometry caches
 //! (candidate grids, fine windows, tree subdivisions) can be bounded with
-//! [`Engine::set_cache_cap`]: beyond the cap the oldest entries are
-//! evicted FIFO (counted in [`EngineStats::evictions`]), trading
-//! recomputation for flat memory on unbounded streams of distinct nets.
+//! [`Engine::set_cache_cap`], and the value caches (`τ_min`, synthesized
+//! libraries) with [`Engine::set_value_cache_cap`]: beyond the cap the
+//! *least recently used* entries are evicted (hits promote, counted in
+//! [`EngineStats::promotions`]; drops in [`EngineStats::evictions`]),
+//! trading recomputation for flat memory on unbounded streams of
+//! distinct nets — the sizing knob of a resident solver service
+//! (`rip_serve`).
 
 use crate::baseline::BaselineConfig;
 use crate::compare::{summarize_savings, SavingsSummary};
@@ -51,7 +55,7 @@ use rip_net::TwoPinNet;
 use rip_refine::{refine, trim_tree_widths, RefineError, RefineOutcome, TreeTrimOutcome};
 use rip_tech::{RepeaterLibrary, TechError, Technology};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -99,7 +103,12 @@ pub struct EngineStats {
     pub nets_solved: u64,
     /// Tree solves completed (successful or not).
     pub trees_solved: u64,
-    /// Cache entries dropped by the FIFO bound ([`Engine::set_cache_cap`]).
+    /// Cache hits that moved an entry to the most-recently-used position
+    /// (LRU hit-promotes; a hit on the already-hottest entry is not
+    /// counted).
+    pub promotions: u64,
+    /// Cache entries dropped by the LRU bounds ([`Engine::set_cache_cap`],
+    /// [`Engine::set_value_cache_cap`]).
     pub evictions: u64,
 }
 
@@ -121,6 +130,17 @@ impl EngineStats {
             + self.tau_min_misses
             + self.library_misses
     }
+
+    /// Fraction of lookups served from cache (0.0 when nothing has been
+    /// looked up yet) — the service's headline amortization metric.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits() + self.misses();
+        if lookups > 0 {
+            self.hits() as f64 / lookups as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -138,6 +158,7 @@ struct Counters {
     nets_solved: AtomicU64,
     trees_solved: AtomicU64,
     evictions: AtomicU64,
+    promotions: AtomicU64,
 }
 
 /// A 64-bit fingerprint of any `Debug`-printable value, used only for
@@ -188,63 +209,178 @@ fn geometry_key(net: &TwoPinNet, extra: &impl fmt::Debug) -> String {
     key
 }
 
-/// A `HashMap` with optional FIFO eviction: keys remember their insertion
-/// order, and inserts past the cap drop the oldest entries. Eviction
-/// never changes results — a dropped entry is simply recomputed on its
-/// next lookup — so it is safe on exactly the caches whose values are
-/// pure functions of their keys (candidate grids, fine windows, tree
-/// subdivisions).
+/// Sentinel "no neighbour" slot index for [`LruCache`]'s intrusive
+/// recency list.
+const LRU_NIL: usize = usize::MAX;
+
 #[derive(Debug)]
-struct FifoCache<V> {
-    map: HashMap<String, V>,
-    order: VecDeque<String>,
+struct LruEntry<V> {
+    key: String,
+    /// `None` only while the slot sits on the free list — eviction must
+    /// drop the value immediately (the cap exists to bound memory), not
+    /// when the slot is eventually reused.
+    value: Option<V>,
+    /// Neighbour towards the most-recently-used end (`LRU_NIL` at the
+    /// head).
+    prev: usize,
+    /// Neighbour towards the least-recently-used end (`LRU_NIL` at the
+    /// tail).
+    next: usize,
+}
+
+/// A `HashMap` with recency-aware (LRU) eviction: every entry sits on an
+/// intrusive doubly-linked recency list threaded through a slab, a hit
+/// promotes the entry to the most-recently-used position in O(1), and
+/// inserts past the cap drop the *least recently used* entries — so a
+/// hot working set survives an unbounded stream of one-shot keys, which
+/// the PR 3 FIFO bound could not guarantee (a popular early entry aged
+/// out regardless of use). Eviction never changes results — a dropped
+/// entry is simply recomputed on its next lookup — so it is safe on
+/// exactly the caches whose values are pure functions of their keys.
+#[derive(Debug)]
+struct LruCache<V> {
+    /// Key → slot in `entries`.
+    map: HashMap<String, usize>,
+    /// Slot slab; freed slots are recycled via `free`.
+    entries: Vec<LruEntry<V>>,
+    free: Vec<usize>,
+    /// Most-recently-used slot (`LRU_NIL` when empty).
+    head: usize,
+    /// Least-recently-used slot (`LRU_NIL` when empty).
+    tail: usize,
 }
 
 // Derived `Default` would needlessly require `V: Default`.
-impl<V> Default for FifoCache<V> {
+impl<V> Default for LruCache<V> {
     fn default() -> Self {
         Self {
             map: HashMap::new(),
-            order: VecDeque::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            head: LRU_NIL,
+            tail: LRU_NIL,
         }
     }
 }
 
-impl<V: Clone> FifoCache<V> {
-    fn get(&self, key: &str) -> Option<&V> {
-        self.map.get(key)
+impl<V: Clone> LruCache<V> {
+    /// Entry count (test/diagnostic helper; the hot paths read
+    /// `map.len()` directly).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Detaches `slot` from the recency list without freeing it.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.entries[slot].prev, self.entries[slot].next);
+        match prev {
+            LRU_NIL => self.head = next,
+            p => self.entries[p].next = next,
+        }
+        match next {
+            LRU_NIL => self.tail = prev,
+            n => self.entries[n].prev = prev,
+        }
+    }
+
+    /// Attaches `slot` at the most-recently-used end.
+    fn push_front(&mut self, slot: usize) {
+        self.entries[slot].prev = LRU_NIL;
+        self.entries[slot].next = self.head;
+        match self.head {
+            LRU_NIL => self.tail = slot,
+            h => self.entries[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Looks up `key`; a hit promotes the entry to most-recently-used
+    /// (counted in `promotions` when the entry actually moves — a hit
+    /// on the entry already at the head is free and uncounted).
+    fn get_promote(&mut self, key: &str, promotions: &AtomicU64) -> Option<V> {
+        let &slot = self.map.get(key)?;
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+            promotions.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(
+            self.entries[slot]
+                .value
+                .clone()
+                .expect("mapped slots hold live values"),
+        )
     }
 
     /// Completes a lookup whose value was computed outside the lock:
     /// returns the existing value when another worker won the race
-    /// (`false` = hit), otherwise inserts `value`, evicts FIFO down to
-    /// `cap` entries (0 = unbounded, counting drops into `evictions`),
-    /// and returns it (`true` = miss).
-    fn finish(&mut self, key: String, value: V, cap: usize, evictions: &AtomicU64) -> (V, bool) {
-        use std::collections::hash_map::Entry;
-        match self.map.entry(key.clone()) {
-            Entry::Occupied(entry) => (entry.get().clone(), false),
-            Entry::Vacant(entry) => {
-                entry.insert(value.clone());
-                self.order.push_back(key);
-                if cap > 0 {
-                    while self.map.len() > cap {
-                        let oldest = self
-                            .order
-                            .pop_front()
-                            .expect("the order queue tracks every map entry");
-                        self.map.remove(&oldest);
-                        evictions.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                (value, true)
+    /// (`false` = hit, promoting it), otherwise inserts `value` at the
+    /// most-recently-used position, evicts LRU entries down to `cap`
+    /// (0 = unbounded, counting drops into `evictions`), and returns it
+    /// (`true` = miss).
+    fn finish(
+        &mut self,
+        key: String,
+        value: V,
+        cap: usize,
+        evictions: &AtomicU64,
+        promotions: &AtomicU64,
+    ) -> (V, bool) {
+        if let Some(existing) = self.get_promote(&key, promotions) {
+            return (existing, false);
+        }
+        let entry = LruEntry {
+            key: key.clone(),
+            value: Some(value.clone()),
+            prev: LRU_NIL,
+            next: LRU_NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot] = entry;
+                slot
+            }
+            None => {
+                self.entries.push(entry);
+                self.entries.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        if cap > 0 {
+            while self.map.len() > cap {
+                let victim = self.tail;
+                debug_assert_ne!(victim, LRU_NIL, "the recency list tracks every entry");
+                self.unlink(victim);
+                let key = std::mem::take(&mut self.entries[victim].key);
+                self.map.remove(&key);
+                self.entries[victim].value = None;
+                self.free.push(victim);
+                evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
+        (value, true)
+    }
+
+    /// Keys from most- to least-recently-used (test/diagnostic helper).
+    #[cfg(test)]
+    fn recency_order(&self) -> Vec<String> {
+        let mut keys = Vec::with_capacity(self.map.len());
+        let mut slot = self.head;
+        while slot != LRU_NIL {
+            keys.push(self.entries[slot].key.clone());
+            slot = self.entries[slot].next;
+        }
+        keys
     }
 
     fn clear(&mut self) {
         self.map.clear();
-        self.order.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.head = LRU_NIL;
+        self.tail = LRU_NIL;
     }
 }
 
@@ -286,9 +422,11 @@ fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> 
 /// A solving session: one technology, one configuration, shared caches,
 /// parallel batch entry points.
 ///
-/// Cache entries are never evicted: reuse within a batch, a target
+/// Caches are unbounded by default: reuse within a batch, a target
 /// sweep, or a bounded working set is the design point. A long-lived
-/// process solving an unbounded stream of *distinct* nets should call
+/// process solving an unbounded stream of *distinct* nets should set
+/// LRU bounds with [`Engine::set_cache_cap`] /
+/// [`Engine::set_value_cache_cap`], or call
 /// [`Engine::clear_cache`] at natural boundaries (end of a design, end
 /// of a request) to keep memory flat.
 ///
@@ -316,14 +454,16 @@ pub struct Engine {
     tech: Technology,
     config: RipConfig,
     config_hash: u64,
-    grids: Mutex<FifoCache<Arc<CandidateSet>>>,
-    windows: Mutex<FifoCache<Arc<CandidateSet>>>,
-    subdivisions: Mutex<FifoCache<Arc<RcTree>>>,
-    tau_mins: Mutex<HashMap<String, f64>>,
-    libraries: Mutex<HashMap<String, Arc<RepeaterLibrary>>>,
+    grids: Mutex<LruCache<Arc<CandidateSet>>>,
+    windows: Mutex<LruCache<Arc<CandidateSet>>>,
+    subdivisions: Mutex<LruCache<Arc<RcTree>>>,
+    tau_mins: Mutex<LruCache<f64>>,
+    libraries: Mutex<LruCache<Arc<RepeaterLibrary>>>,
     scratches: Mutex<Vec<DpScratch>>,
     tree_scratches: Mutex<Vec<TreeScratch>>,
     cache_cap: AtomicUsize,
+    value_cache_cap: AtomicUsize,
+    scratch_cap: AtomicUsize,
     counters: Counters,
 }
 
@@ -335,14 +475,16 @@ impl Engine {
             tech,
             config,
             config_hash,
-            grids: Mutex::new(FifoCache::default()),
-            windows: Mutex::new(FifoCache::default()),
-            subdivisions: Mutex::new(FifoCache::default()),
-            tau_mins: Mutex::new(HashMap::new()),
-            libraries: Mutex::new(HashMap::new()),
+            grids: Mutex::new(LruCache::default()),
+            windows: Mutex::new(LruCache::default()),
+            subdivisions: Mutex::new(LruCache::default()),
+            tau_mins: Mutex::new(LruCache::default()),
+            libraries: Mutex::new(LruCache::default()),
             scratches: Mutex::new(Vec::new()),
             tree_scratches: Mutex::new(Vec::new()),
             cache_cap: AtomicUsize::new(0),
+            value_cache_cap: AtomicUsize::new(0),
+            scratch_cap: AtomicUsize::new(0),
             counters: Counters::default(),
         }
     }
@@ -394,9 +536,10 @@ impl Engine {
 
     /// Bounds the geometry caches (candidate grids, fine windows, tree
     /// subdivisions) to at most `cap` entries **each**, evicting the
-    /// oldest entries first (FIFO) as new ones arrive; `0` (the default)
-    /// means unbounded. Evicted entries are recomputed on their next
-    /// lookup, so results never change — only
+    /// *least recently used* entries as new ones arrive (every cache hit
+    /// promotes its entry, counted in [`EngineStats::promotions`]); `0`
+    /// (the default) means unbounded. Evicted entries are recomputed on
+    /// their next lookup, so results never change — only
     /// [`EngineStats::evictions`] and the hit rate do.
     pub fn set_cache_cap(&self, cap: usize) {
         self.cache_cap.store(cap, Ordering::Relaxed);
@@ -405,6 +548,38 @@ impl Engine {
     /// The current geometry-cache bound (`0` = unbounded).
     pub fn cache_cap(&self) -> usize {
         self.cache_cap.load(Ordering::Relaxed)
+    }
+
+    /// Bounds the value caches — the `τ_min` memo and the synthesized
+    /// fine libraries — to at most `cap` entries **each**, with the same
+    /// LRU semantics as [`Engine::set_cache_cap`]; `0` (the default)
+    /// means unbounded. These maps hold one scalar / one small library
+    /// per distinct net, so they only matter at service lifetimes: a
+    /// resident server solving an unbounded stream of distinct nets sets
+    /// both caps to keep memory flat forever.
+    pub fn set_value_cache_cap(&self, cap: usize) {
+        self.value_cache_cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// The current value-cache bound (`0` = unbounded).
+    pub fn value_cache_cap(&self) -> usize {
+        self.value_cache_cap.load(Ordering::Relaxed)
+    }
+
+    /// Bounds the DP scratch pools (chain and tree) to at most `cap`
+    /// retained scratches each; `0` (the default) means unbounded —
+    /// the pool then grows to the peak number of concurrent solves.
+    /// A service sizes this to its worker-thread count so a burst of
+    /// concurrency cannot pin arena memory for the life of the process.
+    /// Excess scratches are simply dropped on return; results never
+    /// change.
+    pub fn set_scratch_cap(&self, cap: usize) {
+        self.scratch_cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// The current scratch-pool bound (`0` = unbounded).
+    pub fn scratch_cap(&self) -> usize {
+        self.scratch_cap.load(Ordering::Relaxed)
     }
 
     /// Cache-effectiveness counters so far.
@@ -423,6 +598,7 @@ impl Engine {
             nets_solved: self.counters.nets_solved.load(Ordering::Relaxed),
             trees_solved: self.counters.trees_solved.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+            promotions: self.counters.promotions.load(Ordering::Relaxed),
         }
     }
 
@@ -431,7 +607,8 @@ impl Engine {
     /// Runs `f` with a pooled [`DpScratch`]: pops one (or creates the
     /// pool's first on a cold start), and returns it afterwards so a
     /// warm batch allocates no DP working memory at all. The pool grows
-    /// to at most the peak number of concurrent solves.
+    /// to at most the peak number of concurrent solves, bounded by
+    /// [`Engine::set_scratch_cap`].
     fn with_scratch<R>(&self, f: impl FnOnce(&mut DpScratch) -> R) -> R {
         let mut scratch = self
             .scratches
@@ -440,7 +617,11 @@ impl Engine {
             .pop()
             .unwrap_or_default();
         let result = f(&mut scratch);
-        self.scratches.lock().expect("scratch pool").push(scratch);
+        let cap = self.scratch_cap.load(Ordering::Relaxed);
+        let mut pool = self.scratches.lock().expect("scratch pool");
+        if cap == 0 || pool.len() < cap {
+            pool.push(scratch);
+        }
         result
     }
 
@@ -454,14 +635,31 @@ impl Engine {
             .pop()
             .unwrap_or_default();
         let result = f(&mut scratch);
-        self.tree_scratches
-            .lock()
-            .expect("tree scratch pool")
-            .push(scratch);
+        let cap = self.scratch_cap.load(Ordering::Relaxed);
+        let mut pool = self.tree_scratches.lock().expect("tree scratch pool");
+        if cap == 0 || pool.len() < cap {
+            pool.push(scratch);
+        }
         result
     }
 
     // ---- cached precomputation -------------------------------------------
+
+    /// Looks up `key`, promoting it on a hit — the fast path of every
+    /// cached precomputation.
+    fn cache_get<V: Clone>(
+        &self,
+        cache: &Mutex<LruCache<V>>,
+        key: &str,
+        hits: &AtomicU64,
+    ) -> Option<V> {
+        let value = cache
+            .lock()
+            .expect("engine cache")
+            .get_promote(key, &self.counters.promotions)?;
+        hits.fetch_add(1, Ordering::Relaxed);
+        Some(value)
+    }
 
     /// Inserts a freshly computed value unless another worker won the
     /// race, and attributes the hit/miss to whoever actually resolved
@@ -469,43 +667,22 @@ impl Engine {
     /// workers can build the same key concurrently — only the one whose
     /// insert lands counts a miss, keeping the counters exact even
     /// under parallel batches (the hit-rate tests assert equality).
+    /// Applies `cap` with LRU eviction on insert.
     fn finish_lookup<V: Clone>(
-        cache: &Mutex<HashMap<String, V>>,
-        key: String,
-        computed: V,
-        hits: &AtomicU64,
-        misses: &AtomicU64,
-    ) -> V {
-        use std::collections::hash_map::Entry;
-        match cache.lock().expect("engine cache").entry(key) {
-            Entry::Occupied(entry) => {
-                hits.fetch_add(1, Ordering::Relaxed);
-                entry.get().clone()
-            }
-            Entry::Vacant(entry) => {
-                misses.fetch_add(1, Ordering::Relaxed);
-                entry.insert(computed).clone()
-            }
-        }
-    }
-
-    /// [`FifoCache`] analogue of [`Engine::finish_lookup`]: attributes
-    /// the hit/miss to whoever actually resolved the entry and applies
-    /// the session's FIFO cap on insert.
-    fn finish_lookup_fifo<V: Clone>(
         &self,
-        cache: &Mutex<FifoCache<V>>,
+        cache: &Mutex<LruCache<V>>,
+        cap: usize,
         key: String,
         computed: V,
         hits: &AtomicU64,
         misses: &AtomicU64,
     ) -> V {
-        let cap = self.cache_cap.load(Ordering::Relaxed);
         let (value, was_miss) = cache.lock().expect("engine cache").finish(
             key,
             computed,
             cap,
             &self.counters.evictions,
+            &self.counters.promotions,
         );
         if was_miss {
             misses.fetch_add(1, Ordering::Relaxed);
@@ -516,19 +693,19 @@ impl Engine {
     }
 
     /// The uniform candidate grid for `(net geometry, step)`, built at
-    /// most once per session (FIFO-bounded by
+    /// most once per session (LRU-bounded by
     /// [`Engine::set_cache_cap`]). Keyed on geometry only (length +
     /// zones), so nets differing in driver/receiver widths or wire
     /// parasitics share one grid.
     fn grid(&self, net: &TwoPinNet, step_um: f64) -> Arc<CandidateSet> {
         let key = geometry_key(net, &step_um.to_bits());
-        if let Some(grid) = self.grids.lock().expect("grid cache").get(&key) {
-            self.counters.grid_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(grid);
+        if let Some(grid) = self.cache_get(&self.grids, &key, &self.counters.grid_hits) {
+            return grid;
         }
         let grid = Arc::new(CandidateSet::uniform(net, step_um));
-        self.finish_lookup_fifo(
+        self.finish_lookup(
             &self.grids,
+            self.cache_cap.load(Ordering::Relaxed),
             key,
             grid,
             &self.counters.grid_hits,
@@ -548,13 +725,13 @@ impl Engine {
     ) -> Arc<CandidateSet> {
         let center_bits: Vec<u64> = centers.iter().map(|c| c.to_bits()).collect();
         let key = geometry_key(net, &(center_bits, half_slots, step_um.to_bits()));
-        if let Some(set) = self.windows.lock().expect("window cache").get(&key) {
-            self.counters.window_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(set);
+        if let Some(set) = self.cache_get(&self.windows, &key, &self.counters.window_hits) {
+            return set;
         }
         let set = Arc::new(CandidateSet::windows(net, centers, half_slots, step_um));
-        self.finish_lookup_fifo(
+        self.finish_lookup(
             &self.windows,
+            self.cache_cap.load(Ordering::Relaxed),
             key,
             set,
             &self.counters.window_hits,
@@ -569,18 +746,13 @@ impl Engine {
     /// fine site trees instead of re-subdividing.
     fn subdivision(&self, tree: &RcTree, step_um: f64) -> Arc<RcTree> {
         let key = cache_key(&(tree, step_um.to_bits()));
-        if let Some(sub) = self
-            .subdivisions
-            .lock()
-            .expect("subdivision cache")
-            .get(&key)
-        {
-            self.counters.tree_grid_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(sub);
+        if let Some(sub) = self.cache_get(&self.subdivisions, &key, &self.counters.tree_grid_hits) {
+            return sub;
         }
         let (sub, _) = tree.subdivided(step_um);
-        self.finish_lookup_fifo(
+        self.finish_lookup(
             &self.subdivisions,
+            self.cache_cap.load(Ordering::Relaxed),
             key,
             Arc::new(sub),
             &self.counters.tree_grid_hits,
@@ -589,16 +761,17 @@ impl Engine {
     }
 
     /// `τ_min` of a net under the paper's experimental setup, computed at
-    /// most once per session.
+    /// most once per session (LRU-bounded by
+    /// [`Engine::set_value_cache_cap`]).
     pub fn tau_min(&self, net: &TwoPinNet) -> f64 {
         let key = cache_key(net);
-        if let Some(&tmin) = self.tau_mins.lock().expect("tau cache").get(&key) {
-            self.counters.tau_min_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(tmin) = self.cache_get(&self.tau_mins, &key, &self.counters.tau_min_hits) {
             return tmin;
         }
         let tmin = tmin::tau_min_paper(net, self.tech.device());
-        Self::finish_lookup(
+        self.finish_lookup(
             &self.tau_mins,
+            self.value_cache_cap.load(Ordering::Relaxed),
             key,
             tmin,
             &self.counters.tau_min_hits,
@@ -620,9 +793,8 @@ impl Engine {
         upward_only: bool,
     ) -> Result<Arc<RepeaterLibrary>, TechError> {
         let key = cache_key(&(rounded.widths(), steps, upward_only, grid.to_bits()));
-        if let Some(lib) = self.libraries.lock().expect("library cache").get(&key) {
-            self.counters.library_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(lib));
+        if let Some(lib) = self.cache_get(&self.libraries, &key, &self.counters.library_hits) {
+            return Ok(lib);
         }
         let mut widths: Vec<f64> = Vec::new();
         for &w in rounded.widths() {
@@ -638,8 +810,9 @@ impl Engine {
             }
         }
         let lib = Arc::new(RepeaterLibrary::from_widths(widths)?);
-        Ok(Self::finish_lookup(
+        Ok(self.finish_lookup(
             &self.libraries,
+            self.value_cache_cap.load(Ordering::Relaxed),
             key,
             lib,
             &self.counters.library_hits,
@@ -981,8 +1154,7 @@ impl Engine {
             driver_width.to_bits(),
             config.coarse_step_um.to_bits(),
         ));
-        if let Some(&tmin) = self.tau_mins.lock().expect("tau cache").get(&key) {
-            self.counters.tau_min_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(tmin) = self.cache_get(&self.tau_mins, &key, &self.counters.tau_min_hits) {
             return tmin;
         }
         let sites = self.subdivision(tree, config.coarse_step_um);
@@ -1000,8 +1172,9 @@ impl Engine {
             .expect("min-delay tree DP cannot fail without a mask")
             .delay_fs
         });
-        Self::finish_lookup(
+        self.finish_lookup(
             &self.tau_mins,
+            self.value_cache_cap.load(Ordering::Relaxed),
             key,
             tmin,
             &self.counters.tau_min_hits,
@@ -1390,7 +1563,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_cap_evicts_fifo_and_rebuilds_identically() {
+    fn cache_cap_evicts_lru_and_rebuilds_identically() {
         let engine = engine();
         engine.set_cache_cap(2);
         assert_eq!(engine.cache_cap(), 2);
@@ -1402,10 +1575,10 @@ mod tests {
         assert_eq!(stats.grid_misses, 4);
         assert_eq!(
             stats.evictions, 2,
-            "two oldest grids must have been dropped"
+            "the two least recently used grids must have been dropped"
         );
-        assert!(engine.grids.lock().unwrap().map.len() <= 2);
-        // The newest entries survived FIFO...
+        assert!(engine.grids.lock().unwrap().len() <= 2);
+        // The newest entries survived...
         let _ = engine.grid(&nets[3], 200.0);
         assert_eq!(engine.stats().grid_hits, 1);
         // ...and an evicted geometry is rebuilt bit-identically.
@@ -1413,6 +1586,123 @@ mod tests {
         let fresh = CandidateSet::uniform(&nets[0], 200.0);
         assert_eq!(again.positions(), fresh.positions());
         assert_eq!(engine.stats().evictions, 3);
+    }
+
+    #[test]
+    fn lru_hit_promotes_and_changes_the_eviction_victim() {
+        // Under FIFO, touching nets[0] before inserting a fourth grid
+        // would not save it; under LRU it must survive while nets[1]
+        // (the actual least recently used) is evicted.
+        let engine = engine();
+        engine.set_cache_cap(3);
+        let nets = nets(41, 4);
+        for net in &nets[..3] {
+            let _ = engine.grid(net, 200.0);
+        }
+        // Promote the oldest entry...
+        let _ = engine.grid(&nets[0], 200.0);
+        let stats = engine.stats();
+        assert_eq!(stats.grid_hits, 1);
+        assert_eq!(
+            stats.promotions, 1,
+            "the hit must have moved nets[0] to most-recently-used"
+        );
+        // ...then overflow the cap: nets[1] is now the LRU victim.
+        let _ = engine.grid(&nets[3], 200.0);
+        assert_eq!(engine.stats().evictions, 1);
+        let before = engine.stats();
+        let _ = engine.grid(&nets[0], 200.0); // still cached
+        let _ = engine.grid(&nets[2], 200.0); // still cached
+        assert_eq!(engine.stats().grid_hits, before.grid_hits + 2);
+        assert_eq!(engine.stats().grid_misses, before.grid_misses);
+        let _ = engine.grid(&nets[1], 200.0); // evicted: a fresh miss
+        assert_eq!(engine.stats().grid_misses, before.grid_misses + 1);
+    }
+
+    #[test]
+    fn lru_recency_order_tracks_hits_and_inserts() {
+        let mut cache: LruCache<u32> = LruCache::default();
+        let evictions = AtomicU64::new(0);
+        let promotions = AtomicU64::new(0);
+        for (i, key) in ["a", "b", "c"].iter().enumerate() {
+            cache.finish(key.to_string(), i as u32, 0, &evictions, &promotions);
+        }
+        assert_eq!(cache.recency_order(), ["c", "b", "a"]);
+        // A hit promotes; a hit on the head is free.
+        assert_eq!(cache.get_promote("a", &promotions), Some(0));
+        assert_eq!(cache.recency_order(), ["a", "c", "b"]);
+        assert_eq!(promotions.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.get_promote("a", &promotions), Some(0));
+        assert_eq!(promotions.load(Ordering::Relaxed), 1, "head hit is free");
+        // Capacity is respected and the tail ("b") is the victim.
+        cache.finish("d".to_string(), 3, 3, &evictions, &promotions);
+        assert_eq!(cache.recency_order(), ["d", "a", "c"]);
+        assert_eq!(evictions.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.get_promote("b", &promotions), None);
+        // A lost insert race is a hit that promotes the survivor.
+        let (v, miss) = cache.finish("c".to_string(), 99, 3, &evictions, &promotions);
+        assert_eq!((v, miss), (2, false), "existing value wins the race");
+        assert_eq!(cache.recency_order(), ["c", "d", "a"]);
+        // Freed slots are recycled: len never exceeds the cap.
+        for key in ["e", "f", "g"] {
+            cache.finish(key.to_string(), 7, 3, &evictions, &promotions);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(evictions.load(Ordering::Relaxed), 4);
+        assert_eq!(cache.recency_order(), ["g", "f", "e"]);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_value_immediately() {
+        // The cap bounds *memory*, so an evicted value must be dropped
+        // at eviction time — not parked in the slab until the free slot
+        // is reused by some later insert.
+        let mut cache: LruCache<Arc<u32>> = LruCache::default();
+        let evictions = AtomicU64::new(0);
+        let promotions = AtomicU64::new(0);
+        let first = Arc::new(7u32);
+        let weak = Arc::downgrade(&first);
+        cache.finish("a".to_string(), first, 1, &evictions, &promotions);
+        assert!(weak.upgrade().is_some());
+        cache.finish("b".to_string(), Arc::new(8), 1, &evictions, &promotions);
+        assert_eq!(evictions.load(Ordering::Relaxed), 1);
+        assert!(
+            weak.upgrade().is_none(),
+            "the evicted Arc must be dropped by the eviction itself"
+        );
+    }
+
+    #[test]
+    fn value_cache_cap_bounds_tau_min_and_library_maps() {
+        let engine = engine();
+        engine.set_value_cache_cap(2);
+        assert_eq!(engine.value_cache_cap(), 2);
+        let nets = nets(9, 4);
+        for net in &nets {
+            let _ = engine.tau_min(net);
+        }
+        assert_eq!(engine.stats().tau_min_misses, 4);
+        assert!(engine.tau_mins.lock().unwrap().len() <= 2);
+        assert!(engine.stats().evictions >= 2);
+        // An evicted τ_min is recomputed to exactly the same value.
+        let again = engine.tau_min(&nets[0]);
+        assert_eq!(
+            again.to_bits(),
+            tmin::tau_min_paper(&nets[0], engine.tech.device()).to_bits()
+        );
+        // The library map obeys the same bound (engine solves populate it).
+        let _ = engine.solve_batch(&nets, &BatchTarget::TauMinMultiple(1.4));
+        assert!(engine.libraries.lock().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn scratch_cap_bounds_the_pools() {
+        let engine = engine();
+        engine.set_scratch_cap(1);
+        assert_eq!(engine.scratch_cap(), 1);
+        let nets = nets(13, 3);
+        let _ = engine.solve_batch(&nets, &BatchTarget::TauMinMultiple(1.4));
+        assert!(engine.scratches.lock().unwrap().len() <= 1);
     }
 
     #[test]

@@ -54,6 +54,75 @@ pub struct TreeNet {
 }
 
 impl TreeNet {
+    /// Builds a tree net from explicit nodes — the constructor behind
+    /// user-supplied `.tree` files (the generator builds its nets
+    /// internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidSegment`] (carrying the offending node
+    /// index) when the node list violates the [`TreeNet`] invariants:
+    /// node 0 must be the parentless root with zero-length wire, every
+    /// other node must name an earlier parent and carry a positive
+    /// finite length with positive finite RC, sinks must be leaves with
+    /// positive widths, at least one sink must exist, and the driver
+    /// width must be positive and finite.
+    pub fn from_nodes(nodes: Vec<TreeNetNode>, driver_width: f64) -> Result<Self, NetError> {
+        let fail = |index: usize, reason: &'static str| NetError::InvalidSegment { index, reason };
+        if !(driver_width.is_finite() && driver_width > 0.0) {
+            return Err(fail(0, "driver width must be positive and finite"));
+        }
+        let root = nodes
+            .first()
+            .ok_or(fail(0, "a tree net needs a root node"))?;
+        if root.parent.is_some() {
+            return Err(fail(0, "node 0 is the root and cannot have a parent"));
+        }
+        if root.length_um != 0.0 || root.r_per_um != 0.0 || root.c_per_um != 0.0 {
+            return Err(fail(0, "the root carries no wire (zero length and RC)"));
+        }
+        if root.sink_width.is_some() {
+            return Err(fail(0, "the root drives the net and cannot be a sink"));
+        }
+        let mut has_sink = false;
+        for (v, node) in nodes.iter().enumerate().skip(1) {
+            match node.parent {
+                Some(p) if p < v => {}
+                Some(_) => return Err(fail(v, "parents must precede children")),
+                None => return Err(fail(v, "only node 0 may omit a parent")),
+            }
+            let wire_ok = node.length_um.is_finite()
+                && node.length_um > 0.0
+                && node.r_per_um.is_finite()
+                && node.r_per_um > 0.0
+                && node.c_per_um.is_finite()
+                && node.c_per_um > 0.0;
+            if !wire_ok {
+                return Err(fail(v, "edges need positive finite length and RC"));
+            }
+            if let Some(w) = node.sink_width {
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(fail(v, "sink widths must be positive and finite"));
+                }
+                has_sink = true;
+            }
+        }
+        // Sinks must be leaves: no node may name a sink as its parent.
+        for (v, node) in nodes.iter().enumerate().skip(1) {
+            let p = node.parent.expect("validated above");
+            if nodes[p].sink_width.is_some() {
+                return Err(fail(v, "sinks are leaves and cannot have children"));
+            }
+        }
+        if !has_sink {
+            return Err(fail(0, "a tree net needs at least one sink"));
+        }
+        Ok(Self {
+            nodes,
+            driver_width,
+        })
+    }
+
     /// Number of nodes, including the root.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -368,6 +437,64 @@ mod tests {
             let blocked = mask.iter().filter(|ok| !**ok).count();
             assert!(blocked as f64 <= 0.25 * (net.len() - 1) as f64 + 1.0);
         }
+    }
+
+    fn leaf(parent: usize, sink_width: Option<f64>) -> TreeNetNode {
+        TreeNetNode {
+            parent: Some(parent),
+            r_per_um: 0.08,
+            c_per_um: 0.2,
+            length_um: 1500.0,
+            sink_width,
+            buffer_ok: true,
+        }
+    }
+
+    fn root() -> TreeNetNode {
+        TreeNetNode {
+            parent: None,
+            r_per_um: 0.0,
+            c_per_um: 0.0,
+            length_um: 0.0,
+            sink_width: None,
+            buffer_ok: true,
+        }
+    }
+
+    #[test]
+    fn from_nodes_accepts_generated_nets_verbatim() {
+        for net in TreeNetGenerator::suite(RandomTreeConfig::default(), 17, 5).unwrap() {
+            let rebuilt = TreeNet::from_nodes(net.nodes().to_vec(), net.driver_width()).unwrap();
+            assert_eq!(rebuilt, net);
+        }
+    }
+
+    #[test]
+    fn from_nodes_rejects_invariant_violations() {
+        // No sink at all.
+        let err = TreeNet::from_nodes(vec![root(), leaf(0, None)], 120.0);
+        assert!(err.is_err());
+        // Sink with a child.
+        let err = TreeNet::from_nodes(
+            vec![root(), leaf(0, Some(60.0)), leaf(1, Some(60.0))],
+            120.0,
+        );
+        assert!(err.is_err());
+        // Forward parent reference.
+        let err = TreeNet::from_nodes(vec![root(), leaf(2, None), leaf(1, Some(60.0))], 120.0);
+        assert!(err.is_err());
+        // Root with wire on it.
+        let mut bad_root = root();
+        bad_root.length_um = 100.0;
+        assert!(TreeNet::from_nodes(vec![bad_root, leaf(0, Some(60.0))], 120.0).is_err());
+        // Non-positive driver.
+        assert!(TreeNet::from_nodes(vec![root(), leaf(0, Some(60.0))], 0.0).is_err());
+        // Zero-length edge.
+        let mut short = leaf(0, Some(60.0));
+        short.length_um = 0.0;
+        assert!(TreeNet::from_nodes(vec![root(), short], 120.0).is_err());
+        // The minimal valid net passes.
+        assert!(TreeNet::from_nodes(vec![root(), leaf(0, Some(60.0))], 120.0).is_ok());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! A small blocking client for the service protocol: one line out, one
+//! line back. Used by the CLI's `rip client`, the load generator, the
+//! integration tests, and CI's smoke test.
+
+use crate::json::{parse_json, Json};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // Solves can take a while on cold caches, but nothing should
+        // take minutes; a generous timeout keeps a dead server from
+        // hanging scripts forever.
+        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one raw request line (newline appended) without waiting
+    /// for a response — use before dropping the connection (e.g.
+    /// `shutdown`) or followed by [`Client::read_line`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one response line (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::UnexpectedEof`] when the server closed
+    /// the connection.
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with(['\n', '\r']) {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends one raw request line and returns the raw response line —
+    /// the byte-exact round trip the loadgen's identity check compares.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn request_line(&mut self, line: &str) -> io::Result<String> {
+        self.send_line(line)?;
+        self.read_line()
+    }
+
+    /// Sends a request value and parses the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; an unparseable response becomes
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn request_value(&mut self, request: &Json) -> io::Result<Json> {
+        let response = self.request_line(&request.to_string())?;
+        parse_json(&response).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}

@@ -1,0 +1,65 @@
+//! # rip-serve — a resident solver service over one shared [`Engine`]
+//!
+//! The paper's pitch is that hybrid repeater insertion is cheap enough
+//! to sit inside an optimization loop; this crate is the subsystem that
+//! makes the reproduction *servable*: a std-only multi-threaded TCP
+//! server speaking a newline-delimited JSON protocol, with every
+//! request routed through one long-lived [`Engine`] session so
+//! candidate grids, fine windows, tree subdivisions, `τ_min` and
+//! synthesized libraries amortize across requests and connections
+//! (LRU-bounded — see [`Engine::set_cache_cap`] /
+//! [`Engine::set_value_cache_cap`] — so memory stays flat on unbounded
+//! request streams).
+//!
+//! Layers, bottom up:
+//!
+//! * [`json`] — a tiny JSON value (parser + exact-`f64` writer; the
+//!   workspace builds offline without serde);
+//! * [`protocol`] — the request router: `solve`, `solve_tree`, `batch`,
+//!   `compare`, `tau_min`, `stats`, `shutdown` over a [`ServeState`];
+//! * [`server`] — the worker threads: shared listener, clean shutdown;
+//! * [`client`] — a blocking line client;
+//! * [`loadgen`] — deterministic concurrent load with **byte-identity**
+//!   verification against an in-process reference engine (the service
+//!   analogue of the DP frozen-reference equivalence suites; the
+//!   `bench_serve` binary builds `BENCH_serve.json` from it).
+//!
+//! ```
+//! use rip_core::Engine;
+//! use rip_serve::{start_server, Client, Json, ServeConfig};
+//! use rip_tech::Technology;
+//!
+//! let config = ServeConfig { workers: 2, ..ServeConfig::default() };
+//! let server = start_server(Engine::paper(Technology::generic_180nm()), &config).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let response = client
+//!     .request_line(r#"{"id":1,"cmd":"solve","net":{"segments":[[3000,0.08,0.2]]},"target_mult":1.5}"#)
+//!     .unwrap();
+//! let value = rip_serve::parse_json(&response).unwrap();
+//! assert_eq!(value.get("ok"), Some(&Json::Bool(true)));
+//! client.send_line(r#"{"cmd":"shutdown"}"#).unwrap();
+//! server.join();
+//! ```
+//!
+//! [`Engine`]: rip_core::Engine
+//! [`Engine::set_cache_cap`]: rip_core::Engine::set_cache_cap
+//! [`Engine::set_value_cache_cap`]: rip_core::Engine::set_value_cache_cap
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod json;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use json::{parse_json, Json, JsonError};
+pub use loadgen::{
+    connection_script, fire_load, net_pool, prepare_load, run_loadgen, LoadgenConfig,
+    LoadgenOutcome, PreparedLoad, ScriptedRequest,
+};
+pub use protocol::{net_from_json, net_to_json, tree_from_json, tree_to_json, ServeState};
+pub use server::{start_server, ServeConfig, ServerHandle};

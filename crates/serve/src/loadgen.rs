@@ -1,0 +1,312 @@
+//! Deterministic load generation for the service: N concurrent
+//! connections each firing a fixed, seeded mix of `solve` / `batch` /
+//! `tau_min` / `stats` requests, with every deterministic response
+//! checked **byte-identical** against an in-process reference
+//! [`ServeState`] running the same engine configuration.
+//!
+//! The identity check is the service analogue of the DP engines'
+//! frozen-reference equivalence suites: serving must never change an
+//! answer, no matter how warm the caches are or how many connections
+//! interleave. `stats` responses are inherently racy (they read live
+//! counters) and are only checked for `ok: true`.
+//!
+//! The expected responses are rendered *before* the timed phase, so a
+//! benchmark run measures server throughput, not reference-engine
+//! throughput.
+
+use crate::client::Client;
+use crate::json::{parse_json, Json};
+use crate::protocol::{net_to_json, ServeState};
+use rip_net::{NetGenerator, RandomNetConfig, TwoPinNet};
+use std::io;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Workload shape of one loadgen run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadgenConfig {
+    /// Concurrent connections (one thread each).
+    pub connections: usize,
+    /// Requests sent per connection.
+    pub requests_per_conn: usize,
+    /// Distinct nets in the request pool (requests cycle through them,
+    /// so smaller pools produce warmer caches).
+    pub nets: usize,
+    /// Net-suite seed.
+    pub seed: u64,
+    /// Relative timing target sent with every solve.
+    pub target_mult: f64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            requests_per_conn: 32,
+            nets: 12,
+            seed: 2005,
+            target_mult: 1.4,
+        }
+    }
+}
+
+/// Result of one loadgen run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadgenOutcome {
+    /// Requests sent (across all connections).
+    pub requests: usize,
+    /// Responses that failed (`ok: false`, unparseable, or transport
+    /// errors surfaced as mismatching lines).
+    pub errors: usize,
+    /// Deterministic responses whose bytes differed from the reference.
+    pub mismatches: usize,
+    /// Deterministic responses that were byte-checked.
+    pub verified: usize,
+    /// Wall-clock of the timed phase, nanoseconds.
+    pub elapsed_ns: u128,
+}
+
+impl LoadgenOutcome {
+    /// Requests per second over the timed phase.
+    pub fn requests_per_s(&self) -> f64 {
+        self.requests as f64 / (self.elapsed_ns as f64 * 1e-9)
+    }
+
+    /// `true` when every byte-checked response matched the reference
+    /// and nothing errored.
+    pub fn clean(&self) -> bool {
+        self.errors == 0 && self.mismatches == 0
+    }
+}
+
+/// One scripted request: the raw line plus whether its response is
+/// deterministic (and therefore byte-checked against the reference).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptedRequest {
+    /// The request line (one JSON document, no newline).
+    pub line: String,
+    /// Whether the response is deterministic given the engine
+    /// configuration (everything except `stats`).
+    pub deterministic: bool,
+}
+
+/// Builds the deterministic request script of one connection.
+///
+/// The mix cycles solves over the net pool with periodic `tau_min`,
+/// 3-net `batch` and `stats` requests mixed in — connections start at
+/// different pool offsets so concurrent connections hit overlapping
+/// but not identical sequences.
+pub fn connection_script(
+    connection: usize,
+    nets: &[TwoPinNet],
+    config: &LoadgenConfig,
+) -> Vec<ScriptedRequest> {
+    (0..config.requests_per_conn)
+        .map(|k| {
+            let id = (connection * 100_000 + k) as u64;
+            let pick = |offset: usize| &nets[(connection + k + offset) % nets.len()];
+            match k % 8 {
+                5 => ScriptedRequest {
+                    line: Json::obj([("id", Json::from(id)), ("cmd", Json::from("stats"))])
+                        .to_string(),
+                    deterministic: false,
+                },
+                7 => ScriptedRequest {
+                    line: Json::obj([
+                        ("id", Json::from(id)),
+                        ("cmd", Json::from("tau_min")),
+                        ("net", net_to_json(pick(0))),
+                    ])
+                    .to_string(),
+                    deterministic: true,
+                },
+                3 => ScriptedRequest {
+                    line: Json::obj([
+                        ("id", Json::from(id)),
+                        ("cmd", Json::from("batch")),
+                        (
+                            "nets",
+                            Json::Arr(vec![
+                                net_to_json(pick(0)),
+                                net_to_json(pick(1)),
+                                net_to_json(pick(2)),
+                            ]),
+                        ),
+                        ("target_mult", Json::Num(config.target_mult)),
+                    ])
+                    .to_string(),
+                    deterministic: true,
+                },
+                _ => ScriptedRequest {
+                    line: Json::obj([
+                        ("id", Json::from(id)),
+                        ("cmd", Json::from("solve")),
+                        ("net", net_to_json(pick(0))),
+                        ("target_mult", Json::Num(config.target_mult)),
+                    ])
+                    .to_string(),
+                    deterministic: true,
+                },
+            }
+        })
+        .collect()
+}
+
+/// The deterministic net pool of a loadgen configuration.
+///
+/// # Panics
+///
+/// Panics when `config.nets` is 0 (an empty pool cannot script
+/// requests).
+pub fn net_pool(config: &LoadgenConfig) -> Vec<TwoPinNet> {
+    assert!(config.nets > 0, "the loadgen needs at least one net");
+    NetGenerator::suite(RandomNetConfig::default(), config.seed, config.nets)
+        .expect("the default net distribution is valid")
+}
+
+/// A fully prepared load: per-connection request scripts plus the
+/// pre-rendered expected response of every deterministic request.
+///
+/// Preparing once and firing many times ([`fire_load`]) is how the
+/// serve bench repeats identical timed runs without re-driving the
+/// reference engine before each one — the scripts and their answers do
+/// not change between runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedLoad {
+    /// One request script per connection.
+    pub scripts: Vec<Vec<ScriptedRequest>>,
+    /// Per-script expected response lines (`None` for unverified
+    /// requests, i.e. non-deterministic ones or when no reference was
+    /// given).
+    pub expected: Vec<Vec<Option<String>>>,
+}
+
+/// Builds the scripts for `config` and renders the expected responses
+/// through `reference` (a [`ServeState`] over an
+/// identically-configured engine; pass `None` to skip verification,
+/// e.g. for smoke tests against a remote server).
+pub fn prepare_load(reference: Option<&ServeState>, config: &LoadgenConfig) -> PreparedLoad {
+    let nets = net_pool(config);
+    let scripts: Vec<Vec<ScriptedRequest>> = (0..config.connections.max(1))
+        .map(|c| connection_script(c, &nets, config))
+        .collect();
+    let expected: Vec<Vec<Option<String>>> = scripts
+        .iter()
+        .map(|script| {
+            script
+                .iter()
+                .map(|req| {
+                    reference
+                        .filter(|_| req.deterministic)
+                        .map(|r| r.handle_line(&req.line).0.to_string())
+                })
+                .collect()
+        })
+        .collect();
+    PreparedLoad { scripts, expected }
+}
+
+/// Convenience wrapper: [`prepare_load`] + one [`fire_load`] pass.
+///
+/// # Errors
+///
+/// Returns the first transport-level error (connect/read/write); a
+/// response-level failure is counted in
+/// [`LoadgenOutcome::errors`] instead.
+pub fn run_loadgen(
+    addr: SocketAddr,
+    reference: Option<&ServeState>,
+    config: &LoadgenConfig,
+) -> io::Result<LoadgenOutcome> {
+    fire_load(addr, &prepare_load(reference, config))
+}
+
+/// Fires a prepared load once: opens one connection per script,
+/// sends every request, and byte-checks the responses that carry an
+/// expectation. Only the firing is timed.
+///
+/// # Errors
+///
+/// Returns the first transport-level error (connect/read/write); a
+/// response-level failure is counted in
+/// [`LoadgenOutcome::errors`] instead.
+pub fn fire_load(addr: SocketAddr, load: &PreparedLoad) -> io::Result<LoadgenOutcome> {
+    let PreparedLoad { scripts, expected } = load;
+    let t0 = Instant::now();
+    let results: Vec<io::Result<(usize, usize, usize)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .zip(expected)
+            .map(|(script, expected)| {
+                scope.spawn(move || -> io::Result<(usize, usize, usize)> {
+                    let mut client = Client::connect(addr)?;
+                    let (mut errors, mut mismatches, mut verified) = (0, 0, 0);
+                    for (req, expect) in script.iter().zip(expected) {
+                        let response = client.request_line(&req.line)?;
+                        let ok = parse_json(&response)
+                            .ok()
+                            .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                            .unwrap_or(false);
+                        if !ok {
+                            errors += 1;
+                        }
+                        if let Some(expect) = expect {
+                            verified += 1;
+                            if &response != expect {
+                                mismatches += 1;
+                            }
+                        }
+                    }
+                    Ok((errors, mismatches, verified))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen connection threads do not panic"))
+            .collect()
+    });
+    let elapsed_ns = t0.elapsed().as_nanos();
+
+    let mut outcome = LoadgenOutcome {
+        requests: 0,
+        errors: 0,
+        mismatches: 0,
+        verified: 0,
+        elapsed_ns: elapsed_ns.max(1),
+    };
+    for (result, script) in results.into_iter().zip(scripts) {
+        let (errors, mismatches, verified) = result?;
+        outcome.requests += script.len();
+        outcome.errors += errors;
+        outcome.mismatches += mismatches;
+        outcome.verified += verified;
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_and_mixed() {
+        let config = LoadgenConfig::default();
+        let nets = net_pool(&config);
+        let a = connection_script(0, &nets, &config);
+        let b = connection_script(0, &nets, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), config.requests_per_conn);
+        let stats = a.iter().filter(|r| r.line.contains("\"stats\"")).count();
+        let batches = a.iter().filter(|r| r.line.contains("\"batch\"")).count();
+        let taus = a.iter().filter(|r| r.line.contains("\"tau_min\"")).count();
+        assert!(stats > 0 && batches > 0 && taus > 0, "mix covers commands");
+        assert!(a.iter().filter(|r| r.line.contains("\"solve\"")).count() > stats);
+        // Different connections script different sequences.
+        assert_ne!(a, connection_script(1, &nets, &config));
+        // stats is the only non-deterministic request.
+        for req in &a {
+            assert_eq!(req.deterministic, !req.line.contains("\"stats\""));
+        }
+    }
+}

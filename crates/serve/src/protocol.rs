@@ -1,0 +1,674 @@
+//! The service protocol: newline-delimited JSON requests routed through
+//! one shared [`Engine`].
+//!
+//! One request per line, one response per line. Every request is a JSON
+//! object with a `cmd` field and an optional `id` (echoed back
+//! verbatim, so clients can pipeline). Nets and trees travel as
+//! structured JSON — the service layer deliberately does not depend on
+//! the CLI's `.net`/`.tree` text formats:
+//!
+//! ```text
+//! NET  = {"driver":140,"receiver":60,"segments":[[len_um,r,c],...],"zones":[[s,e],...]}
+//! TREE = {"driver":120,"nodes":[[parent,r,c,len_um,sink_w|null,blocked],...]}
+//! ```
+//!
+//! (`driver`/`receiver`/`zones` are optional; `nodes` excludes the
+//! implicit root 0 and appends nodes 1, 2, ... in order, parents before
+//! children; a tree node's `blocked` flag is carried and validated but
+//! not yet enforced by the hybrid tree pipeline — see the `.tree`
+//! format docs in `rip_cli`.) Exactly one of `target_fs`, `target_ns`
+//! or `target_mult` selects the timing target; `target_mult` multiplies
+//! the net's cached `τ_min`.
+//!
+//! `id` may be any JSON value and is echoed back. Note that JSON
+//! numbers travel as `f64`, so integral numeric ids beyond 2^53 lose
+//! precision on the echo — clients needing wider ids should send them
+//! as strings.
+//!
+//! | `cmd`        | request fields                | response fields                   |
+//! |--------------|-------------------------------|-----------------------------------|
+//! | `solve`      | `net`, target                 | `target_fs`, `delay_fs`, `total_width`, `repeaters: [[x_um, w_u], ...]` |
+//! | `solve_tree` | `tree`, target                | `target_fs`, `delay_fs`, `total_width`, `buffers: [[node, w_u], ...]` |
+//! | `batch`      | `nets`, target                | `results: [per-net solve result or error, ...]` |
+//! | `compare`    | `nets`, target, `granularity` | `rows: [[base_w|null, rip_w], ...]`, savings summary |
+//! | `tau_min`    | `net`                         | `tau_min_fs`                      |
+//! | `stats`      | —                             | engine + server counters          |
+//! | `shutdown`   | —                             | `stopping: true`, then the server drains |
+//!
+//! Every response carries `ok` (and `error` when `ok` is `false`).
+//! Responses are rendered deterministically — same request, same
+//! engine configuration, same bytes — which is what the loadgen's
+//! byte-identity check relies on ([`crate::loadgen`]).
+
+use crate::json::{parse_json, Json};
+use rip_core::{BaselineConfig, BatchTarget, Engine, TreeRipConfig};
+use rip_delay::RcTree;
+use rip_net::{NetBuilder, Segment, TreeNet, TreeNetNode, TwoPinNet};
+use rip_tech::units::fs_from_ns;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared state of a running service: the long-lived [`Engine`] plus
+/// server-level counters. One instance is shared by every worker
+/// thread; [`ServeState::handle_line`] is the whole request router, so
+/// tests and the load generator can drive it without a socket.
+#[derive(Debug)]
+pub struct ServeState {
+    engine: Engine,
+    tree_config: TreeRipConfig,
+    requests: AtomicU64,
+    connections: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl ServeState {
+    /// Wraps an engine session for serving.
+    pub fn new(engine: Engine) -> Self {
+        Self {
+            engine,
+            tree_config: TreeRipConfig::paper(),
+            requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// The shared engine session.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Requests handled so far (all commands, including malformed ones).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Counts one accepted connection (called by the server loop).
+    pub fn count_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Asks every worker to drain and stop.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request line: parses, routes, and renders the
+    /// response. The second return is `true` when the request asks the
+    /// server to shut down (the caller responds first, then stops).
+    pub fn handle_line(&self, line: &str) -> (Json, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match parse_json(line) {
+            Ok(request) => request,
+            Err(e) => return (error_response(&Json::Null, e.to_string()), false),
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let cmd = match request.get("cmd").and_then(Json::as_str) {
+            Some(cmd) => cmd,
+            None => return (error_response(&id, "request needs a string 'cmd'"), false),
+        };
+        let result = match cmd {
+            "solve" => self.cmd_solve(&request),
+            "solve_tree" => self.cmd_solve_tree(&request),
+            "batch" => self.cmd_batch(&request),
+            "compare" => self.cmd_compare(&request),
+            "tau_min" => self.cmd_tau_min(&request),
+            "stats" => Ok(self.cmd_stats()),
+            "shutdown" => Ok(vec![("stopping", Json::Bool(true))]),
+            other => Err(format!("unknown cmd {other:?}")),
+        };
+        let response = match result {
+            Ok(fields) => {
+                let mut all = vec![("id".to_string(), id), ("ok".to_string(), Json::Bool(true))];
+                all.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+                Json::Obj(all)
+            }
+            Err(reason) => error_response(&id, reason),
+        };
+        (response, cmd == "shutdown")
+    }
+
+    fn cmd_solve(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
+        let net = net_from_json(request.get("net").ok_or("solve needs a 'net'")?)?;
+        let target_fs = self.resolve_target(request, &net)?;
+        let outcome = self
+            .engine
+            .solve(&net, target_fs)
+            .map_err(|e| e.to_string())?;
+        Ok(solve_fields(target_fs, &outcome.solution))
+    }
+
+    fn cmd_tau_min(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
+        let net = net_from_json(request.get("net").ok_or("tau_min needs a 'net'")?)?;
+        Ok(vec![("tau_min_fs", Json::Num(self.engine.tau_min(&net)))])
+    }
+
+    fn cmd_solve_tree(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
+        let tree_net = tree_from_json(request.get("tree").ok_or("solve_tree needs a 'tree'")?)?;
+        let tree = RcTree::from_tree_net(&tree_net, self.engine.technology().device());
+        let driver = tree_net.driver_width();
+        let target_fs = match parse_target(request)? {
+            Target::AbsoluteFs(fs) => fs,
+            Target::TauMinMultiple(m) => {
+                m * self.engine.tree_tau_min(&tree, driver, &self.tree_config)
+            }
+        };
+        let outcome = self
+            .engine
+            .solve_tree(&tree, driver, target_fs, &self.tree_config)
+            .map_err(|e| e.to_string())?;
+        let buffers: Vec<Json> = outcome
+            .solution
+            .buffer_widths
+            .iter()
+            .enumerate()
+            .filter_map(|(v, w)| w.map(|w| Json::Arr(vec![Json::Num(v as f64), Json::Num(w)])))
+            .collect();
+        Ok(vec![
+            ("target_fs", Json::Num(target_fs)),
+            ("delay_fs", Json::Num(outcome.solution.delay_fs)),
+            ("total_width", Json::Num(outcome.solution.total_width)),
+            ("buffers", Json::Arr(buffers)),
+        ])
+    }
+
+    fn cmd_batch(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
+        let nets = nets_from_json(request.get("nets").ok_or("batch needs a 'nets' array")?)?;
+        let target = batch_target(parse_target(request)?);
+        let outcomes = self.engine.solve_batch(&nets, &target);
+        let results: Vec<Json> = outcomes
+            .iter()
+            .zip(&nets)
+            .map(|(outcome, net)| match outcome {
+                Ok(out) => {
+                    let target_fs = match &target {
+                        BatchTarget::AbsoluteFs(fs) => *fs,
+                        // Warm hit: τ_min was just computed in the batch.
+                        BatchTarget::TauMinMultiple(m) => m * self.engine.tau_min(net),
+                        // `batch_target` only builds the two above.
+                        _ => unreachable!("not built here"),
+                    };
+                    let mut fields = vec![("ok".to_string(), Json::Bool(true))];
+                    fields.extend(
+                        solve_fields(target_fs, &out.solution)
+                            .into_iter()
+                            .map(|(k, v)| (k.to_string(), v)),
+                    );
+                    Json::Obj(fields)
+                }
+                Err(e) => Json::obj([
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(e.to_string())),
+                ]),
+            })
+            .collect();
+        Ok(vec![("results", Json::Arr(results))])
+    }
+
+    fn cmd_compare(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
+        let nets = nets_from_json(request.get("nets").ok_or("compare needs a 'nets' array")?)?;
+        let target = batch_target(parse_target(request)?);
+        let granularity = request
+            .get("granularity")
+            .and_then(Json::as_f64)
+            .unwrap_or(20.0);
+        if !(granularity.is_finite() && granularity > 0.0) {
+            return Err("granularity must be positive".into());
+        }
+        let baseline = BaselineConfig::paper_table1(granularity);
+        let (rows, summary) = self
+            .engine
+            .compare_batch(&nets, &target, &baseline)
+            .map_err(|e| e.to_string())?;
+        let rows: Vec<Json> = rows
+            .iter()
+            .map(|(base, rip)| {
+                Json::Arr(vec![
+                    base.map(Json::Num).unwrap_or(Json::Null),
+                    Json::Num(*rip),
+                ])
+            })
+            .collect();
+        Ok(vec![
+            ("rows", Json::Arr(rows)),
+            ("max_percent", Json::Num(summary.max_percent)),
+            ("mean_percent", Json::Num(summary.mean_percent)),
+            (
+                "baseline_violations",
+                Json::from(summary.baseline_violations),
+            ),
+            ("compared", Json::from(summary.compared)),
+        ])
+    }
+
+    fn cmd_stats(&self) -> Vec<(&'static str, Json)> {
+        let stats = self.engine.stats();
+        vec![
+            ("requests", Json::from(self.requests())),
+            ("connections", Json::from(self.connections())),
+            ("nets_solved", Json::from(stats.nets_solved)),
+            ("trees_solved", Json::from(stats.trees_solved)),
+            ("hits", Json::from(stats.hits())),
+            ("misses", Json::from(stats.misses())),
+            ("hit_rate", Json::Num(stats.hit_rate())),
+            ("promotions", Json::from(stats.promotions)),
+            ("evictions", Json::from(stats.evictions)),
+            ("cache_cap", Json::from(self.engine.cache_cap())),
+            ("value_cache_cap", Json::from(self.engine.value_cache_cap())),
+        ]
+    }
+
+    fn resolve_target(&self, request: &Json, net: &TwoPinNet) -> Result<f64, String> {
+        Ok(match parse_target(request)? {
+            Target::AbsoluteFs(fs) => fs,
+            Target::TauMinMultiple(m) => m * self.engine.tau_min(net),
+        })
+    }
+}
+
+/// A request-level timing target (resolved against the engine's cached
+/// `τ_min` when relative).
+enum Target {
+    AbsoluteFs(f64),
+    TauMinMultiple(f64),
+}
+
+fn batch_target(target: Target) -> BatchTarget {
+    match target {
+        Target::AbsoluteFs(fs) => BatchTarget::AbsoluteFs(fs),
+        Target::TauMinMultiple(m) => BatchTarget::TauMinMultiple(m),
+    }
+}
+
+fn parse_target(request: &Json) -> Result<Target, String> {
+    let fs = request.get("target_fs").and_then(Json::as_f64);
+    let ns = request.get("target_ns").and_then(Json::as_f64);
+    let mult = request.get("target_mult").and_then(Json::as_f64);
+    let target = match (fs, ns, mult) {
+        (Some(fs), None, None) => Target::AbsoluteFs(fs),
+        (None, Some(ns), None) => Target::AbsoluteFs(fs_from_ns(ns)),
+        (None, None, Some(m)) => Target::TauMinMultiple(m),
+        (None, None, None) => {
+            return Err("one of target_fs / target_ns / target_mult is required".into())
+        }
+        _ => return Err("target_fs / target_ns / target_mult are mutually exclusive".into()),
+    };
+    let value = match &target {
+        Target::AbsoluteFs(v) | Target::TauMinMultiple(v) => *v,
+    };
+    if !(value.is_finite() && value > 0.0) {
+        return Err("the timing target must be positive and finite".into());
+    }
+    Ok(target)
+}
+
+fn error_response(id: &Json, reason: impl Into<String>) -> Json {
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(reason.into())),
+    ])
+}
+
+fn solve_fields(
+    target_fs: f64,
+    solution: &rip_core::prelude::DpSolution,
+) -> Vec<(&'static str, Json)> {
+    let repeaters: Vec<Json> = solution
+        .assignment
+        .repeaters()
+        .iter()
+        .map(|r| Json::Arr(vec![Json::Num(r.position), Json::Num(r.width)]))
+        .collect();
+    vec![
+        ("target_fs", Json::Num(target_fs)),
+        ("delay_fs", Json::Num(solution.delay_fs)),
+        ("total_width", Json::Num(solution.total_width)),
+        ("repeaters", Json::Arr(repeaters)),
+    ]
+}
+
+/// Decodes a structured JSON net (see the module docs for the schema).
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the shape or the net itself is
+/// invalid.
+pub fn net_from_json(value: &Json) -> Result<TwoPinNet, String> {
+    let mut builder = NetBuilder::new();
+    if let Some(d) = value.get("driver") {
+        builder = builder.driver_width(d.as_f64().ok_or("driver must be a number")?);
+    }
+    if let Some(r) = value.get("receiver") {
+        builder = builder.receiver_width(r.as_f64().ok_or("receiver must be a number")?);
+    }
+    let segments = value
+        .get("segments")
+        .and_then(Json::as_arr)
+        .ok_or("net needs a 'segments' array")?;
+    for (i, segment) in segments.iter().enumerate() {
+        let nums = fixed_numbers::<3>(segment)
+            .ok_or_else(|| format!("segment {i} must be [length_um, r_per_um, c_per_um]"))?;
+        builder = builder.segment(Segment::new(nums[0], nums[1], nums[2]));
+    }
+    if let Some(zones) = value.get("zones") {
+        let zones = zones.as_arr().ok_or("zones must be an array")?;
+        for (i, zone) in zones.iter().enumerate() {
+            let nums = fixed_numbers::<2>(zone)
+                .ok_or_else(|| format!("zone {i} must be [start_um, end_um]"))?;
+            builder = builder
+                .forbidden_zone(nums[0], nums[1])
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Encodes a net into the protocol's structured JSON (inverse of
+/// [`net_from_json`]).
+pub fn net_to_json(net: &TwoPinNet) -> Json {
+    let segments: Vec<Json> = net
+        .segments()
+        .iter()
+        .map(|s| {
+            Json::Arr(vec![
+                Json::Num(s.length_um()),
+                Json::Num(s.r_per_um()),
+                Json::Num(s.c_per_um()),
+            ])
+        })
+        .collect();
+    let zones: Vec<Json> = net
+        .zones()
+        .iter()
+        .map(|z| Json::Arr(vec![Json::Num(z.start()), Json::Num(z.end())]))
+        .collect();
+    Json::obj([
+        ("driver", Json::Num(net.driver_width())),
+        ("receiver", Json::Num(net.receiver_width())),
+        ("segments", Json::Arr(segments)),
+        ("zones", Json::Arr(zones)),
+    ])
+}
+
+/// Decodes a structured JSON tree (see the module docs for the schema).
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the shape or the tree itself is
+/// invalid.
+pub fn tree_from_json(value: &Json) -> Result<TreeNet, String> {
+    let driver = value
+        .get("driver")
+        .and_then(Json::as_f64)
+        .ok_or("tree needs a numeric 'driver'")?;
+    let entries = value
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .ok_or("tree needs a 'nodes' array")?;
+    let mut nodes = vec![TreeNetNode {
+        parent: None,
+        r_per_um: 0.0,
+        c_per_um: 0.0,
+        length_um: 0.0,
+        sink_width: None,
+        buffer_ok: true,
+    }];
+    for (i, entry) in entries.iter().enumerate() {
+        let fields = entry.as_arr().filter(|f| f.len() == 6).ok_or_else(|| {
+            format!(
+                "node {i} must be [parent, r_per_um, c_per_um, length_um, sink_w|null, blocked]"
+            )
+        })?;
+        let parent = fields[0]
+            .as_usize()
+            .ok_or_else(|| format!("node {i}: parent must be a node index"))?;
+        let num = |j: usize, what: &str| {
+            fields[j]
+                .as_f64()
+                .ok_or_else(|| format!("node {i}: {what} must be a number"))
+        };
+        let sink_width = match &fields[4] {
+            Json::Null => None,
+            w => Some(
+                w.as_f64()
+                    .ok_or_else(|| format!("node {i}: sink width must be a number or null"))?,
+            ),
+        };
+        let blocked = fields[5]
+            .as_bool()
+            .ok_or_else(|| format!("node {i}: blocked must be a boolean"))?;
+        nodes.push(TreeNetNode {
+            parent: Some(parent),
+            r_per_um: num(1, "r_per_um")?,
+            c_per_um: num(2, "c_per_um")?,
+            length_um: num(3, "length_um")?,
+            sink_width,
+            buffer_ok: !blocked,
+        });
+    }
+    TreeNet::from_nodes(nodes, driver).map_err(|e| e.to_string())
+}
+
+/// Encodes a tree into the protocol's structured JSON (inverse of
+/// [`tree_from_json`]).
+pub fn tree_to_json(tree: &TreeNet) -> Json {
+    let nodes: Vec<Json> = tree
+        .nodes()
+        .iter()
+        .skip(1)
+        .map(|n| {
+            Json::Arr(vec![
+                Json::Num(n.parent.expect("non-root") as f64),
+                Json::Num(n.r_per_um),
+                Json::Num(n.c_per_um),
+                Json::Num(n.length_um),
+                n.sink_width.map(Json::Num).unwrap_or(Json::Null),
+                Json::Bool(!n.buffer_ok),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("driver", Json::Num(tree.driver_width())),
+        ("nodes", Json::Arr(nodes)),
+    ])
+}
+
+fn nets_from_json(value: &Json) -> Result<Vec<TwoPinNet>, String> {
+    let items = value.as_arr().ok_or("'nets' must be an array")?;
+    if items.is_empty() {
+        return Err("'nets' must not be empty".into());
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| net_from_json(item).map_err(|e| format!("net {i}: {e}")))
+        .collect()
+}
+
+fn fixed_numbers<const N: usize>(value: &Json) -> Option<[f64; N]> {
+    let items = value.as_arr()?;
+    if items.len() != N {
+        return None;
+    }
+    let mut out = [0.0; N];
+    for (slot, item) in out.iter_mut().zip(items) {
+        *slot = item.as_f64()?;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_net::{NetGenerator, RandomNetConfig, RandomTreeConfig, TreeNetGenerator};
+    use rip_tech::Technology;
+
+    fn state() -> ServeState {
+        ServeState::new(Engine::paper(Technology::generic_180nm()))
+    }
+
+    fn request(line: &str) -> (Json, bool) {
+        state().handle_line(line)
+    }
+
+    #[test]
+    fn net_json_round_trips() {
+        for net in NetGenerator::suite(RandomNetConfig::default(), 7, 5).unwrap() {
+            let encoded = net_to_json(&net).to_string();
+            let back = net_from_json(&parse_json(&encoded).unwrap()).unwrap();
+            assert_eq!(net, back, "net JSON encode/decode must be lossless");
+        }
+    }
+
+    #[test]
+    fn tree_json_round_trips() {
+        for tree in TreeNetGenerator::suite(RandomTreeConfig::default(), 7, 5).unwrap() {
+            let encoded = tree_to_json(&tree).to_string();
+            let back = tree_from_json(&parse_json(&encoded).unwrap()).unwrap();
+            assert_eq!(tree, back, "tree JSON encode/decode must be lossless");
+        }
+    }
+
+    #[test]
+    fn solve_matches_the_engine_and_is_deterministic() {
+        let state = state();
+        let net = NetGenerator::suite(RandomNetConfig::default(), 11, 1)
+            .unwrap()
+            .remove(0);
+        let line = format!(
+            r#"{{"id":1,"cmd":"solve","net":{},"target_mult":1.4}}"#,
+            net_to_json(&net)
+        );
+        let (a, stop) = state.handle_line(&line);
+        assert!(!stop);
+        assert_eq!(a.get("ok"), Some(&Json::Bool(true)));
+        // Byte-identical on repeat (same engine, warm cache).
+        let (b, _) = state.handle_line(&line);
+        assert_eq!(a.to_string(), b.to_string());
+        // And equal to the in-process engine answer.
+        let expected = state
+            .engine()
+            .solve(&net, 1.4 * state.engine().tau_min(&net))
+            .unwrap();
+        assert_eq!(
+            a.get("delay_fs").unwrap().as_f64().unwrap().to_bits(),
+            expected.solution.delay_fs.to_bits()
+        );
+        assert_eq!(
+            a.get("total_width").unwrap().as_f64().unwrap().to_bits(),
+            expected.solution.total_width.to_bits()
+        );
+        assert_eq!(
+            a.get("repeaters").unwrap().as_arr().unwrap().len(),
+            expected.solution.assignment.len()
+        );
+    }
+
+    #[test]
+    fn batch_reports_per_net_results() {
+        let state = state();
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 3, 2).unwrap();
+        let encoded: Vec<String> = nets.iter().map(|n| net_to_json(n).to_string()).collect();
+        let line = format!(
+            r#"{{"id":4,"cmd":"batch","nets":[{}],"target_mult":1.4}}"#,
+            encoded.join(",")
+        );
+        let (response, _) = state.handle_line(&line);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let results = response.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        for r in results {
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        }
+        // An impossible absolute target yields per-net errors, not a
+        // request-level failure.
+        let line = format!(
+            r#"{{"id":5,"cmd":"batch","nets":[{}],"target_fs":1}}"#,
+            encoded.join(",")
+        );
+        let (response, _) = state.handle_line(&line);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        for r in response.get("results").unwrap().as_arr().unwrap() {
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+            assert!(r.get("error").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn stats_and_shutdown_respond() {
+        let state = state();
+        let (response, stop) = state.handle_line(r#"{"id":9,"cmd":"stats"}"#);
+        assert!(!stop);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("requests").unwrap().as_f64(), Some(1.0));
+        assert_eq!(response.get("hit_rate").unwrap().as_f64(), Some(0.0));
+        let (response, stop) = state.handle_line(r#"{"id":10,"cmd":"shutdown"}"#);
+        assert!(stop);
+        assert_eq!(response.get("stopping"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn malformed_requests_get_error_responses() {
+        let (response, stop) = request("not json at all");
+        assert!(!stop);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        let (response, _) = request(r#"{"id":3}"#);
+        assert!(response
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("cmd"));
+        assert_eq!(response.get("id").unwrap().as_f64(), Some(3.0));
+        let (response, _) = request(r#"{"id":3,"cmd":"warp"}"#);
+        assert!(response
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("warp"));
+        let (response, _) = request(r#"{"cmd":"solve","net":{"segments":[[1000,0.08,0.2]]}}"#);
+        assert!(response
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("target"));
+        let (response, _) = request(
+            r#"{"cmd":"solve","net":{"segments":[[1000,0.08,0.2]]},"target_ns":1,"target_mult":2}"#,
+        );
+        assert!(response
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("mutually exclusive"));
+        let (response, _) = request(r#"{"cmd":"solve","net":{"segments":[]},"target_mult":1.4}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn infeasible_solves_are_errors_with_the_reason() {
+        let state = state();
+        let net = NetGenerator::suite(RandomNetConfig::default(), 11, 1)
+            .unwrap()
+            .remove(0);
+        let line = format!(
+            r#"{{"id":2,"cmd":"solve","net":{},"target_fs":1}}"#,
+            net_to_json(&net)
+        );
+        let (response, _) = state.handle_line(&line);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert!(response.get("error").unwrap().as_str().unwrap().len() > 4);
+    }
+}

@@ -1,0 +1,238 @@
+//! The multi-threaded TCP server: N worker threads share one listener
+//! and one [`ServeState`] (and therefore one [`rip_core::Engine`] —
+//! candidate grids, `τ_min`, synthesized libraries and scratch pools
+//! amortize across every connection the process ever handles).
+//!
+//! Workers `accept` in non-blocking mode with a short poll interval, so
+//! a `shutdown` request (or [`ServerHandle::shutdown`]) drains every
+//! worker within one interval without platform-specific listener
+//! tricks. Each worker handles one connection at a time — request
+//! *handling* is where the parallelism pays, and the load generator
+//! opens exactly as many connections as it wants concurrency.
+
+use crate::protocol::ServeState;
+use rip_core::Engine;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a worker sleeps between accept polls, and how long a
+/// connection read blocks before re-checking the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Longest accepted request line. Generous for real workloads (a
+/// 1000-net batch request is ~200 KB) while keeping a newline-less
+/// client from exhausting server memory.
+const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address
+    /// is reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads (each serving one connection at a time). The
+    /// engine's scratch pool is sized to this.
+    pub workers: usize,
+    /// LRU bound for the engine's geometry caches
+    /// ([`Engine::set_cache_cap`]); 0 = unbounded.
+    pub cache_cap: usize,
+    /// LRU bound for the engine's `τ_min`/library maps
+    /// ([`Engine::set_value_cache_cap`]); 0 = unbounded.
+    pub value_cache_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            // A resident service bounds its caches by default; these
+            // hold the hot working set of a large design comfortably
+            // while keeping memory flat on unbounded request streams.
+            cache_cap: 512,
+            value_cache_cap: 4096,
+        }
+    }
+}
+
+/// A running server: join it, read its address, or stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (stats, stop flag) — mainly for tests and the
+    /// in-process benchmark harness.
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Blocks until the server stops (a client sent `shutdown`), then
+    /// joins every worker.
+    pub fn join(self) {
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops the server from the hosting process and joins the workers.
+    pub fn shutdown(self) {
+        self.state.request_stop();
+        self.join();
+    }
+}
+
+/// Binds the listener and spawns the worker threads over a fresh
+/// [`ServeState`] wrapping `engine`.
+///
+/// The engine's cache bounds and scratch pool are set from `config`
+/// before the first worker starts.
+///
+/// # Errors
+///
+/// Returns the bind / clone / spawn error verbatim.
+///
+/// # Examples
+///
+/// ```
+/// use rip_core::Engine;
+/// use rip_serve::{Client, Json, ServeConfig, start_server};
+/// use rip_tech::Technology;
+///
+/// let config = ServeConfig { workers: 2, ..ServeConfig::default() };
+/// let server = start_server(Engine::paper(Technology::generic_180nm()), &config).unwrap();
+/// let mut client = Client::connect(server.addr()).unwrap();
+/// let response = client.request_value(&rip_serve::parse_json(r#"{"cmd":"stats"}"#).unwrap()).unwrap();
+/// assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+/// client.send_line(r#"{"cmd":"shutdown"}"#).unwrap();
+/// server.join();
+/// ```
+pub fn start_server(engine: Engine, config: &ServeConfig) -> io::Result<ServerHandle> {
+    engine.set_cache_cap(config.cache_cap);
+    engine.set_value_cache_cap(config.value_cache_cap);
+    engine.set_scratch_cap(config.workers.max(1));
+    let state = Arc::new(ServeState::new(engine));
+    let listener = TcpListener::bind(config.addr.as_str())?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let listener = listener.try_clone()?;
+        let state = Arc::clone(&state);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("rip-serve-{i}"))
+                .spawn(move || worker_loop(&listener, &state))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        state,
+        workers,
+    })
+}
+
+fn worker_loop(listener: &TcpListener, state: &Arc<ServeState>) {
+    while !state.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.count_connection();
+                // A broken connection only ends that connection; the
+                // worker goes back to accepting.
+                let _ = serve_connection(stream, state);
+            }
+            Err(e) if polling_retry(&e) => std::thread::sleep(POLL_INTERVAL),
+            // Transient accept errors (e.g. aborted handshakes) —
+            // back off briefly and keep serving.
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// `true` for the error kinds a non-blocking / timed-out read returns
+/// when no data is available yet (platform-dependent: `WouldBlock` on
+/// Unix, `TimedOut` on Windows).
+fn polling_retry(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// Serves one connection until the client disconnects or the server
+/// stops: reads newline-delimited requests, writes one response line
+/// each.
+fn serve_connection(stream: TcpStream, state: &Arc<ServeState>) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    // Bounded reads so a worker blocked on an idle connection still
+    // notices a shutdown within one interval.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        // Drain every complete line before reading more.
+        while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=newline).collect();
+            let line = String::from_utf8_lossy(&line[..newline]);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (response, stop) = state.handle_line(line);
+            let mut rendered = response.to_string();
+            rendered.push('\n');
+            writer.write_all(rendered.as_bytes())?;
+            writer.flush()?;
+            if stop {
+                state.request_stop();
+                return Ok(());
+            }
+        }
+        if state.stopping() {
+            return Ok(());
+        }
+        // The JSON layer bounds nesting depth against hostile input; the
+        // transport must bound line length for the same threat model, or
+        // a client that never sends a newline grows server memory
+        // without limit.
+        if pending.len() > MAX_LINE_BYTES {
+            let refusal = format!(
+                "{}\n",
+                crate::json::Json::obj([
+                    ("id", crate::json::Json::Null),
+                    ("ok", crate::json::Json::Bool(false)),
+                    (
+                        "error",
+                        crate::json::Json::Str(format!(
+                            "request line exceeds {MAX_LINE_BYTES} bytes"
+                        )),
+                    ),
+                ])
+            );
+            writer.write_all(refusal.as_bytes())?;
+            writer.flush()?;
+            return Ok(()); // drop the connection; the stream is unframed now
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if polling_retry(&e) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Service-level determinism: a running `rip_serve` server under
+//! concurrent clients must answer byte-identically to sequential
+//! in-process [`Engine`] solves, shut down cleanly on request, and keep
+//! answering identically when its LRU caches are squeezed hard enough
+//! to evict constantly.
+//!
+//! This is the serving analogue of `tests/engine_batch.rs`: the caches
+//! and the transport may reorder *work*, never *answers*.
+
+use rip_core::Engine;
+use rip_net::{NetGenerator, RandomNetConfig};
+use rip_serve::{
+    net_to_json, parse_json, run_loadgen, start_server, Client, Json, LoadgenConfig, ServeConfig,
+    ServeState,
+};
+use rip_tech::Technology;
+
+fn engine() -> Engine {
+    Engine::paper(Technology::generic_180nm())
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_answers_and_a_clean_shutdown() {
+    let config = ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let addr = server.addr();
+
+    // The reference: an identically-configured engine driven in-process
+    // and sequentially. Every deterministic response from the server
+    // must match its rendering byte for byte.
+    let reference = ServeState::new(engine());
+    let loadgen = LoadgenConfig {
+        connections: 4,
+        requests_per_conn: 12,
+        nets: 5,
+        ..LoadgenConfig::default()
+    };
+    let outcome = run_loadgen(addr, Some(&reference), &loadgen).unwrap();
+    assert_eq!(outcome.requests, 48);
+    assert!(outcome.verified > 30, "most requests are deterministic");
+    assert_eq!(
+        outcome.mismatches, 0,
+        "responses diverged from in-process engine"
+    );
+    assert_eq!(outcome.errors, 0, "some responses were not ok");
+
+    // The shared engine amortized across connections: the repeated
+    // scripts must be served mostly from cache, with LRU promotions
+    // recorded.
+    let stats = server.state().engine().stats();
+    assert!(
+        stats.hits() > stats.misses(),
+        "warm repeated scripts must hit more than miss ({stats:?})"
+    );
+    assert!(stats.promotions > 0, "cache hits must promote ({stats:?})");
+
+    // One explicit spot check straight through a raw client, no loadgen.
+    let net = NetGenerator::suite(RandomNetConfig::default(), 5, 1)
+        .unwrap()
+        .remove(0);
+    let expected = {
+        let reference_engine = engine();
+        let tau = reference_engine.tau_min(&net);
+        reference_engine.solve(&net, 1.4 * tau).unwrap()
+    };
+    let mut client = Client::connect(addr).unwrap();
+    let request = Json::obj([
+        ("cmd", Json::from("solve")),
+        ("net", net_to_json(&net)),
+        ("target_mult", Json::Num(1.4)),
+    ]);
+    let response = client.request_value(&request).unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        response
+            .get("delay_fs")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .to_bits(),
+        expected.solution.delay_fs.to_bits(),
+        "served delay must be bit-identical to the in-process solve"
+    );
+    assert_eq!(
+        response
+            .get("total_width")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .to_bits(),
+        expected.solution.total_width.to_bits()
+    );
+
+    // Clean shutdown: the server acknowledges, all workers join.
+    let goodbye = client
+        .request_line(r#"{"id":99,"cmd":"shutdown"}"#)
+        .unwrap();
+    let goodbye = parse_json(&goodbye).unwrap();
+    assert_eq!(goodbye.get("stopping"), Some(&Json::Bool(true)));
+    server.join();
+}
+
+#[test]
+fn tight_lru_caps_change_hit_rates_but_never_answers() {
+    // Caps small enough that the 6-net script evicts constantly.
+    let config = ServeConfig {
+        workers: 2,
+        cache_cap: 2,
+        value_cache_cap: 2,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let reference = ServeState::new(engine());
+    let loadgen = LoadgenConfig {
+        connections: 2,
+        requests_per_conn: 10,
+        nets: 6,
+        ..LoadgenConfig::default()
+    };
+    let outcome = run_loadgen(server.addr(), Some(&reference), &loadgen).unwrap();
+    assert_eq!(outcome.mismatches, 0, "eviction must never change answers");
+    assert_eq!(outcome.errors, 0);
+    let stats = server.state().engine().stats();
+    assert!(
+        stats.evictions > 0,
+        "the tight caps must actually evict ({stats:?})"
+    );
+    assert_eq!(server.state().engine().cache_cap(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn host_initiated_shutdown_drains_idle_workers() {
+    let config = ServeConfig {
+        workers: 3,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let addr = server.addr();
+    // A connected but idle client must not block the drain.
+    let _idle = Client::connect(addr).unwrap();
+    server.shutdown();
+}
