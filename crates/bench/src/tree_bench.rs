@@ -1,6 +1,9 @@
 //! The tree-workload benchmark behind `BENCH_tree.json`: the production
 //! SoA tree DP vs the frozen pre-SoA engine (`rip_dp::reference::tree`)
-//! on a generated multi-sink corpus, plus cold-session
+//! on a generated multi-sink corpus — unmasked on the subdivided site
+//! trees, and **masked** on the raw topologies (where each net's
+//! forbidden-node run aligns index-for-index), making masked floorplans
+//! a measured, byte-identity-gated scenario — plus cold-session
 //! `Engine::solve_tree_batch` throughput over the full tree pipeline.
 //!
 //! Like the frontier bench, both DP sides run in the same process on the
@@ -84,11 +87,18 @@ pub struct TreeBenchReport {
     pub reference: StatSummary,
     /// `reference.median_s / frontier.median_s`.
     pub speedup_vs_reference: f64,
+    /// Run-time summary of the production tree DP on the **masked** raw
+    /// corpus (each net's forbidden-node mask in force).
+    pub masked: StatSummary,
+    /// Run-time summary of the frozen engine on the same masked corpus.
+    pub masked_reference: StatSummary,
+    /// `masked_reference.median_s / masked.median_s`.
+    pub masked_speedup_vs_reference: f64,
     /// Summary of the timed `Engine::solve_tree_batch` runs (full
     /// hybrid pipeline, fresh engine per run).
     pub batch: StatSummary,
     /// Whether both DP sides produced byte-identical solutions on every
-    /// tree (checked during warm-up).
+    /// tree — unmasked *and* masked (checked during warm-up).
     pub byte_identical: bool,
 }
 
@@ -126,6 +136,13 @@ impl TreeBenchReport {
                 self.config.trees as f64 / self.reference.median_s,
             )
             .num("speedup_vs_reference", self.speedup_vs_reference)
+            .num("masked_median_s", self.masked.median_s)
+            .num("masked_mad_s", self.masked.mad_s)
+            .num("masked_reference_median_s", self.masked_reference.median_s)
+            .num(
+                "masked_speedup_vs_reference",
+                self.masked_speedup_vs_reference,
+            )
             .int("batch_runs", self.config.batch_runs as u64)
             .int(
                 "batch_trees",
@@ -145,6 +162,7 @@ impl TreeBenchReport {
                frontier  median {:.4}s  mad {:.4}s  ({:.1} trees/s)\n\
                reference median {:.4}s  mad {:.4}s  ({:.1} trees/s)\n\
                speedup vs reference: {:.2}x   byte_identical: {}\n\
+               masked raw corpus: median {:.4}s vs reference {:.4}s  ({:.2}x)\n\
                pipeline batch ({} trees) median {:.3}s over {} run(s)  ({:.2} trees/s)",
             self.config.trees,
             self.nodes_per_pass,
@@ -159,6 +177,9 @@ impl TreeBenchReport {
             self.config.trees as f64 / self.reference.median_s,
             self.speedup_vs_reference,
             self.byte_identical,
+            self.masked.median_s,
+            self.masked_reference.median_s,
+            self.masked_speedup_vs_reference,
             self.config.batch_trees.min(self.config.trees),
             self.batch.median_s,
             self.config.batch_runs,
@@ -251,6 +272,74 @@ pub fn run_tree_bench(config: TreeBenchConfig) -> TreeBenchReport {
         std::hint::black_box(&b);
     }
 
+    // Masked leg: the same corpus on its *raw* topologies, each net's
+    // forbidden-node mask in force (masks align index-for-index only on
+    // the unsubdivided trees). Targets come from the reference engine's
+    // masked min-delay, so both sides solve feasible masked problems.
+    let masks: Vec<Vec<bool>> = nets.iter().map(|net| net.allowed_mask()).collect();
+    let masked_targets: Vec<f64> = raw
+        .iter()
+        .zip(&masks)
+        .map(|((tree, driver), mask)| {
+            reference::tree::tree_min_delay(tree, device, *driver, &library, Some(mask))
+                .expect("aligned masks cannot fail the min-delay tree DP")
+                .delay_fs
+                * config.target_mult
+        })
+        .collect();
+    let solve_masked_frontier = |scratch: &mut TreeScratch| -> Vec<TreeSolution> {
+        raw.iter()
+            .zip(&masks)
+            .zip(&masked_targets)
+            .map(|(((tree, driver), mask), &t)| {
+                tree_min_power_with(scratch, tree, device, *driver, &library, Some(mask), t)
+                    .expect("targets above the masked min-delay are feasible")
+            })
+            .collect()
+    };
+    let solve_masked_reference = || -> Vec<TreeSolution> {
+        raw.iter()
+            .zip(&masks)
+            .zip(&masked_targets)
+            .map(|(((tree, driver), mask), &t)| {
+                reference::tree::tree_min_power(tree, device, *driver, &library, Some(mask), t)
+                    .expect("targets above the masked min-delay are feasible")
+            })
+            .collect()
+    };
+    {
+        // Warm-up pass doubling as the masked equivalence + legality
+        // check: byte-identical solutions, no buffer on a blocked node.
+        let a = solve_masked_frontier(&mut scratch);
+        let b = solve_masked_reference();
+        for (i, ((x, y), mask)) in a.iter().zip(&b).zip(&masks).enumerate() {
+            if format!("{x:?}") != format!("{y:?}") {
+                eprintln!("masked tree {i}: frontier solution differs from reference!");
+                byte_identical = false;
+            }
+            if mask
+                .iter()
+                .zip(&x.buffer_widths)
+                .any(|(&ok, w)| !ok && w.is_some())
+            {
+                eprintln!("masked tree {i}: buffer on a blocked node!");
+                byte_identical = false;
+            }
+        }
+    }
+    let mut masked_samples = Vec::with_capacity(config.runs);
+    let mut masked_reference_samples = Vec::with_capacity(config.runs);
+    for _ in 0..config.runs {
+        let t0 = Instant::now();
+        let a = solve_masked_frontier(&mut scratch);
+        masked_samples.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&a);
+        let t1 = Instant::now();
+        let b = solve_masked_reference();
+        masked_reference_samples.push(t1.elapsed().as_secs_f64());
+        std::hint::black_box(&b);
+    }
+
     // Batch pipeline side: fresh engine sessions, one parallel tree
     // batch each over a prefix of the raw (unsubdivided) trees,
     // mirroring `run_batch_bench`'s cold-session convention.
@@ -279,6 +368,8 @@ pub fn run_tree_bench(config: TreeBenchConfig) -> TreeBenchReport {
 
     let frontier = summarize(&frontier_samples);
     let reference = summarize(&reference_samples);
+    let masked = summarize(&masked_samples);
+    let masked_reference = summarize(&masked_reference_samples);
     TreeBenchReport {
         config,
         library_widths: library.len(),
@@ -287,6 +378,9 @@ pub fn run_tree_bench(config: TreeBenchConfig) -> TreeBenchReport {
         speedup_vs_reference: reference.median_s / frontier.median_s,
         frontier,
         reference,
+        masked_speedup_vs_reference: masked_reference.median_s / masked.median_s,
+        masked,
+        masked_reference,
         batch: summarize(&batch_samples),
         byte_identical,
     }
@@ -315,6 +409,8 @@ mod tests {
         let json = report.to_json();
         assert_eq!(read_json_number(&json, "trees"), Some(2.0));
         assert!(read_json_number(&json, "speedup_vs_reference").is_some());
+        assert!(read_json_number(&json, "masked_speedup_vs_reference").is_some());
+        assert!(read_json_number(&json, "masked_median_s").unwrap() > 0.0);
         assert!(read_json_number(&json, "frontier_trees_per_s").unwrap() > 0.0);
         assert!(read_json_number(&json, "batch_trees_per_s").unwrap() > 0.0);
         assert!(report.summary_text().contains("speedup"));

@@ -210,31 +210,40 @@ pub fn cmd_generate_trees(seed: u64, count: usize) -> Result<Vec<String>, CliErr
 }
 
 /// `rip solve --tree`: run the hybrid tree pipeline on a `.tree`
-/// description (driver width comes from the file).
+/// description (driver width comes from the file). `blocked` nodes are
+/// binding: the file's legality mask is threaded through every pipeline
+/// stage, and `--target-mult` resolves against the *masked* minimum
+/// delay.
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Parse`] for bad input and [`CliError::Solve`] for
-/// infeasible targets.
+/// infeasible targets (including targets unreachable over the legal
+/// nodes).
 pub fn cmd_solve_tree(tree_text: &str, target: Target) -> Result<String, CliError> {
     let net = parse_tree_file(tree_text)?;
     let engine = Engine::paper(Technology::generic_180nm());
     let config = TreeRipConfig::paper();
     let tree = RcTree::from_tree_net(&net, engine.technology().device());
     let driver = net.driver_width();
+    let allowed = net.allowed_mask();
     let target_fs = match target {
         Target::Ns(ns) => fs_from_ns(ns),
-        Target::Multiplier(m) => m * engine.tree_tau_min(&tree, driver, &config),
+        Target::Multiplier(m) => {
+            m * engine.tree_tau_min_masked(&tree, driver, &config, Some(&allowed))?
+        }
     };
-    let outcome = engine.solve_tree(&tree, driver, target_fs, &config)?;
+    let outcome = engine.solve_tree_masked(&tree, driver, target_fs, &config, Some(&allowed))?;
     let sol = &outcome.solution;
+    let blocked = allowed.iter().filter(|ok| !**ok).count();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "tree: {:.1} mm total wire, {} node(s), {} sink(s)",
+        "tree: {:.1} mm total wire, {} node(s), {} sink(s), {} blocked node(s)",
         net.total_length() / 1000.0,
         net.len(),
-        net.sinks().len()
+        net.sinks().len(),
+        blocked
     );
     let _ = writeln!(
         out,
@@ -396,8 +405,9 @@ pub fn cmd_batch(named_nets: &[(String, String)], target: Target) -> Result<Stri
 }
 
 /// `rip batch --tree`: solve a batch of `.tree` descriptions through
-/// one [`Engine`] session ([`Engine::solve_tree_batch`]) and render a
-/// per-tree + aggregate table.
+/// one [`Engine`] session ([`Engine::solve_tree_batch_masked`] — each
+/// file's `blocked` nodes are binding) and render a per-tree +
+/// aggregate table.
 ///
 /// Takes `(label, tree text)` pairs like [`cmd_batch`]; the binary
 /// supplies `.tree` file names ([`crate::parse_tree_file`]) or
@@ -429,12 +439,15 @@ pub fn cmd_batch_tree(
     }
     let engine = Engine::paper(Technology::generic_180nm());
     let config = TreeRipConfig::paper();
-    let trees: Vec<(RcTree, f64)> = nets
+    // Each tree carries its own legality mask — `blocked` nodes from
+    // the `.tree` files are binding for the whole batch.
+    let trees: Vec<(RcTree, f64, Option<Vec<bool>>)> = nets
         .iter()
         .map(|net| {
             (
                 RcTree::from_tree_net(net, engine.technology().device()),
                 net.driver_width(),
+                Some(net.allowed_mask()),
             )
         })
         .collect();
@@ -444,15 +457,17 @@ pub fn cmd_batch_tree(
         Target::Ns(ns) => BatchTarget::AbsoluteFs(fs_from_ns(ns)),
         Target::Multiplier(m) => BatchTarget::TauMinMultiple(m),
     };
-    let outcomes = engine.solve_tree_batch(&trees, &batch_target, &config);
+    let outcomes = engine.solve_tree_batch_masked(&trees, &batch_target, &config);
     // For the table only; every tree_tau_min below is a warm cache hit.
     let targets: Vec<f64> = trees
         .iter()
-        .map(|(tree, driver)| match target {
-            Target::Ns(ns) => fs_from_ns(ns),
-            Target::Multiplier(m) => m * engine.tree_tau_min(tree, *driver, &config),
+        .map(|(tree, driver, allowed)| match target {
+            Target::Ns(ns) => Ok(fs_from_ns(ns)),
+            Target::Multiplier(m) => engine
+                .tree_tau_min_masked(tree, *driver, &config, allowed.as_deref())
+                .map(|tmin| m * tmin),
         })
-        .collect();
+        .collect::<Result<_, RipError>>()?;
 
     let mut table = TextTable::new(vec![
         "Tree",
@@ -467,7 +482,7 @@ pub fn cmd_batch_tree(
     let mut total_width = 0.0;
     let mut total_bufs = 0usize;
     let mut infeasible = 0usize;
-    for (((label, _), (net, (tree, _))), (outcome, target_fs)) in named_trees
+    for (((label, _), (net, (tree, _, _))), (outcome, target_fs)) in named_trees
         .iter()
         .zip(nets.iter().zip(&trees))
         .zip(outcomes.iter().zip(&targets))
@@ -509,7 +524,7 @@ pub fn cmd_batch_tree(
     let solved = trees.len() - infeasible;
     table.row(vec![
         "TOTAL".into(),
-        format!("{}", trees.iter().map(|(t, _)| t.len()).sum::<usize>()),
+        format!("{}", trees.iter().map(|(t, _, _)| t.len()).sum::<usize>()),
         format!("{}", nets.iter().map(|n| n.sinks().len()).sum::<usize>()),
         format!("{total_bufs}"),
         format!("{total_width:.0}"),
@@ -738,7 +753,12 @@ TREE FILE FORMAT (text, '#' comments; node lines append nodes 1, 2, ...):
     driver 140                 # driver width, u (optional)
     node 0 0.08 0.20 1500      # parent r_per_um c_per_um length_um
     node 1 0.06 0.18 2000 sink 60
-    node 1 0.08 0.20 1200 blocked
+    node 1 0.08 0.20 1200 blocked   # binding: no buffer here, ever
+
+'blocked' nodes are binding for tree solves the way forbidden zones are
+for chains: no stage places a buffer on them (or on subdivision points
+of edges with a blocked endpoint), and --target-mult resolves against
+the masked minimum delay.
 "
 }
 
@@ -895,6 +915,34 @@ zone 4000 7000
         assert!(report.contains("total width"));
         let err = cmd_solve_tree(&tree_text, Target::Ns(1e-6)).unwrap_err();
         assert!(matches!(err, CliError::Solve(_)));
+    }
+
+    #[test]
+    fn solve_tree_blocked_nodes_are_binding() {
+        // Every node blocked: a loose target must go bufferless, and a
+        // tight one must fail as infeasible instead of placing illegal
+        // buffers.
+        let all_blocked = "\
+driver 120
+node 0 0.08 0.20 1500 blocked
+node 1 0.06 0.18 2000 blocked
+node 1 0.08 0.20 1200 sink 60 blocked
+node 2 0.08 0.20 1400 sink 50 blocked
+";
+        let report = cmd_solve_tree(all_blocked, Target::Multiplier(1.5)).unwrap();
+        assert!(report.contains("4 blocked node(s)"));
+        assert!(
+            report.contains("buffers: 0"),
+            "illegal buffers placed:\n{report}"
+        );
+        let err = cmd_solve_tree(all_blocked, Target::Ns(1e-6)).unwrap_err();
+        assert!(matches!(err, CliError::Solve(_)));
+        // The same topology unblocked buffers freely under a tight-ish
+        // relative target, so the mask is what forced bufferless above.
+        let open = all_blocked.replace(" blocked", "");
+        let report = cmd_solve_tree(&open, Target::Multiplier(1.25)).unwrap();
+        assert!(report.contains("0 blocked node(s)"));
+        assert!(!report.contains("buffers: 0"), "{report}");
     }
 
     #[test]

@@ -131,8 +131,9 @@ pub fn cmd_client(
 }
 
 /// The built-in smoke script: one of every command (including a small
-/// `solve_tree` and a final `shutdown`), each response required to be
-/// `ok`.
+/// masked `solve_tree`, a `reset_stats` whose follow-up `stats` must
+/// report exactly one request, and a final `shutdown`), each response
+/// required to be `ok`.
 fn run_smoke(client: &mut Client) -> Result<String, CliError> {
     let nets: Vec<Json> = rip_net::NetGenerator::suite(rip_net::RandomNetConfig::default(), 7, 3)
         .expect("default net distribution is valid")
@@ -182,7 +183,12 @@ fn run_smoke(client: &mut Client) -> Result<String, CliError> {
         ])
         .to_string(),
         Json::obj([("id", Json::from(8u64)), ("cmd", Json::from("stats"))]).to_string(),
-        Json::obj([("id", Json::from(9u64)), ("cmd", Json::from("shutdown"))]).to_string(),
+        // Counter reset: the follow-up stats must report exactly one
+        // request (itself). Like the warm-vs-cold check, this assumes a
+        // quiet server — the smoke script drives the only connection.
+        Json::obj([("id", Json::from(9u64)), ("cmd", Json::from("reset_stats"))]).to_string(),
+        Json::obj([("id", Json::from(10u64)), ("cmd", Json::from("stats"))]).to_string(),
+        Json::obj([("id", Json::from(11u64)), ("cmd", Json::from("shutdown"))]).to_string(),
     ];
     let mut out = String::new();
     let mut solve_first = None;
@@ -208,8 +214,47 @@ fn run_smoke(client: &mut Client) -> Result<String, CliError> {
                 ));
             }
         }
+        if line.contains("\"id\":9") && value.get("reset") != Some(&Json::Bool(true)) {
+            return Err(CliError::Protocol(
+                "reset_stats did not acknowledge the reset".into(),
+            ));
+        }
+        if line.contains("\"id\":10") && value.get("requests").and_then(Json::as_f64) != Some(1.0) {
+            return Err(CliError::Protocol(format!(
+                "stats after reset_stats should report 1 request, got: {response}"
+            )));
+        }
         let _ = writeln!(out, "{response}");
     }
     let _ = writeln!(out, "smoke: {} request(s), all ok", script.len());
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_serve::start_server;
+
+    #[test]
+    fn smoke_script_passes_against_an_in_process_server() {
+        // The same script CI drives over a real socket: every command
+        // (masked solve_tree and reset_stats included) must be ok, the
+        // warm solve byte-identical, and the post-reset stats at 1
+        // request.
+        let config = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let server = start_server(Engine::paper(Technology::generic_180nm()), &config).unwrap();
+        let addr = server.addr().to_string();
+        let opts = ClientOptions {
+            smoke: true,
+            shutdown: false,
+        };
+        let out = cmd_client(&addr, &opts, &mut std::io::empty()).unwrap();
+        assert!(out.contains("all ok"), "{out}");
+        assert!(out.contains("\"reset\":true"), "{out}");
+        // The smoke script ends in shutdown, so the server drains.
+        server.join();
+    }
 }

@@ -18,13 +18,15 @@
 //! `sink <width_u>` (sinks must be leaves) and/or `blocked` (the tree
 //! analogue of a forbidden zone).
 //!
-//! `blocked` is parsed, validated and round-tripped
-//! ([`rip_net::TreeNet::allowed_mask`]), but the hybrid tree pipeline
-//! does not yet consume the mask — `rip solve --tree` places buffers
-//! on blocked nodes today (threading the mask through
-//! `Engine::solve_tree` is an open ROADMAP item). Masked tree solves
-//! are available at the DP layer (`rip_dp::tree_min_power`'s
-//! `allowed` parameter).
+//! `blocked` is **binding end to end**: the mask
+//! ([`rip_net::TreeNet::allowed_mask`]) rides through
+//! `Engine::solve_tree_masked`, so `rip solve --tree` and
+//! `rip batch --tree` never place a buffer on a blocked node (or on a
+//! subdivision point of an edge with a blocked endpoint — see
+//! `rip_delay::RcTree::project_allowed`), and relative targets resolve
+//! against the *masked* minimum delay. A region so blocked that the
+//! target cannot be met fails with a typed infeasibility, never a
+//! silent illegal placement.
 
 use crate::netfile::ParseError;
 use rip_net::{TreeNet, TreeNetNode};

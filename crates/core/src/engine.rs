@@ -24,6 +24,13 @@
 //!   subdivisions (the tree analogue of the candidate grids) are cached,
 //!   tree `τ_min` is memoized, and [`Engine::solve_tree_batch`] runs
 //!   many trees in parallel with deterministic, input-ordered output;
+//! * blocked tree nodes are binding: the masked entry points
+//!   ([`Engine::solve_tree_masked`], [`Engine::solve_tree_batch_masked`],
+//!   [`Engine::tree_tau_min_masked`]) thread a buffer-legality mask
+//!   through every stage, the subdivision cache stores the mask
+//!   projected onto each subdivided topology under mask-extended keys
+//!   (masked and unmasked variants never alias), and a `None`/all-true
+//!   mask is byte-identical to the unmasked entry points;
 //! * independent nets run on all available cores with deterministic,
 //!   input-ordered output ([`Engine::solve_batch`]).
 //!
@@ -207,6 +214,67 @@ fn geometry_key(net: &TwoPinNet, extra: &impl fmt::Debug) -> String {
     }
     let _ = write!(key, "|{extra:?}");
     key
+}
+
+/// Validates a caller-supplied tree buffer-legality mask and normalizes
+/// the trivial case: a mask that allows every *non-root* node is the
+/// unmasked problem (the root entry is ignored throughout — the root
+/// hosts the driver, never a buffer), so it collapses to `None` and
+/// shares the unmasked cache entries, keeping trivially-masked solves
+/// byte-identical to unmasked ones.
+///
+/// # Errors
+///
+/// Returns [`DpError::BadAllowedMask`] when the mask length does not
+/// match the tree's node count.
+fn effective_mask<'a>(
+    tree: &RcTree,
+    allowed: Option<&'a [bool]>,
+) -> Result<Option<&'a [bool]>, DpError> {
+    let Some(mask) = allowed else { return Ok(None) };
+    if mask.len() != tree.len() {
+        return Err(DpError::BadAllowedMask {
+            got: mask.len(),
+            expected: tree.len(),
+        });
+    }
+    Ok(if mask[1..].iter().all(|&ok| ok) {
+        None
+    } else {
+        Some(mask)
+    })
+}
+
+/// Extends a cache key with the legality-mask bits — the ONE rule that
+/// keeps masked and unmasked cache entries from ever aliasing (the
+/// subdivision and `τ_min` caches both depend on it). `None` returns
+/// the base key unchanged, so unmasked lookups keep their historical
+/// keys bit for bit.
+fn masked_key(base: String, mask: Option<&[bool]>) -> String {
+    match mask {
+        None => base,
+        Some(mask) => {
+            let bits: String = mask.iter().map(|&ok| if ok { '1' } else { '0' }).collect();
+            format!("{base}|mask:{bits}")
+        }
+    }
+}
+
+/// A cached tree subdivision: the subdivided candidate-site tree and —
+/// for masked lookups — the buffer-legality mask projected onto the
+/// subdivided topology ([`RcTree::project_allowed`]).
+///
+/// Masked and unmasked variants of one `(topology, step)` pair live
+/// under **different cache keys** (the key embeds the mask bits), so
+/// the two can never alias: an unmasked solve always sees
+/// `allowed == None`, a masked solve always sees exactly its own
+/// projection.
+#[derive(Debug)]
+struct TreeSites {
+    /// The subdivided site tree.
+    tree: RcTree,
+    /// The projected legality mask (`None` for unmasked lookups).
+    allowed: Option<Vec<bool>>,
 }
 
 /// Sentinel "no neighbour" slot index for [`LruCache`]'s intrusive
@@ -456,7 +524,7 @@ pub struct Engine {
     config_hash: u64,
     grids: Mutex<LruCache<Arc<CandidateSet>>>,
     windows: Mutex<LruCache<Arc<CandidateSet>>>,
-    subdivisions: Mutex<LruCache<Arc<RcTree>>>,
+    subdivisions: Mutex<LruCache<Arc<TreeSites>>>,
     tau_mins: Mutex<LruCache<f64>>,
     libraries: Mutex<LruCache<Arc<RepeaterLibrary>>>,
     scratches: Mutex<Vec<DpScratch>>,
@@ -580,6 +648,33 @@ impl Engine {
     /// The current scratch-pool bound (`0` = unbounded).
     pub fn scratch_cap(&self) -> usize {
         self.scratch_cap.load(Ordering::Relaxed)
+    }
+
+    /// Resets every statistics counter to zero, keeping the caches and
+    /// their contents untouched — the monitoring reset behind the
+    /// service's `reset_stats` command. Counter reads/writes are
+    /// `Relaxed`, so a reset concurrent with in-flight solves may lose
+    /// a few increments; results are never affected.
+    pub fn reset_stats(&self) {
+        let c = &self.counters;
+        for counter in [
+            &c.grid_hits,
+            &c.grid_misses,
+            &c.window_hits,
+            &c.window_misses,
+            &c.tree_grid_hits,
+            &c.tree_grid_misses,
+            &c.tau_min_hits,
+            &c.tau_min_misses,
+            &c.library_hits,
+            &c.library_misses,
+            &c.nets_solved,
+            &c.trees_solved,
+            &c.evictions,
+            &c.promotions,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Cache-effectiveness counters so far.
@@ -740,21 +835,41 @@ impl Engine {
     }
 
     /// The `step_um` edge subdivision of a tree — its candidate buffer
-    /// sites — built at most once per `(topology, step)` per session.
-    /// The tree analogue of [`Engine::grid`]: repeated solves of one
-    /// topology (target sweeps, identical batches) reuse the coarse and
-    /// fine site trees instead of re-subdividing.
-    fn subdivision(&self, tree: &RcTree, step_um: f64) -> Arc<RcTree> {
-        let key = cache_key(&(tree, step_um.to_bits()));
+    /// sites — built at most once per `(topology, step[, mask])` per
+    /// session. The tree analogue of [`Engine::grid`]: repeated solves
+    /// of one topology (target sweeps, identical batches) reuse the
+    /// coarse and fine site trees instead of re-subdividing.
+    ///
+    /// With a mask (given on the *original* node indexing), the cache
+    /// entry also carries the mask projected onto the subdivided
+    /// topology: inserted Steiner points inherit the legality of their
+    /// covering original edge — see [`RcTree::project_allowed`]. The
+    /// mask bits are part of the cache key, so masked and unmasked
+    /// variants of one `(topology, step)` pair never alias.
+    ///
+    /// `allowed` must already be validated/normalized
+    /// ([`effective_mask`]): `None` here reproduces the unmasked entry
+    /// bit for bit.
+    fn subdivision_masked(
+        &self,
+        tree: &RcTree,
+        step_um: f64,
+        allowed: Option<&[bool]>,
+    ) -> Arc<TreeSites> {
+        let key = masked_key(cache_key(&(tree, step_um.to_bits())), allowed);
         if let Some(sub) = self.cache_get(&self.subdivisions, &key, &self.counters.tree_grid_hits) {
             return sub;
         }
-        let (sub, _) = tree.subdivided(step_um);
+        let (sub, map) = tree.subdivided(step_um);
+        let projected = allowed.map(|mask| tree.project_allowed(&sub, &map, mask));
         self.finish_lookup(
             &self.subdivisions,
             self.cache_cap.load(Ordering::Relaxed),
             key,
-            Arc::new(sub),
+            Arc::new(TreeSites {
+                tree: sub,
+                allowed: projected,
+            }),
             &self.counters.tree_grid_hits,
             &self.counters.tree_grid_misses,
         )
@@ -1148,38 +1263,65 @@ impl Engine {
     /// [`BatchTarget::TauMinMultiple`] resolves against in
     /// [`Engine::solve_tree_batch`].
     pub fn tree_tau_min(&self, tree: &RcTree, driver_width: f64, config: &TreeRipConfig) -> f64 {
-        let key = cache_key(&(
-            "tree_tau_min",
-            tree,
-            driver_width.to_bits(),
-            config.coarse_step_um.to_bits(),
-        ));
+        self.tree_tau_min_masked(tree, driver_width, config, None)
+            .expect("the unmasked tree tau_min cannot fail")
+    }
+
+    /// [`Engine::tree_tau_min`] under an optional buffer-legality mask
+    /// aligned to `tree`'s node indexing (the indexing
+    /// [`RcTree::from_tree_net`] preserves, so a
+    /// [`rip_net::TreeNet::allowed_mask`] can be passed straight
+    /// through): the minimum achievable delay when buffers may only
+    /// occupy allowed coarse sites. A `None` or all-true mask is
+    /// byte-identical to [`Engine::tree_tau_min`] and shares its cache
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RipError::Dp`] ([`DpError::BadAllowedMask`]) when the
+    /// mask length does not match the tree.
+    pub fn tree_tau_min_masked(
+        &self,
+        tree: &RcTree,
+        driver_width: f64,
+        config: &TreeRipConfig,
+        allowed: Option<&[bool]>,
+    ) -> Result<f64, RipError> {
+        let allowed = effective_mask(tree, allowed)?;
+        let key = masked_key(
+            cache_key(&(
+                "tree_tau_min",
+                tree,
+                driver_width.to_bits(),
+                config.coarse_step_um.to_bits(),
+            )),
+            allowed,
+        );
         if let Some(tmin) = self.cache_get(&self.tau_mins, &key, &self.counters.tau_min_hits) {
-            return tmin;
+            return Ok(tmin);
         }
-        let sites = self.subdivision(tree, config.coarse_step_um);
+        let sites = self.subdivision_masked(tree, config.coarse_step_um, allowed);
         let library = RepeaterLibrary::range_step(10.0, 400.0, 10.0)
             .expect("paper library constants are valid");
         let tmin = self.with_tree_scratch(|scratch| {
             tree_min_delay_with(
                 scratch,
-                &sites,
+                &sites.tree,
                 self.tech.device(),
                 driver_width,
                 &library,
-                None,
+                sites.allowed.as_deref(),
             )
-            .expect("min-delay tree DP cannot fail without a mask")
-            .delay_fs
-        });
-        self.finish_lookup(
+            .map(|sol| sol.delay_fs)
+        })?;
+        Ok(self.finish_lookup(
             &self.tau_mins,
             self.value_cache_cap.load(Ordering::Relaxed),
             key,
             tmin,
             &self.counters.tau_min_hits,
             &self.counters.tau_min_misses,
-        )
+        ))
     }
 
     /// Runs the hybrid RIP pipeline on an RC tree through the session's
@@ -1203,34 +1345,83 @@ impl Engine {
         target_fs: f64,
         config: &TreeRipConfig,
     ) -> Result<TreeRipOutcome, RipError> {
+        self.solve_tree_masked(tree, driver_width, target_fs, config, None)
+    }
+
+    /// [`Engine::solve_tree`] under a buffer-legality mask: `allowed[v]`
+    /// says whether a buffer may occupy node `v` of the **original**
+    /// tree indexing (the indexing [`RcTree::from_tree_net`] preserves,
+    /// so a [`rip_net::TreeNet::allowed_mask`] — e.g. the `blocked`
+    /// attributes of a `.tree` file — passes straight through).
+    ///
+    /// The mask is binding end to end:
+    ///
+    /// * the coarse DP (stage 1) and its min-delay fallback only see
+    ///   coarse sites whose projection is legal — inserted Steiner
+    ///   points inherit the legality of their covering original edge
+    ///   ([`RcTree::project_allowed`]);
+    /// * the width trim (stage 2) keeps the coarse stage's legal sites
+    ///   fixed, so it cannot re-legalize a blocked node;
+    /// * the fine DP (stage 4) intersects its windowed candidate sites
+    ///   with the projected fine mask before solving.
+    ///
+    /// A `None` or all-true mask is **byte-identical** to
+    /// [`Engine::solve_tree`] (it normalizes away and shares the
+    /// unmasked cache entries); a real mask never places a buffer on a
+    /// blocked node — the masked-tree conformance suite pins both.
+    ///
+    /// # Errors
+    ///
+    /// * [`RipError::Dp`] ([`DpError::BadAllowedMask`]) when the mask
+    ///   length does not match the tree;
+    /// * [`RipError::Infeasible`] when the target cannot be met over
+    ///   the legal sites — an all-blocked region degrades to bufferless
+    ///   buffering and surfaces here as a typed infeasibility, never a
+    ///   panic;
+    /// * other [`RipError`] variants for invalid inputs.
+    pub fn solve_tree_masked(
+        &self,
+        tree: &RcTree,
+        driver_width: f64,
+        target_fs: f64,
+        config: &TreeRipConfig,
+        allowed: Option<&[bool]>,
+    ) -> Result<TreeRipOutcome, RipError> {
+        let allowed = effective_mask(tree, allowed)?;
         self.with_tree_scratch(|scratch| {
-            self.solve_tree_with_scratch(tree, driver_width, target_fs, config, scratch)
+            self.solve_tree_with_scratch(tree, driver_width, target_fs, config, allowed, scratch)
         })
     }
 
-    /// [`Engine::solve_tree`] against one checked-out scratch.
+    /// [`Engine::solve_tree_masked`] against one checked-out scratch.
+    /// `allowed` must already be validated/normalized
+    /// ([`effective_mask`]).
     fn solve_tree_with_scratch(
         &self,
         tree: &RcTree,
         driver_width: f64,
         target_fs: f64,
         config: &TreeRipConfig,
+        allowed: Option<&[bool]>,
         scratch: &mut TreeScratch,
     ) -> Result<TreeRipOutcome, RipError> {
         self.counters.trees_solved.fetch_add(1, Ordering::Relaxed);
         let device = self.tech.device();
         let mut runtime = RipRuntime::default();
 
-        // ---- Stage 1: coarse tree DP.
+        // ---- Stage 1: coarse tree DP (over the legal coarse sites
+        // only, when a mask is in force).
         let t0 = Instant::now();
-        let coarse_tree = self.subdivision(tree, config.coarse_step_um);
+        let coarse_sites = self.subdivision_masked(tree, config.coarse_step_um, allowed);
+        let coarse_tree = &coarse_sites.tree;
+        let coarse_mask = coarse_sites.allowed.as_deref();
         let coarse = match tree_min_power_with(
             scratch,
-            &coarse_tree,
+            coarse_tree,
             device,
             driver_width,
             &config.base.coarse.library,
-            None,
+            coarse_mask,
             target_fs,
         ) {
             Ok(sol) => sol,
@@ -1238,11 +1429,11 @@ impl Engine {
                 // Seed from the fastest coarse buffering, as on chains.
                 let fastest = tree_min_delay_with(
                     scratch,
-                    &coarse_tree,
+                    coarse_tree,
                     device,
                     driver_width,
                     &config.base.coarse.library,
-                    None,
+                    coarse_mask,
                 )?;
                 if fastest.delay_fs > target_fs {
                     return Err(RipError::Infeasible {
@@ -1259,7 +1450,7 @@ impl Engine {
         // ---- Stage 2: continuous width trim at the chosen sites.
         let t1 = Instant::now();
         let trim: TreeTrimOutcome = match trim_tree_widths(
-            &coarse_tree,
+            coarse_tree,
             device,
             driver_width,
             &coarse.buffer_widths,
@@ -1281,10 +1472,11 @@ impl Engine {
         let trimmed_widths: Vec<f64> = trim.buffer_widths.iter().flatten().copied().collect();
         let t2 = Instant::now();
         if trimmed_widths.is_empty() {
-            let fine_tree = self.subdivision(tree, config.fine_step_um);
+            let fine_sites = self.subdivision_masked(tree, config.fine_step_um, allowed);
+            let fine_tree = &fine_sites.tree;
             let unbuffered = tree_min_power_with(
                 scratch,
-                &fine_tree,
+                fine_tree,
                 device,
                 driver_width,
                 &config.base.coarse.library,
@@ -1294,7 +1486,7 @@ impl Engine {
             runtime.fine = t2.elapsed();
             return Ok(TreeRipOutcome {
                 solution: unbuffered,
-                fine_tree: (*fine_tree).clone(),
+                fine_tree: fine_tree.clone(),
                 coarse_width: coarse.total_width,
                 trimmed_width: 0.0,
                 library: config.base.coarse.library.clone(),
@@ -1312,11 +1504,13 @@ impl Engine {
         // root-distance frame of the *original* tree is approximated on
         // the fine tree, which shares its geometry).
         let window_um = config.base.fine.window_half_slots as f64 * config.base.fine.window_step_um;
-        let fine_tree = self.subdivision(tree, config.fine_step_um);
+        let fine_sites = self.subdivision_masked(tree, config.fine_step_um, allowed);
+        let fine_tree = &fine_sites.tree;
+        let fine_mask = fine_sites.allowed.as_deref();
         let buffer_sites: Vec<usize> = (0..coarse_tree.len())
             .filter(|&v| trim.buffer_widths[v].is_some())
             .collect();
-        let mut allowed = vec![false; fine_tree.len()];
+        let mut windowed = vec![false; fine_tree.len()];
         let mut candidate_count = 0usize;
         // Both subdivisions preserve geometry, so match sites by root
         // distance + subtree identity via nearest fine node on the same
@@ -1324,12 +1518,17 @@ impl Engine {
         // for the common case: allow fine nodes whose root distance is
         // within the window of some chosen buffer's root distance.
         // (Branches at equal depth admit a few extra candidates; the DP
-        // simply ignores unhelpful ones.)
+        // simply ignores unhelpful ones.) Under a mask, the window is
+        // intersected with the projected fine legality before the DP
+        // ever sees it.
         let buffer_dists: Vec<f64> = buffer_sites
             .iter()
             .map(|&v| coarse_tree.root_distance(v))
             .collect();
-        for (v, slot) in allowed.iter_mut().enumerate().skip(1) {
+        for (v, slot) in windowed.iter_mut().enumerate().skip(1) {
+            if fine_mask.is_some_and(|m| !m[v]) {
+                continue;
+            }
             let d = fine_tree.root_distance(v);
             if buffer_dists.iter().any(|&bd| (d - bd).abs() <= window_um) {
                 *slot = true;
@@ -1342,11 +1541,11 @@ impl Engine {
             self.synthesized_library(&rounded, grid, config.base.fine.enrich_steps, false)?;
         let mut solution = tree_min_power_with(
             scratch,
-            &fine_tree,
+            fine_tree,
             device,
             driver_width,
             &library,
-            Some(&allowed),
+            Some(&windowed),
             target_fs,
         );
         if matches!(solution, Err(DpError::InfeasibleTarget { .. })) {
@@ -1358,11 +1557,11 @@ impl Engine {
             )?;
             solution = tree_min_power_with(
                 scratch,
-                &fine_tree,
+                fine_tree,
                 device,
                 driver_width,
                 &library,
-                Some(&allowed),
+                Some(&windowed),
                 target_fs,
             );
         }
@@ -1381,7 +1580,7 @@ impl Engine {
 
         Ok(TreeRipOutcome {
             solution,
-            fine_tree: (*fine_tree).clone(),
+            fine_tree: fine_tree.clone(),
             coarse_width: coarse.total_width,
             trimmed_width: trim.total_width,
             library: (*library).clone(),
@@ -1441,6 +1640,45 @@ impl Engine {
                 BatchTarget::PerNetFs(all) => all[i],
             };
             self.solve_tree(tree, *driver_width, target_fs, config)
+        })
+    }
+
+    /// [`Engine::solve_tree_batch`] with a per-tree buffer-legality
+    /// mask: each entry is `(tree, driver width, allowed)` where
+    /// `allowed` follows [`Engine::solve_tree_masked`]'s conventions
+    /// (`None` = unmasked; aligned to the tree's original indexing).
+    ///
+    /// The output is input-ordered and deterministic: entry `i` is
+    /// exactly what `self.solve_tree_masked(..)` returns for that
+    /// entry, regardless of thread interleaving.
+    /// [`BatchTarget::TauMinMultiple`] resolves against each tree's
+    /// cached **masked** `τ_min` ([`Engine::tree_tau_min_masked`]), so
+    /// relative targets stay achievable under the mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`BatchTarget::PerNetFs`] list length differs from
+    /// `trees.len()`.
+    #[allow(clippy::type_complexity)]
+    pub fn solve_tree_batch_masked(
+        &self,
+        trees: &[(RcTree, f64, Option<Vec<bool>>)],
+        target: &BatchTarget,
+        config: &TreeRipConfig,
+    ) -> Vec<Result<TreeRipOutcome, RipError>> {
+        if let BatchTarget::PerNetFs(all) = target {
+            assert_eq!(all.len(), trees.len(), "one target per tree");
+        }
+        par_map(trees, |i, (tree, driver_width, allowed)| {
+            let allowed = allowed.as_deref();
+            let target_fs = match target {
+                BatchTarget::AbsoluteFs(fs) => *fs,
+                BatchTarget::TauMinMultiple(mult) => {
+                    mult * self.tree_tau_min_masked(tree, *driver_width, config, allowed)?
+                }
+                BatchTarget::PerNetFs(all) => all[i],
+            };
+            self.solve_tree_masked(tree, *driver_width, target_fs, config, allowed)
         })
     }
 }
@@ -1745,6 +1983,162 @@ mod tests {
             format!("{:?}", solo.solution),
             format!("{:?}", b[1].as_ref().unwrap().solution)
         );
+    }
+
+    #[test]
+    fn trivial_masks_are_byte_identical_to_unmasked_solves() {
+        let engine = engine();
+        let config = crate::TreeRipConfig::paper();
+        let (tree, driver) = trees(5, 1).remove(0);
+        let target = 1.4 * engine.tree_tau_min(&tree, driver, &config);
+        let unmasked = engine.solve_tree(&tree, driver, target, &config).unwrap();
+        // All-true mask (and one that only blocks the ignored root
+        // entry) normalize away entirely: same cache keys, same bytes.
+        let before = engine.stats();
+        for mask in [vec![true; tree.len()], {
+            let mut m = vec![true; tree.len()];
+            m[0] = false;
+            m
+        }] {
+            let masked = engine
+                .solve_tree_masked(&tree, driver, target, &config, Some(&mask))
+                .unwrap();
+            assert_eq!(
+                format!("{:?}", masked.solution),
+                format!("{:?}", unmasked.solution)
+            );
+            assert_eq!(
+                engine
+                    .tree_tau_min_masked(&tree, driver, &config, Some(&mask))
+                    .unwrap()
+                    .to_bits(),
+                engine.tree_tau_min(&tree, driver, &config).to_bits()
+            );
+        }
+        let after = engine.stats();
+        assert_eq!(
+            after.misses(),
+            before.misses(),
+            "trivially-masked solves must be served from the unmasked cache"
+        );
+    }
+
+    #[test]
+    fn masked_and_unmasked_subdivisions_never_alias() {
+        let engine = engine();
+        let config = crate::TreeRipConfig::paper();
+        let (tree, driver) = trees(9, 1).remove(0);
+        let mut mask = vec![true; tree.len()];
+        mask[1] = false;
+        let target = 1.5 * engine.tree_tau_min(&tree, driver, &config);
+        let _ = engine.solve_tree(&tree, driver, target, &config).unwrap();
+        let misses_unmasked = engine.stats().tree_grid_misses;
+        // The masked solve must build its own (projected) subdivisions…
+        let masked_target = 1.5
+            * engine
+                .tree_tau_min_masked(&tree, driver, &config, Some(&mask))
+                .unwrap();
+        let _ = engine
+            .solve_tree_masked(&tree, driver, masked_target, &config, Some(&mask))
+            .unwrap();
+        let misses_masked = engine.stats().tree_grid_misses;
+        assert!(
+            misses_masked > misses_unmasked,
+            "a real mask must not be served from the unmasked subdivision entries"
+        );
+        // …and a repeat of both is fully warm.
+        let _ = engine.solve_tree(&tree, driver, target, &config).unwrap();
+        let _ = engine
+            .solve_tree_masked(&tree, driver, masked_target, &config, Some(&mask))
+            .unwrap();
+        assert_eq!(engine.stats().tree_grid_misses, misses_masked);
+    }
+
+    #[test]
+    fn bad_masks_are_typed_errors_and_all_blocked_is_infeasible_or_bufferless() {
+        let engine = engine();
+        let config = crate::TreeRipConfig::paper();
+        let (tree, driver) = trees(13, 1).remove(0);
+        // Misaligned mask: typed error from every masked entry point.
+        let short = vec![true; tree.len() - 1];
+        assert!(matches!(
+            engine.solve_tree_masked(&tree, driver, 1.0e6, &config, Some(&short)),
+            Err(RipError::Dp(rip_dp::DpError::BadAllowedMask { .. }))
+        ));
+        assert!(matches!(
+            engine.tree_tau_min_masked(&tree, driver, &config, Some(&short)),
+            Err(RipError::Dp(rip_dp::DpError::BadAllowedMask { .. }))
+        ));
+        // An all-blocked mask degrades to bufferless buffering: a tight
+        // target is a typed infeasibility (never a panic)…
+        let blocked = vec![false; tree.len()];
+        let unbuffered = engine
+            .tree_tau_min_masked(&tree, driver, &config, Some(&blocked))
+            .unwrap();
+        let err = engine
+            .solve_tree_masked(&tree, driver, unbuffered * 0.5, &config, Some(&blocked))
+            .unwrap_err();
+        assert!(matches!(err, RipError::Infeasible { .. }));
+        // …while a loose target solves without placing any buffer.
+        let out = engine
+            .solve_tree_masked(&tree, driver, unbuffered * 2.0, &config, Some(&blocked))
+            .unwrap();
+        assert!(out.solution.buffer_widths.iter().all(Option::is_none));
+        assert_eq!(out.solution.total_width, 0.0);
+    }
+
+    #[test]
+    fn masked_batch_matches_sequential_masked_solves() {
+        let engine = engine();
+        let config = crate::TreeRipConfig::paper();
+        let jobs: Vec<(RcTree, f64, Option<Vec<bool>>)> = {
+            let device = *Technology::generic_180nm().device();
+            rip_net::TreeNetGenerator::suite(rip_net::RandomTreeConfig::compact(), 21, 3)
+                .unwrap()
+                .iter()
+                .map(|net| {
+                    (
+                        RcTree::from_tree_net(net, &device),
+                        net.driver_width(),
+                        Some(net.allowed_mask()),
+                    )
+                })
+                .collect()
+        };
+        let target = BatchTarget::TauMinMultiple(1.4);
+        let batch = engine.solve_tree_batch_masked(&jobs, &target, &config);
+        for (i, ((tree, driver, allowed), out)) in jobs.iter().zip(&batch).enumerate() {
+            let allowed = allowed.as_deref();
+            let solo_target = 1.4
+                * engine
+                    .tree_tau_min_masked(tree, *driver, &config, allowed)
+                    .unwrap();
+            let solo = engine
+                .solve_tree_masked(tree, *driver, solo_target, &config, allowed)
+                .unwrap();
+            assert_eq!(
+                format!("{:?}", solo.solution),
+                format!("{:?}", out.as_ref().unwrap().solution),
+                "tree {i}: masked batch diverged from the sequential masked solve"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_stats_rezeroes_every_counter() {
+        let engine = engine();
+        let nets = nets(17, 2);
+        let _ = engine.solve_batch(&nets, &BatchTarget::TauMinMultiple(1.4));
+        let before = engine.stats();
+        assert!(before.misses() > 0 && before.nets_solved == 2);
+        engine.reset_stats();
+        assert_eq!(engine.stats(), EngineStats::default());
+        // The caches themselves survive a stats reset: a repeated batch
+        // is all hits, no misses.
+        let _ = engine.solve_batch(&nets, &BatchTarget::TauMinMultiple(1.4));
+        let after = engine.stats();
+        assert_eq!(after.misses(), 0, "reset must not drop cache contents");
+        assert!(after.hits() > 0);
     }
 
     #[test]

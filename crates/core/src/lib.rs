@@ -83,7 +83,7 @@ pub use engine::{BatchTarget, Engine, EngineStats};
 pub use error::RipError;
 pub use pipeline::{rip, RipOutcome, RipRuntime};
 pub use tmin::{tau_min, tau_min_paper};
-pub use tree_pipeline::{tree_rip, TreeRipConfig, TreeRipOutcome};
+pub use tree_pipeline::{tree_rip, tree_rip_masked, TreeRipConfig, TreeRipOutcome};
 
 /// Convenient bulk imports for applications.
 ///
@@ -95,8 +95,9 @@ pub use tree_pipeline::{tree_rip, TreeRipConfig, TreeRipOutcome};
 /// ```
 pub mod prelude {
     pub use crate::{
-        baseline_dp, power_saving_percent, rip, tau_min, tau_min_paper, tree_rip, BaselineConfig,
-        BatchTarget, Engine, EngineStats, RipConfig, RipError, RipOutcome, TreeRipConfig,
+        baseline_dp, power_saving_percent, rip, tau_min, tau_min_paper, tree_rip, tree_rip_masked,
+        BaselineConfig, BatchTarget, Engine, EngineStats, RipConfig, RipError, RipOutcome,
+        TreeRipConfig,
     };
     pub use rip_delay::{evaluate, Repeater, RepeaterAssignment};
     pub use rip_dp::{solve_min_delay, solve_min_power, CandidateSet, DpSolution};

@@ -130,6 +130,35 @@ pub fn tree_rip(
     Engine::new(tech.clone(), config.base.clone()).solve_tree(tree, driver_width, target_fs, config)
 }
 
+/// [`tree_rip`] under a per-node buffer-legality mask (see
+/// [`Engine::solve_tree_masked`] for the binding semantics): blocked
+/// nodes — e.g. the `blocked` attributes of a `.tree` file, via
+/// [`rip_net::TreeNet::allowed_mask`] — never receive a buffer, in any
+/// stage. A `None` or all-true mask is byte-identical to [`tree_rip`].
+///
+/// # Errors
+///
+/// * [`RipError::Dp`] for a mask not aligned to the tree;
+/// * [`RipError::Infeasible`] when the target cannot be met over the
+///   legal sites;
+/// * other [`RipError`] variants for invalid inputs.
+pub fn tree_rip_masked(
+    tree: &RcTree,
+    tech: &Technology,
+    driver_width: f64,
+    target_fs: f64,
+    config: &TreeRipConfig,
+    allowed: Option<&[bool]>,
+) -> Result<TreeRipOutcome, RipError> {
+    Engine::new(tech.clone(), config.base.clone()).solve_tree_masked(
+        tree,
+        driver_width,
+        target_fs,
+        config,
+        allowed,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -308,6 +308,59 @@ impl RcTree {
         (out, map)
     }
 
+    /// Projects a per-node buffer-legality mask of *this* tree onto one
+    /// of its subdivisions.
+    ///
+    /// `sub` and `map` must come from [`RcTree::subdivided`] on this
+    /// tree; `allowed[v]` says whether a buffer may be placed at
+    /// original node `v`. In the projection:
+    ///
+    /// * the image `map[v]` of an original node inherits `allowed[v]`
+    ///   verbatim;
+    /// * the Steiner points inserted along an original edge inherit the
+    ///   legality of their **covering edge**: they are legal exactly
+    ///   when *both* endpoints of the original edge are legal (a wire
+    ///   entering or leaving a blockage is conservatively treated as
+    ///   over the blockage for its whole run);
+    /// * the root counts as legal wherever an endpoint is consulted —
+    ///   its mask entry is ignored throughout the DP (the root hosts
+    ///   the driver, never a buffer) — and the projected root entry is
+    ///   always `true`.
+    ///
+    /// This is the one definition of blocked-node semantics on
+    /// subdivided trees; the hybrid tree pipeline
+    /// (`rip_core::Engine::solve_tree_masked`) and the masked-tree
+    /// conformance suite both use it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `allowed` or `map` is not aligned to this tree, or
+    /// when `map` does not point into `sub`.
+    pub fn project_allowed(&self, sub: &RcTree, map: &[usize], allowed: &[bool]) -> Vec<bool> {
+        assert_eq!(allowed.len(), self.len(), "one mask entry per node");
+        assert_eq!(map.len(), self.len(), "one map entry per node");
+        let node_ok = |u: usize| u == 0 || allowed[u];
+        let mut projected = vec![true; sub.len()];
+        for v in 1..self.len() {
+            let p = self.nodes[v].parent.expect("non-root nodes have parents");
+            let edge_ok = node_ok(p) && node_ok(v);
+            // The subdivision chains an edge's pieces from map[p] down
+            // to map[v]; walk back up, labelling the image of v with
+            // its own flag and every interior Steiner point with the
+            // edge's flag.
+            let mut w = map[v];
+            projected[w] = node_ok(v);
+            loop {
+                w = sub.parent(w).expect("subdivided chains reach map[parent]");
+                if w == map[p] {
+                    break;
+                }
+                projected[w] = edge_ok;
+            }
+        }
+        projected
+    }
+
     /// Sets the tap (sink) capacitance at a node, fF.
     ///
     /// # Errors
@@ -714,6 +767,71 @@ mod tests {
         assert_eq!(fine.len(), tree.len());
         assert_eq!(map[a], a);
         assert_eq!(fine.wire(a), tree.wire(a));
+    }
+
+    #[test]
+    fn mask_projection_labels_images_and_edge_interiors() {
+        let mut tree = RcTree::with_root();
+        let a = tree.add_line_child(0, 0.08, 0.2, 900.0).unwrap(); // 3 pieces at 300
+        let b = tree.add_line_child(a, 0.06, 0.18, 600.0).unwrap(); // 2 pieces
+        let c = tree.add_line_child(a, 0.08, 0.2, 250.0).unwrap(); // 1 piece
+        tree.set_sink_cap(b, 40.0).unwrap();
+        tree.set_sink_cap(c, 40.0).unwrap();
+        let (sub, map) = tree.subdivided(300.0);
+
+        // Block `a`: its image, the interior of the root→a edge (both
+        // endpoints legal? no — a is blocked) and the interiors of the
+        // a→b / a→c edges are all illegal; images of b and c stay legal.
+        let allowed = vec![true, false, true, true];
+        let projected = tree.project_allowed(&sub, &map, &allowed);
+        assert_eq!(projected.len(), sub.len());
+        assert!(projected[0], "the root is always projected legal");
+        assert!(!projected[map[a]], "the image of a blocked node is blocked");
+        assert!(projected[map[b]] && projected[map[c]]);
+        for (v, &ok) in projected.iter().enumerate().skip(1) {
+            if v == map[a] || v == map[b] || v == map[c] {
+                continue;
+            }
+            assert!(
+                !ok,
+                "Steiner point {v} borders the blocked node a and must be blocked"
+            );
+        }
+
+        // Fully legal original nodes project to a fully legal subdivision.
+        let all = tree.project_allowed(&sub, &map, &vec![true; tree.len()]);
+        assert!(all.iter().all(|&ok| ok));
+
+        // A blocked *root* entry is ignored: the first edge's interior
+        // stays legal when its child endpoint is legal.
+        let root_blocked = vec![false, true, true, true];
+        let projected = tree.project_allowed(&sub, &map, &root_blocked);
+        assert!(projected.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn mask_projection_keeps_unsplit_edges_aligned() {
+        // Edges shorter than the step are copied unsplit, so projection
+        // must reduce to the identity relabelling through `map`.
+        let mut tree = RcTree::with_root();
+        let a = tree.add_uniform_child(0, 100.0, 300.0).unwrap();
+        let s = tree.add_uniform_child(a, 80.0, 200.0).unwrap();
+        tree.set_sink_cap(s, 20.0).unwrap();
+        let (sub, map) = tree.subdivided(10.0);
+        let allowed = vec![true, false, true];
+        let projected = tree.project_allowed(&sub, &map, &allowed);
+        assert_eq!(projected, vec![true, false, true]);
+        assert_eq!(map[a], a);
+    }
+
+    #[test]
+    #[should_panic(expected = "one mask entry per node")]
+    fn mask_projection_rejects_misaligned_masks() {
+        let mut tree = RcTree::with_root();
+        let s = tree.add_line_child(0, 0.08, 0.2, 500.0).unwrap();
+        tree.set_sink_cap(s, 20.0).unwrap();
+        let (sub, map) = tree.subdivided(100.0);
+        let _ = tree.project_allowed(&sub, &map, &[true]);
     }
 
     #[test]

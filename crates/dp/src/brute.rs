@@ -9,7 +9,8 @@
 use crate::candidates::CandidateSet;
 use crate::chain::{DpSolution, DpStats};
 use crate::error::DpError;
-use rip_delay::{evaluate, Repeater, RepeaterAssignment};
+use crate::tree::TreeSolution;
+use rip_delay::{evaluate, RcTree, Repeater, RepeaterAssignment};
 use rip_net::TwoPinNet;
 use rip_tech::{RepeaterDevice, RepeaterLibrary};
 
@@ -90,6 +91,155 @@ pub fn brute_min_power(
         target_fs,
         achievable_fs: fastest,
     })
+}
+
+/// Exhaustive minimum-delay buffering of an RC tree, restricted to the
+/// nodes an optional legality mask allows — the tree counterpart of
+/// [`brute_min_delay`], and the ground-truth oracle the masked tree DP
+/// is cross-validated against.
+///
+/// * `allowed` — optional per-node mask aligned to `tree` (the root
+///   entry is ignored; buffers are never placed at the root).
+///
+/// # Errors
+///
+/// Returns [`DpError::BadAllowedMask`] for a mask of the wrong length.
+///
+/// # Panics
+///
+/// Panics when `(library.len() + 1) ^ legal_nodes` exceeds the internal
+/// combination cap — this is a test oracle, not a production solver.
+pub fn brute_tree_min_delay(
+    tree: &RcTree,
+    device: &RepeaterDevice,
+    driver_width: f64,
+    library: &RepeaterLibrary,
+    allowed: Option<&[bool]>,
+) -> Result<TreeSolution, DpError> {
+    let mut best: Option<TreeSolution> = None;
+    for_each_tree_combination(tree, device, driver_width, library, allowed, |sol| {
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                sol.delay_fs < b.delay_fs - 1e-12
+                    || ((sol.delay_fs - b.delay_fs).abs() <= 1e-12
+                        && sol.total_width < b.total_width)
+            }
+        };
+        if better {
+            best = Some(sol);
+        }
+    })?;
+    Ok(best.expect("the bufferless combination always exists"))
+}
+
+/// Exhaustive minimum-power tree buffering under a timing target,
+/// restricted to the legal nodes — "optimal power at equal delay"
+/// ground truth for masked tree solves.
+///
+/// # Errors
+///
+/// * [`DpError::InvalidTarget`] for a bad target;
+/// * [`DpError::InfeasibleTarget`] when no legal combination meets it;
+/// * [`DpError::BadAllowedMask`] for a mask of the wrong length.
+///
+/// # Panics
+///
+/// Panics when the combination count exceeds the internal cap.
+pub fn brute_tree_min_power(
+    tree: &RcTree,
+    device: &RepeaterDevice,
+    driver_width: f64,
+    library: &RepeaterLibrary,
+    allowed: Option<&[bool]>,
+    target_fs: f64,
+) -> Result<TreeSolution, DpError> {
+    if !target_fs.is_finite() || target_fs <= 0.0 {
+        return Err(DpError::InvalidTarget { target_fs });
+    }
+    let mut best: Option<TreeSolution> = None;
+    let mut fastest = f64::INFINITY;
+    for_each_tree_combination(tree, device, driver_width, library, allowed, |sol| {
+        fastest = fastest.min(sol.delay_fs);
+        if sol.delay_fs > target_fs {
+            return;
+        }
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                sol.total_width < b.total_width - 1e-12
+                    || ((sol.total_width - b.total_width).abs() <= 1e-12
+                        && sol.delay_fs < b.delay_fs)
+            }
+        };
+        if better {
+            best = Some(sol);
+        }
+    })?;
+    best.ok_or(DpError::InfeasibleTarget {
+        target_fs,
+        achievable_fs: fastest,
+    })
+}
+
+/// Enumerates every width assignment over the legal non-root nodes;
+/// calls `visit` with each evaluated tree solution.
+fn for_each_tree_combination(
+    tree: &RcTree,
+    device: &RepeaterDevice,
+    driver_width: f64,
+    library: &RepeaterLibrary,
+    allowed: Option<&[bool]>,
+    mut visit: impl FnMut(TreeSolution),
+) -> Result<(), DpError> {
+    if let Some(mask) = allowed {
+        if mask.len() != tree.len() {
+            return Err(DpError::BadAllowedMask {
+                got: mask.len(),
+                expected: tree.len(),
+            });
+        }
+    }
+    let sites: Vec<usize> = (1..tree.len())
+        .filter(|&v| allowed.map_or(true, |m| m[v]))
+        .collect();
+    let base = library.len() + 1; // widths + "no buffer here"
+    let combos = (base as f64).powi(sites.len() as i32);
+    assert!(
+        combos <= MAX_COMBINATIONS,
+        "brute force limited to {MAX_COMBINATIONS} combinations, requested {combos}"
+    );
+    let mut digits = vec![0usize; sites.len()];
+    loop {
+        let mut buffer_widths: Vec<Option<f64>> = vec![None; tree.len()];
+        let mut total_width = 0.0;
+        for (&site, &d) in sites.iter().zip(&digits) {
+            if d > 0 {
+                let w = library.widths()[d - 1];
+                buffer_widths[site] = Some(w);
+                total_width += w;
+            }
+        }
+        let timing = tree.evaluate_buffered(device, driver_width, &buffer_widths);
+        visit(TreeSolution {
+            buffer_widths,
+            delay_fs: timing.max_sink_delay,
+            total_width,
+            stats: DpStats::default(),
+        });
+        let mut i = 0;
+        loop {
+            if i == sites.len() {
+                return Ok(());
+            }
+            digits[i] += 1;
+            if digits[i] < base {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+    }
 }
 
 /// Enumerates all combinations; calls `visit` with each evaluated
@@ -222,6 +372,82 @@ mod tests {
             ) => assert!((a - b).abs() < 1e-6),
             other => panic!("unexpected errors {other:?}"),
         }
+    }
+
+    fn tiny_tree(dev: &RepeaterDevice) -> RcTree {
+        let mut tree = RcTree::with_root();
+        let trunk = tree.add_uniform_child(0, 400.0, 1200.0).unwrap();
+        let s1 = tree.add_uniform_child(trunk, 300.0, 800.0).unwrap();
+        let s2 = tree.add_uniform_child(trunk, 500.0, 1500.0).unwrap();
+        tree.set_sink_cap(s1, dev.input_cap(60.0)).unwrap();
+        tree.set_sink_cap(s2, dev.input_cap(40.0)).unwrap();
+        tree
+    }
+
+    #[test]
+    fn masked_tree_dp_matches_brute_force() {
+        let tech = Technology::generic_180nm();
+        let dev = tech.device();
+        let tree = tiny_tree(dev);
+        let lib = RepeaterLibrary::from_widths([40.0, 120.0, 280.0]).unwrap();
+        for mask in [
+            vec![true, true, true, true],
+            vec![true, false, true, true],
+            vec![true, true, false, false],
+        ] {
+            let fastest = brute_tree_min_delay(&tree, dev, 120.0, &lib, Some(&mask)).unwrap();
+            let dp_fastest = crate::tree_min_delay(&tree, dev, 120.0, &lib, Some(&mask)).unwrap();
+            assert!(
+                (fastest.delay_fs - dp_fastest.delay_fs).abs() < 1e-6,
+                "mask {mask:?}: brute {} vs dp {}",
+                fastest.delay_fs,
+                dp_fastest.delay_fs
+            );
+            for mult in [1.05, 1.3, 1.8] {
+                let target = fastest.delay_fs * mult;
+                let brute =
+                    brute_tree_min_power(&tree, dev, 120.0, &lib, Some(&mask), target).unwrap();
+                let dp =
+                    crate::tree_min_power(&tree, dev, 120.0, &lib, Some(&mask), target).unwrap();
+                assert!(
+                    (brute.total_width - dp.total_width).abs() < 1e-9,
+                    "mask {mask:?} mult {mult}: brute width {} vs dp {}",
+                    brute.total_width,
+                    dp.total_width
+                );
+                for (v, &ok) in mask.iter().enumerate() {
+                    assert!(ok || brute.buffer_widths[v].is_none());
+                    assert!(ok || dp.buffer_widths[v].is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_blocked_tree_is_bufferless() {
+        let tech = Technology::generic_180nm();
+        let dev = tech.device();
+        let tree = tiny_tree(dev);
+        let lib = RepeaterLibrary::from_widths([40.0, 120.0]).unwrap();
+        let mask = vec![false; tree.len()];
+        let sol = brute_tree_min_delay(&tree, dev, 120.0, &lib, Some(&mask)).unwrap();
+        assert!(sol.buffer_widths.iter().all(Option::is_none));
+        assert_eq!(sol.total_width, 0.0);
+        // An unreachable target under the all-blocked mask is a typed
+        // infeasibility carrying the bufferless delay.
+        let err = brute_tree_min_power(&tree, dev, 120.0, &lib, Some(&mask), sol.delay_fs * 0.5)
+            .unwrap_err();
+        match err {
+            DpError::InfeasibleTarget { achievable_fs, .. } => {
+                assert_eq!(achievable_fs.to_bits(), sol.delay_fs.to_bits());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Misaligned masks are rejected, not mis-indexed.
+        assert!(matches!(
+            brute_tree_min_delay(&tree, dev, 120.0, &lib, Some(&[true])),
+            Err(DpError::BadAllowedMask { .. })
+        ));
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //!   motivates RIP (paper, Section 2);
 //! * [`CandidateSet`] — validated candidate positions (uniform grids and
 //!   RIP's refined windows);
-//! * [`brute_min_delay`] / [`brute_min_power`] — exhaustive reference
-//!   oracles for cross-validation on tiny instances;
+//! * [`brute_min_delay`] / [`brute_min_power`] (and the tree
+//!   counterparts [`brute_tree_min_delay`] / [`brute_tree_min_power`],
+//!   which honor the same `allowed` legality masks as the tree DP) —
+//!   exhaustive reference oracles for cross-validation on tiny
+//!   instances;
 //! * [`tree_min_delay`] / [`tree_min_power`] — the tree extension
 //!   announced in the paper's conclusion, cross-validated against the
 //!   chain engines on path topologies; like the chain sweep it runs on
@@ -68,7 +71,7 @@ pub mod reference;
 mod solver;
 mod tree;
 
-pub use brute::{brute_min_delay, brute_min_power};
+pub use brute::{brute_min_delay, brute_min_power, brute_tree_min_delay, brute_tree_min_power};
 pub use candidates::CandidateSet;
 pub use chain::{
     solve, solve_min_delay, solve_min_delay_with, solve_min_power, solve_min_power_with,

@@ -209,6 +209,22 @@ impl Default for RandomTreeConfig {
 }
 
 impl RandomTreeConfig {
+    /// A deliberately small distribution — two or three short branch
+    /// paths with an aggressive blocked-node fraction — for
+    /// latency-sensitive consumers: the service load generator, smoke
+    /// scripts and the masked-tree conformance corpus, where the full
+    /// hybrid pipeline must stay fast per solve while still exercising
+    /// forbidden runs on every topology.
+    pub fn compact() -> Self {
+        Self {
+            sink_count: (2, 3),
+            branch_depth: (1, 2),
+            segment_length_um: (800.0, 1600.0),
+            forbidden_fraction: (0.2, 0.5),
+            ..Self::default()
+        }
+    }
+
     /// Validates the configuration ranges.
     ///
     /// # Errors
@@ -495,6 +511,25 @@ mod tests {
         assert!(TreeNet::from_nodes(vec![root(), short], 120.0).is_err());
         // The minimal valid net passes.
         assert!(TreeNet::from_nodes(vec![root(), leaf(0, Some(60.0))], 120.0).is_ok());
+    }
+
+    #[test]
+    fn compact_config_stays_small_and_blocks_nodes() {
+        let cfg = RandomTreeConfig::compact();
+        cfg.validate().unwrap();
+        let mut gen = TreeNetGenerator::from_seed(cfg, 3).unwrap();
+        let mut saw_blocked = false;
+        for _ in 0..20 {
+            let net = gen.generate();
+            assert!(
+                net.len() <= 8,
+                "compact trees stay small ({} nodes)",
+                net.len()
+            );
+            assert!(net.total_length() <= 3.0 * 1600.0 * 2.0);
+            saw_blocked |= net.allowed_mask().iter().any(|ok| !ok);
+        }
+        assert!(saw_blocked, "the compact distribution must produce masks");
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //!
 //! * [`json`] — a tiny JSON value (parser + exact-`f64` writer; the
 //!   workspace builds offline without serde);
-//! * [`protocol`] — the request router: `solve`, `solve_tree`, `batch`,
-//!   `compare`, `tau_min`, `stats`, `shutdown` over a [`ServeState`];
+//! * [`protocol`] — the request router: `solve`, `solve_tree` (with
+//!   binding blocked-node masks and an optional `allowed` override),
+//!   `batch`, `compare`, `tau_min`, `stats`, `reset_stats`, `shutdown`
+//!   over a [`ServeState`];
 //! * [`server`] — the worker threads: shared listener, clean shutdown;
 //! * [`client`] — a blocking line client;
 //! * [`loadgen`] — deterministic concurrent load with **byte-identity**
@@ -58,7 +60,7 @@ pub mod server;
 pub use client::Client;
 pub use json::{parse_json, Json, JsonError};
 pub use loadgen::{
-    connection_script, fire_load, net_pool, prepare_load, run_loadgen, LoadgenConfig,
+    connection_script, fire_load, net_pool, prepare_load, run_loadgen, tree_pool, LoadgenConfig,
     LoadgenOutcome, PreparedLoad, ScriptedRequest,
 };
 pub use protocol::{net_from_json, net_to_json, tree_from_json, tree_to_json, ServeState};

@@ -16,8 +16,10 @@
 
 use crate::client::Client;
 use crate::json::{parse_json, Json};
-use crate::protocol::{net_to_json, ServeState};
-use rip_net::{NetGenerator, RandomNetConfig, TwoPinNet};
+use crate::protocol::{net_to_json, tree_to_json, ServeState};
+use rip_net::{
+    NetGenerator, RandomNetConfig, RandomTreeConfig, TreeNet, TreeNetGenerator, TwoPinNet,
+};
 use std::io;
 use std::net::SocketAddr;
 use std::time::Instant;
@@ -32,7 +34,13 @@ pub struct LoadgenConfig {
     /// Distinct nets in the request pool (requests cycle through them,
     /// so smaller pools produce warmer caches).
     pub nets: usize,
-    /// Net-suite seed.
+    /// Distinct masked trees in the request pool
+    /// ([`RandomTreeConfig::compact`], so every topology carries a
+    /// forbidden run and solves fast). `0` — the default, and what the
+    /// serve benchmark uses — disables `solve_tree` requests and leaves
+    /// the classic chain-only mix byte-for-byte unchanged.
+    pub trees: usize,
+    /// Net-suite seed (the tree pool derives its own seed from this).
     pub seed: u64,
     /// Relative timing target sent with every solve.
     pub target_mult: f64,
@@ -44,6 +52,7 @@ impl Default for LoadgenConfig {
             connections: 4,
             requests_per_conn: 32,
             nets: 12,
+            trees: 0,
             seed: 2005,
             target_mult: 1.4,
         }
@@ -95,10 +104,15 @@ pub struct ScriptedRequest {
 /// The mix cycles solves over the net pool with periodic `tau_min`,
 /// 3-net `batch` and `stats` requests mixed in — connections start at
 /// different pool offsets so concurrent connections hit overlapping
-/// but not identical sequences.
+/// but not identical sequences. With a non-empty tree pool, every
+/// eighth request is a masked `solve_tree` (the generated trees carry
+/// forbidden runs), alternating between the tree's own `blocked` flags
+/// and an equivalent explicit `allowed` override so both request
+/// spellings stay covered.
 pub fn connection_script(
     connection: usize,
     nets: &[TwoPinNet],
+    trees: &[TreeNet],
     config: &LoadgenConfig,
 ) -> Vec<ScriptedRequest> {
     (0..config.requests_per_conn)
@@ -106,6 +120,31 @@ pub fn connection_script(
             let id = (connection * 100_000 + k) as u64;
             let pick = |offset: usize| &nets[(connection + k + offset) % nets.len()];
             match k % 8 {
+                1 if !trees.is_empty() => {
+                    // Cycle by the tree-request ordinal (k / 8), not k
+                    // itself: k is always ≡ 1 (mod 8) in this arm, so
+                    // indexing by k would stick pool sizes sharing a
+                    // factor with 8 on one entry per connection.
+                    let tree = &trees[(connection + k / 8) % trees.len()];
+                    let mut fields = vec![
+                        ("id", Json::from(id)),
+                        ("cmd", Json::from("solve_tree")),
+                        ("tree", tree_to_json(tree)),
+                        ("target_mult", Json::Num(config.target_mult)),
+                    ];
+                    // Odd rounds spell the mask as an explicit override
+                    // (same bits — the responses must not care).
+                    if (k / 8) % 2 == 1 {
+                        fields.push((
+                            "allowed",
+                            Json::Arr(tree.allowed_mask().into_iter().map(Json::Bool).collect()),
+                        ));
+                    }
+                    ScriptedRequest {
+                        line: Json::obj(fields).to_string(),
+                        deterministic: true,
+                    }
+                }
                 5 => ScriptedRequest {
                     line: Json::obj([("id", Json::from(id)), ("cmd", Json::from("stats"))])
                         .to_string(),
@@ -164,6 +203,17 @@ pub fn net_pool(config: &LoadgenConfig) -> Vec<TwoPinNet> {
         .expect("the default net distribution is valid")
 }
 
+/// The deterministic masked-tree pool of a loadgen configuration
+/// (empty when `config.trees` is 0 — the chain-only mix).
+pub fn tree_pool(config: &LoadgenConfig) -> Vec<TreeNet> {
+    TreeNetGenerator::suite(
+        RandomTreeConfig::compact(),
+        config.seed.wrapping_add(1),
+        config.trees,
+    )
+    .expect("the compact tree distribution is valid")
+}
+
 /// A fully prepared load: per-connection request scripts plus the
 /// pre-rendered expected response of every deterministic request.
 ///
@@ -187,8 +237,9 @@ pub struct PreparedLoad {
 /// e.g. for smoke tests against a remote server).
 pub fn prepare_load(reference: Option<&ServeState>, config: &LoadgenConfig) -> PreparedLoad {
     let nets = net_pool(config);
+    let trees = tree_pool(config);
     let scripts: Vec<Vec<ScriptedRequest>> = (0..config.connections.max(1))
-        .map(|c| connection_script(c, &nets, config))
+        .map(|c| connection_script(c, &nets, &trees, config))
         .collect();
     let expected: Vec<Vec<Option<String>>> = scripts
         .iter()
@@ -293,8 +344,10 @@ mod tests {
     fn scripts_are_deterministic_and_mixed() {
         let config = LoadgenConfig::default();
         let nets = net_pool(&config);
-        let a = connection_script(0, &nets, &config);
-        let b = connection_script(0, &nets, &config);
+        let trees = tree_pool(&config);
+        assert!(trees.is_empty(), "the default mix stays chain-only");
+        let a = connection_script(0, &nets, &trees, &config);
+        let b = connection_script(0, &nets, &trees, &config);
         assert_eq!(a, b);
         assert_eq!(a.len(), config.requests_per_conn);
         let stats = a.iter().filter(|r| r.line.contains("\"stats\"")).count();
@@ -302,11 +355,48 @@ mod tests {
         let taus = a.iter().filter(|r| r.line.contains("\"tau_min\"")).count();
         assert!(stats > 0 && batches > 0 && taus > 0, "mix covers commands");
         assert!(a.iter().filter(|r| r.line.contains("\"solve\"")).count() > stats);
+        assert!(
+            !a.iter().any(|r| r.line.contains("solve_tree")),
+            "an empty tree pool must leave the classic mix untouched"
+        );
         // Different connections script different sequences.
-        assert_ne!(a, connection_script(1, &nets, &config));
+        assert_ne!(a, connection_script(1, &nets, &trees, &config));
         // stats is the only non-deterministic request.
         for req in &a {
             assert_eq!(req.deterministic, !req.line.contains("\"stats\""));
+        }
+    }
+
+    #[test]
+    fn tree_mix_scripts_masked_solves_in_both_spellings() {
+        let config = LoadgenConfig {
+            trees: 2,
+            ..LoadgenConfig::default()
+        };
+        let nets = net_pool(&config);
+        let trees = tree_pool(&config);
+        assert_eq!(trees.len(), 2);
+        assert!(
+            trees.iter().any(|t| t.allowed_mask().iter().any(|ok| !ok)),
+            "the compact pool must carry real masks"
+        );
+        let script = connection_script(0, &nets, &trees, &config);
+        let tree_reqs: Vec<_> = script
+            .iter()
+            .filter(|r| r.line.contains("solve_tree"))
+            .collect();
+        assert_eq!(tree_reqs.len(), config.requests_per_conn / 8);
+        assert!(tree_reqs.iter().all(|r| r.deterministic));
+        // Both spellings of the mask appear: blocked flags only, and
+        // the explicit `allowed` override.
+        assert!(tree_reqs.iter().any(|r| r.line.contains("\"allowed\"")));
+        assert!(tree_reqs.iter().any(|r| !r.line.contains("\"allowed\"")));
+        // The non-tree arms are untouched relative to the chain mix.
+        let chain_only = connection_script(0, &nets, &[], &config);
+        for (with_trees, chains) in script.iter().zip(&chain_only) {
+            if !with_trees.line.contains("solve_tree") {
+                assert_eq!(with_trees, chains);
+            }
         }
     }
 }

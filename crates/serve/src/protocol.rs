@@ -14,11 +14,16 @@
 //!
 //! (`driver`/`receiver`/`zones` are optional; `nodes` excludes the
 //! implicit root 0 and appends nodes 1, 2, ... in order, parents before
-//! children; a tree node's `blocked` flag is carried and validated but
-//! not yet enforced by the hybrid tree pipeline — see the `.tree`
-//! format docs in `rip_cli`.) Exactly one of `target_fs`, `target_ns`
-//! or `target_mult` selects the timing target; `target_mult` multiplies
-//! the net's cached `τ_min`.
+//! children.) A tree node's `blocked` flag is **binding**: the hybrid
+//! tree pipeline never places a buffer on a blocked node, and
+//! `target_mult` resolves against the *masked* tree `τ_min`. A
+//! `solve_tree` request may also carry an optional `allowed` field — an
+//! array of booleans with one entry per node *including* the root
+//! (index-aligned with the tree; the root entry is ignored) — which
+//! overrides the per-node `blocked` flags for that request, so clients
+//! can sweep masks without re-encoding the tree. Exactly one of
+//! `target_fs`, `target_ns` or `target_mult` selects the timing
+//! target; `target_mult` multiplies the net's cached `τ_min`.
 //!
 //! `id` may be any JSON value and is echoed back. Note that JSON
 //! numbers travel as `f64`, so integral numeric ids beyond 2^53 lose
@@ -28,11 +33,12 @@
 //! | `cmd`        | request fields                | response fields                   |
 //! |--------------|-------------------------------|-----------------------------------|
 //! | `solve`      | `net`, target                 | `target_fs`, `delay_fs`, `total_width`, `repeaters: [[x_um, w_u], ...]` |
-//! | `solve_tree` | `tree`, target                | `target_fs`, `delay_fs`, `total_width`, `buffers: [[node, w_u], ...]` |
+//! | `solve_tree` | `tree`, target, opt. `allowed`| `target_fs`, `delay_fs`, `total_width`, `buffers: [[node, w_u], ...]` |
 //! | `batch`      | `nets`, target                | `results: [per-net solve result or error, ...]` |
 //! | `compare`    | `nets`, target, `granularity` | `rows: [[base_w|null, rip_w], ...]`, savings summary |
 //! | `tau_min`    | `net`                         | `tau_min_fs`                      |
 //! | `stats`      | —                             | engine + server counters          |
+//! | `reset_stats`| —                             | the pre-reset counters, `reset: true`; counters rezero |
 //! | `shutdown`   | —                             | `stopping: true`, then the server drains |
 //!
 //! Every response carries `ok` (and `error` when `ok` is `false`).
@@ -123,6 +129,7 @@ impl ServeState {
             "compare" => self.cmd_compare(&request),
             "tau_min" => self.cmd_tau_min(&request),
             "stats" => Ok(self.cmd_stats()),
+            "reset_stats" => Ok(self.cmd_reset_stats()),
             "shutdown" => Ok(vec![("stopping", Json::Bool(true))]),
             other => Err(format!("unknown cmd {other:?}")),
         };
@@ -154,17 +161,50 @@ impl ServeState {
 
     fn cmd_solve_tree(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
         let tree_net = tree_from_json(request.get("tree").ok_or("solve_tree needs a 'tree'")?)?;
+        // The buffer-legality mask is binding: the tree's own `blocked`
+        // flags by default, overridden by an explicit `allowed` array
+        // (one boolean per node including the root; the root entry is
+        // ignored). An all-true mask normalizes away inside the engine,
+        // so unblocked trees answer byte-identically to the pre-mask
+        // protocol.
+        let allowed = match request.get("allowed") {
+            None => tree_net.allowed_mask(),
+            Some(value) => {
+                let items = value
+                    .as_arr()
+                    .ok_or("'allowed' must be an array of booleans")?;
+                if items.len() != tree_net.len() {
+                    return Err(format!(
+                        "'allowed' needs one entry per node including the root \
+                         (expected {}, got {})",
+                        tree_net.len(),
+                        items.len()
+                    ));
+                }
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        item.as_bool()
+                            .ok_or_else(|| format!("allowed[{i}] must be a boolean"))
+                    })
+                    .collect::<Result<Vec<bool>, String>>()?
+            }
+        };
         let tree = RcTree::from_tree_net(&tree_net, self.engine.technology().device());
         let driver = tree_net.driver_width();
         let target_fs = match parse_target(request)? {
             Target::AbsoluteFs(fs) => fs,
             Target::TauMinMultiple(m) => {
-                m * self.engine.tree_tau_min(&tree, driver, &self.tree_config)
+                m * self
+                    .engine
+                    .tree_tau_min_masked(&tree, driver, &self.tree_config, Some(&allowed))
+                    .map_err(|e| e.to_string())?
             }
         };
         let outcome = self
             .engine
-            .solve_tree(&tree, driver, target_fs, &self.tree_config)
+            .solve_tree_masked(&tree, driver, target_fs, &self.tree_config, Some(&allowed))
             .map_err(|e| e.to_string())?;
         let buffers: Vec<Json> = outcome
             .solution
@@ -265,6 +305,21 @@ impl ServeState {
             ("cache_cap", Json::from(self.engine.cache_cap())),
             ("value_cache_cap", Json::from(self.engine.value_cache_cap())),
         ]
+    }
+
+    /// `reset_stats`: renders the same counters as `stats` (the
+    /// pre-reset values, including this very request), then rezeroes
+    /// the engine's statistics and the server's request/connection
+    /// counters. Cache *contents* are untouched — only the monitoring
+    /// counters restart, which is what long-lived dashboards want at
+    /// the start of a measurement window.
+    fn cmd_reset_stats(&self) -> Vec<(&'static str, Json)> {
+        let mut fields = self.cmd_stats();
+        fields.push(("reset", Json::Bool(true)));
+        self.engine.reset_stats();
+        self.requests.store(0, Ordering::Relaxed);
+        self.connections.store(0, Ordering::Relaxed);
+        fields
     }
 
     fn resolve_target(&self, request: &Json, net: &TwoPinNet) -> Result<f64, String> {
@@ -602,6 +657,96 @@ mod tests {
             assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
             assert!(r.get("error").unwrap().as_str().is_some());
         }
+    }
+
+    /// A small masked tree: node 2 (the mid node) is blocked.
+    fn masked_tree_json() -> String {
+        r#"{"driver":120,"nodes":[[0,0.08,0.2,1400,null,false],[1,0.06,0.18,1200,null,true],[2,0.08,0.2,1100,60,false],[1,0.08,0.2,1000,50,false]]}"#
+            .to_string()
+    }
+
+    #[test]
+    fn solve_tree_masks_are_binding_and_allowed_overrides_blocked_flags() {
+        let state = state();
+        let tree = masked_tree_json();
+        let line = format!(r#"{{"id":1,"cmd":"solve_tree","tree":{tree},"target_mult":1.2}}"#);
+        let (response, _) = state.handle_line(&line);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response}");
+        // No buffer may sit on a blocked fine-tree node: `buffers`
+        // indexes the fine subdivision, so project the mask the same
+        // way the engine does and check every reported site.
+        let tree_net_parsed = tree_from_json(&parse_json(&tree).unwrap()).unwrap();
+        let rc = RcTree::from_tree_net(&tree_net_parsed, state.engine().technology().device());
+        let (fine, map) = rc.subdivided(TreeRipConfig::paper().fine_step_um);
+        let projected = rc.project_allowed(&fine, &map, &tree_net_parsed.allowed_mask());
+        for buffer in response.get("buffers").unwrap().as_arr().unwrap() {
+            let node = buffer.as_arr().unwrap()[0].as_usize().unwrap();
+            assert!(
+                projected[node],
+                "buffer on a blocked fine node {node}: {response}"
+            );
+        }
+        // An explicit `allowed` equal to the tree's own mask answers
+        // byte-identically: the two spellings are one request.
+        let line_override = format!(
+            r#"{{"id":1,"cmd":"solve_tree","tree":{tree},"target_mult":1.2,"allowed":[true,true,false,true,true]}}"#
+        );
+        let (override_response, _) = state.handle_line(&line_override);
+        assert_eq!(response.to_string(), override_response.to_string());
+        // A misaligned or non-boolean override is a request error.
+        let (bad, _) = state.handle_line(&format!(
+            r#"{{"cmd":"solve_tree","tree":{tree},"target_mult":1.2,"allowed":[true,true]}}"#
+        ));
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        assert!(bad
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("allowed"));
+        let (bad, _) = state.handle_line(&format!(
+            r#"{{"cmd":"solve_tree","tree":{tree},"target_mult":1.2,"allowed":[true,1,false,true,true]}}"#
+        ));
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        assert!(bad
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("boolean"));
+    }
+
+    #[test]
+    fn reset_stats_rezeroes_counters_without_dropping_caches() {
+        let state = state();
+        let net = NetGenerator::suite(RandomNetConfig::default(), 11, 1)
+            .unwrap()
+            .remove(0);
+        let solve = format!(
+            r#"{{"id":1,"cmd":"solve","net":{},"target_mult":1.4}}"#,
+            net_to_json(&net)
+        );
+        let (cold, _) = state.handle_line(&solve);
+        assert_eq!(cold.get("ok"), Some(&Json::Bool(true)));
+        let (reset, stop) = state.handle_line(r#"{"id":2,"cmd":"reset_stats"}"#);
+        assert!(!stop);
+        assert_eq!(reset.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(reset.get("reset"), Some(&Json::Bool(true)));
+        // The response carries the pre-reset counters (2 requests so far).
+        assert_eq!(reset.get("requests").unwrap().as_f64(), Some(2.0));
+        assert!(reset.get("misses").unwrap().as_f64().unwrap() > 0.0);
+        // After the reset the counters restart…
+        let (stats, _) = state.handle_line(r#"{"id":3,"cmd":"stats"}"#);
+        assert_eq!(stats.get("requests").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("nets_solved").unwrap().as_f64(), Some(0.0));
+        assert_eq!(stats.get("misses").unwrap().as_f64(), Some(0.0));
+        // …but the caches survive: a warm repeat answers byte-identically
+        // and counts only hits.
+        let (warm, _) = state.handle_line(&solve);
+        assert_eq!(cold.to_string(), warm.to_string());
+        let (stats, _) = state.handle_line(r#"{"id":4,"cmd":"stats"}"#);
+        assert_eq!(stats.get("misses").unwrap().as_f64(), Some(0.0));
+        assert!(stats.get("hits").unwrap().as_f64().unwrap() > 0.0);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 use rip_core::Engine;
 use rip_net::{NetGenerator, RandomNetConfig};
 use rip_serve::{
-    net_to_json, parse_json, run_loadgen, start_server, Client, Json, LoadgenConfig, ServeConfig,
-    ServeState,
+    net_to_json, parse_json, run_loadgen, start_server, tree_pool, tree_to_json, Client, Json,
+    LoadgenConfig, ServeConfig, ServeState,
 };
 use rip_tech::Technology;
 
@@ -101,6 +101,108 @@ fn concurrent_clients_get_byte_identical_answers_and_a_clean_shutdown() {
     let goodbye = parse_json(&goodbye).unwrap();
     assert_eq!(goodbye.get("stopping"), Some(&Json::Bool(true)));
     server.join();
+}
+
+#[test]
+fn masked_tree_solves_round_trip_and_answer_identically_warm_vs_cold() {
+    let config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let addr = server.addr();
+
+    // A loadgen mix with masked solve_tree requests (both the
+    // blocked-flag and the explicit-`allowed` spellings): every
+    // deterministic response must match the in-process reference byte
+    // for byte, exactly like the chain commands.
+    let reference = ServeState::new(engine());
+    let loadgen = LoadgenConfig {
+        connections: 2,
+        requests_per_conn: 16,
+        nets: 4,
+        trees: 3,
+        ..LoadgenConfig::default()
+    };
+    let outcome = run_loadgen(addr, Some(&reference), &loadgen).unwrap();
+    assert_eq!(outcome.errors, 0, "some responses were not ok");
+    assert_eq!(
+        outcome.mismatches, 0,
+        "masked tree responses diverged from the in-process engine"
+    );
+
+    // Warm vs cold: repeating one masked solve_tree verbatim must
+    // return byte-identical lines, and the `allowed`-override spelling
+    // of the same mask must answer byte-identically too (modulo the
+    // echoed id, which we hold fixed).
+    let pool = tree_pool(&loadgen);
+    let tree = pool
+        .iter()
+        .find(|t| t.allowed_mask().iter().any(|ok| !ok))
+        .expect("the compact pool must provide a genuinely masked tree");
+    let mut client = Client::connect(addr).unwrap();
+    let blocked_spelling = format!(
+        r#"{{"id":7,"cmd":"solve_tree","tree":{},"target_mult":1.4}}"#,
+        tree_to_json(tree)
+    );
+    let cold = client.request_line(&blocked_spelling).unwrap();
+    assert_eq!(
+        parse_json(&cold).unwrap().get("ok"),
+        Some(&Json::Bool(true)),
+        "{cold}"
+    );
+    let warm = client.request_line(&blocked_spelling).unwrap();
+    assert_eq!(cold, warm, "a warm masked solve must not change bytes");
+    let allowed: Vec<String> = tree
+        .allowed_mask()
+        .iter()
+        .map(|ok| ok.to_string())
+        .collect();
+    let override_spelling = format!(
+        r#"{{"id":7,"cmd":"solve_tree","tree":{},"target_mult":1.4,"allowed":[{}]}}"#,
+        tree_to_json(tree),
+        allowed.join(",")
+    );
+    let via_override = client.request_line(&override_spelling).unwrap();
+    assert_eq!(
+        cold, via_override,
+        "the explicit allowed override must be the same request"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn reset_stats_rezeroes_server_counters_mid_session() {
+    let config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let net = NetGenerator::suite(RandomNetConfig::default(), 3, 1)
+        .unwrap()
+        .remove(0);
+    let solve = format!(
+        r#"{{"id":1,"cmd":"solve","net":{},"target_mult":1.4}}"#,
+        net_to_json(&net)
+    );
+    let cold = client.request_line(&solve).unwrap();
+    let reset = parse_json(
+        &client
+            .request_line(r#"{"id":2,"cmd":"reset_stats"}"#)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(reset.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(reset.get("reset"), Some(&Json::Bool(true)));
+    assert!(reset.get("requests").unwrap().as_f64().unwrap() >= 2.0);
+    // Counters restart; cached answers survive byte-identically.
+    let stats = parse_json(&client.request_line(r#"{"id":3,"cmd":"stats"}"#).unwrap()).unwrap();
+    assert_eq!(stats.get("requests").unwrap().as_f64(), Some(1.0));
+    assert_eq!(stats.get("nets_solved").unwrap().as_f64(), Some(0.0));
+    let warm = client.request_line(&solve).unwrap();
+    assert_eq!(cold, warm, "reset_stats must not drop cache contents");
+    server.shutdown();
 }
 
 #[test]

@@ -1,0 +1,259 @@
+//! Blocked tree nodes are binding **end to end**: across a seeded
+//! masked-tree corpus, no stage of the hybrid pipeline may ever place a
+//! buffer on a blocked node (original nodes via their projection onto
+//! the fine subdivision — `RcTree::project_allowed` is the one
+//! definition of that projection), masked solves must be byte-
+//! deterministic across batch vs sequential runs, and on tiny trees the
+//! masked engine must agree with exhaustive enumeration restricted to
+//! the legal nodes (optimal power at equal delay).
+//!
+//! The corpus reuses `RandomTreeConfig`'s forbidden runs: the compact
+//! distribution keeps every pipeline solve fast while guaranteeing real
+//! masks on most topologies, and the `TreeRipConfig` used here coarsens
+//! the subdivision steps so the suite stays cheap in debug CI runs —
+//! mask semantics do not depend on the step sizes.
+
+use rip_core::{BatchTarget, Engine, RipConfig, RipError, TreeRipConfig};
+use rip_delay::RcTree;
+use rip_dp::{brute_tree_min_power, tree_min_power};
+use rip_net::{RandomTreeConfig, TreeNet, TreeNetGenerator};
+use rip_tech::{RepeaterLibrary, Technology};
+
+/// Seeded corpus: compact masked trees (the generator's contiguous
+/// forbidden runs), keeping only topologies whose mask actually blocks
+/// something — an all-true mask is covered by the equivalence suites.
+fn masked_corpus() -> Vec<TreeNet> {
+    TreeNetGenerator::suite(RandomTreeConfig::compact(), 4242, 16)
+        .unwrap()
+        .into_iter()
+        .filter(|net| net.allowed_mask().iter().any(|ok| !ok))
+        .collect()
+}
+
+/// A cheap pipeline configuration for the conformance sweeps: coarser
+/// subdivision steps than the paper defaults (the masked semantics are
+/// step-independent), everything else untouched.
+fn cheap_config() -> TreeRipConfig {
+    TreeRipConfig {
+        coarse_step_um: 300.0,
+        fine_step_um: 100.0,
+        ..TreeRipConfig::paper()
+    }
+}
+
+fn engine() -> Engine {
+    Engine::new(Technology::generic_180nm(), RipConfig::paper())
+}
+
+#[test]
+fn masked_pipeline_never_occupies_blocked_nodes() {
+    let engine = engine();
+    let config = cheap_config();
+    let device = *engine.technology().device();
+    let corpus = masked_corpus();
+    assert!(
+        corpus.len() >= 6,
+        "the seed must yield a usable masked corpus"
+    );
+    let mut solves = 0usize;
+    for (i, net) in corpus.iter().enumerate() {
+        let tree = RcTree::from_tree_net(net, &device);
+        let mask = net.allowed_mask();
+        let (fine, map) = tree.subdivided(config.fine_step_um);
+        let projected = tree.project_allowed(&fine, &map, &mask);
+        let tau = engine
+            .tree_tau_min_masked(&tree, net.driver_width(), &config, Some(&mask))
+            .unwrap();
+        for mult in [1.2, 1.5, 2.0] {
+            let target = tau * mult;
+            let out = match engine.solve_tree_masked(
+                &tree,
+                net.driver_width(),
+                target,
+                &config,
+                Some(&mask),
+            ) {
+                Ok(out) => out,
+                // Tight masked targets may legitimately be infeasible
+                // for the hybrid (the DP τ_min is a lower bound for the
+                // pipeline); a typed error is a correct answer, an
+                // illegal placement never is.
+                Err(RipError::Infeasible { .. }) => continue,
+                Err(e) => panic!("tree {i} mult {mult}: unexpected error {e}"),
+            };
+            solves += 1;
+            assert_eq!(out.solution.buffer_widths.len(), fine.len());
+            for (v, width) in out.solution.buffer_widths.iter().enumerate() {
+                assert!(
+                    projected[v] || width.is_none(),
+                    "tree {i} mult {mult}: buffer on blocked fine node {v}"
+                );
+            }
+            assert!(
+                out.solution.delay_fs <= target * (1.0 + 1e-9),
+                "tree {i} mult {mult}: target missed"
+            );
+            // Independent re-evaluation on the fine tree: the reported
+            // delay is real, not an artifact of the masked DP.
+            let timing = out.fine_tree.evaluate_buffered(
+                &device,
+                net.driver_width(),
+                &out.solution.buffer_widths,
+            );
+            assert!((timing.max_sink_delay - out.solution.delay_fs).abs() < 1e-6);
+        }
+    }
+    assert!(
+        solves >= corpus.len(),
+        "most masked solves must be feasible"
+    );
+}
+
+#[test]
+fn masked_batch_and_sequential_solves_are_byte_identical() {
+    let engine = engine();
+    let config = cheap_config();
+    let device = *engine.technology().device();
+    let jobs: Vec<(RcTree, f64, Option<Vec<bool>>)> = masked_corpus()
+        .iter()
+        .take(6)
+        .map(|net| {
+            (
+                RcTree::from_tree_net(net, &device),
+                net.driver_width(),
+                Some(net.allowed_mask()),
+            )
+        })
+        .collect();
+    let target = BatchTarget::TauMinMultiple(1.5);
+    let a = engine.solve_tree_batch_masked(&jobs, &target, &config);
+    let b = engine.solve_tree_batch_masked(&jobs, &target, &config);
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(
+            format!("{:?}", x.as_ref().unwrap().solution),
+            format!("{:?}", y.as_ref().unwrap().solution),
+            "tree {i}: repeated masked batch diverged"
+        );
+    }
+    // Entry i is exactly the one-at-a-time masked solve — batch
+    // parallelism and cache warmth may reorder work, never answers.
+    for (i, ((tree, driver, allowed), out)) in jobs.iter().zip(&a).enumerate() {
+        let allowed = allowed.as_deref();
+        let solo_target = 1.5
+            * engine
+                .tree_tau_min_masked(tree, *driver, &config, allowed)
+                .unwrap();
+        let solo = engine
+            .solve_tree_masked(tree, *driver, solo_target, &config, allowed)
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", solo.solution),
+            format!("{:?}", out.as_ref().unwrap().solution),
+            "tree {i}: masked batch diverged from the sequential solve"
+        );
+    }
+}
+
+#[test]
+fn masked_dp_matches_the_exhaustive_oracle_on_tiny_trees() {
+    // ≤ 8-node trees, a small library: the masked tree DP must hand
+    // back exactly the exhaustive optimum over the legal nodes.
+    let tech = Technology::generic_180nm();
+    let device = tech.device();
+    let library = RepeaterLibrary::from_widths([40.0, 120.0, 280.0]).unwrap();
+    let corpus: Vec<TreeNet> = masked_corpus().into_iter().take(5).collect();
+    for (i, net) in corpus.iter().enumerate() {
+        assert!(net.len() <= 8, "the compact corpus stays oracle-sized");
+        let tree = RcTree::from_tree_net(net, device);
+        let mask = net.allowed_mask();
+        let fastest =
+            rip_dp::brute_tree_min_delay(&tree, device, net.driver_width(), &library, Some(&mask))
+                .unwrap();
+        for mult in [1.05, 1.3, 1.8] {
+            let target = fastest.delay_fs * mult;
+            let brute = brute_tree_min_power(
+                &tree,
+                device,
+                net.driver_width(),
+                &library,
+                Some(&mask),
+                target,
+            )
+            .unwrap();
+            let dp = tree_min_power(
+                &tree,
+                device,
+                net.driver_width(),
+                &library,
+                Some(&mask),
+                target,
+            )
+            .unwrap();
+            assert!(
+                (dp.total_width - brute.total_width).abs() < 1e-9,
+                "tree {i} mult {mult}: dp width {} vs exhaustive {}",
+                dp.total_width,
+                brute.total_width
+            );
+            for (v, &ok) in mask.iter().enumerate() {
+                assert!(ok || dp.buffer_widths[v].is_none());
+                assert!(ok || brute.buffer_widths[v].is_none());
+            }
+        }
+    }
+}
+
+#[test]
+fn masked_engine_outcome_is_bounded_by_the_legal_exhaustive_optimum() {
+    // With subdivision steps longer than every edge, the fine tree IS
+    // the raw tree, so the engine's final stage and the exhaustive
+    // oracle optimize over the same node set — the engine (whose
+    // windowed sites are a subset of the legal nodes) can never beat
+    // the oracle, and must never leave the legal set.
+    let engine = engine();
+    let config = TreeRipConfig {
+        coarse_step_um: 2000.0,
+        fine_step_um: 2000.0,
+        ..TreeRipConfig::paper()
+    };
+    let device = *engine.technology().device();
+    let net = masked_corpus()
+        .into_iter()
+        .find(|net| net.len() <= 5)
+        .expect("the compact distribution yields tiny masked trees");
+    let tree = RcTree::from_tree_net(&net, &device);
+    let mask = net.allowed_mask();
+    let tau = engine
+        .tree_tau_min_masked(&tree, net.driver_width(), &config, Some(&mask))
+        .unwrap();
+    let target = tau * 1.4;
+    let out = engine
+        .solve_tree_masked(&tree, net.driver_width(), target, &config, Some(&mask))
+        .unwrap();
+    assert_eq!(
+        out.fine_tree.len(),
+        tree.len(),
+        "2000 um steps must leave the compact tree unsplit"
+    );
+    for (v, &ok) in mask.iter().enumerate() {
+        assert!(
+            ok || out.solution.buffer_widths[v].is_none(),
+            "buffer on blocked node {v}"
+        );
+    }
+    let oracle = brute_tree_min_power(
+        &tree,
+        &device,
+        net.driver_width(),
+        &out.library,
+        Some(&mask),
+        target,
+    )
+    .unwrap();
+    assert!(
+        out.solution.total_width + 1e-9 >= oracle.total_width,
+        "engine width {} beat the exhaustive legal optimum {}",
+        out.solution.total_width,
+        oracle.total_width
+    );
+}
