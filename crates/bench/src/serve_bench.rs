@@ -2,17 +2,28 @@
 //! in-process `rip_serve` server driven by the deterministic load
 //! generator at several concurrency levels (1/4/16 connections by
 //! default), with every deterministic response byte-checked against a
-//! reference engine and the shared engine's cache hit rate recorded.
+//! reference engine and the engines' cache hit rates recorded.
 //!
-//! The byte-identity check and the hit rate are machine-independent and
-//! gated by `rip bench --check-baseline`; the absolute requests/s
-//! figures are recorded for trend-watching only (runner classes differ
-//! too much for an absolute gate — see the ROADMAP's runner-variance
-//! note).
+//! Two legs per level, sharing one prepared load: the **direct** server
+//! (one shared engine — the committed pre-sharding topology) and the
+//! **sharded** server (`shards` private engines routed by cache key).
+//! Both legs byte-check against the same reference renders, so the legs
+//! are transitively byte-identical to each other — that is the gated
+//! sharding-equivalence claim. The request mix includes masked tree
+//! solves (`trees` > 0) so the tree path is load-tested too.
+//!
+//! The byte-identity checks, the hit rates and the sharded-vs-direct
+//! throughput ratio are machine-independent and gated by `rip bench
+//! --check-baseline`; the absolute requests/s figures are recorded for
+//! trend-watching only (runner classes differ too much for an absolute
+//! gate — see the ROADMAP's runner-variance note).
 
 use crate::stats::{summarize, JsonObject, StatSummary};
 use rip_core::{Engine, RipConfig};
-use rip_serve::{fire_load, prepare_load, start_server, LoadgenConfig, ServeConfig, ServeState};
+use rip_serve::{
+    fire_load, prepare_load, start_server, LoadgenConfig, PreparedLoad, ServeConfig, ServeState,
+    ServerHandle,
+};
 use rip_tech::Technology;
 
 /// Workload and repetition parameters of the serve bench.
@@ -24,10 +35,15 @@ pub struct ServeBenchConfig {
     pub requests_per_conn: usize,
     /// Distinct nets in the request pool.
     pub nets: usize,
+    /// Distinct trees in the request pool (the mix's masked
+    /// `solve_tree` slot activates when > 0).
+    pub trees: usize,
     /// Timed loadgen runs per level (median/MAD over these).
     pub runs: usize,
-    /// Server worker threads.
+    /// Server connection-worker threads.
     pub workers: usize,
+    /// Engine shards in the sharded leg.
+    pub shards: usize,
 }
 
 impl ServeBenchConfig {
@@ -38,22 +54,26 @@ impl ServeBenchConfig {
                 connections: vec![1, 4],
                 requests_per_conn: 6,
                 nets: 6,
+                trees: 2,
                 runs: 1,
                 workers: 4,
+                shards: 2,
             }
         } else {
             Self {
                 connections: vec![1, 4, 16],
                 requests_per_conn: 24,
                 nets: 12,
+                trees: 3,
                 runs: 3,
                 workers: 16,
+                shards: 2,
             }
         }
     }
 }
 
-/// One concurrency level's measurements.
+/// One concurrency level's measurements for one server topology.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeLevel {
     /// Concurrent connections at this level.
@@ -80,33 +100,53 @@ pub struct ServeBenchReport {
     pub config: ServeBenchConfig,
     /// Hardware threads available to the process.
     pub threads: usize,
-    /// Per-concurrency-level measurements, in `config.connections`
-    /// order.
+    /// Direct-leg (single shared engine) measurements, in
+    /// `config.connections` order.
     pub levels: Vec<ServeLevel>,
-    /// Shared-engine cache hit rate at the end of the run (hits /
-    /// lookups; the repeated scripts make this high by construction).
+    /// Sharded-leg measurements, same order.
+    pub sharded_levels: Vec<ServeLevel>,
+    /// Direct leg's shared-engine cache hit rate at the end of the run
+    /// (hits / lookups; the repeated scripts make this high by
+    /// construction).
     pub hit_rate: f64,
-    /// LRU promotions recorded by the shared engine.
+    /// Sharded leg's aggregate hit rate over every shard engine — the
+    /// cache-affine routing must keep this as warm as the shared cache.
+    pub sharded_hit_rate: f64,
+    /// LRU promotions recorded by the direct leg's engine.
     pub promotions: u64,
-    /// Requests handled by the server across the whole bench.
+    /// Requests handled by the direct server across the whole bench.
     pub requests_total: u64,
-    /// Responses that failed (`ok: false` or unparseable) without being
-    /// byte-identity mismatches — kept separate so a failed request is
-    /// never misreported as a determinism break.
+    /// Requests handled by the sharded server across the whole bench.
+    pub sharded_requests_total: u64,
+    /// Responses that failed (`ok: false` or unparseable) in either
+    /// leg without being byte-identity mismatches — kept separate so a
+    /// failed request is never misreported as a determinism break.
     pub request_errors: u64,
-    /// Whether every deterministic response was byte-identical to the
-    /// in-process reference engine's answer.
+    /// Whether every deterministic response — direct and sharded — was
+    /// byte-identical to the in-process reference engine's answer.
     pub byte_identical: bool,
 }
 
 impl ServeBenchReport {
+    /// Sharded-vs-direct throughput ratio at the highest concurrency
+    /// level (> 1.0 = sharding beat the shared-engine plateau). This is
+    /// the in-process ratio `--check-baseline` gates.
+    pub fn sharded_speedup(&self) -> f64 {
+        match (self.levels.last(), self.sharded_levels.last()) {
+            (Some(direct), Some(sharded)) => sharded.requests_per_s() / direct.requests_per_s(),
+            _ => 0.0,
+        }
+    }
+
     /// The flat-JSON rendering written to `BENCH_serve.json`.
     pub fn to_json(&self) -> String {
         let mut obj = JsonObject::new()
             .int("nets", self.config.nets as u64)
+            .int("trees", self.config.trees as u64)
             .int("requests_per_conn", self.config.requests_per_conn as u64)
             .int("runs", self.config.runs as u64)
             .int("workers", self.config.workers as u64)
+            .int("shards", self.config.shards as u64)
             .int("threads", self.threads as u64);
         for level in &self.levels {
             let c = level.connections;
@@ -115,9 +155,19 @@ impl ServeBenchReport {
                 .num(&format!("c{c}_mad_s"), level.elapsed.mad_s)
                 .num(&format!("c{c}_req_per_s"), level.requests_per_s());
         }
-        obj.num("hit_rate", self.hit_rate)
+        for level in &self.sharded_levels {
+            let c = level.connections;
+            obj = obj
+                .num(&format!("sharded_c{c}_s"), level.elapsed.median_s)
+                .num(&format!("sharded_c{c}_mad_s"), level.elapsed.mad_s)
+                .num(&format!("sharded_c{c}_req_per_s"), level.requests_per_s());
+        }
+        obj.num("sharded_speedup", self.sharded_speedup())
+            .num("hit_rate", self.hit_rate)
+            .num("sharded_hit_rate", self.sharded_hit_rate)
             .int("promotions", self.promotions)
             .int("requests_total", self.requests_total)
+            .int("sharded_requests_total", self.sharded_requests_total)
             .int("request_errors", self.request_errors)
             .bool("byte_identical", self.byte_identical)
             .finish()
@@ -127,54 +177,114 @@ impl ServeBenchReport {
     pub fn summary_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = format!(
-            "serve: {} nets, {} req/conn, {} run(s), {} worker(s)\n",
-            self.config.nets, self.config.requests_per_conn, self.config.runs, self.config.workers,
+            "serve: {} nets + {} trees, {} req/conn, {} run(s), {} worker(s), {} shard(s)\n",
+            self.config.nets,
+            self.config.trees,
+            self.config.requests_per_conn,
+            self.config.runs,
+            self.config.workers,
+            self.config.shards,
         );
-        for level in &self.levels {
-            let _ = writeln!(
-                out,
-                "  {:>2} conn(s): median {:.3}s  mad {:.4}s  ({:.2} req/s, {} verified/run)",
-                level.connections,
-                level.elapsed.median_s,
-                level.elapsed.mad_s,
-                level.requests_per_s(),
-                level.verified,
-            );
+        for (label, levels) in [("direct", &self.levels), ("sharded", &self.sharded_levels)] {
+            for level in levels {
+                let _ = writeln!(
+                    out,
+                    "  {label:>7} {:>2} conn(s): median {:.3}s  mad {:.4}s  ({:.2} req/s, {} verified/run)",
+                    level.connections,
+                    level.elapsed.median_s,
+                    level.elapsed.mad_s,
+                    level.requests_per_s(),
+                    level.verified,
+                );
+            }
         }
         let _ = write!(
             out,
-            "  hit_rate: {:.3}   promotions: {}   request_errors: {}   byte_identical: {}",
-            self.hit_rate, self.promotions, self.request_errors, self.byte_identical
+            "  sharded_speedup: {:.3}   hit_rate: {:.3} (sharded {:.3})   \
+             request_errors: {}   byte_identical: {}",
+            self.sharded_speedup(),
+            self.hit_rate,
+            self.sharded_hit_rate,
+            self.request_errors,
+            self.byte_identical
         );
         out
     }
 }
 
-/// Runs the serve bench: starts an in-process server, drives it with
-/// the loadgen at every configured concurrency level, byte-checks the
-/// responses, and reads the final cache stats.
+/// One leg's timed runs at one level.
+fn run_level(
+    server: &ServerHandle,
+    load: &PreparedLoad,
+    connections: usize,
+    runs: usize,
+    byte_identical: &mut bool,
+    request_errors: &mut u64,
+) -> ServeLevel {
+    let mut samples = Vec::with_capacity(runs.max(1));
+    let mut requests = 0;
+    let mut verified = 0;
+    for _ in 0..runs.max(1) {
+        let outcome =
+            fire_load(server.addr(), load).expect("loadgen connections over loopback succeed");
+        if !outcome.clean() {
+            eprintln!(
+                "serve bench: {} error(s), {} mismatch(es) at {connections} connection(s)!",
+                outcome.errors, outcome.mismatches
+            );
+        }
+        if outcome.mismatches > 0 {
+            *byte_identical = false;
+        }
+        *request_errors += outcome.errors as u64;
+        samples.push(outcome.elapsed_ns as f64 * 1e-9);
+        requests = outcome.requests;
+        verified = outcome.verified;
+    }
+    ServeLevel {
+        connections,
+        requests,
+        elapsed: summarize(&samples),
+        verified,
+    }
+}
+
+/// Runs the serve bench: starts a direct and a sharded in-process
+/// server, drives both with the same prepared loads at every configured
+/// concurrency level, byte-checks every response against the shared
+/// reference, and reads the final cache stats of both topologies.
 ///
 /// # Panics
 ///
-/// Panics when the server cannot bind a loopback port or a loadgen
+/// Panics when a server cannot bind a loopback port or a loadgen
 /// connection fails at the transport level — a benchmark host without
 /// loopback TCP has no meaningful result.
 pub fn run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport {
     let tech = Technology::generic_180nm();
     let rip_config = RipConfig::paper();
-    let server_config = ServeConfig {
+    let direct_config = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: config.workers,
         ..ServeConfig::default()
     };
-    let server = start_server(
+    let sharded_config = ServeConfig {
+        shards: config.shards.max(1),
+        ..direct_config.clone()
+    };
+    let direct = start_server(
         Engine::new(tech.clone(), rip_config.clone()),
-        &server_config,
+        &direct_config,
     )
     .expect("bind a loopback port for the serve bench");
+    let sharded = start_server(
+        Engine::new(tech.clone(), rip_config.clone()),
+        &sharded_config,
+    )
+    .expect("bind a loopback port for the sharded serve bench");
     let reference = ServeState::new(Engine::new(tech, rip_config));
 
     let mut levels = Vec::with_capacity(config.connections.len());
+    let mut sharded_levels = Vec::with_capacity(config.connections.len());
     let mut byte_identical = true;
     let mut request_errors = 0u64;
     for &connections in &config.connections {
@@ -182,52 +292,50 @@ pub fn run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport {
             connections,
             requests_per_conn: config.requests_per_conn,
             nets: config.nets,
+            trees: config.trees,
             ..LoadgenConfig::default()
         };
         // Scripts and their expected responses are identical across the
-        // repeated runs of a level: prepare (and drive the reference
-        // engine) once, fire many times.
+        // repeated runs of a level AND across the two legs: prepare
+        // (and drive the reference engine) once, fire many times —
+        // matching both legs against one render set is what makes the
+        // sharded leg's byte-identity transitive to the direct leg's.
         let load = prepare_load(Some(&reference), &loadgen);
-        let mut samples = Vec::with_capacity(config.runs.max(1));
-        let mut requests = 0;
-        let mut verified = 0;
-        for _ in 0..config.runs.max(1) {
-            let outcome =
-                fire_load(server.addr(), &load).expect("loadgen connections over loopback succeed");
-            if !outcome.clean() {
-                eprintln!(
-                    "serve bench: {} error(s), {} mismatch(es) at {} connection(s)!",
-                    outcome.errors, outcome.mismatches, connections
-                );
-            }
-            if outcome.mismatches > 0 {
-                byte_identical = false;
-            }
-            request_errors += outcome.errors as u64;
-            samples.push(outcome.elapsed_ns as f64 * 1e-9);
-            requests = outcome.requests;
-            verified = outcome.verified;
-        }
-        levels.push(ServeLevel {
+        levels.push(run_level(
+            &direct,
+            &load,
             connections,
-            requests,
-            elapsed: summarize(&samples),
-            verified,
-        });
+            config.runs,
+            &mut byte_identical,
+            &mut request_errors,
+        ));
+        sharded_levels.push(run_level(
+            &sharded,
+            &load,
+            connections,
+            config.runs,
+            &mut byte_identical,
+            &mut request_errors,
+        ));
     }
 
-    let state = std::sync::Arc::clone(server.state());
-    server.shutdown();
-    let stats = state.engine().stats();
+    let direct_monitor = direct.monitor();
+    let sharded_monitor = sharded.monitor();
+    direct.shutdown();
+    sharded.shutdown();
+    let (_, _, promotions, ..) = direct_monitor.engine_totals();
     ServeBenchReport {
         config,
         threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
         levels,
-        hit_rate: stats.hit_rate(),
-        promotions: stats.promotions,
-        requests_total: state.requests(),
+        sharded_levels,
+        hit_rate: direct_monitor.hit_rate(),
+        sharded_hit_rate: sharded_monitor.hit_rate(),
+        promotions,
+        requests_total: direct_monitor.requests_total(),
+        sharded_requests_total: sharded_monitor.requests_total(),
         request_errors,
         byte_identical,
     }
@@ -244,31 +352,44 @@ mod tests {
             connections: vec![1, 2],
             requests_per_conn: 3,
             nets: 2,
+            trees: 1,
             runs: 1,
             workers: 2,
+            shards: 2,
         });
         assert!(report.byte_identical, "responses diverged from reference");
         assert_eq!(report.request_errors, 0);
         assert_eq!(report.levels.len(), 2);
+        assert_eq!(report.sharded_levels.len(), 2);
         assert!(report.requests_total >= 9);
-        // The repeated script re-solves the same nets: the shared
-        // engine must be hitting its caches by the second level.
+        assert!(report.sharded_requests_total >= 9);
+        assert!(report.sharded_speedup() > 0.0);
+        // The repeated script re-solves the same nets: both topologies
+        // must be hitting their caches by the second level.
         assert!(report.hit_rate > 0.0);
+        assert!(report.sharded_hit_rate > 0.0);
         let json = report.to_json();
         for key in [
             "nets",
+            "trees",
             "workers",
+            "shards",
             "c1_s",
             "c1_req_per_s",
             "c2_req_per_s",
+            "sharded_c1_req_per_s",
+            "sharded_c2_req_per_s",
+            "sharded_speedup",
             "hit_rate",
+            "sharded_hit_rate",
             "requests_total",
+            "sharded_requests_total",
         ] {
             assert!(
                 read_json_number(&json, key).is_some(),
                 "missing key {key} in {json}"
             );
         }
-        assert!(report.summary_text().contains("conn(s)"));
+        assert!(report.summary_text().contains("sharded"));
     }
 }

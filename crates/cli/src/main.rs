@@ -188,11 +188,31 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     .parse::<u16>()
                     .map_err(|_| CliError::Usage("--port must be a port number".into()))?;
             }
+            if let Some(b) = flag_value(&flags, "--bind")? {
+                opts.bind = b;
+            }
             if let Some(w) = flag_value(&flags, "--workers")? {
                 opts.workers = parse_usize("--workers", w)?;
                 if opts.workers == 0 {
                     return Err(CliError::Usage("--workers must be at least 1".into()));
                 }
+            }
+            if let Some(s) = flag_value(&flags, "--shards")? {
+                opts.shards = parse_usize("--shards", s)?;
+            }
+            if let Some(m) = flag_value(&flags, "--max-conns")? {
+                opts.max_conns = parse_usize("--max-conns", m)?;
+            }
+            if let Some(q) = flag_value(&flags, "--queue-cap")? {
+                opts.queue_cap = parse_usize("--queue-cap", q)?;
+                if opts.queue_cap == 0 {
+                    return Err(CliError::Usage("--queue-cap must be at least 1".into()));
+                }
+            }
+            if let Some(t) = flag_value(&flags, "--timeout-secs")? {
+                opts.timeout_secs = t
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage("--timeout-secs must be an integer".into()))?;
             }
             if let Some(c) = flag_value(&flags, "--cache-cap")? {
                 opts.cache_cap = parse_usize("--cache-cap", c)?;
@@ -207,9 +227,20 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let Some(addr) = rest.first().filter(|a| !a.starts_with("--")) else {
                 return Err(CliError::Usage("client needs <addr> (host:port)".into()));
             };
+            let file = flag_value(&rest, "--file")?;
+            // The target flags are only meaningful with --file; parse
+            // them lazily so plain relay/smoke sessions don't require
+            // them.
+            let target = if file.is_some() {
+                Some(parse_target(&rest)?)
+            } else {
+                None
+            };
             let opts = ClientOptions {
                 smoke: rest.iter().any(|f| f == "--smoke"),
                 shutdown: rest.iter().any(|f| f == "--shutdown"),
+                file,
+                target,
             };
             let stdin = std::io::stdin();
             cmd_client(addr, &opts, &mut stdin.lock())

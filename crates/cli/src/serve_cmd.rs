@@ -1,28 +1,43 @@
 //! `rip serve` / `rip client`: the CLI face of the resident solver
 //! service (`rip_serve`).
 //!
-//! `rip serve` starts the multi-threaded TCP server over one shared
-//! [`Engine`] session and blocks until a client sends `shutdown`.
-//! `rip client` connects to a running server and either relays raw
-//! JSON request lines from stdin, runs the built-in `--smoke` script
-//! (the mixed-command health check CI uses), or sends a single
-//! `--shutdown`.
+//! `rip serve` starts the TCP server — one shared [`Engine`] session by
+//! default, or `--shards N` private engines routed by cache key — and
+//! blocks until a client sends `shutdown`. The edge flags (`--bind`,
+//! `--max-conns`, `--queue-cap`, `--timeout-secs`) harden it for
+//! non-loopback traffic. `rip client` connects to a running server and
+//! either relays raw JSON request lines from stdin, wraps a local
+//! `.net`/`.tree` file into a protocol request (`--file`), runs the
+//! built-in `--smoke` script (the mixed-command health check CI uses),
+//! or sends a single `--shutdown`.
 
-use crate::commands::CliError;
+use crate::commands::{CliError, Target};
 use rip_core::Engine;
-use rip_serve::{net_to_json, parse_json, start_server, Client, Json, ServeConfig, ServerHandle};
+use rip_serve::{
+    net_to_json, parse_json, start_server, Client, Json, Request, ServeConfig, ServerHandle,
+};
+use rip_tech::units::fs_from_ns;
 use rip_tech::Technology;
 use std::fmt::Write as _;
 use std::io::BufRead;
 
 /// Options for `rip serve`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeOptions {
-    /// TCP port to bind on 127.0.0.1 (0 picks an ephemeral port and
-    /// prints it).
+    /// Interface to bind (`--bind`); loopback unless told otherwise.
+    pub bind: String,
+    /// TCP port (0 picks an ephemeral port and prints it).
     pub port: u16,
-    /// Worker threads.
+    /// Connection worker threads.
     pub workers: usize,
+    /// Engine shards (`--shards`); 0 = one shared engine.
+    pub shards: usize,
+    /// Concurrent-connection cap (`--max-conns`); 0 = unlimited.
+    pub max_conns: usize,
+    /// Bounded per-shard queue depth (`--queue-cap`).
+    pub queue_cap: usize,
+    /// Idle-connection timeout, seconds (`--timeout-secs`); 0 = never.
+    pub timeout_secs: u64,
     /// Geometry-cache LRU bound (entries per cache; 0 = unbounded).
     pub cache_cap: usize,
     /// `τ_min`/library-cache LRU bound (entries per cache; 0 =
@@ -34,8 +49,13 @@ impl Default for ServeOptions {
     fn default() -> Self {
         let defaults = ServeConfig::default();
         Self {
+            bind: "127.0.0.1".to_string(),
             port: 4817,
             workers: defaults.workers,
+            shards: defaults.shards,
+            max_conns: defaults.max_conns,
+            queue_cap: defaults.queue_cap,
+            timeout_secs: 0,
             cache_cap: defaults.cache_cap,
             value_cache_cap: defaults.value_cache_cap,
         }
@@ -51,56 +71,81 @@ impl Default for ServeOptions {
 /// Returns [`CliError::Io`] when the bind fails (e.g. port in use).
 pub fn cmd_serve(opts: &ServeOptions) -> Result<String, CliError> {
     let config = ServeConfig {
-        addr: format!("127.0.0.1:{}", opts.port),
+        addr: format!("{}:{}", opts.bind, opts.port),
         workers: opts.workers,
         cache_cap: opts.cache_cap,
         value_cache_cap: opts.value_cache_cap,
+        shards: opts.shards,
+        max_conns: opts.max_conns,
+        queue_cap: opts.queue_cap,
+        read_timeout_ms: opts.timeout_secs.saturating_mul(1000),
+        ..ServeConfig::default()
     };
     let engine = Engine::paper(Technology::generic_180nm());
     let server: ServerHandle = start_server(engine, &config)?;
     // The banner must appear before the (indefinite) blocking join, so
     // scripts can discover the port; everything else the command prints
     // goes through the returned summary as usual.
+    let topology = if opts.shards > 0 {
+        format!("{} shard(s), queue cap {}", opts.shards, config.queue_cap)
+    } else {
+        "1 shared engine".to_string()
+    };
     println!(
-        "rip serve: listening on {} ({} worker(s), cache cap {}, value cache cap {})",
+        "rip serve: listening on {} ({} worker(s), {topology}, cache cap {}, \
+         value cache cap {}, max conns {})",
         server.addr(),
         config.workers,
         config.cache_cap,
-        config.value_cache_cap
+        config.value_cache_cap,
+        if opts.max_conns == 0 {
+            "unlimited".to_string()
+        } else {
+            opts.max_conns.to_string()
+        },
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    let state = std::sync::Arc::clone(server.state());
+    let monitor = server.monitor();
     server.join();
-    let stats = state.engine().stats();
+    let (_, _, promotions, evictions, _, _) = monitor.engine_totals();
     Ok(format!(
-        "rip serve: shut down after {} request(s) over {} connection(s); \
-         engine cache hit rate {:.1}% ({} promotion(s), {} eviction(s))\n",
-        state.requests(),
-        state.connections(),
-        stats.hit_rate() * 100.0,
-        stats.promotions,
-        stats.evictions,
+        "rip serve: shut down after {} request(s) over {} connection(s) ({} rejected); \
+         engine cache hit rate {:.1}% ({} promotion(s), {} eviction(s)) across {} engine(s)\n",
+        monitor.requests_total(),
+        monitor.connections_total(),
+        monitor.rejected_conns(),
+        monitor.hit_rate() * 100.0,
+        promotions,
+        evictions,
+        monitor.shards().max(1),
     ))
 }
 
 /// Options for `rip client`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ClientOptions {
     /// Run the built-in mixed-command smoke script and fail unless every
     /// response is `ok`.
     pub smoke: bool,
     /// Send a single `shutdown` request.
     pub shutdown: bool,
+    /// Wrap a local `.net`/`.tree` file into a protocol request
+    /// (`--file`); requires a target.
+    pub file: Option<String>,
+    /// Timing target for `--file` requests.
+    pub target: Option<Target>,
 }
 
 /// Connects to a running server. Relays JSON request lines from `input`
-/// unless `--smoke` or `--shutdown` was given.
+/// unless `--smoke`, `--shutdown` or `--file` was given.
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Io`] for transport failures and
-/// [`CliError::Protocol`] when a smoke-script response is not `ok`.
+/// Returns [`CliError::Io`] for transport failures,
+/// [`CliError::Usage`]/[`CliError::Parse`] for a bad `--file` request,
+/// and [`CliError::Protocol`] when a smoke-script or `--file` response
+/// is not `ok`.
 pub fn cmd_client(
     addr: &str,
     opts: &ClientOptions,
@@ -113,6 +158,9 @@ pub fn cmd_client(
     }
     if opts.smoke {
         return run_smoke(&mut client);
+    }
+    if let Some(path) = &opts.file {
+        return send_file(&mut client, path, opts.target);
     }
     // Relay mode streams: each response is printed as it arrives, so an
     // interactive session sees its answer immediately and a transport
@@ -130,10 +178,62 @@ pub fn cmd_client(
     Ok(String::new())
 }
 
-/// The built-in smoke script: one of every command (including a small
-/// masked `solve_tree`, a `reset_stats` whose follow-up `stats` must
-/// report exactly one request, and a final `shutdown`), each response
-/// required to be `ok`.
+/// Builds the protocol request line for a local `.net`/`.tree` file —
+/// the same typed [`Request`] encoding the server parses, so the wire
+/// round trip is exact.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for a missing target or unrecognized
+/// extension, [`CliError::Parse`] for a malformed file.
+pub fn file_request_line(path: &str, target: Option<Target>) -> Result<String, CliError> {
+    let target = target.ok_or_else(|| {
+        CliError::Usage("client --file needs --target-ns or --target-mult".into())
+    })?;
+    let target = match target {
+        Target::Ns(ns) => rip_serve::Target::AbsoluteFs(fs_from_ns(ns)),
+        Target::Multiplier(m) => rip_serve::Target::TauMinMultiple(m),
+    };
+    if !path.ends_with(".tree") && !path.ends_with(".net") {
+        return Err(CliError::Usage(format!(
+            "client --file needs a .net or .tree path, got {path:?}"
+        )));
+    }
+    let text = std::fs::read_to_string(path)?;
+    let request = if path.ends_with(".tree") {
+        Request::SolveTree {
+            tree: crate::treefile::parse_tree_file(&text)?,
+            target,
+            allowed: None,
+        }
+    } else {
+        Request::Solve {
+            net: crate::netfile::parse_net(&text)?,
+            target,
+        }
+    };
+    Ok(request.to_json(Some(&Json::from(1u64))).to_string())
+}
+
+/// `rip client --file`: one request wrapping the file, one response
+/// line; non-`ok` responses exit nonzero with the server's error.
+fn send_file(client: &mut Client, path: &str, target: Option<Target>) -> Result<String, CliError> {
+    let line = file_request_line(path, target)?;
+    let response = client.request_line(&line)?;
+    let value = parse_json(&response)
+        .map_err(|e| CliError::Protocol(format!("unparseable response: {e}")))?;
+    if value.get("ok") != Some(&Json::Bool(true)) {
+        return Err(CliError::Protocol(format!(
+            "server rejected {path}: {response}"
+        )));
+    }
+    Ok(format!("{response}\n"))
+}
+
+/// The built-in smoke script: one of every command (a `hello`
+/// capability check, a small masked `solve_tree`, a `reset_stats` whose
+/// follow-up `stats` must report exactly one request, and a final
+/// `shutdown`), each response required to be `ok`.
 fn run_smoke(client: &mut Client) -> Result<String, CliError> {
     let nets: Vec<Json> = rip_net::NetGenerator::suite(rip_net::RandomNetConfig::default(), 7, 3)
         .expect("default net distribution is valid")
@@ -144,6 +244,7 @@ fn run_smoke(client: &mut Client) -> Result<String, CliError> {
     // expensive command, and the smoke test gates CI wall-clock.
     let tree = r#"{"driver":120,"nodes":[[0,0.08,0.2,1200,null,false],[1,0.06,0.18,1500,60,false],[1,0.08,0.2,1000,50,true]]}"#;
     let script = vec![
+        Json::obj([("id", Json::from(0u64)), ("cmd", Json::from("hello"))]).to_string(),
         Json::obj([("id", Json::from(1u64)), ("cmd", Json::from("stats"))]).to_string(),
         Json::obj([
             ("id", Json::from(2u64)),
@@ -201,6 +302,24 @@ fn run_smoke(client: &mut Client) -> Result<String, CliError> {
                 "smoke request failed: {line} -> {response}"
             )));
         }
+        // Every response carries the protocol version.
+        if value.get("proto").and_then(Json::as_f64) != Some(rip_serve::PROTO_VERSION as f64) {
+            return Err(CliError::Protocol(format!(
+                "response missing proto version: {response}"
+            )));
+        }
+        // hello must advertise the full command set.
+        if line.contains("\"id\":0")
+            && value
+                .get("commands")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len)
+                != Some(rip_serve::COMMANDS.len())
+        {
+            return Err(CliError::Protocol(format!(
+                "hello did not list the command set: {response}"
+            )));
+        }
         // The warm repeat (id 7) must answer byte-identically to the
         // cold solve (id 3) modulo the echoed id.
         if line.contains("\"id\":3") {
@@ -235,26 +354,140 @@ mod tests {
     use super::*;
     use rip_serve::start_server;
 
-    #[test]
-    fn smoke_script_passes_against_an_in_process_server() {
-        // The same script CI drives over a real socket: every command
-        // (masked solve_tree and reset_stats included) must be ok, the
-        // warm solve byte-identical, and the post-reset stats at 1
-        // request.
-        let config = ServeConfig {
-            workers: 2,
-            ..ServeConfig::default()
-        };
-        let server = start_server(Engine::paper(Technology::generic_180nm()), &config).unwrap();
+    fn smoke_against(config: &ServeConfig) -> String {
+        let server = start_server(Engine::paper(Technology::generic_180nm()), config).unwrap();
         let addr = server.addr().to_string();
         let opts = ClientOptions {
             smoke: true,
-            shutdown: false,
+            ..ClientOptions::default()
         };
         let out = cmd_client(&addr, &opts, &mut std::io::empty()).unwrap();
-        assert!(out.contains("all ok"), "{out}");
-        assert!(out.contains("\"reset\":true"), "{out}");
         // The smoke script ends in shutdown, so the server drains.
         server.join();
+        out
+    }
+
+    #[test]
+    fn smoke_script_passes_against_an_in_process_server() {
+        // The same script CI drives over a real socket: every command
+        // (hello, masked solve_tree and reset_stats included) must be
+        // ok, the warm solve byte-identical, and the post-reset stats
+        // at 1 request.
+        let out = smoke_against(&ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        assert!(out.contains("all ok"), "{out}");
+        assert!(out.contains("\"reset\":true"), "{out}");
+        assert!(out.contains("\"server\":\"rip-serve\""), "{out}");
+    }
+
+    #[test]
+    fn smoke_script_passes_against_a_sharded_server() {
+        // CI runs the socket smoke with --shards 2; this is the same
+        // topology in-process, so a sharded regression fails here
+        // before it reaches CI. hello must now report the shard count.
+        let out = smoke_against(&ServeConfig {
+            workers: 2,
+            shards: 2,
+            ..ServeConfig::default()
+        });
+        assert!(out.contains("all ok"), "{out}");
+        assert!(out.contains("\"shards\":2"), "{out}");
+    }
+
+    #[test]
+    fn client_file_round_trips_against_rip_solve() {
+        // `rip client --file net.net` must answer exactly what the
+        // local `rip solve` pipeline computes for the same net and
+        // target: same engine semantics through the wire.
+        let dir = std::env::temp_dir().join(format!("rip_client_file_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("chain.net");
+        let net_text = "driver 140\nreceiver 60\nsegment 4000 0.08 0.2\nsegment 3000 0.06 0.18\n";
+        std::fs::write(&net_path, net_text).unwrap();
+
+        let server = start_server(
+            Engine::paper(Technology::generic_180nm()),
+            &ServeConfig {
+                workers: 2,
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let opts = ClientOptions {
+            file: Some(net_path.to_string_lossy().into_owned()),
+            target: Some(Target::Multiplier(1.4)),
+            ..ClientOptions::default()
+        };
+        let out = cmd_client(&addr, &opts, &mut std::io::empty()).unwrap();
+        let response = parse_json(out.trim()).unwrap();
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{out}");
+
+        // The local solve of the same file.
+        let net = crate::netfile::parse_net(net_text).unwrap();
+        let engine = Engine::paper(Technology::generic_180nm());
+        let target_fs = 1.4 * engine.tau_min(&net);
+        let expected = engine.solve(&net, target_fs).unwrap();
+        assert_eq!(
+            response
+                .get("delay_fs")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+            expected.solution.delay_fs.to_bits(),
+            "wire solve diverged from local rip solve"
+        );
+        assert_eq!(
+            response
+                .get("total_width")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+            expected.solution.total_width.to_bits()
+        );
+
+        // A tree file takes the solve_tree path.
+        let tree_path = dir.join("fork.tree");
+        std::fs::write(
+            &tree_path,
+            "driver 120\nnode 0 0.08 0.2 1200\nnode 1 0.06 0.18 1500 sink 60\nnode 1 0.08 0.2 1000 sink 50\n",
+        )
+        .unwrap();
+        let opts = ClientOptions {
+            file: Some(tree_path.to_string_lossy().into_owned()),
+            target: Some(Target::Multiplier(1.4)),
+            ..ClientOptions::default()
+        };
+        let out = cmd_client(&addr, &opts, &mut std::io::empty()).unwrap();
+        let response = parse_json(out.trim()).unwrap();
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{out}");
+        assert!(response.get("buffers").is_some(), "{out}");
+
+        // Missing target and unknown extensions are usage errors.
+        let opts = ClientOptions {
+            file: Some(net_path.to_string_lossy().into_owned()),
+            ..ClientOptions::default()
+        };
+        assert!(matches!(
+            cmd_client(&addr, &opts, &mut std::io::empty()),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            file_request_line("nets.csv", Some(Target::Multiplier(1.4))),
+            Err(CliError::Usage(_))
+        ));
+
+        let shutdown = ClientOptions {
+            shutdown: true,
+            ..ClientOptions::default()
+        };
+        cmd_client(&addr, &shutdown, &mut std::io::empty()).unwrap();
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -58,7 +58,7 @@ use rip_dp::{
     solve_min_delay_with, solve_min_power_with, tree_min_delay_with, tree_min_power_with,
     CandidateSet, DpError, DpScratch, DpSolution, TreeScratch,
 };
-use rip_net::TwoPinNet;
+use rip_net::{TreeNet, TwoPinNet};
 use rip_refine::{refine, trim_tree_widths, RefineError, RefineOutcome, TreeTrimOutcome};
 use rip_tech::{RepeaterLibrary, TechError, Technology};
 use std::collections::hash_map::DefaultHasher;
@@ -258,6 +258,33 @@ fn masked_key(base: String, mask: Option<&[bool]>) -> String {
             format!("{base}|mask:{bits}")
         }
     }
+}
+
+/// Stable shard key of a chain net, derived from the engine's
+/// **geometry** cache key (total length + forbidden zones): nets that
+/// share candidate grids and fine windows hash to the same shard, so a
+/// sharded service keeps each engine's geometry caches hot and disjoint
+/// instead of duplicating the working set N times.
+///
+/// The key is deterministic within a process (requests for one net
+/// always land on one shard) but not stable across processes or Rust
+/// versions — routing is a cache-affinity hint, never part of the
+/// answer: any routing yields byte-identical responses.
+pub fn net_shard_key(net: &TwoPinNet) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    geometry_key(net, &"shard").hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Stable shard key of a tree net, derived from the tree's **topology**
+/// rendering — the same `Debug` discrimination the engine's subdivision
+/// cache keys on (one `TreeNet` maps to one [`RcTree`], so equal trees
+/// always share a shard and its cached subdivisions). Same determinism
+/// contract as [`net_shard_key`].
+pub fn tree_shard_key(tree: &TreeNet) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    cache_key(tree).hash(&mut hasher);
+    hasher.finish()
 }
 
 /// A cached tree subdivision: the subdivided candidate-site tree and —
@@ -1210,6 +1237,41 @@ impl Engine {
                 self.tech.device(),
                 &config.library,
                 &cands,
+                target_fs,
+            )
+        })
+    }
+
+    /// Runs the Lillis-style baseline power DP on a tree — one uniform
+    /// fixed-width library over a uniform candidate subdivision
+    /// (`config.candidate_step_um`), no hybrid stages — through the
+    /// session's subdivision cache, under an optional buffer-legality
+    /// mask. The tree analogue of [`Engine::baseline`], and what tree
+    /// entries in a `compare` request are measured against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DpError::InfeasibleTarget`] (the paper's `V_DP`
+    /// timing-violation event) and [`DpError::BadAllowedMask`] for a
+    /// mask whose length does not match the tree.
+    pub fn tree_baseline_masked(
+        &self,
+        tree: &RcTree,
+        driver_width: f64,
+        config: &BaselineConfig,
+        target_fs: f64,
+        allowed: Option<&[bool]>,
+    ) -> Result<rip_dp::TreeSolution, DpError> {
+        let allowed = effective_mask(tree, allowed)?;
+        let sites = self.subdivision_masked(tree, config.candidate_step_um, allowed);
+        self.with_tree_scratch(|scratch| {
+            tree_min_power_with(
+                scratch,
+                &sites.tree,
+                self.tech.device(),
+                driver_width,
+                &config.library,
+                sites.allowed.as_deref(),
                 target_fs,
             )
         })

@@ -1,25 +1,36 @@
-//! # rip-serve — a resident solver service over one shared [`Engine`]
+//! # rip-serve — a resident, shardable solver service over [`Engine`]s
 //!
 //! The paper's pitch is that hybrid repeater insertion is cheap enough
 //! to sit inside an optimization loop; this crate is the subsystem that
 //! makes the reproduction *servable*: a std-only multi-threaded TCP
 //! server speaking a newline-delimited JSON protocol, with every
-//! request routed through one long-lived [`Engine`] session so
-//! candidate grids, fine windows, tree subdivisions, `τ_min` and
-//! synthesized libraries amortize across requests and connections
-//! (LRU-bounded — see [`Engine::set_cache_cap`] /
-//! [`Engine::set_value_cache_cap`] — so memory stays flat on unbounded
-//! request streams).
+//! request routed through long-lived [`Engine`] sessions so candidate
+//! grids, fine windows, tree subdivisions, `τ_min` and synthesized
+//! libraries amortize across requests and connections (LRU-bounded —
+//! see [`Engine::set_cache_cap`] / [`Engine::set_value_cache_cap`] — so
+//! memory stays flat on unbounded request streams). In **sharded** mode
+//! ([`ServeConfig::shards`]) requests route by the engine's own cache
+//! keys to N private engines behind bounded queues, so per-shard caches
+//! stay hot and disjoint and the single shared-cache lock funnel
+//! disappears; caching never changes results, so sharded responses stay
+//! byte-identical to a single engine's.
 //!
 //! Layers, bottom up:
 //!
 //! * [`json`] — a tiny JSON value (parser + exact-`f64` writer; the
 //!   workspace builds offline without serde);
-//! * [`protocol`] — the request router: `solve`, `solve_tree` (with
-//!   binding blocked-node masks and an optional `allowed` override),
-//!   `batch`, `compare`, `tau_min`, `stats`, `reset_stats`, `shutdown`
-//!   over a [`ServeState`];
-//! * [`server`] — the worker threads: shared listener, clean shutdown;
+//! * [`protocol`] — the typed request API: every line parses into a
+//!   [`Request`], dispatch is a match over it, every answer is a
+//!   [`Response`] rendered in exactly one place (`solve`, `solve_tree`,
+//!   `batch`/`compare` with binding blocked-node masks and per-entry
+//!   `allowed` overrides, `tau_min`, `hello`, `stats`, `reset_stats`,
+//!   `shutdown` over a [`ServeState`]);
+//! * [`shard`] — the engine-worker pool: cache-key routing, fan-out
+//!   with input-ordered reassembly, bounded queues with typed
+//!   `backpressure` overflow;
+//! * [`server`] — the edge: connection workers, `--bind`/`--max-conns`
+//!   with typed `busy` rejection, per-connection timeouts, clean
+//!   shutdown;
 //! * [`client`] — a blocking line client;
 //! * [`loadgen`] — deterministic concurrent load with **byte-identity**
 //!   verification against an in-process reference engine (the service
@@ -56,6 +67,7 @@ pub mod json;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 
 pub use client::Client;
 pub use json::{parse_json, Json, JsonError};
@@ -63,5 +75,9 @@ pub use loadgen::{
     connection_script, fire_load, net_pool, prepare_load, run_loadgen, tree_pool, LoadgenConfig,
     LoadgenOutcome, PreparedLoad, ScriptedRequest,
 };
-pub use protocol::{net_from_json, net_to_json, tree_from_json, tree_to_json, ServeState};
-pub use server::{start_server, ServeConfig, ServerHandle};
+pub use protocol::{
+    net_from_json, net_to_json, parse_line, tree_from_json, tree_to_json, ErrorCode, Request,
+    RequestError, Response, ServeState, ServerInfo, Target, TreeEntry, COMMANDS, PROTO_VERSION,
+};
+pub use server::{start_server, ServeConfig, ServerHandle, ServerMonitor};
+pub use shard::{ShardPool, ShardSnapshot};

@@ -1,5 +1,6 @@
-//! The service protocol: newline-delimited JSON requests routed through
-//! one shared [`Engine`].
+//! The service protocol: newline-delimited JSON requests parsed into
+//! typed [`Request`] values, dispatched over an [`Engine`], and
+//! answered as typed [`Response`] values.
 //!
 //! One request per line, one response per line. Every request is a JSON
 //! object with a `cmd` field and an optional `id` (echoed back
@@ -16,51 +17,688 @@
 //! implicit root 0 and appends nodes 1, 2, ... in order, parents before
 //! children.) A tree node's `blocked` flag is **binding**: the hybrid
 //! tree pipeline never places a buffer on a blocked node, and
-//! `target_mult` resolves against the *masked* tree `τ_min`. A
-//! `solve_tree` request may also carry an optional `allowed` field — an
-//! array of booleans with one entry per node *including* the root
-//! (index-aligned with the tree; the root entry is ignored) — which
-//! overrides the per-node `blocked` flags for that request, so clients
-//! can sweep masks without re-encoding the tree. Exactly one of
-//! `target_fs`, `target_ns` or `target_mult` selects the timing
-//! target; `target_mult` multiplies the net's cached `τ_min`.
+//! `target_mult` resolves against the *masked* tree `τ_min`. Wherever a
+//! tree appears — `solve_tree`, or a `batch`/`compare` tree entry — an
+//! optional `allowed` field (an array of booleans with one entry per
+//! node *including* the root; the root entry is ignored) overrides the
+//! per-node `blocked` flags for that request, so clients can sweep
+//! masks without re-encoding the tree; the two spellings of one mask
+//! answer byte-identically. Exactly one of `target_fs`, `target_ns` or
+//! `target_mult` selects the timing target; `target_mult` multiplies
+//! the net's cached `τ_min`.
 //!
 //! `id` may be any JSON value and is echoed back. Note that JSON
 //! numbers travel as `f64`, so integral numeric ids beyond 2^53 lose
 //! precision on the echo — clients needing wider ids should send them
 //! as strings.
 //!
-//! | `cmd`        | request fields                | response fields                   |
-//! |--------------|-------------------------------|-----------------------------------|
-//! | `solve`      | `net`, target                 | `target_fs`, `delay_fs`, `total_width`, `repeaters: [[x_um, w_u], ...]` |
-//! | `solve_tree` | `tree`, target, opt. `allowed`| `target_fs`, `delay_fs`, `total_width`, `buffers: [[node, w_u], ...]` |
-//! | `batch`      | `nets`, target                | `results: [per-net solve result or error, ...]` |
-//! | `compare`    | `nets`, target, `granularity` | `rows: [[base_w|null, rip_w], ...]`, savings summary |
-//! | `tau_min`    | `net`                         | `tau_min_fs`                      |
-//! | `stats`      | —                             | engine + server counters          |
-//! | `reset_stats`| —                             | the pre-reset counters, `reset: true`; counters rezero |
-//! | `shutdown`   | —                             | `stopping: true`, then the server drains |
+//! | `cmd`        | request fields                  | response fields                   |
+//! |--------------|---------------------------------|-----------------------------------|
+//! | `solve`      | `net`, target                   | `target_fs`, `delay_fs`, `total_width`, `repeaters: [[x_um, w_u], ...]` |
+//! | `solve_tree` | `tree`, target, opt. `allowed`  | `target_fs`, `delay_fs`, `total_width`, `buffers: [[node, w_u], ...]` |
+//! | `batch`      | `nets` and/or `trees`, target   | `results: [per-net result or error, ...]`, `tree_results: [...]` |
+//! | `compare`    | `nets`/`trees`, target, `granularity` | `rows`/`tree_rows: [[base_w\|null, rip_w], ...]`, savings summary |
+//! | `tau_min`    | `net`                           | `tau_min_fs`                      |
+//! | `hello`      | —                               | server capabilities (shards, workers, caps, version, commands) |
+//! | `stats`      | —                               | engine + server counters          |
+//! | `reset_stats`| —                               | the pre-reset counters, `reset: true`; counters rezero |
+//! | `shutdown`   | —                               | `stopping: true`, then the server drains |
 //!
-//! Every response carries `ok` (and `error` when `ok` is `false`).
-//! Responses are rendered deterministically — same request, same
-//! engine configuration, same bytes — which is what the loadgen's
-//! byte-identity check relies on ([`crate::loadgen`]).
+//! A `batch`/`compare` tree entry is either a bare `TREE` object or
+//! `{"tree": TREE, "allowed": [...]}` with the per-request mask
+//! override.
+//!
+//! Every response carries `ok` and `proto` (the protocol version,
+//! [`PROTO_VERSION`]); failures carry a machine-readable `code`
+//! ([`ErrorCode`]) next to the human-readable `error`. Responses are
+//! rendered deterministically — same request, same engine
+//! configuration, same bytes — which is what the loadgen's
+//! byte-identity check and the sharded-vs-single-engine equivalence
+//! tests rely on ([`crate::loadgen`]).
 
 use crate::json::{parse_json, Json};
-use rip_core::{BaselineConfig, BatchTarget, Engine, TreeRipConfig};
+use rip_core::{
+    summarize_savings, BaselineConfig, BatchTarget, DpError, Engine, SavingsSummary, TreeRipConfig,
+};
 use rip_delay::RcTree;
 use rip_net::{NetBuilder, Segment, TreeNet, TreeNetNode, TwoPinNet};
 use rip_tech::units::fs_from_ns;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
-/// Shared state of a running service: the long-lived [`Engine`] plus
-/// server-level counters. One instance is shared by every worker
-/// thread; [`ServeState::handle_line`] is the whole request router, so
-/// tests and the load generator can drive it without a socket.
+/// Version of the wire protocol, carried as `proto` in every response.
+/// Bumped when a response shape changes incompatibly.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Every command the protocol knows, sorted — rendered into `hello`
+/// responses and unknown-command errors.
+pub const COMMANDS: &[&str] = &[
+    "batch",
+    "compare",
+    "hello",
+    "reset_stats",
+    "shutdown",
+    "solve",
+    "solve_tree",
+    "stats",
+    "tau_min",
+];
+
+/// Machine-readable failure category of an error response (`code`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line did not parse or validate.
+    BadRequest,
+    /// The `cmd` is not one of [`COMMANDS`].
+    UnknownCmd,
+    /// The request was valid but the solver failed (e.g. infeasible
+    /// target).
+    SolveFailed,
+    /// The server is at its connection limit (`--max-conns`); retry
+    /// later or against another replica.
+    Busy,
+    /// The target shard's request queue is full (`--queue-cap`); the
+    /// client should back off and retry.
+    Backpressure,
+    /// The connection sat idle past the server's read timeout.
+    Timeout,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownCmd => "unknown_cmd",
+            ErrorCode::SolveFailed => "solve_failed",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Backpressure => "backpressure",
+            ErrorCode::Timeout => "timeout",
+        }
+    }
+}
+
+/// Why a request line failed to parse into a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// [`ErrorCode::BadRequest`] or [`ErrorCode::UnknownCmd`].
+    pub code: ErrorCode,
+    /// Human-readable reason, rendered as the response's `error`.
+    pub reason: String,
+}
+
+impl RequestError {
+    fn bad(reason: impl Into<String>) -> Self {
+        Self {
+            code: ErrorCode::BadRequest,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl From<String> for RequestError {
+    fn from(reason: String) -> Self {
+        RequestError::bad(reason)
+    }
+}
+
+impl From<&str> for RequestError {
+    fn from(reason: &str) -> Self {
+        RequestError::bad(reason)
+    }
+}
+
+/// A request-level timing target (resolved against the engine's cached
+/// `τ_min` when relative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Target {
+    /// Absolute target, fs (`target_fs`, or `target_ns` × 10⁶).
+    AbsoluteFs(f64),
+    /// Multiplier over the net's (masked) `τ_min` (`target_mult`).
+    TauMinMultiple(f64),
+}
+
+/// One tree in a `batch`/`compare` request: the tree plus an optional
+/// request-level `allowed` override of its `blocked` flags (exactly the
+/// `solve_tree` override, per entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeEntry {
+    /// The tree (its `blocked` flags are the default mask).
+    pub tree: TreeNet,
+    /// Validated mask override (one entry per node including the root),
+    /// or `None` to use the tree's own `blocked` flags.
+    pub allowed: Option<Vec<bool>>,
+}
+
+impl TreeEntry {
+    /// The binding buffer-legality mask of this entry: the override
+    /// when present, the tree's own `blocked` flags otherwise. The two
+    /// spellings of one mask produce byte-identical responses.
+    pub fn mask(&self) -> Vec<bool> {
+        self.allowed
+            .clone()
+            .unwrap_or_else(|| self.tree.allowed_mask())
+    }
+}
+
+/// A parsed, validated protocol request — what the shard router hashes
+/// and dispatches; no JSON survives past this point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `solve`: hybrid pipeline on one chain net.
+    Solve {
+        /// The net to solve.
+        net: TwoPinNet,
+        /// The timing target.
+        target: Target,
+    },
+    /// `solve_tree`: hybrid tree pipeline on one (possibly masked) tree.
+    SolveTree {
+        /// The tree to solve (`blocked` flags are binding).
+        tree: TreeNet,
+        /// The timing target (`target_mult` resolves against the masked
+        /// `τ_min`).
+        target: Target,
+        /// Validated request-level mask override, or `None` for the
+        /// tree's own `blocked` flags.
+        allowed: Option<Vec<bool>>,
+    },
+    /// `batch`: many nets and/or trees, one target rule, per-item
+    /// results.
+    Batch {
+        /// Chain nets (possibly empty when `trees` is not).
+        nets: Vec<TwoPinNet>,
+        /// Tree entries (possibly empty when `nets` is not).
+        trees: Vec<TreeEntry>,
+        /// The shared target rule.
+        target: Target,
+    },
+    /// `compare`: RIP vs the fixed-library baseline DP over a batch.
+    Compare {
+        /// Chain nets (possibly empty when `trees` is not).
+        nets: Vec<TwoPinNet>,
+        /// Tree entries (possibly empty when `nets` is not).
+        trees: Vec<TreeEntry>,
+        /// The shared target rule.
+        target: Target,
+        /// Baseline library granularity, u (paper Table 1).
+        granularity: f64,
+    },
+    /// `tau_min`: minimum achievable delay of one net.
+    TauMin {
+        /// The net.
+        net: TwoPinNet,
+    },
+    /// `hello`: server capabilities.
+    Hello,
+    /// `stats`: engine + server counters.
+    Stats,
+    /// `reset_stats`: render the counters, then rezero them.
+    ResetStats,
+    /// `shutdown`: acknowledge, then drain the server.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire `cmd` of this request.
+    pub fn cmd(&self) -> &'static str {
+        match self {
+            Request::Solve { .. } => "solve",
+            Request::SolveTree { .. } => "solve_tree",
+            Request::Batch { .. } => "batch",
+            Request::Compare { .. } => "compare",
+            Request::TauMin { .. } => "tau_min",
+            Request::Hello => "hello",
+            Request::Stats => "stats",
+            Request::ResetStats => "reset_stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a request object (one decoded line) into a typed request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RequestError`] naming the offending field; unknown
+    /// commands get [`ErrorCode::UnknownCmd`] with the received command
+    /// and the list of known ones.
+    pub fn from_json(request: &Json) -> Result<Request, RequestError> {
+        let cmd = request
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string 'cmd'")?;
+        match cmd {
+            "solve" => Ok(Request::Solve {
+                net: net_from_json(request.get("net").ok_or("solve needs a 'net'")?)?,
+                target: parse_target(request)?,
+            }),
+            "tau_min" => Ok(Request::TauMin {
+                net: net_from_json(request.get("net").ok_or("tau_min needs a 'net'")?)?,
+            }),
+            "solve_tree" => {
+                let tree = tree_from_json(request.get("tree").ok_or("solve_tree needs a 'tree'")?)?;
+                let allowed = match request.get("allowed") {
+                    None => None,
+                    Some(value) => Some(allowed_from_json(value, &tree)?),
+                };
+                Ok(Request::SolveTree {
+                    tree,
+                    target: parse_target(request)?,
+                    allowed,
+                })
+            }
+            "batch" => {
+                let (nets, trees) = nets_and_trees(request, "batch")?;
+                Ok(Request::Batch {
+                    nets,
+                    trees,
+                    target: parse_target(request)?,
+                })
+            }
+            "compare" => {
+                let (nets, trees) = nets_and_trees(request, "compare")?;
+                let granularity = request
+                    .get("granularity")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(20.0);
+                if !(granularity.is_finite() && granularity > 0.0) {
+                    return Err("granularity must be positive".into());
+                }
+                Ok(Request::Compare {
+                    nets,
+                    trees,
+                    target: parse_target(request)?,
+                    granularity,
+                })
+            }
+            "hello" => Ok(Request::Hello),
+            "stats" => Ok(Request::Stats),
+            "reset_stats" => Ok(Request::ResetStats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(RequestError {
+                code: ErrorCode::UnknownCmd,
+                reason: format!(
+                    "unknown cmd {other:?}; known commands: {}",
+                    COMMANDS.join(", ")
+                ),
+            }),
+        }
+    }
+
+    /// Encodes the request back into its wire object (inverse of
+    /// [`Request::from_json`] — the encode/decode round trip is
+    /// property-tested). Targets encode canonically (`target_fs` /
+    /// `target_mult`; a parsed `target_ns` re-encodes as `target_fs`).
+    pub fn to_json(&self, id: Option<&Json>) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if let Some(id) = id {
+            fields.push(("id".to_string(), id.clone()));
+        }
+        fields.push(("cmd".to_string(), Json::from(self.cmd())));
+        let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+        match self {
+            Request::Solve { net, target } => {
+                push("net", net_to_json(net));
+                push_target(&mut push, *target);
+            }
+            Request::TauMin { net } => push("net", net_to_json(net)),
+            Request::SolveTree {
+                tree,
+                target,
+                allowed,
+            } => {
+                push("tree", tree_to_json(tree));
+                push_target(&mut push, *target);
+                if let Some(mask) = allowed {
+                    push(
+                        "allowed",
+                        Json::Arr(mask.iter().copied().map(Json::Bool).collect()),
+                    );
+                }
+            }
+            Request::Batch {
+                nets,
+                trees,
+                target,
+            } => {
+                push_nets_and_trees(&mut push, nets, trees);
+                push_target(&mut push, *target);
+            }
+            Request::Compare {
+                nets,
+                trees,
+                target,
+                granularity,
+            } => {
+                push_nets_and_trees(&mut push, nets, trees);
+                push_target(&mut push, *target);
+                push("granularity", Json::Num(*granularity));
+            }
+            Request::Hello | Request::Stats | Request::ResetStats | Request::Shutdown => {}
+        }
+        Json::Obj(fields)
+    }
+}
+
+fn push_target(push: &mut impl FnMut(&str, Json), target: Target) {
+    match target {
+        Target::AbsoluteFs(fs) => push("target_fs", Json::Num(fs)),
+        Target::TauMinMultiple(m) => push("target_mult", Json::Num(m)),
+    }
+}
+
+fn push_nets_and_trees(push: &mut impl FnMut(&str, Json), nets: &[TwoPinNet], trees: &[TreeEntry]) {
+    if !nets.is_empty() {
+        push("nets", Json::Arr(nets.iter().map(net_to_json).collect()));
+    }
+    if !trees.is_empty() {
+        push(
+            "trees",
+            Json::Arr(
+                trees
+                    .iter()
+                    .map(|entry| {
+                        let mut fields = vec![("tree", tree_to_json(&entry.tree))];
+                        if let Some(mask) = &entry.allowed {
+                            fields.push((
+                                "allowed",
+                                Json::Arr(mask.iter().copied().map(Json::Bool).collect()),
+                            ));
+                        }
+                        Json::obj(fields)
+                    })
+                    .collect(),
+            ),
+        );
+    }
+}
+
+/// Splits one raw request line into its echoed `id` and the typed
+/// parse result — the front door of both the direct server and the
+/// shard router ([`ServeState::handle_line`] is exactly this followed
+/// by [`ServeState::handle_request`] and [`Response::render`]).
+pub fn parse_line(line: &str) -> (Json, Result<Request, RequestError>) {
+    let request = match parse_json(line) {
+        Ok(request) => request,
+        Err(e) => return (Json::Null, Err(RequestError::bad(e.to_string()))),
+    };
+    let id = request.get("id").cloned().unwrap_or(Json::Null);
+    (id, Request::from_json(&request))
+}
+
+/// One solved chain net, as rendered into `solve` responses and
+/// `batch` result entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResult {
+    /// The resolved absolute target, fs.
+    pub target_fs: f64,
+    /// Achieved source-to-sink Elmore delay, fs.
+    pub delay_fs: f64,
+    /// Total repeater width, u.
+    pub total_width: f64,
+    /// `(position_um, width_u)` per inserted repeater.
+    pub repeaters: Vec<(f64, f64)>,
+}
+
+/// One solved tree, as rendered into `solve_tree` responses and
+/// `batch` tree-result entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSolveResult {
+    /// The resolved absolute target, fs.
+    pub target_fs: f64,
+    /// Achieved worst source-to-sink Elmore delay, fs.
+    pub delay_fs: f64,
+    /// Total buffer width, u.
+    pub total_width: f64,
+    /// `(fine_node_index, width_u)` per inserted buffer.
+    pub buffers: Vec<(usize, f64)>,
+}
+
+/// Server capabilities rendered into a `hello` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerInfo {
+    /// Engine shards (0 = single shared engine, no shard layer).
+    pub shards: usize,
+    /// Connection worker threads.
+    pub workers: usize,
+    /// Concurrent-connection cap (0 = unlimited).
+    pub max_conns: usize,
+    /// Per-shard bounded queue depth (0 = no shard layer).
+    pub queue_cap: usize,
+}
+
+/// A typed protocol response; [`Response::render`] is the only place
+/// response JSON is produced, so every transport (direct worker, shard
+/// fan-out, in-process reference) renders byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `solve` succeeded.
+    Solve(SolveResult),
+    /// `solve_tree` succeeded.
+    SolveTree(TreeSolveResult),
+    /// `batch` ran (individual items may still have failed).
+    Batch {
+        /// Per-net outcome, in request order (`Err` carries the
+        /// per-item failure reason).
+        results: Vec<Result<SolveResult, String>>,
+        /// Per-tree outcome, in request order.
+        tree_results: Vec<Result<TreeSolveResult, String>>,
+    },
+    /// `compare` ran.
+    Compare {
+        /// Per-net `(baseline width, RIP width)` rows (`None` baseline
+        /// = the paper's `V_DP` timing violation).
+        rows: Vec<(Option<f64>, f64)>,
+        /// Per-tree rows, same convention.
+        tree_rows: Vec<(Option<f64>, f64)>,
+        /// Savings summary over all rows (nets then trees).
+        summary: SavingsSummary,
+    },
+    /// `tau_min` succeeded.
+    TauMin {
+        /// The minimum achievable delay, fs.
+        tau_min_fs: f64,
+    },
+    /// `hello`: capabilities plus the engine cache caps.
+    Hello {
+        /// Server topology and limits.
+        info: ServerInfo,
+        /// Geometry-cache LRU bound (0 = unbounded).
+        cache_cap: usize,
+        /// `τ_min`/library-cache LRU bound (0 = unbounded).
+        value_cache_cap: usize,
+    },
+    /// `stats` / `reset_stats` counters (pre-rendered: the values are
+    /// captured when the request is handled, not when rendered).
+    Stats {
+        /// Counter fields, in render order.
+        fields: Vec<(&'static str, Json)>,
+        /// `true` for `reset_stats` (the counters were rezeroed after
+        /// capture).
+        reset: bool,
+    },
+    /// `shutdown` acknowledged; the server drains after responding.
+    Shutdown,
+    /// The request failed.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable reason.
+        error: String,
+    },
+}
+
+impl Response {
+    /// An [`ErrorCode::SolveFailed`] error response.
+    pub fn solve_error(reason: impl Into<String>) -> Self {
+        Response::Error {
+            code: ErrorCode::SolveFailed,
+            error: reason.into(),
+        }
+    }
+
+    /// `true` when this response reports a failure (`ok: false`).
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+
+    /// Renders the response line for an echoed `id`:
+    /// `{"id":…,"ok":…,"proto":…, …}`.
+    pub fn render(&self, id: &Json) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("id".to_string(), id.clone()),
+            ("ok".to_string(), Json::Bool(!self.is_error())),
+            ("proto".to_string(), Json::from(PROTO_VERSION)),
+        ];
+        let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+        match self {
+            Response::Solve(result) => push_solve_fields(&mut push, result),
+            Response::SolveTree(result) => push_tree_fields(&mut push, result),
+            Response::Batch {
+                results,
+                tree_results,
+            } => {
+                push(
+                    "results",
+                    Json::Arr(results.iter().map(render_batch_item).collect()),
+                );
+                push(
+                    "tree_results",
+                    Json::Arr(tree_results.iter().map(render_tree_batch_item).collect()),
+                );
+            }
+            Response::Compare {
+                rows,
+                tree_rows,
+                summary,
+            } => {
+                push("rows", render_rows(rows));
+                push("tree_rows", render_rows(tree_rows));
+                push("max_percent", Json::Num(summary.max_percent));
+                push("mean_percent", Json::Num(summary.mean_percent));
+                push(
+                    "baseline_violations",
+                    Json::from(summary.baseline_violations),
+                );
+                push("compared", Json::from(summary.compared));
+            }
+            Response::TauMin { tau_min_fs } => push("tau_min_fs", Json::Num(*tau_min_fs)),
+            Response::Hello {
+                info,
+                cache_cap,
+                value_cache_cap,
+            } => {
+                push("server", Json::from("rip-serve"));
+                push("version", Json::from(env!("CARGO_PKG_VERSION")));
+                push("shards", Json::from(info.shards));
+                push("workers", Json::from(info.workers));
+                push("max_conns", Json::from(info.max_conns));
+                push("queue_cap", Json::from(info.queue_cap));
+                push("cache_cap", Json::from(*cache_cap));
+                push("value_cache_cap", Json::from(*value_cache_cap));
+                push(
+                    "commands",
+                    Json::Arr(COMMANDS.iter().map(|c| Json::from(*c)).collect()),
+                );
+            }
+            Response::Stats { fields, reset } => {
+                for (k, v) in fields {
+                    push(k, v.clone());
+                }
+                if *reset {
+                    push("reset", Json::Bool(true));
+                }
+            }
+            Response::Shutdown => push("stopping", Json::Bool(true)),
+            Response::Error { code, error } => {
+                push("code", Json::from(code.as_str()));
+                push("error", Json::Str(error.clone()));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+fn push_solve_fields(push: &mut impl FnMut(&str, Json), result: &SolveResult) {
+    push("target_fs", Json::Num(result.target_fs));
+    push("delay_fs", Json::Num(result.delay_fs));
+    push("total_width", Json::Num(result.total_width));
+    push(
+        "repeaters",
+        Json::Arr(
+            result
+                .repeaters
+                .iter()
+                .map(|(x, w)| Json::Arr(vec![Json::Num(*x), Json::Num(*w)]))
+                .collect(),
+        ),
+    );
+}
+
+fn push_tree_fields(push: &mut impl FnMut(&str, Json), result: &TreeSolveResult) {
+    push("target_fs", Json::Num(result.target_fs));
+    push("delay_fs", Json::Num(result.delay_fs));
+    push("total_width", Json::Num(result.total_width));
+    push(
+        "buffers",
+        Json::Arr(
+            result
+                .buffers
+                .iter()
+                .map(|(v, w)| Json::Arr(vec![Json::Num(*v as f64), Json::Num(*w)]))
+                .collect(),
+        ),
+    );
+}
+
+fn render_batch_item(item: &Result<SolveResult, String>) -> Json {
+    match item {
+        Ok(result) => {
+            let mut fields = vec![("ok".to_string(), Json::Bool(true))];
+            let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+            push_solve_fields(&mut push, result);
+            Json::Obj(fields)
+        }
+        Err(e) => Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(e.clone()))]),
+    }
+}
+
+fn render_tree_batch_item(item: &Result<TreeSolveResult, String>) -> Json {
+    match item {
+        Ok(result) => {
+            let mut fields = vec![("ok".to_string(), Json::Bool(true))];
+            let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+            push_tree_fields(&mut push, result);
+            Json::Obj(fields)
+        }
+        Err(e) => Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(e.clone()))]),
+    }
+}
+
+fn render_rows(rows: &[(Option<f64>, f64)]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|(base, rip)| {
+                Json::Arr(vec![
+                    base.map(Json::Num).unwrap_or(Json::Null),
+                    Json::Num(*rip),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Shared state of a running engine worker: the long-lived [`Engine`]
+/// plus server-level counters. The direct (unsharded) server shares one
+/// instance across every worker thread; a sharded server gives each
+/// shard its own. [`ServeState::handle_line`] is the whole request
+/// router, so tests and the load generator can drive it without a
+/// socket.
 #[derive(Debug)]
 pub struct ServeState {
     engine: Engine,
     tree_config: TreeRipConfig,
+    info: Mutex<ServerInfo>,
     requests: AtomicU64,
     connections: AtomicU64,
     stop: AtomicBool,
@@ -72,6 +710,7 @@ impl ServeState {
         Self {
             engine,
             tree_config: TreeRipConfig::paper(),
+            info: Mutex::new(ServerInfo::default()),
             requests: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             stop: AtomicBool::new(false),
@@ -83,9 +722,27 @@ impl ServeState {
         &self.engine
     }
 
+    /// Sets the topology this state reports in `hello` responses
+    /// (called by the server at startup; in-process states report the
+    /// all-zero default).
+    pub fn set_server_info(&self, info: ServerInfo) {
+        *self
+            .info
+            .lock()
+            .expect("server info lock is never poisoned") = info;
+    }
+
     /// Requests handled so far (all commands, including malformed ones).
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Counts one handled request. [`ServeState::handle_line`] calls
+    /// this itself; a caller dispatching typed requests directly
+    /// ([`ServeState::handle_request`]) counts separately, so parse
+    /// failures that never become typed requests still show up.
+    pub fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Connections accepted so far.
@@ -108,92 +765,124 @@ impl ServeState {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// Handles one request line: parses, routes, and renders the
-    /// response. The second return is `true` when the request asks the
-    /// server to shut down (the caller responds first, then stops).
+    /// Handles one request line: parses ([`parse_line`]), dispatches
+    /// ([`ServeState::handle_request`]), and renders
+    /// ([`Response::render`]). The second return is `true` when the
+    /// request asks the server to shut down (the caller responds first,
+    /// then stops).
     pub fn handle_line(&self, line: &str) -> (Json, bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        let request = match parse_json(line) {
-            Ok(request) => request,
-            Err(e) => return (error_response(&Json::Null, e.to_string()), false),
-        };
-        let id = request.get("id").cloned().unwrap_or(Json::Null);
-        let cmd = match request.get("cmd").and_then(Json::as_str) {
-            Some(cmd) => cmd,
-            None => return (error_response(&id, "request needs a string 'cmd'"), false),
-        };
-        let result = match cmd {
-            "solve" => self.cmd_solve(&request),
-            "solve_tree" => self.cmd_solve_tree(&request),
-            "batch" => self.cmd_batch(&request),
-            "compare" => self.cmd_compare(&request),
-            "tau_min" => self.cmd_tau_min(&request),
-            "stats" => Ok(self.cmd_stats()),
-            "reset_stats" => Ok(self.cmd_reset_stats()),
-            "shutdown" => Ok(vec![("stopping", Json::Bool(true))]),
-            other => Err(format!("unknown cmd {other:?}")),
-        };
-        let response = match result {
-            Ok(fields) => {
-                let mut all = vec![("id".to_string(), id), ("ok".to_string(), Json::Bool(true))];
-                all.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
-                Json::Obj(all)
+        self.count_request();
+        let (id, parsed) = parse_line(line);
+        match parsed {
+            Ok(request) => {
+                let response = self.handle_request(&request);
+                (response.render(&id), matches!(request, Request::Shutdown))
             }
-            Err(reason) => error_response(&id, reason),
-        };
-        (response, cmd == "shutdown")
+            Err(e) => (
+                Response::Error {
+                    code: e.code,
+                    error: e.reason,
+                }
+                .render(&id),
+                false,
+            ),
+        }
     }
 
-    fn cmd_solve(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
-        let net = net_from_json(request.get("net").ok_or("solve needs a 'net'")?)?;
-        let target_fs = self.resolve_target(request, &net)?;
+    /// Dispatches one typed request — a pure match, no JSON. This is
+    /// what a shard worker runs on routed requests; the caller is
+    /// responsible for [`ServeState::count_request`].
+    pub fn handle_request(&self, request: &Request) -> Response {
+        match request {
+            Request::Solve { net, target } => match self.run_solve(net, *target) {
+                Ok(result) => Response::Solve(result),
+                Err(e) => Response::solve_error(e),
+            },
+            Request::SolveTree {
+                tree,
+                target,
+                allowed,
+            } => match self.run_solve_tree(tree, *target, allowed.as_deref()) {
+                Ok(result) => Response::SolveTree(result),
+                Err(e) => Response::solve_error(e),
+            },
+            Request::Batch {
+                nets,
+                trees,
+                target,
+            } => Response::Batch {
+                results: self.run_net_batch(nets, *target),
+                tree_results: self.run_tree_batch(trees, *target),
+            },
+            Request::Compare {
+                nets,
+                trees,
+                target,
+                granularity,
+            } => match self.run_compare(nets, trees, *target, *granularity) {
+                Ok(response) => response,
+                Err(e) => Response::solve_error(e),
+            },
+            Request::TauMin { net } => Response::TauMin {
+                tau_min_fs: self.engine.tau_min(net),
+            },
+            Request::Hello => Response::Hello {
+                info: *self
+                    .info
+                    .lock()
+                    .expect("server info lock is never poisoned"),
+                cache_cap: self.engine.cache_cap(),
+                value_cache_cap: self.engine.value_cache_cap(),
+            },
+            Request::Stats => Response::Stats {
+                fields: self.stats_fields(),
+                reset: false,
+            },
+            Request::ResetStats => {
+                // Render the pre-reset counters (including this very
+                // request), then rezero. Cache *contents* are untouched
+                // — only the monitoring counters restart, which is what
+                // long-lived dashboards want at the start of a
+                // measurement window.
+                let fields = self.stats_fields();
+                self.engine.reset_stats();
+                self.requests.store(0, Ordering::Relaxed);
+                self.connections.store(0, Ordering::Relaxed);
+                Response::Stats {
+                    fields,
+                    reset: true,
+                }
+            }
+            Request::Shutdown => Response::Shutdown,
+        }
+    }
+
+    fn run_solve(&self, net: &TwoPinNet, target: Target) -> Result<SolveResult, String> {
+        let target_fs = self.resolve_target(net, target);
         let outcome = self
             .engine
-            .solve(&net, target_fs)
+            .solve(net, target_fs)
             .map_err(|e| e.to_string())?;
-        Ok(solve_fields(target_fs, &outcome.solution))
+        Ok(solve_result(target_fs, &outcome.solution))
     }
 
-    fn cmd_tau_min(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
-        let net = net_from_json(request.get("net").ok_or("tau_min needs a 'net'")?)?;
-        Ok(vec![("tau_min_fs", Json::Num(self.engine.tau_min(&net)))])
-    }
-
-    fn cmd_solve_tree(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
-        let tree_net = tree_from_json(request.get("tree").ok_or("solve_tree needs a 'tree'")?)?;
+    fn run_solve_tree(
+        &self,
+        tree_net: &TreeNet,
+        target: Target,
+        overridden: Option<&[bool]>,
+    ) -> Result<TreeSolveResult, String> {
         // The buffer-legality mask is binding: the tree's own `blocked`
-        // flags by default, overridden by an explicit `allowed` array
-        // (one boolean per node including the root; the root entry is
-        // ignored). An all-true mask normalizes away inside the engine,
-        // so unblocked trees answer byte-identically to the pre-mask
+        // flags by default, overridden by an explicit `allowed` array.
+        // An all-true mask normalizes away inside the engine, so
+        // unblocked trees answer byte-identically to the pre-mask
         // protocol.
-        let allowed = match request.get("allowed") {
-            None => tree_net.allowed_mask(),
-            Some(value) => {
-                let items = value
-                    .as_arr()
-                    .ok_or("'allowed' must be an array of booleans")?;
-                if items.len() != tree_net.len() {
-                    return Err(format!(
-                        "'allowed' needs one entry per node including the root \
-                         (expected {}, got {})",
-                        tree_net.len(),
-                        items.len()
-                    ));
-                }
-                items
-                    .iter()
-                    .enumerate()
-                    .map(|(i, item)| {
-                        item.as_bool()
-                            .ok_or_else(|| format!("allowed[{i}] must be a boolean"))
-                    })
-                    .collect::<Result<Vec<bool>, String>>()?
-            }
-        };
-        let tree = RcTree::from_tree_net(&tree_net, self.engine.technology().device());
+        let allowed = overridden
+            .map(<[bool]>::to_vec)
+            .unwrap_or_else(|| tree_net.allowed_mask());
+        let tree = RcTree::from_tree_net(tree_net, self.engine.technology().device());
         let driver = tree_net.driver_width();
-        let target_fs = match parse_target(request)? {
+        let target_fs = match target {
             Target::AbsoluteFs(fs) => fs,
             Target::TauMinMultiple(m) => {
                 m * self
@@ -206,91 +895,157 @@ impl ServeState {
             .engine
             .solve_tree_masked(&tree, driver, target_fs, &self.tree_config, Some(&allowed))
             .map_err(|e| e.to_string())?;
-        let buffers: Vec<Json> = outcome
-            .solution
-            .buffer_widths
-            .iter()
-            .enumerate()
-            .filter_map(|(v, w)| w.map(|w| Json::Arr(vec![Json::Num(v as f64), Json::Num(w)])))
-            .collect();
-        Ok(vec![
-            ("target_fs", Json::Num(target_fs)),
-            ("delay_fs", Json::Num(outcome.solution.delay_fs)),
-            ("total_width", Json::Num(outcome.solution.total_width)),
-            ("buffers", Json::Arr(buffers)),
-        ])
+        Ok(tree_solve_result(target_fs, &outcome.solution))
     }
 
-    fn cmd_batch(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
-        let nets = nets_from_json(request.get("nets").ok_or("batch needs a 'nets' array")?)?;
-        let target = batch_target(parse_target(request)?);
-        let outcomes = self.engine.solve_batch(&nets, &target);
-        let results: Vec<Json> = outcomes
+    fn run_net_batch(
+        &self,
+        nets: &[TwoPinNet],
+        target: Target,
+    ) -> Vec<Result<SolveResult, String>> {
+        if nets.is_empty() {
+            return Vec::new();
+        }
+        let outcomes = self.engine.solve_batch(nets, &batch_target(target));
+        outcomes
             .iter()
-            .zip(&nets)
+            .zip(nets)
             .map(|(outcome, net)| match outcome {
                 Ok(out) => {
-                    let target_fs = match &target {
-                        BatchTarget::AbsoluteFs(fs) => *fs,
-                        // Warm hit: τ_min was just computed in the batch.
-                        BatchTarget::TauMinMultiple(m) => m * self.engine.tau_min(net),
-                        // `batch_target` only builds the two above.
-                        _ => unreachable!("not built here"),
-                    };
-                    let mut fields = vec![("ok".to_string(), Json::Bool(true))];
-                    fields.extend(
-                        solve_fields(target_fs, &out.solution)
-                            .into_iter()
-                            .map(|(k, v)| (k.to_string(), v)),
-                    );
-                    Json::Obj(fields)
+                    // Warm hit: τ_min was just computed in the batch.
+                    let target_fs = self.resolve_target(net, target);
+                    Ok(solve_result(target_fs, &out.solution))
                 }
-                Err(e) => Json::obj([
-                    ("ok", Json::Bool(false)),
-                    ("error", Json::Str(e.to_string())),
-                ]),
+                Err(e) => Err(e.to_string()),
             })
-            .collect();
-        Ok(vec![("results", Json::Arr(results))])
+            .collect()
     }
 
-    fn cmd_compare(&self, request: &Json) -> Result<Vec<(&'static str, Json)>, String> {
-        let nets = nets_from_json(request.get("nets").ok_or("compare needs a 'nets' array")?)?;
-        let target = batch_target(parse_target(request)?);
-        let granularity = request
-            .get("granularity")
-            .and_then(Json::as_f64)
-            .unwrap_or(20.0);
-        if !(granularity.is_finite() && granularity > 0.0) {
-            return Err("granularity must be positive".into());
+    fn run_tree_batch(
+        &self,
+        trees: &[TreeEntry],
+        target: Target,
+    ) -> Vec<Result<TreeSolveResult, String>> {
+        if trees.is_empty() {
+            return Vec::new();
         }
-        let baseline = BaselineConfig::paper_table1(granularity);
-        let (rows, summary) = self
-            .engine
-            .compare_batch(&nets, &target, &baseline)
-            .map_err(|e| e.to_string())?;
-        let rows: Vec<Json> = rows
+        let device = self.engine.technology().device();
+        let entries: Vec<(RcTree, f64, Option<Vec<bool>>)> = trees
             .iter()
-            .map(|(base, rip)| {
-                Json::Arr(vec![
-                    base.map(Json::Num).unwrap_or(Json::Null),
-                    Json::Num(*rip),
-                ])
+            .map(|entry| {
+                (
+                    RcTree::from_tree_net(&entry.tree, device),
+                    entry.tree.driver_width(),
+                    Some(entry.mask()),
+                )
             })
             .collect();
-        Ok(vec![
-            ("rows", Json::Arr(rows)),
-            ("max_percent", Json::Num(summary.max_percent)),
-            ("mean_percent", Json::Num(summary.mean_percent)),
-            (
-                "baseline_violations",
-                Json::from(summary.baseline_violations),
-            ),
-            ("compared", Json::from(summary.compared)),
-        ])
+        let outcomes =
+            self.engine
+                .solve_tree_batch_masked(&entries, &batch_target(target), &self.tree_config);
+        outcomes
+            .iter()
+            .zip(&entries)
+            .map(|(outcome, (tree, driver, allowed))| match outcome {
+                Ok(out) => {
+                    let target_fs = match target {
+                        Target::AbsoluteFs(fs) => fs,
+                        // Warm hit: resolved inside the batch already.
+                        Target::TauMinMultiple(m) => {
+                            m * self
+                                .engine
+                                .tree_tau_min_masked(
+                                    tree,
+                                    *driver,
+                                    &self.tree_config,
+                                    allowed.as_deref(),
+                                )
+                                .map_err(|e| e.to_string())?
+                        }
+                    };
+                    Ok(tree_solve_result(target_fs, &out.solution))
+                }
+                Err(e) => Err(e.to_string()),
+            })
+            .collect()
     }
 
-    fn cmd_stats(&self) -> Vec<(&'static str, Json)> {
+    fn run_compare(
+        &self,
+        nets: &[TwoPinNet],
+        trees: &[TreeEntry],
+        target: Target,
+        granularity: f64,
+    ) -> Result<Response, String> {
+        let baseline = BaselineConfig::paper_table1(granularity);
+        let rows: Vec<(Option<f64>, f64)> = if nets.is_empty() {
+            Vec::new()
+        } else {
+            self.engine
+                .compare_batch(nets, &batch_target(target), &baseline)
+                .map_err(|e| e.to_string())?
+                .0
+        };
+        let tree_rows = self.run_tree_compare(trees, target, &baseline)?;
+        // One summary over every row (nets first, then trees), computed
+        // from the rows themselves — so a sharded front-end merging
+        // per-shard rows recomputes the byte-identical summary.
+        let mut all = rows.clone();
+        all.extend(tree_rows.iter().copied());
+        let summary = summarize_savings(&all);
+        Ok(Response::Compare {
+            rows,
+            tree_rows,
+            summary,
+        })
+    }
+
+    fn run_tree_compare(
+        &self,
+        trees: &[TreeEntry],
+        target: Target,
+        baseline: &BaselineConfig,
+    ) -> Result<Vec<(Option<f64>, f64)>, String> {
+        let device = self.engine.technology().device();
+        let mut rows = Vec::with_capacity(trees.len());
+        for entry in trees {
+            let tree = RcTree::from_tree_net(&entry.tree, device);
+            let driver = entry.tree.driver_width();
+            let allowed = entry.mask();
+            let target_fs = match target {
+                Target::AbsoluteFs(fs) => fs,
+                Target::TauMinMultiple(m) => {
+                    m * self
+                        .engine
+                        .tree_tau_min_masked(&tree, driver, &self.tree_config, Some(&allowed))
+                        .map_err(|e| e.to_string())?
+                }
+            };
+            let rip = self
+                .engine
+                .solve_tree_masked(&tree, driver, target_fs, &self.tree_config, Some(&allowed))
+                .map_err(|e| e.to_string())?
+                .solution
+                .total_width;
+            let base = match self.engine.tree_baseline_masked(
+                &tree,
+                driver,
+                baseline,
+                target_fs,
+                Some(&allowed),
+            ) {
+                Ok(sol) => Some(sol.total_width),
+                // The paper's V_DP event: the fixed library misses the
+                // target. A `None` row, not a request failure.
+                Err(DpError::InfeasibleTarget { .. }) => None,
+                Err(e) => return Err(e.to_string()),
+            };
+            rows.push((base, rip));
+        }
+        Ok(rows)
+    }
+
+    fn stats_fields(&self) -> Vec<(&'static str, Json)> {
         let stats = self.engine.stats();
         vec![
             ("requests", Json::from(self.requests())),
@@ -307,34 +1062,12 @@ impl ServeState {
         ]
     }
 
-    /// `reset_stats`: renders the same counters as `stats` (the
-    /// pre-reset values, including this very request), then rezeroes
-    /// the engine's statistics and the server's request/connection
-    /// counters. Cache *contents* are untouched — only the monitoring
-    /// counters restart, which is what long-lived dashboards want at
-    /// the start of a measurement window.
-    fn cmd_reset_stats(&self) -> Vec<(&'static str, Json)> {
-        let mut fields = self.cmd_stats();
-        fields.push(("reset", Json::Bool(true)));
-        self.engine.reset_stats();
-        self.requests.store(0, Ordering::Relaxed);
-        self.connections.store(0, Ordering::Relaxed);
-        fields
-    }
-
-    fn resolve_target(&self, request: &Json, net: &TwoPinNet) -> Result<f64, String> {
-        Ok(match parse_target(request)? {
+    fn resolve_target(&self, net: &TwoPinNet, target: Target) -> f64 {
+        match target {
             Target::AbsoluteFs(fs) => fs,
             Target::TauMinMultiple(m) => m * self.engine.tau_min(net),
-        })
+        }
     }
-}
-
-/// A request-level timing target (resolved against the engine's cached
-/// `τ_min` when relative).
-enum Target {
-    AbsoluteFs(f64),
-    TauMinMultiple(f64),
 }
 
 fn batch_target(target: Target) -> BatchTarget {
@@ -344,7 +1077,7 @@ fn batch_target(target: Target) -> BatchTarget {
     }
 }
 
-fn parse_target(request: &Json) -> Result<Target, String> {
+fn parse_target(request: &Json) -> Result<Target, RequestError> {
     let fs = request.get("target_fs").and_then(Json::as_f64);
     let ns = request.get("target_ns").and_then(Json::as_f64);
     let mult = request.get("target_mult").and_then(Json::as_f64);
@@ -366,30 +1099,72 @@ fn parse_target(request: &Json) -> Result<Target, String> {
     Ok(target)
 }
 
-fn error_response(id: &Json, reason: impl Into<String>) -> Json {
-    Json::obj([
-        ("id", id.clone()),
-        ("ok", Json::Bool(false)),
-        ("error", Json::Str(reason.into())),
-    ])
+fn allowed_from_json(value: &Json, tree: &TreeNet) -> Result<Vec<bool>, String> {
+    let items = value
+        .as_arr()
+        .ok_or("'allowed' must be an array of booleans")?;
+    if items.len() != tree.len() {
+        return Err(format!(
+            "'allowed' needs one entry per node including the root \
+             (expected {}, got {})",
+            tree.len(),
+            items.len()
+        ));
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.as_bool()
+                .ok_or_else(|| format!("allowed[{i}] must be a boolean"))
+        })
+        .collect()
 }
 
-fn solve_fields(
-    target_fs: f64,
-    solution: &rip_core::prelude::DpSolution,
-) -> Vec<(&'static str, Json)> {
-    let repeaters: Vec<Json> = solution
-        .assignment
-        .repeaters()
-        .iter()
-        .map(|r| Json::Arr(vec![Json::Num(r.position), Json::Num(r.width)]))
-        .collect();
-    vec![
-        ("target_fs", Json::Num(target_fs)),
-        ("delay_fs", Json::Num(solution.delay_fs)),
-        ("total_width", Json::Num(solution.total_width)),
-        ("repeaters", Json::Arr(repeaters)),
-    ]
+fn nets_and_trees(
+    request: &Json,
+    cmd: &str,
+) -> Result<(Vec<TwoPinNet>, Vec<TreeEntry>), RequestError> {
+    let nets = match request.get("nets") {
+        Some(value) => nets_from_json(value)?,
+        None => Vec::new(),
+    };
+    let trees = match request.get("trees") {
+        Some(value) => tree_entries_from_json(value)?,
+        None => Vec::new(),
+    };
+    if nets.is_empty() && trees.is_empty() {
+        return Err(format!("{cmd} needs a 'nets' or 'trees' array").into());
+    }
+    Ok((nets, trees))
+}
+
+fn solve_result(target_fs: f64, solution: &rip_core::prelude::DpSolution) -> SolveResult {
+    SolveResult {
+        target_fs,
+        delay_fs: solution.delay_fs,
+        total_width: solution.total_width,
+        repeaters: solution
+            .assignment
+            .repeaters()
+            .iter()
+            .map(|r| (r.position, r.width))
+            .collect(),
+    }
+}
+
+fn tree_solve_result(target_fs: f64, solution: &rip_core::TreeSolution) -> TreeSolveResult {
+    TreeSolveResult {
+        target_fs,
+        delay_fs: solution.delay_fs,
+        total_width: solution.total_width,
+        buffers: solution
+            .buffer_widths
+            .iter()
+            .enumerate()
+            .filter_map(|(v, w)| w.map(|w| (v, w)))
+            .collect(),
+    }
 }
 
 /// Decodes a structured JSON net (see the module docs for the schema).
@@ -550,6 +1325,35 @@ fn nets_from_json(value: &Json) -> Result<Vec<TwoPinNet>, String> {
         .collect()
 }
 
+fn tree_entries_from_json(value: &Json) -> Result<Vec<TreeEntry>, String> {
+    let items = value.as_arr().ok_or("'trees' must be an array")?;
+    if items.is_empty() {
+        return Err("'trees' must not be empty".into());
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            // A wrapped entry `{"tree": …, "allowed": […]}` or a bare
+            // tree object (no override) — both spellings are one entry.
+            let (tree_value, allowed_value) = match item.get("tree") {
+                Some(tree) => (tree, item.get("allowed")),
+                None => (item, None),
+            };
+            let tree = tree_from_json(tree_value).map_err(|e| format!("tree {i}: {e}"))?;
+            let allowed = match allowed_value {
+                None => None,
+                Some(value) => {
+                    Some(allowed_from_json(value, &tree).map_err(|e| format!("tree {i}: {e}"))?)
+                }
+            };
+            Ok(TreeEntry { tree, allowed })
+        })
+        .collect::<Result<_, String>>()
+        .map_err(RequestError::bad)
+        .map_err(|e| e.reason)
+}
+
 fn fixed_numbers<const N: usize>(value: &Json) -> Option<[f64; N]> {
     let items = value.as_arr()?;
     if items.len() != N {
@@ -591,6 +1395,160 @@ mod tests {
             let encoded = tree_to_json(&tree).to_string();
             let back = tree_from_json(&parse_json(&encoded).unwrap()).unwrap();
             assert_eq!(tree, back, "tree JSON encode/decode must be lossless");
+        }
+    }
+
+    /// A generated sample of every request shape — the property-test
+    /// corpus for the typed encode/decode round trip.
+    fn request_corpus() -> Vec<Request> {
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 31, 4).unwrap();
+        let trees = TreeNetGenerator::suite(RandomTreeConfig::compact(), 32, 3).unwrap();
+        let entry = |i: usize, with_mask: bool| TreeEntry {
+            tree: trees[i].clone(),
+            allowed: with_mask.then(|| trees[i].allowed_mask()),
+        };
+        vec![
+            Request::Solve {
+                net: nets[0].clone(),
+                target: Target::TauMinMultiple(1.4),
+            },
+            Request::Solve {
+                net: nets[1].clone(),
+                target: Target::AbsoluteFs(2.5e6),
+            },
+            Request::SolveTree {
+                tree: trees[0].clone(),
+                target: Target::TauMinMultiple(1.2),
+                allowed: None,
+            },
+            Request::SolveTree {
+                tree: trees[1].clone(),
+                target: Target::AbsoluteFs(3.0e6),
+                allowed: Some(trees[1].allowed_mask()),
+            },
+            Request::Batch {
+                nets: nets.clone(),
+                trees: vec![entry(0, false), entry(1, true)],
+                target: Target::TauMinMultiple(1.35),
+            },
+            Request::Batch {
+                nets: Vec::new(),
+                trees: vec![entry(2, true)],
+                target: Target::AbsoluteFs(4.0e6),
+            },
+            Request::Compare {
+                nets: nets[..2].to_vec(),
+                trees: vec![entry(0, true)],
+                target: Target::TauMinMultiple(1.5),
+                granularity: 20.0,
+            },
+            Request::TauMin {
+                net: nets[2].clone(),
+            },
+            Request::Hello,
+            Request::Stats,
+            Request::ResetStats,
+            Request::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn typed_requests_round_trip_through_the_wire_encoding() {
+        for (k, request) in request_corpus().into_iter().enumerate() {
+            // Encode → serialize → parse → decode must reproduce the
+            // typed request exactly, with the id echoed.
+            let id = Json::from(k as u64);
+            let line = request.to_json(Some(&id)).to_string();
+            let (echoed, parsed) = parse_line(&line);
+            assert_eq!(echoed, id, "id must round-trip: {line}");
+            assert_eq!(parsed.as_ref(), Ok(&request), "round trip broke: {line}");
+            // And the encoding is a fixed point: encode(decode(encode))
+            // is byte-identical, so shards re-encoding requests could
+            // never drift.
+            assert_eq!(
+                parsed.unwrap().to_json(Some(&id)).to_string(),
+                line,
+                "re-encoding must be byte-stable"
+            );
+            // Without an id the parse echoes null.
+            let (echoed, parsed) = parse_line(&request.to_json(None).to_string());
+            assert_eq!(echoed, Json::Null);
+            assert!(parsed.is_ok());
+        }
+    }
+
+    #[test]
+    fn target_ns_parses_to_the_absolute_spelling() {
+        let (_, parsed) =
+            parse_line(r#"{"cmd":"solve","net":{"segments":[[3000,0.08,0.2]]},"target_ns":1.5}"#);
+        match parsed.unwrap() {
+            Request::Solve { target, .. } => {
+                assert_eq!(target, Target::AbsoluteFs(fs_from_ns(1.5)));
+            }
+            other => panic!("expected solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_carry_the_protocol_version() {
+        let state = state();
+        for line in [
+            r#"{"id":1,"cmd":"stats"}"#,
+            r#"{"id":2,"cmd":"hello"}"#,
+            r#"{"id":3,"cmd":"warp"}"#,
+        ] {
+            let (response, _) = state.handle_line(line);
+            assert_eq!(
+                response.get("proto").and_then(Json::as_f64),
+                Some(PROTO_VERSION as f64),
+                "{response}"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_reports_capabilities_and_commands() {
+        let state = state();
+        state.set_server_info(ServerInfo {
+            shards: 4,
+            workers: 8,
+            max_conns: 64,
+            queue_cap: 32,
+        });
+        let (response, stop) = state.handle_line(r#"{"id":1,"cmd":"hello"}"#);
+        assert!(!stop);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            response.get("server").and_then(Json::as_str),
+            Some("rip-serve")
+        );
+        assert_eq!(response.get("shards").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(response.get("workers").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(response.get("max_conns").and_then(Json::as_f64), Some(64.0));
+        assert_eq!(response.get("queue_cap").and_then(Json::as_f64), Some(32.0));
+        assert_eq!(
+            response.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        let commands = response.get("commands").unwrap().as_arr().unwrap();
+        assert_eq!(commands.len(), COMMANDS.len());
+        for (got, want) in commands.iter().zip(COMMANDS) {
+            assert_eq!(got.as_str(), Some(*want));
+        }
+    }
+
+    #[test]
+    fn unknown_commands_name_the_cmd_and_list_known_ones() {
+        let (response, _) = request(r#"{"id":3,"cmd":"warp"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            response.get("code").and_then(Json::as_str),
+            Some("unknown_cmd")
+        );
+        let error = response.get("error").unwrap().as_str().unwrap();
+        assert!(error.contains("warp"), "{error}");
+        for cmd in COMMANDS {
+            assert!(error.contains(cmd), "missing {cmd} in {error}");
         }
     }
 
@@ -645,6 +1603,16 @@ mod tests {
         for r in results {
             assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
         }
+        assert_eq!(
+            response
+                .get("tree_results")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            0,
+            "a nets-only batch renders an empty tree_results"
+        );
         // An impossible absolute target yields per-net errors, not a
         // request-level failure.
         let line = format!(
@@ -698,6 +1666,7 @@ mod tests {
             r#"{{"cmd":"solve_tree","tree":{tree},"target_mult":1.2,"allowed":[true,true]}}"#
         ));
         assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(bad.get("code").and_then(Json::as_str), Some("bad_request"));
         assert!(bad
             .get("error")
             .unwrap()
@@ -714,6 +1683,102 @@ mod tests {
             .as_str()
             .unwrap()
             .contains("boolean"));
+    }
+
+    #[test]
+    fn batch_tree_entries_honor_masks_in_both_spellings() {
+        let state = state();
+        let tree = masked_tree_json();
+        // The tree's own blocked flags vs the equivalent explicit
+        // `allowed` override, and a bare entry vs a wrapped one: all
+        // one request, so `tree_results` must be byte-identical.
+        let blocked = format!(r#"{{"id":1,"cmd":"batch","trees":[{tree}],"target_mult":1.2}}"#);
+        let wrapped =
+            format!(r#"{{"id":1,"cmd":"batch","trees":[{{"tree":{tree}}}],"target_mult":1.2}}"#);
+        let overridden = format!(
+            r#"{{"id":1,"cmd":"batch","trees":[{{"tree":{tree},"allowed":[true,true,false,true,true]}}]}}"#
+        );
+        let overridden = overridden.replace("]}]}", r#"]}],"target_mult":1.2}"#);
+        let (a, _) = state.handle_line(&blocked);
+        assert_eq!(a.get("ok"), Some(&Json::Bool(true)), "{a}");
+        let (b, _) = state.handle_line(&wrapped);
+        let (c, _) = state.handle_line(&overridden);
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.to_string(), c.to_string());
+        let tree_results = a.get("tree_results").unwrap().as_arr().unwrap();
+        assert_eq!(tree_results.len(), 1);
+        assert_eq!(tree_results[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(a.get("results").unwrap().as_arr().unwrap().len(), 0);
+        // The solved tree matches a standalone solve_tree of the same
+        // request (same engine-session semantics).
+        let (solo, _) = state.handle_line(&format!(
+            r#"{{"id":1,"cmd":"solve_tree","tree":{tree},"target_mult":1.2}}"#
+        ));
+        assert_eq!(
+            tree_results[0].get("total_width"),
+            solo.get("total_width"),
+            "batch tree entries must solve exactly like solve_tree"
+        );
+        // A misaligned entry override is a request error naming the entry.
+        let (bad, _) = state.handle_line(&format!(
+            r#"{{"cmd":"batch","trees":[{{"tree":{tree},"allowed":[true]}}],"target_mult":1.2}}"#
+        ));
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        let error = bad.get("error").unwrap().as_str().unwrap();
+        assert!(
+            error.contains("tree 0") && error.contains("allowed"),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn compare_handles_tree_entries_and_summarizes_over_all_rows() {
+        let state = state();
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 3, 2).unwrap();
+        let encoded: Vec<String> = nets.iter().map(|n| net_to_json(n).to_string()).collect();
+        let tree = masked_tree_json();
+        let line = format!(
+            r#"{{"id":1,"cmd":"compare","nets":[{}],"trees":[{tree}],"target_mult":1.5,"granularity":20}}"#,
+            encoded.join(",")
+        );
+        let (response, _) = state.handle_line(&line);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response}");
+        let rows = response.get("rows").unwrap().as_arr().unwrap();
+        let tree_rows = response.get("tree_rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(tree_rows.len(), 1);
+        // The summary counts every row, nets and trees alike.
+        let compared = response.get("compared").unwrap().as_f64().unwrap();
+        let violations = response
+            .get("baseline_violations")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert_eq!(compared + violations, 3.0, "{response}");
+        // A nets-only compare is unchanged semantically: its summary
+        // equals the engine's own compare_batch summary.
+        let nets_only = format!(
+            r#"{{"id":2,"cmd":"compare","nets":[{}],"target_mult":1.5,"granularity":20}}"#,
+            encoded.join(",")
+        );
+        let (response, _) = state.handle_line(&nets_only);
+        let (_, summary) = state
+            .engine()
+            .compare_batch(
+                &nets,
+                &BatchTarget::TauMinMultiple(1.5),
+                &BaselineConfig::paper_table1(20.0),
+            )
+            .unwrap();
+        assert_eq!(
+            response
+                .get("mean_percent")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+            summary.mean_percent.to_bits()
+        );
     }
 
     #[test]
@@ -767,6 +1832,10 @@ mod tests {
         let (response, stop) = request("not json at all");
         assert!(!stop);
         assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            response.get("code").and_then(Json::as_str),
+            Some("bad_request")
+        );
         let (response, _) = request(r#"{"id":3}"#);
         assert!(response
             .get("error")
@@ -800,6 +1869,13 @@ mod tests {
             .contains("mutually exclusive"));
         let (response, _) = request(r#"{"cmd":"solve","net":{"segments":[]},"target_mult":1.4}"#);
         assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        let (response, _) = request(r#"{"cmd":"batch","target_mult":1.4}"#);
+        assert!(response
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("'nets' or 'trees'"));
     }
 
     #[test]
@@ -814,6 +1890,10 @@ mod tests {
         );
         let (response, _) = state.handle_line(&line);
         assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            response.get("code").and_then(Json::as_str),
+            Some("solve_failed")
+        );
         assert!(response.get("error").unwrap().as_str().unwrap().len() > 4);
     }
 }

@@ -1,7 +1,7 @@
-//! The multi-threaded TCP server: N worker threads share one listener
-//! and one [`ServeState`] (and therefore one [`rip_core::Engine`] —
-//! candidate grids, `τ_min`, synthesized libraries and scratch pools
-//! amortize across every connection the process ever handles).
+//! The hardened TCP edge: N connection workers share one listener and
+//! feed either a single shared [`ServeState`] (direct mode) or a
+//! [`ShardPool`] of private engines (sharded mode,
+//! [`ServeConfig::shards`] > 0).
 //!
 //! Workers `accept` in non-blocking mode with a short poll interval, so
 //! a `shutdown` request (or [`ServerHandle::shutdown`]) drains every
@@ -9,14 +9,36 @@
 //! tricks. Each worker handles one connection at a time — request
 //! *handling* is where the parallelism pays, and the load generator
 //! opens exactly as many connections as it wants concurrency.
+//!
+//! Edge hardening, all opt-in via [`ServeConfig`]:
+//!
+//! * `addr` accepts non-loopback binds (the CLI's `--bind`);
+//! * `max_conns` rejects over-limit connections with a typed `busy`
+//!   error line instead of a dropped socket, so clients can tell "down"
+//!   from "full" (note the rejection is only observable while a worker
+//!   is free to deliver it — size `workers` above `max_conns`);
+//! * `read_timeout_ms` closes idle connections with a typed `timeout`
+//!   error; `write_timeout_ms` bounds how long a stalled client can
+//!   pin a worker mid-response;
+//! * in sharded mode, per-shard queue overflow surfaces as a typed
+//!   `backpressure` error ([`crate::shard`]).
+//!
+//! `stats` responses served over a connection additionally carry a
+//! `rejected_conns` counter, a per-connection `connection` object, and
+//! (sharded) a per-shard `shards` array — none of which exist in the
+//! bare [`ServeState`] rendering, which is why the load generator
+//! treats `stats` as non-deterministic.
 
-use crate::protocol::ServeState;
+use crate::json::Json;
+use crate::protocol::{parse_line, ErrorCode, Request, Response, ServeState, ServerInfo};
+use crate::shard::{ShardPool, ShardSnapshot};
 use rip_core::Engine;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a worker sleeps between accept polls, and how long a
 /// connection read blocks before re-checking the stop flag.
@@ -31,17 +53,36 @@ const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port (the bound address
-    /// is reported by [`ServerHandle::addr`]).
+    /// is reported by [`ServerHandle::addr`]). Non-loopback interfaces
+    /// are accepted — pair them with `max_conns` and the timeouts.
     pub addr: String,
-    /// Worker threads (each serving one connection at a time). The
-    /// engine's scratch pool is sized to this.
+    /// Connection worker threads (each serving one connection at a
+    /// time). In direct mode the engine's scratch pool is sized to
+    /// this.
     pub workers: usize,
-    /// LRU bound for the engine's geometry caches
+    /// LRU bound for each engine's geometry caches
     /// ([`Engine::set_cache_cap`]); 0 = unbounded.
     pub cache_cap: usize,
-    /// LRU bound for the engine's `τ_min`/library maps
+    /// LRU bound for each engine's `τ_min`/library maps
     /// ([`Engine::set_value_cache_cap`]); 0 = unbounded.
     pub value_cache_cap: usize,
+    /// Engine shards; 0 = direct mode (one shared engine). With N > 0,
+    /// N private engines sit behind bounded queues and requests route
+    /// by cache key ([`crate::shard`]).
+    pub shards: usize,
+    /// Concurrent-connection cap; over-limit connections get a typed
+    /// `busy` error and a clean close. 0 = unlimited.
+    pub max_conns: usize,
+    /// Bounded per-shard queue depth (sharded mode); overflow surfaces
+    /// as typed `backpressure` errors.
+    pub queue_cap: usize,
+    /// Idle-connection read timeout, ms; an idle connection is closed
+    /// with a typed `timeout` error. 0 = never (loadgen and tests keep
+    /// idle connections open deliberately).
+    pub read_timeout_ms: u64,
+    /// Per-write timeout, ms, bounding how long a stalled client can
+    /// pin a worker mid-response. 0 = never.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -56,15 +97,215 @@ impl Default for ServeConfig {
             // while keeping memory flat on unbounded request streams.
             cache_cap: 512,
             value_cache_cap: 4096,
+            shards: 0,
+            max_conns: 0,
+            queue_cap: 64,
+            read_timeout_ms: 0,
+            write_timeout_ms: 30_000,
         }
     }
+}
+
+/// Edge-level counters, shared by every connection worker.
+#[derive(Debug, Default)]
+struct EdgeCounters {
+    requests: AtomicU64,
+    connections: AtomicU64,
+    rejected: AtomicU64,
+    active: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// The request back end behind the connection workers.
+#[derive(Debug)]
+enum Backend {
+    /// One shared engine state (every worker solves in-place).
+    Direct(Arc<ServeState>),
+    /// N private engines behind bounded queues.
+    Sharded(ShardPool),
+}
+
+/// Everything a connection worker needs: the back end, the edge
+/// counters, and the hardening knobs.
+#[derive(Debug)]
+struct Shared {
+    backend: Backend,
+    edge: EdgeCounters,
+    max_conns: usize,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+}
+
+/// Per-connection counters (single-threaded: one worker per
+/// connection), rendered into that connection's `stats` responses.
+#[derive(Debug, Default, Clone, Copy)]
+struct ConnCounters {
+    requests: u64,
+    errors: u64,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        if self.edge.stop.load(Ordering::SeqCst) {
+            return true;
+        }
+        match &self.backend {
+            Backend::Direct(state) => state.stopping(),
+            Backend::Sharded(_) => false,
+        }
+    }
+
+    fn request_stop(&self) {
+        self.edge.stop.store(true, Ordering::SeqCst);
+        if let Backend::Direct(state) = &self.backend {
+            state.request_stop();
+        }
+    }
+
+    /// Requests seen at the edge (sharded mode counts here; direct mode
+    /// counts in the shared state).
+    fn requests_total(&self) -> u64 {
+        match &self.backend {
+            Backend::Direct(state) => state.requests(),
+            Backend::Sharded(_) => self.edge.requests.load(Ordering::Relaxed),
+        }
+    }
+
+    fn connections_total(&self) -> u64 {
+        match &self.backend {
+            Backend::Direct(state) => state.connections(),
+            Backend::Sharded(_) => self.edge.connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Handles one request line at the edge: parse, route (directly or
+    /// through the shard pool, intercepting control-plane commands),
+    /// augment `stats` with the edge/connection view, render.
+    fn handle_line(&self, line: &str, conn: &mut ConnCounters) -> (Json, bool) {
+        conn.requests += 1;
+        let (id, parsed) = match &self.backend {
+            Backend::Direct(state) => {
+                state.count_request();
+                parse_line(line)
+            }
+            Backend::Sharded(_) => {
+                self.edge.requests.fetch_add(1, Ordering::Relaxed);
+                parse_line(line)
+            }
+        };
+        let (mut response, stop) = match parsed {
+            Ok(request) => {
+                let stop = matches!(request, Request::Shutdown);
+                let response = match &self.backend {
+                    Backend::Direct(state) => state.handle_request(&request),
+                    Backend::Sharded(pool) => self.handle_sharded(pool, request),
+                };
+                (response, stop)
+            }
+            Err(e) => (
+                Response::Error {
+                    code: e.code,
+                    error: e.reason,
+                },
+                false,
+            ),
+        };
+        self.augment_stats(&mut response, conn);
+        if response.is_error() {
+            conn.errors += 1;
+        }
+        (response.render(&id), stop)
+    }
+
+    /// Sharded routing: control-plane commands are answered at the
+    /// front (the pool never sees them); everything else dispatches by
+    /// cache key.
+    fn handle_sharded(&self, pool: &ShardPool, request: Request) -> Response {
+        match request {
+            // Shard 0's state carries the server info; answering from
+            // it directly keeps hello off the queues.
+            Request::Hello => pool.shard_state(0).handle_request(&Request::Hello),
+            Request::Stats => self.sharded_stats(pool, false),
+            Request::ResetStats => {
+                let response = self.sharded_stats(pool, true);
+                pool.reset_stats();
+                self.edge.requests.store(0, Ordering::Relaxed);
+                self.edge.connections.store(0, Ordering::Relaxed);
+                self.edge.rejected.store(0, Ordering::Relaxed);
+                response
+            }
+            Request::Shutdown => Response::Shutdown,
+            other => pool.dispatch(other),
+        }
+    }
+
+    /// The sharded `stats` rendering: the direct mode's counter fields
+    /// aggregated over every shard, plus a per-shard `shards` array
+    /// (requests, errors, queue depth + high-water, hit rate).
+    fn sharded_stats(&self, pool: &ShardPool, reset: bool) -> Response {
+        let (hits, misses, promotions, evictions, nets_solved, trees_solved) = pool.engine_totals();
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        let engine = pool.shard_state(0).engine();
+        let shards = pool.snapshots().iter().map(render_shard_snapshot).collect();
+        Response::Stats {
+            fields: vec![
+                ("requests", Json::from(self.requests_total())),
+                ("connections", Json::from(self.connections_total())),
+                ("nets_solved", Json::from(nets_solved)),
+                ("trees_solved", Json::from(trees_solved)),
+                ("hits", Json::from(hits)),
+                ("misses", Json::from(misses)),
+                ("hit_rate", Json::Num(hit_rate)),
+                ("promotions", Json::from(promotions)),
+                ("evictions", Json::from(evictions)),
+                ("cache_cap", Json::from(engine.cache_cap())),
+                ("value_cache_cap", Json::from(engine.value_cache_cap())),
+                ("shards", Json::Arr(shards)),
+            ],
+            reset,
+        }
+    }
+
+    /// Appends the edge view to a `stats`/`reset_stats` response: the
+    /// rejected-connection counter and this connection's own counters.
+    fn augment_stats(&self, response: &mut Response, conn: &ConnCounters) {
+        if let Response::Stats { fields, .. } = response {
+            fields.push((
+                "rejected_conns",
+                Json::from(self.edge.rejected.load(Ordering::Relaxed)),
+            ));
+            fields.push((
+                "connection",
+                Json::obj([
+                    ("requests", Json::from(conn.requests)),
+                    ("errors", Json::from(conn.errors)),
+                ]),
+            ));
+        }
+    }
+}
+
+fn render_shard_snapshot(snapshot: &ShardSnapshot) -> Json {
+    Json::obj([
+        ("requests", Json::from(snapshot.requests)),
+        ("errors", Json::from(snapshot.errors)),
+        ("queue_depth", Json::from(snapshot.queue_depth)),
+        ("queue_high_water", Json::from(snapshot.queue_high_water)),
+        ("hit_rate", Json::Num(snapshot.hit_rate)),
+    ])
 }
 
 /// A running server: join it, read its address, or stop it.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    state: Arc<ServeState>,
+    shared: Arc<Shared>,
+    states: Vec<Arc<ServeState>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -74,29 +315,171 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The shared state (stats, stop flag) — mainly for tests and the
-    /// in-process benchmark harness.
+    /// The first engine state (the only one in direct mode; shard 0 in
+    /// sharded mode) — mainly for tests and the in-process benchmark
+    /// harness. Sharded aggregates live on
+    /// [`ServerHandle::requests_total`] /
+    /// [`ServerHandle::engine_totals`].
     pub fn state(&self) -> &Arc<ServeState> {
-        &self.state
+        &self.states[0]
+    }
+
+    /// Every engine state: one in direct mode, one per shard otherwise.
+    pub fn states(&self) -> &[Arc<ServeState>] {
+        &self.states
+    }
+
+    /// Number of engine shards (0 = direct mode).
+    pub fn shards(&self) -> usize {
+        match &self.shared.backend {
+            Backend::Direct(_) => 0,
+            Backend::Sharded(pool) => pool.shards(),
+        }
+    }
+
+    /// Requests handled across the whole server.
+    pub fn requests_total(&self) -> u64 {
+        self.shared.requests_total()
+    }
+
+    /// Connections accepted across the whole server.
+    pub fn connections_total(&self) -> u64 {
+        self.shared.connections_total()
+    }
+
+    /// Connections rejected over the `max_conns` limit.
+    pub fn rejected_conns(&self) -> u64 {
+        self.shared.edge.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate engine counters over every state: `(hits, misses,
+    /// promotions, evictions, nets_solved, trees_solved)`.
+    pub fn engine_totals(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let mut totals = (0, 0, 0, 0, 0, 0);
+        for state in &self.states {
+            let stats = state.engine().stats();
+            totals.0 += stats.hits();
+            totals.1 += stats.misses();
+            totals.2 += stats.promotions;
+            totals.3 += stats.evictions;
+            totals.4 += stats.nets_solved;
+            totals.5 += stats.trees_solved;
+        }
+        totals
+    }
+
+    /// Aggregate cache hit rate over every state.
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses, ..) = self.engine_totals();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Per-shard monitoring snapshots (empty in direct mode).
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        match &self.shared.backend {
+            Backend::Direct(_) => Vec::new(),
+            Backend::Sharded(pool) => pool.snapshots(),
+        }
+    }
+
+    /// A cheap counter handle that outlives [`ServerHandle::join`] —
+    /// the CLI reads its shutdown summary through one of these.
+    pub fn monitor(&self) -> ServerMonitor {
+        ServerMonitor {
+            shared: Arc::clone(&self.shared),
+            states: self.states.clone(),
+        }
     }
 
     /// Blocks until the server stops (a client sent `shutdown`), then
-    /// joins every worker.
+    /// joins every connection worker and — in sharded mode — drains and
+    /// joins the shard workers.
     pub fn join(self) {
         for worker in self.workers {
             let _ = worker.join();
+        }
+        if let Backend::Sharded(pool) = &self.shared.backend {
+            pool.shutdown();
         }
     }
 
     /// Stops the server from the hosting process and joins the workers.
     pub fn shutdown(self) {
-        self.state.request_stop();
+        self.shared.request_stop();
         self.join();
     }
 }
 
-/// Binds the listener and spawns the worker threads over a fresh
-/// [`ServeState`] wrapping `engine`.
+/// Counter access that survives [`ServerHandle::join`] /
+/// [`ServerHandle::shutdown`] (both consume the handle): Arc clones of
+/// the edge counters and every engine state.
+#[derive(Debug, Clone)]
+pub struct ServerMonitor {
+    shared: Arc<Shared>,
+    states: Vec<Arc<ServeState>>,
+}
+
+impl ServerMonitor {
+    /// Requests handled across the whole server.
+    pub fn requests_total(&self) -> u64 {
+        self.shared.requests_total()
+    }
+
+    /// Connections accepted across the whole server.
+    pub fn connections_total(&self) -> u64 {
+        self.shared.connections_total()
+    }
+
+    /// Connections rejected over the `max_conns` limit.
+    pub fn rejected_conns(&self) -> u64 {
+        self.shared.edge.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate engine counters over every state: `(hits, misses,
+    /// promotions, evictions, nets_solved, trees_solved)`.
+    pub fn engine_totals(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let mut totals = (0, 0, 0, 0, 0, 0);
+        for state in &self.states {
+            let stats = state.engine().stats();
+            totals.0 += stats.hits();
+            totals.1 += stats.misses();
+            totals.2 += stats.promotions;
+            totals.3 += stats.evictions;
+            totals.4 += stats.nets_solved;
+            totals.5 += stats.trees_solved;
+        }
+        totals
+    }
+
+    /// Aggregate cache hit rate over every state.
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses, ..) = self.engine_totals();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Number of engine shards (0 = direct mode).
+    pub fn shards(&self) -> usize {
+        match &self.shared.backend {
+            Backend::Direct(_) => 0,
+            Backend::Sharded(pool) => pool.shards(),
+        }
+    }
+}
+
+/// Binds the listener and spawns the connection workers over the
+/// configured back end: a fresh shared [`ServeState`] wrapping `engine`
+/// (direct mode), or a [`ShardPool`] seeded from it
+/// ([`ServeConfig::shards`] > 0 — shard 0 owns `engine`, the others get
+/// private engines with the same technology, configuration and cache
+/// caps).
 ///
 /// The engine's cache bounds and scratch pool are set from `config`
 /// before the first worker starts.
@@ -112,7 +495,7 @@ impl ServerHandle {
 /// use rip_serve::{Client, Json, ServeConfig, start_server};
 /// use rip_tech::Technology;
 ///
-/// let config = ServeConfig { workers: 2, ..ServeConfig::default() };
+/// let config = ServeConfig { workers: 2, shards: 2, ..ServeConfig::default() };
 /// let server = start_server(Engine::paper(Technology::generic_180nm()), &config).unwrap();
 /// let mut client = Client::connect(server.addr()).unwrap();
 /// let response = client.request_value(&rip_serve::parse_json(r#"{"cmd":"stats"}"#).unwrap()).unwrap();
@@ -123,36 +506,83 @@ impl ServerHandle {
 pub fn start_server(engine: Engine, config: &ServeConfig) -> io::Result<ServerHandle> {
     engine.set_cache_cap(config.cache_cap);
     engine.set_value_cache_cap(config.value_cache_cap);
-    engine.set_scratch_cap(config.workers.max(1));
-    let state = Arc::new(ServeState::new(engine));
+    let info = ServerInfo {
+        shards: config.shards,
+        workers: config.workers.max(1),
+        max_conns: config.max_conns,
+        queue_cap: if config.shards > 0 {
+            config.queue_cap.max(1)
+        } else {
+            0
+        },
+    };
+    let (backend, states) = if config.shards > 0 {
+        let pool = ShardPool::start(engine, config.shards, config.queue_cap);
+        let states: Vec<Arc<ServeState>> = (0..pool.shards())
+            .map(|i| Arc::clone(pool.shard_state(i)))
+            .collect();
+        for state in &states {
+            state.set_server_info(info);
+        }
+        (Backend::Sharded(pool), states)
+    } else {
+        engine.set_scratch_cap(config.workers.max(1));
+        let state = Arc::new(ServeState::new(engine));
+        state.set_server_info(info);
+        (Backend::Direct(Arc::clone(&state)), vec![state])
+    };
+    let shared = Arc::new(Shared {
+        backend,
+        edge: EdgeCounters::default(),
+        max_conns: config.max_conns,
+        read_timeout: (config.read_timeout_ms > 0)
+            .then(|| Duration::from_millis(config.read_timeout_ms)),
+        write_timeout: (config.write_timeout_ms > 0)
+            .then(|| Duration::from_millis(config.write_timeout_ms)),
+    });
     let listener = TcpListener::bind(config.addr.as_str())?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let mut workers = Vec::with_capacity(config.workers.max(1));
     for i in 0..config.workers.max(1) {
         let listener = listener.try_clone()?;
-        let state = Arc::clone(&state);
+        let shared = Arc::clone(&shared);
         workers.push(
             std::thread::Builder::new()
                 .name(format!("rip-serve-{i}"))
-                .spawn(move || worker_loop(&listener, &state))?,
+                .spawn(move || worker_loop(&listener, &shared))?,
         );
     }
     Ok(ServerHandle {
         addr,
-        state,
+        shared,
+        states,
         workers,
     })
 }
 
-fn worker_loop(listener: &TcpListener, state: &Arc<ServeState>) {
-    while !state.stopping() {
+fn worker_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.stopping() {
         match listener.accept() {
             Ok((stream, _)) => {
-                state.count_connection();
+                if shared.max_conns > 0
+                    && shared.edge.active.load(Ordering::SeqCst) >= shared.max_conns
+                {
+                    shared.edge.rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = reject_connection(stream, shared.max_conns);
+                    continue;
+                }
+                shared.edge.active.fetch_add(1, Ordering::SeqCst);
+                match &shared.backend {
+                    Backend::Direct(state) => state.count_connection(),
+                    Backend::Sharded(_) => {
+                        shared.edge.connections.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 // A broken connection only ends that connection; the
                 // worker goes back to accepting.
-                let _ = serve_connection(stream, state);
+                let _ = serve_connection(stream, shared);
+                shared.edge.active.fetch_sub(1, Ordering::SeqCst);
             }
             Err(e) if polling_retry(&e) => std::thread::sleep(POLL_INTERVAL),
             // Transient accept errors (e.g. aborted handshakes) —
@@ -172,18 +602,35 @@ fn polling_retry(e: &io::Error) -> bool {
     )
 }
 
-/// Serves one connection until the client disconnects or the server
-/// stops: reads newline-delimited requests, writes one response line
-/// each.
-fn serve_connection(stream: TcpStream, state: &Arc<ServeState>) -> io::Result<()> {
+/// Tells an over-limit client the server is full — a typed `busy` error
+/// line, then a clean close — so "full" is distinguishable from "down".
+fn reject_connection(mut stream: TcpStream, max_conns: usize) -> io::Result<()> {
+    let response = Response::Error {
+        code: ErrorCode::Busy,
+        error: format!("server is at its connection limit ({max_conns}); retry later"),
+    };
+    let mut line = response.render(&Json::Null).to_string();
+    line.push('\n');
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+/// Serves one connection until the client disconnects, idles past the
+/// read timeout, or the server stops: reads newline-delimited requests,
+/// writes one response line each.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     // Bounded reads so a worker blocked on an idle connection still
     // notices a shutdown within one interval.
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_write_timeout(shared.write_timeout)?;
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 8192];
+    let mut conn = ConnCounters::default();
+    let mut last_data = Instant::now();
     loop {
         // Drain every complete line before reading more.
         while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
@@ -193,17 +640,17 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServeState>) -> io::Result<()
             if line.is_empty() {
                 continue;
             }
-            let (response, stop) = state.handle_line(line);
+            let (response, stop) = shared.handle_line(line, &mut conn);
             let mut rendered = response.to_string();
             rendered.push('\n');
             writer.write_all(rendered.as_bytes())?;
             writer.flush()?;
             if stop {
-                state.request_stop();
+                shared.request_stop();
                 return Ok(());
             }
         }
-        if state.stopping() {
+        if shared.stopping() {
             return Ok(());
         }
         // The JSON layer bounds nesting depth against hostile input; the
@@ -211,28 +658,39 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServeState>) -> io::Result<()
         // a client that never sends a newline grows server memory
         // without limit.
         if pending.len() > MAX_LINE_BYTES {
-            let refusal = format!(
-                "{}\n",
-                crate::json::Json::obj([
-                    ("id", crate::json::Json::Null),
-                    ("ok", crate::json::Json::Bool(false)),
-                    (
-                        "error",
-                        crate::json::Json::Str(format!(
-                            "request line exceeds {MAX_LINE_BYTES} bytes"
-                        )),
-                    ),
-                ])
-            );
-            writer.write_all(refusal.as_bytes())?;
-            writer.flush()?;
-            return Ok(()); // drop the connection; the stream is unframed now
+            return close_with_error(
+                &mut writer,
+                ErrorCode::BadRequest,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            ); // drop the connection; the stream is unframed now
         }
         match reader.read(&mut chunk) {
             Ok(0) => return Ok(()), // client closed
-            Ok(n) => pending.extend_from_slice(&chunk[..n]),
-            Err(e) if polling_retry(&e) => continue,
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                last_data = Instant::now();
+            }
+            Err(e) if polling_retry(&e) => {
+                if let Some(limit) = shared.read_timeout {
+                    if last_data.elapsed() > limit && pending.is_empty() {
+                        return close_with_error(
+                            &mut writer,
+                            ErrorCode::Timeout,
+                            format!("connection idle past {} ms", limit.as_millis()),
+                        );
+                    }
+                }
+                continue;
+            }
             Err(e) => return Err(e),
         }
     }
+}
+
+fn close_with_error(writer: &mut TcpStream, code: ErrorCode, error: String) -> io::Result<()> {
+    let response = Response::Error { code, error };
+    let mut line = response.render(&Json::Null).to_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
 }

@@ -1,0 +1,758 @@
+//! The sharding layer: N engine workers, each owning a **private**
+//! [`Engine`] behind a bounded request queue, with requests routed by
+//! the engine's own cache keys so every shard's caches stay hot and
+//! disjoint.
+//!
+//! Why shard at all: a single shared engine funnels every connection
+//! through one set of cache locks, and throughput plateaus as
+//! connections grow (see `BENCH_serve.json`'s flat 4 → 16 curve).
+//! Sharding trades the shared cache for per-shard private ones — the
+//! routing function ([`net_shard_key`] / [`tree_shard_key`]) sends a
+//! given net's
+//! geometry to the *same* shard every time, so each shard re-warms only
+//! its slice of the key space and the shards never contend.
+//!
+//! Correctness is routing-independent by construction: caching never
+//! changes results, so any placement of requests onto engines renders
+//! byte-identical responses ([`crate::loadgen`] proves this against a
+//! single-engine reference). The shard keys are a cache-affinity
+//! *hint*, deterministic within a process but not across processes
+//! (they hash with [`DefaultHasher`](std::hash::DefaultHasher)).
+//!
+//! `batch`/`compare` requests fan out: items are partitioned by shard
+//! key, each shard solves its slice as one sub-request, and the
+//! front-end reassembles per-item results in input order — a batch
+//! touching K shards costs K queue slots but keeps every item on its
+//! cache-affine shard.
+//!
+//! Every queue is bounded ([`ShardPool::queue_cap`]): when a shard
+//! falls behind, pushes fail fast and the caller surfaces a typed
+//! `backpressure` error instead of stalling the accept loop. Queue
+//! depth high-water marks are tracked per shard and reported by
+//! `stats`.
+
+use crate::protocol::{ErrorCode, Request, Response, ServeState, TreeEntry};
+use rip_core::{net_shard_key, tree_shard_key, Engine};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One unit of shard work: a routed request plus the channel its typed
+/// response travels back on.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A bounded MPMC job queue (mutex + condvar) with an exact depth
+/// high-water mark — `std::sync::mpsc` hides its depth, and the
+/// backpressure contract needs to observe and report it.
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+/// The queue refused a job: full or closed.
+struct QueueFull;
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    high_water: usize,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                high_water: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues a job, or rejects it when the queue is full (the
+    /// backpressure signal) or closed (server draining). The rejected
+    /// job is dropped — its reply channel disconnects, which is how a
+    /// waiting `fan_out` slice learns nothing is coming.
+    fn push(&self, job: Job) -> Result<(), QueueFull> {
+        let mut inner = self.inner.lock().expect("queue lock is never poisoned");
+        if inner.closed || inner.jobs.len() >= self.cap {
+            return Err(QueueFull);
+        }
+        inner.jobs.push_back(job);
+        inner.high_water = inner.high_water.max(inner.jobs.len());
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and
+    /// drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue lock is never poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .expect("queue lock is never poisoned");
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes fail.
+    fn close(&self) {
+        self.inner
+            .lock()
+            .expect("queue lock is never poisoned")
+            .closed = true;
+        self.ready.notify_all();
+    }
+
+    fn high_water(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("queue lock is never poisoned")
+            .high_water
+    }
+
+    fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("queue lock is never poisoned")
+            .jobs
+            .len()
+    }
+}
+
+/// One shard: a private engine state, its queue, and its counters.
+struct Shard {
+    state: Arc<ServeState>,
+    queue: Arc<JobQueue>,
+    errors: AtomicU64,
+}
+
+/// Per-shard monitoring snapshot, rendered into sharded `stats`
+/// responses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSnapshot {
+    /// Requests this shard's worker has handled (fan-out sub-requests
+    /// count once per shard they touch).
+    pub requests: u64,
+    /// Responses from this shard that reported a failure.
+    pub errors: u64,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// Highest queue depth observed since start (or stats reset).
+    pub queue_high_water: usize,
+    /// This shard's private-engine cache hit rate.
+    pub hit_rate: f64,
+}
+
+/// A pool of engine-worker shards behind bounded queues; the sharded
+/// server's back end. Dropping the pool (or calling
+/// [`ShardPool::shutdown`]) closes every queue and joins the workers.
+pub struct ShardPool {
+    shards: Vec<Shard>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    queue_cap: usize,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("shards", &self.shards.len())
+            .field("queue_cap", &self.queue_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardPool {
+    /// Spawns `shards` engine workers. Shard 0 owns `engine`; every
+    /// other shard gets a private engine with the same technology,
+    /// configuration and cache caps, so any shard answers any request
+    /// byte-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is 0 (the caller decides between direct and
+    /// sharded mode) or a worker thread cannot be spawned.
+    pub fn start(engine: Engine, shards: usize, queue_cap: usize) -> Self {
+        assert!(shards > 0, "a shard pool needs at least one shard");
+        let queue_cap = queue_cap.max(1);
+        let tech = engine.technology().clone();
+        let rip_config = engine.config().clone();
+        let (cache_cap, value_cache_cap) = (engine.cache_cap(), engine.value_cache_cap());
+        let mut pool = Self {
+            shards: Vec::with_capacity(shards),
+            workers: Mutex::new(Vec::with_capacity(shards)),
+            queue_cap,
+        };
+        let mut seed = Some(engine);
+        for i in 0..shards {
+            let engine = seed.take().unwrap_or_else(|| {
+                let engine = Engine::new(tech.clone(), rip_config.clone());
+                engine.set_cache_cap(cache_cap);
+                engine.set_value_cache_cap(value_cache_cap);
+                engine
+            });
+            // One worker per shard: batches still fan out across cores
+            // via the engine's internal parallelism, but requests on one
+            // shard serialize — that is what keeps its cache hot.
+            engine.set_scratch_cap(1);
+            let state = Arc::new(ServeState::new(engine));
+            let queue = Arc::new(JobQueue::new(queue_cap));
+            let worker_state = Arc::clone(&state);
+            let worker_queue = Arc::clone(&queue);
+            let worker = std::thread::Builder::new()
+                .name(format!("rip-shard-{i}"))
+                .spawn(move || {
+                    while let Some(job) = worker_queue.pop() {
+                        worker_state.count_request();
+                        let response = worker_state.handle_request(&job.request);
+                        // A dropped receiver just means the connection
+                        // went away mid-flight; the work is done either
+                        // way.
+                        let _ = job.reply.send(response);
+                    }
+                })
+                .expect("spawn a shard worker thread");
+            pool.workers
+                .lock()
+                .expect("worker list lock is never poisoned")
+                .push(worker);
+            pool.shards.push(Shard {
+                state,
+                queue,
+                errors: AtomicU64::new(0),
+            });
+        }
+        pool
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A shard's state (engine + counters), for monitoring and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn shard_state(&self, index: usize) -> &Arc<ServeState> {
+        &self.shards[index].state
+    }
+
+    /// The bounded per-shard queue depth.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// The shard a net routes to.
+    pub fn net_shard(&self, net: &rip_net::TwoPinNet) -> usize {
+        (net_shard_key(net) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard a tree routes to.
+    pub fn tree_shard(&self, tree: &rip_net::TreeNet) -> usize {
+        (tree_shard_key(tree) % self.shards.len() as u64) as usize
+    }
+
+    /// Routes one typed request to its shard (fanning `batch`/`compare`
+    /// out across shards) and waits for the reassembled response.
+    /// Queue overflow returns a typed `backpressure` error immediately.
+    pub fn dispatch(&self, request: Request) -> Response {
+        match request {
+            Request::Solve { ref net, .. } | Request::TauMin { ref net } => {
+                self.submit(self.net_shard(net), request.clone())
+            }
+            Request::SolveTree { ref tree, .. } => {
+                self.submit(self.tree_shard(tree), request.clone())
+            }
+            Request::Batch {
+                nets,
+                trees,
+                target,
+            } => self.fan_out(nets, trees, |nets, trees| Request::Batch {
+                nets,
+                trees,
+                target,
+            }),
+            Request::Compare {
+                nets,
+                trees,
+                target,
+                granularity,
+            } => self.fan_out(nets, trees, |nets, trees| Request::Compare {
+                nets,
+                trees,
+                target,
+                granularity,
+            }),
+            // Control-plane requests are answered by the server front
+            // end; routing one here (e.g. via a bare pool) lands on
+            // shard 0 for a best-effort answer.
+            other => self.submit(0, other),
+        }
+    }
+
+    /// Monitoring snapshots, one per shard in shard order.
+    pub fn snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .map(|shard| ShardSnapshot {
+                requests: shard.state.requests(),
+                errors: shard.errors.load(Ordering::Relaxed),
+                queue_depth: shard.queue.depth(),
+                queue_high_water: shard.queue.high_water(),
+                hit_rate: shard.state.engine().stats().hit_rate(),
+            })
+            .collect()
+    }
+
+    /// Aggregate engine counters over every shard: `(hits, misses,
+    /// promotions, evictions, nets_solved, trees_solved)`.
+    pub fn engine_totals(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let mut totals = (0, 0, 0, 0, 0, 0);
+        for shard in &self.shards {
+            let stats = shard.state.engine().stats();
+            totals.0 += stats.hits();
+            totals.1 += stats.misses();
+            totals.2 += stats.promotions;
+            totals.3 += stats.evictions;
+            totals.4 += stats.nets_solved;
+            totals.5 += stats.trees_solved;
+        }
+        totals
+    }
+
+    /// Rezeroes every shard's counters (engine stats, request counts,
+    /// queue high-water marks stay — they are lifetime marks of the
+    /// queue, reset with the queue itself).
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            shard.state.engine().reset_stats();
+            shard.state.handle_request(&Request::ResetStats);
+            shard.errors.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Closes every queue and joins the workers; pending jobs drain
+    /// first.
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker list lock is never poisoned")
+            .drain(..)
+            .collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Submits one request to one shard and waits for its response.
+    fn submit(&self, shard_index: usize, request: Request) -> Response {
+        let shard = &self.shards[shard_index];
+        let (reply, inbox) = mpsc::channel();
+        match shard.queue.push(Job { request, reply }) {
+            Ok(()) => match inbox.recv() {
+                Ok(response) => {
+                    if response.is_error() {
+                        shard.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    response
+                }
+                Err(_) => Response::Error {
+                    code: ErrorCode::Busy,
+                    error: "the server is shutting down".to_string(),
+                },
+            },
+            Err(_) => {
+                shard.errors.fetch_add(1, Ordering::Relaxed);
+                self.backpressure(shard_index)
+            }
+        }
+    }
+
+    fn backpressure(&self, shard_index: usize) -> Response {
+        Response::Error {
+            code: ErrorCode::Backpressure,
+            error: format!(
+                "shard {shard_index} queue is full ({} pending, cap {}); back off and retry",
+                self.shards[shard_index].queue.depth(),
+                self.queue_cap
+            ),
+        }
+    }
+
+    /// Fans a batch-shaped request out: partitions items by shard key,
+    /// submits one sub-request per touched shard, and reassembles
+    /// per-item results in input order. The rendered response is
+    /// byte-identical to a single engine handling the whole batch,
+    /// because per-item results are placement-independent and the
+    /// summary recomputes from the merged rows.
+    fn fan_out(
+        &self,
+        nets: Vec<rip_net::TwoPinNet>,
+        trees: Vec<TreeEntry>,
+        make: impl Fn(Vec<rip_net::TwoPinNet>, Vec<TreeEntry>) -> Request,
+    ) -> Response {
+        let shard_count = self.shards.len();
+        // Partition while remembering every item's original position.
+        let mut net_slices: Vec<(Vec<usize>, Vec<rip_net::TwoPinNet>)> =
+            (0..shard_count).map(|_| Default::default()).collect();
+        for (i, net) in nets.into_iter().enumerate() {
+            let s = self.net_shard(&net);
+            net_slices[s].0.push(i);
+            net_slices[s].1.push(net);
+        }
+        let mut tree_slices: Vec<(Vec<usize>, Vec<TreeEntry>)> =
+            (0..shard_count).map(|_| Default::default()).collect();
+        for (i, entry) in trees.into_iter().enumerate() {
+            let s = self.tree_shard(&entry.tree);
+            tree_slices[s].0.push(i);
+            tree_slices[s].1.push(entry);
+        }
+        let net_total: usize = net_slices.iter().map(|(idx, _)| idx.len()).sum();
+        let tree_total: usize = tree_slices.iter().map(|(idx, _)| idx.len()).sum();
+
+        // Submit every touched shard's slice before collecting any
+        // response, so the slices solve concurrently.
+        let mut pending: Vec<(usize, mpsc::Receiver<Response>)> = Vec::new();
+        let mut overflow: Option<usize> = None;
+        for s in 0..shard_count {
+            let (net_idx, shard_nets) = std::mem::take(&mut net_slices[s]);
+            let (tree_idx, shard_trees) = std::mem::take(&mut tree_slices[s]);
+            if net_idx.is_empty() && tree_idx.is_empty() {
+                continue;
+            }
+            net_slices[s].0 = net_idx;
+            tree_slices[s].0 = tree_idx;
+            let (reply, inbox) = mpsc::channel();
+            match self.shards[s].queue.push(Job {
+                request: make(shard_nets, shard_trees),
+                reply,
+            }) {
+                Ok(()) => pending.push((s, inbox)),
+                Err(_) => {
+                    self.shards[s].errors.fetch_add(1, Ordering::Relaxed);
+                    overflow.get_or_insert(s);
+                }
+            }
+        }
+
+        // Reassemble in input order (the sub-requests that did get
+        // queued still drain even when one shard overflowed — their
+        // work warms that shard's cache either way).
+        let mut merged = MergedBatch::new(net_total, tree_total);
+        for (s, inbox) in pending {
+            let response = match inbox.recv() {
+                Ok(response) => response,
+                Err(_) => Response::Error {
+                    code: ErrorCode::Busy,
+                    error: "the server is shutting down".to_string(),
+                },
+            };
+            if response.is_error() {
+                self.shards[s].errors.fetch_add(1, Ordering::Relaxed);
+            }
+            merged.absorb(&net_slices[s].0, &tree_slices[s].0, response);
+        }
+        if let Some(s) = overflow {
+            return self.backpressure(s);
+        }
+        merged.finish()
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Input-ordered reassembly of fanned-out `batch`/`compare` slices.
+struct MergedBatch {
+    results: Vec<Option<Result<crate::protocol::SolveResult, String>>>,
+    tree_results: Vec<Option<Result<crate::protocol::TreeSolveResult, String>>>,
+    rows: Vec<Option<(Option<f64>, f64)>>,
+    tree_rows: Vec<Option<(Option<f64>, f64)>>,
+    is_compare: bool,
+    error: Option<Response>,
+}
+
+impl MergedBatch {
+    fn new(nets: usize, trees: usize) -> Self {
+        Self {
+            results: vec![None; nets],
+            tree_results: vec![None; trees],
+            rows: vec![None; nets],
+            tree_rows: vec![None; trees],
+            is_compare: false,
+            error: None,
+        }
+    }
+
+    fn absorb(&mut self, net_idx: &[usize], tree_idx: &[usize], response: Response) {
+        match response {
+            Response::Batch {
+                results,
+                tree_results,
+            } => {
+                for (slot, result) in net_idx.iter().zip(results) {
+                    self.results[*slot] = Some(result);
+                }
+                for (slot, result) in tree_idx.iter().zip(tree_results) {
+                    self.tree_results[*slot] = Some(result);
+                }
+            }
+            Response::Compare {
+                rows, tree_rows, ..
+            } => {
+                self.is_compare = true;
+                for (slot, row) in net_idx.iter().zip(rows) {
+                    self.rows[*slot] = Some(row);
+                }
+                for (slot, row) in tree_idx.iter().zip(tree_rows) {
+                    self.tree_rows[*slot] = Some(row);
+                }
+            }
+            other => {
+                // A shard-level failure (e.g. a compare slice hitting a
+                // non-infeasibility solver error) fails the request.
+                self.error.get_or_insert(other);
+            }
+        }
+    }
+
+    fn finish(self) -> Response {
+        if let Some(error) = self.error {
+            return error;
+        }
+        if self.is_compare {
+            let rows: Vec<(Option<f64>, f64)> = self.rows.into_iter().flatten().collect();
+            let tree_rows: Vec<(Option<f64>, f64)> = self.tree_rows.into_iter().flatten().collect();
+            let mut all = rows.clone();
+            all.extend(tree_rows.iter().copied());
+            let summary = rip_core::summarize_savings(&all);
+            Response::Compare {
+                rows,
+                tree_rows,
+                summary,
+            }
+        } else {
+            Response::Batch {
+                results: self
+                    .results
+                    .into_iter()
+                    .map(|r| r.expect("every net slice reassembles"))
+                    .collect(),
+                tree_results: self
+                    .tree_results
+                    .into_iter()
+                    .map(|r| r.expect("every tree slice reassembles"))
+                    .collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_line, Target};
+    use rip_core::RipConfig;
+    use rip_net::{NetGenerator, RandomNetConfig, RandomTreeConfig, TreeNetGenerator};
+    use rip_tech::Technology;
+
+    fn pool(shards: usize) -> ShardPool {
+        ShardPool::start(Engine::paper(Technology::generic_180nm()), shards, 64)
+    }
+
+    fn reference() -> ServeState {
+        ServeState::new(Engine::paper(Technology::generic_180nm()))
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_uses_every_shard_eventually() {
+        let pool = pool(4);
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 77, 32).unwrap();
+        let mut used = [false; 4];
+        for net in &nets {
+            let shard = pool.net_shard(net);
+            assert_eq!(shard, pool.net_shard(net), "routing must be stable");
+            used[shard] = true;
+        }
+        assert!(
+            used.iter().filter(|u| **u).count() >= 2,
+            "32 random nets should spread across shards: {used:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_responses_are_byte_identical_to_a_single_engine() {
+        let pool = pool(3);
+        let reference = reference();
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 41, 5).unwrap();
+        let trees = TreeNetGenerator::suite(RandomTreeConfig::compact(), 42, 3).unwrap();
+        let mut lines = vec![];
+        for net in &nets {
+            lines.push(format!(
+                r#"{{"id":1,"cmd":"solve","net":{},"target_mult":1.4}}"#,
+                crate::protocol::net_to_json(net)
+            ));
+        }
+        for tree in &trees {
+            lines.push(format!(
+                r#"{{"id":2,"cmd":"solve_tree","tree":{},"target_mult":1.25}}"#,
+                crate::protocol::tree_to_json(tree)
+            ));
+        }
+        let all_nets: Vec<String> = nets
+            .iter()
+            .map(|n| crate::protocol::net_to_json(n).to_string())
+            .collect();
+        let all_trees: Vec<String> = trees
+            .iter()
+            .map(|t| crate::protocol::tree_to_json(t).to_string())
+            .collect();
+        lines.push(format!(
+            r#"{{"id":3,"cmd":"batch","nets":[{}],"trees":[{}],"target_mult":1.4}}"#,
+            all_nets.join(","),
+            all_trees.join(",")
+        ));
+        lines.push(format!(
+            r#"{{"id":4,"cmd":"compare","nets":[{}],"trees":[{}],"target_mult":1.5,"granularity":40}}"#,
+            all_nets.join(","),
+            all_trees.join(",")
+        ));
+        lines.push(format!(
+            r#"{{"id":5,"cmd":"tau_min","net":{}}}"#,
+            all_nets[0]
+        ));
+        for line in &lines {
+            let (id, request) = parse_line(line);
+            let request = request.expect("test lines are valid");
+            let sharded = pool.dispatch(request.clone()).render(&id).to_string();
+            let direct = reference.handle_request(&request).render(&id).to_string();
+            assert_eq!(sharded, direct, "sharding changed a response for {line}");
+        }
+    }
+
+    #[test]
+    fn batch_fan_out_preserves_input_order() {
+        let pool = pool(4);
+        let reference = reference();
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 99, 9).unwrap();
+        let request = Request::Batch {
+            nets: nets.clone(),
+            trees: vec![],
+            target: Target::TauMinMultiple(1.4),
+        };
+        let (sharded, direct) = (
+            pool.dispatch(request.clone()),
+            reference.handle_request(&request),
+        );
+        // Typed equality, not just rendered bytes: order and values.
+        assert_eq!(sharded, direct);
+    }
+
+    #[test]
+    fn full_queues_surface_typed_backpressure() {
+        // A pool whose single shard is blocked: stuff the queue
+        // manually, then dispatch and expect the typed error.
+        let engine = Engine::new(Technology::generic_180nm(), RipConfig::paper());
+        let pool = ShardPool::start(engine, 1, 1);
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 7, 1).unwrap();
+        // Occupy the worker long enough to fill the queue behind it:
+        // push jobs whose replies we never read, with a queue cap of 1.
+        // The worker drains them quickly, so race-free assertion needs
+        // the direct path: close the queue's capacity by filling it
+        // while the worker is busy. Simplest deterministic route: close
+        // the pool's queue entirely and check the shutdown shape, then
+        // check the overflow shape via a raw push.
+        let shard = &pool.shards[0];
+        let hold = {
+            // Park a job the worker will pick up and block on… we have
+            // no blocking request, so instead fill the queue while
+            // holding the lock is impossible from here. Push two jobs
+            // back-to-back: cap 1 means the second push fails unless
+            // the worker already drained the first — retry until the
+            // race lands.
+            let mut saw_backpressure = false;
+            for _ in 0..200 {
+                let (reply_a, _inbox_a) = mpsc::channel();
+                let (reply_b, _inbox_b) = mpsc::channel();
+                let job = |reply| Job {
+                    request: Request::Solve {
+                        net: nets[0].clone(),
+                        target: Target::TauMinMultiple(1.4),
+                    },
+                    reply,
+                };
+                if shard.queue.push(job(reply_a)).is_ok() && shard.queue.push(job(reply_b)).is_err()
+                {
+                    saw_backpressure = true;
+                    break;
+                }
+            }
+            saw_backpressure
+        };
+        assert!(hold, "a cap-1 queue must reject a second pending job");
+        assert!(shard.queue.high_water() >= 1);
+        let response = pool.backpressure(0);
+        match &response {
+            Response::Error { code, error } => {
+                assert_eq!(*code, ErrorCode::Backpressure);
+                assert!(error.contains("back off"), "{error}");
+            }
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+        let rendered = response.render(&crate::json::Json::Null).to_string();
+        assert!(rendered.contains(r#""code":"backpressure""#), "{rendered}");
+    }
+
+    #[test]
+    fn snapshots_and_shutdown_account_for_work() {
+        let pool = pool(2);
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 13, 4).unwrap();
+        for net in &nets {
+            let response = pool.dispatch(Request::Solve {
+                net: net.clone(),
+                target: Target::TauMinMultiple(1.4),
+            });
+            assert!(!response.is_error(), "{response:?}");
+        }
+        let snapshots = pool.snapshots();
+        assert_eq!(snapshots.len(), 2);
+        let total: u64 = snapshots.iter().map(|s| s.requests).sum();
+        assert_eq!(total, 4, "{snapshots:?}");
+        let (hits, misses, ..) = pool.engine_totals();
+        assert!(hits + misses > 0);
+        pool.shutdown();
+        // After shutdown the queues reject work as busy.
+        let response = pool.dispatch(Request::TauMin {
+            net: nets[0].clone(),
+        });
+        match response {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Backpressure),
+            other => panic!("expected an error after shutdown, got {other:?}"),
+        }
+    }
+}

@@ -235,6 +235,196 @@ fn tight_lru_caps_change_hit_rates_but_never_answers() {
 }
 
 #[test]
+fn sharded_server_answers_byte_identically_to_a_single_engine() {
+    // The sharding-equivalence claim end to end: a sharded server under
+    // a mixed net + masked-tree load answers byte-identically to the
+    // sequential in-process reference — which is exactly what the
+    // direct server is held to, so the two topologies are
+    // interchangeable on the wire.
+    let config = ServeConfig {
+        workers: 4,
+        shards: 2,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    assert_eq!(server.shards(), 2);
+    let reference = ServeState::new(engine());
+    let loadgen = LoadgenConfig {
+        connections: 4,
+        requests_per_conn: 12,
+        nets: 5,
+        trees: 3,
+        ..LoadgenConfig::default()
+    };
+    let outcome = run_loadgen(server.addr(), Some(&reference), &loadgen).unwrap();
+    assert_eq!(outcome.errors, 0, "some sharded responses were not ok");
+    assert_eq!(
+        outcome.mismatches, 0,
+        "sharded responses diverged from the single in-process engine"
+    );
+    // The cache-key router actually spread the pool across both shards,
+    // and the per-shard accounting saw the traffic.
+    let snapshots = server.shard_snapshots();
+    assert_eq!(snapshots.len(), 2);
+    assert!(
+        snapshots.iter().all(|s| s.requests > 0),
+        "both shards must take traffic ({snapshots:?})"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn over_limit_connections_get_a_typed_busy_rejection() {
+    let config = ServeConfig {
+        // More workers than allowed connections: the spare workers are
+        // what deliver the rejection line (documented in rip_serve).
+        workers: 3,
+        max_conns: 1,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let addr = server.addr();
+    let net = NetGenerator::suite(RandomNetConfig::default(), 11, 1)
+        .unwrap()
+        .remove(0);
+    let solve = format!(
+        r#"{{"id":1,"cmd":"solve","net":{},"target_mult":1.4}}"#,
+        net_to_json(&net)
+    );
+
+    // A full round trip pins the first connection to a worker before
+    // anything else dials in.
+    let mut occupant = Client::connect(addr).unwrap();
+    let accepted = parse_json(&occupant.request_line(&solve).unwrap()).unwrap();
+    assert_eq!(accepted.get("ok"), Some(&Json::Bool(true)));
+
+    // The second connection is over the limit: it gets one typed busy
+    // line without sending anything, then the socket closes.
+    let mut rejected = Client::connect(addr).unwrap();
+    let line = rejected.read_line().unwrap();
+    let busy = parse_json(&line).unwrap();
+    assert_eq!(busy.get("ok"), Some(&Json::Bool(false)), "{line}");
+    assert_eq!(busy.get("code"), Some(&Json::from("busy")), "{line}");
+    assert_eq!(busy.get("id"), Some(&Json::Null), "{line}");
+    let error = busy.get("error").and_then(Json::as_str).unwrap();
+    assert!(
+        error.contains("connection limit (1)"),
+        "the busy line must name the limit: {line}"
+    );
+    assert!(
+        rejected.read_line().is_err(),
+        "the rejected socket must close after the busy line"
+    );
+    assert_eq!(server.rejected_conns(), 1);
+
+    // The occupant is unaffected — and once it hangs up, its slot frees
+    // for a new connection.
+    let warm = parse_json(&occupant.request_line(&solve).unwrap()).unwrap();
+    assert_eq!(warm.get("ok"), Some(&Json::Bool(true)));
+    drop(occupant);
+    let mut successor = Client::connect(addr).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        // The freed slot is visible only after the server notices the
+        // hangup; retry the dial until it lands or the deadline passes.
+        match parse_json(&successor.request_line(&solve).unwrap()).unwrap() {
+            ref ok if ok.get("ok") == Some(&Json::Bool(true)) => break,
+            rejected_again => {
+                assert_eq!(
+                    rejected_again.get("code"),
+                    Some(&Json::from("busy")),
+                    "only busy rejections are acceptable while the slot drains"
+                );
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "the connection slot never freed after the occupant hung up"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                successor = Client::connect(addr).unwrap();
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn full_shard_queues_surface_typed_backpressure_errors() {
+    // One shard with a one-slot queue behind many connection workers:
+    // concurrent expensive requests must overflow the queue, and the
+    // overflow must surface as a typed `backpressure` error — never a
+    // hang, a dropped connection, or a wrong answer.
+    let config = ServeConfig {
+        workers: 6,
+        shards: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let addr = server.addr();
+
+    let mut backpressured = 0u64;
+    for round in 0..10u64 {
+        let lines: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6u64)
+                .map(|k| {
+                    let seed = 100 + round * 10 + k;
+                    scope.spawn(move || {
+                        // Fresh nets every round so nothing is cached
+                        // and every batch really occupies the shard.
+                        let nets = NetGenerator::suite(RandomNetConfig::default(), seed, 3)
+                            .unwrap()
+                            .iter()
+                            .map(|n| net_to_json(n).to_string())
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        let request = format!(
+                            r#"{{"id":{seed},"cmd":"batch","nets":[{nets}],"target_mult":1.4}}"#
+                        );
+                        let mut client = Client::connect(addr).unwrap();
+                        client.request_line(&request).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for line in lines {
+            let response = parse_json(&line).unwrap();
+            if response.get("ok") == Some(&Json::Bool(true)) {
+                continue;
+            }
+            assert_eq!(
+                response.get("code"),
+                Some(&Json::from("backpressure")),
+                "the only acceptable failure under overload is backpressure: {line}"
+            );
+            let error = response.get("error").and_then(Json::as_str).unwrap();
+            assert!(
+                error.contains("queue is full"),
+                "the backpressure line must say what overflowed: {line}"
+            );
+            assert!(
+                error.contains("cap 1"),
+                "the backpressure line must name the queue cap: {line}"
+            );
+            backpressured += 1;
+        }
+        if backpressured > 0 {
+            break;
+        }
+    }
+    assert!(
+        backpressured > 0,
+        "6 concurrent cold batches against a 1-slot queue never overflowed"
+    );
+    // The per-shard accounting saw the overflow too.
+    let snapshots = server.shard_snapshots();
+    assert_eq!(snapshots.len(), 1);
+    assert!(snapshots[0].errors >= backpressured);
+    assert!(snapshots[0].queue_high_water >= 1);
+    server.shutdown();
+}
+
+#[test]
 fn host_initiated_shutdown_drains_idle_workers() {
     let config = ServeConfig {
         workers: 3,
