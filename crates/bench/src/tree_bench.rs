@@ -40,6 +40,10 @@ pub struct TreeBenchConfig {
     /// than the raw DP (fine 50 µm subdivision, enriched libraries), so
     /// the batch leg samples rather than sweeps.
     pub batch_trees: usize,
+    /// Trees fed to the **masked** batch-pipeline leg (a prefix of the
+    /// corpus, each tree's paper-distribution forbidden-node mask in
+    /// force through the whole hybrid pipeline).
+    pub masked_batch_trees: usize,
 }
 
 impl TreeBenchConfig {
@@ -54,6 +58,7 @@ impl TreeBenchConfig {
                 target_mult: 1.3,
                 batch_runs: 1,
                 batch_trees: 2,
+                masked_batch_trees: 2,
             }
         } else {
             Self {
@@ -64,6 +69,7 @@ impl TreeBenchConfig {
                 target_mult: 1.3,
                 batch_runs: 1,
                 batch_trees: 6,
+                masked_batch_trees: 6,
             }
         }
     }
@@ -97,6 +103,11 @@ pub struct TreeBenchReport {
     /// Summary of the timed `Engine::solve_tree_batch` runs (full
     /// hybrid pipeline, fresh engine per run).
     pub batch: StatSummary,
+    /// Summary of the timed `Engine::solve_tree_batch_masked` runs:
+    /// the full hybrid pipeline with each tree's forbidden-node mask
+    /// binding end to end (fresh engine per run, byte-identity-checked
+    /// against per-tree sequential masked solves).
+    pub masked_batch: StatSummary,
     /// Whether both DP sides produced byte-identical solutions on every
     /// tree — unmasked *and* masked (checked during warm-up).
     pub byte_identical: bool,
@@ -111,6 +122,12 @@ impl TreeBenchReport {
     /// Trees solved per second by the batch pipeline (median run).
     pub fn batch_trees_per_s(&self) -> f64 {
         self.config.batch_trees.min(self.config.trees) as f64 / self.batch.median_s
+    }
+
+    /// Trees solved per second by the masked batch pipeline (median
+    /// run).
+    pub fn masked_batch_trees_per_s(&self) -> f64 {
+        self.config.masked_batch_trees.min(self.config.trees) as f64 / self.masked_batch.median_s
     }
 
     /// The flat-JSON rendering written to `BENCH_tree.json`.
@@ -151,6 +168,13 @@ impl TreeBenchReport {
             .num("batch_s", self.batch.median_s)
             .num("batch_mad_s", self.batch.mad_s)
             .num("batch_trees_per_s", self.batch_trees_per_s())
+            .int(
+                "masked_batch_trees",
+                self.config.masked_batch_trees.min(self.config.trees) as u64,
+            )
+            .num("masked_batch_s", self.masked_batch.median_s)
+            .num("masked_batch_mad_s", self.masked_batch.mad_s)
+            .num("masked_batch_trees_per_s", self.masked_batch_trees_per_s())
             .bool("byte_identical", self.byte_identical)
             .finish()
     }
@@ -163,7 +187,8 @@ impl TreeBenchReport {
                reference median {:.4}s  mad {:.4}s  ({:.1} trees/s)\n\
                speedup vs reference: {:.2}x   byte_identical: {}\n\
                masked raw corpus: median {:.4}s vs reference {:.4}s  ({:.2}x)\n\
-               pipeline batch ({} trees) median {:.3}s over {} run(s)  ({:.2} trees/s)",
+               pipeline batch ({} trees) median {:.3}s over {} run(s)  ({:.2} trees/s)\n\
+               masked pipeline batch ({} trees) median {:.3}s  ({:.2} trees/s)",
             self.config.trees,
             self.nodes_per_pass,
             self.config.runs,
@@ -184,6 +209,9 @@ impl TreeBenchReport {
             self.batch.median_s,
             self.config.batch_runs,
             self.batch_trees_per_s(),
+            self.config.masked_batch_trees.min(self.config.trees),
+            self.masked_batch.median_s,
+            self.masked_batch_trees_per_s(),
         )
     }
 }
@@ -366,6 +394,71 @@ pub fn run_tree_bench(config: TreeBenchConfig) -> TreeBenchReport {
         }
     }
 
+    // Masked batch pipeline side: the same cold-session convention with
+    // every tree's paper-distribution forbidden-node mask binding
+    // through the whole hybrid pipeline
+    // (`Engine::solve_tree_batch_masked`). The first run doubles as the
+    // equivalence check: the batch solutions must be byte-identical to
+    // per-tree sequential masked solves on a fresh engine.
+    let masked_batch_corpus: Vec<(RcTree, f64, Option<Vec<bool>>)> = raw
+        .iter()
+        .zip(&masks)
+        .take(config.masked_batch_trees.min(raw.len()))
+        .map(|((tree, driver), mask)| (tree.clone(), *driver, Some(mask.clone())))
+        .collect();
+    let masked_probe = Engine::new(tech.clone(), RipConfig::paper());
+    let masked_batch_targets: Vec<f64> = masked_batch_corpus
+        .iter()
+        .map(|(tree, driver, mask)| {
+            config.target_mult
+                * masked_probe
+                    .tree_tau_min_masked(tree, *driver, &tree_config, mask.as_deref())
+                    .expect("aligned masks cannot fail the masked min-delay")
+        })
+        .collect();
+    drop(masked_probe);
+    let mut masked_batch_samples = Vec::with_capacity(config.batch_runs.max(1));
+    for run in 0..config.batch_runs.max(1) {
+        let engine = Engine::new(tech.clone(), RipConfig::paper());
+        let t = Instant::now();
+        let outcomes = engine.solve_tree_batch_masked(
+            &masked_batch_corpus,
+            &BatchTarget::PerNetFs(masked_batch_targets.clone()),
+            &tree_config,
+        );
+        masked_batch_samples.push(t.elapsed().as_secs_f64());
+        for (i, out) in outcomes.iter().enumerate() {
+            assert!(out.is_ok(), "masked tree {i}: pipeline failed in the bench");
+        }
+        if run == 0 {
+            let sequential = Engine::new(tech.clone(), RipConfig::paper());
+            for (i, ((tree, driver, mask), (outcome, &target_fs))) in masked_batch_corpus
+                .iter()
+                .zip(outcomes.iter().zip(&masked_batch_targets))
+                .enumerate()
+            {
+                let reference = sequential
+                    .solve_tree_masked(tree, *driver, target_fs, &tree_config, mask.as_deref())
+                    .expect("the batch run proved the target feasible");
+                let batch_sol = outcome.as_ref().expect("checked ok above");
+                if format!("{:?}", batch_sol.solution) != format!("{:?}", reference.solution) {
+                    eprintln!("masked batch tree {i}: batch solution differs from sequential!");
+                    byte_identical = false;
+                }
+                if let Some(mask) = mask {
+                    if mask
+                        .iter()
+                        .zip(&batch_sol.solution.buffer_widths)
+                        .any(|(&ok, w)| !ok && w.is_some())
+                    {
+                        eprintln!("masked batch tree {i}: buffer on a blocked node!");
+                        byte_identical = false;
+                    }
+                }
+            }
+        }
+    }
+
     let frontier = summarize(&frontier_samples);
     let reference = summarize(&reference_samples);
     let masked = summarize(&masked_samples);
@@ -382,6 +475,7 @@ pub fn run_tree_bench(config: TreeBenchConfig) -> TreeBenchReport {
         masked,
         masked_reference,
         batch: summarize(&batch_samples),
+        masked_batch: summarize(&masked_batch_samples),
         byte_identical,
     }
 }
@@ -401,6 +495,7 @@ mod tests {
             target_mult: 1.4,
             batch_runs: 1,
             batch_trees: 1,
+            masked_batch_trees: 1,
         };
         let report = run_tree_bench(config);
         assert!(report.byte_identical);
@@ -413,6 +508,8 @@ mod tests {
         assert!(read_json_number(&json, "masked_median_s").unwrap() > 0.0);
         assert!(read_json_number(&json, "frontier_trees_per_s").unwrap() > 0.0);
         assert!(read_json_number(&json, "batch_trees_per_s").unwrap() > 0.0);
+        assert_eq!(read_json_number(&json, "masked_batch_trees"), Some(1.0));
+        assert!(read_json_number(&json, "masked_batch_trees_per_s").unwrap() > 0.0);
         assert!(report.summary_text().contains("speedup"));
     }
 }

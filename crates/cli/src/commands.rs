@@ -681,6 +681,16 @@ pub fn cmd_bench(opts: &BenchOptions) -> Result<String, CliError> {
                 tree.speedup_vs_reference
             ));
         }
+        // The masked leg runs the same corpus with every tree's
+        // forbidden-node mask in force; the SoA frontier's margin must
+        // hold there too (masking prunes options on both sides
+        // equally), so it gets the same hard 1.0 floor.
+        if tree.masked_speedup_vs_reference < 1.0 {
+            failures.push(format!(
+                "tree masked_speedup_vs_reference {:.3} < 1.0",
+                tree.masked_speedup_vs_reference
+            ));
+        }
         // The batch-vs-sequential ratio is also machine-independent, but
         // on a single-core runner the batch engine's only edge is cache
         // reuse (no parallelism), so the ratio sits near 1.0 by
@@ -729,11 +739,12 @@ pub fn cmd_bench(opts: &BenchOptions) -> Result<String, CliError> {
         let _ = writeln!(
             out,
             "absolute throughput recorded for trends only (not gated): \
-             {:.2} nets/s frontier, {:.2} nets/s batch, {:.2} trees/s, \
-             {:.2} req/s serve ({:.2} sharded)",
+             {:.2} nets/s frontier, {:.2} nets/s batch, {:.2} trees/s \
+             ({:.2} masked pipeline), {:.2} req/s serve ({:.2} sharded)",
             frontier.frontier_nets_per_s(),
             batch.batch_nets_per_s(),
             tree.frontier_trees_per_s(),
+            tree.masked_batch_trees_per_s(),
             serve
                 .levels
                 .last()
@@ -768,9 +779,12 @@ USAGE:
     rip bench    [--quick] [--check-baseline] [--tolerance <frac>]
     rip serve    [--port <p>] [--bind <host>] [--workers <n>] [--shards <n>]
                  [--max-conns <n>] [--queue-cap <n>] [--timeout-secs <s>]
-                 [--cache-cap <n>] [--value-cache-cap <n>]
+                 [--cache-cap <n>] [--value-cache-cap <n>] [--drain-secs <s>]
+                 [--fault-panic-every <n>] [--fault-delay-every <n>]
+                 [--fault-delay-ms <ms>] [--fault-drop-every <n>] [--fault-seed <n>]
     rip client   <addr> [--smoke | --shutdown | --file <net-or-tree-file>
                  (--target-ns <x> | --target-mult <m>)]
+                 [--retries <n>] [--backoff-ms <ms>]
                                                  # reads JSON lines from stdin otherwise
     rip help
 
@@ -778,7 +792,15 @@ USAGE:
 key (batch/compare fan out and reassemble in input order); responses
 stay byte-identical to a single shared engine. `--max-conns` rejects
 over-limit connections with a typed `busy` error, and full shard queues
-answer `backpressure` instead of stalling.
+answer `backpressure` instead of stalling. Workers are supervised: a
+panic becomes a typed `internal` error and the worker respawns with a
+fresh engine. A `drain` request (default deadline `--drain-secs`)
+finishes in-flight work, answers new requests with `shutting_down`, and
+stops cleanly. The `--fault-*` flags inject deterministic panics,
+delays, and connection drops for chaos testing (see the README's
+resilience section). `rip client --retries N` retries transient
+failures (busy/backpressure/timeout/internal, resets) over fresh
+connections with capped exponential backoff starting at --backoff-ms.
 
 `rip batch` exits nonzero when any net in the batch fails to solve (the
 per-net table, including the failure rows, is still printed).

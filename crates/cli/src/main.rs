@@ -220,6 +220,33 @@ fn run(args: &[String]) -> Result<String, CliError> {
             if let Some(c) = flag_value(&flags, "--value-cache-cap")? {
                 opts.value_cache_cap = parse_usize("--value-cache-cap", c)?;
             }
+            if let Some(d) = flag_value(&flags, "--drain-secs")? {
+                opts.drain_secs = d
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage("--drain-secs must be an integer".into()))?;
+            }
+            // Deterministic fault injection (chaos testing; see the
+            // README's resilience section). Off unless a cadence flag
+            // is given.
+            let parse_u64 = |name: &str, v: String| {
+                v.parse::<u64>()
+                    .map_err(|_| CliError::Usage(format!("{name} must be an integer")))
+            };
+            if let Some(n) = flag_value(&flags, "--fault-panic-every")? {
+                opts.faults.panic_every = parse_u64("--fault-panic-every", n)?;
+            }
+            if let Some(n) = flag_value(&flags, "--fault-delay-every")? {
+                opts.faults.delay_every = parse_u64("--fault-delay-every", n)?;
+            }
+            if let Some(n) = flag_value(&flags, "--fault-delay-ms")? {
+                opts.faults.delay_ms = parse_u64("--fault-delay-ms", n)?;
+            }
+            if let Some(n) = flag_value(&flags, "--fault-drop-every")? {
+                opts.faults.drop_every = parse_u64("--fault-drop-every", n)?;
+            }
+            if let Some(n) = flag_value(&flags, "--fault-seed")? {
+                opts.faults.seed = parse_u64("--fault-seed", n)?;
+            }
             cmd_serve(&opts)
         }
         Some("client") => {
@@ -236,11 +263,27 @@ fn run(args: &[String]) -> Result<String, CliError> {
             } else {
                 None
             };
+            let retries = match flag_value(&rest, "--retries")? {
+                Some(r) => r
+                    .parse::<u32>()
+                    .map_err(|_| CliError::Usage("--retries must be an integer".into()))?,
+                None => 0,
+            };
+            let backoff_ms = match flag_value(&rest, "--backoff-ms")? {
+                Some(b) => b
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage("--backoff-ms must be an integer".into()))?,
+                // A sane default once retries are on; irrelevant when
+                // they are off.
+                None => 50,
+            };
             let opts = ClientOptions {
                 smoke: rest.iter().any(|f| f == "--smoke"),
                 shutdown: rest.iter().any(|f| f == "--shutdown"),
                 file,
                 target,
+                retries,
+                backoff_ms,
             };
             let stdin = std::io::stdin();
             cmd_client(addr, &opts, &mut stdin.lock())

@@ -14,7 +14,8 @@
 use crate::commands::{CliError, Target};
 use rip_core::Engine;
 use rip_serve::{
-    net_to_json, parse_json, start_server, Client, Json, Request, ServeConfig, ServerHandle,
+    net_to_json, parse_json, start_server, Client, FaultPlan, Json, Request, RetryPolicy,
+    ServeConfig, ServerHandle,
 };
 use rip_tech::units::fs_from_ns;
 use rip_tech::Technology;
@@ -43,6 +44,12 @@ pub struct ServeOptions {
     /// `τ_min`/library-cache LRU bound (entries per cache; 0 =
     /// unbounded).
     pub value_cache_cap: usize,
+    /// Default drain deadline, seconds (`--drain-secs`), used when a
+    /// `drain` request carries no `deadline_ms`.
+    pub drain_secs: u64,
+    /// Deterministic fault injection (the hidden `--fault-*` flags);
+    /// chaos testing only.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeOptions {
@@ -58,6 +65,8 @@ impl Default for ServeOptions {
             timeout_secs: 0,
             cache_cap: defaults.cache_cap,
             value_cache_cap: defaults.value_cache_cap,
+            drain_secs: defaults.drain_deadline_secs,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -79,6 +88,8 @@ pub fn cmd_serve(opts: &ServeOptions) -> Result<String, CliError> {
         max_conns: opts.max_conns,
         queue_cap: opts.queue_cap,
         read_timeout_ms: opts.timeout_secs.saturating_mul(1000),
+        drain_deadline_secs: opts.drain_secs,
+        faults: opts.faults,
         ..ServeConfig::default()
     };
     let engine = Engine::paper(Technology::generic_180nm());
@@ -104,6 +115,17 @@ pub fn cmd_serve(opts: &ServeOptions) -> Result<String, CliError> {
             opts.max_conns.to_string()
         },
     );
+    if opts.faults.is_active() {
+        println!(
+            "rip serve: FAULT INJECTION ACTIVE (panic every {}, delay every {} by {} ms, \
+             drop every {}, seed {}) — chaos testing only",
+            opts.faults.panic_every,
+            opts.faults.delay_every,
+            opts.faults.delay_ms,
+            opts.faults.drop_every,
+            opts.faults.seed,
+        );
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let monitor = server.monitor();
@@ -111,10 +133,13 @@ pub fn cmd_serve(opts: &ServeOptions) -> Result<String, CliError> {
     let (_, _, promotions, evictions, _, _) = monitor.engine_totals();
     Ok(format!(
         "rip serve: shut down after {} request(s) over {} connection(s) ({} rejected); \
-         engine cache hit rate {:.1}% ({} promotion(s), {} eviction(s)) across {} engine(s)\n",
+         {} caught panic(s), {} respawn(s); engine cache hit rate {:.1}% \
+         ({} promotion(s), {} eviction(s)) across {} engine(s)\n",
         monitor.requests_total(),
         monitor.connections_total(),
         monitor.rejected_conns(),
+        monitor.panics_total(),
+        monitor.respawns_total(),
         monitor.hit_rate() * 100.0,
         promotions,
         evictions,
@@ -135,6 +160,12 @@ pub struct ClientOptions {
     pub file: Option<String>,
     /// Timing target for `--file` requests.
     pub target: Option<Target>,
+    /// Retries per request for transient failures (`--retries`); 0 =
+    /// fail fast.
+    pub retries: u32,
+    /// Base retry backoff, ms (`--backoff-ms`), doubling per retry with
+    /// deterministic jitter.
+    pub backoff_ms: u64,
 }
 
 /// Connects to a running server. Relays JSON request lines from `input`
@@ -152,6 +183,9 @@ pub fn cmd_client(
     input: &mut dyn BufRead,
 ) -> Result<String, CliError> {
     let mut client = Client::connect(addr)?;
+    if opts.retries > 0 {
+        client = client.with_retry(RetryPolicy::new(opts.retries, opts.backoff_ms));
+    }
     if opts.shutdown {
         let response = client.request_line(r#"{"id":0,"cmd":"shutdown"}"#)?;
         return Ok(format!("{response}\n"));
@@ -234,12 +268,30 @@ fn send_file(client: &mut Client, path: &str, target: Option<Target>) -> Result<
 /// capability check, a small masked `solve_tree`, a `reset_stats` whose
 /// follow-up `stats` must report exactly one request, and a final
 /// `shutdown`), each response required to be `ok`.
+///
+/// The middle of the script is padded with extra solves so ten
+/// fault-eligible requests flow before the reset: CI's chaos smoke runs
+/// this same script against `--fault-panic-every 7` with `--retries 3`
+/// and must converge — the injected panic lands on an eligible ordinal
+/// the retry path then re-runs. All cross-request assertions
+/// (warm-vs-cold, post-reset count) hold across retried connections,
+/// because responses are byte-identical wherever they are answered and
+/// control requests are never injected.
 fn run_smoke(client: &mut Client) -> Result<String, CliError> {
     let nets: Vec<Json> = rip_net::NetGenerator::suite(rip_net::RandomNetConfig::default(), 7, 3)
         .expect("default net distribution is valid")
         .iter()
         .map(net_to_json)
         .collect();
+    let solve = |id: u64, net: &Json| {
+        Json::obj([
+            ("id", Json::from(id)),
+            ("cmd", Json::from("solve")),
+            ("net", net.clone()),
+            ("target_mult", Json::Num(1.4)),
+        ])
+        .to_string()
+    };
     // A deliberately small tree: the hybrid tree pipeline is the most
     // expensive command, and the smoke test gates CI wall-clock.
     let tree = r#"{"driver":120,"nodes":[[0,0.08,0.2,1200,null,false],[1,0.06,0.18,1500,60,false],[1,0.08,0.2,1000,50,true]]}"#;
@@ -252,13 +304,7 @@ fn run_smoke(client: &mut Client) -> Result<String, CliError> {
             ("net", nets[0].clone()),
         ])
         .to_string(),
-        Json::obj([
-            ("id", Json::from(3u64)),
-            ("cmd", Json::from("solve")),
-            ("net", nets[0].clone()),
-            ("target_mult", Json::Num(1.4)),
-        ])
-        .to_string(),
+        solve(3, &nets[0]),
         Json::obj([
             ("id", Json::from(4u64)),
             ("cmd", Json::from("batch")),
@@ -276,20 +322,29 @@ fn run_smoke(client: &mut Client) -> Result<String, CliError> {
         .to_string(),
         format!(r#"{{"id":6,"cmd":"solve_tree","tree":{tree},"target_mult":1.4}}"#),
         // Repeat the first solve: the warm path must serve from cache.
+        solve(7, &nets[0]),
+        // Warm padding solves: enough eligible traffic for the chaos
+        // smoke's periodic fault to land (and be retried) pre-reset.
+        solve(8, &nets[1]),
+        solve(9, &nets[2]),
         Json::obj([
-            ("id", Json::from(7u64)),
-            ("cmd", Json::from("solve")),
-            ("net", nets[0].clone()),
-            ("target_mult", Json::Num(1.4)),
+            ("id", Json::from(10u64)),
+            ("cmd", Json::from("tau_min")),
+            ("net", nets[1].clone()),
         ])
         .to_string(),
-        Json::obj([("id", Json::from(8u64)), ("cmd", Json::from("stats"))]).to_string(),
+        solve(11, &nets[2]),
+        Json::obj([("id", Json::from(12u64)), ("cmd", Json::from("stats"))]).to_string(),
         // Counter reset: the follow-up stats must report exactly one
         // request (itself). Like the warm-vs-cold check, this assumes a
         // quiet server — the smoke script drives the only connection.
-        Json::obj([("id", Json::from(9u64)), ("cmd", Json::from("reset_stats"))]).to_string(),
-        Json::obj([("id", Json::from(10u64)), ("cmd", Json::from("stats"))]).to_string(),
-        Json::obj([("id", Json::from(11u64)), ("cmd", Json::from("shutdown"))]).to_string(),
+        Json::obj([
+            ("id", Json::from(13u64)),
+            ("cmd", Json::from("reset_stats")),
+        ])
+        .to_string(),
+        Json::obj([("id", Json::from(14u64)), ("cmd", Json::from("stats"))]).to_string(),
+        Json::obj([("id", Json::from(15u64)), ("cmd", Json::from("shutdown"))]).to_string(),
     ];
     let mut out = String::new();
     let mut solve_first = None;
@@ -308,8 +363,10 @@ fn run_smoke(client: &mut Client) -> Result<String, CliError> {
                 "response missing proto version: {response}"
             )));
         }
+        // Id tokens include the trailing comma so e.g. ":1" never
+        // matches ":12".
         // hello must advertise the full command set.
-        if line.contains("\"id\":0")
+        if line.contains("\"id\":0,")
             && value
                 .get("commands")
                 .and_then(Json::as_arr)
@@ -322,10 +379,10 @@ fn run_smoke(client: &mut Client) -> Result<String, CliError> {
         }
         // The warm repeat (id 7) must answer byte-identically to the
         // cold solve (id 3) modulo the echoed id.
-        if line.contains("\"id\":3") {
+        if line.contains("\"id\":3,") {
             solve_first = Some(response.replace("\"id\":3", ""));
         }
-        if line.contains("\"id\":7") {
+        if line.contains("\"id\":7,") {
             let warm = response.replace("\"id\":7", "");
             if solve_first.as_deref() != Some(warm.as_str()) {
                 return Err(CliError::Protocol(
@@ -333,19 +390,27 @@ fn run_smoke(client: &mut Client) -> Result<String, CliError> {
                 ));
             }
         }
-        if line.contains("\"id\":9") && value.get("reset") != Some(&Json::Bool(true)) {
+        if line.contains("\"id\":13,") && value.get("reset") != Some(&Json::Bool(true)) {
             return Err(CliError::Protocol(
                 "reset_stats did not acknowledge the reset".into(),
             ));
         }
-        if line.contains("\"id\":10") && value.get("requests").and_then(Json::as_f64) != Some(1.0) {
+        if line.contains("\"id\":14,") && value.get("requests").and_then(Json::as_f64) != Some(1.0)
+        {
             return Err(CliError::Protocol(format!(
                 "stats after reset_stats should report 1 request, got: {response}"
             )));
         }
         let _ = writeln!(out, "{response}");
     }
-    let _ = writeln!(out, "smoke: {} request(s), all ok", script.len());
+    let _ = writeln!(
+        out,
+        "smoke: {} request(s), all ok ({} attempt(s), {} retrie(s), {} gave up)",
+        script.len(),
+        client.attempts(),
+        client.retries(),
+        client.gave_up(),
+    );
     Ok(out)
 }
 
@@ -394,6 +459,42 @@ mod tests {
         });
         assert!(out.contains("all ok"), "{out}");
         assert!(out.contains("\"shards\":2"), "{out}");
+    }
+
+    #[test]
+    fn chaos_smoke_converges_with_retries_under_injected_panics() {
+        // CI's chaos step: the same smoke script against a sharded
+        // server that panics every 7th eligible request, driven with
+        // --retries 3. The injected panic must surface as a typed
+        // internal error, get retried, and the script still end all-ok
+        // with its byte-identity and post-reset assertions intact.
+        let server = start_server(
+            Engine::paper(Technology::generic_180nm()),
+            &ServeConfig {
+                workers: 2,
+                shards: 2,
+                faults: FaultPlan {
+                    panic_every: 7,
+                    ..FaultPlan::none()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let opts = ClientOptions {
+            smoke: true,
+            retries: 3,
+            backoff_ms: 1,
+            ..ClientOptions::default()
+        };
+        let out = cmd_client(&addr, &opts, &mut std::io::empty()).unwrap();
+        assert!(out.contains("all ok"), "{out}");
+        // The script is sized so the periodic fault fires: a clean run
+        // here would mean the chaos step stopped testing anything.
+        assert!(!out.contains("0 retrie(s)"), "no retry happened: {out}");
+        assert!(out.contains("0 gave up"), "{out}");
+        server.join();
     }
 
     #[test]

@@ -25,13 +25,19 @@
 //!   `batch`/`compare` with binding blocked-node masks and per-entry
 //!   `allowed` overrides, `tau_min`, `hello`, `stats`, `reset_stats`,
 //!   `shutdown` over a [`ServeState`]);
+//! * [`fault`] — supervision (`catch_unwind` → typed `internal` error +
+//!   engine respawn) and the seeded deterministic fault-injection plan
+//!   behind the chaos suite;
 //! * [`shard`] — the engine-worker pool: cache-key routing, fan-out
 //!   with input-ordered reassembly, bounded queues with typed
-//!   `backpressure` overflow;
+//!   `backpressure` overflow, supervised workers;
 //! * [`server`] — the edge: connection workers, `--bind`/`--max-conns`
-//!   with typed `busy` rejection, per-connection timeouts, clean
-//!   shutdown;
-//! * [`client`] — a blocking line client;
+//!   with typed `busy` rejection, per-connection timeouts, graceful
+//!   drain (`drain` → typed `shutting_down` rejections → clean stop);
+//! * [`client`] — a blocking line client with an optional
+//!   [`RetryPolicy`] (capped exponential backoff, deterministic
+//!   jitter) for transient `busy`/`backpressure`/`timeout`/`internal`
+//!   errors and connection resets;
 //! * [`loadgen`] — deterministic concurrent load with **byte-identity**
 //!   verification against an in-process reference engine (the service
 //!   analogue of the DP frozen-reference equivalence suites; the
@@ -63,13 +69,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod client;
+pub mod fault;
 pub mod json;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod shard;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
+pub use fault::{FaultInjector, FaultPlan};
 pub use json::{parse_json, Json, JsonError};
 pub use loadgen::{
     connection_script, fire_load, net_pool, prepare_load, run_loadgen, tree_pool, LoadgenConfig,

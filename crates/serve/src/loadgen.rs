@@ -14,7 +14,7 @@
 //! benchmark run measures server throughput, not reference-engine
 //! throughput.
 
-use crate::client::Client;
+use crate::client::{Client, RetryPolicy};
 use crate::json::{parse_json, Json};
 use crate::protocol::{net_to_json, tree_to_json, ServeState};
 use rip_net::{
@@ -44,6 +44,10 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Relative timing target sent with every solve.
     pub target_mult: f64,
+    /// Retry policy attached to every loadgen connection
+    /// ([`RetryPolicy::none`] by default; the chaos suite turns it on
+    /// to prove convergence under injected faults).
+    pub retry: RetryPolicy,
 }
 
 impl Default for LoadgenConfig {
@@ -55,6 +59,7 @@ impl Default for LoadgenConfig {
             trees: 0,
             seed: 2005,
             target_mult: 1.4,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -71,6 +76,16 @@ pub struct LoadgenOutcome {
     pub mismatches: usize,
     /// Deterministic responses that were byte-checked.
     pub verified: usize,
+    /// Failed responses whose typed code was `internal` (caught server
+    /// panics) — the chaos suite's capacity-recovery gate demands this
+    /// reaches zero on a post-fault round.
+    pub internal_errors: usize,
+    /// Request attempts across every connection, including retries.
+    pub attempts: u64,
+    /// Retries across every connection.
+    pub retries: u64,
+    /// Requests that exhausted their retries.
+    pub gave_up: u64,
     /// Wall-clock of the timed phase, nanoseconds.
     pub elapsed_ns: u128,
 }
@@ -229,6 +244,9 @@ pub struct PreparedLoad {
     /// requests, i.e. non-deterministic ones or when no reference was
     /// given).
     pub expected: Vec<Vec<Option<String>>>,
+    /// The retry policy every firing connection runs with (each
+    /// connection derives its own jitter seed from it).
+    pub retry: RetryPolicy,
 }
 
 /// Builds the scripts for `config` and renders the expected responses
@@ -254,7 +272,11 @@ pub fn prepare_load(reference: Option<&ServeState>, config: &LoadgenConfig) -> P
                 .collect()
         })
         .collect();
-    PreparedLoad { scripts, expected }
+    PreparedLoad {
+        scripts,
+        expected,
+        retry: config.retry,
+    }
 }
 
 /// Convenience wrapper: [`prepare_load`] + one [`fire_load`] pass.
@@ -282,33 +304,62 @@ pub fn run_loadgen(
 /// response-level failure is counted in
 /// [`LoadgenOutcome::errors`] instead.
 pub fn fire_load(addr: SocketAddr, load: &PreparedLoad) -> io::Result<LoadgenOutcome> {
-    let PreparedLoad { scripts, expected } = load;
+    let PreparedLoad {
+        scripts,
+        expected,
+        retry,
+    } = load;
+    /// What one connection thread tallies.
+    #[derive(Default)]
+    struct ConnTally {
+        errors: usize,
+        mismatches: usize,
+        verified: usize,
+        internal_errors: usize,
+        attempts: u64,
+        retries: u64,
+        gave_up: u64,
+    }
     let t0 = Instant::now();
-    let results: Vec<io::Result<(usize, usize, usize)>> = std::thread::scope(|scope| {
+    let results: Vec<io::Result<ConnTally>> = std::thread::scope(|scope| {
         let handles: Vec<_> = scripts
             .iter()
             .zip(expected)
-            .map(|(script, expected)| {
-                scope.spawn(move || -> io::Result<(usize, usize, usize)> {
-                    let mut client = Client::connect(addr)?;
-                    let (mut errors, mut mismatches, mut verified) = (0, 0, 0);
+            .enumerate()
+            .map(|(i, (script, expected))| {
+                scope.spawn(move || -> io::Result<ConnTally> {
+                    // Per-connection jitter seed: identical policies on
+                    // every thread must not back off in lockstep.
+                    let mut policy = *retry;
+                    policy.seed ^= (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut client = Client::connect(addr)?.with_retry(policy);
+                    let mut tally = ConnTally::default();
                     for (req, expect) in script.iter().zip(expected) {
                         let response = client.request_line(&req.line)?;
-                        let ok = parse_json(&response)
-                            .ok()
+                        let parsed = parse_json(&response).ok();
+                        let ok = parsed
+                            .as_ref()
                             .and_then(|v| v.get("ok").and_then(Json::as_bool))
                             .unwrap_or(false);
                         if !ok {
-                            errors += 1;
+                            tally.errors += 1;
+                            if parsed.as_ref().and_then(|v| v.get("code"))
+                                == Some(&Json::Str("internal".to_string()))
+                            {
+                                tally.internal_errors += 1;
+                            }
                         }
                         if let Some(expect) = expect {
-                            verified += 1;
+                            tally.verified += 1;
                             if &response != expect {
-                                mismatches += 1;
+                                tally.mismatches += 1;
                             }
                         }
                     }
-                    Ok((errors, mismatches, verified))
+                    tally.attempts = client.attempts();
+                    tally.retries = client.retries();
+                    tally.gave_up = client.gave_up();
+                    Ok(tally)
                 })
             })
             .collect();
@@ -324,14 +375,22 @@ pub fn fire_load(addr: SocketAddr, load: &PreparedLoad) -> io::Result<LoadgenOut
         errors: 0,
         mismatches: 0,
         verified: 0,
+        internal_errors: 0,
+        attempts: 0,
+        retries: 0,
+        gave_up: 0,
         elapsed_ns: elapsed_ns.max(1),
     };
     for (result, script) in results.into_iter().zip(scripts) {
-        let (errors, mismatches, verified) = result?;
+        let tally = result?;
         outcome.requests += script.len();
-        outcome.errors += errors;
-        outcome.mismatches += mismatches;
-        outcome.verified += verified;
+        outcome.errors += tally.errors;
+        outcome.mismatches += tally.mismatches;
+        outcome.verified += tally.verified;
+        outcome.internal_errors += tally.internal_errors;
+        outcome.attempts += tally.attempts;
+        outcome.retries += tally.retries;
+        outcome.gave_up += tally.gave_up;
     }
     Ok(outcome)
 }

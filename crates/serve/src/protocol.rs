@@ -42,6 +42,7 @@
 //! | `hello`      | —                               | server capabilities (shards, workers, caps, version, commands) |
 //! | `stats`      | —                               | engine + server counters          |
 //! | `reset_stats`| —                               | the pre-reset counters, `reset: true`; counters rezero |
+//! | `drain`      | opt. `deadline_ms`              | `draining: true`, `deadline_ms`; the server stops taking work, answers what is in flight, then stops |
 //! | `shutdown`   | —                               | `stopping: true`, then the server drains |
 //!
 //! A `batch`/`compare` tree entry is either a bare `TREE` object or
@@ -75,6 +76,7 @@ pub const PROTO_VERSION: u64 = 1;
 pub const COMMANDS: &[&str] = &[
     "batch",
     "compare",
+    "drain",
     "hello",
     "reset_stats",
     "shutdown",
@@ -102,6 +104,12 @@ pub enum ErrorCode {
     Backpressure,
     /// The connection sat idle past the server's read timeout.
     Timeout,
+    /// The handler panicked; the worker was respawned with a fresh
+    /// engine and the request may be retried.
+    Internal,
+    /// The server is draining (a `drain` request or shutdown is in
+    /// progress); no new work is accepted.
+    ShuttingDown,
 }
 
 impl ErrorCode {
@@ -114,7 +122,38 @@ impl ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::Backpressure => "backpressure",
             ErrorCode::Timeout => "timeout",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting_down",
         }
+    }
+
+    /// Parses a wire spelling back into the typed code (inverse of
+    /// [`ErrorCode::as_str`]) — how the client's retry policy reads a
+    /// server rejection.
+    pub fn from_wire(code: &str) -> Option<Self> {
+        match code {
+            "bad_request" => Some(ErrorCode::BadRequest),
+            "unknown_cmd" => Some(ErrorCode::UnknownCmd),
+            "solve_failed" => Some(ErrorCode::SolveFailed),
+            "busy" => Some(ErrorCode::Busy),
+            "backpressure" => Some(ErrorCode::Backpressure),
+            "timeout" => Some(ErrorCode::Timeout),
+            "internal" => Some(ErrorCode::Internal),
+            "shutting_down" => Some(ErrorCode::ShuttingDown),
+            _ => None,
+        }
+    }
+
+    /// `true` when a client may retry the identical request and expect
+    /// it to succeed: transient capacity (`busy`, `backpressure`),
+    /// pacing (`timeout`) and supervised crashes (`internal`). Request
+    /// defects (`bad_request`, `unknown_cmd`, `solve_failed`) and a
+    /// draining server (`shutting_down`) are final.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Busy | ErrorCode::Backpressure | ErrorCode::Timeout | ErrorCode::Internal
+        )
     }
 }
 
@@ -235,6 +274,13 @@ pub enum Request {
     Stats,
     /// `reset_stats`: render the counters, then rezero them.
     ResetStats,
+    /// `drain`: stop accepting work, answer what is in flight, then
+    /// stop — bounded by a deadline.
+    Drain {
+        /// Drain deadline override, ms (`deadline_ms`); `None` uses the
+        /// server's configured `--drain-secs`.
+        deadline_ms: Option<u64>,
+    },
     /// `shutdown`: acknowledge, then drain the server.
     Shutdown,
 }
@@ -251,8 +297,25 @@ impl Request {
             Request::Hello => "hello",
             Request::Stats => "stats",
             Request::ResetStats => "reset_stats",
+            Request::Drain { .. } => "drain",
             Request::Shutdown => "shutdown",
         }
+    }
+
+    /// `true` for control-plane requests: `hello`, `stats`,
+    /// `reset_stats`, `drain` and `shutdown`. The edge answers these
+    /// itself (even while draining) and the fault injector never
+    /// targets them — operators must be able to observe and stop a
+    /// degraded server.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Request::Hello
+                | Request::Stats
+                | Request::ResetStats
+                | Request::Drain { .. }
+                | Request::Shutdown
+        )
     }
 
     /// Parses a request object (one decoded line) into a typed request.
@@ -314,6 +377,19 @@ impl Request {
             "hello" => Ok(Request::Hello),
             "stats" => Ok(Request::Stats),
             "reset_stats" => Ok(Request::ResetStats),
+            "drain" => {
+                let deadline_ms = match request.get("deadline_ms") {
+                    None => None,
+                    Some(value) => {
+                        let ms = value
+                            .as_f64()
+                            .filter(|ms| ms.is_finite() && *ms >= 0.0)
+                            .ok_or("deadline_ms must be a non-negative number")?;
+                        Some(ms as u64)
+                    }
+                };
+                Ok(Request::Drain { deadline_ms })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(RequestError {
                 code: ErrorCode::UnknownCmd,
@@ -373,6 +449,11 @@ impl Request {
                 push_nets_and_trees(&mut push, nets, trees);
                 push_target(&mut push, *target);
                 push("granularity", Json::Num(*granularity));
+            }
+            Request::Drain { deadline_ms } => {
+                if let Some(ms) = deadline_ms {
+                    push("deadline_ms", Json::from(*ms));
+                }
             }
             Request::Hello | Request::Stats | Request::ResetStats | Request::Shutdown => {}
         }
@@ -517,6 +598,12 @@ pub enum Response {
         /// capture).
         reset: bool,
     },
+    /// `drain` acknowledged; the server stops taking work and answers
+    /// what is in flight, bounded by the echoed deadline.
+    Draining {
+        /// The resolved drain deadline, ms.
+        deadline_ms: u64,
+    },
     /// `shutdown` acknowledged; the server drains after responding.
     Shutdown,
     /// The request failed.
@@ -608,6 +695,10 @@ impl Response {
                 if *reset {
                     push("reset", Json::Bool(true));
                 }
+            }
+            Response::Draining { deadline_ms } => {
+                push("draining", Json::Bool(true));
+                push("deadline_ms", Json::from(*deadline_ms));
             }
             Response::Shutdown => push("stopping", Json::Bool(true)),
             Response::Error { code, error } => {
@@ -732,6 +823,23 @@ impl ServeState {
             .expect("server info lock is never poisoned") = info;
     }
 
+    /// The topology this state reports in `hello` responses — what a
+    /// supervised respawn copies onto the replacement state.
+    pub fn server_info(&self) -> ServerInfo {
+        *self
+            .info
+            .lock()
+            .expect("server info lock is never poisoned")
+    }
+
+    /// Overwrites the request/connection counters — how a respawned
+    /// state carries the monitoring history of the engine it replaces
+    /// (engine cache stats restart cold with the fresh engine).
+    pub fn restore_counters(&self, requests: u64, connections: u64) {
+        self.requests.store(requests, Ordering::Relaxed);
+        self.connections.store(connections, Ordering::Relaxed);
+    }
+
     /// Requests handled so far (all commands, including malformed ones).
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
@@ -853,6 +961,13 @@ impl ServeState {
                     reset: true,
                 }
             }
+            // A bare state acknowledges the drain with the requested
+            // (or zero) deadline; the TCP edge intercepts `drain` and
+            // substitutes its configured default before this arm runs,
+            // so the zero here only shows up in in-process use.
+            Request::Drain { deadline_ms } => Response::Draining {
+                deadline_ms: deadline_ms.unwrap_or(0),
+            },
             Request::Shutdown => Response::Shutdown,
         }
     }
@@ -1448,6 +1563,10 @@ mod tests {
             Request::Hello,
             Request::Stats,
             Request::ResetStats,
+            Request::Drain { deadline_ms: None },
+            Request::Drain {
+                deadline_ms: Some(2500),
+            },
             Request::Shutdown,
         ]
     }
@@ -1812,6 +1931,69 @@ mod tests {
         let (stats, _) = state.handle_line(r#"{"id":4,"cmd":"stats"}"#);
         assert_eq!(stats.get("misses").unwrap().as_f64(), Some(0.0));
         assert!(stats.get("hits").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_classify_retryability() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownCmd,
+            ErrorCode::SolveFailed,
+            ErrorCode::Busy,
+            ErrorCode::Backpressure,
+            ErrorCode::Timeout,
+            ErrorCode::Internal,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_wire("made_up"), None);
+        assert!(ErrorCode::Busy.retryable());
+        assert!(ErrorCode::Backpressure.retryable());
+        assert!(ErrorCode::Timeout.retryable());
+        assert!(ErrorCode::Internal.retryable());
+        assert!(!ErrorCode::BadRequest.retryable());
+        assert!(!ErrorCode::SolveFailed.retryable());
+        assert!(!ErrorCode::ShuttingDown.retryable());
+    }
+
+    #[test]
+    fn drain_acknowledges_with_the_deadline_and_does_not_stop_the_state() {
+        let state = state();
+        let (response, stop) = state.handle_line(r#"{"id":7,"cmd":"drain","deadline_ms":1500}"#);
+        assert!(!stop, "drain is edge-managed; only shutdown stops");
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("draining"), Some(&Json::Bool(true)));
+        assert_eq!(
+            response.get("deadline_ms").and_then(Json::as_f64),
+            Some(1500.0)
+        );
+        // Without a deadline the bare state echoes zero (the edge
+        // substitutes its configured default before rendering).
+        let (response, _) = state.handle_line(r#"{"id":8,"cmd":"drain"}"#);
+        assert_eq!(
+            response.get("deadline_ms").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        // A negative deadline is a request error.
+        let (bad, _) = state.handle_line(r#"{"cmd":"drain","deadline_ms":-4}"#);
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(bad.get("code").and_then(Json::as_str), Some("bad_request"));
+    }
+
+    #[test]
+    fn control_plane_requests_are_exactly_the_engine_free_ones() {
+        for request in request_corpus() {
+            let expect = matches!(
+                request,
+                Request::Hello
+                    | Request::Stats
+                    | Request::ResetStats
+                    | Request::Drain { .. }
+                    | Request::Shutdown
+            );
+            assert_eq!(request.is_control(), expect, "{:?}", request.cmd());
+        }
     }
 
     #[test]

@@ -24,19 +24,33 @@
 //!   `backpressure` error ([`crate::shard`]).
 //!
 //! `stats` responses served over a connection additionally carry a
-//! `rejected_conns` counter, a per-connection `connection` object, and
-//! (sharded) a per-shard `shards` array — none of which exist in the
-//! bare [`ServeState`] rendering, which is why the load generator
-//! treats `stats` as non-deterministic.
+//! `rejected_conns` counter, supervision tallies (`panics`,
+//! `respawns`), a per-connection `connection` object, and (sharded) a
+//! per-shard `shards` array — none of which exist in the bare
+//! [`ServeState`] rendering, which is why the load generator treats
+//! `stats` as non-deterministic.
+//!
+//! Fault tolerance at the edge ([`crate::fault`]):
+//!
+//! * both back ends handle requests under `catch_unwind` — a panic
+//!   answers with a typed `internal` error (id echoed) and the engine
+//!   state respawns from its recipe, so no panic kills a worker;
+//! * a `drain` request (or the configured default deadline) flips the
+//!   server into draining: new connections and new work get typed
+//!   `shutting_down` errors, in-flight requests finish, and the server
+//!   stops once idle or at the deadline;
+//! * a seeded [`FaultPlan`] can inject panics, delays and mid-response
+//!   connection cuts for chaos testing — see [`crate::fault`].
 
+use crate::fault::{internal_error, supervised_handle, FaultInjector, FaultPlan};
 use crate::json::Json;
 use crate::protocol::{parse_line, ErrorCode, Request, Response, ServeState, ServerInfo};
-use crate::shard::{ShardPool, ShardSnapshot};
+use crate::shard::{EngineTemplate, ShardPool, ShardSnapshot};
 use rip_core::Engine;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -83,6 +97,15 @@ pub struct ServeConfig {
     /// Per-write timeout, ms, bounding how long a stalled client can
     /// pin a worker mid-response. 0 = never.
     pub write_timeout_ms: u64,
+    /// Longest accepted request line, bytes; an over-long line gets a
+    /// typed `bad_request` error before the connection closes.
+    pub max_line_bytes: usize,
+    /// Default drain deadline, seconds, used when a `drain` request
+    /// carries no `deadline_ms` of its own.
+    pub drain_deadline_secs: u64,
+    /// Deterministic fault-injection schedule (chaos testing only;
+    /// [`FaultPlan::none`] in production).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +125,9 @@ impl Default for ServeConfig {
             queue_cap: 64,
             read_timeout_ms: 0,
             write_timeout_ms: 30_000,
+            max_line_bytes: MAX_LINE_BYTES,
+            drain_deadline_secs: 5,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -114,13 +140,44 @@ struct EdgeCounters {
     rejected: AtomicU64,
     active: AtomicUsize,
     stop: AtomicBool,
+    draining: AtomicBool,
+    panics: AtomicU64,
+    respawns: AtomicU64,
+}
+
+/// Direct mode's supervised engine slot: the shared state (swapped on
+/// respawn after a caught panic) plus the recipe that rebuilds it.
+#[derive(Debug)]
+struct DirectState {
+    slot: Mutex<Arc<ServeState>>,
+    template: EngineTemplate,
+}
+
+impl DirectState {
+    /// The live state (post-respawn reads see the replacement).
+    fn state(&self) -> Arc<ServeState> {
+        Arc::clone(
+            &self
+                .slot
+                .lock()
+                .expect("direct slot lock is never poisoned"),
+        )
+    }
+
+    fn respawn(&self, fresh: Arc<ServeState>) {
+        *self
+            .slot
+            .lock()
+            .expect("direct slot lock is never poisoned") = fresh;
+    }
 }
 
 /// The request back end behind the connection workers.
 #[derive(Debug)]
 enum Backend {
-    /// One shared engine state (every worker solves in-place).
-    Direct(Arc<ServeState>),
+    /// One shared engine state (every worker solves in-place). Boxed:
+    /// the respawn template inside is much larger than the pool handle.
+    Direct(Box<DirectState>),
     /// N private engines behind bounded queues.
     Sharded(ShardPool),
 }
@@ -134,6 +191,9 @@ struct Shared {
     max_conns: usize,
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
+    max_line_bytes: usize,
+    drain_deadline: Duration,
+    faults: Arc<FaultInjector>,
 }
 
 /// Per-connection counters (single-threaded: one worker per
@@ -144,48 +204,93 @@ struct ConnCounters {
     errors: u64,
 }
 
+/// What the connection loop must do after writing one response.
+enum PostAction {
+    /// Keep serving.
+    None,
+    /// `shutdown`: stop the whole server now.
+    Stop,
+    /// `drain`: start the drain watcher with this deadline.
+    Drain(Duration),
+}
+
+/// One handled request line: the rendered response, the follow-up
+/// action, and whether the response is fault-eligible (the drop fault
+/// only cuts non-control responses).
+struct HandledLine {
+    rendered: Json,
+    action: PostAction,
+    fault_eligible: bool,
+}
+
 impl Shared {
     fn stopping(&self) -> bool {
         if self.edge.stop.load(Ordering::SeqCst) {
             return true;
         }
         match &self.backend {
-            Backend::Direct(state) => state.stopping(),
+            Backend::Direct(direct) => direct.state().stopping(),
             Backend::Sharded(_) => false,
         }
     }
 
     fn request_stop(&self) {
         self.edge.stop.store(true, Ordering::SeqCst);
-        if let Backend::Direct(state) = &self.backend {
-            state.request_stop();
+        if let Backend::Direct(direct) = &self.backend {
+            direct.state().request_stop();
         }
+    }
+
+    /// `true` once a `drain` was accepted: no new connections or work.
+    fn draining(&self) -> bool {
+        self.edge.draining.load(Ordering::SeqCst)
     }
 
     /// Requests seen at the edge (sharded mode counts here; direct mode
     /// counts in the shared state).
     fn requests_total(&self) -> u64 {
         match &self.backend {
-            Backend::Direct(state) => state.requests(),
+            Backend::Direct(direct) => direct.state().requests(),
             Backend::Sharded(_) => self.edge.requests.load(Ordering::Relaxed),
         }
     }
 
     fn connections_total(&self) -> u64 {
         match &self.backend {
-            Backend::Direct(state) => state.connections(),
+            Backend::Direct(direct) => direct.state().connections(),
             Backend::Sharded(_) => self.edge.connections.load(Ordering::Relaxed),
         }
     }
 
+    /// Every live engine state: one in direct mode, one per shard
+    /// otherwise (by value — a respawn swaps states out underneath).
+    fn live_states(&self) -> Vec<Arc<ServeState>> {
+        match &self.backend {
+            Backend::Direct(direct) => vec![direct.state()],
+            Backend::Sharded(pool) => (0..pool.shards()).map(|i| pool.shard_state(i)).collect(),
+        }
+    }
+
+    /// Server-wide supervision tallies: `(panics, respawns)`.
+    fn supervision_totals(&self) -> (u64, u64) {
+        match &self.backend {
+            Backend::Direct(_) => (
+                self.edge.panics.load(Ordering::Relaxed),
+                self.edge.respawns.load(Ordering::Relaxed),
+            ),
+            Backend::Sharded(pool) => pool.supervision_totals(),
+        }
+    }
+
     /// Handles one request line at the edge: parse, route (directly or
-    /// through the shard pool, intercepting control-plane commands),
-    /// augment `stats` with the edge/connection view, render.
-    fn handle_line(&self, line: &str, conn: &mut ConnCounters) -> (Json, bool) {
+    /// through the shard pool, intercepting control-plane commands and
+    /// drain-mode rejections), augment `stats` with the edge/connection
+    /// view, render.
+    fn handle_line(&self, line: &str, conn: &mut ConnCounters) -> HandledLine {
         conn.requests += 1;
         let (id, parsed) = match &self.backend {
-            Backend::Direct(state) => {
-                state.count_request();
+            Backend::Direct(direct) => {
+                direct.state().count_request();
                 parse_line(line)
             }
             Backend::Sharded(_) => {
@@ -193,20 +298,61 @@ impl Shared {
                 parse_line(line)
             }
         };
-        let (mut response, stop) = match parsed {
+        let (mut response, action, fault_eligible) = match parsed {
+            // A draining server still answers the control plane (an
+            // operator must be able to watch the drain) but refuses new
+            // work with the typed, non-retryable shutting_down error.
+            Ok(request) if self.draining() && !request.is_control() => (
+                Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    error: "the server is draining; no new work is accepted".to_string(),
+                },
+                PostAction::None,
+                false,
+            ),
+            // Drain is answered at the edge in both modes — the drain
+            // machinery (connection gate + stop watcher) lives here, not
+            // in the engine states.
+            Ok(Request::Drain { deadline_ms }) => {
+                let deadline = deadline_ms
+                    .map(Duration::from_millis)
+                    .unwrap_or(self.drain_deadline);
+                (
+                    Response::Draining {
+                        deadline_ms: deadline.as_millis() as u64,
+                    },
+                    PostAction::Drain(deadline),
+                    false,
+                )
+            }
             Ok(request) => {
-                let stop = matches!(request, Request::Shutdown);
+                let action = if matches!(request, Request::Shutdown) {
+                    PostAction::Stop
+                } else {
+                    PostAction::None
+                };
+                let fault_eligible = !request.is_control();
+                let reset = matches!(request, Request::ResetStats);
                 let response = match &self.backend {
-                    Backend::Direct(state) => state.handle_request(&request),
+                    Backend::Direct(direct) => self.handle_direct(direct, &request),
                     Backend::Sharded(pool) => self.handle_sharded(pool, request),
                 };
-                (response, stop)
+                if reset {
+                    // Pre-reset values are already rendered into the
+                    // response; the post-reset edge reads as zero in
+                    // both modes.
+                    self.edge.rejected.store(0, Ordering::Relaxed);
+                    self.edge.panics.store(0, Ordering::Relaxed);
+                    self.edge.respawns.store(0, Ordering::Relaxed);
+                }
+                (response, action, fault_eligible)
             }
             Err(e) => (
                 Response::Error {
                     code: e.code,
                     error: e.reason,
                 },
+                PostAction::None,
                 false,
             ),
         };
@@ -214,7 +360,27 @@ impl Shared {
         if response.is_error() {
             conn.errors += 1;
         }
-        (response.render(&id), stop)
+        HandledLine {
+            rendered: response.render(&id),
+            action,
+            fault_eligible,
+        }
+    }
+
+    /// Direct-mode dispatch under supervision: a caught panic answers
+    /// with a typed `internal` error and the shared state respawns from
+    /// its recipe (cold caches, counters carried over).
+    fn handle_direct(&self, direct: &DirectState, request: &Request) -> Response {
+        let state = direct.state();
+        match supervised_handle(&state, request, &self.faults) {
+            Ok(response) => response,
+            Err(panic_msg) => {
+                self.edge.panics.fetch_add(1, Ordering::Relaxed);
+                direct.respawn(direct.template.respawn_state(&state));
+                self.edge.respawns.fetch_add(1, Ordering::Relaxed);
+                internal_error(request.cmd(), &panic_msg)
+            }
+        }
     }
 
     /// Sharded routing: control-plane commands are answered at the
@@ -250,7 +416,8 @@ impl Shared {
         } else {
             hits as f64 / lookups as f64
         };
-        let engine = pool.shard_state(0).engine();
+        let state0 = pool.shard_state(0);
+        let engine = state0.engine();
         let shards = pool.snapshots().iter().map(render_shard_snapshot).collect();
         Response::Stats {
             fields: vec![
@@ -272,13 +439,17 @@ impl Shared {
     }
 
     /// Appends the edge view to a `stats`/`reset_stats` response: the
-    /// rejected-connection counter and this connection's own counters.
+    /// rejected-connection counter, the supervision tallies, and this
+    /// connection's own counters.
     fn augment_stats(&self, response: &mut Response, conn: &ConnCounters) {
         if let Response::Stats { fields, .. } = response {
             fields.push((
                 "rejected_conns",
                 Json::from(self.edge.rejected.load(Ordering::Relaxed)),
             ));
+            let (panics, respawns) = self.supervision_totals();
+            fields.push(("panics", Json::from(panics)));
+            fields.push(("respawns", Json::from(respawns)));
             fields.push((
                 "connection",
                 Json::obj([
@@ -297,6 +468,8 @@ fn render_shard_snapshot(snapshot: &ShardSnapshot) -> Json {
         ("queue_depth", Json::from(snapshot.queue_depth)),
         ("queue_high_water", Json::from(snapshot.queue_high_water)),
         ("hit_rate", Json::Num(snapshot.hit_rate)),
+        ("panics", Json::from(snapshot.panics)),
+        ("respawns", Json::from(snapshot.respawns)),
     ])
 }
 
@@ -305,7 +478,6 @@ fn render_shard_snapshot(snapshot: &ShardSnapshot) -> Json {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    states: Vec<Arc<ServeState>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -315,18 +487,20 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The first engine state (the only one in direct mode; shard 0 in
-    /// sharded mode) — mainly for tests and the in-process benchmark
-    /// harness. Sharded aggregates live on
+    /// The first *live* engine state (the only one in direct mode;
+    /// shard 0 in sharded mode) — mainly for tests and the in-process
+    /// benchmark harness. By value, because a post-panic respawn swaps
+    /// the state out. Sharded aggregates live on
     /// [`ServerHandle::requests_total`] /
     /// [`ServerHandle::engine_totals`].
-    pub fn state(&self) -> &Arc<ServeState> {
-        &self.states[0]
+    pub fn state(&self) -> Arc<ServeState> {
+        self.shared.live_states().remove(0)
     }
 
-    /// Every engine state: one in direct mode, one per shard otherwise.
-    pub fn states(&self) -> &[Arc<ServeState>] {
-        &self.states
+    /// Every live engine state: one in direct mode, one per shard
+    /// otherwise.
+    pub fn states(&self) -> Vec<Arc<ServeState>> {
+        self.shared.live_states()
     }
 
     /// Number of engine shards (0 = direct mode).
@@ -352,23 +526,34 @@ impl ServerHandle {
         self.shared.edge.rejected.load(Ordering::Relaxed)
     }
 
-    /// Aggregate engine counters over every state: `(hits, misses,
-    /// promotions, evictions, nets_solved, trees_solved)`.
-    pub fn engine_totals(&self) -> (u64, u64, u64, u64, u64, u64) {
-        let mut totals = (0, 0, 0, 0, 0, 0);
-        for state in &self.states {
-            let stats = state.engine().stats();
-            totals.0 += stats.hits();
-            totals.1 += stats.misses();
-            totals.2 += stats.promotions;
-            totals.3 += stats.evictions;
-            totals.4 += stats.nets_solved;
-            totals.5 += stats.trees_solved;
-        }
-        totals
+    /// Panics caught by supervised handlers, server-wide.
+    pub fn panics_total(&self) -> u64 {
+        self.shared.supervision_totals().0
     }
 
-    /// Aggregate cache hit rate over every state.
+    /// Engine respawns after caught panics, server-wide.
+    pub fn respawns_total(&self) -> u64 {
+        self.shared.supervision_totals().1
+    }
+
+    /// `true` once a `drain` was accepted.
+    pub fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// The server's fault injector (chaos tests disarm it mid-run and
+    /// reconcile its tallies against `stats`).
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.shared.faults
+    }
+
+    /// Aggregate engine counters over every live state: `(hits, misses,
+    /// promotions, evictions, nets_solved, trees_solved)`.
+    pub fn engine_totals(&self) -> (u64, u64, u64, u64, u64, u64) {
+        engine_totals_of(&self.shared.live_states())
+    }
+
+    /// Aggregate cache hit rate over every live state.
     pub fn hit_rate(&self) -> f64 {
         let (hits, misses, ..) = self.engine_totals();
         if hits + misses == 0 {
@@ -391,7 +576,6 @@ impl ServerHandle {
     pub fn monitor(&self) -> ServerMonitor {
         ServerMonitor {
             shared: Arc::clone(&self.shared),
-            states: self.states.clone(),
         }
     }
 
@@ -415,12 +599,11 @@ impl ServerHandle {
 }
 
 /// Counter access that survives [`ServerHandle::join`] /
-/// [`ServerHandle::shutdown`] (both consume the handle): Arc clones of
-/// the edge counters and every engine state.
+/// [`ServerHandle::shutdown`] (both consume the handle): an Arc clone
+/// of the shared edge.
 #[derive(Debug, Clone)]
 pub struct ServerMonitor {
     shared: Arc<Shared>,
-    states: Vec<Arc<ServeState>>,
 }
 
 impl ServerMonitor {
@@ -439,23 +622,28 @@ impl ServerMonitor {
         self.shared.edge.rejected.load(Ordering::Relaxed)
     }
 
-    /// Aggregate engine counters over every state: `(hits, misses,
-    /// promotions, evictions, nets_solved, trees_solved)`.
-    pub fn engine_totals(&self) -> (u64, u64, u64, u64, u64, u64) {
-        let mut totals = (0, 0, 0, 0, 0, 0);
-        for state in &self.states {
-            let stats = state.engine().stats();
-            totals.0 += stats.hits();
-            totals.1 += stats.misses();
-            totals.2 += stats.promotions;
-            totals.3 += stats.evictions;
-            totals.4 += stats.nets_solved;
-            totals.5 += stats.trees_solved;
-        }
-        totals
+    /// Panics caught by supervised handlers, server-wide.
+    pub fn panics_total(&self) -> u64 {
+        self.shared.supervision_totals().0
     }
 
-    /// Aggregate cache hit rate over every state.
+    /// Engine respawns after caught panics, server-wide.
+    pub fn respawns_total(&self) -> u64 {
+        self.shared.supervision_totals().1
+    }
+
+    /// `true` once a `drain` was accepted.
+    pub fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Aggregate engine counters over every live state: `(hits, misses,
+    /// promotions, evictions, nets_solved, trees_solved)`.
+    pub fn engine_totals(&self) -> (u64, u64, u64, u64, u64, u64) {
+        engine_totals_of(&self.shared.live_states())
+    }
+
+    /// Aggregate cache hit rate over every live state.
     pub fn hit_rate(&self) -> f64 {
         let (hits, misses, ..) = self.engine_totals();
         if hits + misses == 0 {
@@ -472,6 +660,22 @@ impl ServerMonitor {
             Backend::Sharded(pool) => pool.shards(),
         }
     }
+}
+
+/// Aggregate engine counters over `states`: `(hits, misses, promotions,
+/// evictions, nets_solved, trees_solved)`.
+fn engine_totals_of(states: &[Arc<ServeState>]) -> (u64, u64, u64, u64, u64, u64) {
+    let mut totals = (0, 0, 0, 0, 0, 0);
+    for state in states {
+        let stats = state.engine().stats();
+        totals.0 += stats.hits();
+        totals.1 += stats.misses();
+        totals.2 += stats.promotions;
+        totals.3 += stats.evictions;
+        totals.4 += stats.nets_solved;
+        totals.5 += stats.trees_solved;
+    }
+    totals
 }
 
 /// Binds the listener and spawns the connection workers over the
@@ -516,20 +720,29 @@ pub fn start_server(engine: Engine, config: &ServeConfig) -> io::Result<ServerHa
             0
         },
     };
-    let (backend, states) = if config.shards > 0 {
-        let pool = ShardPool::start(engine, config.shards, config.queue_cap);
-        let states: Vec<Arc<ServeState>> = (0..pool.shards())
-            .map(|i| Arc::clone(pool.shard_state(i)))
-            .collect();
-        for state in &states {
-            state.set_server_info(info);
+    let faults = Arc::new(FaultInjector::new(config.faults));
+    let backend = if config.shards > 0 {
+        let pool = ShardPool::start_with_faults(
+            engine,
+            config.shards,
+            config.queue_cap,
+            Arc::clone(&faults),
+        );
+        for i in 0..pool.shards() {
+            pool.shard_state(i).set_server_info(info);
         }
-        (Backend::Sharded(pool), states)
+        Backend::Sharded(pool)
     } else {
         engine.set_scratch_cap(config.workers.max(1));
+        // Capture the respawn recipe before the state consumes the
+        // engine.
+        let template = EngineTemplate::of(&engine, config.workers.max(1));
         let state = Arc::new(ServeState::new(engine));
         state.set_server_info(info);
-        (Backend::Direct(Arc::clone(&state)), vec![state])
+        Backend::Direct(Box::new(DirectState {
+            slot: Mutex::new(state),
+            template,
+        }))
     };
     let shared = Arc::new(Shared {
         backend,
@@ -539,6 +752,9 @@ pub fn start_server(engine: Engine, config: &ServeConfig) -> io::Result<ServerHa
             .then(|| Duration::from_millis(config.read_timeout_ms)),
         write_timeout: (config.write_timeout_ms > 0)
             .then(|| Duration::from_millis(config.write_timeout_ms)),
+        max_line_bytes: config.max_line_bytes.max(1),
+        drain_deadline: Duration::from_secs(config.drain_deadline_secs),
+        faults,
     });
     let listener = TcpListener::bind(config.addr.as_str())?;
     listener.set_nonblocking(true)?;
@@ -556,7 +772,6 @@ pub fn start_server(engine: Engine, config: &ServeConfig) -> io::Result<ServerHa
     Ok(ServerHandle {
         addr,
         shared,
-        states,
         workers,
     })
 }
@@ -565,16 +780,33 @@ fn worker_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     while !shared.stopping() {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Draining outranks busy: a late dial learns the server
+                // is going away, not that it should retry.
+                if shared.draining() {
+                    let _ = reject_with(
+                        stream,
+                        ErrorCode::ShuttingDown,
+                        "server is draining; no new connections are accepted".to_string(),
+                    );
+                    continue;
+                }
                 if shared.max_conns > 0
                     && shared.edge.active.load(Ordering::SeqCst) >= shared.max_conns
                 {
                     shared.edge.rejected.fetch_add(1, Ordering::Relaxed);
-                    let _ = reject_connection(stream, shared.max_conns);
+                    let _ = reject_with(
+                        stream,
+                        ErrorCode::Busy,
+                        format!(
+                            "server is at its connection limit ({}); retry later",
+                            shared.max_conns
+                        ),
+                    );
                     continue;
                 }
                 shared.edge.active.fetch_add(1, Ordering::SeqCst);
                 match &shared.backend {
-                    Backend::Direct(state) => state.count_connection(),
+                    Backend::Direct(direct) => direct.state().count_connection(),
                     Backend::Sharded(_) => {
                         shared.edge.connections.fetch_add(1, Ordering::Relaxed);
                     }
@@ -602,18 +834,39 @@ fn polling_retry(e: &io::Error) -> bool {
     )
 }
 
-/// Tells an over-limit client the server is full — a typed `busy` error
-/// line, then a clean close — so "full" is distinguishable from "down".
-fn reject_connection(mut stream: TcpStream, max_conns: usize) -> io::Result<()> {
-    let response = Response::Error {
-        code: ErrorCode::Busy,
-        error: format!("server is at its connection limit ({max_conns}); retry later"),
-    };
+/// Turns away a connection with one typed error line and a clean close,
+/// so "full" and "draining" are both distinguishable from "down".
+fn reject_with(mut stream: TcpStream, code: ErrorCode, error: String) -> io::Result<()> {
+    let response = Response::Error { code, error };
     let mut line = response.render(&Json::Null).to_string();
     line.push('\n');
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     stream.write_all(line.as_bytes())?;
     stream.flush()
+}
+
+/// Starts the drain watcher (idempotent): from now on new connections
+/// and new work are refused; once no connection is active — or the
+/// deadline passes — the server stops.
+fn begin_drain(shared: &Arc<Shared>, deadline: Duration) {
+    if shared.edge.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let watcher = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("rip-serve-drain".to_string())
+        .spawn(move || {
+            let start = Instant::now();
+            while watcher.edge.active.load(Ordering::SeqCst) > 0 && start.elapsed() < deadline {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            watcher.request_stop();
+        });
+    if spawned.is_err() {
+        // No watcher thread means nobody would ever flip the stop flag:
+        // degrade to an immediate stop rather than hanging forever.
+        shared.request_stop();
+    }
 }
 
 /// Serves one connection until the client disconnects, idles past the
@@ -640,28 +893,53 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             if line.is_empty() {
                 continue;
             }
-            let (response, stop) = shared.handle_line(line, &mut conn);
-            let mut rendered = response.to_string();
+            let handled = shared.handle_line(line, &mut conn);
+            let mut rendered = handled.rendered.to_string();
             rendered.push('\n');
+            // The injected drop fault cuts the connection strictly
+            // inside an eligible response line — the client sees a
+            // truncated (unparseable) reply and an EOF, never a line
+            // that parses but lies.
+            if handled.fault_eligible {
+                if let Some(cut) = shared.faults.drop_response(rendered.len()) {
+                    writer.write_all(&rendered.as_bytes()[..cut])?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+            }
             writer.write_all(rendered.as_bytes())?;
             writer.flush()?;
-            if stop {
-                shared.request_stop();
-                return Ok(());
+            match handled.action {
+                PostAction::None => {}
+                PostAction::Stop => {
+                    shared.request_stop();
+                    return Ok(());
+                }
+                // Keep serving this connection's already-buffered lines
+                // (a pipelined drain+solve gets both answers); the
+                // draining gate rejects the non-control ones.
+                PostAction::Drain(deadline) => begin_drain(shared, deadline),
             }
         }
         if shared.stopping() {
+            return Ok(());
+        }
+        // A draining server closes connections once their buffered work
+        // is answered; the drain watcher is waiting on `active` to
+        // reach zero.
+        if shared.draining() && pending.is_empty() {
             return Ok(());
         }
         // The JSON layer bounds nesting depth against hostile input; the
         // transport must bound line length for the same threat model, or
         // a client that never sends a newline grows server memory
         // without limit.
-        if pending.len() > MAX_LINE_BYTES {
-            return close_with_error(
+        if pending.len() > shared.max_line_bytes {
+            return close_discarding_input(
                 &mut writer,
+                &mut reader,
                 ErrorCode::BadRequest,
-                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                format!("request line exceeds {} bytes", shared.max_line_bytes),
             ); // drop the connection; the stream is unframed now
         }
         match reader.read(&mut chunk) {
@@ -693,4 +971,39 @@ fn close_with_error(writer: &mut TcpStream, code: ErrorCode, error: String) -> i
     line.push('\n');
     writer.write_all(line.as_bytes())?;
     writer.flush()
+}
+
+/// [`close_with_error`] for a connection that still has unread input
+/// (the over-long-line path). Closing a socket with unread data makes
+/// the kernel send RST, which destroys the queued error line before the
+/// client can read it — the old "silent drop". Instead: write the
+/// error, half-close the write side so the client sees a clean FIN
+/// after the line, then sink the remaining input (bounded) before
+/// letting the socket drop.
+fn close_discarding_input(
+    writer: &mut TcpStream,
+    reader: &mut TcpStream,
+    code: ErrorCode,
+    error: String,
+) -> io::Result<()> {
+    let response = Response::Error { code, error };
+    let mut line = response.render(&Json::Null).to_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()?;
+    let _ = writer.shutdown(Shutdown::Write);
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut sink = [0u8; 8192];
+    // The reader still has its short poll timeout, so this loop spins
+    // cheaply and exits on the client's close (Ok(0)), a hard error, or
+    // the deadline.
+    while Instant::now() < deadline {
+        match reader.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if polling_retry(&e) => {}
+            Err(_) => break,
+        }
+    }
+    Ok(())
 }

@@ -27,12 +27,22 @@
 //!
 //! Every queue is bounded ([`ShardPool::queue_cap`]): when a shard
 //! falls behind, pushes fail fast and the caller surfaces a typed
-//! `backpressure` error instead of stalling the accept loop. Queue
-//! depth high-water marks are tracked per shard and reported by
+//! `backpressure` error instead of stalling the accept loop (a closed
+//! queue — the server draining — surfaces as `shutting_down` instead).
+//! Queue depth high-water marks are tracked per shard and reported by
 //! `stats`.
+//!
+//! Every shard worker is **supervised** ([`crate::fault`]): request
+//! handling runs under `catch_unwind`, a panic answers the in-flight
+//! request with a typed `internal` error, and the shard's engine is
+//! respawned from an `EngineTemplate` — an identical recipe, cold
+//! caches — so the pool never loses capacity permanently. Per-shard
+//! `panics`/`respawns` tallies land in the `stats` snapshots.
 
+use crate::fault::{internal_error, supervised_handle, FaultInjector};
 use crate::protocol::{ErrorCode, Request, Response, ServeState, TreeEntry};
-use rip_core::{net_shard_key, tree_shard_key, Engine};
+use rip_core::{net_shard_key, tree_shard_key, Engine, RipConfig};
+use rip_tech::Technology;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -55,8 +65,15 @@ struct JobQueue {
     cap: usize,
 }
 
-/// The queue refused a job: full or closed.
-struct QueueFull;
+/// Why the queue refused a job — the two cases render different typed
+/// errors (`backpressure` asks the client to retry; `shutting_down`
+/// tells it the server is going away).
+enum QueueRefused {
+    /// At capacity; back off and retry.
+    Full,
+    /// Closed for draining; no retry will help.
+    Closed,
+}
 
 struct QueueInner {
     jobs: VecDeque<Job>,
@@ -81,10 +98,13 @@ impl JobQueue {
     /// backpressure signal) or closed (server draining). The rejected
     /// job is dropped — its reply channel disconnects, which is how a
     /// waiting `fan_out` slice learns nothing is coming.
-    fn push(&self, job: Job) -> Result<(), QueueFull> {
+    fn push(&self, job: Job) -> Result<(), QueueRefused> {
         let mut inner = self.inner.lock().expect("queue lock is never poisoned");
-        if inner.closed || inner.jobs.len() >= self.cap {
-            return Err(QueueFull);
+        if inner.closed {
+            return Err(QueueRefused::Closed);
+        }
+        if inner.jobs.len() >= self.cap {
+            return Err(QueueRefused::Full);
         }
         inner.jobs.push_back(job);
         inner.high_water = inner.high_water.max(inner.jobs.len());
@@ -136,9 +156,89 @@ impl JobQueue {
     }
 }
 
-/// One shard: a private engine state, its queue, and its counters.
+/// The recipe for building a fresh, identically configured engine
+/// state — how a supervised worker respawns after a panic. Cloning the
+/// recipe instead of the engine is deliberate: the panicked engine's
+/// internals (possibly mid-mutation, possibly holding poisoned locks)
+/// are discarded wholesale.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineTemplate {
+    tech: Technology,
+    config: RipConfig,
+    cache_cap: usize,
+    value_cache_cap: usize,
+    scratch_cap: usize,
+}
+
+impl EngineTemplate {
+    /// Captures `engine`'s configuration (the engine itself is not
+    /// retained).
+    pub(crate) fn of(engine: &Engine, scratch_cap: usize) -> Self {
+        Self {
+            tech: engine.technology().clone(),
+            config: engine.config().clone(),
+            cache_cap: engine.cache_cap(),
+            value_cache_cap: engine.value_cache_cap(),
+            scratch_cap,
+        }
+    }
+
+    fn fresh_engine(&self) -> Engine {
+        let engine = Engine::new(self.tech.clone(), self.config.clone());
+        engine.set_cache_cap(self.cache_cap);
+        engine.set_value_cache_cap(self.value_cache_cap);
+        engine.set_scratch_cap(self.scratch_cap);
+        engine
+    }
+
+    /// A fresh state replacing `old` after a panic: cold caches (the
+    /// engine is new), but the serving counters, topology info and stop
+    /// flag carry over so monitoring history survives the respawn.
+    pub(crate) fn respawn_state(&self, old: &ServeState) -> Arc<ServeState> {
+        let state = Arc::new(ServeState::new(self.fresh_engine()));
+        state.set_server_info(old.server_info());
+        state.restore_counters(old.requests(), old.connections());
+        if old.stopping() {
+            state.request_stop();
+        }
+        state
+    }
+}
+
+/// The supervised slot of one shard: the live state (swapped on
+/// respawn) plus the supervision tallies, shared between the worker
+/// thread and the pool.
+#[derive(Debug)]
+struct ShardCore {
+    slot: Mutex<Arc<ServeState>>,
+    panics: AtomicU64,
+    respawns: AtomicU64,
+}
+
+impl ShardCore {
+    fn new(state: Arc<ServeState>) -> Self {
+        Self {
+            slot: Mutex::new(state),
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+        }
+    }
+
+    /// The live state (post-respawn reads see the replacement).
+    fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.slot.lock().expect("shard slot lock is never poisoned"))
+    }
+
+    /// Replaces a panicked state with `fresh` and counts the respawn.
+    fn respawn(&self, fresh: Arc<ServeState>) {
+        *self.slot.lock().expect("shard slot lock is never poisoned") = fresh;
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One shard: a supervised engine slot, its queue, and its counters.
 struct Shard {
-    state: Arc<ServeState>,
+    core: Arc<ShardCore>,
     queue: Arc<JobQueue>,
     errors: AtomicU64,
 }
@@ -158,6 +258,10 @@ pub struct ShardSnapshot {
     pub queue_high_water: usize,
     /// This shard's private-engine cache hit rate.
     pub hit_rate: f64,
+    /// Panics caught by this shard's supervised worker.
+    pub panics: u64,
+    /// Times this shard's engine was respawned after a panic.
+    pub respawns: u64,
 }
 
 /// A pool of engine-worker shards behind bounded queues; the sharded
@@ -189,11 +293,34 @@ impl ShardPool {
     /// Panics when `shards` is 0 (the caller decides between direct and
     /// sharded mode) or a worker thread cannot be spawned.
     pub fn start(engine: Engine, shards: usize, queue_cap: usize) -> Self {
+        Self::start_with_faults(
+            engine,
+            shards,
+            queue_cap,
+            Arc::new(FaultInjector::disabled()),
+        )
+    }
+
+    /// [`ShardPool::start`] with a shared fault injector wired into every
+    /// supervised worker (the injector's ordinals count pool-wide, so a
+    /// `panic_every` schedule is deterministic across shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is 0 or a worker thread cannot be spawned.
+    pub fn start_with_faults(
+        engine: Engine,
+        shards: usize,
+        queue_cap: usize,
+        faults: Arc<FaultInjector>,
+    ) -> Self {
         assert!(shards > 0, "a shard pool needs at least one shard");
         let queue_cap = queue_cap.max(1);
-        let tech = engine.technology().clone();
-        let rip_config = engine.config().clone();
-        let (cache_cap, value_cache_cap) = (engine.cache_cap(), engine.value_cache_cap());
+        // One worker per shard: batches still fan out across cores via
+        // the engine's internal parallelism, but requests on one shard
+        // serialize — that is what keeps its cache hot. The same recipe
+        // respawns a shard's engine after a caught panic.
+        let template = EngineTemplate::of(&engine, 1);
         let mut pool = Self {
             shards: Vec::with_capacity(shards),
             workers: Mutex::new(Vec::with_capacity(shards)),
@@ -201,26 +328,34 @@ impl ShardPool {
         };
         let mut seed = Some(engine);
         for i in 0..shards {
-            let engine = seed.take().unwrap_or_else(|| {
-                let engine = Engine::new(tech.clone(), rip_config.clone());
-                engine.set_cache_cap(cache_cap);
-                engine.set_value_cache_cap(value_cache_cap);
-                engine
-            });
-            // One worker per shard: batches still fan out across cores
-            // via the engine's internal parallelism, but requests on one
-            // shard serialize — that is what keeps its cache hot.
+            let engine = seed.take().unwrap_or_else(|| template.fresh_engine());
             engine.set_scratch_cap(1);
-            let state = Arc::new(ServeState::new(engine));
+            let core = Arc::new(ShardCore::new(Arc::new(ServeState::new(engine))));
             let queue = Arc::new(JobQueue::new(queue_cap));
-            let worker_state = Arc::clone(&state);
+            let worker_core = Arc::clone(&core);
             let worker_queue = Arc::clone(&queue);
+            let worker_template = template.clone();
+            let worker_faults = Arc::clone(&faults);
             let worker = std::thread::Builder::new()
                 .name(format!("rip-shard-{i}"))
                 .spawn(move || {
                     while let Some(job) = worker_queue.pop() {
-                        worker_state.count_request();
-                        let response = worker_state.handle_request(&job.request);
+                        let state = worker_core.state();
+                        state.count_request();
+                        let response = match supervised_handle(&state, &job.request, &worker_faults)
+                        {
+                            Ok(response) => response,
+                            Err(panic_msg) => {
+                                // The panicked engine may be mid-mutation
+                                // or holding poisoned locks: discard the
+                                // whole state and answer with a typed
+                                // error the caller renders with the
+                                // request id.
+                                worker_core.panics.fetch_add(1, Ordering::Relaxed);
+                                worker_core.respawn(worker_template.respawn_state(&state));
+                                internal_error(job.request.cmd(), &panic_msg)
+                            }
+                        };
                         // A dropped receiver just means the connection
                         // went away mid-flight; the work is done either
                         // way.
@@ -233,7 +368,7 @@ impl ShardPool {
                 .expect("worker list lock is never poisoned")
                 .push(worker);
             pool.shards.push(Shard {
-                state,
+                core,
                 queue,
                 errors: AtomicU64::new(0),
             });
@@ -246,13 +381,25 @@ impl ShardPool {
         self.shards.len()
     }
 
-    /// A shard's state (engine + counters), for monitoring and tests.
+    /// A shard's *live* state (engine + counters), for monitoring and
+    /// tests. Returned by value because a respawn swaps the shard's
+    /// state out from under any borrow.
     ///
     /// # Panics
     ///
     /// Panics when `index` is out of range.
-    pub fn shard_state(&self, index: usize) -> &Arc<ServeState> {
-        &self.shards[index].state
+    pub fn shard_state(&self, index: usize) -> Arc<ServeState> {
+        self.shards[index].core.state()
+    }
+
+    /// Pool-wide supervision tallies: `(panics, respawns)`.
+    pub fn supervision_totals(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(p, r), shard| {
+            (
+                p + shard.core.panics.load(Ordering::Relaxed),
+                r + shard.core.respawns.load(Ordering::Relaxed),
+            )
+        })
     }
 
     /// The bounded per-shard queue depth.
@@ -312,12 +459,17 @@ impl ShardPool {
     pub fn snapshots(&self) -> Vec<ShardSnapshot> {
         self.shards
             .iter()
-            .map(|shard| ShardSnapshot {
-                requests: shard.state.requests(),
-                errors: shard.errors.load(Ordering::Relaxed),
-                queue_depth: shard.queue.depth(),
-                queue_high_water: shard.queue.high_water(),
-                hit_rate: shard.state.engine().stats().hit_rate(),
+            .map(|shard| {
+                let state = shard.core.state();
+                ShardSnapshot {
+                    requests: state.requests(),
+                    errors: shard.errors.load(Ordering::Relaxed),
+                    queue_depth: shard.queue.depth(),
+                    queue_high_water: shard.queue.high_water(),
+                    hit_rate: state.engine().stats().hit_rate(),
+                    panics: shard.core.panics.load(Ordering::Relaxed),
+                    respawns: shard.core.respawns.load(Ordering::Relaxed),
+                }
             })
             .collect()
     }
@@ -327,7 +479,7 @@ impl ShardPool {
     pub fn engine_totals(&self) -> (u64, u64, u64, u64, u64, u64) {
         let mut totals = (0, 0, 0, 0, 0, 0);
         for shard in &self.shards {
-            let stats = shard.state.engine().stats();
+            let stats = shard.core.state().engine().stats();
             totals.0 += stats.hits();
             totals.1 += stats.misses();
             totals.2 += stats.promotions;
@@ -338,14 +490,17 @@ impl ShardPool {
         totals
     }
 
-    /// Rezeroes every shard's counters (engine stats, request counts,
-    /// queue high-water marks stay — they are lifetime marks of the
-    /// queue, reset with the queue itself).
+    /// Rezeroes every shard's counters — engine stats, request counts,
+    /// error and supervision tallies (queue high-water marks stay; they
+    /// are lifetime marks of the queue, reset with the queue itself).
     pub fn reset_stats(&self) {
         for shard in &self.shards {
-            shard.state.engine().reset_stats();
-            shard.state.handle_request(&Request::ResetStats);
+            let state = shard.core.state();
+            state.engine().reset_stats();
+            state.handle_request(&Request::ResetStats);
             shard.errors.store(0, Ordering::Relaxed);
+            shard.core.panics.store(0, Ordering::Relaxed);
+            shard.core.respawns.store(0, Ordering::Relaxed);
         }
     }
 
@@ -378,12 +533,11 @@ impl ShardPool {
                     }
                     response
                 }
-                Err(_) => Response::Error {
-                    code: ErrorCode::Busy,
-                    error: "the server is shutting down".to_string(),
-                },
+                // The worker exited between push and reply: draining.
+                Err(_) => shutting_down_error(),
             },
-            Err(_) => {
+            Err(QueueRefused::Closed) => shutting_down_error(),
+            Err(QueueRefused::Full) => {
                 shard.errors.fetch_add(1, Ordering::Relaxed);
                 self.backpressure(shard_index)
             }
@@ -436,6 +590,7 @@ impl ShardPool {
         // response, so the slices solve concurrently.
         let mut pending: Vec<(usize, mpsc::Receiver<Response>)> = Vec::new();
         let mut overflow: Option<usize> = None;
+        let mut closed = false;
         for s in 0..shard_count {
             let (net_idx, shard_nets) = std::mem::take(&mut net_slices[s]);
             let (tree_idx, shard_trees) = std::mem::take(&mut tree_slices[s]);
@@ -450,7 +605,8 @@ impl ShardPool {
                 reply,
             }) {
                 Ok(()) => pending.push((s, inbox)),
-                Err(_) => {
+                Err(QueueRefused::Closed) => closed = true,
+                Err(QueueRefused::Full) => {
                     self.shards[s].errors.fetch_add(1, Ordering::Relaxed);
                     overflow.get_or_insert(s);
                 }
@@ -464,15 +620,19 @@ impl ShardPool {
         for (s, inbox) in pending {
             let response = match inbox.recv() {
                 Ok(response) => response,
-                Err(_) => Response::Error {
-                    code: ErrorCode::Busy,
-                    error: "the server is shutting down".to_string(),
-                },
+                Err(_) => {
+                    closed = true;
+                    shutting_down_error()
+                }
             };
             if response.is_error() {
                 self.shards[s].errors.fetch_add(1, Ordering::Relaxed);
             }
             merged.absorb(&net_slices[s].0, &tree_slices[s].0, response);
+        }
+        // A draining pool outranks overflow: retrying won't help.
+        if closed {
+            return shutting_down_error();
         }
         if let Some(s) = overflow {
             return self.backpressure(s);
@@ -484,6 +644,15 @@ impl ShardPool {
 impl Drop for ShardPool {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// The typed rejection a draining pool answers with: unlike
+/// `backpressure`, no retry against this server will help.
+fn shutting_down_error() -> Response {
+    Response::Error {
+        code: ErrorCode::ShuttingDown,
+        error: "the server is shutting down; no new requests are accepted".to_string(),
     }
 }
 
@@ -746,13 +915,70 @@ mod tests {
         let (hits, misses, ..) = pool.engine_totals();
         assert!(hits + misses > 0);
         pool.shutdown();
-        // After shutdown the queues reject work as busy.
+        // After shutdown the queues reject work with the typed
+        // shutting_down error — not backpressure, which would invite a
+        // futile retry.
         let response = pool.dispatch(Request::TauMin {
             net: nets[0].clone(),
         });
         match response {
-            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Backpressure),
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::ShuttingDown),
             other => panic!("expected an error after shutdown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn supervised_workers_answer_panics_and_respawn() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let faults = Arc::new(FaultInjector::new(FaultPlan {
+            panic_every: 2,
+            ..FaultPlan::none()
+        }));
+        let pool = ShardPool::start_with_faults(
+            Engine::paper(Technology::generic_180nm()),
+            1,
+            64,
+            Arc::clone(&faults),
+        );
+        let reference = reference();
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 23, 1).unwrap();
+        let request = Request::Solve {
+            net: nets[0].clone(),
+            target: Target::TauMinMultiple(1.4),
+        };
+        let expected = reference
+            .handle_request(&request)
+            .render(&crate::json::Json::Null)
+            .to_string();
+        // Eligible ordinals 1..=4: ordinals 2 and 4 panic, 1 and 3
+        // answer — and the post-panic answers are byte-identical to the
+        // fault-free reference (the respawned engine is the same
+        // recipe, just cold).
+        for k in 1..=4u64 {
+            let response = pool.dispatch(request.clone());
+            if k % 2 == 0 {
+                match &response {
+                    Response::Error { code, error } => {
+                        assert_eq!(*code, ErrorCode::Internal);
+                        assert!(error.contains("solve"), "{error}");
+                        assert!(error.contains("respawned"), "{error}");
+                    }
+                    other => panic!("ordinal {k} should have panicked, got {other:?}"),
+                }
+            } else {
+                let rendered = response.render(&crate::json::Json::Null).to_string();
+                assert_eq!(rendered, expected, "ordinal {k} diverged after a respawn");
+            }
+        }
+        assert_eq!(pool.supervision_totals(), (2, 2));
+        assert_eq!(faults.injected_panics(), 2);
+        let snapshots = pool.snapshots();
+        assert_eq!(snapshots[0].panics, 2, "{snapshots:?}");
+        assert_eq!(snapshots[0].respawns, 2, "{snapshots:?}");
+        // The respawned state carried the request counter over.
+        assert_eq!(pool.shard_state(0).requests(), 4);
+        // reset_stats clears the supervision tallies too.
+        pool.reset_stats();
+        assert_eq!(pool.supervision_totals(), (0, 0));
     }
 }

@@ -436,3 +436,118 @@ fn host_initiated_shutdown_drains_idle_workers() {
     let _idle = Client::connect(addr).unwrap();
     server.shutdown();
 }
+
+#[test]
+fn over_long_request_lines_get_a_typed_bad_request_before_close() {
+    // A line past the cap must surface as a typed `bad_request` the
+    // client can actually read — not a silent close (whose unread input
+    // would turn into a TCP reset destroying the error line in flight).
+    let config = ServeConfig {
+        workers: 2,
+        max_line_bytes: 256,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.send_line(&"a".repeat(8192)).unwrap();
+    let line = client.read_line().unwrap();
+    let response = parse_json(&line).unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{line}");
+    assert_eq!(
+        response.get("code"),
+        Some(&Json::from("bad_request")),
+        "{line}"
+    );
+    let error = response.get("error").and_then(Json::as_str).unwrap();
+    assert!(
+        error.contains("exceeds 256 bytes"),
+        "the error must name the cap: {line}"
+    );
+    assert!(
+        client.read_line().is_err(),
+        "the connection must close after the typed error"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn drain_finishes_in_flight_work_and_rejects_new_requests() {
+    let config = ServeConfig {
+        workers: 4,
+        drain_deadline_secs: 30,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let addr = server.addr();
+
+    // An expensive in-flight batch on its own connection: drain must
+    // let it finish, not cut it off.
+    let in_flight = std::thread::spawn(move || {
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 77, 4)
+            .unwrap()
+            .iter()
+            .map(|n| net_to_json(n).to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .request_line(&format!(
+                r#"{{"id":1,"cmd":"batch","nets":[{nets}],"target_mult":1.4}}"#
+            ))
+            .unwrap()
+    });
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // A control connection pipelines `drain` plus one more request in a
+    // single write: the drain is acknowledged, and everything behind it
+    // on the same connection is already too late.
+    let mut ctl = Client::connect(addr).unwrap();
+    ctl.send_line(concat!(
+        r#"{"id":10,"cmd":"drain","deadline_ms":30000}"#,
+        "\n",
+        r#"{"id":11,"cmd":"tau_min","net":{"segments":[[3000,0.08,0.2]]}}"#
+    ))
+    .unwrap();
+    let ack = parse_json(&ctl.read_line().unwrap()).unwrap();
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(ack.get("draining"), Some(&Json::Bool(true)));
+    assert!(ack.get("deadline_ms").unwrap().as_f64().unwrap() >= 30000.0);
+    let late_line = ctl.read_line().unwrap();
+    let late = parse_json(&late_line).unwrap();
+    assert_eq!(
+        late.get("code"),
+        Some(&Json::from("shutting_down")),
+        "work behind the drain must be rejected, typed: {late_line}"
+    );
+    drop(ctl);
+
+    // A late dial gets one typed `shutting_down` line, then close.
+    let mut late_dial = Client::connect(addr).unwrap();
+    let reject_line = late_dial.read_line().unwrap();
+    let reject = parse_json(&reject_line).unwrap();
+    assert_eq!(reject.get("ok"), Some(&Json::Bool(false)), "{reject_line}");
+    assert_eq!(
+        reject.get("code"),
+        Some(&Json::from("shutting_down")),
+        "{reject_line}"
+    );
+    drop(late_dial);
+
+    // The in-flight batch still completed, ok and in full.
+    let response = parse_json(&in_flight.join().unwrap()).unwrap();
+    assert_eq!(
+        response.get("ok"),
+        Some(&Json::Bool(true)),
+        "drain must not cut in-flight work"
+    );
+
+    // With every connection gone, the drain concludes well before its
+    // deadline and the server joins cleanly.
+    let t0 = std::time::Instant::now();
+    server.join();
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(20),
+        "drain took {:?} — it must conclude once idle, not sit on the deadline",
+        t0.elapsed()
+    );
+}
