@@ -84,6 +84,13 @@ pub struct ServeLevel {
     pub elapsed: StatSummary,
     /// Deterministic responses byte-checked per run.
     pub verified: usize,
+    /// Median over runs of the per-request p50 latency, s (log2-bucket
+    /// upper bound — see [`rip_serve::LoadgenOutcome`]).
+    pub p50_s: f64,
+    /// Median over runs of the per-request p95 latency, s.
+    pub p95_s: f64,
+    /// Median over runs of the per-request p99 latency, s.
+    pub p99_s: f64,
 }
 
 impl ServeLevel {
@@ -153,14 +160,20 @@ impl ServeBenchReport {
             obj = obj
                 .num(&format!("c{c}_s"), level.elapsed.median_s)
                 .num(&format!("c{c}_mad_s"), level.elapsed.mad_s)
-                .num(&format!("c{c}_req_per_s"), level.requests_per_s());
+                .num(&format!("c{c}_req_per_s"), level.requests_per_s())
+                .num(&format!("c{c}_p50_s"), level.p50_s)
+                .num(&format!("c{c}_p95_s"), level.p95_s)
+                .num(&format!("c{c}_p99_s"), level.p99_s);
         }
         for level in &self.sharded_levels {
             let c = level.connections;
             obj = obj
                 .num(&format!("sharded_c{c}_s"), level.elapsed.median_s)
                 .num(&format!("sharded_c{c}_mad_s"), level.elapsed.mad_s)
-                .num(&format!("sharded_c{c}_req_per_s"), level.requests_per_s());
+                .num(&format!("sharded_c{c}_req_per_s"), level.requests_per_s())
+                .num(&format!("sharded_c{c}_p50_s"), level.p50_s)
+                .num(&format!("sharded_c{c}_p95_s"), level.p95_s)
+                .num(&format!("sharded_c{c}_p99_s"), level.p99_s);
         }
         obj.num("sharded_speedup", self.sharded_speedup())
             .num("hit_rate", self.hit_rate)
@@ -189,12 +202,16 @@ impl ServeBenchReport {
             for level in levels {
                 let _ = writeln!(
                     out,
-                    "  {label:>7} {:>2} conn(s): median {:.3}s  mad {:.4}s  ({:.2} req/s, {} verified/run)",
+                    "  {label:>7} {:>2} conn(s): median {:.3}s  mad {:.4}s  ({:.2} req/s, {} verified/run)  \
+                     p50 {:.1}ms  p95 {:.1}ms  p99 {:.1}ms",
                     level.connections,
                     level.elapsed.median_s,
                     level.elapsed.mad_s,
                     level.requests_per_s(),
                     level.verified,
+                    level.p50_s * 1e3,
+                    level.p95_s * 1e3,
+                    level.p99_s * 1e3,
                 );
             }
         }
@@ -222,6 +239,9 @@ fn run_level(
     request_errors: &mut u64,
 ) -> ServeLevel {
     let mut samples = Vec::with_capacity(runs.max(1));
+    let mut p50s = Vec::with_capacity(runs.max(1));
+    let mut p95s = Vec::with_capacity(runs.max(1));
+    let mut p99s = Vec::with_capacity(runs.max(1));
     let mut requests = 0;
     let mut verified = 0;
     for _ in 0..runs.max(1) {
@@ -238,6 +258,9 @@ fn run_level(
         }
         *request_errors += outcome.errors as u64;
         samples.push(outcome.elapsed_ns as f64 * 1e-9);
+        p50s.push(outcome.p50_ns as f64 * 1e-9);
+        p95s.push(outcome.p95_ns as f64 * 1e-9);
+        p99s.push(outcome.p99_ns as f64 * 1e-9);
         requests = outcome.requests;
         verified = outcome.verified;
     }
@@ -246,6 +269,9 @@ fn run_level(
         requests,
         elapsed: summarize(&samples),
         verified,
+        p50_s: summarize(&p50s).median_s,
+        p95_s: summarize(&p95s).median_s,
+        p99_s: summarize(&p99s).median_s,
     }
 }
 
@@ -376,8 +402,12 @@ mod tests {
             "shards",
             "c1_s",
             "c1_req_per_s",
+            "c1_p50_s",
+            "c1_p95_s",
+            "c1_p99_s",
             "c2_req_per_s",
             "sharded_c1_req_per_s",
+            "sharded_c1_p99_s",
             "sharded_c2_req_per_s",
             "sharded_speedup",
             "hit_rate",

@@ -9,6 +9,7 @@ use rip_report::TextTable;
 use rip_tech::units::{fs_from_ns, ns_from_fs};
 use rip_tech::Technology;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Everything that can go wrong while executing a command.
 #[derive(Debug)]
@@ -764,6 +765,183 @@ pub fn cmd_bench(opts: &BenchOptions) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Options for `rip profile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfileOptions {
+    /// Smaller corpus for CI smoke runs (`--quick`).
+    pub quick: bool,
+    /// Corpus size override (`--trees`); `None` uses the preset (3
+    /// quick / 8 full).
+    pub trees: Option<usize>,
+    /// Corpus seed override (`--seed`); `None` uses 2005.
+    pub seed: Option<u64>,
+}
+
+/// One pipeline stage's share of a profile run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileStage {
+    /// The metric name in the engine registry
+    /// (e.g. `engine_tree_coarse_dp_ns`).
+    pub metric: String,
+    /// Human-readable stage label.
+    pub label: String,
+    /// Times the stage ran across the corpus.
+    pub calls: u64,
+    /// Total time in the stage, ns.
+    pub total_ns: u64,
+}
+
+/// The measured result behind `rip profile`: per-stage totals of the
+/// hybrid tree pipeline over a seeded corpus, against the wall clock of
+/// the timed loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Trees solved in the timed loop.
+    pub trees: usize,
+    /// The corpus seed.
+    pub seed: u64,
+    /// Wall clock of the timed loop, ns.
+    pub wall_ns: u64,
+    /// Per-stage totals, pipeline order.
+    pub stages: Vec<ProfileStage>,
+    /// Engine cache hits during the timed loop (latency nested inside
+    /// the stage timers, so not part of [`Self::coverage`]).
+    pub cache_hits: u64,
+    /// Engine cache misses during the timed loop.
+    pub cache_misses: u64,
+}
+
+impl ProfileReport {
+    /// The fraction of the wall clock accounted for by the stage
+    /// timers (the tentpole's ≥ 0.9 instrumentation-coverage claim).
+    pub fn coverage(&self) -> f64 {
+        let covered: u64 = self.stages.iter().map(|s| s.total_ns).sum();
+        covered as f64 / self.wall_ns.max(1) as f64
+    }
+
+    /// The human-readable breakdown table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec!["Stage", "Calls", "Total (ms)", "% of wall"]);
+        for stage in &self.stages {
+            table.row(vec![
+                stage.label.clone(),
+                format!("{}", stage.calls),
+                format!("{:.2}", stage.total_ns as f64 / 1e6),
+                format!(
+                    "{:.1}",
+                    stage.total_ns as f64 / self.wall_ns.max(1) as f64 * 100.0
+                ),
+            ]);
+        }
+        let mut out = format!(
+            "profile: {} seeded compact tree(s) (seed {}), wall {:.2} ms\n",
+            self.trees,
+            self.seed,
+            self.wall_ns as f64 / 1e6
+        );
+        out.push_str(&table.to_string());
+        let _ = writeln!(
+            out,
+            "stage coverage: {:.1}% of wall (cache lookups — {} hit(s), {} miss(es) — \
+             nest inside the stages and are not double-counted)",
+            self.coverage() * 100.0,
+            self.cache_hits,
+            self.cache_misses,
+        );
+        out
+    }
+}
+
+/// The tree-pipeline stages `rip profile` reports, with the registry
+/// metric carrying each one (see the README's observability section).
+const PROFILE_STAGES: [(&str, &str); 5] = [
+    ("engine_tree_subdivide_coarse_ns", "coarse subdivision grid"),
+    ("engine_tree_coarse_dp_ns", "coarse tree DP"),
+    ("engine_tree_trim_ns", "window trim"),
+    ("engine_tree_window_gen_ns", "window-set generation"),
+    ("engine_tree_fine_dp_ns", "fine DP re-solves"),
+];
+
+/// Runs the profile workload: a seeded compact masked-tree corpus
+/// solved in-process through one [`Engine`] session, with the engine's
+/// stage histograms reset right before the timed loop so the breakdown
+/// covers exactly that loop.
+///
+/// Targets are resolved (and `τ_min` warmed) *before* the reset — the
+/// profile measures the solve pipeline, not target resolution.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for a zero-tree corpus and
+/// [`CliError::Solve`] if a generated tree fails to solve (the 1.4×
+/// masked-`τ_min` targets are feasible by construction, so this
+/// indicates an engine bug).
+pub fn run_profile(opts: &ProfileOptions) -> Result<ProfileReport, CliError> {
+    let count = opts.trees.unwrap_or(if opts.quick { 3 } else { 8 });
+    let seed = opts.seed.unwrap_or(2005);
+    if count == 0 {
+        return Err(CliError::Usage("profile needs at least one tree".into()));
+    }
+    let nets = TreeNetGenerator::suite(RandomTreeConfig::compact(), seed, count)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let engine = Engine::paper(Technology::generic_180nm());
+    let config = TreeRipConfig::paper();
+    let mut prepared = Vec::with_capacity(nets.len());
+    for net in &nets {
+        let tree = RcTree::from_tree_net(net, engine.technology().device());
+        let driver = net.driver_width();
+        let allowed = net.allowed_mask();
+        let target_fs = 1.4 * engine.tree_tau_min_masked(&tree, driver, &config, Some(&allowed))?;
+        prepared.push((tree, driver, allowed, target_fs));
+    }
+
+    let registry = std::sync::Arc::clone(engine.metrics_registry());
+    registry.reset();
+    let t0 = Instant::now();
+    for (tree, driver, allowed, target_fs) in &prepared {
+        engine.solve_tree_masked(tree, *driver, *target_fs, &config, Some(allowed))?;
+    }
+    let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let snapshot = registry.snapshot();
+    let stages = PROFILE_STAGES
+        .iter()
+        .map(|(metric, label)| {
+            let h = snapshot.histogram(metric);
+            ProfileStage {
+                metric: (*metric).to_string(),
+                label: (*label).to_string(),
+                calls: h.map(|h| h.count).unwrap_or(0),
+                total_ns: h.map(|h| h.sum).unwrap_or(0),
+            }
+        })
+        .collect();
+    Ok(ProfileReport {
+        trees: count,
+        seed,
+        wall_ns: wall_ns.max(1),
+        stages,
+        cache_hits: snapshot
+            .histogram("engine_cache_hit_ns")
+            .map(|h| h.count)
+            .unwrap_or(0),
+        cache_misses: snapshot
+            .histogram("engine_cache_miss_ns")
+            .map(|h| h.count)
+            .unwrap_or(0),
+    })
+}
+
+/// `rip profile`: the per-stage wall-clock breakdown of the hybrid tree
+/// pipeline over a seeded in-process corpus.
+///
+/// # Errors
+///
+/// See [`run_profile`].
+pub fn cmd_profile(opts: &ProfileOptions) -> Result<String, CliError> {
+    Ok(run_profile(opts)?.render())
+}
+
 /// The top-level usage text.
 pub fn usage() -> &'static str {
     "rip - hybrid repeater insertion for low power (DATE 2005 reproduction)
@@ -777,12 +955,14 @@ USAGE:
     rip batch    --tree (--dir <dir> | [--seed <n>] --count <k>) (--target-ns <x> | --target-mult <m>)
     rip generate [--tree] --seed <n> --count <k> [--out-dir <dir>]
     rip bench    [--quick] [--check-baseline] [--tolerance <frac>]
+    rip profile  [--quick] [--trees <n>] [--seed <n>]
     rip serve    [--port <p>] [--bind <host>] [--workers <n>] [--shards <n>]
                  [--max-conns <n>] [--queue-cap <n>] [--timeout-secs <s>]
                  [--cache-cap <n>] [--value-cache-cap <n>] [--drain-secs <s>]
+                 [--log-slow-ms <ms>]
                  [--fault-panic-every <n>] [--fault-delay-every <n>]
                  [--fault-delay-ms <ms>] [--fault-drop-every <n>] [--fault-seed <n>]
-    rip client   <addr> [--smoke | --shutdown | --file <net-or-tree-file>
+    rip client   <addr> [--smoke | --metrics | --shutdown | --file <net-or-tree-file>
                  (--target-ns <x> | --target-mult <m>)]
                  [--retries <n>] [--backoff-ms <ms>]
                                                  # reads JSON lines from stdin otherwise
@@ -804,6 +984,13 @@ connections with capped exponential backoff starting at --backoff-ms.
 
 `rip batch` exits nonzero when any net in the batch fails to solve (the
 per-net table, including the failure rows, is still printed).
+
+`rip profile` solves a seeded compact masked-tree corpus in-process and
+prints the hybrid tree pipeline's per-stage wall-clock breakdown from
+the engine's stage histograms. `rip serve --log-slow-ms N` logs any
+request slower than N ms to stderr with its queue-wait and solve spans;
+`rip client --metrics` fetches the server's merged metrics registry as
+Prometheus-style text (see the README's observability section).
 
 NET FILE FORMAT (text, '#' comments):
     driver 140                 # driver width, u (optional)
@@ -1034,6 +1221,28 @@ node 2 0.08 0.20 1400 sink 50 blocked
             other => panic!("expected Parse, got {other:?}"),
         }
         assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn profile_stage_times_cover_at_least_ninety_percent_of_wall() {
+        let report = run_profile(&ProfileOptions {
+            quick: true,
+            trees: Some(2),
+            ..ProfileOptions::default()
+        })
+        .unwrap();
+        assert_eq!(report.trees, 2);
+        for stage in &report.stages {
+            assert!(stage.calls > 0, "stage {} never fired", stage.metric);
+        }
+        assert!(
+            report.coverage() >= 0.9,
+            "stage timers must explain >= 90% of profile wall time, got {:.1}%",
+            report.coverage() * 100.0
+        );
+        let table = report.render();
+        assert!(table.contains("fine DP"), "{table}");
+        assert!(table.contains("% of wall"), "{table}");
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! rip batch    --tree --dir trees --target-mult 1.4 # multi-sink tree batch
 //! rip generate --seed 7 --count 5 --out-dir nets # paper-distribution nets
 //! rip bench    --quick --check-baseline          # statistical benches + CI gate
+//! rip profile  --quick                           # per-stage pipeline breakdown
 //! rip serve    --port 4817 --workers 4           # resident solver service
 //! rip client   127.0.0.1:4817 --smoke            # scripted protocol check
+//! rip client   127.0.0.1:4817 --metrics          # Prometheus-style metrics dump
 //! ```
 //!
 //! Net and tree descriptions use minimal line-oriented text formats (see
@@ -34,7 +36,8 @@ mod treefile;
 
 pub use commands::{
     cmd_baseline, cmd_batch, cmd_batch_tree, cmd_bench, cmd_generate, cmd_generate_trees,
-    cmd_solve, cmd_solve_tree, cmd_tmin, usage, BenchOptions, CliError, Target,
+    cmd_profile, cmd_solve, cmd_solve_tree, cmd_tmin, run_profile, usage, BenchOptions, CliError,
+    ProfileOptions, ProfileReport, ProfileStage, Target,
 };
 pub use netfile::{format_net, parse_net, ParseError};
 pub use serve_cmd::{cmd_client, cmd_serve, ClientOptions, ServeOptions};

@@ -3,8 +3,8 @@
 
 use rip_cli::{
     cmd_baseline, cmd_batch, cmd_batch_tree, cmd_bench, cmd_client, cmd_generate,
-    cmd_generate_trees, cmd_serve, cmd_solve, cmd_solve_tree, cmd_tmin, usage, BenchOptions,
-    CliError, ClientOptions, ServeOptions, Target,
+    cmd_generate_trees, cmd_profile, cmd_serve, cmd_solve, cmd_solve_tree, cmd_tmin, usage,
+    BenchOptions, CliError, ClientOptions, ProfileOptions, ServeOptions, Target,
 };
 use std::process::ExitCode;
 
@@ -176,6 +176,26 @@ fn run(args: &[String]) -> Result<String, CliError> {
             }
             cmd_bench(&opts)
         }
+        Some("profile") => {
+            let flags: Vec<String> = it.map(String::from).collect();
+            let mut opts = ProfileOptions {
+                quick: flags.iter().any(|f| f == "--quick"),
+                ..ProfileOptions::default()
+            };
+            if let Some(t) = flag_value(&flags, "--trees")? {
+                opts.trees = Some(
+                    t.parse::<usize>()
+                        .map_err(|_| CliError::Usage("--trees must be an integer".into()))?,
+                );
+            }
+            if let Some(s) = flag_value(&flags, "--seed")? {
+                opts.seed = Some(
+                    s.parse::<u64>()
+                        .map_err(|_| CliError::Usage("--seed must be an integer".into()))?,
+                );
+            }
+            cmd_profile(&opts)
+        }
         Some("serve") => {
             let flags: Vec<String> = it.map(String::from).collect();
             let mut opts = ServeOptions::default();
@@ -224,6 +244,11 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 opts.drain_secs = d
                     .parse::<u64>()
                     .map_err(|_| CliError::Usage("--drain-secs must be an integer".into()))?;
+            }
+            if let Some(ms) = flag_value(&flags, "--log-slow-ms")? {
+                opts.log_slow_ms = ms
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage("--log-slow-ms must be an integer".into()))?;
             }
             // Deterministic fault injection (chaos testing; see the
             // README's resilience section). Off unless a cadence flag
@@ -279,6 +304,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
             };
             let opts = ClientOptions {
                 smoke: rest.iter().any(|f| f == "--smoke"),
+                metrics: rest.iter().any(|f| f == "--metrics"),
                 shutdown: rest.iter().any(|f| f == "--shutdown"),
                 file,
                 target,

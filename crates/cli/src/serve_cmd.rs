@@ -47,6 +47,9 @@ pub struct ServeOptions {
     /// Default drain deadline, seconds (`--drain-secs`), used when a
     /// `drain` request carries no `deadline_ms`.
     pub drain_secs: u64,
+    /// Slow-request stderr log threshold, ms (`--log-slow-ms`); 0 =
+    /// off.
+    pub log_slow_ms: u64,
     /// Deterministic fault injection (the hidden `--fault-*` flags);
     /// chaos testing only.
     pub faults: FaultPlan,
@@ -66,6 +69,7 @@ impl Default for ServeOptions {
             cache_cap: defaults.cache_cap,
             value_cache_cap: defaults.value_cache_cap,
             drain_secs: defaults.drain_deadline_secs,
+            log_slow_ms: defaults.log_slow_ms,
             faults: FaultPlan::none(),
         }
     }
@@ -89,6 +93,7 @@ pub fn cmd_serve(opts: &ServeOptions) -> Result<String, CliError> {
         queue_cap: opts.queue_cap,
         read_timeout_ms: opts.timeout_secs.saturating_mul(1000),
         drain_deadline_secs: opts.drain_secs,
+        log_slow_ms: opts.log_slow_ms,
         faults: opts.faults,
         ..ServeConfig::default()
     };
@@ -153,6 +158,9 @@ pub struct ClientOptions {
     /// Run the built-in mixed-command smoke script and fail unless every
     /// response is `ok`.
     pub smoke: bool,
+    /// Send a single `metrics` request and print the server's registry
+    /// as Prometheus-style text (`--metrics`).
+    pub metrics: bool,
     /// Send a single `shutdown` request.
     pub shutdown: bool,
     /// Wrap a local `.net`/`.tree` file into a protocol request
@@ -189,6 +197,9 @@ pub fn cmd_client(
     if opts.shutdown {
         let response = client.request_line(r#"{"id":0,"cmd":"shutdown"}"#)?;
         return Ok(format!("{response}\n"));
+    }
+    if opts.metrics {
+        return fetch_metrics(&mut client);
     }
     if opts.smoke {
         return run_smoke(&mut client);
@@ -262,6 +273,56 @@ fn send_file(client: &mut Client, path: &str, target: Option<Target>) -> Result<
         )));
     }
     Ok(format!("{response}\n"))
+}
+
+/// `rip client --metrics`: one `metrics` request, rendered as
+/// Prometheus-style exposition text (counters and gauges as plain
+/// samples; histograms as `_count`/`_sum` plus `quantile`-labelled p50,
+/// p90 and p99 samples — log2-bucket upper bounds, see the README's
+/// observability section).
+fn fetch_metrics(client: &mut Client) -> Result<String, CliError> {
+    let response = client.request_line(r#"{"id":0,"cmd":"metrics"}"#)?;
+    let value = parse_json(&response)
+        .map_err(|e| CliError::Protocol(format!("unparseable response: {e}")))?;
+    if value.get("ok") != Some(&Json::Bool(true)) {
+        return Err(CliError::Protocol(format!(
+            "metrics request failed: {response}"
+        )));
+    }
+    let fields = |key: &str| -> Result<Vec<(String, Json)>, CliError> {
+        match value.get(key) {
+            Some(Json::Obj(fields)) => Ok(fields.clone()),
+            _ => Err(CliError::Protocol(format!(
+                "metrics response missing {key:?} object: {response}"
+            ))),
+        }
+    };
+    let num = |v: &Json| v.as_f64().unwrap_or(0.0);
+    let mut out = String::new();
+    for (name, v) in fields("counters")? {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {}", num(&v));
+    }
+    for (name, v) in fields("gauges")? {
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", num(&v));
+    }
+    for (name, h) in fields("histograms")? {
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for q in ["p50", "p90", "p99"] {
+            let quantile = format!("0.{}", &q[1..]);
+            let _ = writeln!(
+                out,
+                "{name}{{quantile=\"{quantile}\"}} {}",
+                h.get(q).map(num).unwrap_or(0.0)
+            );
+        }
+        let _ = writeln!(out, "{name}_sum {}", h.get("sum").map(num).unwrap_or(0.0));
+        let _ = writeln!(
+            out,
+            "{name}_count {}",
+            h.get("count").map(num).unwrap_or(0.0)
+        );
+    }
+    Ok(out)
 }
 
 /// The built-in smoke script: one of every command (a `hello`

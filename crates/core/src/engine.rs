@@ -59,6 +59,7 @@ use rip_dp::{
     CandidateSet, DpError, DpScratch, DpSolution, TreeScratch,
 };
 use rip_net::{TreeNet, TwoPinNet};
+use rip_obs::{Histogram, MetricsRegistry};
 use rip_refine::{refine, trim_tree_widths, RefineError, RefineOutcome, TreeTrimOutcome};
 use rip_tech::{RepeaterLibrary, TechError, Technology};
 use std::collections::hash_map::DefaultHasher;
@@ -560,6 +561,51 @@ pub struct Engine {
     value_cache_cap: AtomicUsize,
     scratch_cap: AtomicUsize,
     counters: Counters,
+    metrics: EngineMetrics,
+}
+
+/// Pre-resolved handles into the engine's metrics registry: the shared
+/// [`MetricsRegistry`] plus one [`Histogram`] per pipeline stage, so hot
+/// paths observe through a pointer instead of a by-name lookup. The
+/// registry is get-or-create, so handles resolved from it stay valid
+/// across [`Engine::adopt_metrics`] — a supervisor can hand one
+/// registry from a crashed engine to its replacement and external
+/// holders keep observing the same histograms.
+#[derive(Debug)]
+struct EngineMetrics {
+    registry: Arc<MetricsRegistry>,
+    chain_grid: Arc<Histogram>,
+    chain_coarse_dp: Arc<Histogram>,
+    chain_refine: Arc<Histogram>,
+    chain_fine: Arc<Histogram>,
+    tree_subdivide_coarse: Arc<Histogram>,
+    tree_coarse_dp: Arc<Histogram>,
+    tree_trim: Arc<Histogram>,
+    tree_window_gen: Arc<Histogram>,
+    tree_fine_dp: Arc<Histogram>,
+    cache_hit: Arc<Histogram>,
+    cache_miss: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    /// Resolves every stage handle against `registry` (creating the
+    /// histograms on first use).
+    fn resolve(registry: Arc<MetricsRegistry>) -> Self {
+        Self {
+            chain_grid: registry.histogram("engine_chain_grid_ns"),
+            chain_coarse_dp: registry.histogram("engine_chain_coarse_dp_ns"),
+            chain_refine: registry.histogram("engine_chain_refine_ns"),
+            chain_fine: registry.histogram("engine_chain_fine_ns"),
+            tree_subdivide_coarse: registry.histogram("engine_tree_subdivide_coarse_ns"),
+            tree_coarse_dp: registry.histogram("engine_tree_coarse_dp_ns"),
+            tree_trim: registry.histogram("engine_tree_trim_ns"),
+            tree_window_gen: registry.histogram("engine_tree_window_gen_ns"),
+            tree_fine_dp: registry.histogram("engine_tree_fine_dp_ns"),
+            cache_hit: registry.histogram("engine_cache_hit_ns"),
+            cache_miss: registry.histogram("engine_cache_miss_ns"),
+            registry,
+        }
+    }
 }
 
 impl Engine {
@@ -581,6 +627,7 @@ impl Engine {
             value_cache_cap: AtomicUsize::new(0),
             scratch_cap: AtomicUsize::new(0),
             counters: Counters::default(),
+            metrics: EngineMetrics::resolve(Arc::new(MetricsRegistry::new())),
         }
     }
 
@@ -677,6 +724,27 @@ impl Engine {
         self.scratch_cap.load(Ordering::Relaxed)
     }
 
+    /// The engine's metrics registry: per-stage latency histograms for
+    /// the chain pipeline (`engine_chain_*_ns`), the tree pipeline
+    /// (`engine_tree_*_ns`), and cache lookup latency
+    /// (`engine_cache_{hit,miss}_ns`). All values are nanoseconds.
+    /// Observation never changes solver results — the determinism suite
+    /// pins that solve bytes are identical with metrics read or reset at
+    /// any point.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics.registry
+    }
+
+    /// Re-points the engine at an existing metrics registry, rebuilding
+    /// the per-stage histogram handles. A supervisor replacing a crashed
+    /// engine calls this with the old engine's registry so latency
+    /// history survives the respawn; handles previously resolved from
+    /// that registry (e.g. a shard worker's queue-wait histogram) stay
+    /// valid because the registry is get-or-create.
+    pub fn adopt_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = EngineMetrics::resolve(registry);
+    }
+
     /// Resets every statistics counter to zero, keeping the caches and
     /// their contents untouched — the monitoring reset behind the
     /// service's `reset_stats` command. Counter reads/writes are
@@ -702,6 +770,7 @@ impl Engine {
         ] {
             counter.store(0, Ordering::Relaxed);
         }
+        self.metrics.registry.reset();
     }
 
     /// Cache-effectiveness counters so far.
@@ -820,19 +889,23 @@ impl Engine {
     /// zones), so nets differing in driver/receiver widths or wire
     /// parasitics share one grid.
     fn grid(&self, net: &TwoPinNet, step_um: f64) -> Arc<CandidateSet> {
+        let t = Instant::now();
         let key = geometry_key(net, &step_um.to_bits());
         if let Some(grid) = self.cache_get(&self.grids, &key, &self.counters.grid_hits) {
+            self.metrics.cache_hit.observe_since(t);
             return grid;
         }
         let grid = Arc::new(CandidateSet::uniform(net, step_um));
-        self.finish_lookup(
+        let grid = self.finish_lookup(
             &self.grids,
             self.cache_cap.load(Ordering::Relaxed),
             key,
             grid,
             &self.counters.grid_hits,
             &self.counters.grid_misses,
-        )
+        );
+        self.metrics.cache_miss.observe_since(t);
+        grid
     }
 
     /// The windowed candidate set for `(net geometry, centers, window)`,
@@ -845,20 +918,24 @@ impl Engine {
         half_slots: usize,
         step_um: f64,
     ) -> Arc<CandidateSet> {
+        let t = Instant::now();
         let center_bits: Vec<u64> = centers.iter().map(|c| c.to_bits()).collect();
         let key = geometry_key(net, &(center_bits, half_slots, step_um.to_bits()));
         if let Some(set) = self.cache_get(&self.windows, &key, &self.counters.window_hits) {
+            self.metrics.cache_hit.observe_since(t);
             return set;
         }
         let set = Arc::new(CandidateSet::windows(net, centers, half_slots, step_um));
-        self.finish_lookup(
+        let set = self.finish_lookup(
             &self.windows,
             self.cache_cap.load(Ordering::Relaxed),
             key,
             set,
             &self.counters.window_hits,
             &self.counters.window_misses,
-        )
+        );
+        self.metrics.cache_miss.observe_since(t);
+        set
     }
 
     /// The `step_um` edge subdivision of a tree — its candidate buffer
@@ -883,13 +960,15 @@ impl Engine {
         step_um: f64,
         allowed: Option<&[bool]>,
     ) -> Arc<TreeSites> {
+        let t = Instant::now();
         let key = masked_key(cache_key(&(tree, step_um.to_bits())), allowed);
         if let Some(sub) = self.cache_get(&self.subdivisions, &key, &self.counters.tree_grid_hits) {
+            self.metrics.cache_hit.observe_since(t);
             return sub;
         }
         let (sub, map) = tree.subdivided(step_um);
         let projected = allowed.map(|mask| tree.project_allowed(&sub, &map, mask));
-        self.finish_lookup(
+        let sites = self.finish_lookup(
             &self.subdivisions,
             self.cache_cap.load(Ordering::Relaxed),
             key,
@@ -899,26 +978,32 @@ impl Engine {
             }),
             &self.counters.tree_grid_hits,
             &self.counters.tree_grid_misses,
-        )
+        );
+        self.metrics.cache_miss.observe_since(t);
+        sites
     }
 
     /// `τ_min` of a net under the paper's experimental setup, computed at
     /// most once per session (LRU-bounded by
     /// [`Engine::set_value_cache_cap`]).
     pub fn tau_min(&self, net: &TwoPinNet) -> f64 {
+        let t = Instant::now();
         let key = cache_key(net);
         if let Some(tmin) = self.cache_get(&self.tau_mins, &key, &self.counters.tau_min_hits) {
+            self.metrics.cache_hit.observe_since(t);
             return tmin;
         }
         let tmin = tmin::tau_min_paper(net, self.tech.device());
-        self.finish_lookup(
+        let tmin = self.finish_lookup(
             &self.tau_mins,
             self.value_cache_cap.load(Ordering::Relaxed),
             key,
             tmin,
             &self.counters.tau_min_hits,
             &self.counters.tau_min_misses,
-        )
+        );
+        self.metrics.cache_miss.observe_since(t);
+        tmin
     }
 
     /// Stage-3 library synthesis, memoized on `(rounded widths, grid,
@@ -934,8 +1019,10 @@ impl Engine {
         steps: usize,
         upward_only: bool,
     ) -> Result<Arc<RepeaterLibrary>, TechError> {
+        let t = Instant::now();
         let key = cache_key(&(rounded.widths(), steps, upward_only, grid.to_bits()));
         if let Some(lib) = self.cache_get(&self.libraries, &key, &self.counters.library_hits) {
+            self.metrics.cache_hit.observe_since(t);
             return Ok(lib);
         }
         let mut widths: Vec<f64> = Vec::new();
@@ -952,14 +1039,16 @@ impl Engine {
             }
         }
         let lib = Arc::new(RepeaterLibrary::from_widths(widths)?);
-        Ok(self.finish_lookup(
+        let lib = self.finish_lookup(
             &self.libraries,
             self.value_cache_cap.load(Ordering::Relaxed),
             key,
             lib,
             &self.counters.library_hits,
             &self.counters.library_misses,
-        ))
+        );
+        self.metrics.cache_miss.observe_since(t);
+        Ok(lib)
     }
 
     // ---- chain solving ---------------------------------------------------
@@ -992,6 +1081,8 @@ impl Engine {
         // ---- Stage 1: coarse DP (Fig. 6, Line 1).
         let t0 = Instant::now();
         let coarse_cands = self.grid(net, config.coarse.candidate_step_um);
+        self.metrics.chain_grid.observe_since(t0);
+        let t0_dp = Instant::now();
         let coarse = match solve_min_power_with(
             scratch,
             net,
@@ -1008,6 +1099,7 @@ impl Engine {
             }
             Err(e) => return Err(e.into()),
         };
+        self.metrics.chain_coarse_dp.observe_since(t0_dp);
         runtime.coarse = t0.elapsed();
 
         // ---- Stage 2: REFINE (Fig. 6, Line 2).
@@ -1028,6 +1120,7 @@ impl Engine {
             }
             Err(e) => return Err(e.into()),
         };
+        self.metrics.chain_refine.observe_since(t1);
         runtime.refine = t1.elapsed();
 
         // Degenerate loose-target case: no repeaters needed at all.
@@ -1042,6 +1135,7 @@ impl Engine {
                 &empty_cands,
                 target_fs,
             )?;
+            self.metrics.chain_fine.observe_since(t2);
             runtime.fine = t2.elapsed();
             return Ok(RipOutcome {
                 solution,
@@ -1105,6 +1199,7 @@ impl Engine {
                 }
             }
         }
+        self.metrics.chain_fine.observe_since(t2);
         runtime.fine = t2.elapsed();
 
         let (solution, final_lib, candidate_count) = match best {
@@ -1349,6 +1444,7 @@ impl Engine {
         config: &TreeRipConfig,
         allowed: Option<&[bool]>,
     ) -> Result<f64, RipError> {
+        let t = Instant::now();
         let allowed = effective_mask(tree, allowed)?;
         let key = masked_key(
             cache_key(&(
@@ -1360,6 +1456,7 @@ impl Engine {
             allowed,
         );
         if let Some(tmin) = self.cache_get(&self.tau_mins, &key, &self.counters.tau_min_hits) {
+            self.metrics.cache_hit.observe_since(t);
             return Ok(tmin);
         }
         let sites = self.subdivision_masked(tree, config.coarse_step_um, allowed);
@@ -1376,14 +1473,16 @@ impl Engine {
             )
             .map(|sol| sol.delay_fs)
         })?;
-        Ok(self.finish_lookup(
+        let tmin = self.finish_lookup(
             &self.tau_mins,
             self.value_cache_cap.load(Ordering::Relaxed),
             key,
             tmin,
             &self.counters.tau_min_hits,
             &self.counters.tau_min_misses,
-        ))
+        );
+        self.metrics.cache_miss.observe_since(t);
+        Ok(tmin)
     }
 
     /// Runs the hybrid RIP pipeline on an RC tree through the session's
@@ -1475,8 +1574,10 @@ impl Engine {
         // only, when a mask is in force).
         let t0 = Instant::now();
         let coarse_sites = self.subdivision_masked(tree, config.coarse_step_um, allowed);
+        self.metrics.tree_subdivide_coarse.observe_since(t0);
         let coarse_tree = &coarse_sites.tree;
         let coarse_mask = coarse_sites.allowed.as_deref();
+        let t0_dp = Instant::now();
         let coarse = match tree_min_power_with(
             scratch,
             coarse_tree,
@@ -1507,6 +1608,7 @@ impl Engine {
             }
             Err(e) => return Err(e.into()),
         };
+        self.metrics.tree_coarse_dp.observe_since(t0_dp);
         runtime.coarse = t0.elapsed();
 
         // ---- Stage 2: continuous width trim at the chosen sites.
@@ -1528,6 +1630,7 @@ impl Engine {
             }
             Err(e) => return Err(e.into()),
         };
+        self.metrics.tree_trim.observe_since(t1);
         runtime.refine = t1.elapsed();
 
         // Degenerate loose case: no buffers at all.
@@ -1545,6 +1648,7 @@ impl Engine {
                 Some(&vec![false; fine_tree.len()]),
                 target_fs,
             )?;
+            self.metrics.tree_fine_dp.observe_since(t2);
             runtime.fine = t2.elapsed();
             return Ok(TreeRipOutcome {
                 solution: unbuffered,
@@ -1558,6 +1662,7 @@ impl Engine {
         }
 
         // ---- Stage 3: synthesized library + windowed fine sites.
+        let t_win = Instant::now();
         let grid = config.base.fine.width_grid_u;
         let rounded = RepeaterLibrary::from_refined_widths(trimmed_widths.iter().copied(), grid)?;
 
@@ -1597,8 +1702,10 @@ impl Engine {
                 candidate_count += 1;
             }
         }
+        self.metrics.tree_window_gen.observe_since(t_win);
 
         // ---- Stage 4: fine tree DP with enrichment retry.
+        let t_fine = Instant::now();
         let mut library =
             self.synthesized_library(&rounded, grid, config.base.fine.enrich_steps, false)?;
         let mut solution = tree_min_power_with(
@@ -1627,6 +1734,7 @@ impl Engine {
                 target_fs,
             );
         }
+        self.metrics.tree_fine_dp.observe_since(t_fine);
         runtime.fine = t2.elapsed();
 
         let solution = match solution {

@@ -1,0 +1,622 @@
+//! Std-only observability primitives for the RIP reproduction.
+//!
+//! Three instrument kinds, all lock-free on the hot path:
+//!
+//! * [`Counter`] — a monotonically increasing `u64`;
+//! * [`Gauge`] — a settable `i64` level (queue depths, active
+//!   connections);
+//! * [`Histogram`] — a fixed 64-bucket log2 latency histogram with an
+//!   exact `count` and `sum`, from which p50/p90/p99 estimates derive.
+//!
+//! Instruments live behind a named [`MetricsRegistry`]: `get-or-create`
+//! by name, so independently constructed components (an engine, its
+//! serving edge, a respawned shard worker) resolve the *same*
+//! instrument handles and their observations accumulate in one place.
+//! Registries snapshot into plain data ([`RegistrySnapshot`]) that can
+//! be merged across shards and rendered as JSON or Prometheus-style
+//! text.
+//!
+//! # Histogram bucket semantics
+//!
+//! Bucket 0 holds exact zeros. Bucket `i` (1 ≤ i ≤ 62) holds values in
+//! `[2^(i-1), 2^i - 1]`; bucket 63 holds everything from `2^62` up. A
+//! quantile estimate is the **upper bound** of the bucket containing
+//! the requested rank, so for any nonzero exact quantile `x` the
+//! estimate `e` satisfies `x ≤ e < 2·x` — at most one power of two
+//! high, never low. `count` and `sum` are exact, so mean latency is
+//! exact too.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets (log2 buckets over the `u64` range).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Rezeroes the counter (monitoring-window resets).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A settable level (queue depth, active connections, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (negative to decrease).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Rezeroes the gauge.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed 64-bucket log2 histogram over `u64` observations
+/// (typically nanoseconds), with an exact count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a value lands in: 0 for exact zeros, otherwise one bucket
+/// per power of two (`[2^(i-1), 2^i - 1]`), clamped to bucket 63.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The largest value bucket `index` can hold (the quantile estimate
+/// reported for ranks landing in that bucket).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= HISTOGRAM_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records the nanoseconds elapsed since `start`.
+    pub fn observe_since(&self, start: Instant) {
+        self.observe_duration(start.elapsed());
+    }
+
+    /// Observations so far (exact).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of every observation (exact; `sum / count` is the exact
+    /// mean).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A quantile estimate from the live buckets (see
+    /// [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Rezeroes every bucket and the count/sum.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the buckets (individually atomic reads:
+    /// concurrent observers may skew count vs buckets by in-flight
+    /// observations, never corrupt them).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], mergeable across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations (exact).
+    pub count: u64,
+    /// Sum of observations (exact).
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The quantile estimate for `q` in `[0, 1]`: the upper bound of
+    /// the bucket containing rank `ceil(q · count)`. For a nonzero
+    /// exact quantile `x` the estimate `e` satisfies `x ≤ e < 2·x`.
+    /// Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Folds `other` into `self` (bucket-wise sums) — how a sharded
+    /// front end aggregates per-shard histograms.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs — the
+    /// compact wire rendering.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper_bound(i), n))
+            .collect()
+    }
+}
+
+/// One named instrument slot of a registry.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named set of instruments with get-or-create semantics: resolving
+/// the same name twice (even from different components, even after a
+/// worker respawn) yields the same instrument, so observations
+/// accumulate across component lifetimes as long as the registry
+/// itself is shared.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    instruments: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves (creating on first use) the counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` already names a different instrument kind —
+    /// a programming error, not an operational condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new())))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Resolves (creating on first use) the gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` already names a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::new())))
+        {
+            Instrument::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Resolves (creating on first use) the histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` already names a different instrument kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new())))
+        {
+            Instrument::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Rezeroes every registered instrument (names stay registered, so
+    /// outstanding handles keep working) — the `reset_stats` hook.
+    pub fn reset(&self) {
+        for instrument in self.lock().values() {
+            match instrument {
+                Instrument::Counter(c) => c.reset(),
+                Instrument::Gauge(g) => g.reset(),
+                Instrument::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// A point-in-time copy of every instrument, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.lock();
+        let mut snapshot = RegistrySnapshot::default();
+        for (name, instrument) in map.iter() {
+            match instrument {
+                Instrument::Counter(c) => snapshot.counters.push((name.clone(), c.get())),
+                Instrument::Gauge(g) => snapshot.gauges.push((name.clone(), g.get())),
+                Instrument::Histogram(h) => snapshot.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snapshot
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Instrument>> {
+        self.instruments
+            .lock()
+            .expect("metrics registry lock is never poisoned")
+    }
+}
+
+/// Plain-data copy of a whole registry: what the serve layer renders
+/// into `metrics` responses and what a sharded front end merges.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// Folds `other` into `self`: counters and histograms with the same
+    /// name sum, gauges sum levels, and new names interleave in sorted
+    /// order.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (name, value) in &other.counters {
+            *counters.entry(name.clone()).or_insert(0) += value;
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, i64> = self.gauges.drain(..).collect();
+        for (name, value) in &other.gauges {
+            *gauges.entry(name.clone()).or_insert(0) += value;
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+            self.histograms.drain(..).collect();
+        for (name, snapshot) in &other.histograms {
+            histograms.entry(name.clone()).or_default().merge(snapshot);
+        }
+        self.histograms = histograms.into_iter().collect();
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Renders the snapshot as Prometheus-style exposition text:
+    /// counters and gauges as `name value` lines, histograms as
+    /// `name_count`, `name_sum` and `name{quantile="…"}` estimate
+    /// lines.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{label}\"}} {}\n",
+                    h.quantile(q)
+                ));
+            }
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — a tiny deterministic generator for oracle inputs
+    /// (the crate stays dependency-free).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_index(1 << 62), 63);
+        assert_eq!(bucket_index((1 << 62) - 1), 62);
+        // Every bucket's upper bound lands back in that bucket.
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    /// The naive oracle: exact quantile over the sorted values with the
+    /// same rank convention the histogram uses.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_naive_oracle_within_2x() {
+        for seed in [7u64, 99, 2005] {
+            let mut rng = Rng(seed);
+            let hist = Histogram::new();
+            let mut values: Vec<u64> = (0..5000)
+                .map(|_| {
+                    // Mix magnitudes: exercise small, medium and huge
+                    // buckets (and exact zeros).
+                    match rng.next() % 4 {
+                        0 => rng.next() % 16,
+                        1 => rng.next() % 10_000,
+                        2 => rng.next() % 100_000_000,
+                        _ => rng.next(),
+                    }
+                })
+                .collect();
+            for &v in &values {
+                hist.observe(v);
+            }
+            values.sort_unstable();
+            assert_eq!(hist.count(), 5000);
+            let exact_sum: u64 = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+            assert_eq!(hist.sum(), exact_sum, "sum is exact");
+            for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let exact = exact_quantile(&values, q);
+                let estimate = hist.quantile(q);
+                if exact == 0 {
+                    assert_eq!(estimate, 0, "q={q} seed={seed}");
+                } else {
+                    assert!(
+                        estimate >= exact,
+                        "estimate must never undershoot: q={q} exact={exact} est={estimate}"
+                    );
+                    // Strictly under 2x for values below the clamp
+                    // bucket; the top bucket saturates to u64::MAX.
+                    if exact < (1 << 62) {
+                        assert!(
+                            estimate < exact.saturating_mul(2),
+                            "estimate must stay under 2x: q={q} exact={exact} est={estimate}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_reset_rezeroes_everything() {
+        let hist = Histogram::new();
+        hist.observe(5);
+        hist.observe(500);
+        assert_eq!(hist.count(), 2);
+        hist.reset();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.sum(), 0);
+        assert_eq!(hist.quantile(0.5), 0);
+        assert_eq!(hist.snapshot().nonzero_buckets(), Vec::new());
+    }
+
+    #[test]
+    fn registry_get_or_create_is_idempotent_and_shared() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("requests");
+        let b = registry.counter("requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles hit one instrument");
+        let h1 = registry.histogram("latency_ns");
+        let h2 = registry.histogram("latency_ns");
+        h1.observe(10);
+        h2.observe(20);
+        assert_eq!(h1.count(), 2);
+        let g = registry.gauge("depth");
+        g.set(4);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters, vec![("requests".to_string(), 3)]);
+        assert_eq!(snapshot.gauges, vec![("depth".to_string(), 4)]);
+        assert_eq!(snapshot.histograms.len(), 1);
+        assert_eq!(snapshot.histogram("latency_ns").unwrap().count, 2);
+        // Reset zeroes values but keeps names and handles live.
+        registry.reset();
+        assert_eq!(a.get(), 0);
+        a.inc();
+        assert_eq!(registry.snapshot().counter("requests"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_merge_sums_by_name_and_unions_the_rest() {
+        let r1 = MetricsRegistry::new();
+        let r2 = MetricsRegistry::new();
+        r1.counter("shared").add(5);
+        r2.counter("shared").add(7);
+        r2.counter("only_b").add(1);
+        r1.histogram("lat").observe(100);
+        r2.histogram("lat").observe(200);
+        r2.gauge("depth").set(3);
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        assert_eq!(merged.counter("shared"), Some(12));
+        assert_eq!(merged.counter("only_b"), Some(1));
+        let lat = merged.histogram("lat").unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 300);
+        assert_eq!(merged.gauges, vec![("depth".to_string(), 3)]);
+        // Merged names stay sorted.
+        let names: Vec<&str> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["only_b", "shared"]);
+    }
+
+    #[test]
+    fn prometheus_text_renders_every_instrument() {
+        let registry = MetricsRegistry::new();
+        registry.counter("requests_total").add(3);
+        registry.gauge("queue_depth").set(2);
+        registry.histogram("solve_ns").observe(1000);
+        let text = registry.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE requests_total counter"), "{text}");
+        assert!(text.contains("requests_total 3"), "{text}");
+        assert!(text.contains("queue_depth 2"), "{text}");
+        assert!(text.contains("solve_ns_count 1"), "{text}");
+        assert!(text.contains("solve_ns_sum 1000"), "{text}");
+        assert!(text.contains("solve_ns{quantile=\"0.5\"}"), "{text}");
+    }
+}

@@ -20,6 +20,7 @@ use crate::protocol::{net_to_json, tree_to_json, ServeState};
 use rip_net::{
     NetGenerator, RandomNetConfig, RandomTreeConfig, TreeNet, TreeNetGenerator, TwoPinNet,
 };
+use rip_obs::Histogram;
 use std::io;
 use std::net::SocketAddr;
 use std::time::Instant;
@@ -88,6 +89,16 @@ pub struct LoadgenOutcome {
     pub gave_up: u64,
     /// Wall-clock of the timed phase, nanoseconds.
     pub elapsed_ns: u128,
+    /// Median per-request latency, nanoseconds (log2-bucket upper
+    /// bound: for an exact quantile `x`, the reported value `e`
+    /// satisfies `x ≤ e < 2·x`; see [`rip_obs::HistogramSnapshot`]).
+    pub p50_ns: u64,
+    /// 95th-percentile per-request latency, nanoseconds (same bucket
+    /// semantics).
+    pub p95_ns: u64,
+    /// 99th-percentile per-request latency, nanoseconds (same bucket
+    /// semantics).
+    pub p99_ns: u64,
 }
 
 impl LoadgenOutcome {
@@ -320,6 +331,9 @@ pub fn fire_load(addr: SocketAddr, load: &PreparedLoad) -> io::Result<LoadgenOut
         retries: u64,
         gave_up: u64,
     }
+    // Per-request round-trip latencies, observed concurrently by every
+    // connection thread (the histogram is atomic).
+    let latency = Histogram::new();
     let t0 = Instant::now();
     let results: Vec<io::Result<ConnTally>> = std::thread::scope(|scope| {
         let handles: Vec<_> = scripts
@@ -327,6 +341,7 @@ pub fn fire_load(addr: SocketAddr, load: &PreparedLoad) -> io::Result<LoadgenOut
             .zip(expected)
             .enumerate()
             .map(|(i, (script, expected))| {
+                let latency = &latency;
                 scope.spawn(move || -> io::Result<ConnTally> {
                     // Per-connection jitter seed: identical policies on
                     // every thread must not back off in lockstep.
@@ -335,7 +350,9 @@ pub fn fire_load(addr: SocketAddr, load: &PreparedLoad) -> io::Result<LoadgenOut
                     let mut client = Client::connect(addr)?.with_retry(policy);
                     let mut tally = ConnTally::default();
                     for (req, expect) in script.iter().zip(expected) {
+                        let t_req = Instant::now();
                         let response = client.request_line(&req.line)?;
+                        latency.observe_since(t_req);
                         let parsed = parse_json(&response).ok();
                         let ok = parsed
                             .as_ref()
@@ -380,6 +397,9 @@ pub fn fire_load(addr: SocketAddr, load: &PreparedLoad) -> io::Result<LoadgenOut
         retries: 0,
         gave_up: 0,
         elapsed_ns: elapsed_ns.max(1),
+        p50_ns: latency.quantile(0.50),
+        p95_ns: latency.quantile(0.95),
+        p99_ns: latency.quantile(0.99),
     };
     for (result, script) in results.into_iter().zip(scripts) {
         let tally = result?;

@@ -78,6 +78,7 @@ pub const COMMANDS: &[&str] = &[
     "compare",
     "drain",
     "hello",
+    "metrics",
     "reset_stats",
     "shutdown",
     "solve",
@@ -272,6 +273,9 @@ pub enum Request {
     Hello,
     /// `stats`: engine + server counters.
     Stats,
+    /// `metrics`: the full metrics registry (stage-latency and
+    /// request-latency histograms) as JSON.
+    Metrics,
     /// `reset_stats`: render the counters, then rezero them.
     ResetStats,
     /// `drain`: stop accepting work, answer what is in flight, then
@@ -296,13 +300,14 @@ impl Request {
             Request::TauMin { .. } => "tau_min",
             Request::Hello => "hello",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::ResetStats => "reset_stats",
             Request::Drain { .. } => "drain",
             Request::Shutdown => "shutdown",
         }
     }
 
-    /// `true` for control-plane requests: `hello`, `stats`,
+    /// `true` for control-plane requests: `hello`, `stats`, `metrics`,
     /// `reset_stats`, `drain` and `shutdown`. The edge answers these
     /// itself (even while draining) and the fault injector never
     /// targets them — operators must be able to observe and stop a
@@ -312,6 +317,7 @@ impl Request {
             self,
             Request::Hello
                 | Request::Stats
+                | Request::Metrics
                 | Request::ResetStats
                 | Request::Drain { .. }
                 | Request::Shutdown
@@ -376,6 +382,7 @@ impl Request {
             }
             "hello" => Ok(Request::Hello),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "reset_stats" => Ok(Request::ResetStats),
             "drain" => {
                 let deadline_ms = match request.get("deadline_ms") {
@@ -455,7 +462,11 @@ impl Request {
                     push("deadline_ms", Json::from(*ms));
                 }
             }
-            Request::Hello | Request::Stats | Request::ResetStats | Request::Shutdown => {}
+            Request::Hello
+            | Request::Stats
+            | Request::Metrics
+            | Request::ResetStats
+            | Request::Shutdown => {}
         }
         Json::Obj(fields)
     }
@@ -598,6 +609,13 @@ pub enum Response {
         /// capture).
         reset: bool,
     },
+    /// `metrics`: a point-in-time copy of the metrics registry (edge
+    /// request-latency histograms merged with every live engine's
+    /// stage-latency histograms on a sharded server).
+    Metrics {
+        /// The merged registry snapshot.
+        snapshot: rip_obs::RegistrySnapshot,
+    },
     /// `drain` acknowledged; the server stops taking work and answers
     /// what is in flight, bounded by the echoed deadline.
     Draining {
@@ -696,6 +714,38 @@ impl Response {
                     push("reset", Json::Bool(true));
                 }
             }
+            Response::Metrics { snapshot } => {
+                push(
+                    "counters",
+                    Json::Obj(
+                        snapshot
+                            .counters
+                            .iter()
+                            .map(|(name, v)| (name.clone(), Json::from(*v)))
+                            .collect(),
+                    ),
+                );
+                push(
+                    "gauges",
+                    Json::Obj(
+                        snapshot
+                            .gauges
+                            .iter()
+                            .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+                            .collect(),
+                    ),
+                );
+                push(
+                    "histograms",
+                    Json::Obj(
+                        snapshot
+                            .histograms
+                            .iter()
+                            .map(|(name, h)| (name.clone(), render_histogram(h)))
+                            .collect(),
+                    ),
+                );
+            }
             Response::Draining { deadline_ms } => {
                 push("draining", Json::Bool(true));
                 push("deadline_ms", Json::from(*deadline_ms));
@@ -764,6 +814,28 @@ fn render_tree_batch_item(item: &Result<TreeSolveResult, String>) -> Json {
         }
         Err(e) => Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(e.clone()))]),
     }
+}
+
+/// Renders one histogram snapshot as
+/// `{"count":…,"sum":…,"p50":…,"p90":…,"p99":…,"buckets":[[upper,count],…]}`
+/// (only non-empty buckets are listed; values are nanoseconds).
+fn render_histogram(h: &rip_obs::HistogramSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::from(h.count)),
+        ("sum", Json::from(h.sum)),
+        ("p50", Json::from(h.quantile(0.50))),
+        ("p90", Json::from(h.quantile(0.90))),
+        ("p99", Json::from(h.quantile(0.99))),
+        (
+            "buckets",
+            Json::Arr(
+                h.nonzero_buckets()
+                    .into_iter()
+                    .map(|(upper, count)| Json::Arr(vec![Json::from(upper), Json::from(count)]))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn render_rows(rows: &[(Option<f64>, f64)]) -> Json {
@@ -945,6 +1017,12 @@ impl ServeState {
             Request::Stats => Response::Stats {
                 fields: self.stats_fields(),
                 reset: false,
+            },
+            // A bare state reports its own engine's registry; the TCP
+            // edge intercepts `metrics` and merges its request-latency
+            // registry (and, sharded, every live engine's) on top.
+            Request::Metrics => Response::Metrics {
+                snapshot: self.engine.metrics_registry().snapshot(),
             },
             Request::ResetStats => {
                 // Render the pre-reset counters (including this very
@@ -1562,6 +1640,7 @@ mod tests {
             },
             Request::Hello,
             Request::Stats,
+            Request::Metrics,
             Request::ResetStats,
             Request::Drain { deadline_ms: None },
             Request::Drain {
@@ -1988,6 +2067,7 @@ mod tests {
                 request,
                 Request::Hello
                     | Request::Stats
+                    | Request::Metrics
                     | Request::ResetStats
                     | Request::Drain { .. }
                     | Request::Shutdown
@@ -2007,6 +2087,33 @@ mod tests {
         let (response, stop) = state.handle_line(r#"{"id":10,"cmd":"shutdown"}"#);
         assert!(stop);
         assert_eq!(response.get("stopping"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn metrics_snapshots_stage_histograms_and_reset_clears_them() {
+        let state = state();
+        let (solve, _) = state.handle_line(
+            r#"{"cmd":"solve","net":{"segments":[[3000,0.08,0.2]]},"target_mult":1.4}"#,
+        );
+        assert_eq!(solve.get("ok"), Some(&Json::Bool(true)), "{solve}");
+        let (response, stop) = state.handle_line(r#"{"id":7,"cmd":"metrics"}"#);
+        assert!(!stop);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let histograms = response.get("histograms").expect("histograms object");
+        let coarse = histograms
+            .get("engine_chain_coarse_dp_ns")
+            .expect("chain coarse DP histogram");
+        assert_eq!(coarse.get("count").and_then(Json::as_f64), Some(1.0));
+        assert!(coarse.get("p50").and_then(Json::as_f64).is_some());
+        assert!(coarse.get("buckets").is_some());
+        // `reset_stats` rezeroes the histograms along with the counters.
+        let _ = state.handle_line(r#"{"cmd":"reset_stats"}"#);
+        let (response, _) = state.handle_line(r#"{"cmd":"metrics"}"#);
+        let histograms = response.get("histograms").expect("histograms object");
+        let coarse = histograms
+            .get("engine_chain_coarse_dp_ns")
+            .expect("histogram names survive a reset");
+        assert_eq!(coarse.get("count").and_then(Json::as_f64), Some(0.0));
     }
 
     #[test]

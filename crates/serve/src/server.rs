@@ -47,6 +47,7 @@ use crate::json::Json;
 use crate::protocol::{parse_line, ErrorCode, Request, Response, ServeState, ServerInfo};
 use crate::shard::{EngineTemplate, ShardPool, ShardSnapshot};
 use rip_core::Engine;
+use rip_obs::{Histogram, MetricsRegistry};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -103,6 +104,12 @@ pub struct ServeConfig {
     /// Default drain deadline, seconds, used when a `drain` request
     /// carries no `deadline_ms` of its own.
     pub drain_deadline_secs: u64,
+    /// Slow-request threshold, ms: a request whose end-to-end handling
+    /// (parse + dispatch + solve + encode + write) takes at least this
+    /// long is logged to stderr as
+    /// `[rip-serve] slow request id=… cmd=… total_ms=… queue_wait_ms=…
+    /// solve_ms=…`. 0 (the default) disables the log.
+    pub log_slow_ms: u64,
     /// Deterministic fault-injection schedule (chaos testing only;
     /// [`FaultPlan::none`] in production).
     pub faults: FaultPlan,
@@ -127,7 +134,39 @@ impl Default for ServeConfig {
             write_timeout_ms: 30_000,
             max_line_bytes: MAX_LINE_BYTES,
             drain_deadline_secs: 5,
+            log_slow_ms: 0,
             faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// The edge's request-tracing instruments: one registry (cleared by
+/// `reset_stats`, merged into `metrics` responses) plus pre-resolved
+/// handles for the per-request spans. Lives at the edge — not in any
+/// engine — so its history survives engine respawns trivially.
+#[derive(Debug)]
+struct EdgeMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Shard-queue wait per request line, ns (0 for direct-mode,
+    /// control-plane and rejected requests; a fan-out reports its
+    /// slowest slice).
+    queue_wait: Arc<Histogram>,
+    /// Dispatch-to-response span per request line, ns (includes queue
+    /// wait and engine solve time).
+    solve: Arc<Histogram>,
+    /// Response encode + socket write span per connection-served line,
+    /// ns.
+    encode_write: Arc<Histogram>,
+}
+
+impl EdgeMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        Self {
+            queue_wait: registry.histogram("serve_request_queue_wait_ns"),
+            solve: registry.histogram("serve_request_solve_ns"),
+            encode_write: registry.histogram("serve_encode_write_ns"),
+            registry,
         }
     }
 }
@@ -188,11 +227,13 @@ enum Backend {
 struct Shared {
     backend: Backend,
     edge: EdgeCounters,
+    metrics: EdgeMetrics,
     max_conns: usize,
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
     max_line_bytes: usize,
     drain_deadline: Duration,
+    log_slow: Option<Duration>,
     faults: Arc<FaultInjector>,
 }
 
@@ -215,12 +256,21 @@ enum PostAction {
 }
 
 /// One handled request line: the rendered response, the follow-up
-/// action, and whether the response is fault-eligible (the drop fault
-/// only cuts non-control responses).
+/// action, whether the response is fault-eligible (the drop fault
+/// only cuts non-control responses), and the trace spans the
+/// slow-request log reports.
 struct HandledLine {
     rendered: Json,
     action: PostAction,
     fault_eligible: bool,
+    /// The wire `cmd` ("invalid" for lines that did not parse).
+    cmd: &'static str,
+    /// The request id, echoed in the slow-request log.
+    id: Json,
+    /// Measured shard-queue wait, ns (0 in direct mode).
+    queue_wait_ns: u64,
+    /// Dispatch-to-response span, ns.
+    solve_ns: u64,
 }
 
 impl Shared {
@@ -298,6 +348,20 @@ impl Shared {
                 parse_line(line)
             }
         };
+        let cmd = match &parsed {
+            Ok(request) => request.cmd(),
+            Err(_) => "invalid",
+        };
+        let mut queue_wait_ns = 0u64;
+        let mut solve_ns = 0u64;
+        // Every counted line observes the queue-wait and solve
+        // histograms exactly once, so their counts always equal the
+        // `stats` request counter. Two lines bend the default
+        // post-dispatch observation to keep that exact: `metrics`
+        // observes itself *before* snapshotting (its own increment is
+        // in the counter it reports), and `reset_stats` is never
+        // observed (its increment is zeroed during handling).
+        let mut observed = false;
         let (mut response, action, fault_eligible) = match parsed {
             // A draining server still answers the control plane (an
             // operator must be able to watch the drain) but refuses new
@@ -325,6 +389,22 @@ impl Shared {
                     false,
                 )
             }
+            // Metrics is answered at the edge in both modes: the edge's
+            // request-tracing registry merged with every live engine's
+            // stage/cache registry.
+            Ok(Request::Metrics) => {
+                self.metrics.queue_wait.observe(0);
+                self.metrics.solve.observe(0);
+                observed = true;
+                let mut snapshot = self.metrics.registry.snapshot();
+                match &self.backend {
+                    Backend::Direct(direct) => {
+                        snapshot.merge(&direct.state().engine().metrics_registry().snapshot());
+                    }
+                    Backend::Sharded(pool) => snapshot.merge(&pool.metrics_snapshot()),
+                }
+                (Response::Metrics { snapshot }, PostAction::None, false)
+            }
             Ok(request) => {
                 let action = if matches!(request, Request::Shutdown) {
                     PostAction::Stop
@@ -333,17 +413,26 @@ impl Shared {
                 };
                 let fault_eligible = !request.is_control();
                 let reset = matches!(request, Request::ResetStats);
+                let t_solve = Instant::now();
                 let response = match &self.backend {
                     Backend::Direct(direct) => self.handle_direct(direct, &request),
-                    Backend::Sharded(pool) => self.handle_sharded(pool, request),
+                    Backend::Sharded(pool) => {
+                        let (response, wait_ns) = self.handle_sharded(pool, request);
+                        queue_wait_ns = wait_ns;
+                        response
+                    }
                 };
+                solve_ns = u64::try_from(t_solve.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 if reset {
                     // Pre-reset values are already rendered into the
                     // response; the post-reset edge reads as zero in
-                    // both modes.
+                    // both modes — the request-tracing histograms
+                    // included.
                     self.edge.rejected.store(0, Ordering::Relaxed);
                     self.edge.panics.store(0, Ordering::Relaxed);
                     self.edge.respawns.store(0, Ordering::Relaxed);
+                    self.metrics.registry.reset();
+                    observed = true;
                 }
                 (response, action, fault_eligible)
             }
@@ -356,6 +445,10 @@ impl Shared {
                 false,
             ),
         };
+        if !observed {
+            self.metrics.queue_wait.observe(queue_wait_ns);
+            self.metrics.solve.observe(solve_ns);
+        }
         self.augment_stats(&mut response, conn);
         if response.is_error() {
             conn.errors += 1;
@@ -364,6 +457,10 @@ impl Shared {
             rendered: response.render(&id),
             action,
             fault_eligible,
+            cmd,
+            id,
+            queue_wait_ns,
+            solve_ns,
         }
     }
 
@@ -385,23 +482,24 @@ impl Shared {
 
     /// Sharded routing: control-plane commands are answered at the
     /// front (the pool never sees them); everything else dispatches by
-    /// cache key.
-    fn handle_sharded(&self, pool: &ShardPool, request: Request) -> Response {
+    /// cache key. Returns the response and the measured shard-queue
+    /// wait, ns (0 for control-plane answers).
+    fn handle_sharded(&self, pool: &ShardPool, request: Request) -> (Response, u64) {
         match request {
             // Shard 0's state carries the server info; answering from
             // it directly keeps hello off the queues.
-            Request::Hello => pool.shard_state(0).handle_request(&Request::Hello),
-            Request::Stats => self.sharded_stats(pool, false),
+            Request::Hello => (pool.shard_state(0).handle_request(&Request::Hello), 0),
+            Request::Stats => (self.sharded_stats(pool, false), 0),
             Request::ResetStats => {
                 let response = self.sharded_stats(pool, true);
                 pool.reset_stats();
                 self.edge.requests.store(0, Ordering::Relaxed);
                 self.edge.connections.store(0, Ordering::Relaxed);
                 self.edge.rejected.store(0, Ordering::Relaxed);
-                response
+                (response, 0)
             }
-            Request::Shutdown => Response::Shutdown,
-            other => pool.dispatch(other),
+            Request::Shutdown => (Response::Shutdown, 0),
+            other => pool.dispatch_traced(other),
         }
     }
 
@@ -747,6 +845,7 @@ pub fn start_server(engine: Engine, config: &ServeConfig) -> io::Result<ServerHa
     let shared = Arc::new(Shared {
         backend,
         edge: EdgeCounters::default(),
+        metrics: EdgeMetrics::new(),
         max_conns: config.max_conns,
         read_timeout: (config.read_timeout_ms > 0)
             .then(|| Duration::from_millis(config.read_timeout_ms)),
@@ -754,6 +853,7 @@ pub fn start_server(engine: Engine, config: &ServeConfig) -> io::Result<ServerHa
             .then(|| Duration::from_millis(config.write_timeout_ms)),
         max_line_bytes: config.max_line_bytes.max(1),
         drain_deadline: Duration::from_secs(config.drain_deadline_secs),
+        log_slow: (config.log_slow_ms > 0).then(|| Duration::from_millis(config.log_slow_ms)),
         faults,
     });
     let listener = TcpListener::bind(config.addr.as_str())?;
@@ -893,7 +993,9 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             if line.is_empty() {
                 continue;
             }
+            let t_line = Instant::now();
             let handled = shared.handle_line(line, &mut conn);
+            let t_encode = Instant::now();
             let mut rendered = handled.rendered.to_string();
             rendered.push('\n');
             // The injected drop fault cuts the connection strictly
@@ -909,6 +1011,21 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             }
             writer.write_all(rendered.as_bytes())?;
             writer.flush()?;
+            shared.metrics.encode_write.observe_since(t_encode);
+            if let Some(limit) = shared.log_slow {
+                let total = t_line.elapsed();
+                if total >= limit {
+                    eprintln!(
+                        "[rip-serve] slow request id={} cmd={} total_ms={:.3} \
+                         queue_wait_ms={:.3} solve_ms={:.3}",
+                        handled.id,
+                        handled.cmd,
+                        total.as_secs_f64() * 1e3,
+                        handled.queue_wait_ns as f64 / 1e6,
+                        handled.solve_ns as f64 / 1e6,
+                    );
+                }
+            }
             match handled.action {
                 PostAction::None => {}
                 PostAction::Stop => {

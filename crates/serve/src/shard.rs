@@ -48,12 +48,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-/// One unit of shard work: a routed request plus the channel its typed
-/// response travels back on.
+/// One unit of shard work: a routed request, the channel its typed
+/// response (plus the measured queue wait, ns) travels back on, and
+/// the enqueue timestamp the wait is measured from.
 struct Job {
     request: Request,
-    reply: mpsc::Sender<Response>,
+    reply: mpsc::Sender<(Response, u64)>,
+    enqueued: Instant,
 }
 
 /// A bounded MPMC job queue (mutex + condvar) with an exact depth
@@ -192,10 +195,15 @@ impl EngineTemplate {
     }
 
     /// A fresh state replacing `old` after a panic: cold caches (the
-    /// engine is new), but the serving counters, topology info and stop
-    /// flag carry over so monitoring history survives the respawn.
+    /// engine is new), but the serving counters, topology info, stop
+    /// flag **and metrics registry** carry over so monitoring history
+    /// survives the respawn — the replacement engine adopts the old
+    /// engine's registry, keeping every previously resolved histogram
+    /// handle (e.g. a shard worker's queue-wait histogram) valid.
     pub(crate) fn respawn_state(&self, old: &ServeState) -> Arc<ServeState> {
-        let state = Arc::new(ServeState::new(self.fresh_engine()));
+        let mut engine = self.fresh_engine();
+        engine.adopt_metrics(Arc::clone(old.engine().metrics_registry()));
+        let state = Arc::new(ServeState::new(engine));
         state.set_server_info(old.server_info());
         state.restore_counters(old.requests(), old.connections());
         if old.stopping() {
@@ -330,6 +338,12 @@ impl ShardPool {
         for i in 0..shards {
             let engine = seed.take().unwrap_or_else(|| template.fresh_engine());
             engine.set_scratch_cap(1);
+            // Resolved once per worker: the registry survives respawns
+            // (the replacement engine adopts it), so this handle stays
+            // live for the life of the shard.
+            let queue_wait = engine
+                .metrics_registry()
+                .histogram(&format!("serve_shard{i}_queue_wait_ns"));
             let core = Arc::new(ShardCore::new(Arc::new(ServeState::new(engine))));
             let queue = Arc::new(JobQueue::new(queue_cap));
             let worker_core = Arc::clone(&core);
@@ -340,6 +354,9 @@ impl ShardPool {
                 .name(format!("rip-shard-{i}"))
                 .spawn(move || {
                     while let Some(job) = worker_queue.pop() {
+                        let wait_ns =
+                            u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        queue_wait.observe(wait_ns);
                         let state = worker_core.state();
                         state.count_request();
                         let response = match supervised_handle(&state, &job.request, &worker_faults)
@@ -359,7 +376,7 @@ impl ShardPool {
                         // A dropped receiver just means the connection
                         // went away mid-flight; the work is done either
                         // way.
-                        let _ = job.reply.send(response);
+                        let _ = job.reply.send((response, wait_ns));
                     }
                 })
                 .expect("spawn a shard worker thread");
@@ -421,6 +438,14 @@ impl ShardPool {
     /// out across shards) and waits for the reassembled response.
     /// Queue overflow returns a typed `backpressure` error immediately.
     pub fn dispatch(&self, request: Request) -> Response {
+        self.dispatch_traced(request).0
+    }
+
+    /// [`ShardPool::dispatch`] plus the measured shard queue wait, ns
+    /// (a fan-out reports the slowest slice; rejected requests report
+    /// zero) — what the serving edge feeds its request-latency
+    /// histograms.
+    pub fn dispatch_traced(&self, request: Request) -> (Response, u64) {
         match request {
             Request::Solve { ref net, .. } | Request::TauMin { ref net } => {
                 self.submit(self.net_shard(net), request.clone())
@@ -490,6 +515,18 @@ impl ShardPool {
         totals
     }
 
+    /// Every live engine's metrics registry, merged into one snapshot:
+    /// stage-latency histograms (same names across shards) sum
+    /// bucket-wise, per-shard queue-wait histograms
+    /// (`serve_shard{i}_queue_wait_ns`) keep their distinct names.
+    pub fn metrics_snapshot(&self) -> rip_obs::RegistrySnapshot {
+        let mut merged = rip_obs::RegistrySnapshot::default();
+        for shard in &self.shards {
+            merged.merge(&shard.core.state().engine().metrics_registry().snapshot());
+        }
+        merged
+    }
+
     /// Rezeroes every shard's counters — engine stats, request counts,
     /// error and supervision tallies (queue high-water marks stay; they
     /// are lifetime marks of the queue, reset with the queue itself).
@@ -521,25 +558,30 @@ impl ShardPool {
         }
     }
 
-    /// Submits one request to one shard and waits for its response.
-    fn submit(&self, shard_index: usize, request: Request) -> Response {
+    /// Submits one request to one shard and waits for its response plus
+    /// the measured queue wait (rejections report a zero wait).
+    fn submit(&self, shard_index: usize, request: Request) -> (Response, u64) {
         let shard = &self.shards[shard_index];
         let (reply, inbox) = mpsc::channel();
-        match shard.queue.push(Job { request, reply }) {
+        match shard.queue.push(Job {
+            request,
+            reply,
+            enqueued: Instant::now(),
+        }) {
             Ok(()) => match inbox.recv() {
-                Ok(response) => {
+                Ok((response, wait_ns)) => {
                     if response.is_error() {
                         shard.errors.fetch_add(1, Ordering::Relaxed);
                     }
-                    response
+                    (response, wait_ns)
                 }
                 // The worker exited between push and reply: draining.
-                Err(_) => shutting_down_error(),
+                Err(_) => (shutting_down_error(), 0),
             },
-            Err(QueueRefused::Closed) => shutting_down_error(),
+            Err(QueueRefused::Closed) => (shutting_down_error(), 0),
             Err(QueueRefused::Full) => {
                 shard.errors.fetch_add(1, Ordering::Relaxed);
-                self.backpressure(shard_index)
+                (self.backpressure(shard_index), 0)
             }
         }
     }
@@ -566,7 +608,7 @@ impl ShardPool {
         nets: Vec<rip_net::TwoPinNet>,
         trees: Vec<TreeEntry>,
         make: impl Fn(Vec<rip_net::TwoPinNet>, Vec<TreeEntry>) -> Request,
-    ) -> Response {
+    ) -> (Response, u64) {
         let shard_count = self.shards.len();
         // Partition while remembering every item's original position.
         let mut net_slices: Vec<(Vec<usize>, Vec<rip_net::TwoPinNet>)> =
@@ -588,7 +630,7 @@ impl ShardPool {
 
         // Submit every touched shard's slice before collecting any
         // response, so the slices solve concurrently.
-        let mut pending: Vec<(usize, mpsc::Receiver<Response>)> = Vec::new();
+        let mut pending: Vec<(usize, mpsc::Receiver<(Response, u64)>)> = Vec::new();
         let mut overflow: Option<usize> = None;
         let mut closed = false;
         for s in 0..shard_count {
@@ -603,6 +645,7 @@ impl ShardPool {
             match self.shards[s].queue.push(Job {
                 request: make(shard_nets, shard_trees),
                 reply,
+                enqueued: Instant::now(),
             }) {
                 Ok(()) => pending.push((s, inbox)),
                 Err(QueueRefused::Closed) => closed = true,
@@ -615,11 +658,17 @@ impl ShardPool {
 
         // Reassemble in input order (the sub-requests that did get
         // queued still drain even when one shard overflowed — their
-        // work warms that shard's cache either way).
+        // work warms that shard's cache either way). The fan-out's
+        // queue wait is its slowest slice's: that is what bounded the
+        // request's end-to-end latency.
         let mut merged = MergedBatch::new(net_total, tree_total);
+        let mut max_wait = 0u64;
         for (s, inbox) in pending {
             let response = match inbox.recv() {
-                Ok(response) => response,
+                Ok((response, wait_ns)) => {
+                    max_wait = max_wait.max(wait_ns);
+                    response
+                }
                 Err(_) => {
                     closed = true;
                     shutting_down_error()
@@ -632,12 +681,12 @@ impl ShardPool {
         }
         // A draining pool outranks overflow: retrying won't help.
         if closed {
-            return shutting_down_error();
+            return (shutting_down_error(), max_wait);
         }
         if let Some(s) = overflow {
-            return self.backpressure(s);
+            return (self.backpressure(s), max_wait);
         }
-        merged.finish()
+        (merged.finish(), max_wait)
     }
 }
 
@@ -874,6 +923,7 @@ mod tests {
                         target: Target::TauMinMultiple(1.4),
                     },
                     reply,
+                    enqueued: Instant::now(),
                 };
                 if shard.queue.push(job(reply_a)).is_ok() && shard.queue.push(job(reply_b)).is_err()
                 {

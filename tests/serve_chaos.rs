@@ -239,3 +239,87 @@ fn a_panicked_worker_answers_the_next_request_on_the_same_connection() {
     assert_eq!(server.respawns_total(), 1);
     server.shutdown();
 }
+
+#[test]
+fn metrics_histograms_survive_injected_panics_and_respawns() {
+    // Observability under chaos: stage timings and queue-wait histograms
+    // live in an `Arc`-shared registry that respawned workers adopt, so
+    // counts observed before a panic must still be visible afterwards —
+    // and must only ever grow across respawns.
+    let config = ServeConfig {
+        workers: 2,
+        shards: 2,
+        faults: FaultPlan {
+            panic_every: 3,
+            ..FaultPlan::none()
+        },
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let loadgen = LoadgenConfig {
+        connections: 2,
+        requests_per_conn: 12,
+        nets: 6,
+        retry: RetryPolicy::new(4, 1),
+        ..LoadgenConfig::default()
+    };
+
+    let first = run_loadgen(server.addr(), None, &loadgen).unwrap();
+    assert_eq!(first.errors, 0, "retries must absorb every injected panic");
+    assert!(
+        server.respawns_total() > 0,
+        "the fault plan must force at least one respawn"
+    );
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let histogram_count = |client: &mut Client, name: &str| -> f64 {
+        let metrics =
+            parse_json(&client.request_line(r#"{"id":7,"cmd":"metrics"}"#).unwrap()).unwrap();
+        assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)));
+        metrics
+            .get("histograms")
+            .and_then(|h| h.get(name))
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let shard_waits = |client: &mut Client| -> f64 {
+        (0..2)
+            .map(|s| histogram_count(client, &format!("serve_shard{s}_queue_wait_ns")))
+            .sum()
+    };
+
+    // Every dispatched attempt — including the ones that panicked after
+    // being popped — observed its shard queue wait, and those
+    // observations survived the respawns that followed.
+    let waits_after_first = shard_waits(&mut client);
+    assert!(
+        waits_after_first >= first.requests as f64,
+        "queue-wait observations must survive respawn: saw {waits_after_first}, \
+         served {} requests",
+        first.requests
+    );
+    let stages_after_first = histogram_count(&mut client, "engine_chain_coarse_dp_ns");
+    assert!(
+        stages_after_first > 0.0,
+        "engine stage timings must survive respawn"
+    );
+
+    // A second faulted round must only add to the histograms: if a
+    // respawn swapped in a fresh registry, the counts would shrink.
+    let respawns_after_first = server.respawns_total();
+    let second = run_loadgen(server.addr(), None, &loadgen).unwrap();
+    assert_eq!(second.errors, 0);
+    assert!(
+        server.respawns_total() > respawns_after_first,
+        "the second round must force more respawns"
+    );
+    let waits_after_second = shard_waits(&mut client);
+    assert!(
+        waits_after_second >= waits_after_first + second.requests as f64,
+        "histograms must grow monotonically across respawns: \
+         {waits_after_first} then {waits_after_second}"
+    );
+    assert!(histogram_count(&mut client, "engine_chain_coarse_dp_ns") >= stages_after_first);
+    server.shutdown();
+}

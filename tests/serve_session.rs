@@ -273,6 +273,163 @@ fn sharded_server_answers_byte_identically_to_a_single_engine() {
     server.shutdown();
 }
 
+/// Pulls one histogram's count out of a rendered `metrics` response.
+fn histogram_count(metrics: &Json, name: &str) -> u64 {
+    metrics
+        .get("histograms")
+        .and_then(|h| h.get(name))
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("metrics response lacks histogram {name}: {metrics:?}"))
+        as u64
+}
+
+#[test]
+fn metrics_histogram_counts_exactly_match_request_counters_in_both_modes() {
+    // The tentpole's exactness claim: the edge observes its queue-wait
+    // and solve histograms once per request line, `metrics` counts
+    // itself before snapshotting, and `reset_stats` is skipped (its
+    // counter increment is zeroed during handling) — so the histogram
+    // counts always equal the `stats` request counter, in every reset
+    // epoch, in both topologies.
+    for shards in [0usize, 2] {
+        let config = ServeConfig {
+            workers: 2,
+            shards,
+            ..ServeConfig::default()
+        };
+        let server = start_server(engine(), &config).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let nets = NetGenerator::suite(RandomNetConfig::default(), 21, 3).unwrap();
+        for (i, net) in nets.iter().enumerate() {
+            let line = format!(
+                r#"{{"id":{i},"cmd":"solve","net":{},"target_mult":1.4}}"#,
+                net_to_json(net)
+            );
+            let response = parse_json(&client.request_line(&line).unwrap()).unwrap();
+            assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        }
+
+        // 3 solves + this metrics line itself = 4 observed lines.
+        let metrics =
+            parse_json(&client.request_line(r#"{"id":10,"cmd":"metrics"}"#).unwrap()).unwrap();
+        assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)));
+        let queue_count = histogram_count(&metrics, "serve_request_queue_wait_ns");
+        let solve_count = histogram_count(&metrics, "serve_request_solve_ns");
+        assert_eq!(queue_count, 4, "shards={shards}");
+        assert_eq!(solve_count, 4, "shards={shards}");
+        // The engine-side stage histograms rode along in the merge.
+        assert!(
+            histogram_count(&metrics, "engine_chain_coarse_dp_ns") >= 3,
+            "shards={shards}: {metrics:?}"
+        );
+        if shards > 0 {
+            // Every dispatched (non-control) request crossed exactly one
+            // shard queue; the per-shard histograms must account for all
+            // 3 solves and nothing else.
+            let per_shard: u64 = (0..shards)
+                .map(|s| {
+                    metrics
+                        .get("histograms")
+                        .and_then(|h| h.get(&format!("serve_shard{s}_queue_wait_ns")))
+                        .and_then(|h| h.get("count"))
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0) as u64
+                })
+                .sum();
+            assert_eq!(
+                per_shard, 3,
+                "shard queue-wait counts must sum to the solves"
+            );
+        }
+
+        // The stats line right after sees the metrics line + itself.
+        let stats =
+            parse_json(&client.request_line(r#"{"id":11,"cmd":"stats"}"#).unwrap()).unwrap();
+        assert_eq!(
+            stats.get("requests").unwrap().as_f64(),
+            Some((queue_count + 1) as f64),
+            "stats must lead the last metrics snapshot by exactly its own line"
+        );
+
+        // Across a reset epoch the equality holds from zero again.
+        let reset = parse_json(
+            &client
+                .request_line(r#"{"id":12,"cmd":"reset_stats"}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(reset.get("ok"), Some(&Json::Bool(true)));
+        let metrics =
+            parse_json(&client.request_line(r#"{"id":13,"cmd":"metrics"}"#).unwrap()).unwrap();
+        assert_eq!(
+            histogram_count(&metrics, "serve_request_queue_wait_ns"),
+            1,
+            "shards={shards}: post-reset counts restart at this metrics line"
+        );
+        assert_eq!(histogram_count(&metrics, "serve_request_solve_ns"), 1);
+        let stats =
+            parse_json(&client.request_line(r#"{"id":14,"cmd":"stats"}"#).unwrap()).unwrap();
+        assert_eq!(stats.get("requests").unwrap().as_f64(), Some(2.0));
+        server.shutdown();
+    }
+}
+
+#[test]
+fn metrics_interleaving_never_changes_solver_bytes() {
+    // Determinism rider: snapshotting and resetting the observability
+    // layer must never change an answer byte. Cold solve, metrics,
+    // reset_stats, warm solve — cold and warm must match exactly.
+    let config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = start_server(engine(), &config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let net = NetGenerator::suite(RandomNetConfig::default(), 31, 1)
+        .unwrap()
+        .remove(0);
+    let solve = format!(
+        r#"{{"id":1,"cmd":"solve","net":{},"target_mult":1.4}}"#,
+        net_to_json(&net)
+    );
+    let cold = client.request_line(&solve).unwrap();
+    let metrics = parse_json(&client.request_line(r#"{"id":2,"cmd":"metrics"}"#).unwrap()).unwrap();
+    assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)));
+    client
+        .request_line(r#"{"id":3,"cmd":"reset_stats"}"#)
+        .unwrap();
+    let warm = client.request_line(&solve).unwrap();
+    assert_eq!(
+        cold, warm,
+        "metrics/reset interleaving must not perturb solver output"
+    );
+
+    // Engine-level spelling of the same claim: an engine whose registry
+    // was swapped for a foreign, pre-populated one still solves
+    // bit-identically to a fresh engine.
+    let fresh = engine();
+    let expected = {
+        let tau = fresh.tau_min(&net);
+        fresh.solve(&net, 1.4 * tau).unwrap()
+    };
+    let mut adopted = engine();
+    let foreign = std::sync::Arc::new(rip_obs::MetricsRegistry::new());
+    foreign.histogram("engine_chain_coarse_dp_ns").observe(999);
+    adopted.adopt_metrics(foreign);
+    let tau = adopted.tau_min(&net);
+    let got = adopted.solve(&net, 1.4 * tau).unwrap();
+    assert_eq!(
+        got.solution.delay_fs.to_bits(),
+        expected.solution.delay_fs.to_bits()
+    );
+    assert_eq!(
+        got.solution.total_width.to_bits(),
+        expected.solution.total_width.to_bits()
+    );
+    server.shutdown();
+}
+
 #[test]
 fn over_limit_connections_get_a_typed_busy_rejection() {
     let config = ServeConfig {
